@@ -1,0 +1,68 @@
+//! Ablation benches: policy comparison, probe-timer multiplier, label
+//! mode, and sketch precision — the design choices DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mafic::{DropPolicy, LabelMode};
+use mafic_bench::bench_spec;
+use mafic_loglog::{LogLog, Precision};
+use mafic_workload::{run_spec, ScenarioSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("mafic", DropPolicy::Mafic),
+        ("proportional", DropPolicy::Proportional),
+    ] {
+        group.bench_with_input(BenchmarkId::new("policy", name), &policy, |b, &policy| {
+            b.iter(|| {
+                run_spec(ScenarioSpec {
+                    policy,
+                    ..bench_spec()
+                })
+                .expect("run")
+            });
+        });
+    }
+    for mult in [1.0, 2.0, 4.0] {
+        group.bench_with_input(BenchmarkId::new("timer_mult", mult), &mult, |b, &m| {
+            b.iter(|| {
+                run_spec(ScenarioSpec {
+                    timer_rtt_multiplier: m,
+                    ..bench_spec()
+                })
+                .expect("run")
+            });
+        });
+    }
+    for (name, mode) in [("hashed", LabelMode::Hashed), ("full", LabelMode::Full)] {
+        group.bench_with_input(BenchmarkId::new("label_mode", name), &mode, |b, &mode| {
+            b.iter(|| {
+                run_spec(ScenarioSpec {
+                    label_mode: mode,
+                    ..bench_spec()
+                })
+                .expect("run")
+            });
+        });
+    }
+    for p in [Precision::P8, Precision::P10, Precision::P12] {
+        group.bench_with_input(
+            BenchmarkId::new("sketch_insert_50k", format!("2^{}", p.bits())),
+            &p,
+            |b, &p| {
+                b.iter(|| {
+                    let mut sketch = LogLog::new(p);
+                    for i in 0u64..50_000 {
+                        sketch.insert_u64(i);
+                    }
+                    sketch.estimate()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

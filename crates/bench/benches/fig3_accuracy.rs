@@ -1,0 +1,42 @@
+//! Fig. 3 bench: the accuracy measurement under the three drop
+//! probabilities (panel a) and the three source rates (panel b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mafic_bench::bench_spec;
+use mafic_workload::{run_spec, NominalRate, ScenarioSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_accuracy");
+    group.sample_size(10);
+    for pd in [0.7, 0.8, 0.9] {
+        group.bench_with_input(BenchmarkId::new("panel_a_pd", pd), &pd, |b, &pd| {
+            b.iter(|| {
+                let outcome = run_spec(ScenarioSpec {
+                    drop_probability: pd,
+                    ..bench_spec()
+                })
+                .expect("run");
+                assert!(outcome.report.accuracy_pct > 90.0);
+            });
+        });
+    }
+    for rate in [NominalRate::R100k, NominalRate::R500k, NominalRate::R1M] {
+        group.bench_with_input(
+            BenchmarkId::new("panel_b_rate", rate.label()),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    run_spec(ScenarioSpec {
+                        flow_rate_pps: rate.pps(),
+                        ..bench_spec()
+                    })
+                    .expect("run")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 4 bench: traffic-reduction measurement (panel a) and the
+//! bandwidth time-series extraction (panel b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mafic_bench::{bench_spec, bench_spec_with_vt};
+use mafic_workload::{run_spec, ScenarioSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_cutting");
+    group.sample_size(10);
+    for pd in [0.7, 0.8, 0.9] {
+        group.bench_with_input(BenchmarkId::new("panel_a_pd", pd), &pd, |b, &pd| {
+            b.iter(|| {
+                let outcome = run_spec(ScenarioSpec {
+                    drop_probability: pd,
+                    ..bench_spec()
+                })
+                .expect("run");
+                assert!(outcome.report.traffic_reduction_pct > 30.0);
+            });
+        });
+    }
+    for vt in [10usize, 20, 30] {
+        group.bench_with_input(BenchmarkId::new("panel_b_vt", vt), &vt, |b, &vt| {
+            b.iter(|| {
+                let outcome = run_spec(bench_spec_with_vt(vt)).expect("run");
+                assert!(!outcome.series.is_empty());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

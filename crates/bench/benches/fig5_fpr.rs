@@ -1,0 +1,46 @@
+//! Fig. 5 bench: false-positive measurement across the three sweeps
+//! (volume, TCP share, domain size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mafic_bench::{bench_spec, bench_spec_with_vt};
+use mafic_workload::{run_spec, ScenarioSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_false_positive");
+    group.sample_size(10);
+    for vt in [10usize, 20, 30] {
+        group.bench_with_input(BenchmarkId::new("panel_a_vt", vt), &vt, |b, &vt| {
+            b.iter(|| run_spec(bench_spec_with_vt(vt)).expect("run"));
+        });
+    }
+    for gamma in [0.55, 0.75, 0.95] {
+        group.bench_with_input(
+            BenchmarkId::new("panel_b_gamma", format!("{:.0}", gamma * 100.0)),
+            &gamma,
+            |b, &gamma| {
+                b.iter(|| {
+                    run_spec(ScenarioSpec {
+                        tcp_share: gamma,
+                        ..bench_spec()
+                    })
+                    .expect("run")
+                });
+            },
+        );
+    }
+    for n in [6usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("panel_c_routers", n), &n, |b, &n| {
+            b.iter(|| {
+                run_spec(ScenarioSpec {
+                    n_routers: n,
+                    ..bench_spec()
+                })
+                .expect("run")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 7 bench: legitimate-packet dropping rate under the three drop
+//! probabilities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mafic_bench::bench_spec;
+use mafic_workload::{run_spec, ScenarioSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_collateral");
+    group.sample_size(10);
+    for pd in [0.7, 0.8, 0.9] {
+        group.bench_with_input(BenchmarkId::new("lr_pd", pd), &pd, |b, &pd| {
+            b.iter(|| {
+                let outcome = run_spec(ScenarioSpec {
+                    drop_probability: pd,
+                    ..bench_spec()
+                })
+                .expect("run");
+                assert!(outcome.report.legit_drop_pct < 25.0);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Microbenchmarks of the per-packet hot paths: the MAFIC filter
+//! decision, LogLog insertion, and flow-label hashing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mafic::{AddressValidator, FlowLabel, LabelMode, MaficConfig, MaficFilter};
+use mafic_loglog::{LogLog, Precision};
+use mafic_netsim::testkit::FilterHarness;
+use mafic_netsim::{Addr, FlowKey, Packet, PacketKind, Provenance, SimTime};
+
+fn packet(port: u16) -> Packet {
+    Packet {
+        id: u64::from(port),
+        key: FlowKey::new(
+            Addr::from_octets(10, 1, 0, 1),
+            Addr::from_octets(10, 200, 0, 1),
+            port,
+            80,
+        ),
+        kind: PacketKind::Udp,
+        size_bytes: 500,
+        created_at: SimTime::ZERO,
+        provenance: Provenance::infrastructure(),
+        hops: 0,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("mafic_filter_decision", |b| {
+        let mut filter = MaficFilter::new(MaficConfig::default(), AddressValidator::AllowAll);
+        filter.activate(Addr::from_octets(10, 200, 0, 1));
+        let mut h = FilterHarness::new();
+        let mut port = 0u16;
+        b.iter(|| {
+            port = port.wrapping_add(1);
+            h.offer_transit(&mut filter, &packet(port))
+        });
+    });
+
+    c.bench_function("loglog_insert", |b| {
+        let mut sketch = LogLog::new(Precision::P10);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            sketch.insert_u64(i);
+        });
+    });
+
+    c.bench_function("flow_label_hash", |b| {
+        let key = packet(1).key;
+        b.iter(|| FlowLabel::from_key(key, LabelMode::Hashed).token());
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

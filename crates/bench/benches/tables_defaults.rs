@@ -1,0 +1,21 @@
+//! Table II bench: one full default-configuration run (the measurement
+//! backing every "default" cell in the paper's tables).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mafic_bench::bench_spec;
+use mafic_workload::run_spec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_ii_default_run");
+    group.sample_size(10);
+    group.bench_function("default_scenario", |b| {
+        b.iter(|| run_spec(bench_spec()).expect("run"));
+    });
+    group.finish();
+    // Print the values once so the bench log doubles as a record.
+    let outcome = run_spec(bench_spec()).expect("run");
+    println!("{}", outcome.report);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! # mafic-bench
+//!
+//! Shared helpers for the Criterion benchmarks that regenerate the
+//! paper's tables and figures. The benches measure the *cost* of
+//! regenerating each panel (and print the resulting values once per
+//! bench run); the panel data itself is produced by `mafic-experiments`.
+//!
+//! Bench scenarios are deliberately smaller than the figure binaries'
+//! (fewer flows, shorter horizon) so a full `cargo bench` pass stays in
+//! the minutes range; the bin targets in `mafic-experiments` remain the
+//! authoritative figure regenerators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mafic_netsim::SimTime;
+use mafic_workload::ScenarioSpec;
+
+/// A reduced-size scenario for benchmarking: same structure as the
+/// Table II defaults, ~6× fewer events.
+#[must_use]
+pub fn bench_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        total_flows: 20,
+        n_routers: 10,
+        end: SimTime::from_secs_f64(3.0),
+        ..ScenarioSpec::default()
+    }
+}
+
+/// Variant of [`bench_spec`] with the given traffic volume.
+#[must_use]
+pub fn bench_spec_with_vt(vt: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        total_flows: vt,
+        ..bench_spec()
+    }
+}

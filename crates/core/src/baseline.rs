@@ -1,0 +1,214 @@
+//! The proportional-dropping baseline.
+//!
+//! The authors' earlier set-union-counting pushback work dropped *all*
+//! victim-bound packets — legitimate or malicious — with the same
+//! probability. MAFIC's motivation is the collateral damage this causes;
+//! the baseline is implemented behind the same [`DropPolicy`] surface so
+//! every experiment can be re-run with either policy.
+
+use mafic_netsim::{
+    Addr, ControlMsg, DropReason, FilterAction, FilterCtx, Packet, PacketEnv, PacketFilter,
+    StatNote,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+
+/// Marker for which drop policy a filter implements (used by reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropPolicy {
+    /// MAFIC adaptive dropping with probing.
+    Mafic,
+    /// Uniform proportional dropping of all victim-bound packets.
+    Proportional,
+}
+
+impl std::fmt::Display for DropPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DropPolicy::Mafic => f.write_str("MAFIC"),
+            DropPolicy::Proportional => f.write_str("proportional"),
+        }
+    }
+}
+
+/// Uniform proportional dropper (the `[2]` baseline).
+#[derive(Debug)]
+pub struct ProportionalFilter {
+    drop_probability: f64,
+    rng: SmallRng,
+    active: Option<Addr>,
+    examined: u64,
+    dropped: u64,
+}
+
+impl ProportionalFilter {
+    /// Creates an inactive proportional dropper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_probability` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(drop_probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_probability),
+            "drop probability {drop_probability} out of [0, 1]"
+        );
+        ProportionalFilter {
+            drop_probability,
+            rng: SmallRng::seed_from_u64(seed),
+            active: None,
+            examined: 0,
+            dropped: 0,
+        }
+    }
+
+    /// True while a pushback request is in force.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Packets examined while active.
+    #[must_use]
+    pub fn examined(&self) -> u64 {
+        self.examined
+    }
+
+    /// Packets dropped.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Activates the defense for `victim`.
+    pub fn activate(&mut self, victim: Addr) {
+        self.active = Some(victim);
+    }
+
+    /// Deactivates the defense.
+    pub fn deactivate(&mut self) {
+        self.active = None;
+    }
+}
+
+impl PacketFilter for ProportionalFilter {
+    fn on_packet(
+        &mut self,
+        packet: &Packet,
+        _env: &PacketEnv,
+        ctx: &mut FilterCtx<'_>,
+    ) -> FilterAction {
+        let Some(victim) = self.active else {
+            return FilterAction::Forward;
+        };
+        if packet.key.dst != victim {
+            return FilterAction::Forward;
+        }
+        self.examined += 1;
+        ctx.note(StatNote::AtrSeen, Some(packet));
+        if self.rng.gen::<f64>() < self.drop_probability {
+            self.dropped += 1;
+            FilterAction::Drop(DropReason::FilterProportional)
+        } else {
+            FilterAction::Forward
+        }
+    }
+
+    fn on_control(&mut self, msg: &ControlMsg, _ctx: &mut FilterCtx<'_>) {
+        match msg {
+            ControlMsg::PushbackStart { victim } => self.activate(*victim),
+            ControlMsg::PushbackStop => self.deactivate(),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mafic_netsim::testkit::FilterHarness;
+    use mafic_netsim::{FlowKey, PacketKind, Provenance, SimTime};
+
+    const VICTIM: Addr = Addr::new(0x0AC8_0001);
+
+    fn pkt(dst: Addr) -> Packet {
+        Packet {
+            id: 1,
+            key: FlowKey::new(Addr::from_octets(10, 1, 0, 1), dst, 5, 80),
+            kind: PacketKind::Udp,
+            size_bytes: 500,
+            created_at: SimTime::ZERO,
+            provenance: Provenance::infrastructure(),
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn inactive_forwards() {
+        let mut h = FilterHarness::new();
+        let mut f = ProportionalFilter::new(1.0, 1);
+        let fx = h.offer_transit(&mut f, &pkt(VICTIM));
+        assert_eq!(fx.action, Some(FilterAction::Forward));
+    }
+
+    #[test]
+    fn drops_victim_bound_at_rate() {
+        let mut h = FilterHarness::new();
+        let mut f = ProportionalFilter::new(0.9, 7);
+        f.activate(VICTIM);
+        let mut drops = 0;
+        for _ in 0..1000 {
+            match h.offer_transit(&mut f, &pkt(VICTIM)).action {
+                Some(FilterAction::Drop(DropReason::FilterProportional)) => drops += 1,
+                Some(FilterAction::Forward) => {}
+                other => panic!("unexpected verdict {other:?}"),
+            }
+        }
+        assert!(
+            (850..=950).contains(&drops),
+            "≈90% of 1000 packets expected, got {drops}"
+        );
+        assert_eq!(f.examined(), 1000);
+        assert_eq!(f.dropped(), drops);
+    }
+
+    #[test]
+    fn other_destinations_untouched() {
+        let mut h = FilterHarness::new();
+        let mut f = ProportionalFilter::new(1.0, 1);
+        f.activate(VICTIM);
+        let fx = h.offer_transit(&mut f, &pkt(Addr::from_octets(10, 1, 0, 9)));
+        assert_eq!(fx.action, Some(FilterAction::Forward));
+        assert_eq!(f.examined(), 0);
+    }
+
+    #[test]
+    fn control_messages_toggle() {
+        let mut h = FilterHarness::new();
+        let mut f = ProportionalFilter::new(1.0, 1);
+        let _ = h.control(&mut f, &ControlMsg::PushbackStart { victim: VICTIM });
+        assert!(f.is_active());
+        let _ = h.control(&mut f, &ControlMsg::PushbackStop);
+        assert!(!f.is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn probability_validated() {
+        let _ = ProportionalFilter::new(1.5, 1);
+    }
+
+    #[test]
+    fn policy_display() {
+        assert_eq!(DropPolicy::Mafic.to_string(), "MAFIC");
+        assert_eq!(DropPolicy::Proportional.to_string(), "proportional");
+    }
+}

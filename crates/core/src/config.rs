@@ -1,0 +1,338 @@
+//! MAFIC configuration and the source-address legality oracle.
+
+use crate::label::LabelMode;
+use mafic_netsim::{Addr, SimDuration};
+use std::fmt;
+
+/// Decides whether a claimed source address is "legitimate" — a valid
+/// address of some allocated subnet (the paper's definition; it says
+/// nothing about whether the sender truly owns it).
+///
+/// Packets failing this check go straight to the Permanently Drop Table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum AddressValidator {
+    /// Treat every address as legal (disables the illegal-source path).
+    #[default]
+    AllowAll,
+    /// Legal iff the address falls inside one of the prefixes.
+    Prefixes(Vec<(Addr, u8)>),
+}
+
+impl AddressValidator {
+    /// True if `addr` is a legal source address.
+    #[must_use]
+    pub fn is_legal(&self, addr: Addr) -> bool {
+        match self {
+            AddressValidator::AllowAll => true,
+            AddressValidator::Prefixes(prefixes) => prefixes
+                .iter()
+                .any(|&(prefix, len)| addr.in_prefix(prefix, len)),
+        }
+    }
+}
+
+/// Tunables of the MAFIC adaptive dropper.
+///
+/// Defaults follow the paper's Table II (`Pd = 90%`, timer `= 2 × RTT`).
+///
+/// # Example
+///
+/// ```
+/// use mafic::MaficConfig;
+///
+/// let config = MaficConfig::builder()
+///     .drop_probability(0.8)
+///     .timer_rtt_multiplier(2.0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.drop_probability, 0.8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaficConfig {
+    /// `Pd` — probability of dropping a packet of a new or suspicious
+    /// flow during the probing phase.
+    pub drop_probability: f64,
+    /// Timer length as a multiple of the flow RTT (the paper uses 2).
+    pub timer_rtt_multiplier: f64,
+    /// Fallback RTT when a flow carries no usable timestamp.
+    pub default_rtt: SimDuration,
+    /// Lower clamp for per-flow RTT estimates.
+    pub min_rtt: SimDuration,
+    /// Upper clamp for per-flow RTT estimates.
+    pub max_rtt: SimDuration,
+    /// A flow is "responsive" if its post-probe rate is at most this
+    /// fraction of its pre-probe baseline.
+    pub decrease_threshold: f64,
+    /// Number of duplicate ACKs per probe burst (≥ 3 triggers fast
+    /// retransmit in compliant senders).
+    pub probe_dup_acks: u8,
+    /// Probe packet size in bytes.
+    pub probe_size: u32,
+    /// How flows are keyed in the tables.
+    pub label_mode: LabelMode,
+    /// SFT capacity (flows on probation).
+    pub sft_capacity: usize,
+    /// NFT capacity.
+    pub nft_capacity: usize,
+    /// PDT capacity.
+    pub pdt_capacity: usize,
+    /// Arrival-history retention for rate measurements.
+    pub rate_horizon: SimDuration,
+    /// Maximum number of flows tracked by the arrival recorder.
+    pub rate_max_flows: usize,
+    /// Optional NFT re-validation period: a flow that passed the probe
+    /// test is re-probed this long after clearing, so pulsing (shrew)
+    /// attackers that timed their silent phase over the probation window
+    /// get another chance to be caught. `None` (the paper's behaviour)
+    /// never re-probes.
+    pub nft_revalidate_after: Option<SimDuration>,
+    /// Seed for the drop-decision RNG.
+    pub seed: u64,
+}
+
+impl Default for MaficConfig {
+    fn default() -> Self {
+        MaficConfig {
+            drop_probability: 0.9,
+            timer_rtt_multiplier: 2.0,
+            default_rtt: SimDuration::from_millis(100),
+            min_rtt: SimDuration::from_millis(20),
+            max_rtt: SimDuration::from_millis(500),
+            decrease_threshold: 0.7,
+            probe_dup_acks: 3,
+            probe_size: 40,
+            label_mode: LabelMode::Hashed,
+            sft_capacity: 4096,
+            nft_capacity: 4096,
+            pdt_capacity: 4096,
+            rate_horizon: SimDuration::from_secs(3),
+            rate_max_flows: 8192,
+            nft_revalidate_after: None,
+            seed: 0x4D41_4649,
+        }
+    }
+}
+
+impl MaficConfig {
+    /// Starts a builder pre-loaded with the defaults.
+    #[must_use]
+    pub fn builder() -> MaficConfigBuilder {
+        MaficConfigBuilder {
+            config: MaficConfig::default(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(0.0..=1.0).contains(&self.drop_probability) {
+            return Err(ConfigError::new("drop_probability must be in [0, 1]"));
+        }
+        if !(self.timer_rtt_multiplier > 0.0 && self.timer_rtt_multiplier.is_finite()) {
+            return Err(ConfigError::new("timer_rtt_multiplier must be positive"));
+        }
+        if self.min_rtt > self.max_rtt {
+            return Err(ConfigError::new("min_rtt exceeds max_rtt"));
+        }
+        if !(0.0..=1.0).contains(&self.decrease_threshold) {
+            return Err(ConfigError::new("decrease_threshold must be in [0, 1]"));
+        }
+        if self.probe_dup_acks == 0 {
+            return Err(ConfigError::new("probe_dup_acks must be >= 1"));
+        }
+        if self.probe_size == 0 {
+            return Err(ConfigError::new("probe_size must be positive"));
+        }
+        if self.sft_capacity == 0 || self.nft_capacity == 0 || self.pdt_capacity == 0 {
+            return Err(ConfigError::new("table capacities must be positive"));
+        }
+        if self.rate_horizon.is_zero() {
+            return Err(ConfigError::new("rate_horizon must be positive"));
+        }
+        if self.rate_max_flows == 0 {
+            return Err(ConfigError::new("rate_max_flows must be positive"));
+        }
+        if let Some(period) = self.nft_revalidate_after {
+            if period.is_zero() {
+                return Err(ConfigError::new("nft_revalidate_after must be positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when a [`MaficConfig`] is out of range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: &'static str,
+}
+
+impl ConfigError {
+    fn new(message: &'static str) -> Self {
+        ConfigError { message }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAFIC configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`MaficConfig`].
+#[derive(Debug, Clone)]
+pub struct MaficConfigBuilder {
+    config: MaficConfig,
+}
+
+impl MaficConfigBuilder {
+    /// Sets `Pd`.
+    #[must_use]
+    pub fn drop_probability(mut self, pd: f64) -> Self {
+        self.config.drop_probability = pd;
+        self
+    }
+
+    /// Sets the timer multiplier (paper: 2 × RTT).
+    #[must_use]
+    pub fn timer_rtt_multiplier(mut self, mult: f64) -> Self {
+        self.config.timer_rtt_multiplier = mult;
+        self
+    }
+
+    /// Sets the fallback RTT.
+    #[must_use]
+    pub fn default_rtt(mut self, rtt: SimDuration) -> Self {
+        self.config.default_rtt = rtt;
+        self
+    }
+
+    /// Sets the responsiveness threshold.
+    #[must_use]
+    pub fn decrease_threshold(mut self, threshold: f64) -> Self {
+        self.config.decrease_threshold = threshold;
+        self
+    }
+
+    /// Sets the probe burst size.
+    #[must_use]
+    pub fn probe_dup_acks(mut self, count: u8) -> Self {
+        self.config.probe_dup_acks = count;
+        self
+    }
+
+    /// Sets the label mode.
+    #[must_use]
+    pub fn label_mode(mut self, mode: LabelMode) -> Self {
+        self.config.label_mode = mode;
+        self
+    }
+
+    /// Sets all three table capacities at once.
+    #[must_use]
+    pub fn table_capacity(mut self, capacity: usize) -> Self {
+        self.config.sft_capacity = capacity;
+        self.config.nft_capacity = capacity;
+        self.config.pdt_capacity = capacity;
+        self
+    }
+
+    /// Sets the drop-decision RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Enables periodic NFT re-validation (anti-pulsing extension).
+    #[must_use]
+    pub fn nft_revalidate_after(mut self, period: SimDuration) -> Self {
+        self.config.nft_revalidate_after = Some(period);
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any field is out of range.
+    pub fn build(self) -> Result<MaficConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let c = MaficConfig::default();
+        assert_eq!(c.drop_probability, 0.9);
+        assert_eq!(c.timer_rtt_multiplier, 2.0);
+        assert_eq!(c.probe_dup_acks, 3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = MaficConfig::builder()
+            .drop_probability(0.7)
+            .timer_rtt_multiplier(4.0)
+            .decrease_threshold(0.5)
+            .probe_dup_acks(5)
+            .label_mode(LabelMode::Full)
+            .table_capacity(128)
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(c.drop_probability, 0.7);
+        assert_eq!(c.timer_rtt_multiplier, 4.0);
+        assert_eq!(c.decrease_threshold, 0.5);
+        assert_eq!(c.probe_dup_acks, 5);
+        assert_eq!(c.label_mode, LabelMode::Full);
+        assert_eq!(c.sft_capacity, 128);
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        assert!(MaficConfig::builder().drop_probability(1.5).build().is_err());
+        assert!(MaficConfig::builder().timer_rtt_multiplier(0.0).build().is_err());
+        assert!(MaficConfig::builder().decrease_threshold(-0.1).build().is_err());
+        assert!(MaficConfig::builder().probe_dup_acks(0).build().is_err());
+        assert!(MaficConfig::builder().table_capacity(0).build().is_err());
+        let mut c = MaficConfig::default();
+        c.min_rtt = SimDuration::from_secs(2);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validator_allow_all() {
+        assert!(AddressValidator::AllowAll.is_legal(Addr::new(0xDEAD_BEEF)));
+    }
+
+    #[test]
+    fn validator_prefixes() {
+        let v = AddressValidator::Prefixes(vec![
+            (Addr::from_octets(10, 1, 0, 0), 16),
+            (Addr::from_octets(10, 2, 0, 0), 16),
+        ]);
+        assert!(v.is_legal(Addr::from_octets(10, 1, 3, 4)));
+        assert!(v.is_legal(Addr::from_octets(10, 2, 0, 1)));
+        assert!(!v.is_legal(Addr::from_octets(192, 168, 0, 1)));
+        assert!(!v.is_legal(Addr::from_octets(10, 3, 0, 1)));
+    }
+
+    #[test]
+    fn config_error_display() {
+        let err = MaficConfig::builder().drop_probability(2.0).build().unwrap_err();
+        assert!(err.to_string().contains("drop_probability"));
+    }
+}

@@ -1,0 +1,715 @@
+//! The MAFIC adaptive dropper — the control flow of the paper's Figure 2.
+//!
+//! Installed as a [`PacketFilter`] on each Attack Transit Router, idle
+//! until a `PushbackStart` control message arrives. While active, for
+//! every packet destined to the victim:
+//!
+//! 1. **PDT match** → drop (permanent).
+//! 2. **NFT match** → forward (flow already passed the probe test).
+//! 3. **SFT match** → update the arrival count; if the 2×RTT timer has
+//!    expired, classify (rate decreased → NFT, else → PDT); otherwise
+//!    keep dropping with probability `Pd`.
+//! 4. **New flow** → illegal source goes straight to the PDT; otherwise
+//!    the packet is dropped with probability `Pd`, and on the first such
+//!    drop the flow enters the SFT: the router records the pre-drop
+//!    baseline rate, issues a duplicate-ACK probe burst toward the
+//!    claimed source, and starts a timer of `timer_rtt_multiplier × RTT`
+//!    (RTT read from the packet's timestamp option, clamped).
+//!
+//! On `PushbackStop` all tables are flushed.
+
+use crate::config::{AddressValidator, MaficConfig};
+use crate::label::FlowLabel;
+use crate::rate::ArrivalTracker;
+use crate::tables::{FlowTables, PdtReason, SftEntry};
+use mafic_netsim::{
+    Addr, ControlMsg, DropReason, FilterAction, FilterCtx, FlowKey, Packet, PacketEnv,
+    PacketFilter, PacketKind, Provenance, SimDuration, SimTime, StatNote,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+
+/// Token salt distinguishing re-validation timers from probation timers.
+const REVALIDATE_SALT: u64 = 0xA11C_E57A_7E5A_17ED;
+
+/// Aggregate counters exposed for diagnostics and the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaficCounters {
+    /// Packets examined while the defense was active.
+    pub examined: u64,
+    /// Packets dropped during probing (SFT phase and first-touch drops).
+    pub dropped_probing: u64,
+    /// Packets dropped by PDT membership.
+    pub dropped_permanent: u64,
+    /// Packets dropped for illegal source addresses.
+    pub dropped_illegal: u64,
+    /// Probe bursts emitted.
+    pub probes_sent: u64,
+    /// Flows declared nice.
+    pub flows_nice: u64,
+    /// Flows declared malicious (including illegal-source flows).
+    pub flows_malicious: u64,
+}
+
+/// The MAFIC adaptive dropping filter.
+pub struct MaficFilter {
+    config: MaficConfig,
+    validator: AddressValidator,
+    tables: FlowTables,
+    tracker: ArrivalTracker,
+    rng: SmallRng,
+    /// `Some(victim)` while the defense is active.
+    active: Option<Addr>,
+    counters: MaficCounters,
+    /// Timer token → flow under probation.
+    pending: std::collections::HashMap<u64, FlowLabel>,
+    /// Timer token → nice flow awaiting re-validation.
+    revalidations: std::collections::HashMap<u64, FlowLabel>,
+}
+
+impl std::fmt::Debug for MaficFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaficFilter")
+            .field("active", &self.active)
+            .field("sft", &self.tables.sft_len())
+            .field("nft", &self.tables.nft_len())
+            .field("pdt", &self.tables.pdt_len())
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+impl MaficFilter {
+    /// Creates an (inactive) MAFIC filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation — a configuration bug.
+    #[must_use]
+    pub fn new(config: MaficConfig, validator: AddressValidator) -> Self {
+        config.validate().expect("invalid MaficConfig");
+        let tables = FlowTables::new(
+            config.sft_capacity,
+            config.nft_capacity,
+            config.pdt_capacity,
+        );
+        let tracker = ArrivalTracker::new(config.rate_horizon, config.rate_max_flows);
+        let rng = SmallRng::seed_from_u64(config.seed);
+        MaficFilter {
+            config,
+            validator,
+            tables,
+            tracker,
+            rng,
+            active: None,
+            counters: MaficCounters::default(),
+            pending: std::collections::HashMap::new(),
+            revalidations: std::collections::HashMap::new(),
+        }
+    }
+
+    /// True while a pushback request is in force.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// The victim address being defended, if active.
+    #[must_use]
+    pub fn victim(&self) -> Option<Addr> {
+        self.active
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn counters(&self) -> MaficCounters {
+        self.counters
+    }
+
+    /// The table set (inspection).
+    #[must_use]
+    pub fn tables(&self) -> &FlowTables {
+        &self.tables
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &MaficConfig {
+        &self.config
+    }
+
+    /// Activates the defense for `victim` (equivalent to receiving a
+    /// `PushbackStart`; public for direct harness control).
+    pub fn activate(&mut self, victim: Addr) {
+        self.active = Some(victim);
+    }
+
+    /// Deactivates and flushes all tables.
+    pub fn deactivate(&mut self) {
+        self.active = None;
+        self.tables.flush();
+        self.tracker.clear();
+        self.pending.clear();
+        self.revalidations.clear();
+    }
+
+    fn label_of(&self, key: FlowKey) -> FlowLabel {
+        FlowLabel::from_key(key, self.config.label_mode)
+    }
+
+    /// Per-flow RTT estimate from the packet's timestamp option.
+    ///
+    /// The sender stamps `ts` at transmission; `now − ts` is the one-way
+    /// source→router delay, so the source→router→source round trip the
+    /// probe must cover is approximately twice that. Clamped to the
+    /// configured bounds; flows without a usable timestamp get the
+    /// default RTT.
+    fn estimate_rtt(&self, packet: &Packet, now: SimTime) -> SimDuration {
+        let ts = match packet.kind {
+            PacketKind::TcpData { ts, .. } | PacketKind::TcpAck { ts, .. } => ts,
+            PacketKind::Udp | PacketKind::ProbeDupAck { .. } => SimTime::ZERO,
+        };
+        let estimate = if ts == SimTime::ZERO {
+            self.config.default_rtt
+        } else {
+            now.saturating_since(ts).mul_f64(2.0)
+        };
+        estimate.max(self.config.min_rtt).min(self.config.max_rtt)
+    }
+
+    fn coin(&mut self) -> bool {
+        self.rng.gen::<f64>() < self.config.drop_probability
+    }
+
+    fn emit_probe(&mut self, key: FlowKey, victim: Addr, ctx: &mut FilterCtx<'_>) {
+        // Duplicate ACKs claim to come from the destination the flow is
+        // sending to (the victim side), addressed to the claimed source.
+        let probe = Packet {
+            id: ctx.fresh_packet_id(),
+            key: FlowKey::new(victim, key.src, key.dst_port, key.src_port),
+            kind: PacketKind::ProbeDupAck {
+                count: self.config.probe_dup_acks,
+            },
+            size_bytes: self.config.probe_size,
+            created_at: ctx.now(),
+            provenance: Provenance::infrastructure(),
+            hops: 0,
+        };
+        ctx.emit_packet(probe);
+        self.counters.probes_sent += 1;
+    }
+
+    /// Applies the probation decision for `label`: rate decreased → NFT,
+    /// otherwise → PDT. Returns `true` if the flow was declared nice.
+    ///
+    /// The arrival rate over the first half of the probation window is
+    /// compared against the second half. A compliant TCP source drains
+    /// its in-flight window during the first RTT and then stalls (its
+    /// packets are being dropped and the probe told it to back off), so
+    /// the second half collapses; an unresponsive zombie keeps both
+    /// halves equal. A flow silent in both halves stopped entirely —
+    /// maximally responsive.
+    fn decide(&mut self, label: FlowLabel, _now: SimTime, ctx: &mut FilterCtx<'_>) -> bool {
+        let Some(entry) = self.tables.sft_remove(&label) else {
+            return false;
+        };
+        self.pending.remove(&label.token());
+        let half = entry.deadline.saturating_since(entry.probe_started) / 2;
+        let mid = entry.probe_started + half;
+        let first = self.tracker.count_in(label, mid, half);
+        let second = self.tracker.count_in(label, entry.deadline, half);
+        let responsive = if first == 0 && second == 0 {
+            true
+        } else {
+            (second as f64) <= self.config.decrease_threshold * (first as f64)
+        };
+        if responsive {
+            self.tables.nft_insert(label);
+            self.counters.flows_nice += 1;
+            ctx.note_flow(StatNote::FlowDeclaredNice, entry.key);
+            if let Some(period) = self.config.nft_revalidate_after {
+                // Anti-pulsing extension: evict from the NFT later so the
+                // next packet re-enters probation.
+                let token = label.token() ^ REVALIDATE_SALT;
+                self.revalidations.insert(token, label);
+                ctx.schedule_timer(period, token);
+            }
+            true
+        } else {
+            self.tables.pdt_insert(label, PdtReason::Unresponsive);
+            self.counters.flows_malicious += 1;
+            ctx.note_flow(StatNote::FlowDeclaredMalicious, entry.key);
+            false
+        }
+    }
+
+    /// Puts a fresh flow on probation: SFT entry + probe + timer.
+    fn start_probation(
+        &mut self,
+        label: FlowLabel,
+        packet: &Packet,
+        victim: Addr,
+        ctx: &mut FilterCtx<'_>,
+    ) {
+        let now = ctx.now();
+        let rtt = self.estimate_rtt(packet, now);
+        let timer = rtt.mul_f64(self.config.timer_rtt_multiplier);
+        // Baseline: the flow's rate over one RTT *before* this packet.
+        let baseline_rate = self.tracker.rate_in(label, now, rtt);
+        let entry = SftEntry {
+            key: packet.key,
+            probe_started: now,
+            baseline_rate,
+            rtt_estimate: rtt,
+            deadline: now + timer,
+            arrivals_since_probe: 0,
+        };
+        self.tables.sft_insert(label, entry);
+        let token = label.token();
+        self.pending.insert(token, label);
+        ctx.schedule_timer(timer, token);
+        self.emit_probe(packet.key, victim, ctx);
+        ctx.note(StatNote::ProbeSent, Some(packet));
+    }
+}
+
+impl PacketFilter for MaficFilter {
+    fn on_packet(
+        &mut self,
+        packet: &Packet,
+        _env: &PacketEnv,
+        ctx: &mut FilterCtx<'_>,
+    ) -> FilterAction {
+        let Some(victim) = self.active else {
+            return FilterAction::Forward;
+        };
+        if packet.key.dst != victim {
+            return FilterAction::Forward;
+        }
+        self.counters.examined += 1;
+        ctx.note(StatNote::AtrSeen, Some(packet));
+
+        let label = self.label_of(packet.key);
+        let now = ctx.now();
+        self.tracker.record(label, now);
+
+        // 1. Permanently condemned flows.
+        if let Some(reason) = self.tables.pdt_get(&label) {
+            self.counters.dropped_permanent += 1;
+            return match reason {
+                PdtReason::IllegalSource => FilterAction::Drop(DropReason::FilterPermanent),
+                PdtReason::Unresponsive => FilterAction::Drop(DropReason::FilterPermanent),
+            };
+        }
+        // 2. Flows that already passed the test.
+        if self.tables.nft_contains(&label) {
+            return FilterAction::Forward;
+        }
+        // 3. Flows on probation.
+        if self.tables.sft_get(&label).is_some() {
+            let deadline = self
+                .tables
+                .sft_get(&label)
+                .map(|e| e.deadline)
+                .expect("entry just checked");
+            if now >= deadline {
+                // Timer expired but the timer event has not fired yet (or
+                // fired between packets): classify now.
+                let nice = self.decide(label, now, ctx);
+                return if nice {
+                    FilterAction::Forward
+                } else {
+                    self.counters.dropped_permanent += 1;
+                    FilterAction::Drop(DropReason::FilterPermanent)
+                };
+            }
+            if let Some(entry) = self.tables.sft_get_mut(&label) {
+                entry.arrivals_since_probe += 1;
+            }
+            return if self.coin() {
+                self.counters.dropped_probing += 1;
+                FilterAction::Drop(DropReason::FilterProbing)
+            } else {
+                FilterAction::Forward
+            };
+        }
+        // 4. New flow.
+        if !self.validator.is_legal(packet.key.src) {
+            self.tables.pdt_insert(label, PdtReason::IllegalSource);
+            self.counters.dropped_illegal += 1;
+            self.counters.flows_malicious += 1;
+            ctx.note(StatNote::FlowDeclaredMalicious, Some(packet));
+            return FilterAction::Drop(DropReason::FilterIllegalSource);
+        }
+        if self.coin() {
+            self.start_probation(label, packet, victim, ctx);
+            self.counters.dropped_probing += 1;
+            FilterAction::Drop(DropReason::FilterProbing)
+        } else {
+            FilterAction::Forward
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut FilterCtx<'_>) {
+        if self.active.is_none() {
+            return;
+        }
+        if let Some(label) = self.revalidations.remove(&token) {
+            // Re-validation: drop the nice verdict; the flow's next packet
+            // re-enters the new-flow path and may be re-probed.
+            self.tables.nft_remove(&label);
+            return;
+        }
+        let Some(&label) = self.pending.get(&token) else {
+            return; // Flow already classified by the packet path.
+        };
+        let now = ctx.now();
+        if let Some(entry) = self.tables.sft_get(&label) {
+            if now >= entry.deadline {
+                let _ = self.decide(label, now, ctx);
+            }
+        } else {
+            self.pending.remove(&token);
+        }
+    }
+
+    fn on_control(&mut self, msg: &ControlMsg, _ctx: &mut FilterCtx<'_>) {
+        match msg {
+            ControlMsg::PushbackStart { victim } => self.activate(*victim),
+            ControlMsg::PushbackStop => self.deactivate(),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mafic_netsim::testkit::FilterHarness;
+    use mafic_netsim::AgentId;
+
+    const VICTIM: Addr = Addr::new(0x0AC8_0001); // 10.200.0.1
+
+    fn config() -> MaficConfig {
+        MaficConfig {
+            default_rtt: SimDuration::from_millis(50),
+            min_rtt: SimDuration::from_millis(20),
+            max_rtt: SimDuration::from_millis(200),
+            seed: 42,
+            ..MaficConfig::default()
+        }
+    }
+
+    fn filter(pd: f64) -> MaficFilter {
+        let mut c = config();
+        c.drop_probability = pd;
+        MaficFilter::new(c, AddressValidator::AllowAll)
+    }
+
+    fn active_filter(pd: f64) -> MaficFilter {
+        let mut f = filter(pd);
+        f.activate(VICTIM);
+        f
+    }
+
+    fn pkt(src_port: u16, now: SimTime) -> Packet {
+        Packet {
+            id: u64::from(src_port) * 1000 + now.as_nanos() % 1000,
+            key: FlowKey::new(Addr::from_octets(10, 1, 0, 1), VICTIM, src_port, 80),
+            kind: PacketKind::TcpData {
+                seq: 0,
+                ts: now,
+                ts_echo: SimTime::ZERO,
+            },
+            size_bytes: 500,
+            created_at: now,
+            provenance: Provenance {
+                origin: AgentId::from_index(0),
+                is_attack: false,
+            },
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn inactive_filter_forwards_everything() {
+        let mut h = FilterHarness::new();
+        let mut f = filter(1.0);
+        let fx = h.offer_transit(&mut f, &pkt(1, h.now));
+        assert_eq!(fx.action, Some(FilterAction::Forward));
+        assert_eq!(f.counters().examined, 0);
+    }
+
+    #[test]
+    fn non_victim_traffic_is_untouched() {
+        let mut h = FilterHarness::new();
+        let mut f = active_filter(1.0);
+        let mut p = pkt(1, h.now);
+        p.key.dst = Addr::from_octets(10, 1, 0, 2);
+        let fx = h.offer_transit(&mut f, &p);
+        assert_eq!(fx.action, Some(FilterAction::Forward));
+        assert_eq!(f.counters().examined, 0);
+    }
+
+    #[test]
+    fn first_drop_starts_probation_with_probe_and_timer() {
+        let mut h = FilterHarness::new();
+        let mut f = active_filter(1.0); // Pd = 1 => deterministic drop
+        h.advance(SimDuration::from_millis(10));
+        let p = pkt(1, h.now);
+        let fx = h.offer_transit(&mut f, &p);
+        assert_eq!(fx.action, Some(FilterAction::Drop(DropReason::FilterProbing)));
+        assert_eq!(f.tables().sft_len(), 1);
+        assert_eq!(fx.emitted.len(), 1, "probe burst emitted");
+        let probe = &fx.emitted[0];
+        assert_eq!(probe.key.dst, p.key.src, "probe goes to claimed source");
+        assert_eq!(probe.key.src, VICTIM, "probe claims to come from victim");
+        assert!(matches!(probe.kind, PacketKind::ProbeDupAck { count: 3 }));
+        assert_eq!(fx.timers.len(), 1);
+        // RTT from timestamp: now == ts => clamped to min_rtt (20ms), timer 2x.
+        assert_eq!(fx.timers[0].0, SimDuration::from_millis(40));
+        assert!(fx
+            .notes
+            .iter()
+            .any(|(n, _)| *n == StatNote::ProbeSent));
+    }
+
+    #[test]
+    fn pd_zero_never_drops() {
+        let mut h = FilterHarness::new();
+        let mut f = active_filter(0.0);
+        for i in 0..50 {
+            let fx = h.offer_transit(&mut f, &pkt(1, h.now));
+            assert_eq!(fx.action, Some(FilterAction::Forward), "packet {i}");
+        }
+        assert_eq!(f.tables().sft_len(), 0, "never sampled into SFT");
+    }
+
+    #[test]
+    fn illegal_source_goes_straight_to_pdt() {
+        let mut h = FilterHarness::new();
+        let validator = AddressValidator::Prefixes(vec![(Addr::from_octets(10, 1, 0, 0), 16)]);
+        let mut f = MaficFilter::new(config(), validator);
+        f.activate(VICTIM);
+        let mut p = pkt(1, h.now);
+        p.key.src = Addr::from_octets(192, 168, 0, 1);
+        let fx = h.offer_transit(&mut f, &p);
+        assert_eq!(
+            fx.action,
+            Some(FilterAction::Drop(DropReason::FilterIllegalSource))
+        );
+        assert_eq!(f.tables().pdt_len(), 1);
+        // Subsequent packets of the same flow die as permanent drops.
+        let fx2 = h.offer_transit(&mut f, &p);
+        assert_eq!(
+            fx2.action,
+            Some(FilterAction::Drop(DropReason::FilterPermanent))
+        );
+    }
+
+    /// Drives a responsive flow: heavy arrivals before the probe, silence
+    /// afterwards. It must land in the NFT.
+    #[test]
+    fn responsive_flow_is_declared_nice() {
+        let mut h = FilterHarness::new();
+        let mut f = active_filter(1.0);
+        // Build up a baseline: Pd=1 means the very first packet starts
+        // probation, so feed the baseline *before* activation.
+        f.deactivate();
+        f.activate(VICTIM);
+        let p0 = pkt(1, h.now);
+        let fx = h.offer_transit(&mut f, &p0);
+        assert_eq!(fx.timers.len(), 1);
+        let (delay, token) = fx.timers[0];
+        // No further packets arrive (sender stalled) — rate after probe is 0.
+        h.advance(delay);
+        let fx2 = h.fire_timer(&mut f, token);
+        assert_eq!(f.tables().nft_len(), 1, "flow declared nice");
+        assert_eq!(f.tables().sft_len(), 0);
+        assert!(fx2
+            .notes
+            .iter()
+            .any(|(n, _)| *n == StatNote::FlowDeclaredNice));
+        // Nice flows now pass freely.
+        let fx3 = h.offer_transit(&mut f, &pkt(1, h.now));
+        assert_eq!(fx3.action, Some(FilterAction::Forward));
+    }
+
+    /// Drives an unresponsive flow: steady arrivals before *and* after
+    /// the probe. It must land in the PDT.
+    #[test]
+    fn unresponsive_flow_is_condemned() {
+        let mut h = FilterHarness::new();
+        let mut f = active_filter(1.0);
+        // Steady 100 pps arrivals; the first packet starts probation and
+        // the arrivals continue right through the probation window, so the
+        // decision fires on the packet path once the deadline passes.
+        let mut all_notes = Vec::new();
+        for i in 0..20 {
+            let fx = h.offer_transit(&mut f, &pkt(1, h.now));
+            if i == 0 {
+                assert_eq!(fx.timers.len(), 1);
+            }
+            all_notes.extend(fx.notes);
+            h.advance(SimDuration::from_millis(10));
+        }
+        assert_eq!(f.tables().pdt_len(), 1, "flow condemned");
+        assert!(all_notes
+            .iter()
+            .any(|(n, _)| *n == StatNote::FlowDeclaredMalicious));
+        // All subsequent packets are dropped permanently.
+        let fx2 = h.offer_transit(&mut f, &pkt(1, h.now));
+        assert_eq!(
+            fx2.action,
+            Some(FilterAction::Drop(DropReason::FilterPermanent))
+        );
+    }
+
+    #[test]
+    fn packet_path_classifies_after_deadline_without_timer() {
+        let mut h = FilterHarness::new();
+        let mut f = active_filter(1.0);
+        let fx = h.offer_transit(&mut f, &pkt(1, h.now));
+        let (delay, _token) = fx.timers[0];
+        // Advance past the deadline; next packet forces the decision even
+        // though the timer never fired. Flow was silent => nice.
+        h.advance(delay + SimDuration::from_millis(1));
+        let fx2 = h.offer_transit(&mut f, &pkt(1, h.now));
+        assert_eq!(f.tables().nft_len(), 1);
+        assert_eq!(fx2.action, Some(FilterAction::Forward));
+    }
+
+    #[test]
+    fn unresponsive_decision_on_packet_path_drops() {
+        let mut h = FilterHarness::new();
+        let mut f = active_filter(1.0);
+        // Continuous 250 pps arrivals straight through the 100 ms probation
+        // window (ts == ZERO at t=0 gives the 50 ms default RTT, 2x timer).
+        // The packet arriving after the deadline forces the decision on the
+        // packet path, with both window halves equally full.
+        for _ in 0..30 {
+            let _ = h.offer_transit(&mut f, &pkt(1, h.now));
+            h.advance(SimDuration::from_millis(4));
+        }
+        assert_eq!(f.tables().pdt_len(), 1, "steady flow must be condemned");
+        let fx = h.offer_transit(&mut f, &pkt(1, h.now));
+        assert_eq!(
+            fx.action,
+            Some(FilterAction::Drop(DropReason::FilterPermanent))
+        );
+    }
+
+    #[test]
+    fn pushback_stop_flushes_tables() {
+        let mut h = FilterHarness::new();
+        let mut f = active_filter(1.0);
+        let _ = h.offer_transit(&mut f, &pkt(1, h.now));
+        assert_eq!(f.tables().sft_len(), 1);
+        let _ = h.control(&mut f, &ControlMsg::PushbackStop);
+        assert!(!f.is_active());
+        assert_eq!(f.tables().sft_len(), 0);
+        // Inactive again: everything forwards.
+        let fx = h.offer_transit(&mut f, &pkt(1, h.now));
+        assert_eq!(fx.action, Some(FilterAction::Forward));
+    }
+
+    #[test]
+    fn pushback_start_control_activates() {
+        let mut h = FilterHarness::new();
+        let mut f = filter(1.0);
+        let _ = h.control(
+            &mut f,
+            &ControlMsg::PushbackStart { victim: VICTIM },
+        );
+        assert!(f.is_active());
+        assert_eq!(f.victim(), Some(VICTIM));
+        let fx = h.offer_transit(&mut f, &pkt(1, h.now));
+        assert!(matches!(fx.action, Some(FilterAction::Drop(_))));
+    }
+
+    #[test]
+    fn stale_timer_after_decision_is_harmless() {
+        let mut h = FilterHarness::new();
+        let mut f = active_filter(1.0);
+        let fx = h.offer_transit(&mut f, &pkt(1, h.now));
+        let (delay, token) = fx.timers[0];
+        h.advance(delay + SimDuration::from_millis(5));
+        // Packet path decides first…
+        let _ = h.offer_transit(&mut f, &pkt(1, h.now));
+        let nice_before = f.counters().flows_nice;
+        // …then the timer fires late.
+        let _ = h.fire_timer(&mut f, token);
+        assert_eq!(f.counters().flows_nice, nice_before, "no double decision");
+    }
+
+    #[test]
+    fn distinct_flows_get_distinct_probation() {
+        let mut h = FilterHarness::new();
+        let mut f = active_filter(1.0);
+        for port in 1..=5 {
+            let _ = h.offer_transit(&mut f, &pkt(port, h.now));
+        }
+        assert_eq!(f.tables().sft_len(), 5);
+        assert_eq!(f.counters().probes_sent, 5);
+    }
+
+    #[test]
+    fn counters_track_examined_packets() {
+        let mut h = FilterHarness::new();
+        let mut f = active_filter(0.0);
+        for _ in 0..7 {
+            let _ = h.offer_transit(&mut f, &pkt(1, h.now));
+        }
+        assert_eq!(f.counters().examined, 7);
+    }
+
+    #[test]
+    fn revalidation_evicts_nice_flows_for_reprobing() {
+        let mut h = FilterHarness::new();
+        let mut c = config();
+        c.drop_probability = 1.0;
+        c.nft_revalidate_after = Some(SimDuration::from_millis(300));
+        let mut f = MaficFilter::new(c, AddressValidator::AllowAll);
+        f.activate(VICTIM);
+        // Probation, then silence => nice.
+        let fx = h.offer_transit(&mut f, &pkt(1, h.now));
+        let (delay, probation_token) = fx.timers[0];
+        h.advance(delay);
+        let fx2 = h.fire_timer(&mut f, probation_token);
+        assert_eq!(f.tables().nft_len(), 1);
+        // The nice verdict armed a revalidation timer.
+        let (reval_delay, reval_token) = fx2.timers[0];
+        assert_eq!(reval_delay, SimDuration::from_millis(300));
+        h.advance(reval_delay);
+        let _ = h.fire_timer(&mut f, reval_token);
+        assert_eq!(f.tables().nft_len(), 0, "flow evicted for re-probing");
+        // Its next packet re-enters the new-flow path: dropped + probed.
+        let fx3 = h.offer_transit(&mut f, &pkt(1, h.now));
+        assert_eq!(
+            fx3.action,
+            Some(FilterAction::Drop(DropReason::FilterProbing))
+        );
+        assert_eq!(fx3.emitted.len(), 1, "fresh probe burst");
+        assert_eq!(f.tables().sft_len(), 1);
+    }
+
+    #[test]
+    fn without_revalidation_nice_flows_stay_nice() {
+        let mut h = FilterHarness::new();
+        let mut f = active_filter(1.0);
+        let fx = h.offer_transit(&mut f, &pkt(1, h.now));
+        let (delay, token) = fx.timers[0];
+        h.advance(delay);
+        let fx2 = h.fire_timer(&mut f, token);
+        assert!(fx2.timers.is_empty(), "no revalidation timer by default");
+        assert_eq!(f.tables().nft_len(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-flow arrival-rate tracking.
+//!
+//! MAFIC's classification hinges on one question: did a flow's arrival
+//! rate at the router *decrease* after the probe? The tracker keeps a
+//! short sliding window of arrival timestamps per flow label ("Update
+//! arriving Packet Counting" in the paper's Figure 2) and answers rate
+//! queries over arbitrary sub-windows — the rate just before the probe
+//! (baseline) and the rate just before the 2×RTT deadline.
+
+use crate::label::FlowLabel;
+use mafic_netsim::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Sliding-window arrival recorder for all victim-bound flows at one
+/// router.
+#[derive(Debug)]
+pub struct ArrivalTracker {
+    horizon: SimDuration,
+    max_flows: usize,
+    flows: HashMap<FlowLabel, VecDeque<SimTime>>,
+}
+
+impl ArrivalTracker {
+    /// Creates a tracker that retains arrivals for `horizon` and at most
+    /// `max_flows` flows (oldest-touched flows are evicted beyond that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero or `max_flows` is zero.
+    #[must_use]
+    pub fn new(horizon: SimDuration, max_flows: usize) -> Self {
+        assert!(!horizon.is_zero(), "horizon must be positive");
+        assert!(max_flows > 0, "max_flows must be positive");
+        ArrivalTracker {
+            horizon,
+            max_flows,
+            flows: HashMap::new(),
+        }
+    }
+
+    /// Records one arrival of `label` at `now`.
+    pub fn record(&mut self, label: FlowLabel, now: SimTime) {
+        if self.flows.len() >= self.max_flows && !self.flows.contains_key(&label) {
+            self.evict_stalest(now);
+        }
+        let q = self.flows.entry(label).or_default();
+        q.push_back(now);
+        // Prune beyond the horizon.
+        let cutoff = now.saturating_since(SimTime::ZERO);
+        let keep_from = if cutoff > self.horizon {
+            now.saturating_since(SimTime::ZERO) - self.horizon
+        } else {
+            SimDuration::ZERO
+        };
+        let keep_from = SimTime::ZERO + keep_from;
+        while let Some(&front) = q.front() {
+            if front < keep_from {
+                q.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn evict_stalest(&mut self, _now: SimTime) {
+        // Evict the flow with the oldest most-recent arrival.
+        if let Some((&victim, _)) = self
+            .flows
+            .iter()
+            .min_by_key(|(_, q)| q.back().copied().unwrap_or(SimTime::ZERO))
+        {
+            self.flows.remove(&victim);
+        }
+    }
+
+    /// Number of arrivals of `label` within `(end - window, end]`.
+    #[must_use]
+    pub fn count_in(&self, label: FlowLabel, end: SimTime, window: SimDuration) -> usize {
+        let Some(q) = self.flows.get(&label) else {
+            return 0;
+        };
+        let since_zero = end.saturating_since(SimTime::ZERO);
+        let lo = SimTime::ZERO + (since_zero - since_zero.min(window));
+        q.iter().filter(|&&t| t > lo && t <= end).count()
+    }
+
+    /// Arrival rate (packets/s) of `label` over `[end - window, end]`.
+    ///
+    /// Returns 0 when the window is zero-length.
+    #[must_use]
+    pub fn rate_in(&self, label: FlowLabel, end: SimTime, window: SimDuration) -> f64 {
+        if window.is_zero() {
+            return 0.0;
+        }
+        self.count_in(label, end, window) as f64 / window.as_secs_f64()
+    }
+
+    /// Number of flows currently tracked.
+    #[must_use]
+    pub fn tracked_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Drops all state (table flush at pushback end).
+    pub fn clear(&mut self) {
+        self.flows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelMode;
+    use mafic_netsim::{Addr, FlowKey};
+
+    fn label(n: u16) -> FlowLabel {
+        FlowLabel::from_key(
+            FlowKey::new(Addr::new(1), Addr::new(2), n, 80),
+            LabelMode::Hashed,
+        )
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn counts_within_window_only() {
+        let mut tr = ArrivalTracker::new(SimDuration::from_secs(10), 64);
+        for ms in [100u64, 200, 300, 400, 500] {
+            tr.record(label(1), t(ms));
+        }
+        // Window (300, 500]: arrivals at 400 and 500.
+        assert_eq!(tr.count_in(label(1), t(500), SimDuration::from_millis(200)), 2);
+        // Window (0, 500]: all five.
+        assert_eq!(tr.count_in(label(1), t(500), SimDuration::from_millis(500)), 5);
+        // Other labels are independent.
+        assert_eq!(tr.count_in(label(2), t(500), SimDuration::from_millis(500)), 0);
+    }
+
+    #[test]
+    fn rate_is_count_over_window() {
+        let mut tr = ArrivalTracker::new(SimDuration::from_secs(10), 64);
+        for ms in (0..10).map(|i| 100 + i * 10) {
+            tr.record(label(1), t(ms));
+        }
+        // 10 packets in (90, 190] ... window 100ms => 100 pps.
+        let rate = tr.rate_in(label(1), t(190), SimDuration::from_millis(100));
+        assert!((rate - 100.0).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_window_rate_is_zero() {
+        let tr = ArrivalTracker::new(SimDuration::from_secs(1), 4);
+        assert_eq!(tr.rate_in(label(1), t(100), SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn horizon_prunes_old_arrivals() {
+        let mut tr = ArrivalTracker::new(SimDuration::from_millis(100), 4);
+        tr.record(label(1), t(0));
+        tr.record(label(1), t(50));
+        tr.record(label(1), t(500));
+        // The t(0) and t(50) arrivals are beyond the 100ms horizon.
+        assert_eq!(tr.count_in(label(1), t(500), SimDuration::from_millis(500)), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_stalest_flow() {
+        let mut tr = ArrivalTracker::new(SimDuration::from_secs(10), 2);
+        tr.record(label(1), t(10));
+        tr.record(label(2), t(20));
+        tr.record(label(3), t(30)); // evicts label(1)
+        assert_eq!(tr.tracked_flows(), 2);
+        assert_eq!(tr.count_in(label(1), t(100), SimDuration::from_millis(100)), 0);
+        assert_eq!(tr.count_in(label(2), t(100), SimDuration::from_millis(100)), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut tr = ArrivalTracker::new(SimDuration::from_secs(1), 4);
+        tr.record(label(1), t(10));
+        tr.clear();
+        assert_eq!(tr.tracked_flows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        let _ = ArrivalTracker::new(SimDuration::ZERO, 4);
+    }
+}

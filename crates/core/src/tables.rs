@@ -1,0 +1,342 @@
+//! The three MAFIC flow tables.
+//!
+//! * **SFT** — Suspicious Flow Table: flows under probation. Each entry
+//!   remembers when the probe started, the pre-probe baseline rate, the
+//!   flow's RTT estimate, and the 2×RTT decision deadline.
+//! * **NFT** — Nice Flow Table: flows that reduced their rate after the
+//!   probe; never dropped again.
+//! * **PDT** — Permanently Drop Table: flows whose rate did not respond,
+//!   plus flows with illegal source addresses; every packet dropped.
+//!
+//! All tables are capacity-bounded with FIFO eviction, matching a
+//! router's fixed memory budget.
+
+use crate::label::FlowLabel;
+use mafic_netsim::{FlowKey, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Why a flow ended up in the PDT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PdtReason {
+    /// The claimed source address is outside every allocated prefix.
+    IllegalSource,
+    /// The flow failed the probe test (rate did not decrease).
+    Unresponsive,
+}
+
+/// One probation entry in the SFT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SftEntry {
+    /// The flow's 4-tuple at insertion time (kept for probe addressing
+    /// and statistics; the table key itself may be the hashed label).
+    pub key: FlowKey,
+    /// When the probe was issued.
+    pub probe_started: SimTime,
+    /// Arrival rate (packets/s) measured just before the probe.
+    pub baseline_rate: f64,
+    /// The flow RTT estimate used for the timer.
+    pub rtt_estimate: mafic_netsim::SimDuration,
+    /// The decision deadline (`probe_started + mult × RTT`).
+    pub deadline: SimTime,
+    /// Packets seen since the probe started.
+    pub arrivals_since_probe: u64,
+}
+
+/// A capacity-bounded map with FIFO eviction.
+#[derive(Debug)]
+struct BoundedMap<V> {
+    map: HashMap<FlowLabel, V>,
+    order: VecDeque<FlowLabel>,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl<V> BoundedMap<V> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "table capacity must be positive");
+        BoundedMap {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    fn insert(&mut self, label: FlowLabel, value: V) -> Option<V> {
+        if let std::collections::hash_map::Entry::Occupied(mut slot) = self.map.entry(label) {
+            return Some(slot.insert(value));
+        }
+        if self.map.len() >= self.capacity {
+            // FIFO eviction; skip stale order entries.
+            while let Some(old) = self.order.pop_front() {
+                if self.map.remove(&old).is_some() {
+                    self.evictions += 1;
+                    break;
+                }
+            }
+        }
+        self.order.push_back(label);
+        self.map.insert(label, value)
+    }
+
+    fn get(&self, label: &FlowLabel) -> Option<&V> {
+        self.map.get(label)
+    }
+
+    fn get_mut(&mut self, label: &FlowLabel) -> Option<&mut V> {
+        self.map.get_mut(label)
+    }
+
+    fn remove(&mut self, label: &FlowLabel) -> Option<V> {
+        self.map.remove(label)
+    }
+
+    fn contains(&self, label: &FlowLabel) -> bool {
+        self.map.contains_key(label)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+/// The complete MAFIC table set.
+#[derive(Debug)]
+pub struct FlowTables {
+    sft: BoundedMap<SftEntry>,
+    nft: BoundedMap<()>,
+    pdt: BoundedMap<PdtReason>,
+}
+
+impl FlowTables {
+    /// Creates tables with the given per-table capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity is zero.
+    #[must_use]
+    pub fn new(sft_capacity: usize, nft_capacity: usize, pdt_capacity: usize) -> Self {
+        FlowTables {
+            sft: BoundedMap::new(sft_capacity),
+            nft: BoundedMap::new(nft_capacity),
+            pdt: BoundedMap::new(pdt_capacity),
+        }
+    }
+
+    // --- SFT ---------------------------------------------------------
+
+    /// Inserts a probation entry.
+    pub fn sft_insert(&mut self, label: FlowLabel, entry: SftEntry) {
+        self.sft.insert(label, entry);
+    }
+
+    /// The probation entry for `label`, if any.
+    #[must_use]
+    pub fn sft_get(&self, label: &FlowLabel) -> Option<&SftEntry> {
+        self.sft.get(label)
+    }
+
+    /// Mutable probation entry.
+    pub fn sft_get_mut(&mut self, label: &FlowLabel) -> Option<&mut SftEntry> {
+        self.sft.get_mut(label)
+    }
+
+    /// Removes and returns the probation entry.
+    pub fn sft_remove(&mut self, label: &FlowLabel) -> Option<SftEntry> {
+        self.sft.remove(label)
+    }
+
+    /// Number of flows on probation.
+    #[must_use]
+    pub fn sft_len(&self) -> usize {
+        self.sft.len()
+    }
+
+    // --- NFT ---------------------------------------------------------
+
+    /// Marks a flow as nice.
+    pub fn nft_insert(&mut self, label: FlowLabel) {
+        self.nft.insert(label, ());
+    }
+
+    /// True if the flow passed the probe test.
+    #[must_use]
+    pub fn nft_contains(&self, label: &FlowLabel) -> bool {
+        self.nft.contains(label)
+    }
+
+    /// Number of nice flows.
+    #[must_use]
+    pub fn nft_len(&self) -> usize {
+        self.nft.len()
+    }
+
+    /// Removes a flow from the NFT (re-validation); returns whether it
+    /// was present.
+    pub fn nft_remove(&mut self, label: &FlowLabel) -> bool {
+        self.nft.remove(label).is_some()
+    }
+
+    // --- PDT ---------------------------------------------------------
+
+    /// Condemns a flow.
+    pub fn pdt_insert(&mut self, label: FlowLabel, reason: PdtReason) {
+        self.pdt.insert(label, reason);
+    }
+
+    /// The condemnation reason, if the flow is in the PDT.
+    #[must_use]
+    pub fn pdt_get(&self, label: &FlowLabel) -> Option<PdtReason> {
+        self.pdt.get(label).copied()
+    }
+
+    /// True if every packet of this flow must be dropped.
+    #[must_use]
+    pub fn pdt_contains(&self, label: &FlowLabel) -> bool {
+        self.pdt.contains(label)
+    }
+
+    /// Number of condemned flows.
+    #[must_use]
+    pub fn pdt_len(&self) -> usize {
+        self.pdt.len()
+    }
+
+    // --- Global ------------------------------------------------------
+
+    /// Flushes all three tables (pushback end — "End dropping & Flush all
+    /// tables" in Figure 2).
+    pub fn flush(&mut self) {
+        self.sft.clear();
+        self.nft.clear();
+        self.pdt.clear();
+    }
+
+    /// Total evictions across the tables (capacity-pressure diagnostics).
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.sft.evictions + self.nft.evictions + self.pdt.evictions
+    }
+
+    /// Approximate resident memory of the three tables in bytes, using
+    /// the label storage cost (the paper's motivation for hashing).
+    #[must_use]
+    pub fn approx_bytes(&self, label_bytes: usize) -> usize {
+        let sft_entry = label_bytes + std::mem::size_of::<SftEntry>();
+        let nft_entry = label_bytes;
+        let pdt_entry = label_bytes + 1;
+        self.sft.len() * sft_entry + self.nft.len() * nft_entry + self.pdt.len() * pdt_entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelMode;
+    use mafic_netsim::{Addr, SimDuration};
+
+    fn label(n: u16) -> FlowLabel {
+        FlowLabel::from_key(
+            FlowKey::new(Addr::new(1), Addr::new(2), n, 80),
+            LabelMode::Hashed,
+        )
+    }
+
+    fn entry() -> SftEntry {
+        SftEntry {
+            key: FlowKey::new(Addr::new(1), Addr::new(2), 1, 80),
+            probe_started: SimTime::ZERO,
+            baseline_rate: 100.0,
+            rtt_estimate: SimDuration::from_millis(50),
+            deadline: SimTime::ZERO + SimDuration::from_millis(100),
+            arrivals_since_probe: 0,
+        }
+    }
+
+    #[test]
+    fn tables_start_empty() {
+        let t = FlowTables::new(4, 4, 4);
+        assert_eq!(t.sft_len(), 0);
+        assert_eq!(t.nft_len(), 0);
+        assert_eq!(t.pdt_len(), 0);
+        assert_eq!(t.evictions(), 0);
+    }
+
+    #[test]
+    fn sft_round_trip() {
+        let mut t = FlowTables::new(4, 4, 4);
+        t.sft_insert(label(1), entry());
+        assert!(t.sft_get(&label(1)).is_some());
+        t.sft_get_mut(&label(1)).unwrap().arrivals_since_probe = 5;
+        assert_eq!(t.sft_get(&label(1)).unwrap().arrivals_since_probe, 5);
+        let removed = t.sft_remove(&label(1)).unwrap();
+        assert_eq!(removed.arrivals_since_probe, 5);
+        assert_eq!(t.sft_len(), 0);
+    }
+
+    #[test]
+    fn nft_and_pdt_membership() {
+        let mut t = FlowTables::new(4, 4, 4);
+        t.nft_insert(label(1));
+        t.pdt_insert(label(2), PdtReason::Unresponsive);
+        t.pdt_insert(label(3), PdtReason::IllegalSource);
+        assert!(t.nft_contains(&label(1)));
+        assert!(!t.nft_contains(&label(2)));
+        assert_eq!(t.pdt_get(&label(2)), Some(PdtReason::Unresponsive));
+        assert_eq!(t.pdt_get(&label(3)), Some(PdtReason::IllegalSource));
+        assert!(!t.pdt_contains(&label(1)));
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let mut t = FlowTables::new(4, 4, 2);
+        t.pdt_insert(label(1), PdtReason::Unresponsive);
+        t.pdt_insert(label(2), PdtReason::Unresponsive);
+        t.pdt_insert(label(3), PdtReason::Unresponsive);
+        assert_eq!(t.pdt_len(), 2);
+        assert!(!t.pdt_contains(&label(1)), "oldest evicted first");
+        assert!(t.pdt_contains(&label(2)));
+        assert!(t.pdt_contains(&label(3)));
+        assert_eq!(t.evictions(), 1);
+    }
+
+    #[test]
+    fn reinsertion_does_not_evict() {
+        let mut t = FlowTables::new(4, 4, 2);
+        t.pdt_insert(label(1), PdtReason::Unresponsive);
+        t.pdt_insert(label(1), PdtReason::IllegalSource);
+        assert_eq!(t.pdt_len(), 1);
+        assert_eq!(t.pdt_get(&label(1)), Some(PdtReason::IllegalSource));
+        assert_eq!(t.evictions(), 0);
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut t = FlowTables::new(4, 4, 4);
+        t.sft_insert(label(1), entry());
+        t.nft_insert(label(2));
+        t.pdt_insert(label(3), PdtReason::Unresponsive);
+        t.flush();
+        assert_eq!(t.sft_len() + t.nft_len() + t.pdt_len(), 0);
+    }
+
+    #[test]
+    fn hashed_labels_cost_less_memory() {
+        let mut t = FlowTables::new(64, 64, 64);
+        for n in 0..10u16 {
+            t.nft_insert(label(n));
+        }
+        assert!(t.approx_bytes(8) < t.approx_bytes(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = FlowTables::new(0, 1, 1);
+    }
+}

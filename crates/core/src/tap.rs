@@ -1,0 +1,179 @@
+//! The LogLog traffic tap — the `LogLogCounter` connector of the paper's
+//! NS-2 implementation.
+//!
+//! One tap per router. It never drops anything; it records, per epoch,
+//! the distinct packet ids that *entered the domain* at this router
+//! (arrivals on configured ingress links → `S_i`) and the distinct
+//! packets that *leave the domain* here (arrivals destined to one of the
+//! router's egress addresses → `D_i`). The pushback monitor snapshots
+//! these sketches periodically to build the traffic matrix.
+
+use mafic_loglog::{Precision, RouterSketch};
+use mafic_netsim::{
+    Addr, FilterAction, FilterCtx, LinkId, Packet, PacketEnv, PacketFilter,
+};
+use std::any::Any;
+use std::collections::HashSet;
+
+/// A non-dropping sketch tap installed on a router.
+#[derive(Debug)]
+pub struct LogLogTap {
+    sketch: RouterSketch,
+    precision: Precision,
+    ingress_links: HashSet<LinkId>,
+    egress_addrs: HashSet<Addr>,
+    packets_seen: u64,
+}
+
+impl LogLogTap {
+    /// Creates a tap.
+    ///
+    /// * `ingress_links` — links whose arrivals count as domain entries
+    ///   (the access links from directly attached hosts).
+    /// * `egress_addrs` — destination addresses for which this router is
+    ///   the last hop (its attached hosts / the victim).
+    #[must_use]
+    pub fn new(
+        precision: Precision,
+        ingress_links: impl IntoIterator<Item = LinkId>,
+        egress_addrs: impl IntoIterator<Item = Addr>,
+    ) -> Self {
+        LogLogTap {
+            sketch: RouterSketch::new(precision),
+            precision,
+            ingress_links: ingress_links.into_iter().collect(),
+            egress_addrs: egress_addrs.into_iter().collect(),
+            packets_seen: 0,
+        }
+    }
+
+    /// The current epoch's sketch pair.
+    #[must_use]
+    pub fn sketch(&self) -> &RouterSketch {
+        &self.sketch
+    }
+
+    /// Clones the sketch and resets it for the next epoch. The monitor
+    /// calls this once per observation interval.
+    pub fn take_epoch(&mut self) -> RouterSketch {
+        let snapshot = self.sketch.clone();
+        self.sketch = RouterSketch::new(self.precision);
+        snapshot
+    }
+
+    /// Packets observed over the tap's lifetime.
+    #[must_use]
+    pub fn packets_seen(&self) -> u64 {
+        self.packets_seen
+    }
+}
+
+impl PacketFilter for LogLogTap {
+    fn on_packet(
+        &mut self,
+        packet: &Packet,
+        env: &PacketEnv,
+        _ctx: &mut FilterCtx<'_>,
+    ) -> FilterAction {
+        self.packets_seen += 1;
+        if let Some(via) = env.via_link {
+            if self.ingress_links.contains(&via) {
+                self.sketch.record_source(packet.id);
+            }
+        }
+        if self.egress_addrs.contains(&packet.key.dst) {
+            self.sketch.record_destination(packet.id);
+        }
+        FilterAction::Forward
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mafic_netsim::testkit::FilterHarness;
+    use mafic_netsim::{FlowKey, PacketKind, Provenance, SimTime};
+
+    fn pkt(id: u64, dst: Addr) -> Packet {
+        Packet {
+            id,
+            key: FlowKey::new(Addr::from_octets(10, 1, 0, 1), dst, 5, 80),
+            kind: PacketKind::Udp,
+            size_bytes: 500,
+            created_at: SimTime::ZERO,
+            provenance: Provenance::infrastructure(),
+            hops: 0,
+        }
+    }
+
+    fn env(via: Option<LinkId>) -> PacketEnv {
+        PacketEnv {
+            via_link: via,
+            dst_is_local: false,
+        }
+    }
+
+    #[test]
+    fn records_sources_only_on_ingress_links() {
+        let mut h = FilterHarness::new();
+        let ingress = LinkId::from_index(3);
+        let other = LinkId::from_index(4);
+        let mut tap = LogLogTap::new(Precision::P10, [ingress], []);
+        for id in 0..1000 {
+            let _ = h.offer(&mut tap, &pkt(id, Addr::new(9)), env(Some(ingress)));
+        }
+        for id in 1000..2000 {
+            let _ = h.offer(&mut tap, &pkt(id, Addr::new(9)), env(Some(other)));
+        }
+        let s = tap.sketch().source_cardinality();
+        assert!((s - 1000.0).abs() / 1000.0 < 0.2, "S_i estimate {s}");
+        assert_eq!(tap.sketch().destination_cardinality(), 0.0);
+        assert_eq!(tap.packets_seen(), 2000);
+    }
+
+    #[test]
+    fn records_destinations_for_egress_addrs() {
+        let mut h = FilterHarness::new();
+        let victim = Addr::from_octets(10, 200, 0, 1);
+        let mut tap = LogLogTap::new(Precision::P10, [], [victim]);
+        for id in 0..800 {
+            let _ = h.offer(&mut tap, &pkt(id, victim), env(None));
+        }
+        for id in 800..900 {
+            let _ = h.offer(&mut tap, &pkt(id, Addr::new(5)), env(None));
+        }
+        let d = tap.sketch().destination_cardinality();
+        assert!((d - 800.0).abs() / 800.0 < 0.2, "D_i estimate {d}");
+    }
+
+    #[test]
+    fn epoch_rollover_resets_the_sketch() {
+        let mut h = FilterHarness::new();
+        let victim = Addr::from_octets(10, 200, 0, 1);
+        let mut tap = LogLogTap::new(Precision::P10, [], [victim]);
+        for id in 0..500 {
+            let _ = h.offer(&mut tap, &pkt(id, victim), env(None));
+        }
+        let epoch = tap.take_epoch();
+        assert!(epoch.destination_cardinality() > 300.0);
+        assert_eq!(tap.sketch().destination_cardinality(), 0.0);
+    }
+
+    #[test]
+    fn tap_always_forwards() {
+        let mut h = FilterHarness::new();
+        let mut tap = LogLogTap::new(Precision::P8, [], []);
+        let fx = h.offer_transit(&mut tap, &pkt(1, Addr::new(2)));
+        assert_eq!(fx.action, Some(FilterAction::Forward));
+        assert!(fx.emitted.is_empty());
+        assert!(fx.timers.is_empty());
+    }
+}

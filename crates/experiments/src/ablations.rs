@@ -1,0 +1,160 @@
+//! Ablation studies beyond the paper's figures.
+//!
+//! These quantify the design choices DESIGN.md calls out:
+//!
+//! * MAFIC vs the proportional baseline (the motivating comparison),
+//! * probe timer multiplier (1×, 2×, 4× RTT),
+//! * hashed vs full flow labels (memory and collision cost),
+//! * LogLog precision vs traffic-matrix accuracy.
+
+use crate::figure::FigureData;
+use crate::sweep::run_averaged;
+use mafic::{DropPolicy, LabelMode};
+use mafic_loglog::{LogLog, Precision};
+use mafic_workload::ScenarioSpec;
+
+/// MAFIC vs proportional baseline across the paper's metrics.
+///
+/// # Errors
+///
+/// Propagates build/run errors.
+pub fn policy_comparison(trials: u64) -> Result<FigureData, String> {
+    let mut fig = FigureData::new(
+        "Ablation A",
+        "MAFIC vs proportional dropping (the [2] baseline)",
+        "metric index (1=alpha 2=theta_n 3=theta_p 4=Lr 5=beta)",
+        "percent",
+    );
+    for (label, policy) in [
+        ("MAFIC", DropPolicy::Mafic),
+        ("proportional", DropPolicy::Proportional),
+    ] {
+        let report = run_averaged(
+            &ScenarioSpec {
+                policy,
+                ..ScenarioSpec::default()
+            },
+            trials,
+        )?;
+        fig.push_series(
+            label,
+            vec![
+                (1.0, report.accuracy_pct),
+                (2.0, report.false_negative_pct),
+                (3.0, report.false_positive_pct),
+                (4.0, report.legit_drop_pct),
+                (5.0, report.traffic_reduction_pct),
+            ],
+        );
+    }
+    Ok(fig)
+}
+
+/// Probe-timer multiplier ablation: 1×, 2× (paper), 4× RTT.
+///
+/// # Errors
+///
+/// Propagates build/run errors.
+pub fn timer_multiplier(trials: u64) -> Result<FigureData, String> {
+    let mut fig = FigureData::new(
+        "Ablation B",
+        "Probation timer length vs classification quality",
+        "timer (x RTT)",
+        "percent",
+    );
+    let mut accuracy = Vec::new();
+    let mut legit_drops = Vec::new();
+    let mut fpr = Vec::new();
+    for mult in [1.0f64, 2.0, 4.0] {
+        let report = run_averaged(
+            &ScenarioSpec {
+                timer_rtt_multiplier: mult,
+                ..ScenarioSpec::default()
+            },
+            trials,
+        )?;
+        accuracy.push((mult, report.accuracy_pct));
+        legit_drops.push((mult, report.legit_drop_pct));
+        fpr.push((mult, report.false_positive_pct));
+    }
+    fig.push_series("alpha", accuracy);
+    fig.push_series("Lr", legit_drops);
+    fig.push_series("theta_p", fpr);
+    Ok(fig)
+}
+
+/// Hashed vs full flow labels.
+///
+/// # Errors
+///
+/// Propagates build/run errors.
+pub fn label_mode(trials: u64) -> Result<FigureData, String> {
+    let mut fig = FigureData::new(
+        "Ablation C",
+        "Hashed vs full flow labels",
+        "metric index (1=alpha 2=theta_p 3=Lr)",
+        "percent",
+    );
+    for (label, mode) in [("hashed", LabelMode::Hashed), ("full", LabelMode::Full)] {
+        let report = run_averaged(
+            &ScenarioSpec {
+                label_mode: mode,
+                total_flows: 80,
+                ..ScenarioSpec::default()
+            },
+            trials,
+        )?;
+        fig.push_series(
+            label,
+            vec![
+                (1.0, report.accuracy_pct),
+                (2.0, report.false_positive_pct),
+                (3.0, report.legit_drop_pct),
+            ],
+        );
+    }
+    Ok(fig)
+}
+
+/// LogLog precision vs cardinality estimation error (pure sketch study —
+/// the memory/accuracy trade-off behind the pushback traffic matrix).
+#[must_use]
+pub fn sketch_precision() -> FigureData {
+    let mut fig = FigureData::new(
+        "Ablation D",
+        "LogLog precision vs estimation error (50k distinct items)",
+        "registers (bytes)",
+        "relative error (%)",
+    );
+    let truth = 50_000u64;
+    let mut points = Vec::new();
+    for p in Precision::all() {
+        let mut sketch = LogLog::new(p);
+        for i in 0..truth {
+            sketch.insert_u64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        let err = (sketch.estimate() - truth as f64).abs() / truth as f64 * 100.0;
+        points.push((p.registers() as f64, err));
+    }
+    fig.push_series("LogLog", points);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_precision_error_shrinks_with_registers() {
+        let fig = sketch_precision();
+        let points = &fig.series[0].points;
+        assert_eq!(points.len(), Precision::all().len());
+        // Error at the largest precision must undercut the smallest.
+        let first = points.first().unwrap().1;
+        let last = points.last().unwrap().1;
+        assert!(
+            last < first,
+            "error did not shrink: {first:.2}% -> {last:.2}%"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Runs the DESIGN.md ablations: policy comparison, timer multiplier,
+//! label mode, sketch precision.
+
+use mafic_experiments::{ablations, trial_count};
+
+fn main() {
+    let trials = trial_count();
+    let results = [
+        ablations::policy_comparison(trials),
+        ablations::timer_multiplier(trials),
+        ablations::label_mode(trials),
+        Ok(ablations::sketch_precision()),
+    ];
+    for result in results {
+        match result {
+            Ok(fig) => println!("{fig}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

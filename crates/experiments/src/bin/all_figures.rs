@@ -1,0 +1,131 @@
+//! Regenerates every table and figure of the paper in one run, reusing
+//! shared sweeps where panels overlap.
+
+use mafic_experiments::sweep::figure_from_sweep;
+use mafic_experiments::{figures, tables, trial_count};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let trials = trial_count();
+    print!("{}", tables::table_i());
+    println!();
+    print!("{}", tables::table_ii());
+    println!();
+    print!("{}", tables::default_run_summary()?);
+    println!();
+
+    // Shared (Pd x Vt) sweep feeds Figs. 3a, 4a, 5a, 6a and 7.
+    let pd_vt = figures::sweep_pd_vt(trials)?;
+    println!(
+        "{}",
+        figure_from_sweep(
+            "Fig. 3(a)",
+            "Attack packet dropping accuracy vs traffic volume",
+            "Vt (flows)",
+            "accuracy alpha (%)",
+            &pd_vt,
+            |r| r.accuracy_pct,
+        )
+    );
+    println!("{}", figures::fig3b(trials)?);
+    println!(
+        "{}",
+        figure_from_sweep(
+            "Fig. 4(a)",
+            "Traffic reduction rate vs traffic volume",
+            "Vt (flows)",
+            "traffic reduction beta (%)",
+            &pd_vt,
+            |r| r.traffic_reduction_pct,
+        )
+    );
+    println!("{}", figures::fig4b()?);
+    println!(
+        "{}",
+        figure_from_sweep(
+            "Fig. 5(a)",
+            "False positive rate vs traffic volume",
+            "Vt (flows)",
+            "false positive rate (%)",
+            &pd_vt,
+            |r| r.false_positive_pct,
+        )
+    );
+    // Shared (Vt x Gamma) sweep feeds Figs. 5b and 6b.
+    let vt_gamma = figures::sweep_vt_gamma(trials)?;
+    println!(
+        "{}",
+        figure_from_sweep(
+            "Fig. 5(b)",
+            "False positive rate vs percentage of TCP traffic",
+            "TCP share (%)",
+            "false positive rate (%)",
+            &vt_gamma,
+            |r| r.false_positive_pct,
+        )
+    );
+    // Shared (Gamma x N) sweep feeds Figs. 5c and 6c.
+    let gamma_n = figures::sweep_gamma_domain(trials)?;
+    println!(
+        "{}",
+        figure_from_sweep(
+            "Fig. 5(c)",
+            "False positive rate vs domain size",
+            "N (routers)",
+            "false positive rate (%)",
+            &gamma_n,
+            |r| r.false_positive_pct,
+        )
+    );
+    println!(
+        "{}",
+        figure_from_sweep(
+            "Fig. 6(a)",
+            "False negative rate vs traffic volume",
+            "Vt (flows)",
+            "false negative rate (%)",
+            &pd_vt,
+            |r| r.false_negative_pct,
+        )
+    );
+    println!(
+        "{}",
+        figure_from_sweep(
+            "Fig. 6(b)",
+            "False negative rate vs percentage of TCP traffic",
+            "TCP share (%)",
+            "false negative rate (%)",
+            &vt_gamma,
+            |r| r.false_negative_pct,
+        )
+    );
+    println!(
+        "{}",
+        figure_from_sweep(
+            "Fig. 6(c)",
+            "False negative rate vs domain size",
+            "N (routers)",
+            "false negative rate (%)",
+            &gamma_n,
+            |r| r.false_negative_pct,
+        )
+    );
+    println!(
+        "{}",
+        figure_from_sweep(
+            "Fig. 7",
+            "Legitimate packet dropping rate vs traffic volume",
+            "Vt (flows)",
+            "legit packet dropping rate Lr (%)",
+            &pd_vt,
+            |r| r.legit_drop_pct,
+        )
+    );
+    Ok(())
+}

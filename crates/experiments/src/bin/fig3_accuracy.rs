@@ -1,0 +1,16 @@
+//! Regenerates Fig. 3(a) and Fig. 3(b): attack-packet dropping accuracy.
+
+use mafic_experiments::{figures, trial_count};
+
+fn main() {
+    let trials = trial_count();
+    for result in [figures::fig3a(trials), figures::fig3b(trials)] {
+        match result {
+            Ok(fig) => println!("{fig}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 4(a) (traffic reduction) and Fig. 4(b) (bandwidth
+//! over time).
+
+use mafic_experiments::{figures, trial_count};
+
+fn main() {
+    let trials = trial_count();
+    for result in [figures::fig4a(trials), figures::fig4b()] {
+        match result {
+            Ok(fig) => println!("{fig}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 5(a)–(c): false positive rates.
+
+use mafic_experiments::{figures, trial_count};
+
+fn main() {
+    let trials = trial_count();
+    for result in [
+        figures::fig5a(trials),
+        figures::fig5b(trials),
+        figures::fig5c(trials),
+    ] {
+        match result {
+            Ok(fig) => println!("{fig}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

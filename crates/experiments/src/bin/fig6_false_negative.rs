@@ -1,0 +1,20 @@
+//! Regenerates Fig. 6(a)–(c): false negative rates.
+
+use mafic_experiments::{figures, trial_count};
+
+fn main() {
+    let trials = trial_count();
+    for result in [
+        figures::fig6a(trials),
+        figures::fig6b(trials),
+        figures::fig6c(trials),
+    ] {
+        match result {
+            Ok(fig) => println!("{fig}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

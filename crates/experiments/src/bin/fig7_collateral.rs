@@ -1,0 +1,13 @@
+//! Regenerates Fig. 7: legitimate-packet dropping rate.
+
+use mafic_experiments::{figures, trial_count};
+
+fn main() {
+    match figures::fig7(trial_count()) {
+        Ok(fig) => println!("{fig}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Tables I and II plus a measured default-configuration run.
+
+fn main() {
+    print!("{}", mafic_experiments::tables::table_i());
+    println!();
+    print!("{}", mafic_experiments::tables::table_ii());
+    println!();
+    match mafic_experiments::tables::default_run_summary() {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

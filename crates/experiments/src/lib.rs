@@ -1,0 +1,33 @@
+//! # mafic-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! MAFIC paper's evaluation, plus the ablation studies listed in
+//! DESIGN.md.
+//!
+//! Each figure panel has a function in [`figures`] returning a
+//! [`FigureData`] (named series of `(x, y)` points); the binaries under
+//! `src/bin/` print them as aligned text tables. Trial averaging is
+//! controlled by the `MAFIC_TRIALS` environment variable (default 3).
+//!
+//! | Binary | Regenerates |
+//! |--------|-------------|
+//! | `tables` | Tables I and II + a measured default run |
+//! | `fig3_accuracy` | Fig. 3(a), 3(b) |
+//! | `fig4_cutting` | Fig. 4(a), 4(b) |
+//! | `fig5_false_positive` | Fig. 5(a)–(c) |
+//! | `fig6_false_negative` | Fig. 6(a)–(c) |
+//! | `fig7_collateral` | Fig. 7 |
+//! | `ablations` | DESIGN.md ablations A–D |
+//! | `all_figures` | everything above |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figure;
+pub mod figures;
+pub mod sweep;
+pub mod tables;
+
+pub use figure::{FigureData, Series};
+pub use sweep::{average_reports, run_averaged, sweep, trial_count, SweepPoint, SweepSeries};

@@ -1,0 +1,200 @@
+//! Parameter sweeps with trial averaging.
+
+use mafic_metrics::MetricsReport;
+use mafic_workload::{run_spec, ScenarioSpec};
+
+/// How many seeds each sweep point averages over. Override with the
+/// `MAFIC_TRIALS` environment variable; defaults to 3.
+#[must_use]
+pub fn trial_count() -> u64 {
+    std::env::var("MAFIC_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Averages the rate fields of several reports (counts are summed).
+///
+/// # Panics
+///
+/// Panics if `reports` is empty.
+#[must_use]
+pub fn average_reports(reports: &[MetricsReport]) -> MetricsReport {
+    assert!(!reports.is_empty(), "cannot average zero reports");
+    let n = reports.len() as f64;
+    let mut out = MetricsReport::default();
+    for r in reports {
+        out.accuracy_pct += r.accuracy_pct;
+        out.false_negative_pct += r.false_negative_pct;
+        out.false_positive_pct += r.false_positive_pct;
+        out.legit_drop_pct += r.legit_drop_pct;
+        out.traffic_reduction_pct += r.traffic_reduction_pct;
+        out.victim_rate_before += r.victim_rate_before;
+        out.victim_rate_after += r.victim_rate_after;
+        out.attack_seen += r.attack_seen;
+        out.attack_dropped += r.attack_dropped;
+        out.legit_seen += r.legit_seen;
+        out.legit_dropped += r.legit_dropped;
+        out.legit_dropped_as_malicious += r.legit_dropped_as_malicious;
+        out.flows.legit_flows += r.flows.legit_flows;
+        out.flows.attack_flows += r.flows.attack_flows;
+        out.flows.legit_condemned += r.flows.legit_condemned;
+        out.flows.attack_condemned += r.flows.attack_condemned;
+        out.flows.legit_cleared += r.flows.legit_cleared;
+        out.flows.attack_cleared += r.flows.attack_cleared;
+    }
+    out.accuracy_pct /= n;
+    out.false_negative_pct /= n;
+    out.false_positive_pct /= n;
+    out.legit_drop_pct /= n;
+    out.traffic_reduction_pct /= n;
+    out.victim_rate_before /= n;
+    out.victim_rate_after /= n;
+    out
+}
+
+/// Runs `spec` once per seed and averages the reports.
+///
+/// # Errors
+///
+/// Propagates the first build/run error.
+pub fn run_averaged(base: &ScenarioSpec, trials: u64) -> Result<MetricsReport, String> {
+    let mut reports = Vec::with_capacity(trials as usize);
+    for t in 0..trials {
+        let spec = ScenarioSpec {
+            seed: base.seed.wrapping_add(t.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..base.clone()
+        };
+        reports.push(run_spec(spec)?.report);
+    }
+    Ok(average_reports(&reports))
+}
+
+/// One point of a sweep: the x value and its averaged report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept x value.
+    pub x: f64,
+    /// The trial-averaged report at this point.
+    pub report: MetricsReport,
+}
+
+/// One swept series: a legend label plus its points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSeries {
+    /// Legend label.
+    pub label: String,
+    /// Points in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepSeries {
+    /// Extracts `(x, metric)` pairs via an accessor.
+    #[must_use]
+    pub fn extract(&self, metric: fn(&MetricsReport) -> f64) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.x, metric(&p.report)))
+            .collect()
+    }
+}
+
+/// Runs a two-dimensional sweep: for each `(series value, x value)` pair
+/// `make_spec` produces the scenario, which is run `trials` times.
+///
+/// # Errors
+///
+/// Propagates the first build/run error.
+pub fn sweep<S: Clone + std::fmt::Debug>(
+    series_values: &[(String, S)],
+    x_values: &[f64],
+    trials: u64,
+    make_spec: impl Fn(&S, f64) -> ScenarioSpec,
+) -> Result<Vec<SweepSeries>, String> {
+    let mut out = Vec::with_capacity(series_values.len());
+    for (label, sv) in series_values {
+        let mut points = Vec::with_capacity(x_values.len());
+        for &x in x_values {
+            let spec = make_spec(sv, x);
+            let report = run_averaged(&spec, trials)?;
+            points.push(SweepPoint { x, report });
+        }
+        out.push(SweepSeries {
+            label: label.clone(),
+            points,
+        });
+    }
+    Ok(out)
+}
+
+/// Builds a [`crate::FigureData`] from sweep output and a metric accessor.
+#[must_use]
+pub fn figure_from_sweep(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    sweeps: &[SweepSeries],
+    metric: fn(&MetricsReport) -> f64,
+) -> crate::FigureData {
+    let mut fig = crate::FigureData::new(id, title, x_label, y_label);
+    for s in sweeps {
+        fig.push_series(s.label.clone(), s.extract(metric));
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averaging_divides_rates_and_sums_counts() {
+        let a = MetricsReport {
+            accuracy_pct: 90.0,
+            attack_seen: 100,
+            ..MetricsReport::default()
+        };
+        let b = MetricsReport {
+            accuracy_pct: 100.0,
+            attack_seen: 50,
+            ..MetricsReport::default()
+        };
+        let avg = average_reports(&[a, b]);
+        assert!((avg.accuracy_pct - 95.0).abs() < 1e-9);
+        assert_eq!(avg.attack_seen, 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average zero reports")]
+    fn empty_average_rejected() {
+        let _ = average_reports(&[]);
+    }
+
+    #[test]
+    fn trial_count_defaults_to_three() {
+        // Only valid when the env var is unset in the test environment.
+        if std::env::var("MAFIC_TRIALS").is_err() {
+            assert_eq!(trial_count(), 3);
+        }
+    }
+
+    #[test]
+    fn sweep_runs_tiny_grid() {
+        let series = vec![("Pd=90%".to_string(), 0.9f64)];
+        let xs = vec![8.0];
+        let sweeps = sweep(&series, &xs, 1, |&pd, x| ScenarioSpec {
+            total_flows: x as usize,
+            n_routers: 5,
+            drop_probability: pd,
+            end: mafic_netsim::SimTime::from_secs_f64(2.5),
+            ..ScenarioSpec::default()
+        })
+        .unwrap();
+        assert_eq!(sweeps.len(), 1);
+        assert_eq!(sweeps[0].points.len(), 1);
+        let fig = figure_from_sweep("T", "t", "x", "y", &sweeps, |r| r.accuracy_pct);
+        assert_eq!(fig.series.len(), 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Victim detection and Attack Transit Router (ATR) identification.
+//!
+//! The pushback pipeline watches the estimated per-router egress
+//! cardinalities `|D_j|`. When a router's egress count exceeds an absolute
+//! floor *and* a multiple of its trailing baseline, the router is flagged
+//! as a DDoS victim. The ingress routers whose estimated contribution
+//! `a_ij` toward the victim exceeds a configurable share are reported as
+//! ATRs — the routers where MAFIC dropping is then activated.
+
+use crate::matrix::{RouterSketchId, TrafficMatrix};
+use std::fmt;
+
+/// Tunables for [`VictimDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Absolute egress-cardinality floor below which no alarm is raised;
+    /// suppresses alarms on quiet domains where sketch noise dominates.
+    pub min_cardinality: f64,
+    /// Alarm when `|D_j|` exceeds `baseline × surge_factor`.
+    pub surge_factor: f64,
+    /// Exponential smoothing weight for the per-router baseline
+    /// (`baseline ← (1−w)·baseline + w·observation`).
+    pub baseline_weight: f64,
+    /// Minimum share of the victim's `|D_j|` an ingress must contribute to
+    /// be named an ATR.
+    pub atr_share: f64,
+    /// Observation rounds that only train the baseline and never alarm.
+    /// Covers the initial ramp (e.g. TCP slow start filling the domain),
+    /// which would otherwise look like a surge against an empty baseline.
+    pub warmup_rounds: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            min_cardinality: 500.0,
+            surge_factor: 2.5,
+            baseline_weight: 0.3,
+            atr_share: 0.02,
+            warmup_rounds: 5,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending field when a
+    /// value is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_cardinality.is_nan() || self.min_cardinality < 0.0 {
+            return Err(format!("min_cardinality must be >= 0, got {}", self.min_cardinality));
+        }
+        if self.surge_factor.is_nan() || self.surge_factor <= 1.0 {
+            return Err(format!("surge_factor must be > 1, got {}", self.surge_factor));
+        }
+        if !(0.0 < self.baseline_weight && self.baseline_weight <= 1.0) {
+            return Err(format!(
+                "baseline_weight must be in (0, 1], got {}",
+                self.baseline_weight
+            ));
+        }
+        if !(0.0 < self.atr_share && self.atr_share < 1.0) {
+            return Err(format!("atr_share must be in (0, 1), got {}", self.atr_share));
+        }
+        Ok(())
+    }
+}
+
+/// Verdict produced by one observation round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VictimVerdict {
+    /// No router is under attack this round.
+    Normal,
+    /// A victim was identified together with its attack-transit ingresses.
+    UnderAttack(AtrReport),
+}
+
+/// The pushback report: who is under attack and which ingresses carry it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtrReport {
+    /// The router whose egress traffic surged.
+    pub victim: RouterSketchId,
+    /// Estimated `|D_victim|` this round.
+    pub egress_cardinality: f64,
+    /// Ingress routers (and their estimated contributions `a_ij`) whose
+    /// share exceeded [`DetectorConfig::atr_share`], descending by volume.
+    pub attack_transit_routers: Vec<(RouterSketchId, f64)>,
+}
+
+impl fmt::Display for AtrReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "victim {} (|D|≈{:.0}) via {} ATRs",
+            self.victim,
+            self.egress_cardinality,
+            self.attack_transit_routers.len()
+        )
+    }
+}
+
+/// Stateful victim detector fed with periodic [`TrafficMatrix`] snapshots.
+///
+/// # Example
+///
+/// ```
+/// use mafic_loglog::{DetectorConfig, VictimDetector, VictimVerdict};
+/// use mafic_loglog::{RouterSketch, TrafficMatrix, Precision};
+///
+/// let mut det = VictimDetector::new(DetectorConfig::default()).unwrap();
+/// // Quiet round: builds the baseline.
+/// let quiet = TrafficMatrix::estimate(&[RouterSketch::new(Precision::P10)]).unwrap();
+/// assert_eq!(det.observe(&quiet), VictimVerdict::Normal);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VictimDetector {
+    config: DetectorConfig,
+    /// Per-router smoothed baseline of `|D_j|`; grown on demand.
+    baselines: Vec<f64>,
+    rounds: u64,
+}
+
+impl VictimDetector {
+    /// Creates a detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message if `config` is out of range.
+    pub fn new(config: DetectorConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(VictimDetector {
+            config,
+            baselines: Vec::new(),
+            rounds: 0,
+        })
+    }
+
+    /// Number of observation rounds consumed.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Feeds one traffic-matrix snapshot; returns the verdict for it.
+    ///
+    /// Baselines update only from non-alarming observations so a sustained
+    /// attack cannot launder itself into the baseline.
+    pub fn observe(&mut self, matrix: &TrafficMatrix) -> VictimVerdict {
+        self.rounds += 1;
+        if self.baselines.len() < matrix.len() {
+            self.baselines.resize(matrix.len(), 0.0);
+        }
+        let mut verdict = VictimVerdict::Normal;
+        for j in 0..matrix.len() {
+            let id = RouterSketchId(j);
+            let observed = matrix.destination_cardinality(id);
+            let baseline = self.baselines[j];
+            let alarming = observed >= self.config.min_cardinality
+                && (baseline == 0.0 || observed > baseline * self.config.surge_factor);
+            if alarming && self.rounds > self.config.warmup_rounds {
+                // Warm-up rounds only train the baseline.
+                let report = self.build_report(matrix, id, observed);
+                // Report the worst victim only (the paper defends a single
+                // last-hop victim at a time).
+                let better = match &verdict {
+                    VictimVerdict::Normal => true,
+                    VictimVerdict::UnderAttack(prev) => observed > prev.egress_cardinality,
+                };
+                if better && !report.attack_transit_routers.is_empty() {
+                    verdict = VictimVerdict::UnderAttack(report);
+                }
+            } else {
+                let w = self.config.baseline_weight;
+                self.baselines[j] = (1.0 - w) * baseline + w * observed;
+            }
+        }
+        verdict
+    }
+
+    fn build_report(
+        &self,
+        matrix: &TrafficMatrix,
+        victim: RouterSketchId,
+        egress_cardinality: f64,
+    ) -> AtrReport {
+        let mut atrs: Vec<(RouterSketchId, f64)> = matrix
+            .contributions_to(victim)
+            .into_iter()
+            .filter(|&(i, a)| i != victim && a >= self.config.atr_share * egress_cardinality)
+            .collect();
+        atrs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite contributions"));
+        AtrReport {
+            victim,
+            egress_cardinality,
+            attack_transit_routers: atrs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loglog::Precision;
+    use crate::setunion::RouterSketch;
+
+    /// Domain with 2 ingresses and 1 egress; `volume` packets per ingress.
+    fn snapshot(v0: u64, v1: u64) -> TrafficMatrix {
+        let mut r0 = RouterSketch::new(Precision::P12);
+        let mut r1 = RouterSketch::new(Precision::P12);
+        let mut r2 = RouterSketch::new(Precision::P12);
+        let mut id = 0u64;
+        for _ in 0..v0 {
+            r0.record_source(id);
+            r2.record_destination(id);
+            id += 1;
+        }
+        for _ in 0..v1 {
+            r1.record_source(id);
+            r2.record_destination(id);
+            id += 1;
+        }
+        TrafficMatrix::estimate(&[r0, r1, r2]).unwrap()
+    }
+
+    #[test]
+    fn quiet_rounds_stay_normal() {
+        let mut det = VictimDetector::new(DetectorConfig::default()).unwrap();
+        for _ in 0..5 {
+            assert_eq!(det.observe(&snapshot(100, 100)), VictimVerdict::Normal);
+        }
+    }
+
+    #[test]
+    fn surge_triggers_alarm_with_atrs() {
+        let mut det = VictimDetector::new(DetectorConfig::default()).unwrap();
+        for _ in 0..6 {
+            det.observe(&snapshot(200, 200));
+        }
+        match det.observe(&snapshot(20_000, 20_000)) {
+            VictimVerdict::UnderAttack(report) => {
+                assert_eq!(report.victim, RouterSketchId(2));
+                assert_eq!(report.attack_transit_routers.len(), 2);
+            }
+            VictimVerdict::Normal => panic!("surge not detected"),
+        }
+    }
+
+    #[test]
+    fn warmup_rounds_never_alarm() {
+        let mut det = VictimDetector::new(DetectorConfig::default()).unwrap();
+        for _ in 0..5 {
+            assert_eq!(
+                det.observe(&snapshot(50_000, 50_000)),
+                VictimVerdict::Normal
+            );
+        }
+    }
+
+    #[test]
+    fn small_contributors_are_not_atrs() {
+        let mut det = VictimDetector::new(DetectorConfig {
+            atr_share: 0.2,
+            ..DetectorConfig::default()
+        })
+        .unwrap();
+        for _ in 0..6 {
+            det.observe(&snapshot(100, 100));
+        }
+        match det.observe(&snapshot(30_000, 1_000)) {
+            VictimVerdict::UnderAttack(report) => {
+                assert_eq!(report.attack_transit_routers.len(), 1);
+                assert_eq!(report.attack_transit_routers[0].0, RouterSketchId(0));
+            }
+            VictimVerdict::Normal => panic!("surge not detected"),
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_values() {
+        assert!(DetectorConfig {
+            surge_factor: 0.5,
+            ..DetectorConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DetectorConfig {
+            baseline_weight: 0.0,
+            ..DetectorConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DetectorConfig {
+            atr_share: 1.5,
+            ..DetectorConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DetectorConfig {
+            min_cardinality: -1.0,
+            ..DetectorConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn baseline_does_not_learn_from_alarms() {
+        let mut det = VictimDetector::new(DetectorConfig::default()).unwrap();
+        for _ in 0..6 {
+            det.observe(&snapshot(200, 200));
+        }
+        // Sustained attack keeps alarming round after round.
+        for _ in 0..4 {
+            match det.observe(&snapshot(20_000, 20_000)) {
+                VictimVerdict::UnderAttack(_) => {}
+                VictimVerdict::Normal => panic!("attack absorbed into baseline"),
+            }
+        }
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let report = AtrReport {
+            victim: RouterSketchId(2),
+            egress_cardinality: 1234.0,
+            attack_transit_routers: vec![(RouterSketchId(0), 1000.0)],
+        };
+        let text = report.to_string();
+        assert!(text.contains("router#2"));
+        assert!(text.contains("1 ATRs"));
+    }
+}

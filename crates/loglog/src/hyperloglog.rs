@@ -1,0 +1,210 @@
+//! HyperLogLog — the harmonic-mean successor to LogLog.
+//!
+//! The MAFIC paper uses plain LogLog (following Durand–Flajolet). We also
+//! implement HyperLogLog so the ablation benchmarks can quantify how much
+//! accuracy the pushback traffic matrix would gain from the stronger
+//! estimator at identical register budgets.
+
+use crate::hash::{mix64, rho};
+use crate::loglog::{Precision, SketchError};
+
+/// A HyperLogLog cardinality sketch.
+///
+/// Register layout and merge semantics are identical to [`crate::LogLog`];
+/// only the estimator differs (harmonic mean instead of geometric mean),
+/// which reduces the standard error from ≈ `1.30/√m` to ≈ `1.04/√m`.
+///
+/// # Example
+///
+/// ```
+/// use mafic_loglog::{HyperLogLog, Precision};
+///
+/// let mut s = HyperLogLog::new(Precision::P10);
+/// for i in 0u64..30_000 {
+///     s.insert_u64(i);
+/// }
+/// assert!((s.estimate() - 30_000.0).abs() / 30_000.0 < 0.15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HyperLogLog {
+    precision: Precision,
+    registers: Vec<u8>,
+    inserts: u64,
+}
+
+impl HyperLogLog {
+    /// Creates an empty sketch with the given precision.
+    #[must_use]
+    pub fn new(precision: Precision) -> Self {
+        HyperLogLog {
+            precision,
+            registers: vec![0; precision.registers()],
+            inserts: 0,
+        }
+    }
+
+    /// The sketch precision.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Returns `true` if no item has ever been inserted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inserts == 0
+    }
+
+    /// Inserts an already well-mixed 64-bit hash value.
+    pub fn insert_hash(&mut self, hash: u64) {
+        let k = self.precision.bits();
+        let bucket = (hash >> (64 - k)) as usize;
+        let suffix_bits = 64 - k;
+        let rank = rho(hash & ((1u64 << suffix_bits) - 1), suffix_bits);
+        if rank > self.registers[bucket] {
+            self.registers[bucket] = rank;
+        }
+        self.inserts += 1;
+    }
+
+    /// Mixes and inserts a 64-bit item.
+    pub fn insert_u64(&mut self, item: u64) {
+        self.insert_hash(mix64(item));
+    }
+
+    /// The HyperLogLog bias constant `α_m`.
+    fn alpha(&self) -> f64 {
+        let m = self.precision.registers() as f64;
+        match self.precision.registers() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        }
+    }
+
+    /// Estimates the number of distinct items inserted.
+    ///
+    /// Uses linear counting in the small-cardinality regime, as in the
+    /// original HyperLogLog paper.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        if self.inserts == 0 {
+            return 0.0;
+        }
+        let m = self.precision.registers() as f64;
+        let raw: f64 = self.alpha() * m * m
+            / self
+                .registers
+                .iter()
+                .map(|&r| 2f64.powi(-i32::from(r)))
+                .sum::<f64>();
+        if raw <= 2.5 * m {
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// Max-merges `other` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError`] if the precisions differ.
+    pub fn merge_from(&mut self, other: &HyperLogLog) -> Result<(), SketchError> {
+        if self.precision != other.precision {
+            // Route through LogLog's constructor for a uniform error type.
+            let l = crate::LogLog::new(self.precision);
+            let r = crate::LogLog::new(other.precision);
+            return l.merged(&r).map(|_| ());
+        }
+        for (dst, &src) in self.registers.iter_mut().zip(other.registers.iter()) {
+            if src > *dst {
+                *dst = src;
+            }
+        }
+        self.inserts += other.inserts;
+        Ok(())
+    }
+
+    /// Resets all registers.
+    pub fn clear(&mut self) {
+        self.registers.fill(0);
+        self.inserts = 0;
+    }
+}
+
+impl Default for HyperLogLog {
+    fn default() -> Self {
+        HyperLogLog::new(Precision::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_zero() {
+        assert_eq!(HyperLogLog::new(Precision::P8).estimate(), 0.0);
+    }
+
+    #[test]
+    fn estimate_accuracy() {
+        for &n in &[500u64, 5_000, 50_000] {
+            let mut s = HyperLogLog::new(Precision::P10);
+            for i in 0..n {
+                s.insert_u64(i);
+            }
+            let rel = (s.estimate() - n as f64).abs() / n as f64;
+            assert!(rel < 0.15, "n={n} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn hll_beats_loglog_on_average() {
+        // Not a strict guarantee per-seed, but across several cardinalities
+        // the aggregate error of HLL should not exceed LogLog's.
+        let mut hll_err = 0.0;
+        let mut ll_err = 0.0;
+        for &n in &[2_000u64, 8_000, 32_000, 128_000] {
+            let mut h = HyperLogLog::new(Precision::P8);
+            let mut l = crate::LogLog::new(Precision::P8);
+            for i in 0..n {
+                h.insert_u64(i);
+                l.insert_u64(i);
+            }
+            hll_err += (h.estimate() - n as f64).abs() / n as f64;
+            ll_err += (l.estimate() - n as f64).abs() / n as f64;
+        }
+        assert!(
+            hll_err <= ll_err * 1.5,
+            "hll_err={hll_err} ll_err={ll_err}"
+        );
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = HyperLogLog::new(Precision::P10);
+        let mut b = HyperLogLog::new(Precision::P10);
+        for i in 0u64..10_000 {
+            a.insert_u64(i);
+        }
+        for i in 5_000u64..20_000 {
+            b.insert_u64(i);
+        }
+        a.merge_from(&b).unwrap();
+        let rel = (a.estimate() - 20_000.0).abs() / 20_000.0;
+        assert!(rel < 0.15, "rel={rel}");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = HyperLogLog::default();
+        s.insert_u64(1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

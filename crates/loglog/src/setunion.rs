@@ -1,0 +1,176 @@
+//! Per-router sketch pairs for the set-union counting pushback technique.
+//!
+//! Every router `R_i` in the protected domain keeps two sketches:
+//!
+//! * `S_i` — distinct packets that *enter* the domain through `R_i`
+//!   (the router is the packet's ingress), and
+//! * `D_i` — distinct packets that *leave* the domain through `R_i`
+//!   (the router is the packet's egress / last hop).
+//!
+//! Each packet is identified by a domain-unique 64-bit id (in the MAFIC
+//! simulator the packet id; in a deployment an invariant header digest).
+//! The traffic-matrix entry `a_ij` then follows from inclusion–exclusion
+//! over max-merged sketches — see [`crate::matrix::TrafficMatrix`].
+
+use crate::loglog::{LogLog, Precision, SketchError};
+
+/// The `(S_i, D_i)` sketch pair a single router maintains.
+///
+/// # Example
+///
+/// ```
+/// use mafic_loglog::{RouterSketch, Precision};
+///
+/// let mut ingress = RouterSketch::new(Precision::P10);
+/// let mut egress = RouterSketch::new(Precision::P10);
+/// for packet_id in 0u64..5_000 {
+///     ingress.record_source(packet_id);
+///     egress.record_destination(packet_id);
+/// }
+/// let a = ingress.flow_estimate(&egress).unwrap();
+/// assert!((a - 5_000.0).abs() / 5_000.0 < 0.3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RouterSketch {
+    source: LogLog,
+    destination: LogLog,
+}
+
+impl RouterSketch {
+    /// Creates an empty sketch pair at the given precision.
+    #[must_use]
+    pub fn new(precision: Precision) -> Self {
+        RouterSketch {
+            source: LogLog::new(precision),
+            destination: LogLog::new(precision),
+        }
+    }
+
+    /// Records a packet injected into the domain at this router (`S_i`).
+    pub fn record_source(&mut self, packet_id: u64) {
+        self.source.insert_u64(packet_id);
+    }
+
+    /// Records a packet leaving the domain at this router (`D_i`).
+    pub fn record_destination(&mut self, packet_id: u64) {
+        self.destination.insert_u64(packet_id);
+    }
+
+    /// Estimated `|S_i|` — distinct packets injected here.
+    #[must_use]
+    pub fn source_cardinality(&self) -> f64 {
+        self.source.estimate()
+    }
+
+    /// Estimated `|D_i|` — distinct packets delivered here.
+    #[must_use]
+    pub fn destination_cardinality(&self) -> f64 {
+        self.destination.estimate()
+    }
+
+    /// The raw source sketch (for the distributed max-merge protocol).
+    #[must_use]
+    pub fn source_sketch(&self) -> &LogLog {
+        &self.source
+    }
+
+    /// The raw destination sketch.
+    #[must_use]
+    pub fn destination_sketch(&self) -> &LogLog {
+        &self.destination
+    }
+
+    /// Estimates `a_ij = |S_i ∩ D_j|`: the number of distinct packets that
+    /// entered at `self` and left at `egress`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError`] on precision mismatch.
+    pub fn flow_estimate(&self, egress: &RouterSketch) -> Result<f64, SketchError> {
+        self.source.intersection_estimate(&egress.destination)
+    }
+
+    /// Clears both sketches (pushback epoch rollover).
+    pub fn clear(&mut self) {
+        self.source.clear();
+        self.destination.clear();
+    }
+
+    /// True if neither sketch has seen a packet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.source.is_empty() && self.destination.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let s = RouterSketch::new(Precision::P8);
+        assert!(s.is_empty());
+        assert_eq!(s.source_cardinality(), 0.0);
+        assert_eq!(s.destination_cardinality(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_routers_have_near_zero_flow() {
+        let mut i = RouterSketch::new(Precision::P12);
+        let mut e = RouterSketch::new(Precision::P12);
+        for id in 0u64..20_000 {
+            i.record_source(id);
+        }
+        for id in 100_000u64..120_000 {
+            e.record_destination(id);
+        }
+        let a = i.flow_estimate(&e).unwrap();
+        // Truth is 0; sketch noise scales with |union| ≈ 40k at ~2% error.
+        assert!(a < 4_000.0, "flow estimate {a} for disjoint sets");
+    }
+
+    #[test]
+    fn full_overlap_flow_estimate() {
+        let mut i = RouterSketch::new(Precision::P12);
+        let mut e = RouterSketch::new(Precision::P12);
+        for id in 0u64..30_000 {
+            i.record_source(id);
+            e.record_destination(id);
+        }
+        let a = i.flow_estimate(&e).unwrap();
+        assert!((a - 30_000.0).abs() / 30_000.0 < 0.3, "flow {a}");
+    }
+
+    #[test]
+    fn partial_overlap_is_monotone_in_truth() {
+        // More true overlap should give a larger estimate, comparing
+        // 25% overlap against 75% overlap at the same sizes.
+        let build = |overlap: u64| {
+            let mut i = RouterSketch::new(Precision::P12);
+            let mut e = RouterSketch::new(Precision::P12);
+            for id in 0u64..20_000 {
+                i.record_source(id);
+            }
+            for id in (20_000 - overlap)..(40_000 - overlap) {
+                e.record_destination(id);
+            }
+            i.flow_estimate(&e).unwrap()
+        };
+        let small = build(5_000);
+        let large = build(15_000);
+        assert!(
+            large > small,
+            "estimates not monotone: 15k-overlap={large} 5k-overlap={small}"
+        );
+    }
+
+    #[test]
+    fn clear_empties_both() {
+        let mut s = RouterSketch::new(Precision::P8);
+        s.record_source(1);
+        s.record_destination(2);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

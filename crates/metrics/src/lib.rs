@@ -1,0 +1,33 @@
+//! # mafic-metrics
+//!
+//! Turns the raw per-flow accounting of a `mafic-netsim` run into the
+//! five metrics the MAFIC paper evaluates:
+//!
+//! | Symbol | Meaning | Figure |
+//! |--------|---------|--------|
+//! | α      | attack-packet dropping accuracy | Fig. 3 |
+//! | β      | traffic reduction rate at the victim | Fig. 4a |
+//! | θp     | false positive rate | Fig. 5 |
+//! | θn     | false negative rate | Fig. 6 |
+//! | Lr     | legitimate-packet dropping rate | Fig. 7 |
+//!
+//! plus the victim-side bandwidth time series of Fig. 4b.
+//!
+//! # Example
+//!
+//! ```
+//! use mafic_metrics::{MeasureWindows, MetricsReport};
+//! use mafic_netsim::StatsCollector;
+//!
+//! let report = MetricsReport::from_stats(&StatsCollector::new(), &MeasureWindows::default());
+//! assert_eq!(report.attack_seen, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod series;
+
+pub use report::{FlowTally, MeasureWindows, MetricsReport};
+pub use series::{downsample, victim_arrival_series, victim_bandwidth_series, BandwidthPoint};

@@ -1,0 +1,211 @@
+//! Traffic agents — the end-host endpoints attached to nodes.
+//!
+//! Agents are event-driven: the simulator calls [`Agent::on_start`] once,
+//! [`Agent::on_packet`] for every packet delivered to a local address, and
+//! [`Agent::on_timer`] for each timer the agent scheduled. Effects are
+//! buffered through [`AgentCtx`] (same command-buffer pattern as the
+//! filters), which keeps agent implementations free of simulator borrows.
+
+use crate::ids::{AgentId, NodeId};
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use std::any::Any;
+
+/// Commands an agent queues for the simulator.
+#[derive(Debug)]
+pub(crate) enum AgentCommand {
+    SendPacket(Packet),
+    ScheduleTimer { delay: SimDuration, token: u64 },
+}
+
+/// Execution context for agent callbacks.
+#[derive(Debug)]
+pub struct AgentCtx<'a> {
+    now: SimTime,
+    agent: AgentId,
+    node: NodeId,
+    next_packet_id: &'a mut u64,
+    commands: &'a mut Vec<AgentCommand>,
+}
+
+impl<'a> AgentCtx<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        agent: AgentId,
+        node: NodeId,
+        next_packet_id: &'a mut u64,
+        commands: &'a mut Vec<AgentCommand>,
+    ) -> Self {
+        AgentCtx {
+            now,
+            agent,
+            node,
+            next_packet_id,
+            commands,
+        }
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This agent's id.
+    #[must_use]
+    pub fn agent_id(&self) -> AgentId {
+        self.agent
+    }
+
+    /// The node the agent is attached to.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Allocates a fresh domain-unique packet id.
+    pub fn fresh_packet_id(&mut self) -> u64 {
+        let id = *self.next_packet_id;
+        *self.next_packet_id += 1;
+        id
+    }
+
+    /// Sends a packet into the network from the agent's node.
+    ///
+    /// The packet enters the node's normal forwarding path (it will be
+    /// routed toward `packet.key.dst`); it does not traverse the node's own
+    /// filter chain, matching a host stack injecting onto its access link.
+    pub fn send_packet(&mut self, packet: Packet) {
+        self.commands.push(AgentCommand::SendPacket(packet));
+    }
+
+    /// Schedules `on_timer(token)` after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, token: u64) {
+        self.commands
+            .push(AgentCommand::ScheduleTimer { delay, token });
+    }
+}
+
+/// An end-host traffic endpoint (TCP sender, sink, CBR zombie, …).
+pub trait Agent {
+    /// Called once at the agent's configured start time.
+    fn on_start(&mut self, ctx: &mut AgentCtx<'_>);
+
+    /// Called when a packet is delivered to an address bound to this agent.
+    fn on_packet(&mut self, packet: Packet, ctx: &mut AgentCtx<'_>);
+
+    /// Called when a timer scheduled via [`AgentCtx::schedule_in`] fires.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut AgentCtx<'_>) {}
+
+    /// Downcast support for harness inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// An agent that counts deliveries and otherwise does nothing.
+///
+/// Useful as a traffic sink in tests and as the victim's blackhole
+/// endpoint when only arrival accounting matters.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    delivered: u64,
+    delivered_bytes: u64,
+    last_delivery: Option<SimTime>,
+}
+
+impl CountingSink {
+    /// Creates a sink with zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Packets delivered so far.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Bytes delivered so far.
+    #[must_use]
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Time of the most recent delivery.
+    #[must_use]
+    pub fn last_delivery(&self) -> Option<SimTime> {
+        self.last_delivery
+    }
+}
+
+impl Agent for CountingSink {
+    fn on_start(&mut self, _ctx: &mut AgentCtx<'_>) {}
+
+    fn on_packet(&mut self, packet: Packet, ctx: &mut AgentCtx<'_>) {
+        self.delivered += 1;
+        self.delivered_bytes += u64::from(packet.size_bytes);
+        self.last_delivery = Some(ctx.now());
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Addr;
+    use crate::packet::{FlowKey, PacketKind, Provenance};
+
+    fn pkt(size: u32) -> Packet {
+        Packet {
+            id: 1,
+            key: FlowKey::new(Addr::new(1), Addr::new(2), 1, 2),
+            kind: PacketKind::Udp,
+            size_bytes: size,
+            created_at: SimTime::ZERO,
+            provenance: Provenance {
+                origin: AgentId(0),
+                is_attack: false,
+            },
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn ctx_allocates_monotonic_ids_and_buffers() {
+        let mut next = 5u64;
+        let mut cmds = Vec::new();
+        let mut ctx = AgentCtx::new(SimTime::ZERO, AgentId(1), NodeId(2), &mut next, &mut cmds);
+        assert_eq!(ctx.agent_id(), AgentId(1));
+        assert_eq!(ctx.node(), NodeId(2));
+        assert_eq!(ctx.fresh_packet_id(), 5);
+        ctx.send_packet(pkt(10));
+        ctx.schedule_in(SimDuration::from_millis(3), 9);
+        assert_eq!(cmds.len(), 2);
+        assert!(matches!(cmds[0], AgentCommand::SendPacket(_)));
+        assert!(matches!(cmds[1], AgentCommand::ScheduleTimer { token: 9, .. }));
+    }
+
+    #[test]
+    fn counting_sink_accumulates() {
+        let mut s = CountingSink::new();
+        let mut next = 0u64;
+        let mut cmds = Vec::new();
+        let t = SimTime::from_secs_f64(1.0);
+        let mut ctx = AgentCtx::new(t, AgentId(0), NodeId(0), &mut next, &mut cmds);
+        s.on_packet(pkt(100), &mut ctx);
+        s.on_packet(pkt(200), &mut ctx);
+        assert_eq!(s.delivered(), 2);
+        assert_eq!(s.delivered_bytes(), 300);
+        assert_eq!(s.last_delivery(), Some(t));
+    }
+}

@@ -1,0 +1,67 @@
+//! # mafic-netsim
+//!
+//! A deterministic discrete-event network simulator — the substrate the
+//! MAFIC reproduction runs on, standing in for NS-2.
+//!
+//! The simulator models:
+//!
+//! * **Nodes** (routers and hosts) with exact-match host routes plus a
+//!   default route,
+//! * **Simplex links** with bandwidth (serialization delay), propagation
+//!   delay, and bounded drop-tail queues,
+//! * **Agents** — end-host endpoints (TCP senders, sinks, attack zombies
+//!   live in `mafic-transport`) driven by packet deliveries and timers,
+//! * **Packet filters** — router-resident hooks (the MAFIC dropper, the
+//!   LogLog traffic taps) that can drop, emit probes, and keep timers,
+//! * a **control plane** for pushback start/stop messages, and
+//! * a global [`StatsCollector`] with per-flow ground-truth accounting.
+//!
+//! Everything is single-threaded and deterministic: the event queue breaks
+//! timestamp ties by insertion order, and no component consults ambient
+//! randomness (agents own seeded RNGs supplied by the workload layer).
+//!
+//! # Example
+//!
+//! ```
+//! use mafic_netsim::*;
+//!
+//! let mut sim = Simulator::new(42);
+//! let router = sim.add_node("router");
+//! let host = sim.add_node("host");
+//! let (to_host, _back) = sim.add_duplex_link(router, host, LinkSpec::default());
+//! let addr = Addr::from_octets(10, 0, 0, 1);
+//! sim.add_route(router, addr, to_host);
+//! let sink = sim.add_agent(host, Box::new(CountingSink::new()), SimTime::ZERO);
+//! sim.bind_local_addr(host, addr, sink);
+//! let key = FlowKey::new(Addr::from_octets(10, 0, 9, 9), addr, 1000, 80);
+//! sim.inject_packet(router, key, PacketKind::Udp, 500, false, SimTime::ZERO);
+//! sim.run_until(SimTime::from_secs_f64(0.1));
+//! assert_eq!(sim.stats().flow(&key).unwrap().delivered, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod event;
+pub mod filter;
+pub mod ids;
+pub mod link;
+pub mod node;
+pub mod packet;
+pub mod sim;
+pub mod stats;
+pub mod testkit;
+pub mod time;
+pub mod trace;
+
+pub use agent::{Agent, AgentCtx, CountingSink};
+pub use event::ControlMsg;
+pub use filter::{FilterAction, FilterCtx, PacketEnv, PacketFilter, PassthroughFilter, StatNote};
+pub use ids::{Addr, AgentId, LinkId, NodeId};
+pub use link::LinkSpec;
+pub use packet::{DropReason, FlowKey, Packet, PacketKind, Provenance};
+pub use sim::{RunSummary, Simulator};
+pub use stats::{FlowRecord, StatsCollector, VictimBin};
+pub use trace::{TraceBuffer, TraceEvent};
+pub use time::{SimDuration, SimTime};

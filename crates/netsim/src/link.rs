@@ -1,0 +1,236 @@
+//! Simplex links with serialization delay, propagation delay, and a
+//! drop-tail queue.
+//!
+//! A link transmits one packet at a time at `bandwidth_bps`; packets that
+//! arrive while the transmitter is busy wait in a bounded FIFO queue and
+//! are dropped (drop-tail) when the queue is full — the same model NS-2's
+//! `SimplexLink` + `DropTail` queue combination provides.
+
+use crate::ids::NodeId;
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Static parameters of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Transmission rate in bits per second.
+    pub bandwidth_bps: f64,
+    /// Propagation delay.
+    pub delay: SimDuration,
+    /// Maximum number of queued packets (excluding the one on the wire).
+    pub queue_capacity: usize,
+}
+
+impl LinkSpec {
+    /// A convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(bandwidth_bps: f64, delay: SimDuration, queue_capacity: usize) -> Self {
+        assert!(
+            bandwidth_bps.is_finite() && bandwidth_bps > 0.0,
+            "bandwidth must be positive, got {bandwidth_bps}"
+        );
+        LinkSpec {
+            bandwidth_bps,
+            delay,
+            queue_capacity,
+        }
+    }
+
+    /// Time to serialize `size_bytes` onto the wire.
+    #[must_use]
+    pub fn tx_time(&self, size_bytes: u32) -> SimDuration {
+        SimDuration::from_secs_f64(f64::from(size_bytes) * 8.0 / self.bandwidth_bps)
+    }
+}
+
+impl Default for LinkSpec {
+    /// 10 Mbit/s, 10 ms delay, 64-packet queue.
+    fn default() -> Self {
+        LinkSpec::new(10e6, SimDuration::from_millis(10), 64)
+    }
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum EnqueueOutcome {
+    /// Transmitter was idle; serialization starts now and finishes at the
+    /// contained instant (schedule `LinkTxDone` then).
+    StartTx(SimTime),
+    /// Packet queued behind the current transmission.
+    Queued,
+    /// Queue full — packet dropped (drop-tail).
+    Dropped(Packet),
+}
+
+/// Runtime state of a simplex link.
+#[derive(Debug)]
+pub(crate) struct Link {
+    pub(crate) from: NodeId,
+    pub(crate) to: NodeId,
+    pub(crate) spec: LinkSpec,
+    queue: VecDeque<Packet>,
+    in_flight: Option<Packet>,
+    /// Counters for observability.
+    pub(crate) enqueued: u64,
+    pub(crate) dropped_queue_full: u64,
+}
+
+impl Link {
+    pub(crate) fn new(from: NodeId, to: NodeId, spec: LinkSpec) -> Self {
+        Link {
+            from,
+            to,
+            spec,
+            queue: VecDeque::new(),
+            in_flight: None,
+            enqueued: 0,
+            dropped_queue_full: 0,
+        }
+    }
+
+    /// Offers a packet to the link at time `now`.
+    pub(crate) fn enqueue(&mut self, packet: Packet, now: SimTime) -> EnqueueOutcome {
+        if self.in_flight.is_none() {
+            let done = now + self.spec.tx_time(packet.size_bytes);
+            self.in_flight = Some(packet);
+            self.enqueued += 1;
+            EnqueueOutcome::StartTx(done)
+        } else if self.queue.len() < self.spec.queue_capacity {
+            self.queue.push_back(packet);
+            self.enqueued += 1;
+            EnqueueOutcome::Queued
+        } else {
+            self.dropped_queue_full += 1;
+            EnqueueOutcome::Dropped(packet)
+        }
+    }
+
+    /// Completes the current transmission. Returns the packet that just
+    /// left the wire and, if another packet was waiting, the completion
+    /// time of its transmission (schedule the next `LinkTxDone` then).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transmission was in progress — that indicates a
+    /// scheduler bug, not a recoverable condition.
+    pub(crate) fn tx_done(&mut self, now: SimTime) -> (Packet, Option<SimTime>) {
+        let sent = self
+            .in_flight
+            .take()
+            .expect("LinkTxDone fired with no transmission in progress");
+        let next_done = self.queue.pop_front().map(|next| {
+            let done = now + self.spec.tx_time(next.size_bytes);
+            self.in_flight = Some(next);
+            done
+        });
+        (sent, next_done)
+    }
+
+    /// Current queue occupancy (excluding the packet on the wire).
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if a packet is currently being serialized.
+    pub(crate) fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AgentId, Addr};
+    use crate::packet::{FlowKey, PacketKind, Provenance};
+
+    fn pkt(id: u64, size: u32) -> Packet {
+        Packet {
+            id,
+            key: FlowKey::new(Addr::new(1), Addr::new(2), 1, 2),
+            kind: PacketKind::Udp,
+            size_bytes: size,
+            created_at: SimTime::ZERO,
+            provenance: Provenance {
+                origin: AgentId(0),
+                is_attack: false,
+            },
+            hops: 0,
+        }
+    }
+
+    fn link(cap: usize) -> Link {
+        Link::new(
+            NodeId(0),
+            NodeId(1),
+            LinkSpec::new(8e6, SimDuration::from_millis(5), cap),
+        )
+    }
+
+    #[test]
+    fn tx_time_matches_bandwidth() {
+        let spec = LinkSpec::new(8e6, SimDuration::ZERO, 1);
+        // 1000 bytes at 8 Mbit/s = 1 ms.
+        assert_eq!(spec.tx_time(1000), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn idle_link_starts_transmission() {
+        let mut l = link(4);
+        match l.enqueue(pkt(1, 1000), SimTime::ZERO) {
+            EnqueueOutcome::StartTx(done) => {
+                assert_eq!(done, SimTime::ZERO + SimDuration::from_millis(1));
+            }
+            other => panic!("expected StartTx, got {other:?}"),
+        }
+        assert!(l.is_busy());
+    }
+
+    #[test]
+    fn busy_link_queues_then_drops() {
+        let mut l = link(2);
+        let _ = l.enqueue(pkt(1, 1000), SimTime::ZERO);
+        assert_eq!(l.enqueue(pkt(2, 1000), SimTime::ZERO), EnqueueOutcome::Queued);
+        assert_eq!(l.enqueue(pkt(3, 1000), SimTime::ZERO), EnqueueOutcome::Queued);
+        match l.enqueue(pkt(4, 1000), SimTime::ZERO) {
+            EnqueueOutcome::Dropped(p) => assert_eq!(p.id, 4),
+            other => panic!("expected Dropped, got {other:?}"),
+        }
+        assert_eq!(l.queue_len(), 2);
+        assert_eq!(l.dropped_queue_full, 1);
+        assert_eq!(l.enqueued, 3);
+    }
+
+    #[test]
+    fn tx_done_chains_queued_packets() {
+        let mut l = link(2);
+        let _ = l.enqueue(pkt(1, 1000), SimTime::ZERO);
+        let _ = l.enqueue(pkt(2, 2000), SimTime::ZERO);
+        let now = SimTime::ZERO + SimDuration::from_millis(1);
+        let (sent, next) = l.tx_done(now);
+        assert_eq!(sent.id, 1);
+        // Next packet is 2000 bytes => 2 ms on an 8 Mbit/s link.
+        assert_eq!(next, Some(now + SimDuration::from_millis(2)));
+        let (sent2, next2) = l.tx_done(now + SimDuration::from_millis(2));
+        assert_eq!(sent2.id, 2);
+        assert_eq!(next2, None);
+        assert!(!l.is_busy());
+    }
+
+    #[test]
+    #[should_panic(expected = "no transmission in progress")]
+    fn tx_done_without_tx_is_a_bug() {
+        let mut l = link(1);
+        let _ = l.tx_done(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = LinkSpec::new(0.0, SimDuration::ZERO, 1);
+    }
+}

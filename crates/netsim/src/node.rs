@@ -1,0 +1,118 @@
+//! Nodes: routers and hosts.
+//!
+//! A node owns a routing table (exact-match host routes plus an optional
+//! default route), a set of locally attached addresses (delivered up to
+//! agents), and an ordered chain of packet filters — the hook the MAFIC
+//! dropper and the LogLog taps attach to, mirroring the NS-2 `Connector`
+//! objects the paper inserts at link heads.
+
+use crate::filter::PacketFilter;
+use crate::ids::{AgentId, Addr, LinkId, NodeId};
+use std::collections::HashMap;
+
+/// A router or host in the simulated domain.
+pub(crate) struct Node {
+    pub(crate) id: NodeId,
+    pub(crate) name: String,
+    routes: HashMap<Addr, LinkId>,
+    default_route: Option<LinkId>,
+    local: HashMap<Addr, AgentId>,
+    pub(crate) filters: Vec<Box<dyn PacketFilter>>,
+}
+
+impl Node {
+    pub(crate) fn new(id: NodeId, name: String) -> Self {
+        Node {
+            id,
+            name,
+            routes: HashMap::new(),
+            default_route: None,
+            local: HashMap::new(),
+            filters: Vec::new(),
+        }
+    }
+
+    /// Installs or replaces a host route.
+    pub(crate) fn add_route(&mut self, dst: Addr, via: LinkId) {
+        self.routes.insert(dst, via);
+    }
+
+    /// Sets the default route used when no host route matches.
+    pub(crate) fn set_default_route(&mut self, via: Option<LinkId>) {
+        self.default_route = via;
+    }
+
+    /// Next-hop link for `dst`, if any.
+    pub(crate) fn route_for(&self, dst: Addr) -> Option<LinkId> {
+        self.routes.get(&dst).copied().or(self.default_route)
+    }
+
+    /// Binds a local address to an agent (delivery up the stack).
+    pub(crate) fn bind_local(&mut self, addr: Addr, agent: AgentId) {
+        self.local.insert(addr, agent);
+    }
+
+    /// The agent bound to `addr` on this node, if any.
+    pub(crate) fn local_agent(&self, addr: Addr) -> Option<AgentId> {
+        self.local.get(&addr).copied()
+    }
+
+    /// True if `addr` is attached to this node.
+    pub(crate) fn is_local(&self, addr: Addr) -> bool {
+        self.local.contains_key(&addr)
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("routes", &self.routes.len())
+            .field("default_route", &self.default_route)
+            .field("local", &self.local.len())
+            .field("filters", &self.filters.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_prefers_host_routes_over_default() {
+        let mut n = Node::new(NodeId(0), "r0".into());
+        let a = Addr::from_octets(10, 0, 0, 1);
+        n.set_default_route(Some(LinkId(9)));
+        n.add_route(a, LinkId(3));
+        assert_eq!(n.route_for(a), Some(LinkId(3)));
+        assert_eq!(n.route_for(Addr::from_octets(10, 0, 0, 2)), Some(LinkId(9)));
+    }
+
+    #[test]
+    fn no_route_without_default() {
+        let n = Node::new(NodeId(0), "r0".into());
+        assert_eq!(n.route_for(Addr::new(5)), None);
+    }
+
+    #[test]
+    fn local_binding() {
+        let mut n = Node::new(NodeId(0), "h0".into());
+        let a = Addr::from_octets(10, 0, 0, 1);
+        assert!(!n.is_local(a));
+        n.bind_local(a, AgentId(7));
+        assert!(n.is_local(a));
+        assert_eq!(n.local_agent(a), Some(AgentId(7)));
+        assert_eq!(n.local_agent(Addr::new(1)), None);
+    }
+
+    #[test]
+    fn debug_shows_counts() {
+        let mut n = Node::new(NodeId(1), "r1".into());
+        n.add_route(Addr::new(1), LinkId(0));
+        let text = format!("{n:?}");
+        assert!(text.contains("r1"));
+        assert!(text.contains("routes: 1"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Packets, flow keys, and drop accounting.
+//!
+//! The flow label follows the paper: the 4-tuple
+//! `{source IP, destination IP, source port, destination port}` identifies
+//! a flow even when the source address is spoofed — spoofed packets with
+//! the same claimed tuple form one flow, which is exactly the granularity
+//! MAFIC's tables operate on.
+//!
+//! Every packet additionally carries [`Provenance`] — the *ground truth*
+//! about who really sent it and whether it belongs to an attack. Only the
+//! metrics layer may read provenance; the algorithm under test never does.
+
+use crate::ids::{AgentId, Addr};
+use crate::time::SimTime;
+use std::fmt;
+
+/// The 4-tuple flow label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Claimed source address (possibly spoofed).
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Claimed source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl FlowKey {
+    /// Creates a flow key.
+    #[must_use]
+    pub fn new(src: Addr, dst: Addr, src_port: u16, dst_port: u16) -> Self {
+        FlowKey {
+            src,
+            dst,
+            src_port,
+            dst_port,
+        }
+    }
+
+    /// The key of the reverse direction (ACK path).
+    #[must_use]
+    pub fn reversed(self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+        }
+    }
+
+    /// Packs the tuple into a 96-bit-equivalent pair for hashing.
+    #[must_use]
+    pub fn as_words(self) -> (u64, u64) {
+        (
+            (u64::from(self.src.as_u32()) << 32) | u64::from(self.dst.as_u32()),
+            (u64::from(self.src_port) << 16) | u64::from(self.dst_port),
+        )
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}->{}:{}",
+            self.src, self.src_port, self.dst, self.dst_port
+        )
+    }
+}
+
+/// Transport-level content of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A TCP data segment.
+    TcpData {
+        /// Sequence number (in packets, not bytes — the simulator sends
+        /// fixed-size segments).
+        seq: u64,
+        /// Sender timestamp option (TSval).
+        ts: SimTime,
+        /// Echoed peer timestamp (TSecr); `SimTime::ZERO` when none.
+        ts_echo: SimTime,
+    },
+    /// A cumulative TCP acknowledgement.
+    TcpAck {
+        /// Next expected sequence number.
+        ack: u64,
+        /// Sender timestamp option.
+        ts: SimTime,
+        /// Echoed peer timestamp.
+        ts_echo: SimTime,
+    },
+    /// A UDP datagram (no feedback loop).
+    Udp,
+    /// A MAFIC probe: a burst of duplicated ACKs addressed to the claimed
+    /// flow source. `count` is the number of duplicate ACKs the burst
+    /// represents (≥ 3 triggers fast retransmit in a compliant sender).
+    ProbeDupAck {
+        /// Number of duplicate ACKs in the burst.
+        count: u8,
+    },
+}
+
+impl PacketKind {
+    /// True for TCP data or ACK segments (used for the Γ share metrics).
+    #[must_use]
+    pub fn is_tcp(self) -> bool {
+        matches!(self, PacketKind::TcpData { .. } | PacketKind::TcpAck { .. })
+    }
+
+    /// True for TCP data segments.
+    #[must_use]
+    pub fn is_tcp_data(self) -> bool {
+        matches!(self, PacketKind::TcpData { .. })
+    }
+
+    /// True for probe packets.
+    #[must_use]
+    pub fn is_probe(self) -> bool {
+        matches!(self, PacketKind::ProbeDupAck { .. })
+    }
+}
+
+/// Ground truth about the real origin of a packet.
+///
+/// Carried for measurement only: drop decisions must never consult it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Provenance {
+    /// The agent that truly generated the packet.
+    pub origin: AgentId,
+    /// True if the packet belongs to an attack flow.
+    pub is_attack: bool,
+}
+
+impl Provenance {
+    /// Provenance for infrastructure-generated packets (probes, control).
+    #[must_use]
+    pub fn infrastructure() -> Self {
+        Provenance {
+            origin: AgentId(u32::MAX),
+            is_attack: false,
+        }
+    }
+}
+
+/// A simulated packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Domain-unique packet identifier (used by the LogLog sketches).
+    pub id: u64,
+    /// The flow 4-tuple.
+    pub key: FlowKey,
+    /// Transport payload description.
+    pub kind: PacketKind,
+    /// On-wire size in bytes (headers included).
+    pub size_bytes: u32,
+    /// Instant the packet was created by its sender.
+    pub created_at: SimTime,
+    /// Ground truth (metrics only).
+    pub provenance: Provenance,
+    /// Hops traversed so far; packets exceeding [`Packet::MAX_HOPS`] are
+    /// dropped to keep misconfigured routing from looping forever.
+    pub hops: u8,
+}
+
+impl Packet {
+    /// Hop limit after which a packet is discarded.
+    pub const MAX_HOPS: u8 = 64;
+
+    /// True if this packet has exceeded its hop budget.
+    #[must_use]
+    pub fn hop_limit_exceeded(&self) -> bool {
+        self.hops >= Self::MAX_HOPS
+    }
+}
+
+/// Why a packet was dropped — the accounting backbone of every metric in
+/// the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Drop-tail queue overflow on a link.
+    QueueFull,
+    /// No route toward the destination.
+    NoRoute,
+    /// Hop limit exceeded (routing loop guard).
+    HopLimit,
+    /// Random drop during MAFIC's probing phase (flow in SFT).
+    FilterProbing,
+    /// Drop because the flow is in the Permanently Drop Table.
+    FilterPermanent,
+    /// Immediate drop: claimed source address is illegal/unreachable.
+    FilterIllegalSource,
+    /// Drop by the proportional (baseline) policy.
+    FilterProportional,
+    /// Drop by some other filter policy.
+    FilterOther,
+}
+
+impl DropReason {
+    /// True if the drop was decided by a defense filter rather than by the
+    /// network itself.
+    #[must_use]
+    pub fn is_filter_drop(self) -> bool {
+        matches!(
+            self,
+            DropReason::FilterProbing
+                | DropReason::FilterPermanent
+                | DropReason::FilterIllegalSource
+                | DropReason::FilterProportional
+                | DropReason::FilterOther
+        )
+    }
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DropReason::QueueFull => "queue-full",
+            DropReason::NoRoute => "no-route",
+            DropReason::HopLimit => "hop-limit",
+            DropReason::FilterProbing => "filter-probing",
+            DropReason::FilterPermanent => "filter-permanent",
+            DropReason::FilterIllegalSource => "filter-illegal-source",
+            DropReason::FilterProportional => "filter-proportional",
+            DropReason::FilterOther => "filter-other",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey::new(
+            Addr::from_octets(10, 0, 0, 1),
+            Addr::from_octets(10, 9, 0, 1),
+            1234,
+            80,
+        )
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let k = key();
+        let r = k.reversed();
+        assert_eq!(r.src, k.dst);
+        assert_eq!(r.dst, k.src);
+        assert_eq!(r.src_port, k.dst_port);
+        assert_eq!(r.dst_port, k.src_port);
+        assert_eq!(r.reversed(), k);
+    }
+
+    #[test]
+    fn words_distinguish_flows() {
+        let a = key().as_words();
+        let mut other = key();
+        other.src_port = 1235;
+        assert_ne!(a, other.as_words());
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let data = PacketKind::TcpData {
+            seq: 0,
+            ts: SimTime::ZERO,
+            ts_echo: SimTime::ZERO,
+        };
+        let ack = PacketKind::TcpAck {
+            ack: 0,
+            ts: SimTime::ZERO,
+            ts_echo: SimTime::ZERO,
+        };
+        assert!(data.is_tcp() && data.is_tcp_data());
+        assert!(ack.is_tcp() && !ack.is_tcp_data());
+        assert!(!PacketKind::Udp.is_tcp());
+        assert!(PacketKind::ProbeDupAck { count: 3 }.is_probe());
+    }
+
+    #[test]
+    fn drop_reason_classification() {
+        assert!(DropReason::FilterProbing.is_filter_drop());
+        assert!(DropReason::FilterPermanent.is_filter_drop());
+        assert!(!DropReason::QueueFull.is_filter_drop());
+        assert!(!DropReason::NoRoute.is_filter_drop());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(key().to_string(), "10.0.0.1:1234->10.9.0.1:80");
+        assert_eq!(DropReason::QueueFull.to_string(), "queue-full");
+    }
+
+    #[test]
+    fn hop_limit() {
+        let mut p = Packet {
+            id: 1,
+            key: key(),
+            kind: PacketKind::Udp,
+            size_bytes: 500,
+            created_at: SimTime::ZERO,
+            provenance: Provenance::infrastructure(),
+            hops: 0,
+        };
+        assert!(!p.hop_limit_exceeded());
+        p.hops = Packet::MAX_HOPS;
+        assert!(p.hop_limit_exceeded());
+    }
+}

@@ -1,0 +1,939 @@
+//! The simulator: arenas, event loop, and dispatch.
+//!
+//! Single-threaded and deterministic: identical builder calls plus an
+//! identical seed replay the exact same event sequence. All mutation
+//! funnels through the event loop; agents and filters communicate with
+//! the simulator exclusively through buffered commands.
+
+use crate::agent::{Agent, AgentCommand, AgentCtx};
+use crate::event::{ControlMsg, EventKind, Scheduler};
+use crate::filter::{FilterAction, FilterCommand, FilterCtx, PacketEnv, PacketFilter};
+use crate::ids::{AgentId, Addr, LinkId, NodeId};
+use crate::link::{EnqueueOutcome, Link, LinkSpec};
+use crate::node::Node;
+use crate::packet::{DropReason, Packet};
+use crate::stats::StatsCollector;
+use crate::time::SimTime;
+use crate::trace::{TraceBuffer, TraceEvent};
+
+/// Summary of one simulation run (event-loop accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Events processed by the loop.
+    pub events_processed: u64,
+    /// Events ever scheduled.
+    pub events_scheduled: u64,
+    /// Final simulation time reached.
+    pub ended_at_nanos: u64,
+}
+
+/// The discrete-event network simulator.
+///
+/// # Example
+///
+/// ```
+/// use mafic_netsim::*;
+///
+/// let mut sim = Simulator::new(7);
+/// let a = sim.add_node("a");
+/// let b = sim.add_node("b");
+/// let (ab, _ba) = sim.add_duplex_link(a, b, LinkSpec::default());
+/// let dst = Addr::from_octets(10, 0, 0, 2);
+/// sim.add_route(a, dst, ab);
+/// let sink = sim.add_agent(b, Box::new(CountingSink::new()), SimTime::ZERO);
+/// sim.bind_local_addr(b, dst, sink);
+/// // Inject one packet at node a destined to the sink.
+/// let key = FlowKey::new(Addr::from_octets(10, 0, 0, 1), dst, 9, 80);
+/// sim.inject_packet(a, key, PacketKind::Udp, 500, false, SimTime::ZERO);
+/// sim.run_until(SimTime::from_secs_f64(1.0));
+/// let sink = sim.agent::<CountingSink>(sink).unwrap();
+/// assert_eq!(sink.delivered(), 1);
+/// ```
+pub struct Simulator {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    agent_home: Vec<NodeId>,
+    scheduler: Scheduler,
+    now: SimTime,
+    next_packet_id: u64,
+    events_processed: u64,
+    stats: StatsCollector,
+    trace: Option<TraceBuffer>,
+    link_down: Vec<bool>,
+    seed: u64,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("agents", &self.agents.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator.
+    ///
+    /// The seed is recorded for reporting; deterministic components (TCP
+    /// agents, droppers) each derive their own RNG from seeds handed out
+    /// by the workload layer, so the simulator itself stays RNG-free.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            agents: Vec::new(),
+            agent_home: Vec::new(),
+            scheduler: Scheduler::new(),
+            now: SimTime::ZERO,
+            next_packet_id: 0,
+            events_processed: 0,
+            stats: StatsCollector::new(),
+            trace: None,
+            link_down: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Enables the bounded event trace (drops, deliveries, control).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceBuffer::new(capacity));
+    }
+
+    /// The event trace, if enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    fn trace_record(&mut self, event: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(event);
+        }
+    }
+
+    /// The seed this simulator was created with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The statistics collector (read side).
+    #[must_use]
+    pub fn stats(&self) -> &StatsCollector {
+        &self.stats
+    }
+
+    /// The statistics collector (write side: victim watches, flow
+    /// declarations).
+    pub fn stats_mut(&mut self) -> &mut StatsCollector {
+        &mut self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node count fits u32"));
+        self.nodes.push(Node::new(id, name.into()));
+        id
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The human-readable name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a valid id for this simulator.
+    #[must_use]
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.index()].name
+    }
+
+    /// Adds a simplex link `from → to`.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) -> LinkId {
+        let id = LinkId(u32::try_from(self.links.len()).expect("link count fits u32"));
+        self.links.push(Link::new(from, to, spec));
+        self.link_down.push(false);
+        id
+    }
+
+    /// Takes a link administratively down: packets offered to it are
+    /// dropped (`NoRoute`) until [`Simulator::set_link_up`]. Failure
+    /// injection for robustness tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is not a valid id.
+    pub fn set_link_down(&mut self, link: LinkId) {
+        self.link_down[link.index()] = true;
+    }
+
+    /// Restores a failed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is not a valid id.
+    pub fn set_link_up(&mut self, link: LinkId) {
+        self.link_down[link.index()] = false;
+    }
+
+    /// True if the link is administratively down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is not a valid id.
+    #[must_use]
+    pub fn link_is_down(&self, link: LinkId) -> bool {
+        self.link_down[link.index()]
+    }
+
+    /// Adds a duplex link as two simplex links; returns `(from→to, to→from)`.
+    pub fn add_duplex_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (LinkId, LinkId) {
+        (self.add_link(a, b, spec), self.add_link(b, a, spec))
+    }
+
+    /// The endpoints `(from, to)` of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is not a valid id.
+    #[must_use]
+    pub fn link_endpoints(&self, link: LinkId) -> (NodeId, NodeId) {
+        let l = &self.links[link.index()];
+        (l.from, l.to)
+    }
+
+    /// Current queue occupancy of a link (excluding the packet on the
+    /// wire) — congestion observability for tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is not a valid id.
+    #[must_use]
+    pub fn link_queue_depth(&self, link: LinkId) -> usize {
+        self.links[link.index()].queue_len()
+    }
+
+    /// True if the link is currently serializing a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is not a valid id.
+    #[must_use]
+    pub fn link_busy(&self, link: LinkId) -> bool {
+        self.links[link.index()].is_busy()
+    }
+
+    /// Installs a host route on `node`: packets to `dst` leave via `via`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `via` does not originate at `node`.
+    pub fn add_route(&mut self, node: NodeId, dst: Addr, via: LinkId) {
+        assert_eq!(
+            self.links[via.index()].from,
+            node,
+            "route via a link that does not start at {node}"
+        );
+        self.nodes[node.index()].add_route(dst, via);
+    }
+
+    /// Sets the default route of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `via` does not originate at `node`.
+    pub fn set_default_route(&mut self, node: NodeId, via: LinkId) {
+        assert_eq!(
+            self.links[via.index()].from,
+            node,
+            "default route via a link that does not start at {node}"
+        );
+        self.nodes[node.index()].set_default_route(Some(via));
+    }
+
+    /// Adds an agent on `node`, scheduling its `on_start` at `start_at`.
+    pub fn add_agent(
+        &mut self,
+        node: NodeId,
+        agent: Box<dyn Agent>,
+        start_at: SimTime,
+    ) -> AgentId {
+        let id = AgentId(u32::try_from(self.agents.len()).expect("agent count fits u32"));
+        self.agents.push(Some(agent));
+        self.agent_home.push(node);
+        self.scheduler
+            .schedule(start_at, EventKind::AgentStart { agent: id });
+        id
+    }
+
+    /// Binds `addr` on `node` to `agent` so deliveries reach it.
+    pub fn bind_local_addr(&mut self, node: NodeId, addr: Addr, agent: AgentId) {
+        self.nodes[node.index()].bind_local(addr, agent);
+    }
+
+    /// Appends a filter to `node`'s chain; returns its index.
+    pub fn add_filter(&mut self, node: NodeId, filter: Box<dyn PacketFilter>) -> usize {
+        let filters = &mut self.nodes[node.index()].filters;
+        filters.push(filter);
+        filters.len() - 1
+    }
+
+    /// Downcasts a filter on `node` for inspection.
+    ///
+    /// Returns `None` if the index is out of range or the concrete type
+    /// does not match.
+    #[must_use]
+    pub fn filter<T: 'static>(&self, node: NodeId, index: usize) -> Option<&T> {
+        self.nodes[node.index()]
+            .filters
+            .get(index)?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`Simulator::filter`].
+    pub fn filter_mut<T: 'static>(&mut self, node: NodeId, index: usize) -> Option<&mut T> {
+        self.nodes[node.index()]
+            .filters
+            .get_mut(index)?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Downcasts an agent for inspection.
+    #[must_use]
+    pub fn agent<T: 'static>(&self, agent: AgentId) -> Option<&T> {
+        self.agents[agent.index()]
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`Simulator::agent`].
+    pub fn agent_mut<T: 'static>(&mut self, agent: AgentId) -> Option<&mut T> {
+        self.agents[agent.index()]
+            .as_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// The node an agent is attached to.
+    #[must_use]
+    pub fn agent_node(&self, agent: AgentId) -> NodeId {
+        self.agent_home[agent.index()]
+    }
+
+    /// Schedules a control message for delivery to `node` at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn send_control(&mut self, node: NodeId, msg: ControlMsg, at: SimTime) {
+        assert!(at >= self.now, "control message scheduled in the past");
+        self.scheduler
+            .schedule(at, EventKind::Control { node, msg });
+    }
+
+    /// Injects a single packet at `node` at time `at` (test helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn inject_packet(
+        &mut self,
+        node: NodeId,
+        key: crate::packet::FlowKey,
+        kind: crate::packet::PacketKind,
+        size_bytes: u32,
+        is_attack: bool,
+        at: SimTime,
+    ) -> u64 {
+        assert!(at >= self.now, "packet injected in the past");
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        let packet = Packet {
+            id,
+            key,
+            kind,
+            size_bytes,
+            created_at: at,
+            provenance: crate::packet::Provenance {
+                origin: AgentId(u32::MAX),
+                is_attack,
+            },
+            hops: 0,
+        };
+        self.stats.on_sent(&packet);
+        self.scheduler.schedule(
+            at,
+            EventKind::DeliverToNode {
+                node,
+                packet,
+                via: None,
+            },
+        );
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Runs until the event queue is empty or `deadline` is reached.
+    /// Returns loop accounting.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunSummary {
+        while let Some(next) = self.scheduler.peek_time() {
+            if next > deadline {
+                break;
+            }
+            let (at, kind) = self.scheduler.pop().expect("peeked event exists");
+            debug_assert!(at >= self.now, "event from the past");
+            self.now = at;
+            self.events_processed += 1;
+            self.dispatch(kind);
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        RunSummary {
+            events_processed: self.events_processed,
+            events_scheduled: self.scheduler.scheduled_total(),
+            ended_at_nanos: self.now.as_nanos(),
+        }
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.scheduler.pop() {
+            Some((at, kind)) => {
+                self.now = at;
+                self.events_processed += 1;
+                self.dispatch(kind);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of pending events (diagnostics).
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.scheduler.len()
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::DeliverToNode { node, packet, via } => {
+                self.node_receive(node, packet, via);
+            }
+            EventKind::LinkTxDone { link } => self.link_tx_done(link),
+            EventKind::AgentStart { agent } => self.agent_start(agent),
+            EventKind::AgentWake { agent, token } => self.agent_wake(agent, token),
+            EventKind::FilterTimer {
+                node,
+                filter_index,
+                token,
+            } => self.filter_timer(node, filter_index, token),
+            EventKind::Control { node, msg } => self.control(node, msg),
+        }
+    }
+
+    fn node_receive(&mut self, node_id: NodeId, mut packet: Packet, via: Option<LinkId>) {
+        packet.hops += 1;
+        if packet.hop_limit_exceeded() {
+            self.record_drop(&packet, DropReason::HopLimit);
+            return;
+        }
+        self.stats.on_node_arrival(&packet, node_id, self.now);
+        // Run the filter chain.
+        let dst_is_local = self.nodes[node_id.index()].is_local(packet.key.dst);
+        let env = PacketEnv { via_link: via, dst_is_local };
+        let mut commands: Vec<FilterCommand> = Vec::new();
+        let mut verdict = FilterAction::Forward;
+        {
+            let now = self.now;
+            let node = &mut self.nodes[node_id.index()];
+            for (index, filter) in node.filters.iter_mut().enumerate() {
+                let mut ctx =
+                    FilterCtx::new(now, node_id, index, &mut self.next_packet_id, &mut commands);
+                match filter.on_packet(&packet, &env, &mut ctx) {
+                    FilterAction::Forward => {}
+                    drop_action @ FilterAction::Drop(_) => {
+                        verdict = drop_action;
+                        break;
+                    }
+                }
+            }
+        }
+        self.run_filter_commands(node_id, commands);
+        match verdict {
+            FilterAction::Drop(reason) => {
+                self.record_drop(&packet, reason);
+            }
+            FilterAction::Forward => {
+                if dst_is_local {
+                    self.deliver_local(node_id, packet);
+                } else {
+                    self.forward(node_id, packet);
+                }
+            }
+        }
+    }
+
+    fn record_drop(&mut self, packet: &Packet, reason: DropReason) {
+        self.stats.on_dropped(packet, reason);
+        let at = self.now;
+        self.trace_record(TraceEvent::Drop {
+            at,
+            flow: packet.key,
+            reason,
+        });
+    }
+
+    fn deliver_local(&mut self, node_id: NodeId, packet: Packet) {
+        let Some(agent_id) = self.nodes[node_id.index()].local_agent(packet.key.dst) else {
+            self.record_drop(&packet, DropReason::NoRoute);
+            return;
+        };
+        self.stats.on_delivered(&packet, node_id, self.now);
+        let at = self.now;
+        self.trace_record(TraceEvent::Deliver {
+            at,
+            flow: packet.key,
+            node: node_id,
+        });
+        let mut commands = Vec::new();
+        {
+            let mut agent = self.agents[agent_id.index()]
+                .take()
+                .expect("agent re-entered during its own dispatch");
+            let mut ctx = AgentCtx::new(
+                self.now,
+                agent_id,
+                node_id,
+                &mut self.next_packet_id,
+                &mut commands,
+            );
+            agent.on_packet(packet, &mut ctx);
+            self.agents[agent_id.index()] = Some(agent);
+        }
+        self.run_agent_commands(agent_id, commands);
+    }
+
+    fn forward(&mut self, node_id: NodeId, packet: Packet) {
+        let Some(link_id) = self.nodes[node_id.index()].route_for(packet.key.dst) else {
+            self.record_drop(&packet, DropReason::NoRoute);
+            return;
+        };
+        self.send_on_link(link_id, packet);
+    }
+
+    fn send_on_link(&mut self, link_id: LinkId, packet: Packet) {
+        if self.link_down[link_id.index()] {
+            self.record_drop(&packet, DropReason::NoRoute);
+            return;
+        }
+        let now = self.now;
+        match self.links[link_id.index()].enqueue(packet, now) {
+            EnqueueOutcome::StartTx(done) => {
+                self.scheduler
+                    .schedule(done, EventKind::LinkTxDone { link: link_id });
+            }
+            EnqueueOutcome::Queued => {}
+            EnqueueOutcome::Dropped(p) => {
+                self.record_drop(&p, DropReason::QueueFull);
+            }
+        }
+    }
+
+    fn link_tx_done(&mut self, link_id: LinkId) {
+        let now = self.now;
+        let (packet, next_done) = self.links[link_id.index()].tx_done(now);
+        let (to, delay) = {
+            let l = &self.links[link_id.index()];
+            (l.to, l.spec.delay)
+        };
+        self.scheduler.schedule(
+            now + delay,
+            EventKind::DeliverToNode {
+                node: to,
+                packet,
+                via: Some(link_id),
+            },
+        );
+        if let Some(done) = next_done {
+            self.scheduler
+                .schedule(done, EventKind::LinkTxDone { link: link_id });
+        }
+    }
+
+    fn agent_start(&mut self, agent_id: AgentId) {
+        let mut commands = Vec::new();
+        {
+            let Some(mut agent) = self.agents[agent_id.index()].take() else {
+                return;
+            };
+            let node = self.agent_home[agent_id.index()];
+            let mut ctx = AgentCtx::new(
+                self.now,
+                agent_id,
+                node,
+                &mut self.next_packet_id,
+                &mut commands,
+            );
+            agent.on_start(&mut ctx);
+            self.agents[agent_id.index()] = Some(agent);
+        }
+        self.run_agent_commands(agent_id, commands);
+    }
+
+    fn agent_wake(&mut self, agent_id: AgentId, token: u64) {
+        let mut commands = Vec::new();
+        {
+            let Some(mut agent) = self.agents[agent_id.index()].take() else {
+                return;
+            };
+            let node = self.agent_home[agent_id.index()];
+            let mut ctx = AgentCtx::new(
+                self.now,
+                agent_id,
+                node,
+                &mut self.next_packet_id,
+                &mut commands,
+            );
+            agent.on_timer(token, &mut ctx);
+            self.agents[agent_id.index()] = Some(agent);
+        }
+        self.run_agent_commands(agent_id, commands);
+    }
+
+    fn filter_timer(&mut self, node_id: NodeId, filter_index: usize, token: u64) {
+        let mut commands = Vec::new();
+        {
+            let now = self.now;
+            let node = &mut self.nodes[node_id.index()];
+            let Some(filter) = node.filters.get_mut(filter_index) else {
+                return;
+            };
+            let mut ctx = FilterCtx::new(
+                now,
+                node_id,
+                filter_index,
+                &mut self.next_packet_id,
+                &mut commands,
+            );
+            filter.on_timer(token, &mut ctx);
+        }
+        self.run_filter_commands(node_id, commands);
+    }
+
+    fn control(&mut self, node_id: NodeId, msg: ControlMsg) {
+        let at = self.now;
+        self.trace_record(TraceEvent::Control {
+            at,
+            node: node_id,
+            summary: format!("{msg:?}"),
+        });
+        let mut commands = Vec::new();
+        {
+            let now = self.now;
+            let node = &mut self.nodes[node_id.index()];
+            for (index, filter) in node.filters.iter_mut().enumerate() {
+                let mut ctx =
+                    FilterCtx::new(now, node_id, index, &mut self.next_packet_id, &mut commands);
+                filter.on_control(&msg, &mut ctx);
+            }
+        }
+        self.run_filter_commands(node_id, commands);
+    }
+
+    fn run_filter_commands(&mut self, node_id: NodeId, commands: Vec<FilterCommand>) {
+        for cmd in commands {
+            match cmd {
+                FilterCommand::EmitPacket(packet) => {
+                    // Probes are routed from this node without re-filtering,
+                    // mirroring a router-originated control packet.
+                    self.forward(node_id, packet);
+                }
+                FilterCommand::ScheduleTimer {
+                    filter_index,
+                    delay,
+                    token,
+                } => {
+                    self.scheduler.schedule(
+                        self.now + delay,
+                        EventKind::FilterTimer {
+                            node: node_id,
+                            filter_index,
+                            token,
+                        },
+                    );
+                }
+                FilterCommand::Note { note, flow } => self.apply_note(note, flow),
+            }
+        }
+    }
+
+    fn apply_note(&mut self, note: crate::filter::StatNote, flow: Option<crate::packet::FlowKey>) {
+        use crate::filter::StatNote;
+        match (note, flow) {
+            (StatNote::AtrSeen, Some(key)) => self.stats.on_atr_seen(key),
+            (StatNote::ProbeSent, Some(key)) => self.stats.on_probe_sent(key),
+            (StatNote::FlowDeclaredNice, Some(key)) => self.stats.on_flow_declared(key, true),
+            (StatNote::FlowDeclaredMalicious, Some(key)) => {
+                self.stats.on_flow_declared(key, false);
+            }
+            _ => {}
+        }
+    }
+
+    fn run_agent_commands(&mut self, agent_id: AgentId, commands: Vec<AgentCommand>) {
+        let node = self.agent_home[agent_id.index()];
+        for cmd in commands {
+            match cmd {
+                AgentCommand::SendPacket(packet) => {
+                    self.stats.on_sent(&packet);
+                    // Host stacks inject directly onto the forwarding path;
+                    // if the destination is another local agent, deliver
+                    // directly (loopback).
+                    if self.nodes[node.index()].is_local(packet.key.dst) {
+                        self.deliver_local(node, packet);
+                    } else {
+                        self.forward(node, packet);
+                    }
+                }
+                AgentCommand::ScheduleTimer { delay, token } => {
+                    self.scheduler.schedule(
+                        self.now + delay,
+                        EventKind::AgentWake {
+                            agent: agent_id,
+                            token,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::CountingSink;
+    use crate::event::ControlMsg;
+    use crate::packet::{FlowKey, PacketKind};
+    use crate::time::SimDuration;
+
+    fn two_node_sim() -> (Simulator, NodeId, NodeId, AgentId, Addr) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        let (ab, _) = sim.add_duplex_link(a, b, LinkSpec::default());
+        let dst = Addr::from_octets(10, 0, 0, 2);
+        sim.add_route(a, dst, ab);
+        let sink = sim.add_agent(b, Box::new(CountingSink::new()), SimTime::ZERO);
+        sim.bind_local_addr(b, dst, sink);
+        (sim, a, b, sink, dst)
+    }
+
+    #[test]
+    fn packet_crosses_one_link() {
+        let (mut sim, a, _b, sink, dst) = two_node_sim();
+        let key = FlowKey::new(Addr::from_octets(10, 0, 0, 1), dst, 1, 80);
+        sim.inject_packet(a, key, PacketKind::Udp, 1000, false, SimTime::ZERO);
+        let summary = sim.run_until(SimTime::from_secs_f64(1.0));
+        assert!(summary.events_processed >= 3, "{summary:?}");
+        assert_eq!(sim.agent::<CountingSink>(sink).unwrap().delivered(), 1);
+        // Delivery time = tx (1000B at 10Mb/s = 0.8ms) + prop (10ms).
+        let rec = sim.stats().flow(&key).unwrap();
+        assert_eq!(rec.delivered, 1);
+        assert_eq!(rec.sent, 1);
+    }
+
+    #[test]
+    fn no_route_drops_are_accounted() {
+        let (mut sim, a, _b, _sink, _dst) = two_node_sim();
+        let stray = FlowKey::new(Addr::new(1), Addr::new(99), 1, 2);
+        sim.inject_packet(a, stray, PacketKind::Udp, 100, false, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(0.1));
+        let rec = sim.stats().flow(&stray).unwrap();
+        assert_eq!(rec.dropped_other, 1);
+        assert_eq!(rec.delivered, 0);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        // Slow link (1 Mbit/s), 2-packet queue.
+        let spec = LinkSpec::new(1e6, SimDuration::from_millis(1), 2);
+        let (ab, _) = sim.add_duplex_link(a, b, spec);
+        let dst = Addr::from_octets(10, 0, 0, 2);
+        sim.add_route(a, dst, ab);
+        let sink = sim.add_agent(b, Box::new(CountingSink::new()), SimTime::ZERO);
+        sim.bind_local_addr(b, dst, sink);
+        let key = FlowKey::new(Addr::from_octets(10, 0, 0, 1), dst, 1, 80);
+        // Ten simultaneous packets: 1 on wire + 2 queued + 7 dropped.
+        for _ in 0..10 {
+            sim.inject_packet(a, key, PacketKind::Udp, 1000, false, SimTime::ZERO);
+        }
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let rec = sim.stats().flow(&key).unwrap();
+        assert_eq!(rec.delivered, 3);
+        assert_eq!(rec.dropped_queue, 7);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let (mut sim, a, _b, _sink, dst) = two_node_sim();
+            let key = FlowKey::new(Addr::from_octets(10, 0, 0, 1), dst, 1, 80);
+            for i in 0..50 {
+                sim.inject_packet(
+                    a,
+                    key,
+                    PacketKind::Udp,
+                    500 + i,
+                    false,
+                    SimTime::from_nanos(u64::from(i) * 1000),
+                );
+            }
+            let summary = sim.run_until(SimTime::from_secs_f64(2.0));
+            (summary, sim.stats().flow(&key).unwrap().clone())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn filters_can_drop() {
+        use crate::filter::{FilterAction, FilterCtx, PacketEnv, PacketFilter};
+        use std::any::Any;
+
+        struct DropAll;
+        impl PacketFilter for DropAll {
+            fn on_packet(
+                &mut self,
+                _p: &Packet,
+                _e: &PacketEnv,
+                _c: &mut FilterCtx<'_>,
+            ) -> FilterAction {
+                FilterAction::Drop(DropReason::FilterOther)
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let (mut sim, a, b, sink, dst) = two_node_sim();
+        sim.add_filter(b, Box::new(DropAll));
+        let key = FlowKey::new(Addr::from_octets(10, 0, 0, 1), dst, 1, 80);
+        sim.inject_packet(a, key, PacketKind::Udp, 100, false, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sim.agent::<CountingSink>(sink).unwrap().delivered(), 0);
+        assert_eq!(sim.stats().flow(&key).unwrap().dropped_other, 1);
+        let _ = a;
+    }
+
+    #[test]
+    fn hop_limit_guards_routing_loops() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        let (ab, ba) = sim.add_duplex_link(a, b, LinkSpec::default());
+        let dst = Addr::new(77);
+        // Deliberate loop: a routes to b, b routes back to a.
+        sim.add_route(a, dst, ab);
+        sim.add_route(b, dst, ba);
+        let key = FlowKey::new(Addr::new(1), dst, 1, 2);
+        sim.inject_packet(a, key, PacketKind::Udp, 100, false, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(60.0));
+        let rec = sim.stats().flow(&key).unwrap();
+        assert_eq!(rec.dropped_other, 1, "loop must terminate via hop limit");
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = Simulator::new(1);
+        let deadline = SimTime::from_secs_f64(3.0);
+        sim.run_until(deadline);
+        assert_eq!(sim.now(), deadline);
+    }
+
+    #[test]
+    fn downed_link_blackholes_until_restored() {
+        let (mut sim, a, _b, sink, dst) = two_node_sim();
+        let key = FlowKey::new(Addr::from_octets(10, 0, 0, 1), dst, 1, 80);
+        let link = sim.nodes[a.index()].route_for(dst).unwrap();
+        sim.set_link_down(link);
+        assert!(sim.link_is_down(link));
+        sim.inject_packet(a, key, PacketKind::Udp, 100, false, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(0.5));
+        assert_eq!(sim.agent::<CountingSink>(sink).unwrap().delivered(), 0);
+        assert_eq!(sim.stats().flow(&key).unwrap().dropped_other, 1);
+        // Restore and retry.
+        sim.set_link_up(link);
+        sim.inject_packet(a, key, PacketKind::Udp, 100, false, sim.now());
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sim.agent::<CountingSink>(sink).unwrap().delivered(), 1);
+    }
+
+    #[test]
+    fn trace_records_drops_and_deliveries() {
+        let (mut sim, a, _b, _sink, dst) = two_node_sim();
+        sim.enable_trace(16);
+        let key = FlowKey::new(Addr::from_octets(10, 0, 0, 1), dst, 1, 80);
+        sim.inject_packet(a, key, PacketKind::Udp, 100, false, SimTime::ZERO);
+        let stray = FlowKey::new(Addr::new(1), Addr::new(99), 1, 2);
+        sim.inject_packet(a, stray, PacketKind::Udp, 100, false, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(0.5));
+        let trace = sim.trace().unwrap();
+        assert!(trace.iter().any(|e| matches!(e, crate::trace::TraceEvent::Deliver { .. })));
+        assert!(trace.iter().any(|e| matches!(e, crate::trace::TraceEvent::Drop { .. })));
+    }
+
+    #[test]
+    fn trace_records_control_messages() {
+        let (mut sim, a, _b, _sink, _dst) = two_node_sim();
+        sim.enable_trace(4);
+        sim.send_control(a, ControlMsg::PushbackStop, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(0.1));
+        let trace = sim.trace().unwrap();
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, crate::trace::TraceEvent::Control { .. })));
+    }
+}

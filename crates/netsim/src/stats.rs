@@ -1,0 +1,410 @@
+//! The global statistics collector.
+//!
+//! Records per-flow packet accounting (sent / delivered / dropped, broken
+//! down by drop reason) plus optional binned time series of deliveries at
+//! a watched node (the victim). The metrics crate turns these raw counts
+//! into the paper's α, β, θp, θn and Lr.
+//!
+//! Ground-truth fields (`is_attack`) come from packet [`Provenance`] and
+//! are written here and only here — the defense filters cannot see them.
+
+use crate::ids::NodeId;
+use crate::packet::{DropReason, FlowKey, Packet, Provenance};
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Per-flow packet accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Ground truth: does this flow belong to the attack?
+    pub is_attack: bool,
+    /// True if the flow's data packets are TCP segments.
+    pub is_tcp: bool,
+    /// Data packets injected by the origin agent.
+    pub sent: u64,
+    /// Data packets delivered to the destination agent.
+    pub delivered: u64,
+    /// Packets examined by an *active* defense filter (ATR arrivals).
+    pub seen_at_atr: u64,
+    /// Drops during the probing phase (flow in SFT).
+    pub dropped_probing: u64,
+    /// Drops because the flow was in the PDT.
+    pub dropped_permanent: u64,
+    /// Drops because the claimed source address was illegal.
+    pub dropped_illegal: u64,
+    /// Drops by the proportional baseline policy.
+    pub dropped_proportional: u64,
+    /// Drop-tail queue losses.
+    pub dropped_queue: u64,
+    /// Any other losses (no-route, hop limit, other filters).
+    pub dropped_other: u64,
+    /// Probe bursts sent toward this flow's claimed source.
+    pub probes_sent: u64,
+    /// 1 if the flow was declared nice (NFT), persisted for reporting.
+    pub declared_nice: u64,
+    /// 1 if the flow was declared malicious (PDT).
+    pub declared_malicious: u64,
+}
+
+impl FlowRecord {
+    /// Total packets dropped by defense filters (any policy).
+    #[must_use]
+    pub fn dropped_by_filter(&self) -> u64 {
+        self.dropped_probing
+            + self.dropped_permanent
+            + self.dropped_illegal
+            + self.dropped_proportional
+    }
+
+    /// Total packets lost for any reason.
+    #[must_use]
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_by_filter() + self.dropped_queue + self.dropped_other
+    }
+}
+
+/// One delivery time-series bin at the watched node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VictimBin {
+    /// Bytes delivered by legitimate flows in this bin.
+    pub legit_bytes: u64,
+    /// Bytes delivered by attack flows in this bin.
+    pub attack_bytes: u64,
+    /// Packets delivered by legitimate flows.
+    pub legit_packets: u64,
+    /// Packets delivered by attack flows.
+    pub attack_packets: u64,
+}
+
+impl VictimBin {
+    /// Total bytes delivered in this bin.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.legit_bytes + self.attack_bytes
+    }
+
+    /// Total packets delivered in this bin.
+    #[must_use]
+    pub fn total_packets(&self) -> u64 {
+        self.legit_packets + self.attack_packets
+    }
+}
+
+/// Configuration of the victim watch time series.
+#[derive(Debug, Clone, Copy)]
+struct VictimWatch {
+    node: NodeId,
+    bin: SimDuration,
+}
+
+/// Configuration of the arrival (offered-load) watch.
+#[derive(Debug, Clone, Copy)]
+struct ArrivalWatch {
+    node: NodeId,
+    dst: crate::ids::Addr,
+    bin: SimDuration,
+}
+
+/// Global per-run statistics.
+#[derive(Debug)]
+pub struct StatsCollector {
+    flows: HashMap<FlowKey, FlowRecord>,
+    watch: Option<VictimWatch>,
+    bins: Vec<VictimBin>,
+    arrival_watch: Option<ArrivalWatch>,
+    arrival_bins: Vec<VictimBin>,
+    /// Probe packets emitted by filters, domain-wide.
+    pub probes_emitted: u64,
+    /// Total packets injected by agents.
+    pub total_sent: u64,
+    /// Total packets delivered to agents.
+    pub total_delivered: u64,
+}
+
+impl Default for StatsCollector {
+    fn default() -> Self {
+        StatsCollector::new()
+    }
+}
+
+impl StatsCollector {
+    /// Creates an empty collector with no victim watch.
+    #[must_use]
+    pub fn new() -> Self {
+        StatsCollector {
+            flows: HashMap::new(),
+            watch: None,
+            bins: Vec::new(),
+            arrival_watch: None,
+            arrival_bins: Vec::new(),
+            probes_emitted: 0,
+            total_sent: 0,
+            total_delivered: 0,
+        }
+    }
+
+    /// Starts recording the *offered load*: every packet arriving at
+    /// `node` destined to `dst`, binned by `bin`, counted *before* any
+    /// filter or queue can drop it. This is the paper's "arrival rate at
+    /// the victim" (its Fig. 4 measurements are taken at the last-hop
+    /// router, upstream of the bottleneck link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn watch_arrivals(&mut self, node: NodeId, dst: crate::ids::Addr, bin: SimDuration) {
+        assert!(!bin.is_zero(), "bin width must be positive");
+        self.arrival_watch = Some(ArrivalWatch { node, dst, bin });
+    }
+
+    /// Starts recording a delivery time series at `node` with bins of
+    /// width `bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn watch_victim(&mut self, node: NodeId, bin: SimDuration) {
+        assert!(!bin.is_zero(), "bin width must be positive");
+        self.watch = Some(VictimWatch { node, bin });
+    }
+
+    /// Declares a flow's ground truth. Called by the workload layer when
+    /// the flow's agent is created so records exist even for flows whose
+    /// every packet is dropped.
+    pub fn declare_flow(&mut self, key: FlowKey, is_attack: bool, is_tcp: bool) {
+        let rec = self.flows.entry(key).or_default();
+        rec.is_attack = is_attack;
+        rec.is_tcp = is_tcp;
+    }
+
+    fn record(&mut self, key: FlowKey, provenance: Provenance) -> &mut FlowRecord {
+        let rec = self.flows.entry(key).or_default();
+        // Keep ground truth sticky once declared; packets inherit it.
+        rec.is_attack |= provenance.is_attack;
+        rec
+    }
+
+    /// Records a packet injection (called by the simulator; public for
+    /// metric-layer tests that synthesize collectors).
+    pub fn on_sent(&mut self, packet: &Packet) {
+        self.total_sent += 1;
+        self.record(packet.key, packet.provenance).sent += 1;
+    }
+
+    /// Records a packet arriving at `node` (pre-filter, pre-queue).
+    pub fn on_node_arrival(&mut self, packet: &Packet, node: NodeId, now: SimTime) {
+        let Some(watch) = self.arrival_watch else {
+            return;
+        };
+        if watch.node != node || packet.key.dst != watch.dst {
+            return;
+        }
+        let idx = (now.as_nanos() / watch.bin.as_nanos()) as usize;
+        if idx >= self.arrival_bins.len() {
+            self.arrival_bins.resize(idx + 1, VictimBin::default());
+        }
+        let bin = &mut self.arrival_bins[idx];
+        if packet.provenance.is_attack {
+            bin.attack_bytes += u64::from(packet.size_bytes);
+            bin.attack_packets += 1;
+        } else {
+            bin.legit_bytes += u64::from(packet.size_bytes);
+            bin.legit_packets += 1;
+        }
+    }
+
+    /// Records a delivery to an agent on `node`.
+    pub fn on_delivered(&mut self, packet: &Packet, node: NodeId, now: SimTime) {
+        self.total_delivered += 1;
+        self.record(packet.key, packet.provenance).delivered += 1;
+        if let Some(watch) = self.watch {
+            if watch.node == node {
+                let idx = (now.as_nanos() / watch.bin.as_nanos()) as usize;
+                if idx >= self.bins.len() {
+                    self.bins.resize(idx + 1, VictimBin::default());
+                }
+                let bin = &mut self.bins[idx];
+                if packet.provenance.is_attack {
+                    bin.attack_bytes += u64::from(packet.size_bytes);
+                    bin.attack_packets += 1;
+                } else {
+                    bin.legit_bytes += u64::from(packet.size_bytes);
+                    bin.legit_packets += 1;
+                }
+            }
+        }
+    }
+
+    /// Records a drop with its reason.
+    pub fn on_dropped(&mut self, packet: &Packet, reason: DropReason) {
+        let rec = self.record(packet.key, packet.provenance);
+        match reason {
+            DropReason::FilterProbing => rec.dropped_probing += 1,
+            DropReason::FilterPermanent => rec.dropped_permanent += 1,
+            DropReason::FilterIllegalSource => rec.dropped_illegal += 1,
+            DropReason::FilterProportional => rec.dropped_proportional += 1,
+            DropReason::QueueFull => rec.dropped_queue += 1,
+            DropReason::NoRoute | DropReason::HopLimit | DropReason::FilterOther => {
+                rec.dropped_other += 1;
+            }
+        }
+    }
+
+    /// Records that an active defense filter examined a packet of `key`.
+    pub fn on_atr_seen(&mut self, key: FlowKey) {
+        self.flows.entry(key).or_default().seen_at_atr += 1;
+    }
+
+    /// Records a probe burst toward `key`'s claimed source.
+    pub fn on_probe_sent(&mut self, key: FlowKey) {
+        self.probes_emitted += 1;
+        self.flows.entry(key).or_default().probes_sent += 1;
+    }
+
+    /// Records a classification decision for `key`.
+    pub fn on_flow_declared(&mut self, key: FlowKey, nice: bool) {
+        let rec = self.flows.entry(key).or_default();
+        if nice {
+            rec.declared_nice = 1;
+        } else {
+            rec.declared_malicious = 1;
+        }
+    }
+
+    /// The record for `key`, if any packet or declaration touched it.
+    #[must_use]
+    pub fn flow(&self, key: &FlowKey) -> Option<&FlowRecord> {
+        self.flows.get(key)
+    }
+
+    /// Iterates over all flow records.
+    pub fn flows(&self) -> impl Iterator<Item = (&FlowKey, &FlowRecord)> {
+        self.flows.iter()
+    }
+
+    /// Number of distinct flows observed.
+    #[must_use]
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The victim delivery time series (empty unless a watch was set).
+    #[must_use]
+    pub fn victim_bins(&self) -> &[VictimBin] {
+        &self.bins
+    }
+
+    /// Width of the victim series bins, if a watch was configured.
+    #[must_use]
+    pub fn victim_bin_width(&self) -> Option<SimDuration> {
+        self.watch.map(|w| w.bin)
+    }
+
+    /// The offered-load time series (empty unless an arrival watch was
+    /// set).
+    #[must_use]
+    pub fn arrival_bins(&self) -> &[VictimBin] {
+        &self.arrival_bins
+    }
+
+    /// Width of the arrival series bins, if an arrival watch was
+    /// configured.
+    #[must_use]
+    pub fn arrival_bin_width(&self) -> Option<SimDuration> {
+        self.arrival_watch.map(|w| w.bin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AgentId, Addr};
+    use crate::packet::PacketKind;
+
+    fn pkt(attack: bool) -> Packet {
+        Packet {
+            id: 1,
+            key: FlowKey::new(Addr::new(1), Addr::new(2), 1, 2),
+            kind: PacketKind::Udp,
+            size_bytes: 500,
+            created_at: SimTime::ZERO,
+            provenance: Provenance {
+                origin: AgentId(0),
+                is_attack: attack,
+            },
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn accounting_by_reason() {
+        let mut s = StatsCollector::new();
+        let p = pkt(true);
+        s.on_sent(&p);
+        s.on_dropped(&p, DropReason::FilterProbing);
+        s.on_dropped(&p, DropReason::FilterPermanent);
+        s.on_dropped(&p, DropReason::QueueFull);
+        s.on_dropped(&p, DropReason::NoRoute);
+        let rec = s.flow(&p.key).unwrap();
+        assert!(rec.is_attack);
+        assert_eq!(rec.sent, 1);
+        assert_eq!(rec.dropped_probing, 1);
+        assert_eq!(rec.dropped_permanent, 1);
+        assert_eq!(rec.dropped_queue, 1);
+        assert_eq!(rec.dropped_other, 1);
+        assert_eq!(rec.dropped_by_filter(), 2);
+        assert_eq!(rec.dropped_total(), 4);
+    }
+
+    #[test]
+    fn victim_series_bins_by_time_and_class() {
+        let mut s = StatsCollector::new();
+        s.watch_victim(NodeId(3), SimDuration::from_millis(100));
+        let legit = pkt(false);
+        let attack = pkt(true);
+        s.on_delivered(&legit, NodeId(3), SimTime::from_secs_f64(0.05));
+        s.on_delivered(&attack, NodeId(3), SimTime::from_secs_f64(0.25));
+        // Delivery at a different node is not binned.
+        s.on_delivered(&legit, NodeId(9), SimTime::from_secs_f64(0.05));
+        let bins = s.victim_bins();
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[0].legit_bytes, 500);
+        assert_eq!(bins[0].attack_bytes, 0);
+        assert_eq!(bins[2].attack_packets, 1);
+        assert_eq!(bins[2].total_bytes(), 500);
+        assert_eq!(s.victim_bin_width(), Some(SimDuration::from_millis(100)));
+    }
+
+    #[test]
+    fn declare_flow_creates_record_with_truth() {
+        let mut s = StatsCollector::new();
+        let key = FlowKey::new(Addr::new(9), Addr::new(8), 7, 6);
+        s.declare_flow(key, true, false);
+        let rec = s.flow(&key).unwrap();
+        assert!(rec.is_attack);
+        assert!(!rec.is_tcp);
+        assert_eq!(rec.sent, 0);
+    }
+
+    #[test]
+    fn notes_accumulate() {
+        let mut s = StatsCollector::new();
+        let key = pkt(false).key;
+        s.on_atr_seen(key);
+        s.on_atr_seen(key);
+        s.on_probe_sent(key);
+        s.on_flow_declared(key, true);
+        let rec = s.flow(&key).unwrap();
+        assert_eq!(rec.seen_at_atr, 2);
+        assert_eq!(rec.probes_sent, 1);
+        assert_eq!(rec.declared_nice, 1);
+        assert_eq!(s.probes_emitted, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_rejected() {
+        let mut s = StatsCollector::new();
+        s.watch_victim(NodeId(0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,369 @@
+//! Unresponsive constant-rate senders — attack zombies and plain UDP
+//! sources.
+//!
+//! An [`UnresponsiveSender`] transmits at a fixed packet rate (with
+//! optional jitter) and ignores every incoming packet: genuine ACKs,
+//! losses, and — decisively for MAFIC — the duplicate-ACK probe bursts.
+//! Its arrival rate at the ATR therefore never decreases during the
+//! probing window, and the flow lands in the Permanently Drop Table.
+//!
+//! The claimed source address in the flow key may be *spoofed*: the
+//! workload layer can label packets with another host's legitimate
+//! address or with an unallocated (illegal) address while the true origin
+//! is recorded only in the packet provenance.
+
+use mafic_netsim::{
+    Agent, AgentCtx, FlowKey, Packet, PacketKind, Provenance, SimDuration, SimTime,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+
+/// Wire format the unresponsive sender emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CbrProtocol {
+    /// Plain UDP datagrams.
+    Udp,
+    /// TCP-looking data segments (SYN-flood-style zombies): carry sequence
+    /// numbers and timestamps so they are indistinguishable from TCP at
+    /// the router, but the sender never reacts to feedback.
+    TcpLike,
+}
+
+/// Tunables for [`UnresponsiveSender`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CbrConfig {
+    /// Average sending rate in packets per second.
+    pub rate_pps: f64,
+    /// Packet size in bytes.
+    pub packet_size: u32,
+    /// Inter-packet jitter as a fraction of the nominal interval
+    /// (0 = perfectly periodic, 0.5 = ±50%).
+    pub jitter: f64,
+    /// Wire format.
+    pub protocol: CbrProtocol,
+}
+
+impl Default for CbrConfig {
+    fn default() -> Self {
+        CbrConfig {
+            rate_pps: 125.0,
+            packet_size: 500,
+            jitter: 0.2,
+            protocol: CbrProtocol::Udp,
+        }
+    }
+}
+
+impl CbrConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.rate_pps.is_finite() && self.rate_pps > 0.0) {
+            return Err(format!("rate_pps must be positive, got {}", self.rate_pps));
+        }
+        if self.packet_size == 0 {
+            return Err("packet_size must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.jitter) {
+            return Err(format!("jitter must be in [0, 1), got {}", self.jitter));
+        }
+        Ok(())
+    }
+}
+
+/// A constant-rate sender that ignores all feedback.
+#[derive(Debug)]
+pub struct UnresponsiveSender {
+    key: FlowKey,
+    config: CbrConfig,
+    is_attack: bool,
+    rng: SmallRng,
+    seq: u64,
+    sent: u64,
+    ignored_inbound: u64,
+    stop_after: Option<SimTime>,
+    timer_token: u64,
+}
+
+impl UnresponsiveSender {
+    /// Creates a sender for `key`.
+    ///
+    /// `key.src` is the *claimed* source address — spoofing is expressed
+    /// by passing a key whose source differs from the host the agent is
+    /// attached to. `seed` derives the jitter sequence deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation — a configuration bug.
+    #[must_use]
+    pub fn new(key: FlowKey, config: CbrConfig, is_attack: bool, seed: u64) -> Self {
+        config.validate().expect("invalid CbrConfig");
+        UnresponsiveSender {
+            key,
+            config,
+            is_attack,
+            rng: SmallRng::seed_from_u64(seed),
+            seq: 0,
+            sent: 0,
+            ignored_inbound: 0,
+            stop_after: None,
+            timer_token: 0,
+        }
+    }
+
+    /// Stops transmitting after the given instant.
+    pub fn set_stop_after(&mut self, at: SimTime) {
+        self.stop_after = Some(at);
+    }
+
+    /// Packets transmitted.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Inbound packets (ACKs, probes) received and ignored.
+    #[must_use]
+    pub fn ignored_inbound(&self) -> u64 {
+        self.ignored_inbound
+    }
+
+    /// The flow key this sender transmits on.
+    #[must_use]
+    pub fn flow_key(&self) -> FlowKey {
+        self.key
+    }
+
+    fn interval(&mut self) -> SimDuration {
+        let nominal = 1.0 / self.config.rate_pps;
+        let jitter = if self.config.jitter > 0.0 {
+            1.0 + self.config.jitter * (self.rng.gen::<f64>() * 2.0 - 1.0)
+        } else {
+            1.0
+        };
+        SimDuration::from_secs_f64(nominal * jitter)
+    }
+
+    fn emit(&mut self, ctx: &mut AgentCtx<'_>) {
+        let kind = match self.config.protocol {
+            CbrProtocol::Udp => PacketKind::Udp,
+            CbrProtocol::TcpLike => PacketKind::TcpData {
+                seq: self.seq,
+                ts: ctx.now(),
+                ts_echo: SimTime::ZERO,
+            },
+        };
+        let pkt = Packet {
+            id: ctx.fresh_packet_id(),
+            key: self.key,
+            kind,
+            size_bytes: self.config.packet_size,
+            created_at: ctx.now(),
+            provenance: Provenance {
+                origin: ctx.agent_id(),
+                is_attack: self.is_attack,
+            },
+            hops: 0,
+        };
+        ctx.send_packet(pkt);
+        self.seq += 1;
+        self.sent += 1;
+    }
+
+    fn schedule_next(&mut self, ctx: &mut AgentCtx<'_>) {
+        let delay = self.interval();
+        self.timer_token += 1;
+        ctx.schedule_in(delay, self.timer_token);
+    }
+}
+
+impl Agent for UnresponsiveSender {
+    fn on_start(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.emit(ctx);
+        self.schedule_next(ctx);
+    }
+
+    fn on_packet(&mut self, _packet: Packet, _ctx: &mut AgentCtx<'_>) {
+        // The defining behaviour: feedback is ignored entirely.
+        self.ignored_inbound += 1;
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut AgentCtx<'_>) {
+        if token != self.timer_token {
+            return;
+        }
+        if let Some(stop) = self.stop_after {
+            if ctx.now() >= stop {
+                return;
+            }
+        }
+        self.emit(ctx);
+        self.schedule_next(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mafic_netsim::testkit::AgentHarness;
+    use mafic_netsim::Addr;
+
+    fn key() -> FlowKey {
+        FlowKey::new(
+            Addr::from_octets(10, 0, 0, 9),
+            Addr::from_octets(10, 9, 0, 1),
+            6000,
+            80,
+        )
+    }
+
+    fn sender(protocol: CbrProtocol, jitter: f64) -> UnresponsiveSender {
+        UnresponsiveSender::new(
+            key(),
+            CbrConfig {
+                rate_pps: 100.0,
+                packet_size: 400,
+                jitter,
+                protocol,
+            },
+            true,
+            7,
+        )
+    }
+
+    #[test]
+    fn start_emits_and_schedules() {
+        let mut h = AgentHarness::new();
+        let mut s = sender(CbrProtocol::Udp, 0.0);
+        let fx = h.start(&mut s);
+        assert_eq!(fx.sent.len(), 1);
+        assert_eq!(fx.sent[0].kind, PacketKind::Udp);
+        assert!(fx.sent[0].provenance.is_attack);
+        assert_eq!(fx.timers.len(), 1);
+        // Zero jitter => exactly the nominal 10 ms interval.
+        assert_eq!(fx.timers[0].0, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn timer_chain_sustains_rate() {
+        let mut h = AgentHarness::new();
+        let mut s = sender(CbrProtocol::Udp, 0.0);
+        let fx = h.start(&mut s);
+        let mut token = fx.timers[0].1;
+        for _ in 0..9 {
+            h.advance(SimDuration::from_millis(10));
+            let fx = h.fire_timer(&mut s, token);
+            assert_eq!(fx.sent.len(), 1);
+            token = fx.timers[0].1;
+        }
+        assert_eq!(s.sent(), 10);
+    }
+
+    #[test]
+    fn probes_are_ignored() {
+        let mut h = AgentHarness::new();
+        let mut s = sender(CbrProtocol::Udp, 0.0);
+        let _ = h.start(&mut s);
+        let probe = Packet {
+            id: 1,
+            key: key().reversed(),
+            kind: PacketKind::ProbeDupAck { count: 3 },
+            size_bytes: 40,
+            created_at: h.now,
+            provenance: Provenance::infrastructure(),
+            hops: 0,
+        };
+        let fx = h.deliver(&mut s, probe);
+        assert!(fx.sent.is_empty(), "no reaction to probes");
+        assert_eq!(s.ignored_inbound(), 1);
+    }
+
+    #[test]
+    fn tcp_like_zombie_emits_tcp_data() {
+        let mut h = AgentHarness::new();
+        let mut s = sender(CbrProtocol::TcpLike, 0.0);
+        let fx = h.start(&mut s);
+        assert!(matches!(fx.sent[0].kind, PacketKind::TcpData { seq: 0, .. }));
+    }
+
+    #[test]
+    fn jitter_varies_intervals_deterministically() {
+        let run = || {
+            let mut h = AgentHarness::new();
+            let mut s = sender(CbrProtocol::Udp, 0.5);
+            let fx = h.start(&mut s);
+            let mut intervals = vec![fx.timers[0].0];
+            let mut token = fx.timers[0].1;
+            for _ in 0..5 {
+                h.advance(SimDuration::from_millis(10));
+                let fx = h.fire_timer(&mut s, token);
+                intervals.push(fx.timers[0].0);
+                token = fx.timers[0].1;
+            }
+            intervals
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same jitter sequence");
+        assert!(
+            a.iter().any(|&d| d != a[0]),
+            "jitter should vary intervals"
+        );
+    }
+
+    #[test]
+    fn stop_after_halts_transmission() {
+        let mut h = AgentHarness::new();
+        let mut s = sender(CbrProtocol::Udp, 0.0);
+        let fx = h.start(&mut s);
+        s.set_stop_after(SimTime::from_secs_f64(0.005));
+        h.advance(SimDuration::from_millis(10));
+        let fx2 = h.fire_timer(&mut s, fx.timers[0].1);
+        assert!(fx2.sent.is_empty());
+        assert!(fx2.timers.is_empty(), "chain ends");
+    }
+
+    #[test]
+    fn stale_timer_tokens_ignored() {
+        let mut h = AgentHarness::new();
+        let mut s = sender(CbrProtocol::Udp, 0.0);
+        let _ = h.start(&mut s);
+        let fx = h.fire_timer(&mut s, 999);
+        assert!(fx.sent.is_empty());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CbrConfig {
+            rate_pps: 0.0,
+            ..CbrConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CbrConfig {
+            packet_size: 0,
+            ..CbrConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CbrConfig {
+            jitter: 1.0,
+            ..CbrConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CbrConfig::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,626 @@
+//! A TCP Reno-style sender agent.
+//!
+//! Implements the congestion-control behaviours MAFIC's probing relies on:
+//! slow start, additive increase, fast retransmit on three duplicate ACKs,
+//! multiplicative decrease, retransmission timeouts with exponential
+//! backoff, and — crucially — a compliant response to MAFIC's
+//! [`PacketKind::ProbeDupAck`] bursts: a probe counts as a loss signal, so
+//! the sender halves its window and its arrival rate at the router drops
+//! within one RTT, which is exactly the "TCP-friendly" behaviour the SFT
+//! timer checks for.
+//!
+//! The sender models an infinite-backlog application (FTP-like) sending
+//! fixed-size segments; sequence numbers count segments, not bytes.
+
+use crate::rtt::RttEstimator;
+use mafic_netsim::{
+    Agent, AgentCtx, FlowKey, Packet, PacketKind, Provenance, SimDuration, SimTime,
+};
+use std::any::Any;
+
+/// Tunables for [`TcpSender`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpConfig {
+    /// Segment size in bytes (data packets).
+    pub segment_size: u32,
+    /// ACK size in bytes.
+    pub ack_size: u32,
+    /// Initial congestion window (segments).
+    pub initial_cwnd: f64,
+    /// Initial slow-start threshold (segments).
+    pub initial_ssthresh: f64,
+    /// Upper bound on the congestion window (receiver window stand-in).
+    pub max_cwnd: f64,
+    /// Initial retransmission timeout before any RTT sample.
+    pub initial_rto: SimDuration,
+    /// Lower bound for the RTO.
+    pub min_rto: SimDuration,
+    /// Upper bound for the RTO.
+    pub max_rto: SimDuration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            segment_size: 500,
+            ack_size: 40,
+            initial_cwnd: 2.0,
+            initial_ssthresh: 32.0,
+            max_cwnd: 64.0,
+            initial_rto: SimDuration::from_millis(1000),
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(8),
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segment_size == 0 {
+            return Err("segment_size must be positive".into());
+        }
+        if self.initial_cwnd.is_nan() || self.initial_cwnd < 1.0 {
+            return Err(format!("initial_cwnd must be >= 1, got {}", self.initial_cwnd));
+        }
+        if self.max_cwnd.is_nan() || self.max_cwnd < self.initial_cwnd {
+            return Err("max_cwnd must be >= initial_cwnd".into());
+        }
+        if self.min_rto > self.max_rto {
+            return Err("min_rto exceeds max_rto".into());
+        }
+        Ok(())
+    }
+}
+
+/// Congestion-control phase, exposed for tests and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpPhase {
+    /// Exponential window growth below `ssthresh`.
+    SlowStart,
+    /// Additive increase above `ssthresh`.
+    CongestionAvoidance,
+    /// Between a fast retransmit and the ACK covering `recover`.
+    FastRecovery,
+}
+
+/// A TCP Reno-style bulk sender.
+pub struct TcpSender {
+    key: FlowKey,
+    config: TcpConfig,
+    is_attack: bool,
+    started: bool,
+    stop_after: Option<SimTime>,
+    // Sliding window state (segment granularity).
+    next_seq: u64,
+    snd_una: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    dup_acks: u32,
+    recover: u64,
+    in_fast_recovery: bool,
+    // RTT machinery.
+    rtt: RttEstimator,
+    last_peer_ts: SimTime,
+    rto_generation: u64,
+    // Counters.
+    data_sent: u64,
+    retransmits: u64,
+    timeouts: u64,
+    probes_received: u64,
+}
+
+impl std::fmt::Debug for TcpSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpSender")
+            .field("key", &self.key)
+            .field("cwnd", &self.cwnd)
+            .field("ssthresh", &self.ssthresh)
+            .field("snd_una", &self.snd_una)
+            .field("next_seq", &self.next_seq)
+            .field("phase", &self.phase())
+            .finish()
+    }
+}
+
+impl TcpSender {
+    /// Creates a sender for `key`.
+    ///
+    /// `is_attack` is ground truth recorded on every emitted packet; a
+    /// compliant TCP attack flow would be throttled like any other TCP
+    /// flow, so attack zombies normally use `UnresponsiveSender` instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation — a configuration bug.
+    #[must_use]
+    pub fn new(key: FlowKey, config: TcpConfig, is_attack: bool) -> Self {
+        config.validate().expect("invalid TcpConfig");
+        TcpSender {
+            key,
+            config,
+            is_attack,
+            started: false,
+            stop_after: None,
+            next_seq: 0,
+            snd_una: 0,
+            cwnd: config.initial_cwnd,
+            ssthresh: config.initial_ssthresh,
+            dup_acks: 0,
+            recover: 0,
+            in_fast_recovery: false,
+            rtt: RttEstimator::new(config.initial_rto, config.min_rto, config.max_rto),
+            last_peer_ts: SimTime::ZERO,
+            rto_generation: 0,
+            data_sent: 0,
+            retransmits: 0,
+            timeouts: 0,
+            probes_received: 0,
+        }
+    }
+
+    /// Stops sending new data after the given instant (retransmissions of
+    /// in-flight data continue).
+    pub fn set_stop_after(&mut self, at: SimTime) {
+        self.stop_after = Some(at);
+    }
+
+    /// Current congestion window in segments.
+    #[must_use]
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold.
+    #[must_use]
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// The congestion-control phase.
+    #[must_use]
+    pub fn phase(&self) -> TcpPhase {
+        if self.in_fast_recovery {
+            TcpPhase::FastRecovery
+        } else if self.cwnd < self.ssthresh {
+            TcpPhase::SlowStart
+        } else {
+            TcpPhase::CongestionAvoidance
+        }
+    }
+
+    /// Data segments transmitted (including retransmissions).
+    #[must_use]
+    pub fn data_sent(&self) -> u64 {
+        self.data_sent
+    }
+
+    /// Retransmitted segments.
+    #[must_use]
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Retransmission timeouts experienced.
+    #[must_use]
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// MAFIC probe bursts received.
+    #[must_use]
+    pub fn probes_received(&self) -> u64 {
+        self.probes_received
+    }
+
+    /// The flow key this sender transmits on.
+    #[must_use]
+    pub fn flow_key(&self) -> FlowKey {
+        self.key
+    }
+
+    fn sending_allowed(&self, now: SimTime) -> bool {
+        match self.stop_after {
+            Some(t) => now < t,
+            None => true,
+        }
+    }
+
+    fn make_segment(&self, seq: u64, ctx: &mut AgentCtx<'_>) -> Packet {
+        Packet {
+            id: ctx.fresh_packet_id(),
+            key: self.key,
+            kind: PacketKind::TcpData {
+                seq,
+                ts: ctx.now(),
+                ts_echo: self.last_peer_ts,
+            },
+            size_bytes: self.config.segment_size,
+            created_at: ctx.now(),
+            provenance: Provenance {
+                origin: ctx.agent_id(),
+                is_attack: self.is_attack,
+            },
+            hops: 0,
+        }
+    }
+
+    fn send_window(&mut self, ctx: &mut AgentCtx<'_>) {
+        if !self.sending_allowed(ctx.now()) {
+            return;
+        }
+        let window = self.cwnd.floor().max(1.0) as u64;
+        while self.next_seq < self.snd_una + window {
+            let seq = self.next_seq;
+            let pkt = self.make_segment(seq, ctx);
+            ctx.send_packet(pkt);
+            self.next_seq += 1;
+            self.data_sent += 1;
+        }
+    }
+
+    fn retransmit_head(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.snd_una >= self.next_seq {
+            return;
+        }
+        let pkt = self.make_segment(self.snd_una, ctx);
+        ctx.send_packet(pkt);
+        self.data_sent += 1;
+        self.retransmits += 1;
+    }
+
+    fn arm_rto(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.rto_generation += 1;
+        ctx.schedule_in(self.rtt.rto(), self.rto_generation);
+    }
+
+    /// Shared multiplicative-decrease entry point for both genuine loss
+    /// signals (three duplicate ACKs) and MAFIC probe bursts.
+    fn enter_fast_recovery(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.in_fast_recovery {
+            return;
+        }
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = self.ssthresh;
+        self.in_fast_recovery = true;
+        self.recover = self.next_seq;
+        self.retransmit_head(ctx);
+    }
+
+    fn on_ack(&mut self, ack: u64, ts: SimTime, ts_echo: SimTime, ctx: &mut AgentCtx<'_>) {
+        self.last_peer_ts = ts;
+        if ack > self.snd_una {
+            let newly_acked = ack - self.snd_una;
+            self.snd_una = ack;
+            self.dup_acks = 0;
+            if ts_echo != SimTime::ZERO {
+                let rtt = ctx.now().saturating_since(ts_echo);
+                if !rtt.is_zero() {
+                    self.rtt.sample(rtt);
+                }
+            }
+            if self.in_fast_recovery {
+                if ack >= self.recover {
+                    self.in_fast_recovery = false;
+                    self.cwnd = self.ssthresh;
+                }
+            } else if self.cwnd < self.ssthresh {
+                // Slow start: one segment per ACKed segment.
+                self.cwnd = (self.cwnd + newly_acked as f64).min(self.config.max_cwnd);
+            } else {
+                // Congestion avoidance: ~1 segment per RTT.
+                self.cwnd =
+                    (self.cwnd + newly_acked as f64 / self.cwnd).min(self.config.max_cwnd);
+            }
+            self.arm_rto(ctx);
+            self.send_window(ctx);
+        } else if ack == self.snd_una && self.snd_una < self.next_seq {
+            self.dup_acks += 1;
+            if self.dup_acks == 3 {
+                self.enter_fast_recovery(ctx);
+            }
+        }
+    }
+}
+
+impl Agent for TcpSender {
+    fn on_start(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.started = true;
+        self.send_window(ctx);
+        self.arm_rto(ctx);
+    }
+
+    fn on_packet(&mut self, packet: Packet, ctx: &mut AgentCtx<'_>) {
+        match packet.kind {
+            PacketKind::TcpAck { ack, ts, ts_echo } => self.on_ack(ack, ts, ts_echo, ctx),
+            PacketKind::ProbeDupAck { count } => {
+                self.probes_received += 1;
+                // A compliant source treats a duplicate-ACK burst as
+                // congestion feedback: multiplicative decrease.
+                if count >= 3 {
+                    self.enter_fast_recovery(ctx);
+                } else {
+                    self.dup_acks += u32::from(count);
+                    if self.dup_acks >= 3 {
+                        self.enter_fast_recovery(ctx);
+                    }
+                }
+            }
+            // Data or UDP addressed to a sender: ignore.
+            PacketKind::TcpData { .. } | PacketKind::Udp => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut AgentCtx<'_>) {
+        if token != self.rto_generation {
+            return; // Stale timer from a superseded schedule.
+        }
+        if self.snd_una >= self.next_seq {
+            // Nothing outstanding; idle restart keeps the timer armed only
+            // if data remains to be sent.
+            if self.sending_allowed(ctx.now()) {
+                self.send_window(ctx);
+                self.arm_rto(ctx);
+            }
+            return;
+        }
+        // Retransmission timeout.
+        self.timeouts += 1;
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        self.dup_acks = 0;
+        self.in_fast_recovery = false;
+        self.rtt.backoff();
+        self.retransmit_head(ctx);
+        self.arm_rto(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mafic_netsim::testkit::AgentHarness;
+    use mafic_netsim::{Addr, AgentId};
+
+    fn key() -> FlowKey {
+        FlowKey::new(
+            Addr::from_octets(10, 0, 0, 1),
+            Addr::from_octets(10, 9, 0, 1),
+            4000,
+            80,
+        )
+    }
+
+    fn ack_packet(ack: u64, now: SimTime) -> Packet {
+        Packet {
+            id: 999,
+            key: key().reversed(),
+            kind: PacketKind::TcpAck {
+                ack,
+                ts: now,
+                ts_echo: SimTime::ZERO,
+            },
+            size_bytes: 40,
+            created_at: now,
+            provenance: Provenance {
+                origin: AgentId::from_index(1),
+                is_attack: false,
+            },
+            hops: 0,
+        }
+    }
+
+    fn probe_packet(count: u8, now: SimTime) -> Packet {
+        Packet {
+            id: 998,
+            key: key().reversed(),
+            kind: PacketKind::ProbeDupAck { count },
+            size_bytes: 40,
+            created_at: now,
+            provenance: Provenance::infrastructure(),
+            hops: 0,
+        }
+    }
+
+    fn sender() -> TcpSender {
+        TcpSender::new(key(), TcpConfig::default(), false)
+    }
+
+    #[test]
+    fn start_sends_initial_window() {
+        let mut h = AgentHarness::new();
+        let mut s = sender();
+        let fx = h.start(&mut s);
+        assert_eq!(fx.sent.len(), 2, "initial cwnd is 2 segments");
+        assert!(matches!(fx.sent[0].kind, PacketKind::TcpData { seq: 0, .. }));
+        assert!(matches!(fx.sent[1].kind, PacketKind::TcpData { seq: 1, .. }));
+        assert_eq!(fx.timers.len(), 1, "RTO armed at start");
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut h = AgentHarness::new();
+        let mut s = sender();
+        let _ = h.start(&mut s);
+        h.advance(SimDuration::from_millis(50));
+        let fx = h.deliver(&mut s, ack_packet(2, h.now));
+        assert_eq!(s.cwnd(), 4.0);
+        assert_eq!(fx.sent.len(), 4);
+        assert_eq!(s.phase(), TcpPhase::SlowStart);
+    }
+
+    #[test]
+    fn three_dup_acks_trigger_fast_retransmit() {
+        let mut h = AgentHarness::new();
+        let mut s = sender();
+        let _ = h.start(&mut s);
+        h.advance(SimDuration::from_millis(20));
+        let _ = h.deliver(&mut s, ack_packet(2, h.now));
+        let _ = h.deliver(&mut s, ack_packet(3, h.now));
+        let before = s.cwnd();
+        let _ = h.deliver(&mut s, ack_packet(3, h.now));
+        let _ = h.deliver(&mut s, ack_packet(3, h.now));
+        let fx = h.deliver(&mut s, ack_packet(3, h.now));
+        assert_eq!(s.phase(), TcpPhase::FastRecovery);
+        assert!(s.cwnd() < before, "window must shrink on loss");
+        assert_eq!(s.retransmits(), 1);
+        assert_eq!(fx.sent.len(), 1, "head-of-line retransmission");
+        assert!(matches!(fx.sent[0].kind, PacketKind::TcpData { seq: 3, .. }));
+    }
+
+    #[test]
+    fn probe_burst_halves_window() {
+        let mut h = AgentHarness::new();
+        let mut s = sender();
+        let _ = h.start(&mut s);
+        h.advance(SimDuration::from_millis(20));
+        let _ = h.deliver(&mut s, ack_packet(2, h.now));
+        let _ = h.deliver(&mut s, ack_packet(4, h.now));
+        let before = s.cwnd();
+        let fx = h.deliver(&mut s, probe_packet(3, h.now));
+        assert_eq!(s.probes_received(), 1);
+        assert_eq!(s.phase(), TcpPhase::FastRecovery);
+        assert!(s.cwnd() <= before / 2.0 + 1e-9);
+        assert_eq!(fx.sent.len(), 1, "probe also triggers a retransmission");
+    }
+
+    #[test]
+    fn small_probe_bursts_accumulate() {
+        let mut h = AgentHarness::new();
+        let mut s = sender();
+        let _ = h.start(&mut s);
+        h.advance(SimDuration::from_millis(20));
+        let _ = h.deliver(&mut s, ack_packet(2, h.now));
+        let _ = h.deliver(&mut s, probe_packet(1, h.now));
+        assert_ne!(s.phase(), TcpPhase::FastRecovery);
+        let _ = h.deliver(&mut s, probe_packet(1, h.now));
+        let _ = h.deliver(&mut s, probe_packet(1, h.now));
+        assert_eq!(s.phase(), TcpPhase::FastRecovery);
+    }
+
+    #[test]
+    fn rto_collapses_window_to_one() {
+        let mut h = AgentHarness::new();
+        let mut s = sender();
+        let _ = h.start(&mut s);
+        // Fire the armed RTO (generation 1) without any ACK.
+        let fx = h.fire_timer(&mut s, 1);
+        assert_eq!(s.cwnd(), 1.0);
+        assert_eq!(s.timeouts(), 1);
+        assert_eq!(fx.sent.len(), 1);
+        assert!(matches!(fx.sent[0].kind, PacketKind::TcpData { seq: 0, .. }));
+    }
+
+    #[test]
+    fn stale_timer_is_ignored() {
+        let mut h = AgentHarness::new();
+        let mut s = sender();
+        let _ = h.start(&mut s);
+        h.advance(SimDuration::from_millis(10));
+        let _ = h.deliver(&mut s, ack_packet(2, h.now)); // re-arms => generation 2
+        let fx = h.fire_timer(&mut s, 1);
+        assert!(fx.sent.is_empty());
+        assert_eq!(s.timeouts(), 0);
+    }
+
+    #[test]
+    fn recovery_exits_on_covering_ack() {
+        let mut h = AgentHarness::new();
+        let mut s = sender();
+        let _ = h.start(&mut s);
+        h.advance(SimDuration::from_millis(20));
+        let _ = h.deliver(&mut s, ack_packet(2, h.now));
+        let _ = h.deliver(&mut s, probe_packet(3, h.now));
+        assert_eq!(s.phase(), TcpPhase::FastRecovery);
+        let recover_point = s.next_seq;
+        let _ = h.deliver(&mut s, ack_packet(recover_point, h.now));
+        assert_ne!(s.phase(), TcpPhase::FastRecovery);
+    }
+
+    #[test]
+    fn rtt_sample_updates_estimator() {
+        let mut h = AgentHarness::new();
+        let mut s = sender();
+        let _ = h.start(&mut s);
+        h.advance(SimDuration::from_millis(80));
+        // ts_echo carries the original send timestamp.
+        let ack = Packet {
+            id: 997,
+            key: key().reversed(),
+            kind: PacketKind::TcpAck {
+                ack: 1,
+                ts: h.now,
+                ts_echo: SimTime::ZERO + SimDuration::from_millis(10),
+            },
+            size_bytes: 40,
+            created_at: h.now,
+            provenance: Provenance::infrastructure(),
+            hops: 0,
+        };
+        let _ = h.deliver(&mut s, ack);
+        // RTT sample = 80ms - 10ms = 70ms.
+        assert!(s.rtt.srtt().is_some());
+        assert_eq!(s.rtt.srtt().unwrap(), SimDuration::from_millis(70));
+    }
+
+    #[test]
+    fn stop_after_halts_new_data() {
+        let mut h = AgentHarness::new();
+        let mut s = sender();
+        s.set_stop_after(SimTime::from_secs_f64(0.5));
+        let _ = h.start(&mut s);
+        h.now = SimTime::from_secs_f64(1.0);
+        let fx = h.deliver(&mut s, ack_packet(2, h.now));
+        assert!(fx.sent.is_empty(), "no new data after stop_after");
+    }
+
+    #[test]
+    fn cwnd_is_capped() {
+        let mut h = AgentHarness::new();
+        let mut s = sender();
+        let _ = h.start(&mut s);
+        let mut acked = 0u64;
+        for _ in 0..50 {
+            h.advance(SimDuration::from_millis(10));
+            acked = s.next_seq;
+            let _ = h.deliver(&mut s, ack_packet(acked, h.now));
+        }
+        assert!(s.cwnd() <= TcpConfig::default().max_cwnd);
+        assert!(acked > 0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TcpConfig {
+            segment_size: 0,
+            ..TcpConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TcpConfig {
+            initial_cwnd: 0.5,
+            ..TcpConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TcpConfig {
+            max_cwnd: 1.0,
+            ..TcpConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TcpConfig::default().validate().is_ok());
+    }
+}

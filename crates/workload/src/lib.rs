@@ -1,0 +1,28 @@
+//! # mafic-workload
+//!
+//! Scenario generation and execution for the MAFIC reproduction: builds
+//! the protected domain, provisions legitimate TCP flows and spoofing
+//! attack zombies per the paper's parameter surface (`Vt`, `Γ`, `R`,
+//! `Pd`, `N`), installs the LogLog taps and the defense filters, and
+//! runs the periodic pushback monitor that turns sketch epochs into
+//! `PushbackStart` control messages.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mafic_workload::{run_spec, ScenarioSpec};
+//!
+//! let outcome = run_spec(ScenarioSpec::default()).unwrap();
+//! println!("{}", outcome.report);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod scenario;
+pub mod spec;
+
+pub use runner::{run_scenario, run_spec, RunOutcome};
+pub use scenario::{FlowInfo, Scenario, SpoofMode};
+pub use spec::{DetectionMode, NominalRate, ScenarioSpec};

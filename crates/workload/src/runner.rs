@@ -1,0 +1,271 @@
+//! Scenario execution with the periodic pushback monitor.
+//!
+//! The runner steps the simulation in monitor-interval increments. Each
+//! step it harvests the per-router LogLog sketch epochs (exactly what the
+//! paper's `TrafficMonitor` does), builds the traffic matrix, and feeds
+//! the victim detector. On an alarm it sends `PushbackStart` control
+//! messages to the identified Attack Transit Routers; the MAFIC filters
+//! there take over. At the end it assembles the full [`MetricsReport`].
+
+use crate::scenario::Scenario;
+use crate::spec::DetectionMode;
+use mafic::LogLogTap;
+use mafic_loglog::{DetectorConfig, RouterSketch, TrafficMatrix, VictimDetector, VictimVerdict};
+use mafic_metrics::{victim_arrival_series, victim_bandwidth_series, BandwidthPoint, MeasureWindows, MetricsReport};
+use mafic_netsim::{ControlMsg, NodeId, SimDuration, SimTime};
+
+/// Everything a finished run produces.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The paper's five metrics for this run.
+    pub report: MetricsReport,
+    /// Offered-load series at the victim router (the paper's Fig. 4b).
+    pub series: Vec<BandwidthPoint>,
+    /// Delivered-goodput series at the victim host.
+    pub goodput_series: Vec<BandwidthPoint>,
+    /// When the pushback was triggered (`None` if never).
+    pub triggered_at: Option<SimTime>,
+    /// Routers that received the pushback request.
+    pub atr_nodes: Vec<NodeId>,
+    /// Total packets injected during the run.
+    pub packets_sent: u64,
+    /// Total packets delivered during the run.
+    pub packets_delivered: u64,
+}
+
+impl RunOutcome {
+    /// Convenience accessor: did the defense ever engage?
+    #[must_use]
+    pub fn defense_engaged(&self) -> bool {
+        self.triggered_at.is_some()
+    }
+}
+
+/// Runs a scenario to completion.
+///
+/// # Errors
+///
+/// Returns an error message if the detector configuration is invalid
+/// (only possible with a hand-built [`DetectorConfig`]).
+pub fn run_scenario(mut scenario: Scenario) -> Result<RunOutcome, String> {
+    let detector_config = DetectorConfig {
+        // Epoch cardinalities are per monitor interval; the victim sees
+        // a few hundred distinct packets per 100 ms when healthy.
+        min_cardinality: 150.0,
+        surge_factor: 1.6,
+        baseline_weight: 0.3,
+        atr_share: 0.02,
+        // Train the baseline through the TCP slow-start ramp (~0.8 s).
+        warmup_rounds: (0.8 / scenario.spec.monitor_interval.as_secs_f64()).ceil() as u64,
+    };
+    let mut detector = VictimDetector::new(detector_config)?;
+    let mut triggered_at: Option<SimTime> = None;
+    let mut atr_nodes: Vec<NodeId> = Vec::new();
+    let control_delay = SimDuration::from_millis(5);
+
+    let auto = matches!(scenario.spec.detection, DetectionMode::Auto);
+    if let DetectionMode::AtTime(at) = scenario.spec.detection {
+        triggered_at = Some(at);
+        atr_nodes = scenario.droppers.iter().map(|&(n, _)| n).collect();
+    }
+
+    let end = scenario.spec.end;
+    let interval = scenario.spec.monitor_interval;
+    let mut next_stop = SimTime::ZERO + interval;
+    while scenario.sim.now() < end {
+        let stop = next_stop.min(end);
+        scenario.sim.run_until(stop);
+        next_stop = stop + interval;
+        if !auto || triggered_at.is_some() {
+            continue;
+        }
+        // Victim escalation fallback: if the counting pipeline has not
+        // fired within the grace period, every ingress is instructed.
+        if let Some(grace) = scenario.spec.detection_fallback {
+            let deadline = scenario.spec.attack_start + grace;
+            if scenario.sim.now() >= deadline {
+                let now = scenario.sim.now();
+                let at = now + control_delay;
+                for &(node, _) in &scenario.droppers {
+                    scenario.sim.send_control(
+                        node,
+                        ControlMsg::PushbackStart {
+                            victim: scenario.domain.victim_addr,
+                        },
+                        at,
+                    );
+                    atr_nodes.push(node);
+                }
+                triggered_at = Some(at);
+                continue;
+            }
+        }
+        // Harvest this epoch's sketches in Domain::routers() order.
+        let sketches: Vec<RouterSketch> = scenario
+            .taps
+            .iter()
+            .map(|&(node, idx)| {
+                scenario
+                    .sim
+                    .filter_mut::<LogLogTap>(node, idx)
+                    .expect("tap installed at build time")
+                    .take_epoch()
+            })
+            .collect();
+        let matrix = TrafficMatrix::estimate(&sketches).map_err(|e| e.to_string())?;
+        if let VictimVerdict::UnderAttack(alarm) = detector.observe(&matrix) {
+            let routers = scenario.domain.routers();
+            let victim_router = routers[alarm.victim.0];
+            // Only a last-hop alarm for *our* victim counts; ingress
+            // routers also have egress traffic (ACKs toward hosts).
+            if victim_router != scenario.domain.victim_router {
+                continue;
+            }
+            let now = scenario.sim.now();
+            let at = now + control_delay;
+            for &(id, _contribution) in &alarm.attack_transit_routers {
+                let node = routers[id.0];
+                // Never instruct the victim's own router; MAFIC runs at
+                // the ingress ATRs.
+                if node == scenario.domain.victim_router {
+                    continue;
+                }
+                scenario.sim.send_control(
+                    node,
+                    ControlMsg::PushbackStart {
+                        victim: scenario.domain.victim_addr,
+                    },
+                    at,
+                );
+                atr_nodes.push(node);
+            }
+            if !atr_nodes.is_empty() {
+                triggered_at = Some(at);
+            }
+        }
+    }
+
+    // β windows: "before" covers only the attack-raging period between
+    // attack start and the trigger; "after" sits right behind the trigger
+    // (the paper reports the cut achieved within ~2×RTT, before the nice
+    // flows regain their bandwidth shares).
+    let trigger_anchor = triggered_at.unwrap_or(scenario.spec.attack_start);
+    let raging = trigger_anchor.saturating_since(scenario.spec.attack_start);
+    let windows = MeasureWindows {
+        trigger_at: trigger_anchor,
+        before: raging
+            .max(SimDuration::from_millis(50))
+            .min(SimDuration::from_millis(500)),
+        settle: SimDuration::from_millis(50),
+        after: SimDuration::from_millis(200),
+    };
+    let stats = scenario.sim.stats();
+    let report = MetricsReport::from_stats(stats, &windows);
+    let series = victim_arrival_series(stats);
+    let goodput_series = victim_bandwidth_series(stats);
+    Ok(RunOutcome {
+        report,
+        series,
+        goodput_series,
+        triggered_at,
+        atr_nodes,
+        packets_sent: stats.total_sent,
+        packets_delivered: stats.total_delivered,
+    })
+}
+
+/// Builds and runs a scenario in one call, averaging is the caller's job.
+///
+/// # Errors
+///
+/// Propagates build and run errors.
+pub fn run_spec(spec: crate::spec::ScenarioSpec) -> Result<RunOutcome, String> {
+    run_scenario(Scenario::build(spec)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+
+    fn quick_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            total_flows: 12,
+            n_routers: 6,
+            attack_start: SimTime::from_secs_f64(0.8),
+            end: SimTime::from_secs_f64(3.0),
+            ..ScenarioSpec::default()
+        }
+    }
+
+    #[test]
+    fn auto_detection_triggers_and_cuts_attack() {
+        let outcome = run_spec(quick_spec()).unwrap();
+        assert!(outcome.defense_engaged(), "detector must fire: {outcome:?}");
+        let t = outcome.triggered_at.unwrap();
+        assert!(
+            t > quick_spec().attack_start,
+            "trigger {t} before attack start"
+        );
+        assert!(
+            t < quick_spec().attack_start + SimDuration::from_millis(600),
+            "detection too slow: {t}"
+        );
+        assert!(!outcome.atr_nodes.is_empty());
+        // The defense must drop the bulk of the attack.
+        assert!(
+            outcome.report.accuracy_pct > 90.0,
+            "accuracy {:.2}%",
+            outcome.report.accuracy_pct
+        );
+    }
+
+    #[test]
+    fn fixed_time_detection_runs_without_monitor() {
+        let spec = ScenarioSpec {
+            detection: DetectionMode::AtTime(SimTime::from_secs_f64(1.0)),
+            ..quick_spec()
+        };
+        let outcome = run_spec(spec).unwrap();
+        assert_eq!(outcome.triggered_at, Some(SimTime::from_secs_f64(1.0)));
+        assert!(outcome.report.accuracy_pct > 90.0);
+    }
+
+    #[test]
+    fn detection_off_never_drops() {
+        let spec = ScenarioSpec {
+            detection: DetectionMode::Off,
+            ..quick_spec()
+        };
+        let outcome = run_spec(spec).unwrap();
+        assert!(!outcome.defense_engaged());
+        assert_eq!(outcome.report.attack_dropped, 0);
+        assert_eq!(outcome.report.attack_seen, 0, "no ATR accounting when idle");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_spec(quick_spec()).unwrap();
+        let b = run_spec(quick_spec()).unwrap();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.triggered_at, b.triggered_at);
+        assert_eq!(a.packets_sent, b.packets_sent);
+    }
+
+    #[test]
+    fn legit_flows_survive_the_defense() {
+        let outcome = run_spec(quick_spec()).unwrap();
+        // The whole point of MAFIC: legitimate flows keep most of their
+        // packets.
+        assert!(
+            outcome.report.legit_drop_pct < 20.0,
+            "legit drop rate {:.2}%",
+            outcome.report.legit_drop_pct
+        );
+        assert!(
+            outcome.report.flows.legit_condemned <= outcome.report.flows.legit_flows / 4,
+            "too many legit flows condemned: {:?}",
+            outcome.report.flows
+        );
+    }
+}

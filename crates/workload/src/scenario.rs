@@ -1,0 +1,380 @@
+//! Scenario construction: domain + agents + filters, fully wired.
+
+use crate::spec::{DetectionMode, ScenarioSpec};
+use mafic::{AddressValidator, DropPolicy, LogLogTap, MaficConfig, MaficFilter, ProportionalFilter};
+use mafic_netsim::{
+    Addr, AgentId, FlowKey, NodeId, SimDuration, SimTime, Simulator,
+};
+use mafic_topology::{Domain, DomainConfig, PREFIX_LEN};
+use mafic_transport::{
+    CbrConfig, CbrProtocol, TcpConfig, TcpSender, UnresponsiveSender, VictimSink,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Spoofing mode of one attack flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpoofMode {
+    /// Uses the zombie's genuine address.
+    None,
+    /// Claims an unallocated (illegal) address.
+    Illegal,
+    /// Claims a legal address from another subnet.
+    LegalOtherSubnet,
+}
+
+/// Ground-truth description of one provisioned flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowInfo {
+    /// The flow's wire 4-tuple (claimed source included).
+    pub key: FlowKey,
+    /// The sending agent.
+    pub agent: AgentId,
+    /// True for attack flows.
+    pub is_attack: bool,
+    /// True for flows whose data segments are TCP.
+    pub is_tcp: bool,
+    /// The spoofing mode (always `None` for legitimate flows).
+    pub spoof: SpoofMode,
+    /// Index of the ingress router the flow enters through.
+    pub ingress_index: usize,
+}
+
+/// A fully wired scenario, ready to run.
+pub struct Scenario {
+    /// The simulator holding the domain, agents, and filters.
+    pub sim: Simulator,
+    /// Topology handles.
+    pub domain: Domain,
+    /// The spec this scenario was built from.
+    pub spec: ScenarioSpec,
+    /// All provisioned flows with ground truth.
+    pub flows: Vec<FlowInfo>,
+    /// `(router, filter index)` of the defense filter on each ingress.
+    pub droppers: Vec<(NodeId, usize)>,
+    /// `(router, filter index)` of the LogLog tap on each router, in
+    /// [`Domain::routers`] order.
+    pub taps: Vec<(NodeId, usize)>,
+    /// The victim sink agent.
+    pub victim_agent: AgentId,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("flows", &self.flows.len())
+            .field("droppers", &self.droppers.len())
+            .field("taps", &self.taps.len())
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// Builds the scenario described by `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the spec or derived domain is invalid.
+    pub fn build(spec: ScenarioSpec) -> Result<Scenario, String> {
+        spec.validate()?;
+        let mut rng = SmallRng::seed_from_u64(spec.seed.wrapping_mul(0x9E37_79B9));
+        let mut sim = Simulator::new(spec.seed);
+
+        let domain_config = DomainConfig {
+            n_routers: spec.n_routers,
+            n_hosts: spec.total_flows,
+            seed: spec.seed ^ 0xD0_4A1,
+            ..DomainConfig::default()
+        };
+        let domain = Domain::build(&mut sim, &domain_config)?;
+
+        // Victim endpoint.
+        let victim_agent = sim.add_agent(
+            domain.victim_host,
+            Box::new(VictimSink::default()),
+            SimTime::ZERO,
+        );
+        sim.bind_local_addr(domain.victim_host, domain.victim_addr, victim_agent);
+        sim.stats_mut()
+            .watch_victim(domain.victim_host, spec.victim_bin);
+        sim.stats_mut().watch_arrivals(
+            domain.victim_router,
+            domain.victim_addr,
+            spec.victim_bin,
+        );
+
+        // Filters: tap first (counts arrivals), then the dropper.
+        let validator = AddressValidator::Prefixes(
+            (0..domain.address_space.ingress_count())
+                .map(|i| (domain.address_space.ingress_prefix(i), PREFIX_LEN))
+                .chain(std::iter::once((
+                    domain.address_space.victim_prefix(),
+                    PREFIX_LEN,
+                )))
+                .collect(),
+        );
+        let mut taps = Vec::new();
+        let routers = domain.routers();
+        for &router in &routers {
+            let (ingress_links, egress_addrs): (Vec<_>, Vec<Addr>) = if router
+                == domain.victim_router
+            {
+                (Vec::new(), vec![domain.victim_addr])
+            } else if let Some(ingress_index) =
+                domain.ingress_routers.iter().position(|&r| r == router)
+            {
+                let links = domain
+                    .hosts
+                    .iter()
+                    .filter(|h| h.ingress_index == ingress_index)
+                    .map(|h| h.uplink)
+                    .collect();
+                let addrs = domain
+                    .hosts
+                    .iter()
+                    .filter(|h| h.ingress_index == ingress_index)
+                    .map(|h| h.addr)
+                    .collect();
+                (links, addrs)
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            let tap = LogLogTap::new(spec.loglog_precision, ingress_links, egress_addrs);
+            let idx = sim.add_filter(router, Box::new(tap));
+            taps.push((router, idx));
+        }
+
+        let mut droppers = Vec::new();
+        for (i, &ingress) in domain.ingress_routers.iter().enumerate() {
+            let filter_seed = spec
+                .seed
+                .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                .wrapping_add(i as u64);
+            let idx = match spec.policy {
+                DropPolicy::Mafic => {
+                    let config = MaficConfig {
+                        drop_probability: spec.drop_probability,
+                        timer_rtt_multiplier: spec.timer_rtt_multiplier,
+                        decrease_threshold: spec.decrease_threshold,
+                        label_mode: spec.label_mode,
+                        nft_revalidate_after: spec.nft_revalidate_after,
+                        seed: filter_seed,
+                        ..MaficConfig::default()
+                    };
+                    sim.add_filter(
+                        ingress,
+                        Box::new(MaficFilter::new(config, validator.clone())),
+                    )
+                }
+                DropPolicy::Proportional => sim.add_filter(
+                    ingress,
+                    Box::new(ProportionalFilter::new(spec.drop_probability, filter_seed)),
+                ),
+            };
+            droppers.push((ingress, idx));
+        }
+
+        // Traffic: one host per flow. Legitimate TCP first, zombies last.
+        let n_legit = spec.legit_flow_count();
+        let n_attack = spec.attack_flow_count();
+        debug_assert_eq!(n_legit + n_attack, spec.total_flows);
+        let mut flows = Vec::with_capacity(spec.total_flows);
+
+        for (i, host) in domain.hosts.iter().enumerate() {
+            let src_port = 1024 + i as u16;
+            let is_attack = i >= n_legit;
+            if !is_attack {
+                let key = FlowKey::new(host.addr, domain.victim_addr, src_port, 80);
+                let start = SimTime::ZERO
+                    + SimDuration::from_nanos(
+                        rng.gen_range(0..=spec.legit_start_spread.as_nanos().max(1)),
+                    );
+                // Moderate RTO bounds so nice flows regain their share
+                // promptly after passing the probe test (Fig. 4b).
+                let tcp_config = TcpConfig {
+                    min_rto: SimDuration::from_millis(200),
+                    max_rto: SimDuration::from_secs(2),
+                    ..TcpConfig::default()
+                };
+                let sender = TcpSender::new(key, tcp_config, false);
+                let agent = sim.add_agent(host.node, Box::new(sender), start);
+                sim.bind_local_addr(host.node, host.addr, agent);
+                sim.stats_mut().declare_flow(key, false, true);
+                flows.push(FlowInfo {
+                    key,
+                    agent,
+                    is_attack: false,
+                    is_tcp: true,
+                    spoof: SpoofMode::None,
+                    ingress_index: host.ingress_index,
+                });
+                continue;
+            }
+            // Attack flow: pick spoofing and protocol by configured mix.
+            let attack_rank = i - n_legit;
+            let spoof_roll = (attack_rank as f64 + 0.5) / n_attack as f64;
+            let spoof = if spoof_roll < spec.spoof_illegal {
+                SpoofMode::Illegal
+            } else if spoof_roll < spec.spoof_illegal + spec.spoof_legal {
+                SpoofMode::LegalOtherSubnet
+            } else {
+                SpoofMode::None
+            };
+            let claimed_src = match spoof {
+                SpoofMode::None => host.addr,
+                SpoofMode::Illegal => domain.address_space.random_illegal(&mut rng),
+                SpoofMode::LegalOtherSubnet => domain
+                    .address_space
+                    .random_legal_spoof(host.ingress_index, &mut rng)
+                    .unwrap_or(host.addr),
+            };
+            let tcp_like_roll = rng.gen::<f64>();
+            let protocol = if tcp_like_roll < spec.attack_tcp_like {
+                CbrProtocol::TcpLike
+            } else {
+                CbrProtocol::Udp
+            };
+            let key = FlowKey::new(claimed_src, domain.victim_addr, src_port, 80);
+            let config = CbrConfig {
+                rate_pps: spec.attack_rate_pps(),
+                packet_size: 500,
+                jitter: 0.2,
+                protocol,
+            };
+            let mut sender =
+                UnresponsiveSender::new(key, config, true, spec.seed ^ (i as u64) << 3);
+            sender.set_stop_after(spec.end);
+            let agent = sim.add_agent(host.node, Box::new(sender), spec.attack_start);
+            sim.bind_local_addr(host.node, host.addr, agent);
+            sim.stats_mut()
+                .declare_flow(key, true, protocol == CbrProtocol::TcpLike);
+            flows.push(FlowInfo {
+                key,
+                agent,
+                is_attack: true,
+                is_tcp: protocol == CbrProtocol::TcpLike,
+                spoof,
+                ingress_index: host.ingress_index,
+            });
+        }
+
+        // Fixed-time detection installs the control messages up front.
+        if let DetectionMode::AtTime(at) = spec.detection {
+            for &(router, _) in &droppers {
+                sim.send_control(
+                    router,
+                    mafic_netsim::ControlMsg::PushbackStart {
+                        victim: domain.victim_addr,
+                    },
+                    at,
+                );
+            }
+        }
+
+        Ok(Scenario {
+            sim,
+            domain,
+            spec,
+            flows,
+            droppers,
+            taps,
+            victim_agent,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            total_flows: 10,
+            n_routers: 6,
+            end: SimTime::from_secs_f64(2.0),
+            ..ScenarioSpec::default()
+        }
+    }
+
+    #[test]
+    fn build_provisions_everything() {
+        let s = Scenario::build(small_spec()).unwrap();
+        assert_eq!(s.flows.len(), 10);
+        assert_eq!(s.droppers.len(), s.domain.ingress_routers.len());
+        assert_eq!(s.taps.len(), s.domain.routers().len());
+        let attackers = s.flows.iter().filter(|f| f.is_attack).count();
+        assert_eq!(attackers, small_spec().attack_flow_count());
+    }
+
+    #[test]
+    fn legit_flows_use_genuine_addresses() {
+        let s = Scenario::build(small_spec()).unwrap();
+        for (flow, host) in s.flows.iter().zip(s.domain.hosts.iter()) {
+            if !flow.is_attack {
+                assert_eq!(flow.key.src, host.addr);
+                assert_eq!(flow.spoof, SpoofMode::None);
+            }
+        }
+    }
+
+    #[test]
+    fn spoof_mix_is_respected() {
+        let spec = ScenarioSpec {
+            total_flows: 40,
+            tcp_share: 0.5, // 20 attack flows
+            spoof_illegal: 0.25,
+            spoof_legal: 0.25,
+            ..small_spec()
+        };
+        let s = Scenario::build(spec).unwrap();
+        let attack: Vec<_> = s.flows.iter().filter(|f| f.is_attack).collect();
+        assert_eq!(attack.len(), 20);
+        let illegal = attack.iter().filter(|f| f.spoof == SpoofMode::Illegal).count();
+        let legal = attack
+            .iter()
+            .filter(|f| f.spoof == SpoofMode::LegalOtherSubnet)
+            .count();
+        assert_eq!(illegal, 5, "25% of 20 attack flows");
+        assert_eq!(legal, 5);
+        for f in &attack {
+            match f.spoof {
+                SpoofMode::Illegal => {
+                    assert!(!s.domain.address_space.is_legal(f.key.src));
+                }
+                SpoofMode::LegalOtherSubnet => {
+                    assert!(s.domain.address_space.is_legal(f.key.src));
+                }
+                SpoofMode::None => {}
+            }
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Scenario::build(small_spec()).unwrap();
+        let b = Scenario::build(small_spec()).unwrap();
+        let keys_a: Vec<_> = a.flows.iter().map(|f| f.key).collect();
+        let keys_b: Vec<_> = b.flows.iter().map(|f| f.key).collect();
+        assert_eq!(keys_a, keys_b);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let bad = ScenarioSpec {
+            total_flows: 0,
+            ..ScenarioSpec::default()
+        };
+        assert!(Scenario::build(bad).is_err());
+    }
+
+    #[test]
+    fn proportional_policy_installs_baseline_filters() {
+        let spec = ScenarioSpec {
+            policy: DropPolicy::Proportional,
+            ..small_spec()
+        };
+        let s = Scenario::build(spec).unwrap();
+        let (node, idx) = s.droppers[0];
+        assert!(s.sim.filter::<ProportionalFilter>(node, idx).is_some());
+    }
+}

@@ -1,0 +1,305 @@
+//! Scenario specification — the experiment parameter surface.
+//!
+//! One [`ScenarioSpec`] captures everything the paper's evaluation
+//! sweeps: traffic volume `Vt`, TCP share `Γ`, flow rate `R`, drop
+//! probability `Pd`, domain size `N`, plus the spoofing mix, the drop
+//! policy under test, and all timing anchors. Defaults follow Table II.
+
+use mafic::{DropPolicy, LabelMode};
+use mafic_loglog::Precision;
+use mafic_netsim::{SimDuration, SimTime};
+
+/// How the pushback trigger is decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionMode {
+    /// The LogLog set-union monitor detects the surge and identifies the
+    /// ATRs (the full pipeline of the paper).
+    Auto,
+    /// Activate the defense at a fixed time on every ingress router
+    /// (isolates MAFIC behaviour from detector behaviour).
+    AtTime(SimTime),
+    /// Never activate (undefended baseline runs).
+    Off,
+}
+
+/// The paper's nominal per-source sending rates (Fig. 3b series).
+///
+/// `R` is given in the paper both as packets/s and as a bit rate; with
+/// the 500-byte segments used throughout, the three series map to the
+/// packet rates below (see DESIGN.md §4 for the substitution note).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NominalRate {
+    /// "100 kbps" — 25 packets/s at 500-byte packets.
+    R100k,
+    /// "500 kbps" — 125 packets/s.
+    R500k,
+    /// "1 Mbps" — 250 packets/s (Table II default).
+    R1M,
+}
+
+impl NominalRate {
+    /// Packets per second for this nominal rate.
+    #[must_use]
+    pub fn pps(self) -> f64 {
+        match self {
+            NominalRate::R100k => 25.0,
+            NominalRate::R500k => 125.0,
+            NominalRate::R1M => 250.0,
+        }
+    }
+
+    /// Display label matching the paper's legends.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            NominalRate::R100k => "R=100k",
+            NominalRate::R500k => "R=500k",
+            NominalRate::R1M => "R=1M",
+        }
+    }
+}
+
+/// Full description of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// `Vt` — total number of flows (Table II: 50).
+    pub total_flows: usize,
+    /// `Γ` — fraction of flows that are legitimate TCP (Table II: 0.95);
+    /// the remainder are unresponsive attack flows.
+    pub tcp_share: f64,
+    /// `R` — nominal per-source rate in packets/s (Table II: "1M").
+    pub flow_rate_pps: f64,
+    /// Aggregate attack volume as a multiple of `R × Vt`, split evenly
+    /// across the zombies. 1.0 roughly doubles the offered load.
+    pub attack_load_factor: f64,
+    /// Fraction of attack flows emitting TCP-looking segments (the rest
+    /// send UDP).
+    pub attack_tcp_like: f64,
+    /// Fraction of attack flows spoofing an *illegal* source address.
+    pub spoof_illegal: f64,
+    /// Fraction of attack flows spoofing a *legal* address from another
+    /// subnet (the rest use their own address).
+    pub spoof_legal: f64,
+    /// `N` — number of routers in the domain (Table II: 40).
+    pub n_routers: usize,
+    /// `Pd` — the probing drop probability (Table II: 0.9).
+    pub drop_probability: f64,
+    /// Which drop policy runs at the ATRs.
+    pub policy: DropPolicy,
+    /// Flow-label mode for the MAFIC tables.
+    pub label_mode: LabelMode,
+    /// Probation timer as a multiple of the flow RTT (paper: 2).
+    pub timer_rtt_multiplier: f64,
+    /// Responsiveness threshold for the probe decision.
+    pub decrease_threshold: f64,
+    /// Optional NFT re-validation period (anti-pulsing extension; the
+    /// paper's algorithm never re-probes).
+    pub nft_revalidate_after: Option<SimDuration>,
+    /// LogLog sketch precision for the pushback taps.
+    pub loglog_precision: Precision,
+    /// How the pushback trigger is decided.
+    pub detection: DetectionMode,
+    /// In [`DetectionMode::Auto`], if the sketch monitor has not raised
+    /// the alarm this long after the attack begins, the victim escalates
+    /// and pushback is forced at every ingress (a victim experiencing
+    /// collapse notifies its upstreams even without the counting
+    /// pipeline). `None` disables the fallback.
+    pub detection_fallback: Option<SimDuration>,
+    /// Monitor sampling interval (traffic-matrix epochs).
+    pub monitor_interval: SimDuration,
+    /// When legitimate flows start (staggered up to `legit_start_spread`).
+    pub legit_start_spread: SimDuration,
+    /// When the attack begins.
+    pub attack_start: SimTime,
+    /// End of the simulated run.
+    pub end: SimTime,
+    /// Victim time-series bin width.
+    pub victim_bin: SimDuration,
+    /// Master seed; all component seeds derive from it.
+    pub seed: u64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            total_flows: 50,
+            tcp_share: 0.95,
+            flow_rate_pps: NominalRate::R1M.pps(),
+            attack_load_factor: 1.0,
+            attack_tcp_like: 0.5,
+            spoof_illegal: 0.25,
+            spoof_legal: 0.25,
+            n_routers: 40,
+            drop_probability: 0.9,
+            policy: DropPolicy::Mafic,
+            label_mode: LabelMode::Hashed,
+            timer_rtt_multiplier: 2.0,
+            decrease_threshold: 0.7,
+            nft_revalidate_after: None,
+            loglog_precision: Precision::P10,
+            detection: DetectionMode::Auto,
+            detection_fallback: Some(SimDuration::from_millis(500)),
+            monitor_interval: SimDuration::from_millis(100),
+            legit_start_spread: SimDuration::from_millis(500),
+            attack_start: SimTime::from_secs_f64(1.0),
+            end: SimTime::from_secs_f64(8.0),
+            victim_bin: SimDuration::from_millis(50),
+            seed: 1,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Number of legitimate TCP flows.
+    #[must_use]
+    pub fn legit_flow_count(&self) -> usize {
+        self.total_flows - self.attack_flow_count()
+    }
+
+    /// Number of attack flows — at least one whenever flows exist, so the
+    /// "under attack" scenarios stay meaningful across the `Γ` sweep.
+    #[must_use]
+    pub fn attack_flow_count(&self) -> usize {
+        if self.total_flows == 0 {
+            return 0;
+        }
+        let raw = ((1.0 - self.tcp_share) * self.total_flows as f64).round() as usize;
+        raw.clamp(1, self.total_flows)
+    }
+
+    /// Per-zombie sending rate in packets/s.
+    #[must_use]
+    pub fn attack_rate_pps(&self) -> f64 {
+        let attackers = self.attack_flow_count();
+        if attackers == 0 {
+            return 0.0;
+        }
+        self.attack_load_factor * self.flow_rate_pps * self.total_flows as f64
+            / attackers as f64
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.total_flows == 0 {
+            return Err("total_flows must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.tcp_share) {
+            return Err(format!("tcp_share must be in [0, 1], got {}", self.tcp_share));
+        }
+        if self.flow_rate_pps.is_nan() || self.flow_rate_pps <= 0.0 {
+            return Err("flow_rate_pps must be positive".into());
+        }
+        if self.attack_load_factor.is_nan() || self.attack_load_factor < 0.0 {
+            return Err("attack_load_factor must be >= 0".into());
+        }
+        for (name, v) in [
+            ("attack_tcp_like", self.attack_tcp_like),
+            ("spoof_illegal", self.spoof_illegal),
+            ("spoof_legal", self.spoof_legal),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0, 1], got {v}"));
+            }
+        }
+        if self.spoof_illegal + self.spoof_legal > 1.0 + 1e-9 {
+            return Err("spoof_illegal + spoof_legal must not exceed 1".into());
+        }
+        if self.n_routers < 3 {
+            return Err(format!("n_routers must be >= 3, got {}", self.n_routers));
+        }
+        if !(0.0..=1.0).contains(&self.drop_probability) {
+            return Err("drop_probability must be in [0, 1]".into());
+        }
+        if self.attack_start >= self.end {
+            return Err("attack_start must precede end".into());
+        }
+        if self.monitor_interval.is_zero() {
+            return Err("monitor_interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let s = ScenarioSpec::default();
+        assert_eq!(s.total_flows, 50);
+        assert!((s.tcp_share - 0.95).abs() < 1e-9);
+        assert_eq!(s.n_routers, 40);
+        assert!((s.drop_probability - 0.9).abs() < 1e-9);
+        assert_eq!(s.flow_rate_pps, 250.0);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn flow_split_respects_gamma() {
+        let s = ScenarioSpec {
+            total_flows: 100,
+            tcp_share: 0.8,
+            ..ScenarioSpec::default()
+        };
+        assert_eq!(s.attack_flow_count(), 20);
+        assert_eq!(s.legit_flow_count(), 80);
+    }
+
+    #[test]
+    fn at_least_one_attacker() {
+        let s = ScenarioSpec {
+            total_flows: 10,
+            tcp_share: 1.0,
+            ..ScenarioSpec::default()
+        };
+        assert_eq!(s.attack_flow_count(), 1);
+        assert_eq!(s.legit_flow_count(), 9);
+    }
+
+    #[test]
+    fn attack_rate_splits_total_volume() {
+        let s = ScenarioSpec {
+            total_flows: 50,
+            tcp_share: 0.9, // 5 attackers
+            flow_rate_pps: 100.0,
+            attack_load_factor: 1.0,
+            ..ScenarioSpec::default()
+        };
+        // Total attack = 1.0 × 100 × 50 = 5000 pps over 5 zombies.
+        assert!((s.attack_rate_pps() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nominal_rates_map_to_pps() {
+        assert_eq!(NominalRate::R100k.pps(), 25.0);
+        assert_eq!(NominalRate::R500k.pps(), 125.0);
+        assert_eq!(NominalRate::R1M.pps(), 250.0);
+        assert_eq!(NominalRate::R1M.label(), "R=1M");
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let base = ScenarioSpec::default();
+        assert!(ScenarioSpec { total_flows: 0, ..base.clone() }.validate().is_err());
+        assert!(ScenarioSpec { tcp_share: 1.5, ..base.clone() }.validate().is_err());
+        assert!(ScenarioSpec { n_routers: 2, ..base.clone() }.validate().is_err());
+        assert!(ScenarioSpec {
+            spoof_illegal: 0.7,
+            spoof_legal: 0.7,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ScenarioSpec {
+            attack_start: SimTime::from_secs_f64(9.0),
+            ..base
+        }
+        .validate()
+        .is_err());
+    }
+}

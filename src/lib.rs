@@ -1,0 +1,39 @@
+//! # mafic-suite
+//!
+//! Facade crate bundling the complete MAFIC reproduction (Chen, Kwok &
+//! Hwang, "MAFIC: Adaptive Packet Dropping for Cutting Malicious Flows
+//! to Push Back DDoS Attacks", ICDCSW 2005):
+//!
+//! * [`netsim`] — the deterministic discrete-event network simulator,
+//! * [`transport`] — TCP Reno-style senders/sinks and unresponsive
+//!   attack zombies,
+//! * [`topology`] — protected-domain builders and the address plan,
+//! * [`loglog`] — LogLog sketches and the set-union counting pushback
+//!   pipeline,
+//! * [`core`] — the MAFIC algorithm (SFT/NFT/PDT, probing, adaptive
+//!   dropping) plus the proportional baseline,
+//! * [`metrics`] — the paper's α/β/θp/θn/Lr metrics,
+//! * [`workload`] — scenario generation and the experiment runner,
+//! * [`experiments`] — per-figure regeneration harnesses.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use mafic_suite::workload::{run_spec, ScenarioSpec};
+//!
+//! let outcome = run_spec(ScenarioSpec::default()).unwrap();
+//! assert!(outcome.report.accuracy_pct > 99.0);
+//! println!("{}", outcome.report);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mafic as core;
+pub use mafic_experiments as experiments;
+pub use mafic_loglog as loglog;
+pub use mafic_metrics as metrics;
+pub use mafic_netsim as netsim;
+pub use mafic_topology as topology;
+pub use mafic_transport as transport;
+pub use mafic_workload as workload;

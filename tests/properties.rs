@@ -1,0 +1,163 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates (hence at workspace level).
+
+use mafic_suite::core::{
+    AddressValidator, FlowLabel, LabelMode, MaficConfig, MaficFilter,
+};
+use mafic_suite::loglog::{LogLog, Precision};
+use mafic_suite::netsim::testkit::FilterHarness;
+use mafic_suite::netsim::{
+    Addr, DropReason, FilterAction, FlowKey, Packet, PacketKind, Provenance, SimDuration,
+    SimTime,
+};
+use proptest::prelude::*;
+
+fn arbitrary_key() -> impl Strategy<Value = FlowKey> {
+    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>()).prop_map(|(s, d, sp, dp)| {
+        FlowKey::new(Addr::new(s), Addr::new(d), sp, dp)
+    })
+}
+
+proptest! {
+    /// Hashed labels are a pure function of the key.
+    #[test]
+    fn flow_labels_are_deterministic(key in arbitrary_key()) {
+        let a = FlowLabel::from_key(key, LabelMode::Hashed);
+        let b = FlowLabel::from_key(key, LabelMode::Hashed);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.token(), b.token());
+    }
+
+    /// Reversing a flow key twice is the identity.
+    #[test]
+    fn flow_key_reversal_involution(key in arbitrary_key()) {
+        prop_assert_eq!(key.reversed().reversed(), key);
+    }
+
+    /// LogLog merge is commutative: merge(a,b) == merge(b,a) on registers.
+    #[test]
+    fn loglog_merge_commutes(
+        items_a in proptest::collection::vec(any::<u64>(), 0..500),
+        items_b in proptest::collection::vec(any::<u64>(), 0..500),
+    ) {
+        let mut a = LogLog::new(Precision::P8);
+        let mut b = LogLog::new(Precision::P8);
+        for &x in &items_a { a.insert_u64(x); }
+        for &x in &items_b { b.insert_u64(x); }
+        let ab = a.merged(&b).unwrap();
+        let ba = b.merged(&a).unwrap();
+        prop_assert_eq!(ab.registers(), ba.registers());
+    }
+
+    /// Merging can only grow (or keep) the estimate: union dominates parts.
+    #[test]
+    fn loglog_union_dominates_parts(
+        items_a in proptest::collection::vec(any::<u64>(), 1..500),
+        items_b in proptest::collection::vec(any::<u64>(), 1..500),
+    ) {
+        let mut a = LogLog::new(Precision::P8);
+        let mut b = LogLog::new(Precision::P8);
+        for &x in &items_a { a.insert_u64(x); }
+        for &x in &items_b { b.insert_u64(x); }
+        let union = a.merged(&b).unwrap();
+        // Register-wise max implies the union's registers dominate both.
+        for (u, (x, y)) in union
+            .registers()
+            .iter()
+            .zip(a.registers().iter().zip(b.registers().iter()))
+        {
+            prop_assert!(u >= x && u >= y);
+        }
+    }
+
+    /// Duplicate insertions never change a LogLog's registers.
+    #[test]
+    fn loglog_idempotent_inserts(items in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let mut once = LogLog::new(Precision::P8);
+        let mut thrice = LogLog::new(Precision::P8);
+        for &x in &items { once.insert_u64(x); }
+        for _ in 0..3 {
+            for &x in &items { thrice.insert_u64(x); }
+        }
+        prop_assert_eq!(once.registers(), thrice.registers());
+    }
+
+    /// The MAFIC filter never drops packets for other destinations, no
+    /// matter the flow key, and always drops PDT'd flows' packets.
+    #[test]
+    fn mafic_filter_scope_invariant(key in arbitrary_key(), pd in 0.0f64..=1.0) {
+        let victim = Addr::from_octets(10, 200, 0, 1);
+        prop_assume!(key.dst != victim);
+        let config = MaficConfig {
+            drop_probability: pd,
+            ..MaficConfig::default()
+        };
+        let mut filter = MaficFilter::new(config, AddressValidator::AllowAll);
+        filter.activate(victim);
+        let mut h = FilterHarness::new();
+        let pkt = Packet {
+            id: 1,
+            key,
+            kind: PacketKind::Udp,
+            size_bytes: 100,
+            created_at: SimTime::ZERO,
+            provenance: Provenance::infrastructure(),
+            hops: 0,
+        };
+        let fx = h.offer_transit(&mut filter, &pkt);
+        prop_assert_eq!(fx.action, Some(FilterAction::Forward));
+    }
+
+    /// With Pd = 1 every first packet of a legal new flow is dropped and
+    /// probed; with Pd = 0 nothing is ever dropped.
+    #[test]
+    fn mafic_extreme_pd_behaviour(key in arbitrary_key()) {
+        let victim = Addr::from_octets(10, 200, 0, 1);
+        let key = FlowKey { dst: victim, ..key };
+        for (pd, expect_drop) in [(1.0, true), (0.0, false)] {
+            let config = MaficConfig { drop_probability: pd, ..MaficConfig::default() };
+            let mut filter = MaficFilter::new(config, AddressValidator::AllowAll);
+            filter.activate(victim);
+            let mut h = FilterHarness::new();
+            let pkt = Packet {
+                id: 1,
+                key,
+                kind: PacketKind::Udp,
+                size_bytes: 100,
+                created_at: SimTime::ZERO,
+                provenance: Provenance::infrastructure(),
+                hops: 0,
+            };
+            let fx = h.offer_transit(&mut filter, &pkt);
+            if expect_drop {
+                prop_assert_eq!(fx.action, Some(FilterAction::Drop(DropReason::FilterProbing)));
+                prop_assert_eq!(fx.emitted.len(), 1, "probe must be emitted");
+            } else {
+                prop_assert_eq!(fx.action, Some(FilterAction::Forward));
+                prop_assert!(fx.emitted.is_empty());
+            }
+        }
+    }
+
+    /// Address prefix membership is consistent with explicit masking.
+    #[test]
+    fn prefix_membership_matches_mask(addr in any::<u32>(), prefix in any::<u32>(), len in 0u8..=32) {
+        let a = Addr::new(addr);
+        let p = Addr::new(prefix);
+        let expected = if len == 0 {
+            true
+        } else {
+            let mask = u32::MAX << (32 - u32::from(len));
+            (addr & mask) == (prefix & mask)
+        };
+        prop_assert_eq!(a.in_prefix(p, len), expected);
+    }
+
+    /// SimTime arithmetic: (t + d) - t == d for all representable pairs.
+    #[test]
+    fn time_addition_round_trips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let time = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((time + dur) - time, dur);
+    }
+}
