@@ -1,11 +1,27 @@
 //! Microbenchmarks of the per-packet hot paths: the MAFIC filter
-//! decision, LogLog insertion, and flow-label hashing.
+//! decision, LogLog insertion, flow-label hashing, and — the headline of
+//! the interning refactor — hashed-map vs interned-slab flow lookup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mafic::{AddressValidator, FlowLabel, LabelMode, MaficConfig, MaficFilter};
 use mafic_loglog::{LogLog, Precision};
 use mafic_netsim::testkit::FilterHarness;
-use mafic_netsim::{Addr, FlowKey, Packet, PacketKind, Provenance, SimTime};
+use mafic_netsim::{
+    Addr, FlowInterner, FlowKey, FlowSlab, Packet, PacketKind, Provenance, SimTime,
+};
+
+/// Number of resident flows for the lookup comparison (a mid-size router
+/// table; well past any cache-friendly toy size).
+const TABLE_FLOWS: u32 = 10_000;
+
+fn flow_key(n: u32) -> FlowKey {
+    FlowKey::new(
+        Addr::new(0x0A01_0000 | (n & 0xFFFF)),
+        Addr::from_octets(10, 200, 0, 1),
+        (1024 + (n % 50_000)) as u16,
+        80,
+    )
+}
 
 fn packet(port: u16) -> Packet {
     Packet {
@@ -49,6 +65,73 @@ fn bench(c: &mut Criterion) {
         let key = packet(1).key;
         b.iter(|| FlowLabel::from_key(key, LabelMode::Hashed).token());
     });
+
+    // The refactor's before/after: per-packet table access keyed by a
+    // hashed FlowLabel in a std HashMap (the seed's data path) vs one
+    // interner probe plus a dense slab index (the current data path).
+    // Each iteration simulates one packet touching per-flow state:
+    // derive the table key from the 4-tuple, look the record up, bump it.
+    let mut group = c.benchmark_group("flow_lookup");
+    group.sample_size(20);
+
+    group.bench_function("hashed_hashmap", |b| {
+        // The baseline under comparison — exempt from the workspace-wide
+        // HashMap ban, which exists precisely because of this cost (and
+        // the iteration-order hazard).
+        #[allow(clippy::disallowed_types)]
+        let mut table: std::collections::HashMap<FlowLabel, u64> = std::collections::HashMap::new();
+        for n in 0..TABLE_FLOWS {
+            table.insert(FlowLabel::from_key(flow_key(n), LabelMode::Hashed), 0);
+        }
+        let mut n = 0u32;
+        b.iter(|| {
+            n = (n + 1) % TABLE_FLOWS;
+            let label = FlowLabel::from_key(black_box(flow_key(n)), LabelMode::Hashed);
+            if let Some(count) = table.get_mut(&label) {
+                *count += 1;
+            }
+        });
+    });
+
+    group.bench_function("interned_slab", |b| {
+        let mut interner = FlowInterner::new();
+        let mut table: FlowSlab<u64> = FlowSlab::new();
+        for n in 0..TABLE_FLOWS {
+            let id = interner.intern(flow_key(n));
+            table.insert(id, 0);
+        }
+        let mut n = 0u32;
+        b.iter(|| {
+            n = (n + 1) % TABLE_FLOWS;
+            let id = interner.intern(black_box(flow_key(n)));
+            if let Some(count) = table.get_mut(id) {
+                *count += 1;
+            }
+        });
+    });
+
+    // The steady-state case: the id was already minted at node arrival
+    // (it rides in PacketEnv), so the filter pays only the slab index.
+    group.bench_function("preinterned_slab", |b| {
+        let mut interner = FlowInterner::new();
+        let mut table: FlowSlab<u64> = FlowSlab::new();
+        let ids: Vec<_> = (0..TABLE_FLOWS)
+            .map(|n| {
+                let id = interner.intern(flow_key(n));
+                table.insert(id, 0);
+                id
+            })
+            .collect();
+        let mut n = 0usize;
+        b.iter(|| {
+            n = (n + 1) % ids.len();
+            if let Some(count) = table.get_mut(black_box(ids[n])) {
+                *count += 1;
+            }
+        });
+    });
+
+    group.finish();
 }
 
 criterion_group!(benches, bench);

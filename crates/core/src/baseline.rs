@@ -7,8 +7,8 @@
 //! every experiment can be re-run with either policy.
 
 use mafic_netsim::{
-    Addr, ControlMsg, DropReason, FilterAction, FilterCtx, Packet, PacketEnv, PacketFilter,
-    StatNote,
+    Addr, ControlMsg, DropReason, FilterAction, FilterCtx, FlowId, FlowSlab, Packet, PacketEnv,
+    PacketFilter, StatNote,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -40,6 +40,9 @@ pub struct ProportionalFilter {
     active: Option<Addr>,
     examined: u64,
     dropped: u64,
+    /// Per-flow drop counts, indexed densely by the interned [`FlowId`]
+    /// (collateral-damage diagnostics without any per-packet hashing).
+    per_flow_dropped: FlowSlab<u64>,
 }
 
 impl ProportionalFilter {
@@ -60,6 +63,7 @@ impl ProportionalFilter {
             active: None,
             examined: 0,
             dropped: 0,
+            per_flow_dropped: FlowSlab::new(),
         }
     }
 
@@ -81,6 +85,18 @@ impl ProportionalFilter {
         self.dropped
     }
 
+    /// Packets dropped for one flow.
+    #[must_use]
+    pub fn dropped_for(&self, flow: FlowId) -> u64 {
+        self.per_flow_dropped.get(flow).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct flows that lost at least one packet.
+    #[must_use]
+    pub fn flows_hit(&self) -> usize {
+        self.per_flow_dropped.len()
+    }
+
     /// Activates the defense for `victim`.
     pub fn activate(&mut self, victim: Addr) {
         self.active = Some(victim);
@@ -96,7 +112,7 @@ impl PacketFilter for ProportionalFilter {
     fn on_packet(
         &mut self,
         packet: &Packet,
-        _env: &PacketEnv,
+        env: &PacketEnv,
         ctx: &mut FilterCtx<'_>,
     ) -> FilterAction {
         let Some(victim) = self.active else {
@@ -109,6 +125,12 @@ impl PacketFilter for ProportionalFilter {
         ctx.note(StatNote::AtrSeen, Some(packet));
         if self.rng.gen::<f64>() < self.drop_probability {
             self.dropped += 1;
+            match self.per_flow_dropped.get_mut(env.flow) {
+                Some(count) => *count += 1,
+                None => {
+                    self.per_flow_dropped.insert(env.flow, 1);
+                }
+            }
             FilterAction::Drop(DropReason::FilterProportional)
         } else {
             FilterAction::Forward

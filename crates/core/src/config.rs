@@ -68,7 +68,10 @@ pub struct MaficConfig {
     pub probe_dup_acks: u8,
     /// Probe packet size in bytes.
     pub probe_size: u32,
-    /// How flows are keyed in the tables.
+    /// Label storage model for table-memory accounting
+    /// ([`crate::FlowTables::approx_bytes`]). Classification itself is
+    /// keyed by exact interned flow ids in every mode, so this no longer
+    /// affects drop behaviour — only the modeled per-entry label cost.
     pub label_mode: LabelMode,
     /// SFT capacity (flows on probation).
     pub sft_capacity: usize,
@@ -303,13 +306,24 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_fields() {
-        assert!(MaficConfig::builder().drop_probability(1.5).build().is_err());
-        assert!(MaficConfig::builder().timer_rtt_multiplier(0.0).build().is_err());
-        assert!(MaficConfig::builder().decrease_threshold(-0.1).build().is_err());
+        assert!(MaficConfig::builder()
+            .drop_probability(1.5)
+            .build()
+            .is_err());
+        assert!(MaficConfig::builder()
+            .timer_rtt_multiplier(0.0)
+            .build()
+            .is_err());
+        assert!(MaficConfig::builder()
+            .decrease_threshold(-0.1)
+            .build()
+            .is_err());
         assert!(MaficConfig::builder().probe_dup_acks(0).build().is_err());
         assert!(MaficConfig::builder().table_capacity(0).build().is_err());
-        let mut c = MaficConfig::default();
-        c.min_rtt = SimDuration::from_secs(2);
+        let c = MaficConfig {
+            min_rtt: SimDuration::from_secs(2),
+            ..MaficConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -332,7 +346,10 @@ mod tests {
 
     #[test]
     fn config_error_display() {
-        let err = MaficConfig::builder().drop_probability(2.0).build().unwrap_err();
+        let err = MaficConfig::builder()
+            .drop_probability(2.0)
+            .build()
+            .unwrap_err();
         assert!(err.to_string().contains("drop_probability"));
     }
 }

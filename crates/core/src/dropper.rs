@@ -12,26 +12,36 @@
 //! 4. **New flow** → illegal source goes straight to the PDT; otherwise
 //!    the packet is dropped with probability `Pd`, and on the first such
 //!    drop the flow enters the SFT: the router records the pre-drop
-//!    baseline rate, issues a duplicate-ACK probe burst toward the
+//!    baseline rate, issues a duplicate-ACK probe burst toward its
 //!    claimed source, and starts a timer of `timer_rtt_multiplier × RTT`
 //!    (RTT read from the packet's timestamp option, clamped).
 //!
-//! On `PushbackStop` all tables are flushed.
+//! The hot path is index-based end to end: the packet's interned
+//! [`FlowId`] (minted once by the simulator, delivered in [`PacketEnv`])
+//! keys a single-slab [`FlowTables`] probe and a dense
+//! [`ArrivalTracker`], and timers ride the netsim timer wheel carrying
+//! the id directly — no flow hashing and no token maps anywhere in the
+//! filter.
+//!
+//! On `PushbackStop` all tables are flushed. Flow ids survive the flush
+//! (the interner outlives any activation); wheel timers armed before the
+//! flush may still fire and are ignored as stale.
 
 use crate::config::{AddressValidator, MaficConfig};
-use crate::label::FlowLabel;
 use crate::rate::ArrivalTracker;
-use crate::tables::{FlowTables, PdtReason, SftEntry};
+use crate::tables::{FlowState, FlowTables, PdtReason, SftEntry};
 use mafic_netsim::{
-    Addr, ControlMsg, DropReason, FilterAction, FilterCtx, FlowKey, Packet, PacketEnv,
+    Addr, ControlMsg, DropReason, FilterAction, FilterCtx, FlowId, FlowKey, Packet, PacketEnv,
     PacketFilter, PacketKind, Provenance, SimDuration, SimTime, StatNote,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
 
-/// Token salt distinguishing re-validation timers from probation timers.
-const REVALIDATE_SALT: u64 = 0xA11C_E57A_7E5A_17ED;
+/// Wheel-timer kind: the 2×RTT probation deadline of an SFT flow.
+pub const TIMER_PROBATION: u16 = 0;
+/// Wheel-timer kind: NFT re-validation (anti-pulsing extension).
+pub const TIMER_REVALIDATE: u16 = 1;
 
 /// Aggregate counters exposed for diagnostics and the experiment harness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -52,6 +62,15 @@ pub struct MaficCounters {
     pub flows_malicious: u64,
 }
 
+/// The flow's standing at packet time, extracted from the single slab
+/// probe so the borrow ends before any mutation.
+enum Standing {
+    Condemned,
+    Nice,
+    Suspicious { deadline: SimTime },
+    New,
+}
+
 /// The MAFIC adaptive dropping filter.
 pub struct MaficFilter {
     config: MaficConfig,
@@ -62,10 +81,6 @@ pub struct MaficFilter {
     /// `Some(victim)` while the defense is active.
     active: Option<Addr>,
     counters: MaficCounters,
-    /// Timer token → flow under probation.
-    pending: std::collections::HashMap<u64, FlowLabel>,
-    /// Timer token → nice flow awaiting re-validation.
-    revalidations: std::collections::HashMap<u64, FlowLabel>,
 }
 
 impl std::fmt::Debug for MaficFilter {
@@ -104,8 +119,6 @@ impl MaficFilter {
             rng,
             active: None,
             counters: MaficCounters::default(),
-            pending: std::collections::HashMap::new(),
-            revalidations: std::collections::HashMap::new(),
         }
     }
 
@@ -145,17 +158,12 @@ impl MaficFilter {
         self.active = Some(victim);
     }
 
-    /// Deactivates and flushes all tables.
+    /// Deactivates and flushes all tables. Pending wheel timers are left
+    /// to fire stale (and be ignored); flow ids stay valid.
     pub fn deactivate(&mut self) {
         self.active = None;
         self.tables.flush();
         self.tracker.clear();
-        self.pending.clear();
-        self.revalidations.clear();
-    }
-
-    fn label_of(&self, key: FlowKey) -> FlowLabel {
-        FlowLabel::from_key(key, self.config.label_mode)
     }
 
     /// Per-flow RTT estimate from the packet's timestamp option.
@@ -200,7 +208,7 @@ impl MaficFilter {
         self.counters.probes_sent += 1;
     }
 
-    /// Applies the probation decision for `label`: rate decreased → NFT,
+    /// Applies the probation decision for `flow`: rate decreased → NFT,
     /// otherwise → PDT. Returns `true` if the flow was declared nice.
     ///
     /// The arrival rate over the first half of the probation window is
@@ -210,44 +218,41 @@ impl MaficFilter {
     /// the second half collapses; an unresponsive zombie keeps both
     /// halves equal. A flow silent in both halves stopped entirely —
     /// maximally responsive.
-    fn decide(&mut self, label: FlowLabel, _now: SimTime, ctx: &mut FilterCtx<'_>) -> bool {
-        let Some(entry) = self.tables.sft_remove(&label) else {
+    fn decide(&mut self, flow: FlowId, now: SimTime, ctx: &mut FilterCtx<'_>) -> bool {
+        let Some(entry) = self.tables.sft_remove(flow) else {
             return false;
         };
-        self.pending.remove(&label.token());
         let half = entry.deadline.saturating_since(entry.probe_started) / 2;
         let mid = entry.probe_started + half;
-        let first = self.tracker.count_in(label, mid, half);
-        let second = self.tracker.count_in(label, entry.deadline, half);
+        let first = self.tracker.count_in(flow, mid, half);
+        let second = self.tracker.count_in(flow, entry.deadline, half);
         let responsive = if first == 0 && second == 0 {
             true
         } else {
             (second as f64) <= self.config.decrease_threshold * (first as f64)
         };
         if responsive {
-            self.tables.nft_insert(label);
+            self.tables.nft_insert(flow, now);
             self.counters.flows_nice += 1;
             ctx.note_flow(StatNote::FlowDeclaredNice, entry.key);
             if let Some(period) = self.config.nft_revalidate_after {
                 // Anti-pulsing extension: evict from the NFT later so the
                 // next packet re-enters probation.
-                let token = label.token() ^ REVALIDATE_SALT;
-                self.revalidations.insert(token, label);
-                ctx.schedule_timer(period, token);
+                ctx.schedule_flow_timer(period, flow, TIMER_REVALIDATE);
             }
             true
         } else {
-            self.tables.pdt_insert(label, PdtReason::Unresponsive);
+            self.tables.pdt_insert(flow, PdtReason::Unresponsive);
             self.counters.flows_malicious += 1;
             ctx.note_flow(StatNote::FlowDeclaredMalicious, entry.key);
             false
         }
     }
 
-    /// Puts a fresh flow on probation: SFT entry + probe + timer.
+    /// Puts a fresh flow on probation: SFT entry + probe + wheel timer.
     fn start_probation(
         &mut self,
-        label: FlowLabel,
+        flow: FlowId,
         packet: &Packet,
         victim: Addr,
         ctx: &mut FilterCtx<'_>,
@@ -256,7 +261,7 @@ impl MaficFilter {
         let rtt = self.estimate_rtt(packet, now);
         let timer = rtt.mul_f64(self.config.timer_rtt_multiplier);
         // Baseline: the flow's rate over one RTT *before* this packet.
-        let baseline_rate = self.tracker.rate_in(label, now, rtt);
+        let baseline_rate = self.tracker.rate_in(flow, now, rtt);
         let entry = SftEntry {
             key: packet.key,
             probe_started: now,
@@ -265,10 +270,8 @@ impl MaficFilter {
             deadline: now + timer,
             arrivals_since_probe: 0,
         };
-        self.tables.sft_insert(label, entry);
-        let token = label.token();
-        self.pending.insert(token, label);
-        ctx.schedule_timer(timer, token);
+        self.tables.sft_insert(flow, entry);
+        ctx.schedule_flow_timer(timer, flow, TIMER_PROBATION);
         self.emit_probe(packet.key, victim, ctx);
         ctx.note(StatNote::ProbeSent, Some(packet));
     }
@@ -278,7 +281,7 @@ impl PacketFilter for MaficFilter {
     fn on_packet(
         &mut self,
         packet: &Packet,
-        _env: &PacketEnv,
+        env: &PacketEnv,
         ctx: &mut FilterCtx<'_>,
     ) -> FilterAction {
         let Some(victim) = self.active else {
@@ -290,87 +293,102 @@ impl PacketFilter for MaficFilter {
         self.counters.examined += 1;
         ctx.note(StatNote::AtrSeen, Some(packet));
 
-        let label = self.label_of(packet.key);
+        let flow = env.flow;
         let now = ctx.now();
-        self.tracker.record(label, now);
+        self.tracker.record(flow, now);
 
-        // 1. Permanently condemned flows.
-        if let Some(reason) = self.tables.pdt_get(&label) {
-            self.counters.dropped_permanent += 1;
-            return match reason {
-                PdtReason::IllegalSource => FilterAction::Drop(DropReason::FilterPermanent),
-                PdtReason::Unresponsive => FilterAction::Drop(DropReason::FilterPermanent),
-            };
-        }
-        // 2. Flows that already passed the test.
-        if self.tables.nft_contains(&label) {
-            return FilterAction::Forward;
-        }
-        // 3. Flows on probation.
-        if self.tables.sft_get(&label).is_some() {
-            let deadline = self
-                .tables
-                .sft_get(&label)
-                .map(|e| e.deadline)
-                .expect("entry just checked");
-            if now >= deadline {
-                // Timer expired but the timer event has not fired yet (or
-                // fired between packets): classify now.
-                let nice = self.decide(label, now, ctx);
-                return if nice {
-                    FilterAction::Forward
+        // One slab probe classifies the flow; the borrow is reduced to a
+        // copyable standing before any mutation below.
+        let standing = match self.tables.state(flow) {
+            Some(FlowState::Condemned(_)) => Standing::Condemned,
+            Some(FlowState::Nice { .. }) => Standing::Nice,
+            Some(FlowState::Suspicious(entry)) => Standing::Suspicious {
+                deadline: entry.deadline,
+            },
+            None => Standing::New,
+        };
+        match standing {
+            // 1. Permanently condemned flows.
+            Standing::Condemned => {
+                self.counters.dropped_permanent += 1;
+                FilterAction::Drop(DropReason::FilterPermanent)
+            }
+            // 2. Flows that already passed the test.
+            Standing::Nice => FilterAction::Forward,
+            // 3. Flows on probation.
+            Standing::Suspicious { deadline } => {
+                if now >= deadline {
+                    // Timer expired but the wheel event has not fired yet
+                    // (or fires later this instant): classify now.
+                    let nice = self.decide(flow, now, ctx);
+                    return if nice {
+                        FilterAction::Forward
+                    } else {
+                        self.counters.dropped_permanent += 1;
+                        FilterAction::Drop(DropReason::FilterPermanent)
+                    };
+                }
+                if let Some(entry) = self.tables.sft_get_mut(flow) {
+                    entry.arrivals_since_probe += 1;
+                }
+                if self.coin() {
+                    self.counters.dropped_probing += 1;
+                    FilterAction::Drop(DropReason::FilterProbing)
                 } else {
-                    self.counters.dropped_permanent += 1;
-                    FilterAction::Drop(DropReason::FilterPermanent)
-                };
+                    FilterAction::Forward
+                }
             }
-            if let Some(entry) = self.tables.sft_get_mut(&label) {
-                entry.arrivals_since_probe += 1;
+            // 4. New flow.
+            Standing::New => {
+                if !self.validator.is_legal(packet.key.src) {
+                    self.tables.pdt_insert(flow, PdtReason::IllegalSource);
+                    self.counters.dropped_illegal += 1;
+                    self.counters.flows_malicious += 1;
+                    ctx.note(StatNote::FlowDeclaredMalicious, Some(packet));
+                    return FilterAction::Drop(DropReason::FilterIllegalSource);
+                }
+                if self.coin() {
+                    self.start_probation(flow, packet, victim, ctx);
+                    self.counters.dropped_probing += 1;
+                    FilterAction::Drop(DropReason::FilterProbing)
+                } else {
+                    FilterAction::Forward
+                }
             }
-            return if self.coin() {
-                self.counters.dropped_probing += 1;
-                FilterAction::Drop(DropReason::FilterProbing)
-            } else {
-                FilterAction::Forward
-            };
-        }
-        // 4. New flow.
-        if !self.validator.is_legal(packet.key.src) {
-            self.tables.pdt_insert(label, PdtReason::IllegalSource);
-            self.counters.dropped_illegal += 1;
-            self.counters.flows_malicious += 1;
-            ctx.note(StatNote::FlowDeclaredMalicious, Some(packet));
-            return FilterAction::Drop(DropReason::FilterIllegalSource);
-        }
-        if self.coin() {
-            self.start_probation(label, packet, victim, ctx);
-            self.counters.dropped_probing += 1;
-            FilterAction::Drop(DropReason::FilterProbing)
-        } else {
-            FilterAction::Forward
         }
     }
 
-    fn on_timer(&mut self, token: u64, ctx: &mut FilterCtx<'_>) {
+    fn on_flow_timer(&mut self, flow: FlowId, kind: u16, ctx: &mut FilterCtx<'_>) {
         if self.active.is_none() {
-            return;
+            return; // Stale fire after PushbackStop.
         }
-        if let Some(label) = self.revalidations.remove(&token) {
-            // Re-validation: drop the nice verdict; the flow's next packet
-            // re-enters the new-flow path and may be re-probed.
-            self.tables.nft_remove(&label);
-            return;
-        }
-        let Some(&label) = self.pending.get(&token) else {
-            return; // Flow already classified by the packet path.
-        };
-        let now = ctx.now();
-        if let Some(entry) = self.tables.sft_get(&label) {
-            if now >= entry.deadline {
-                let _ = self.decide(label, now, ctx);
+        match kind {
+            TIMER_REVALIDATE => {
+                // Re-validation: drop the nice verdict so the flow's next
+                // packet re-enters the new-flow path and may be re-probed.
+                // A timer armed for an *earlier* nice verdict (e.g. before
+                // a PushbackStop flush and re-activation) is stale: the
+                // current verdict has not yet lived its full period.
+                let Some(period) = self.config.nft_revalidate_after else {
+                    return;
+                };
+                if let Some(since) = self.tables.nft_since(flow) {
+                    if ctx.now() >= since + period {
+                        let _ = self.tables.nft_remove(flow);
+                    }
+                }
             }
-        } else {
-            self.pending.remove(&token);
+            TIMER_PROBATION => {
+                let now = ctx.now();
+                if let Some(entry) = self.tables.sft_get(flow) {
+                    if now >= entry.deadline {
+                        let _ = self.decide(flow, now, ctx);
+                    }
+                }
+                // Absent entry: the packet path classified first, or the
+                // tables were flushed — a stale fire either way.
+            }
+            _ => {}
         }
     }
 
@@ -466,20 +484,23 @@ mod tests {
         h.advance(SimDuration::from_millis(10));
         let p = pkt(1, h.now);
         let fx = h.offer_transit(&mut f, &p);
-        assert_eq!(fx.action, Some(FilterAction::Drop(DropReason::FilterProbing)));
+        assert_eq!(
+            fx.action,
+            Some(FilterAction::Drop(DropReason::FilterProbing))
+        );
         assert_eq!(f.tables().sft_len(), 1);
         assert_eq!(fx.emitted.len(), 1, "probe burst emitted");
         let probe = &fx.emitted[0];
         assert_eq!(probe.key.dst, p.key.src, "probe goes to claimed source");
         assert_eq!(probe.key.src, VICTIM, "probe claims to come from victim");
         assert!(matches!(probe.kind, PacketKind::ProbeDupAck { count: 3 }));
-        assert_eq!(fx.timers.len(), 1);
+        assert_eq!(fx.flow_timers.len(), 1, "wheel timer armed");
+        let (delay, flow, kind) = fx.flow_timers[0];
         // RTT from timestamp: now == ts => clamped to min_rtt (20ms), timer 2x.
-        assert_eq!(fx.timers[0].0, SimDuration::from_millis(40));
-        assert!(fx
-            .notes
-            .iter()
-            .any(|(n, _)| *n == StatNote::ProbeSent));
+        assert_eq!(delay, SimDuration::from_millis(40));
+        assert_eq!(flow, h.intern(p.key), "timer carries the interned id");
+        assert_eq!(kind, TIMER_PROBATION);
+        assert!(fx.notes.iter().any(|(n, _)| *n == StatNote::ProbeSent));
     }
 
     #[test]
@@ -527,11 +548,11 @@ mod tests {
         f.activate(VICTIM);
         let p0 = pkt(1, h.now);
         let fx = h.offer_transit(&mut f, &p0);
-        assert_eq!(fx.timers.len(), 1);
-        let (delay, token) = fx.timers[0];
+        assert_eq!(fx.flow_timers.len(), 1);
+        let (delay, flow, kind) = fx.flow_timers[0];
         // No further packets arrive (sender stalled) — rate after probe is 0.
         h.advance(delay);
-        let fx2 = h.fire_timer(&mut f, token);
+        let fx2 = h.fire_flow_timer(&mut f, flow, kind);
         assert_eq!(f.tables().nft_len(), 1, "flow declared nice");
         assert_eq!(f.tables().sft_len(), 0);
         assert!(fx2
@@ -556,7 +577,7 @@ mod tests {
         for i in 0..20 {
             let fx = h.offer_transit(&mut f, &pkt(1, h.now));
             if i == 0 {
-                assert_eq!(fx.timers.len(), 1);
+                assert_eq!(fx.flow_timers.len(), 1);
             }
             all_notes.extend(fx.notes);
             h.advance(SimDuration::from_millis(10));
@@ -578,7 +599,7 @@ mod tests {
         let mut h = FilterHarness::new();
         let mut f = active_filter(1.0);
         let fx = h.offer_transit(&mut f, &pkt(1, h.now));
-        let (delay, _token) = fx.timers[0];
+        let (delay, _flow, _kind) = fx.flow_timers[0];
         // Advance past the deadline; next packet forces the decision even
         // though the timer never fired. Flow was silent => nice.
         h.advance(delay + SimDuration::from_millis(1));
@@ -625,10 +646,7 @@ mod tests {
     fn pushback_start_control_activates() {
         let mut h = FilterHarness::new();
         let mut f = filter(1.0);
-        let _ = h.control(
-            &mut f,
-            &ControlMsg::PushbackStart { victim: VICTIM },
-        );
+        let _ = h.control(&mut f, &ControlMsg::PushbackStart { victim: VICTIM });
         assert!(f.is_active());
         assert_eq!(f.victim(), Some(VICTIM));
         let fx = h.offer_transit(&mut f, &pkt(1, h.now));
@@ -640,14 +658,69 @@ mod tests {
         let mut h = FilterHarness::new();
         let mut f = active_filter(1.0);
         let fx = h.offer_transit(&mut f, &pkt(1, h.now));
-        let (delay, token) = fx.timers[0];
+        let (delay, flow, kind) = fx.flow_timers[0];
         h.advance(delay + SimDuration::from_millis(5));
         // Packet path decides first…
         let _ = h.offer_transit(&mut f, &pkt(1, h.now));
         let nice_before = f.counters().flows_nice;
-        // …then the timer fires late.
-        let _ = h.fire_timer(&mut f, token);
+        // …then the wheel timer fires late.
+        let _ = h.fire_flow_timer(&mut f, flow, kind);
         assert_eq!(f.counters().flows_nice, nice_before, "no double decision");
+    }
+
+    #[test]
+    fn stale_timer_after_flush_is_harmless() {
+        let mut h = FilterHarness::new();
+        let mut f = active_filter(1.0);
+        let fx = h.offer_transit(&mut f, &pkt(1, h.now));
+        let (delay, flow, kind) = fx.flow_timers[0];
+        // Stop and restart the defense: tables flushed, id still valid.
+        let _ = h.control(&mut f, &ControlMsg::PushbackStop);
+        let _ = h.control(&mut f, &ControlMsg::PushbackStart { victim: VICTIM });
+        h.advance(delay);
+        let fx2 = h.fire_flow_timer(&mut f, flow, kind);
+        assert_eq!(f.counters().flows_nice, 0, "stale probation fire ignored");
+        assert_eq!(f.counters().flows_malicious, 0);
+        assert!(fx2.notes.is_empty());
+    }
+
+    #[test]
+    fn stale_revalidation_from_previous_activation_is_ignored() {
+        let mut h = FilterHarness::new();
+        let mut c = config();
+        c.drop_probability = 1.0;
+        c.nft_revalidate_after = Some(SimDuration::from_millis(300));
+        let mut f = MaficFilter::new(c, AddressValidator::AllowAll);
+        f.activate(VICTIM);
+        // First activation: flow goes nice, revalidate timer armed.
+        let fx = h.offer_transit(&mut f, &pkt(1, h.now));
+        let (delay, flow, kind) = fx.flow_timers[0];
+        h.advance(delay);
+        let fx2 = h.fire_flow_timer(&mut f, flow, kind);
+        let (reval_delay, reval_flow, reval_kind) = fx2.flow_timers[0];
+        // Flush and restart the defense; the flow earns a fresh verdict
+        // later than the first one.
+        let _ = h.control(&mut f, &ControlMsg::PushbackStop);
+        let _ = h.control(&mut f, &ControlMsg::PushbackStart { victim: VICTIM });
+        h.advance(SimDuration::from_millis(100));
+        let fx3 = h.offer_transit(&mut f, &pkt(1, h.now));
+        let (delay2, flow2, kind2) = fx3.flow_timers[0];
+        assert_eq!(flow2, flow, "same interned id across activations");
+        h.advance(delay2);
+        let _ = h.fire_flow_timer(&mut f, flow2, kind2);
+        assert_eq!(f.tables().nft_len(), 1, "fresh nice verdict");
+        // The stale revalidate timer from the first activation fires now
+        // (its absolute deadline precedes the fresh verdict's): ignored.
+        let _ = h.fire_flow_timer(&mut f, reval_flow, reval_kind);
+        assert_eq!(
+            f.tables().nft_len(),
+            1,
+            "stale revalidation must not evict the fresh verdict"
+        );
+        // The fresh verdict's own revalidation still works once due.
+        h.advance(reval_delay);
+        let _ = h.fire_flow_timer(&mut f, reval_flow, reval_kind);
+        assert_eq!(f.tables().nft_len(), 0, "live revalidation evicts");
     }
 
     #[test]
@@ -681,15 +754,18 @@ mod tests {
         f.activate(VICTIM);
         // Probation, then silence => nice.
         let fx = h.offer_transit(&mut f, &pkt(1, h.now));
-        let (delay, probation_token) = fx.timers[0];
+        let (delay, flow, kind) = fx.flow_timers[0];
+        assert_eq!(kind, TIMER_PROBATION);
         h.advance(delay);
-        let fx2 = h.fire_timer(&mut f, probation_token);
+        let fx2 = h.fire_flow_timer(&mut f, flow, kind);
         assert_eq!(f.tables().nft_len(), 1);
-        // The nice verdict armed a revalidation timer.
-        let (reval_delay, reval_token) = fx2.timers[0];
+        // The nice verdict armed a revalidation timer on the wheel.
+        let (reval_delay, reval_flow, reval_kind) = fx2.flow_timers[0];
         assert_eq!(reval_delay, SimDuration::from_millis(300));
+        assert_eq!(reval_flow, flow, "same interned id across timers");
+        assert_eq!(reval_kind, TIMER_REVALIDATE);
         h.advance(reval_delay);
-        let _ = h.fire_timer(&mut f, reval_token);
+        let _ = h.fire_flow_timer(&mut f, reval_flow, reval_kind);
         assert_eq!(f.tables().nft_len(), 0, "flow evicted for re-probing");
         // Its next packet re-enters the new-flow path: dropped + probed.
         let fx3 = h.offer_transit(&mut f, &pkt(1, h.now));
@@ -706,10 +782,13 @@ mod tests {
         let mut h = FilterHarness::new();
         let mut f = active_filter(1.0);
         let fx = h.offer_transit(&mut f, &pkt(1, h.now));
-        let (delay, token) = fx.timers[0];
+        let (delay, flow, kind) = fx.flow_timers[0];
         h.advance(delay);
-        let fx2 = h.fire_timer(&mut f, token);
-        assert!(fx2.timers.is_empty(), "no revalidation timer by default");
+        let fx2 = h.fire_flow_timer(&mut f, flow, kind);
+        assert!(
+            fx2.flow_timers.is_empty(),
+            "no revalidation timer by default"
+        );
         assert_eq!(f.tables().nft_len(), 1);
     }
 }

@@ -123,13 +123,23 @@ mod tests {
 
     #[test]
     fn stored_bytes_reflect_mode() {
-        assert_eq!(FlowLabel::from_key(key(1), LabelMode::Hashed).stored_bytes(), 8);
-        assert_eq!(FlowLabel::from_key(key(1), LabelMode::Full).stored_bytes(), 12);
+        assert_eq!(
+            FlowLabel::from_key(key(1), LabelMode::Hashed).stored_bytes(),
+            8
+        );
+        assert_eq!(
+            FlowLabel::from_key(key(1), LabelMode::Full).stored_bytes(),
+            12
+        );
     }
 
     #[test]
     fn display_is_nonempty() {
-        assert!(!FlowLabel::from_key(key(1), LabelMode::Hashed).to_string().is_empty());
-        assert!(!FlowLabel::from_key(key(1), LabelMode::Full).to_string().is_empty());
+        assert!(!FlowLabel::from_key(key(1), LabelMode::Hashed)
+            .to_string()
+            .is_empty());
+        assert!(!FlowLabel::from_key(key(1), LabelMode::Full)
+            .to_string()
+            .is_empty());
     }
 }

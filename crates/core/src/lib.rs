@@ -47,8 +47,8 @@ pub mod tap;
 
 pub use baseline::{DropPolicy, ProportionalFilter};
 pub use config::{AddressValidator, ConfigError, MaficConfig, MaficConfigBuilder};
-pub use dropper::{MaficCounters, MaficFilter};
+pub use dropper::{MaficCounters, MaficFilter, TIMER_PROBATION, TIMER_REVALIDATE};
 pub use label::{FlowLabel, LabelMode};
 pub use rate::ArrivalTracker;
-pub use tables::{FlowTables, PdtReason, SftEntry};
+pub use tables::{FlowState, FlowTables, PdtReason, SftEntry};
 pub use tap::LogLogTap;

@@ -2,14 +2,17 @@
 //!
 //! MAFIC's classification hinges on one question: did a flow's arrival
 //! rate at the router *decrease* after the probe? The tracker keeps a
-//! short sliding window of arrival timestamps per flow label ("Update
-//! arriving Packet Counting" in the paper's Figure 2) and answers rate
-//! queries over arbitrary sub-windows — the rate just before the probe
+//! short sliding window of arrival timestamps per flow ("Update arriving
+//! Packet Counting" in the paper's Figure 2) and answers rate queries
+//! over arbitrary sub-windows — the rate just before the probe
 //! (baseline) and the rate just before the 2×RTT deadline.
+//!
+//! Storage is a dense vector indexed by the interned [`FlowId`]: the
+//! per-packet `record` is an array index plus a ring-buffer push, no
+//! hashing.
 
-use crate::label::FlowLabel;
-use mafic_netsim::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use mafic_netsim::{FlowId, SimDuration, SimTime};
+use std::collections::VecDeque;
 
 /// Sliding-window arrival recorder for all victim-bound flows at one
 /// router.
@@ -17,12 +20,21 @@ use std::collections::{HashMap, VecDeque};
 pub struct ArrivalTracker {
     horizon: SimDuration,
     max_flows: usize,
-    flows: HashMap<FlowLabel, VecDeque<SimTime>>,
+    /// Arrival windows, indexed densely by flow id. An empty deque means
+    /// the flow is untracked (never seen, or evicted).
+    flows: Vec<VecDeque<SimTime>>,
+    /// Indices of the non-empty windows, in first-tracked order. Bounds
+    /// the eviction scan to the tracked population (≤ `max_flows`)
+    /// instead of every flow id the domain ever minted.
+    active_ids: Vec<u32>,
+    /// Clock hand for sampled eviction.
+    evict_cursor: usize,
 }
 
 impl ArrivalTracker {
     /// Creates a tracker that retains arrivals for `horizon` and at most
-    /// `max_flows` flows (oldest-touched flows are evicted beyond that).
+    /// `max_flows` flows (the stalest-touched flow is evicted beyond
+    /// that).
     ///
     /// # Panics
     ///
@@ -34,16 +46,25 @@ impl ArrivalTracker {
         ArrivalTracker {
             horizon,
             max_flows,
-            flows: HashMap::new(),
+            flows: Vec::new(),
+            active_ids: Vec::new(),
+            evict_cursor: 0,
         }
     }
 
-    /// Records one arrival of `label` at `now`.
-    pub fn record(&mut self, label: FlowLabel, now: SimTime) {
-        if self.flows.len() >= self.max_flows && !self.flows.contains_key(&label) {
-            self.evict_stalest(now);
+    /// Records one arrival of `flow` at `now`.
+    pub fn record(&mut self, flow: FlowId, now: SimTime) {
+        let idx = flow.index();
+        if idx >= self.flows.len() {
+            self.flows.resize_with(idx + 1, VecDeque::new);
         }
-        let q = self.flows.entry(label).or_default();
+        if self.flows[idx].is_empty() {
+            if self.active_ids.len() >= self.max_flows {
+                self.evict_stalest();
+            }
+            self.active_ids.push(idx as u32);
+        }
+        let q = &mut self.flows[idx];
         q.push_back(now);
         // Prune beyond the horizon.
         let cutoff = now.saturating_since(SimTime::ZERO);
@@ -62,21 +83,52 @@ impl ArrivalTracker {
         }
     }
 
-    fn evict_stalest(&mut self, _now: SimTime) {
-        // Evict the flow with the oldest most-recent arrival.
-        if let Some((&victim, _)) = self
-            .flows
-            .iter()
-            .min_by_key(|(_, q)| q.back().copied().unwrap_or(SimTime::ZERO))
-        {
-            self.flows.remove(&victim);
+    /// Candidates examined per eviction (clock-hand sampling).
+    const EVICTION_SAMPLE: usize = 8;
+
+    fn evict_stalest(&mut self) {
+        // Approximate stalest-first eviction: sample a bounded window of
+        // candidates from a rotating cursor and evict the one with the
+        // oldest most-recent arrival (ties to the lowest flow id). A full
+        // min-scan would run once per packet of every unseen flow when a
+        // spoofed flood pins the tracker at capacity — O(max_flows) on
+        // the per-packet path. The sample keeps eviction O(1) and stays
+        // deterministic: cursor movement depends only on the event
+        // sequence.
+        let len = self.active_ids.len();
+        if len == 0 {
+            return;
+        }
+        let sample = Self::EVICTION_SAMPLE.min(len);
+        let mut best: Option<(SimTime, u32, usize)> = None;
+        for i in 0..sample {
+            let pos = (self.evict_cursor + i) % len;
+            let idx = self.active_ids[pos];
+            let last = self.flows[idx as usize]
+                .back()
+                .copied()
+                .unwrap_or(SimTime::ZERO);
+            match best {
+                Some((b_last, b_idx, _)) if (b_last, b_idx) <= (last, idx) => {}
+                _ => best = Some((last, idx, pos)),
+            }
+        }
+        if let Some((_, idx, pos)) = best {
+            // Replace rather than clear: an evicted flood flow can hold a
+            // full horizon of timestamps, and under sustained eviction
+            // pressure retained capacities would grow with every distinct
+            // flow ever tracked. The dense index keeps only the empty
+            // deque header (a few words) per id.
+            self.flows[idx as usize] = VecDeque::new();
+            self.active_ids.swap_remove(pos);
+            self.evict_cursor = if len > 1 { (pos + 1) % (len - 1) } else { 0 };
         }
     }
 
-    /// Number of arrivals of `label` within `(end - window, end]`.
+    /// Number of arrivals of `flow` within `(end - window, end]`.
     #[must_use]
-    pub fn count_in(&self, label: FlowLabel, end: SimTime, window: SimDuration) -> usize {
-        let Some(q) = self.flows.get(&label) else {
+    pub fn count_in(&self, flow: FlowId, end: SimTime, window: SimDuration) -> usize {
+        let Some(q) = self.flows.get(flow.index()) else {
             return 0;
         };
         let since_zero = end.saturating_since(SimTime::ZERO);
@@ -84,40 +136,40 @@ impl ArrivalTracker {
         q.iter().filter(|&&t| t > lo && t <= end).count()
     }
 
-    /// Arrival rate (packets/s) of `label` over `[end - window, end]`.
+    /// Arrival rate (packets/s) of `flow` over `[end - window, end]`.
     ///
     /// Returns 0 when the window is zero-length.
     #[must_use]
-    pub fn rate_in(&self, label: FlowLabel, end: SimTime, window: SimDuration) -> f64 {
+    pub fn rate_in(&self, flow: FlowId, end: SimTime, window: SimDuration) -> f64 {
         if window.is_zero() {
             return 0.0;
         }
-        self.count_in(label, end, window) as f64 / window.as_secs_f64()
+        self.count_in(flow, end, window) as f64 / window.as_secs_f64()
     }
 
     /// Number of flows currently tracked.
     #[must_use]
     pub fn tracked_flows(&self) -> usize {
-        self.flows.len()
+        self.active_ids.len()
     }
 
-    /// Drops all state (table flush at pushback end).
+    /// Drops all state (table flush at pushback end), keeping the dense
+    /// allocation for the next activation.
     pub fn clear(&mut self) {
-        self.flows.clear();
+        for q in &mut self.flows {
+            q.clear();
+        }
+        self.active_ids.clear();
+        self.evict_cursor = 0;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::label::LabelMode;
-    use mafic_netsim::{Addr, FlowKey};
 
-    fn label(n: u16) -> FlowLabel {
-        FlowLabel::from_key(
-            FlowKey::new(Addr::new(1), Addr::new(2), n, 80),
-            LabelMode::Hashed,
-        )
+    fn flow(n: usize) -> FlowId {
+        FlowId::from_index(n)
     }
 
     fn t(ms: u64) -> SimTime {
@@ -128,58 +180,76 @@ mod tests {
     fn counts_within_window_only() {
         let mut tr = ArrivalTracker::new(SimDuration::from_secs(10), 64);
         for ms in [100u64, 200, 300, 400, 500] {
-            tr.record(label(1), t(ms));
+            tr.record(flow(1), t(ms));
         }
         // Window (300, 500]: arrivals at 400 and 500.
-        assert_eq!(tr.count_in(label(1), t(500), SimDuration::from_millis(200)), 2);
+        assert_eq!(
+            tr.count_in(flow(1), t(500), SimDuration::from_millis(200)),
+            2
+        );
         // Window (0, 500]: all five.
-        assert_eq!(tr.count_in(label(1), t(500), SimDuration::from_millis(500)), 5);
-        // Other labels are independent.
-        assert_eq!(tr.count_in(label(2), t(500), SimDuration::from_millis(500)), 0);
+        assert_eq!(
+            tr.count_in(flow(1), t(500), SimDuration::from_millis(500)),
+            5
+        );
+        // Other flows are independent.
+        assert_eq!(
+            tr.count_in(flow(2), t(500), SimDuration::from_millis(500)),
+            0
+        );
     }
 
     #[test]
     fn rate_is_count_over_window() {
         let mut tr = ArrivalTracker::new(SimDuration::from_secs(10), 64);
         for ms in (0..10).map(|i| 100 + i * 10) {
-            tr.record(label(1), t(ms));
+            tr.record(flow(1), t(ms));
         }
         // 10 packets in (90, 190] ... window 100ms => 100 pps.
-        let rate = tr.rate_in(label(1), t(190), SimDuration::from_millis(100));
+        let rate = tr.rate_in(flow(1), t(190), SimDuration::from_millis(100));
         assert!((rate - 100.0).abs() < 1e-9, "rate {rate}");
     }
 
     #[test]
     fn zero_window_rate_is_zero() {
         let tr = ArrivalTracker::new(SimDuration::from_secs(1), 4);
-        assert_eq!(tr.rate_in(label(1), t(100), SimDuration::ZERO), 0.0);
+        assert_eq!(tr.rate_in(flow(1), t(100), SimDuration::ZERO), 0.0);
     }
 
     #[test]
     fn horizon_prunes_old_arrivals() {
         let mut tr = ArrivalTracker::new(SimDuration::from_millis(100), 4);
-        tr.record(label(1), t(0));
-        tr.record(label(1), t(50));
-        tr.record(label(1), t(500));
+        tr.record(flow(1), t(0));
+        tr.record(flow(1), t(50));
+        tr.record(flow(1), t(500));
         // The t(0) and t(50) arrivals are beyond the 100ms horizon.
-        assert_eq!(tr.count_in(label(1), t(500), SimDuration::from_millis(500)), 1);
+        assert_eq!(
+            tr.count_in(flow(1), t(500), SimDuration::from_millis(500)),
+            1
+        );
     }
 
     #[test]
     fn capacity_evicts_stalest_flow() {
         let mut tr = ArrivalTracker::new(SimDuration::from_secs(10), 2);
-        tr.record(label(1), t(10));
-        tr.record(label(2), t(20));
-        tr.record(label(3), t(30)); // evicts label(1)
+        tr.record(flow(1), t(10));
+        tr.record(flow(2), t(20));
+        tr.record(flow(3), t(30)); // evicts flow 1
         assert_eq!(tr.tracked_flows(), 2);
-        assert_eq!(tr.count_in(label(1), t(100), SimDuration::from_millis(100)), 0);
-        assert_eq!(tr.count_in(label(2), t(100), SimDuration::from_millis(100)), 1);
+        assert_eq!(
+            tr.count_in(flow(1), t(100), SimDuration::from_millis(100)),
+            0
+        );
+        assert_eq!(
+            tr.count_in(flow(2), t(100), SimDuration::from_millis(100)),
+            1
+        );
     }
 
     #[test]
     fn clear_resets() {
         let mut tr = ArrivalTracker::new(SimDuration::from_secs(1), 4);
-        tr.record(label(1), t(10));
+        tr.record(flow(1), t(10));
         tr.clear();
         assert_eq!(tr.tracked_flows(), 0);
     }

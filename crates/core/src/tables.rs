@@ -1,4 +1,4 @@
-//! The three MAFIC flow tables.
+//! The three MAFIC flow tables, stored as one dense slab.
 //!
 //! * **SFT** — Suspicious Flow Table: flows under probation. Each entry
 //!   remembers when the probe started, the pre-probe baseline rate, the
@@ -8,12 +8,15 @@
 //! * **PDT** — Permanently Drop Table: flows whose rate did not respond,
 //!   plus flows with illegal source addresses; every packet dropped.
 //!
-//! All tables are capacity-bounded with FIFO eviction, matching a
-//! router's fixed memory budget.
+//! Classification state lives in a single [`FlowSlab`] indexed by the
+//! interned [`FlowId`]: the packet hot path resolves a flow's standing
+//! with **one array probe** ([`FlowTables::state`]) instead of the three
+//! hash lookups the label-keyed tables used to pay. All three logical
+//! tables remain capacity-bounded with FIFO eviction, matching a router's
+//! fixed memory budget.
 
-use crate::label::FlowLabel;
-use mafic_netsim::{FlowKey, SimTime};
-use std::collections::{HashMap, VecDeque};
+use mafic_netsim::{FlowId, FlowKey, FlowSlab, SimTime};
+use std::collections::VecDeque;
 
 /// Why a flow ended up in the PDT.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,7 +31,8 @@ pub enum PdtReason {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SftEntry {
     /// The flow's 4-tuple at insertion time (kept for probe addressing
-    /// and statistics; the table key itself may be the hashed label).
+    /// and statistics notes on the timer path, where no packet is at
+    /// hand).
     pub key: FlowKey,
     /// When the probe was issued.
     pub probe_started: SimTime,
@@ -42,75 +46,122 @@ pub struct SftEntry {
     pub arrivals_since_probe: u64,
 }
 
-/// A capacity-bounded map with FIFO eviction.
-#[derive(Debug)]
-struct BoundedMap<V> {
-    map: HashMap<FlowLabel, V>,
-    order: VecDeque<FlowLabel>,
+/// A flow's classification standing — the single-probe answer the packet
+/// path branches on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowState {
+    /// On probation (SFT).
+    Suspicious(SftEntry),
+    /// Passed the probe test (NFT) at the recorded instant; never
+    /// dropped again (until optional re-validation).
+    Nice {
+        /// When the verdict was earned.
+        since: SimTime,
+    },
+    /// Condemned (PDT); every packet dropped.
+    Condemned(PdtReason),
+}
+
+/// Which logical table a [`FlowState`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Table {
+    Sft,
+    Nft,
+    Pdt,
+}
+
+fn table_of(state: &FlowState) -> Table {
+    match state {
+        FlowState::Suspicious(_) => Table::Sft,
+        FlowState::Nice { .. } => Table::Nft,
+        FlowState::Condemned(_) => Table::Pdt,
+    }
+}
+
+/// FIFO occupancy bound for one logical table.
+///
+/// Because a flow can leave a table and re-enter it later (probation →
+/// nice → re-validation → probation again), the order deque may hold
+/// stale entries for a flow's *earlier* residence. Each seat therefore
+/// carries a stamp, and only the entry matching the flow's live stamp
+/// counts — a stale front entry is skipped, never treated as the oldest
+/// resident.
+#[derive(Debug, Default)]
+struct Fifo {
+    order: VecDeque<(FlowId, u64)>,
+    /// flow → stamp of its live seat in `order`; absent = not resident.
+    seats: FlowSlab<u64>,
     capacity: usize,
+    next_stamp: u64,
     evictions: u64,
 }
 
-impl<V> BoundedMap<V> {
+impl Fifo {
     fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "table capacity must be positive");
-        BoundedMap {
-            map: HashMap::new(),
+        Fifo {
             order: VecDeque::new(),
+            seats: FlowSlab::new(),
             capacity,
+            next_stamp: 0,
             evictions: 0,
         }
     }
 
-    fn insert(&mut self, label: FlowLabel, value: V) -> Option<V> {
-        if let std::collections::hash_map::Entry::Occupied(mut slot) = self.map.entry(label) {
-            return Some(slot.insert(value));
+    fn len(&self) -> usize {
+        self.seats.len()
+    }
+
+    /// Seats `flow` at the back of the FIFO.
+    fn occupy(&mut self, flow: FlowId) {
+        // Stale entries are normally reclaimed by `pop_oldest`, which
+        // only runs at capacity; below capacity a long transition churn
+        // (probation → nice → re-validation → probation …) would grow
+        // the deque without bound. Compact once it doubles: retaining
+        // the ≤ capacity live seats keeps the amortized cost O(1).
+        if self.order.len() >= self.capacity.saturating_mul(2).max(16) {
+            let seats = &self.seats;
+            self.order
+                .retain(|&(flow, stamp)| seats.get(flow) == Some(&stamp));
         }
-        if self.map.len() >= self.capacity {
-            // FIFO eviction; skip stale order entries.
-            while let Some(old) = self.order.pop_front() {
-                if self.map.remove(&old).is_some() {
-                    self.evictions += 1;
-                    break;
-                }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.order.push_back((flow, stamp));
+        self.seats.insert(flow, stamp);
+    }
+
+    /// Releases `flow`'s seat (its order entry goes stale in place).
+    fn release(&mut self, flow: FlowId) {
+        self.seats.remove(flow);
+    }
+
+    /// Removes and returns the oldest current resident, skipping stale
+    /// order entries.
+    fn pop_oldest(&mut self) -> Option<FlowId> {
+        while let Some((flow, stamp)) = self.order.pop_front() {
+            if self.seats.get(flow) == Some(&stamp) {
+                self.seats.remove(flow);
+                self.evictions += 1;
+                return Some(flow);
             }
         }
-        self.order.push_back(label);
-        self.map.insert(label, value)
-    }
-
-    fn get(&self, label: &FlowLabel) -> Option<&V> {
-        self.map.get(label)
-    }
-
-    fn get_mut(&mut self, label: &FlowLabel) -> Option<&mut V> {
-        self.map.get_mut(label)
-    }
-
-    fn remove(&mut self, label: &FlowLabel) -> Option<V> {
-        self.map.remove(label)
-    }
-
-    fn contains(&self, label: &FlowLabel) -> bool {
-        self.map.contains_key(label)
-    }
-
-    fn len(&self) -> usize {
-        self.map.len()
+        None
     }
 
     fn clear(&mut self) {
-        self.map.clear();
         self.order.clear();
+        self.seats.clear();
     }
 }
 
-/// The complete MAFIC table set.
+/// The complete MAFIC table set: one slab of [`FlowState`] tags plus
+/// per-table FIFO occupancy bounds.
 #[derive(Debug)]
 pub struct FlowTables {
-    sft: BoundedMap<SftEntry>,
-    nft: BoundedMap<()>,
-    pdt: BoundedMap<PdtReason>,
+    states: FlowSlab<FlowState>,
+    sft: Fifo,
+    nft: Fifo,
+    pdt: Fifo,
 }
 
 impl FlowTables {
@@ -122,33 +173,97 @@ impl FlowTables {
     #[must_use]
     pub fn new(sft_capacity: usize, nft_capacity: usize, pdt_capacity: usize) -> Self {
         FlowTables {
-            sft: BoundedMap::new(sft_capacity),
-            nft: BoundedMap::new(nft_capacity),
-            pdt: BoundedMap::new(pdt_capacity),
+            states: FlowSlab::new(),
+            sft: Fifo::new(sft_capacity),
+            nft: Fifo::new(nft_capacity),
+            pdt: Fifo::new(pdt_capacity),
         }
+    }
+
+    /// The flow's classification standing, in one slab probe. This is the
+    /// per-packet fast path.
+    #[must_use]
+    pub fn state(&self, flow: FlowId) -> Option<&FlowState> {
+        self.states.get(flow)
+    }
+
+    fn fifo_mut(&mut self, table: Table) -> &mut Fifo {
+        match table {
+            Table::Sft => &mut self.sft,
+            Table::Nft => &mut self.nft,
+            Table::Pdt => &mut self.pdt,
+        }
+    }
+
+    /// Transitions `flow` into `state`'s logical table, evicting the
+    /// FIFO-oldest resident if that table is full. Returns the previous
+    /// whole-slab state.
+    fn set_state(&mut self, flow: FlowId, state: FlowState) -> Option<FlowState> {
+        let target = table_of(&state);
+        // Same-table overwrite keeps the original FIFO seat.
+        if self.states.get(flow).map(table_of) == Some(target) {
+            return self.states.insert(flow, state);
+        }
+        let victim = {
+            let fifo = self.fifo_mut(target);
+            if fifo.len() >= fifo.capacity {
+                fifo.pop_oldest()
+            } else {
+                None
+            }
+        };
+        if let Some(victim) = victim {
+            self.states.remove(victim);
+        }
+        self.fifo_mut(target).occupy(flow);
+        let old = self.states.insert(flow, state);
+        if let Some(ref prev) = old {
+            // The flow migrated from another table; release that seat.
+            let from = table_of(prev);
+            self.fifo_mut(from).release(flow);
+        }
+        old
+    }
+
+    fn take_state(&mut self, flow: FlowId, want: Table) -> Option<FlowState> {
+        if self.states.get(flow).map(table_of) != Some(want) {
+            return None;
+        }
+        let old = self.states.remove(flow);
+        self.fifo_mut(want).release(flow);
+        old
     }
 
     // --- SFT ---------------------------------------------------------
 
     /// Inserts a probation entry.
-    pub fn sft_insert(&mut self, label: FlowLabel, entry: SftEntry) {
-        self.sft.insert(label, entry);
+    pub fn sft_insert(&mut self, flow: FlowId, entry: SftEntry) {
+        self.set_state(flow, FlowState::Suspicious(entry));
     }
 
-    /// The probation entry for `label`, if any.
+    /// The probation entry for `flow`, if any.
     #[must_use]
-    pub fn sft_get(&self, label: &FlowLabel) -> Option<&SftEntry> {
-        self.sft.get(label)
+    pub fn sft_get(&self, flow: FlowId) -> Option<&SftEntry> {
+        match self.states.get(flow) {
+            Some(FlowState::Suspicious(entry)) => Some(entry),
+            _ => None,
+        }
     }
 
     /// Mutable probation entry.
-    pub fn sft_get_mut(&mut self, label: &FlowLabel) -> Option<&mut SftEntry> {
-        self.sft.get_mut(label)
+    pub fn sft_get_mut(&mut self, flow: FlowId) -> Option<&mut SftEntry> {
+        match self.states.get_mut(flow) {
+            Some(FlowState::Suspicious(entry)) => Some(entry),
+            _ => None,
+        }
     }
 
     /// Removes and returns the probation entry.
-    pub fn sft_remove(&mut self, label: &FlowLabel) -> Option<SftEntry> {
-        self.sft.remove(label)
+    pub fn sft_remove(&mut self, flow: FlowId) -> Option<SftEntry> {
+        match self.take_state(flow, Table::Sft) {
+            Some(FlowState::Suspicious(entry)) => Some(entry),
+            _ => None,
+        }
     }
 
     /// Number of flows on probation.
@@ -159,15 +274,26 @@ impl FlowTables {
 
     // --- NFT ---------------------------------------------------------
 
-    /// Marks a flow as nice.
-    pub fn nft_insert(&mut self, label: FlowLabel) {
-        self.nft.insert(label, ());
+    /// Marks a flow as nice, recording when the verdict was earned (the
+    /// re-validation timer checks this to recognise stale fires from a
+    /// previous activation).
+    pub fn nft_insert(&mut self, flow: FlowId, since: SimTime) {
+        self.set_state(flow, FlowState::Nice { since });
     }
 
     /// True if the flow passed the probe test.
     #[must_use]
-    pub fn nft_contains(&self, label: &FlowLabel) -> bool {
-        self.nft.contains(label)
+    pub fn nft_contains(&self, flow: FlowId) -> bool {
+        matches!(self.states.get(flow), Some(FlowState::Nice { .. }))
+    }
+
+    /// When the flow's current nice verdict was earned, if it has one.
+    #[must_use]
+    pub fn nft_since(&self, flow: FlowId) -> Option<SimTime> {
+        match self.states.get(flow) {
+            Some(FlowState::Nice { since }) => Some(*since),
+            _ => None,
+        }
     }
 
     /// Number of nice flows.
@@ -178,27 +304,30 @@ impl FlowTables {
 
     /// Removes a flow from the NFT (re-validation); returns whether it
     /// was present.
-    pub fn nft_remove(&mut self, label: &FlowLabel) -> bool {
-        self.nft.remove(label).is_some()
+    pub fn nft_remove(&mut self, flow: FlowId) -> bool {
+        self.take_state(flow, Table::Nft).is_some()
     }
 
     // --- PDT ---------------------------------------------------------
 
     /// Condemns a flow.
-    pub fn pdt_insert(&mut self, label: FlowLabel, reason: PdtReason) {
-        self.pdt.insert(label, reason);
+    pub fn pdt_insert(&mut self, flow: FlowId, reason: PdtReason) {
+        self.set_state(flow, FlowState::Condemned(reason));
     }
 
     /// The condemnation reason, if the flow is in the PDT.
     #[must_use]
-    pub fn pdt_get(&self, label: &FlowLabel) -> Option<PdtReason> {
-        self.pdt.get(label).copied()
+    pub fn pdt_get(&self, flow: FlowId) -> Option<PdtReason> {
+        match self.states.get(flow) {
+            Some(FlowState::Condemned(reason)) => Some(*reason),
+            _ => None,
+        }
     }
 
     /// True if every packet of this flow must be dropped.
     #[must_use]
-    pub fn pdt_contains(&self, label: &FlowLabel) -> bool {
-        self.pdt.contains(label)
+    pub fn pdt_contains(&self, flow: FlowId) -> bool {
+        matches!(self.states.get(flow), Some(FlowState::Condemned(_)))
     }
 
     /// Number of condemned flows.
@@ -210,8 +339,10 @@ impl FlowTables {
     // --- Global ------------------------------------------------------
 
     /// Flushes all three tables (pushback end — "End dropping & Flush all
-    /// tables" in Figure 2).
+    /// tables" in Figure 2). Flow ids remain valid: the interner binding
+    /// outlives any flush, only classification state is dropped.
     pub fn flush(&mut self) {
+        self.states.clear();
         self.sft.clear();
         self.nft.clear();
         self.pdt.clear();
@@ -237,14 +368,10 @@ impl FlowTables {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::label::LabelMode;
     use mafic_netsim::{Addr, SimDuration};
 
-    fn label(n: u16) -> FlowLabel {
-        FlowLabel::from_key(
-            FlowKey::new(Addr::new(1), Addr::new(2), n, 80),
-            LabelMode::Hashed,
-        )
+    fn flow(n: usize) -> FlowId {
+        FlowId::from_index(n)
     }
 
     fn entry() -> SftEntry {
@@ -265,16 +392,17 @@ mod tests {
         assert_eq!(t.nft_len(), 0);
         assert_eq!(t.pdt_len(), 0);
         assert_eq!(t.evictions(), 0);
+        assert!(t.state(flow(0)).is_none());
     }
 
     #[test]
     fn sft_round_trip() {
         let mut t = FlowTables::new(4, 4, 4);
-        t.sft_insert(label(1), entry());
-        assert!(t.sft_get(&label(1)).is_some());
-        t.sft_get_mut(&label(1)).unwrap().arrivals_since_probe = 5;
-        assert_eq!(t.sft_get(&label(1)).unwrap().arrivals_since_probe, 5);
-        let removed = t.sft_remove(&label(1)).unwrap();
+        t.sft_insert(flow(1), entry());
+        assert!(t.sft_get(flow(1)).is_some());
+        t.sft_get_mut(flow(1)).unwrap().arrivals_since_probe = 5;
+        assert_eq!(t.sft_get(flow(1)).unwrap().arrivals_since_probe, 5);
+        let removed = t.sft_remove(flow(1)).unwrap();
         assert_eq!(removed.arrivals_since_probe, 5);
         assert_eq!(t.sft_len(), 0);
     }
@@ -282,54 +410,106 @@ mod tests {
     #[test]
     fn nft_and_pdt_membership() {
         let mut t = FlowTables::new(4, 4, 4);
-        t.nft_insert(label(1));
-        t.pdt_insert(label(2), PdtReason::Unresponsive);
-        t.pdt_insert(label(3), PdtReason::IllegalSource);
-        assert!(t.nft_contains(&label(1)));
-        assert!(!t.nft_contains(&label(2)));
-        assert_eq!(t.pdt_get(&label(2)), Some(PdtReason::Unresponsive));
-        assert_eq!(t.pdt_get(&label(3)), Some(PdtReason::IllegalSource));
-        assert!(!t.pdt_contains(&label(1)));
+        t.nft_insert(flow(1), SimTime::ZERO);
+        t.pdt_insert(flow(2), PdtReason::Unresponsive);
+        t.pdt_insert(flow(3), PdtReason::IllegalSource);
+        assert!(t.nft_contains(flow(1)));
+        assert!(!t.nft_contains(flow(2)));
+        assert_eq!(t.pdt_get(flow(2)), Some(PdtReason::Unresponsive));
+        assert_eq!(t.pdt_get(flow(3)), Some(PdtReason::IllegalSource));
+        assert!(!t.pdt_contains(flow(1)));
+    }
+
+    #[test]
+    fn state_is_a_single_probe_classification() {
+        let mut t = FlowTables::new(4, 4, 4);
+        t.sft_insert(flow(1), entry());
+        t.nft_insert(flow(2), SimTime::ZERO);
+        t.pdt_insert(flow(3), PdtReason::Unresponsive);
+        assert!(matches!(t.state(flow(1)), Some(FlowState::Suspicious(_))));
+        assert!(matches!(t.state(flow(2)), Some(FlowState::Nice { .. })));
+        assert!(matches!(
+            t.state(flow(3)),
+            Some(FlowState::Condemned(PdtReason::Unresponsive))
+        ));
+        assert!(t.state(flow(4)).is_none());
     }
 
     #[test]
     fn capacity_evicts_fifo() {
         let mut t = FlowTables::new(4, 4, 2);
-        t.pdt_insert(label(1), PdtReason::Unresponsive);
-        t.pdt_insert(label(2), PdtReason::Unresponsive);
-        t.pdt_insert(label(3), PdtReason::Unresponsive);
+        t.pdt_insert(flow(1), PdtReason::Unresponsive);
+        t.pdt_insert(flow(2), PdtReason::Unresponsive);
+        t.pdt_insert(flow(3), PdtReason::Unresponsive);
         assert_eq!(t.pdt_len(), 2);
-        assert!(!t.pdt_contains(&label(1)), "oldest evicted first");
-        assert!(t.pdt_contains(&label(2)));
-        assert!(t.pdt_contains(&label(3)));
+        assert!(!t.pdt_contains(flow(1)), "oldest evicted first");
+        assert!(t.pdt_contains(flow(2)));
+        assert!(t.pdt_contains(flow(3)));
         assert_eq!(t.evictions(), 1);
     }
 
     #[test]
     fn reinsertion_does_not_evict() {
         let mut t = FlowTables::new(4, 4, 2);
-        t.pdt_insert(label(1), PdtReason::Unresponsive);
-        t.pdt_insert(label(1), PdtReason::IllegalSource);
+        t.pdt_insert(flow(1), PdtReason::Unresponsive);
+        t.pdt_insert(flow(1), PdtReason::IllegalSource);
         assert_eq!(t.pdt_len(), 1);
-        assert_eq!(t.pdt_get(&label(1)), Some(PdtReason::IllegalSource));
+        assert_eq!(t.pdt_get(flow(1)), Some(PdtReason::IllegalSource));
         assert_eq!(t.evictions(), 0);
+    }
+
+    #[test]
+    fn migration_between_tables_releases_the_old_seat() {
+        let mut t = FlowTables::new(2, 2, 2);
+        t.sft_insert(flow(1), entry());
+        assert_eq!(t.sft_len(), 1);
+        // Probation decided: the flow moves SFT → NFT.
+        let _ = t.sft_remove(flow(1));
+        t.nft_insert(flow(1), SimTime::ZERO);
+        assert_eq!(t.sft_len(), 0);
+        assert_eq!(t.nft_len(), 1);
+        // Direct overwrite (no explicit remove) also releases the seat.
+        t.sft_insert(flow(2), entry());
+        t.pdt_insert(flow(2), PdtReason::Unresponsive);
+        assert_eq!(t.sft_len(), 0);
+        assert_eq!(t.pdt_len(), 1);
+        assert!(matches!(t.state(flow(2)), Some(FlowState::Condemned(_))));
+    }
+
+    #[test]
+    fn reentry_after_leaving_does_not_confuse_fifo() {
+        // Regression: a flow that left the SFT and re-entered later must
+        // not be treated as the oldest resident via its stale order
+        // entry.
+        let mut t = FlowTables::new(2, 4, 4);
+        t.sft_insert(flow(1), entry());
+        let _ = t.sft_remove(flow(1));
+        t.sft_insert(flow(2), entry());
+        t.sft_insert(flow(1), entry()); // re-entry; flow 2 is now oldest
+        t.sft_insert(flow(3), entry()); // full: evict flow 2, not flow 1
+        assert!(t.sft_get(flow(2)).is_none(), "oldest resident evicted");
+        assert!(t.sft_get(flow(1)).is_some(), "re-entered flow survives");
+        assert!(t.sft_get(flow(3)).is_some());
+        assert_eq!(t.evictions(), 1);
+        assert_eq!(t.sft_len(), 2);
     }
 
     #[test]
     fn flush_empties_everything() {
         let mut t = FlowTables::new(4, 4, 4);
-        t.sft_insert(label(1), entry());
-        t.nft_insert(label(2));
-        t.pdt_insert(label(3), PdtReason::Unresponsive);
+        t.sft_insert(flow(1), entry());
+        t.nft_insert(flow(2), SimTime::ZERO);
+        t.pdt_insert(flow(3), PdtReason::Unresponsive);
         t.flush();
         assert_eq!(t.sft_len() + t.nft_len() + t.pdt_len(), 0);
+        assert!(t.state(flow(1)).is_none());
     }
 
     #[test]
     fn hashed_labels_cost_less_memory() {
         let mut t = FlowTables::new(64, 64, 64);
-        for n in 0..10u16 {
-            t.nft_insert(label(n));
+        for n in 0..10 {
+            t.nft_insert(flow(n), SimTime::ZERO);
         }
         assert!(t.approx_bytes(8) < t.approx_bytes(12));
     }

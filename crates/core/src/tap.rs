@@ -9,19 +9,22 @@
 //! these sketches periodically to build the traffic matrix.
 
 use mafic_loglog::{Precision, RouterSketch};
-use mafic_netsim::{
-    Addr, FilterAction, FilterCtx, LinkId, Packet, PacketEnv, PacketFilter,
-};
+use mafic_netsim::{Addr, FilterAction, FilterCtx, LinkId, Packet, PacketEnv, PacketFilter};
 use std::any::Any;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A non-dropping sketch tap installed on a router.
+///
+/// Membership sets are `BTreeSet`s: tiny (a handful of access links per
+/// router), branch-predictable, and deterministic to iterate — the
+/// simulation crates ban `std::collections::HashSet` outright (see
+/// `clippy.toml`).
 #[derive(Debug)]
 pub struct LogLogTap {
     sketch: RouterSketch,
     precision: Precision,
-    ingress_links: HashSet<LinkId>,
-    egress_addrs: HashSet<Addr>,
+    ingress_links: BTreeSet<LinkId>,
+    egress_addrs: BTreeSet<Addr>,
     packets_seen: u64,
 }
 
@@ -114,13 +117,6 @@ mod tests {
         }
     }
 
-    fn env(via: Option<LinkId>) -> PacketEnv {
-        PacketEnv {
-            via_link: via,
-            dst_is_local: false,
-        }
-    }
-
     #[test]
     fn records_sources_only_on_ingress_links() {
         let mut h = FilterHarness::new();
@@ -128,10 +124,10 @@ mod tests {
         let other = LinkId::from_index(4);
         let mut tap = LogLogTap::new(Precision::P10, [ingress], []);
         for id in 0..1000 {
-            let _ = h.offer(&mut tap, &pkt(id, Addr::new(9)), env(Some(ingress)));
+            let _ = h.offer(&mut tap, &pkt(id, Addr::new(9)), Some(ingress), false);
         }
         for id in 1000..2000 {
-            let _ = h.offer(&mut tap, &pkt(id, Addr::new(9)), env(Some(other)));
+            let _ = h.offer(&mut tap, &pkt(id, Addr::new(9)), Some(other), false);
         }
         let s = tap.sketch().source_cardinality();
         assert!((s - 1000.0).abs() / 1000.0 < 0.2, "S_i estimate {s}");
@@ -145,10 +141,10 @@ mod tests {
         let victim = Addr::from_octets(10, 200, 0, 1);
         let mut tap = LogLogTap::new(Precision::P10, [], [victim]);
         for id in 0..800 {
-            let _ = h.offer(&mut tap, &pkt(id, victim), env(None));
+            let _ = h.offer(&mut tap, &pkt(id, victim), None, false);
         }
         for id in 800..900 {
-            let _ = h.offer(&mut tap, &pkt(id, Addr::new(5)), env(None));
+            let _ = h.offer(&mut tap, &pkt(id, Addr::new(5)), None, false);
         }
         let d = tap.sketch().destination_cardinality();
         assert!((d - 800.0).abs() / 800.0 < 0.2, "D_i estimate {d}");
@@ -160,7 +156,7 @@ mod tests {
         let victim = Addr::from_octets(10, 200, 0, 1);
         let mut tap = LogLogTap::new(Precision::P10, [], [victim]);
         for id in 0..500 {
-            let _ = h.offer(&mut tap, &pkt(id, victim), env(None));
+            let _ = h.offer(&mut tap, &pkt(id, victim), None, false);
         }
         let epoch = tap.take_epoch();
         assert!(epoch.destination_cardinality() > 300.0);

@@ -8,7 +8,7 @@ fn main() {
     let results = [
         ablations::policy_comparison(trials),
         ablations::timer_multiplier(trials),
-        ablations::label_mode(trials),
+        Ok(ablations::label_mode()),
         Ok(ablations::sketch_precision()),
     ];
     for result in results {

@@ -73,13 +73,17 @@ impl FigureData {
     /// The y value of `series` at `x`, if present.
     #[must_use]
     pub fn y_at(&self, series: usize, x: f64) -> Option<f64> {
-        self.series.get(series)?.points.iter().find_map(|&(px, py)| {
-            if (px - x).abs() < 1e-12 {
-                Some(py)
-            } else {
-                None
-            }
-        })
+        self.series
+            .get(series)?
+            .points
+            .iter()
+            .find_map(|&(px, py)| {
+                if (px - x).abs() < 1e-12 {
+                    Some(py)
+                } else {
+                    None
+                }
+            })
     }
 }
 

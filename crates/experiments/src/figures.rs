@@ -97,12 +97,14 @@ pub fn sweep_vt_gamma(trials: u64) -> Result<Vec<SweepSeries>, String> {
 /// Propagates build/run errors.
 pub fn sweep_gamma_domain(trials: u64) -> Result<Vec<SweepSeries>, String> {
     let gammas = [95.0f64, 75.0, 55.0, 35.0].map(|g| (format!("TCP={g:.0}%"), g));
-    sweep(&gammas, &domain_axis(), trials, |&gamma_pct, n| ScenarioSpec {
-        total_flows: 50,
-        tcp_share: gamma_pct / 100.0,
-        n_routers: n as usize,
-        seed: 19,
-        ..ScenarioSpec::default()
+    sweep(&gammas, &domain_axis(), trials, |&gamma_pct, n| {
+        ScenarioSpec {
+            total_flows: 50,
+            tcp_share: gamma_pct / 100.0,
+            n_routers: n as usize,
+            seed: 19,
+            ..ScenarioSpec::default()
+        }
     })
 }
 

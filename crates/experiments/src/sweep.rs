@@ -63,7 +63,9 @@ pub fn run_averaged(base: &ScenarioSpec, trials: u64) -> Result<MetricsReport, S
     let mut reports = Vec::with_capacity(trials as usize);
     for t in 0..trials {
         let spec = ScenarioSpec {
-            seed: base.seed.wrapping_add(t.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            seed: base
+                .seed
+                .wrapping_add(t.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             ..base.clone()
         };
         reports.push(run_spec(spec)?.report);

@@ -17,7 +17,10 @@ pub fn table_i() -> String {
         ("beta", "Traffic reduction rate"),
         ("theta_p", "False positive rate"),
         ("theta_n", "False negative rate"),
-        ("Lr", "Legitimate packets dropped rate in identifying malicious flows"),
+        (
+            "Lr",
+            "Legitimate packets dropped rate in identifying malicious flows",
+        ),
     ];
     let mut out = String::from("=== Table I — notation ===\n");
     for (sym, def) in rows {
@@ -32,7 +35,11 @@ pub fn table_i() -> String {
 pub fn table_ii() -> String {
     let spec = ScenarioSpec::default();
     let rows = [
-        ("Pd", "90%".to_string(), format!("{:.0}%", spec.drop_probability * 100.0)),
+        (
+            "Pd",
+            "90%".to_string(),
+            format!("{:.0}%", spec.drop_probability * 100.0),
+        ),
         (
             "R",
             "1e6 packets/second".to_string(),
@@ -41,7 +48,11 @@ pub fn table_ii() -> String {
                 spec.flow_rate_pps
             ),
         ),
-        ("Vt", "50 flows".to_string(), format!("{} flows", spec.total_flows)),
+        (
+            "Vt",
+            "50 flows".to_string(),
+            format!("{} flows", spec.total_flows),
+        ),
         (
             "Gamma",
             "95%".to_string(),

@@ -51,10 +51,16 @@ impl DetectorConfig {
     /// value is out of range.
     pub fn validate(&self) -> Result<(), String> {
         if self.min_cardinality.is_nan() || self.min_cardinality < 0.0 {
-            return Err(format!("min_cardinality must be >= 0, got {}", self.min_cardinality));
+            return Err(format!(
+                "min_cardinality must be >= 0, got {}",
+                self.min_cardinality
+            ));
         }
         if self.surge_factor.is_nan() || self.surge_factor <= 1.0 {
-            return Err(format!("surge_factor must be > 1, got {}", self.surge_factor));
+            return Err(format!(
+                "surge_factor must be > 1, got {}",
+                self.surge_factor
+            ));
         }
         if !(0.0 < self.baseline_weight && self.baseline_weight <= 1.0) {
             return Err(format!(
@@ -63,7 +69,10 @@ impl DetectorConfig {
             ));
         }
         if !(0.0 < self.atr_share && self.atr_share < 1.0) {
-            return Err(format!("atr_share must be in (0, 1), got {}", self.atr_share));
+            return Err(format!(
+                "atr_share must be in (0, 1), got {}",
+                self.atr_share
+            ));
         }
         Ok(())
     }

@@ -179,10 +179,7 @@ mod tests {
             hll_err += (h.estimate() - n as f64).abs() / n as f64;
             ll_err += (l.estimate() - n as f64).abs() / n as f64;
         }
-        assert!(
-            hll_err <= ll_err * 1.5,
-            "hll_err={hll_err} ll_err={ll_err}"
-        );
+        assert!(hll_err <= ll_err * 1.5, "hll_err={hll_err} ll_err={ll_err}");
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl TrafficMatrix {
     pub fn estimate(routers: &[RouterSketch]) -> Result<TrafficMatrix, SketchError> {
         let n = routers.len();
         let mut flows = vec![0.0; n * n];
-        let source_card: Vec<f64> = routers.iter().map(RouterSketch::source_cardinality).collect();
+        let source_card: Vec<f64> = routers
+            .iter()
+            .map(RouterSketch::source_cardinality)
+            .collect();
         let dest_card: Vec<f64> = routers
             .iter()
             .map(RouterSketch::destination_cardinality)
@@ -184,9 +187,7 @@ mod tests {
         let a02 = m.flow(RouterSketchId(0), RouterSketchId(2));
         let a12 = m.flow(RouterSketchId(1), RouterSketchId(2));
         assert!(a02 > a12, "heavy ingress should dominate: {a02} vs {a12}");
-        assert!(
-            (m.destination_cardinality(RouterSketchId(2)) - 10_000.0).abs() / 10_000.0 < 0.2
-        );
+        assert!((m.destination_cardinality(RouterSketchId(2)) - 10_000.0).abs() / 10_000.0 < 0.2);
     }
 
     #[test]

@@ -135,8 +135,10 @@ impl MetricsReport {
         }
         let total_seen = report.attack_seen + report.legit_seen;
         report.accuracy_pct = percent(report.attack_dropped, report.attack_seen);
-        report.false_negative_pct =
-            percent(report.attack_seen - report.attack_dropped, report.attack_seen);
+        report.false_negative_pct = percent(
+            report.attack_seen - report.attack_dropped,
+            report.attack_seen,
+        );
         report.false_positive_pct = percent(report.legit_dropped_as_malicious, total_seen);
         report.legit_drop_pct = percent(report.legit_dropped, report.legit_seen);
 
@@ -156,9 +158,21 @@ impl fmt::Display for MetricsReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "MAFIC run metrics")?;
         writeln!(f, "  accuracy (alpha)        : {:7.3} %", self.accuracy_pct)?;
-        writeln!(f, "  false negatives (th_n)  : {:7.3} %", self.false_negative_pct)?;
-        writeln!(f, "  false positives (th_p)  : {:7.4} %", self.false_positive_pct)?;
-        writeln!(f, "  legit drops (Lr)        : {:7.3} %", self.legit_drop_pct)?;
+        writeln!(
+            f,
+            "  false negatives (th_n)  : {:7.3} %",
+            self.false_negative_pct
+        )?;
+        writeln!(
+            f,
+            "  false positives (th_p)  : {:7.4} %",
+            self.false_positive_pct
+        )?;
+        writeln!(
+            f,
+            "  legit drops (Lr)        : {:7.3} %",
+            self.legit_drop_pct
+        )?;
         writeln!(
             f,
             "  traffic reduction (beta): {:7.2} %  ({:.0} -> {:.0} B/s)",
@@ -330,10 +344,18 @@ mod tests {
         let p = pkt(1, true);
         // 10 deliveries per 100ms bin before t=1s, 1 per bin after t=1.1s.
         for ms in (0..1000).step_by(10) {
-            s.on_delivered(&p, victim_node, SimTime::ZERO + SimDuration::from_millis(ms));
+            s.on_delivered(
+                &p,
+                victim_node,
+                SimTime::ZERO + SimDuration::from_millis(ms),
+            );
         }
         for ms in (1100..1500).step_by(100) {
-            s.on_delivered(&p, victim_node, SimTime::ZERO + SimDuration::from_millis(ms));
+            s.on_delivered(
+                &p,
+                victim_node,
+                SimTime::ZERO + SimDuration::from_millis(ms),
+            );
         }
         let windows = MeasureWindows {
             trigger_at: SimTime::from_secs_f64(1.0),
@@ -343,8 +365,16 @@ mod tests {
         };
         let r = MetricsReport::from_stats(&s, &windows);
         // Before: 10 pkts × 500 B per 100 ms = 50 kB/s. After: 5 kB/s.
-        assert!((r.victim_rate_before - 50_000.0).abs() < 1.0, "{}", r.victim_rate_before);
-        assert!((r.victim_rate_after - 5_000.0).abs() < 1.0, "{}", r.victim_rate_after);
+        assert!(
+            (r.victim_rate_before - 50_000.0).abs() < 1.0,
+            "{}",
+            r.victim_rate_before
+        );
+        assert!(
+            (r.victim_rate_after - 5_000.0).abs() < 1.0,
+            "{}",
+            r.victim_rate_after
+        );
         assert!((r.traffic_reduction_pct - 90.0).abs() < 0.1);
     }
 

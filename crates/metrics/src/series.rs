@@ -117,7 +117,11 @@ mod tests {
             },
             hops: 0,
         };
-        stats.on_delivered(&p, NodeId::from_index(3), SimTime::ZERO + SimDuration::from_millis(at_ms));
+        stats.on_delivered(
+            &p,
+            NodeId::from_index(3),
+            SimTime::ZERO + SimDuration::from_millis(at_ms),
+        );
     }
 
     #[test]
@@ -140,9 +144,21 @@ mod tests {
     #[test]
     fn downsample_averages_chunks() {
         let series = vec![
-            BandwidthPoint { time_s: 0.0, legit_bps: 10.0, attack_bps: 0.0 },
-            BandwidthPoint { time_s: 0.1, legit_bps: 30.0, attack_bps: 10.0 },
-            BandwidthPoint { time_s: 0.2, legit_bps: 50.0, attack_bps: 20.0 },
+            BandwidthPoint {
+                time_s: 0.0,
+                legit_bps: 10.0,
+                attack_bps: 0.0,
+            },
+            BandwidthPoint {
+                time_s: 0.1,
+                legit_bps: 30.0,
+                attack_bps: 10.0,
+            },
+            BandwidthPoint {
+                time_s: 0.2,
+                legit_bps: 50.0,
+                attack_bps: 20.0,
+            },
         ];
         let coarse = downsample(&series, 2);
         assert_eq!(coarse.len(), 2);

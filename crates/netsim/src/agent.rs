@@ -6,6 +6,7 @@
 //! buffered through [`AgentCtx`] (same command-buffer pattern as the
 //! filters), which keeps agent implementations free of simulator borrows.
 
+use crate::flows::FlowId;
 use crate::ids::{AgentId, NodeId};
 use crate::packet::Packet;
 use crate::time::{SimDuration, SimTime};
@@ -24,6 +25,9 @@ pub struct AgentCtx<'a> {
     now: SimTime,
     agent: AgentId,
     node: NodeId,
+    /// The delivered packet's interned flow handle (`None` outside
+    /// `on_packet`).
+    flow: Option<FlowId>,
     next_packet_id: &'a mut u64,
     commands: &'a mut Vec<AgentCommand>,
 }
@@ -33,6 +37,7 @@ impl<'a> AgentCtx<'a> {
         now: SimTime,
         agent: AgentId,
         node: NodeId,
+        flow: Option<FlowId>,
         next_packet_id: &'a mut u64,
         commands: &'a mut Vec<AgentCommand>,
     ) -> Self {
@@ -40,6 +45,7 @@ impl<'a> AgentCtx<'a> {
             now,
             agent,
             node,
+            flow,
             next_packet_id,
             commands,
         }
@@ -61,6 +67,14 @@ impl<'a> AgentCtx<'a> {
     #[must_use]
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The interned flow handle of the packet being delivered, when the
+    /// callback is [`Agent::on_packet`]. Lets per-flow sinks index dense
+    /// state instead of hashing the 4-tuple.
+    #[must_use]
+    pub fn packet_flow(&self) -> Option<FlowId> {
+        self.flow
     }
 
     /// Allocates a fresh domain-unique packet id.
@@ -184,7 +198,14 @@ mod tests {
     fn ctx_allocates_monotonic_ids_and_buffers() {
         let mut next = 5u64;
         let mut cmds = Vec::new();
-        let mut ctx = AgentCtx::new(SimTime::ZERO, AgentId(1), NodeId(2), &mut next, &mut cmds);
+        let mut ctx = AgentCtx::new(
+            SimTime::ZERO,
+            AgentId(1),
+            NodeId(2),
+            None,
+            &mut next,
+            &mut cmds,
+        );
         assert_eq!(ctx.agent_id(), AgentId(1));
         assert_eq!(ctx.node(), NodeId(2));
         assert_eq!(ctx.fresh_packet_id(), 5);
@@ -192,7 +213,10 @@ mod tests {
         ctx.schedule_in(SimDuration::from_millis(3), 9);
         assert_eq!(cmds.len(), 2);
         assert!(matches!(cmds[0], AgentCommand::SendPacket(_)));
-        assert!(matches!(cmds[1], AgentCommand::ScheduleTimer { token: 9, .. }));
+        assert!(matches!(
+            cmds[1],
+            AgentCommand::ScheduleTimer { token: 9, .. }
+        ));
     }
 
     #[test]
@@ -201,7 +225,7 @@ mod tests {
         let mut next = 0u64;
         let mut cmds = Vec::new();
         let t = SimTime::from_secs_f64(1.0);
-        let mut ctx = AgentCtx::new(t, AgentId(0), NodeId(0), &mut next, &mut cmds);
+        let mut ctx = AgentCtx::new(t, AgentId(0), NodeId(0), None, &mut next, &mut cmds);
         s.on_packet(pkt(100), &mut ctx);
         s.on_packet(pkt(200), &mut ctx);
         assert_eq!(s.delivered(), 2);

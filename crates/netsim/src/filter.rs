@@ -8,6 +8,7 @@
 //! filter returns, so filters never need a reference into the simulator.
 
 use crate::event::ControlMsg;
+use crate::flows::FlowId;
 use crate::ids::{LinkId, NodeId};
 use crate::packet::{DropReason, Packet};
 use crate::time::{SimDuration, SimTime};
@@ -31,6 +32,10 @@ pub struct PacketEnv {
     pub via_link: Option<LinkId>,
     /// True if the destination address is bound to an agent on this node.
     pub dst_is_local: bool,
+    /// The packet's interned flow handle, minted once at node arrival so
+    /// every filter in the chain indexes its tables without re-hashing
+    /// the 4-tuple.
+    pub flow: FlowId,
 }
 
 /// Statistics note a filter can attach to the global collector.
@@ -55,6 +60,12 @@ pub(crate) enum FilterCommand {
         filter_index: usize,
         delay: SimDuration,
         token: u64,
+    },
+    ScheduleFlowTimer {
+        filter_index: usize,
+        delay: SimDuration,
+        flow: FlowId,
+        kind: u16,
     },
     Note {
         note: StatNote,
@@ -118,11 +129,31 @@ impl<'a> FilterCtx<'a> {
     }
 
     /// Schedules `on_timer(token)` on this filter after `delay`.
+    ///
+    /// Legacy token path through the global event heap; per-flow timers
+    /// should use [`FilterCtx::schedule_flow_timer`], which goes through
+    /// the timer wheel.
     pub fn schedule_timer(&mut self, delay: SimDuration, token: u64) {
         self.commands.push(FilterCommand::ScheduleTimer {
             filter_index: self.filter_index,
             delay,
             token,
+        });
+    }
+
+    /// Schedules `on_flow_timer(flow, kind)` on this filter after `delay`.
+    ///
+    /// Flow timers carry the interned [`FlowId`] directly and are managed
+    /// by the simulator's hierarchical timer wheel: O(1) to arm, fired in
+    /// `(deadline, arming order)` — no token maps needed on either side.
+    /// There is no cancellation; a filter must treat a stale fire (flow
+    /// already classified, tables flushed) as a no-op.
+    pub fn schedule_flow_timer(&mut self, delay: SimDuration, flow: FlowId, kind: u16) {
+        self.commands.push(FilterCommand::ScheduleFlowTimer {
+            filter_index: self.filter_index,
+            delay,
+            flow,
+            kind,
         });
     }
 
@@ -151,11 +182,21 @@ impl<'a> FilterCtx<'a> {
 /// an ordered chain; the first `Drop` verdict wins.
 pub trait PacketFilter {
     /// Called for every packet arriving at the node.
-    fn on_packet(&mut self, packet: &Packet, env: &PacketEnv, ctx: &mut FilterCtx<'_>)
-        -> FilterAction;
+    fn on_packet(
+        &mut self,
+        packet: &Packet,
+        env: &PacketEnv,
+        ctx: &mut FilterCtx<'_>,
+    ) -> FilterAction;
 
     /// Called when a timer scheduled via [`FilterCtx::schedule_timer`] fires.
     fn on_timer(&mut self, _token: u64, _ctx: &mut FilterCtx<'_>) {}
+
+    /// Called when a flow timer scheduled via
+    /// [`FilterCtx::schedule_flow_timer`] fires. Fires may be stale
+    /// (the flow was classified or the tables flushed since arming);
+    /// implementations must re-check their own state.
+    fn on_flow_timer(&mut self, _flow: FlowId, _kind: u16, _ctx: &mut FilterCtx<'_>) {}
 
     /// Called when a control-plane message reaches this node.
     fn on_control(&mut self, _msg: &ControlMsg, _ctx: &mut FilterCtx<'_>) {}
@@ -210,7 +251,7 @@ impl PacketFilter for PassthroughFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::{AgentId, Addr};
+    use crate::ids::{Addr, AgentId};
     use crate::packet::{FlowKey, PacketKind, Provenance};
 
     fn pkt() -> Packet {
@@ -261,6 +302,7 @@ mod tests {
         let env = PacketEnv {
             via_link: None,
             dst_is_local: false,
+            flow: FlowId::from_index(0),
         };
         assert_eq!(f.on_packet(&pkt(), &env, &mut ctx), FilterAction::Forward);
         assert_eq!(f.on_packet(&pkt(), &env, &mut ctx), FilterAction::Forward);

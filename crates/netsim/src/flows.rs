@@ -1,0 +1,384 @@
+//! Flow interning: dense [`FlowId`] handles for packet 4-tuples.
+//!
+//! The per-packet hot path used to hash the full [`FlowKey`] once per
+//! table (SFT, NFT, PDT, arrival tracker, stats — five-plus hashes per
+//! packet). The interner hashes the key exactly once, at node arrival,
+//! and hands out a dense `u32` handle; every downstream structure is then
+//! a plain array index away ([`FlowSlab`]).
+//!
+//! Contracts:
+//!
+//! * **Minting** — only the [`crate::Simulator`] (and test harnesses)
+//!   intern keys; filters and agents receive already-minted ids through
+//!   [`crate::PacketEnv`] / [`crate::AgentCtx`].
+//! * **Stability** — an id is valid for the lifetime of the interner (one
+//!   simulation run). Table flushes (e.g. MAFIC's `PushbackStop`) drop
+//!   per-flow *state*, never the id ↔ key binding, so a flow keeps its id
+//!   across defense activations.
+//! * **Determinism** — ids are minted in first-arrival order, which is
+//!   itself deterministic, so id-ordered iteration over a [`FlowSlab`]
+//!   replays identically for a given seed.
+
+use crate::packet::FlowKey;
+use std::fmt;
+
+/// Dense handle for one interned flow 4-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(u32);
+
+impl FlowId {
+    /// Raw dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs an id from a raw index (test harnesses only; an id not
+    /// minted by an interner panics at resolve time).
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        FlowId(u32::try_from(index).expect("flow index fits u32"))
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// SplitMix64 finalizer — the interner's probe hash.
+///
+/// Duplicated from `mafic-loglog` deliberately: the simulator substrate
+/// must not depend on the sketch crate.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn key_hash(key: FlowKey) -> u64 {
+    let (a, b) = key.as_words();
+    mix64(a ^ mix64(b))
+}
+
+/// Mints dense [`FlowId`]s for flow 4-tuples.
+///
+/// Internally an open-addressing (linear probing) index over a slab of
+/// keys: one well-mixed hash and a short probe run per lookup, no
+/// per-entry heap allocation, and deterministic behaviour independent of
+/// any ambient hasher state.
+///
+/// # Example
+///
+/// ```
+/// use mafic_netsim::{Addr, FlowInterner, FlowKey};
+///
+/// let mut interner = FlowInterner::new();
+/// let key = FlowKey::new(Addr::new(1), Addr::new(2), 3, 4);
+/// let id = interner.intern(key);
+/// assert_eq!(interner.intern(key), id, "stable per key");
+/// assert_eq!(interner.resolve(id), key, "round-trips");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowInterner {
+    /// id → key (the slab).
+    keys: Vec<FlowKey>,
+    /// Open-addressing index: `0` = empty, otherwise `id + 1`.
+    index: Vec<u32>,
+    /// `index.len() - 1`; `index.len()` is a power of two.
+    mask: usize,
+}
+
+impl Default for FlowInterner {
+    fn default() -> Self {
+        FlowInterner::new()
+    }
+}
+
+impl FlowInterner {
+    const MIN_SLOTS: usize = 64;
+
+    /// Creates an empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        FlowInterner {
+            keys: Vec::new(),
+            index: vec![0; Self::MIN_SLOTS],
+            mask: Self::MIN_SLOTS - 1,
+        }
+    }
+
+    /// Number of distinct flows interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if no flow has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The id for `key`, minting a fresh one on first sight.
+    pub fn intern(&mut self, key: FlowKey) -> FlowId {
+        let mut slot = key_hash(key) as usize & self.mask;
+        loop {
+            match self.index[slot] {
+                0 => break,
+                stored => {
+                    let id = (stored - 1) as usize;
+                    if self.keys[id] == key {
+                        return FlowId(stored - 1);
+                    }
+                    slot = (slot + 1) & self.mask;
+                }
+            }
+        }
+        let id = u32::try_from(self.keys.len()).expect("flow count fits u32");
+        self.keys.push(key);
+        self.index[slot] = id + 1;
+        // Grow at 3/4 load to keep probe runs short.
+        if self.keys.len() * 4 >= self.index.len() * 3 {
+            self.grow();
+        }
+        FlowId(id)
+    }
+
+    /// The id for `key`, if it has been interned.
+    #[must_use]
+    pub fn lookup(&self, key: FlowKey) -> Option<FlowId> {
+        let mut slot = key_hash(key) as usize & self.mask;
+        loop {
+            match self.index[slot] {
+                0 => return None,
+                stored => {
+                    if self.keys[(stored - 1) as usize] == key {
+                        return Some(FlowId(stored - 1));
+                    }
+                    slot = (slot + 1) & self.mask;
+                }
+            }
+        }
+    }
+
+    /// The 4-tuple an id was minted for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not minted by this interner.
+    #[must_use]
+    pub fn resolve(&self, id: FlowId) -> FlowKey {
+        self.keys[id.index()]
+    }
+
+    /// Iterates `(id, key)` pairs in minting order.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, FlowKey)> + '_ {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (FlowId(i as u32), k))
+    }
+
+    fn grow(&mut self) {
+        let new_slots = self.index.len() * 2;
+        self.index.clear();
+        self.index.resize(new_slots, 0);
+        self.mask = new_slots - 1;
+        for (i, &key) in self.keys.iter().enumerate() {
+            let mut slot = key_hash(key) as usize & self.mask;
+            while self.index[slot] != 0 {
+                slot = (slot + 1) & self.mask;
+            }
+            self.index[slot] = i as u32 + 1;
+        }
+    }
+}
+
+/// Dense per-flow storage indexed by [`FlowId`].
+///
+/// A growable `Vec<Option<T>>`: O(1) access with no hashing, iteration in
+/// id order (deterministic), and cheap clearing. This is the backing
+/// store for every per-flow table on the packet hot path.
+#[derive(Debug, Clone)]
+pub struct FlowSlab<T> {
+    slots: Vec<Option<T>>,
+    occupied: usize,
+}
+
+impl<T> Default for FlowSlab<T> {
+    fn default() -> Self {
+        FlowSlab::new()
+    }
+}
+
+impl<T> FlowSlab<T> {
+    /// Creates an empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        FlowSlab {
+            slots: Vec::new(),
+            occupied: 0,
+        }
+    }
+
+    /// Number of occupied slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// True if no slot is occupied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// The value for `id`, if present.
+    #[must_use]
+    pub fn get(&self, id: FlowId) -> Option<&T> {
+        self.slots.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the value for `id`, if present.
+    pub fn get_mut(&mut self, id: FlowId) -> Option<&mut T> {
+        self.slots.get_mut(id.index()).and_then(Option::as_mut)
+    }
+
+    /// True if `id` has a value.
+    #[must_use]
+    pub fn contains(&self, id: FlowId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Stores `value` for `id`, returning the previous value if any.
+    pub fn insert(&mut self, id: FlowId, value: T) -> Option<T> {
+        let idx = id.index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        let old = self.slots[idx].replace(value);
+        if old.is_none() {
+            self.occupied += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the value for `id`.
+    pub fn remove(&mut self, id: FlowId) -> Option<T> {
+        let old = self.slots.get_mut(id.index()).and_then(Option::take);
+        if old.is_some() {
+            self.occupied -= 1;
+        }
+        old
+    }
+
+    /// Drops all values, keeping the allocation.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.occupied = 0;
+    }
+
+    /// Iterates occupied `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|v| (FlowId(i as u32), v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Addr;
+
+    fn key(n: u32) -> FlowKey {
+        FlowKey::new(Addr::new(n), Addr::new(n ^ 0xFFFF), (n % 60_000) as u16, 80)
+    }
+
+    #[test]
+    fn interning_is_dense_and_stable() {
+        let mut interner = FlowInterner::new();
+        let a = interner.intern(key(1));
+        let b = interner.intern(key(2));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(interner.intern(key(1)), a);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips_through_growth() {
+        let mut interner = FlowInterner::new();
+        let ids: Vec<FlowId> = (0..10_000).map(|n| interner.intern(key(n))).collect();
+        for (n, &id) in ids.iter().enumerate() {
+            assert_eq!(interner.resolve(id), key(n as u32));
+            assert_eq!(interner.lookup(key(n as u32)), Some(id));
+        }
+        assert_eq!(interner.len(), 10_000);
+    }
+
+    #[test]
+    fn lookup_misses_are_none() {
+        let mut interner = FlowInterner::new();
+        interner.intern(key(1));
+        assert_eq!(interner.lookup(key(2)), None);
+    }
+
+    #[test]
+    fn iteration_is_in_minting_order() {
+        let mut interner = FlowInterner::new();
+        for n in [5u32, 3, 9] {
+            interner.intern(key(n));
+        }
+        let keys: Vec<FlowKey> = interner.iter().map(|(_, k)| k).collect();
+        assert_eq!(keys, vec![key(5), key(3), key(9)]);
+    }
+
+    #[test]
+    fn slab_insert_get_remove() {
+        let mut slab = FlowSlab::new();
+        let id = FlowId::from_index(7);
+        assert!(slab.get(id).is_none());
+        assert_eq!(slab.insert(id, "a"), None);
+        assert_eq!(slab.insert(id, "b"), Some("a"));
+        assert_eq!(slab.len(), 1);
+        *slab.get_mut(id).unwrap() = "c";
+        assert_eq!(slab.remove(id), Some("c"));
+        assert!(slab.is_empty());
+        assert_eq!(slab.remove(id), None);
+    }
+
+    #[test]
+    fn slab_iterates_in_id_order() {
+        let mut slab = FlowSlab::new();
+        slab.insert(FlowId::from_index(4), 40);
+        slab.insert(FlowId::from_index(1), 10);
+        slab.insert(FlowId::from_index(2), 20);
+        let got: Vec<(usize, i32)> = slab.iter().map(|(id, &v)| (id.index(), v)).collect();
+        assert_eq!(got, vec![(1, 10), (2, 20), (4, 40)]);
+    }
+
+    #[test]
+    fn slab_clear_keeps_capacity_drops_values() {
+        let mut slab = FlowSlab::new();
+        for i in 0..16 {
+            slab.insert(FlowId::from_index(i), i);
+        }
+        slab.clear();
+        assert!(slab.is_empty());
+        assert!(slab.get(FlowId::from_index(3)).is_none());
+    }
+
+    #[test]
+    fn flow_id_display() {
+        assert_eq!(FlowId::from_index(3).to_string(), "f3");
+    }
+}

@@ -170,7 +170,10 @@ mod tests {
         assert!(Addr::from_octets(10, 1, 0, 5).in_prefix(net, 16));
         assert!(Addr::from_octets(10, 1, 255, 5).in_prefix(net, 16));
         assert!(!Addr::from_octets(10, 2, 0, 5).in_prefix(net, 16));
-        assert!(Addr::from_octets(99, 0, 0, 1).in_prefix(net, 0), "len 0 matches all");
+        assert!(
+            Addr::from_octets(99, 0, 0, 1).in_prefix(net, 0),
+            "len 0 matches all"
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@
 pub mod agent;
 pub mod event;
 pub mod filter;
+pub mod flows;
 pub mod ids;
 pub mod link;
 pub mod node;
@@ -54,14 +55,16 @@ pub mod stats;
 pub mod testkit;
 pub mod time;
 pub mod trace;
+mod wheel;
 
 pub use agent::{Agent, AgentCtx, CountingSink};
 pub use event::ControlMsg;
 pub use filter::{FilterAction, FilterCtx, PacketEnv, PacketFilter, PassthroughFilter, StatNote};
+pub use flows::{FlowId, FlowInterner, FlowSlab};
 pub use ids::{Addr, AgentId, LinkId, NodeId};
 pub use link::LinkSpec;
 pub use packet::{DropReason, FlowKey, Packet, PacketKind, Provenance};
 pub use sim::{RunSummary, Simulator};
 pub use stats::{FlowRecord, StatsCollector, VictimBin};
-pub use trace::{TraceBuffer, TraceEvent};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceBuffer, TraceEvent};

@@ -145,7 +145,7 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::{AgentId, Addr};
+    use crate::ids::{Addr, AgentId};
     use crate::packet::{FlowKey, PacketKind, Provenance};
 
     fn pkt(id: u64, size: u32) -> Packet {
@@ -194,8 +194,14 @@ mod tests {
     fn busy_link_queues_then_drops() {
         let mut l = link(2);
         let _ = l.enqueue(pkt(1, 1000), SimTime::ZERO);
-        assert_eq!(l.enqueue(pkt(2, 1000), SimTime::ZERO), EnqueueOutcome::Queued);
-        assert_eq!(l.enqueue(pkt(3, 1000), SimTime::ZERO), EnqueueOutcome::Queued);
+        assert_eq!(
+            l.enqueue(pkt(2, 1000), SimTime::ZERO),
+            EnqueueOutcome::Queued
+        );
+        assert_eq!(
+            l.enqueue(pkt(3, 1000), SimTime::ZERO),
+            EnqueueOutcome::Queued
+        );
         match l.enqueue(pkt(4, 1000), SimTime::ZERO) {
             EnqueueOutcome::Dropped(p) => assert_eq!(p.id, 4),
             other => panic!("expected Dropped, got {other:?}"),

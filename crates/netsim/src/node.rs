@@ -7,16 +7,21 @@
 //! objects the paper inserts at link heads.
 
 use crate::filter::PacketFilter;
-use crate::ids::{AgentId, Addr, LinkId, NodeId};
-use std::collections::HashMap;
+use crate::ids::{Addr, AgentId, LinkId, NodeId};
+use std::collections::BTreeMap;
 
 /// A router or host in the simulated domain.
+///
+/// Routing and local-binding tables are `BTreeMap`s: per-node tables are
+/// small (host routes plus attached addresses), and ordered iteration
+/// keeps every table walk deterministic — the simulation crates ban
+/// `std::collections::HashMap` (see `clippy.toml`).
 pub(crate) struct Node {
     pub(crate) id: NodeId,
     pub(crate) name: String,
-    routes: HashMap<Addr, LinkId>,
+    routes: BTreeMap<Addr, LinkId>,
     default_route: Option<LinkId>,
-    local: HashMap<Addr, AgentId>,
+    local: BTreeMap<Addr, AgentId>,
     pub(crate) filters: Vec<Box<dyn PacketFilter>>,
 }
 
@@ -25,9 +30,9 @@ impl Node {
         Node {
             id,
             name,
-            routes: HashMap::new(),
+            routes: BTreeMap::new(),
             default_route: None,
-            local: HashMap::new(),
+            local: BTreeMap::new(),
             filters: Vec::new(),
         }
     }

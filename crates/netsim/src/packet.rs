@@ -10,7 +10,7 @@
 //! about who really sent it and whether it belongs to an attack. Only the
 //! metrics layer may read provenance; the algorithm under test never does.
 
-use crate::ids::{AgentId, Addr};
+use crate::ids::{Addr, AgentId};
 use crate::time::SimTime;
 use std::fmt;
 

@@ -8,13 +8,24 @@
 use crate::agent::{Agent, AgentCommand, AgentCtx};
 use crate::event::{ControlMsg, EventKind, Scheduler};
 use crate::filter::{FilterAction, FilterCommand, FilterCtx, PacketEnv, PacketFilter};
-use crate::ids::{AgentId, Addr, LinkId, NodeId};
+use crate::flows::{FlowId, FlowInterner};
+use crate::ids::{Addr, AgentId, LinkId, NodeId};
 use crate::link::{EnqueueOutcome, Link, LinkSpec};
 use crate::node::Node;
 use crate::packet::{DropReason, Packet};
 use crate::stats::StatsCollector;
 use crate::time::SimTime;
 use crate::trace::{TraceBuffer, TraceEvent};
+use crate::wheel::TimerWheel;
+
+/// Payload of one armed flow timer: where to deliver the fire.
+#[derive(Debug, Clone, Copy)]
+struct FlowTimerFire {
+    node: NodeId,
+    filter_index: usize,
+    flow: FlowId,
+    kind: u16,
+}
 
 /// Summary of one simulation run (event-loop accounting).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,6 +66,12 @@ pub struct Simulator {
     agents: Vec<Option<Box<dyn Agent>>>,
     agent_home: Vec<NodeId>,
     scheduler: Scheduler,
+    /// Hierarchical timer wheel carrying filter flow-timers.
+    wheel: TimerWheel<FlowTimerFire>,
+    /// The domain-wide flow interner; every packet's 4-tuple is interned
+    /// exactly once per node arrival and the dense id rides along in
+    /// [`PacketEnv`] / [`AgentCtx`].
+    flows: FlowInterner,
     now: SimTime,
     next_packet_id: u64,
     events_processed: u64,
@@ -90,6 +107,8 @@ impl Simulator {
             agents: Vec::new(),
             agent_home: Vec::new(),
             scheduler: Scheduler::new(),
+            wheel: TimerWheel::new(),
+            flows: FlowInterner::new(),
             now: SimTime::ZERO,
             next_packet_id: 0,
             events_processed: 0,
@@ -143,6 +162,18 @@ impl Simulator {
     /// declarations).
     pub fn stats_mut(&mut self) -> &mut StatsCollector {
         &mut self.stats
+    }
+
+    /// The domain-wide flow interner (read side: id ↔ key resolution).
+    #[must_use]
+    pub fn flow_interner(&self) -> &FlowInterner {
+        &self.flows
+    }
+
+    /// Interns `key`, minting a dense [`FlowId`] on first sight. Ids are
+    /// stable for the simulator's lifetime.
+    pub fn intern_flow(&mut self, key: crate::packet::FlowKey) -> FlowId {
+        self.flows.intern(key)
     }
 
     // ------------------------------------------------------------------
@@ -282,12 +313,7 @@ impl Simulator {
     }
 
     /// Adds an agent on `node`, scheduling its `on_start` at `start_at`.
-    pub fn add_agent(
-        &mut self,
-        node: NodeId,
-        agent: Box<dyn Agent>,
-        start_at: SimTime,
-    ) -> AgentId {
+    pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn Agent>, start_at: SimTime) -> AgentId {
         let id = AgentId(u32::try_from(self.agents.len()).expect("agent count fits u32"));
         self.agents.push(Some(agent));
         self.agent_home.push(node);
@@ -409,46 +435,72 @@ impl Simulator {
     // Event loop
     // ------------------------------------------------------------------
 
+    /// The instant of the next pending event across the heap and the
+    /// timer wheel, if any.
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        match (self.scheduler.peek_time(), self.wheel.next_expiry()) {
+            (None, None) => None,
+            (Some(h), None) => Some(h),
+            (None, Some(w)) => Some(w),
+            (Some(h), Some(w)) => Some(h.min(w)),
+        }
+    }
+
+    /// Fires everything due at `now`: wheel flow-timers first (fixed rule
+    /// — a timer deadline belongs to the *start* of its instant), then one
+    /// heap event if one is due.
+    fn advance_to(&mut self, now: SimTime) {
+        debug_assert!(now >= self.now, "event from the past");
+        self.now = now;
+        if self.wheel.next_expiry() == Some(now) {
+            for fire in self.wheel.pop_expired(now) {
+                self.events_processed += 1;
+                self.filter_flow_timer(fire);
+            }
+        } else {
+            let (at, kind) = self.scheduler.pop().expect("peeked event exists");
+            debug_assert!(at == now, "heap event not at the merged instant");
+            self.events_processed += 1;
+            self.dispatch(kind);
+        }
+    }
+
     /// Runs until the event queue is empty or `deadline` is reached.
     /// Returns loop accounting.
     pub fn run_until(&mut self, deadline: SimTime) -> RunSummary {
-        while let Some(next) = self.scheduler.peek_time() {
+        while let Some(next) = self.next_event_time() {
             if next > deadline {
                 break;
             }
-            let (at, kind) = self.scheduler.pop().expect("peeked event exists");
-            debug_assert!(at >= self.now, "event from the past");
-            self.now = at;
-            self.events_processed += 1;
-            self.dispatch(kind);
+            self.advance_to(next);
         }
         if self.now < deadline {
             self.now = deadline;
         }
         RunSummary {
             events_processed: self.events_processed,
-            events_scheduled: self.scheduler.scheduled_total(),
+            events_scheduled: self.scheduler.scheduled_total() + self.wheel.scheduled_total(),
             ended_at_nanos: self.now.as_nanos(),
         }
     }
 
-    /// Processes a single event. Returns `false` when the queue is empty.
+    /// Processes the events of the next pending instant (all due wheel
+    /// timers, or one heap event). Returns `false` when nothing is
+    /// pending.
     pub fn step(&mut self) -> bool {
-        match self.scheduler.pop() {
-            Some((at, kind)) => {
-                self.now = at;
-                self.events_processed += 1;
-                self.dispatch(kind);
+        match self.next_event_time() {
+            Some(next) => {
+                self.advance_to(next);
                 true
             }
             None => false,
         }
     }
 
-    /// Number of pending events (diagnostics).
+    /// Number of pending events (diagnostics), armed flow timers included.
     #[must_use]
     pub fn pending_events(&self) -> usize {
-        self.scheduler.len()
+        self.scheduler.len() + self.wheel.len()
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -475,9 +527,15 @@ impl Simulator {
             return;
         }
         self.stats.on_node_arrival(&packet, node_id, self.now);
-        // Run the filter chain.
+        // Run the filter chain. The flow id is interned exactly once here;
+        // every filter downstream indexes its tables by the dense id.
         let dst_is_local = self.nodes[node_id.index()].is_local(packet.key.dst);
-        let env = PacketEnv { via_link: via, dst_is_local };
+        let flow = self.flows.intern(packet.key);
+        let env = PacketEnv {
+            via_link: via,
+            dst_is_local,
+            flow,
+        };
         let mut commands: Vec<FilterCommand> = Vec::new();
         let mut verdict = FilterAction::Forward;
         {
@@ -502,7 +560,7 @@ impl Simulator {
             }
             FilterAction::Forward => {
                 if dst_is_local {
-                    self.deliver_local(node_id, packet);
+                    self.deliver_local(node_id, packet, flow);
                 } else {
                     self.forward(node_id, packet);
                 }
@@ -520,7 +578,10 @@ impl Simulator {
         });
     }
 
-    fn deliver_local(&mut self, node_id: NodeId, packet: Packet) {
+    /// Delivers `packet` to the agent bound to its destination. `flow`
+    /// is the id minted when the packet arrived (or, for loopback sends,
+    /// by the caller) — deliveries never re-hash the 4-tuple.
+    fn deliver_local(&mut self, node_id: NodeId, packet: Packet, flow: FlowId) {
         let Some(agent_id) = self.nodes[node_id.index()].local_agent(packet.key.dst) else {
             self.record_drop(&packet, DropReason::NoRoute);
             return;
@@ -541,6 +602,7 @@ impl Simulator {
                 self.now,
                 agent_id,
                 node_id,
+                Some(flow),
                 &mut self.next_packet_id,
                 &mut commands,
             );
@@ -608,6 +670,7 @@ impl Simulator {
                 self.now,
                 agent_id,
                 node,
+                None,
                 &mut self.next_packet_id,
                 &mut commands,
             );
@@ -628,6 +691,7 @@ impl Simulator {
                 self.now,
                 agent_id,
                 node,
+                None,
                 &mut self.next_packet_id,
                 &mut commands,
             );
@@ -655,6 +719,26 @@ impl Simulator {
             filter.on_timer(token, &mut ctx);
         }
         self.run_filter_commands(node_id, commands);
+    }
+
+    fn filter_flow_timer(&mut self, fire: FlowTimerFire) {
+        let mut commands = Vec::new();
+        {
+            let now = self.now;
+            let node = &mut self.nodes[fire.node.index()];
+            let Some(filter) = node.filters.get_mut(fire.filter_index) else {
+                return;
+            };
+            let mut ctx = FilterCtx::new(
+                now,
+                fire.node,
+                fire.filter_index,
+                &mut self.next_packet_id,
+                &mut commands,
+            );
+            filter.on_flow_timer(fire.flow, fire.kind, &mut ctx);
+        }
+        self.run_filter_commands(fire.node, commands);
     }
 
     fn control(&mut self, node_id: NodeId, msg: ControlMsg) {
@@ -699,6 +783,22 @@ impl Simulator {
                         },
                     );
                 }
+                FilterCommand::ScheduleFlowTimer {
+                    filter_index,
+                    delay,
+                    flow,
+                    kind,
+                } => {
+                    self.wheel.insert(
+                        self.now + delay,
+                        FlowTimerFire {
+                            node: node_id,
+                            filter_index,
+                            flow,
+                            kind,
+                        },
+                    );
+                }
                 FilterCommand::Note { note, flow } => self.apply_note(note, flow),
             }
         }
@@ -727,7 +827,8 @@ impl Simulator {
                     // if the destination is another local agent, deliver
                     // directly (loopback).
                     if self.nodes[node.index()].is_local(packet.key.dst) {
-                        self.deliver_local(node, packet);
+                        let flow = self.flows.intern(packet.key);
+                        self.deliver_local(node, packet, flow);
                     } else {
                         self.forward(node, packet);
                     }
@@ -921,8 +1022,12 @@ mod tests {
         sim.inject_packet(a, stray, PacketKind::Udp, 100, false, SimTime::ZERO);
         sim.run_until(SimTime::from_secs_f64(0.5));
         let trace = sim.trace().unwrap();
-        assert!(trace.iter().any(|e| matches!(e, crate::trace::TraceEvent::Deliver { .. })));
-        assert!(trace.iter().any(|e| matches!(e, crate::trace::TraceEvent::Drop { .. })));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, crate::trace::TraceEvent::Deliver { .. })));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, crate::trace::TraceEvent::Drop { .. })));
     }
 
     #[test]

@@ -8,10 +8,10 @@
 //! Ground-truth fields (`is_attack`) come from packet [`Provenance`] and
 //! are written here and only here — the defense filters cannot see them.
 
+use crate::flows::{FlowInterner, FlowSlab};
 use crate::ids::NodeId;
 use crate::packet::{DropReason, FlowKey, Packet, Provenance};
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Per-flow packet accounting.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -106,9 +106,16 @@ struct ArrivalWatch {
 }
 
 /// Global per-run statistics.
+///
+/// Per-flow records live in a dense [`FlowSlab`] behind the collector's
+/// own [`FlowInterner`]: the accounting calls on the packet hot path cost
+/// one interner probe plus an array index, and iteration runs in id
+/// (first-seen) order — deterministic, unlike the `std` hash map this
+/// replaced.
 #[derive(Debug)]
 pub struct StatsCollector {
-    flows: HashMap<FlowKey, FlowRecord>,
+    interner: FlowInterner,
+    records: FlowSlab<FlowRecord>,
     watch: Option<VictimWatch>,
     bins: Vec<VictimBin>,
     arrival_watch: Option<ArrivalWatch>,
@@ -132,7 +139,8 @@ impl StatsCollector {
     #[must_use]
     pub fn new() -> Self {
         StatsCollector {
-            flows: HashMap::new(),
+            interner: FlowInterner::new(),
+            records: FlowSlab::new(),
             watch: None,
             bins: Vec::new(),
             arrival_watch: None,
@@ -168,17 +176,26 @@ impl StatsCollector {
         self.watch = Some(VictimWatch { node, bin });
     }
 
+    /// The record slot for `key`, created on first touch.
+    fn entry(&mut self, key: FlowKey) -> &mut FlowRecord {
+        let id = self.interner.intern(key);
+        if !self.records.contains(id) {
+            self.records.insert(id, FlowRecord::default());
+        }
+        self.records.get_mut(id).expect("just ensured")
+    }
+
     /// Declares a flow's ground truth. Called by the workload layer when
     /// the flow's agent is created so records exist even for flows whose
     /// every packet is dropped.
     pub fn declare_flow(&mut self, key: FlowKey, is_attack: bool, is_tcp: bool) {
-        let rec = self.flows.entry(key).or_default();
+        let rec = self.entry(key);
         rec.is_attack = is_attack;
         rec.is_tcp = is_tcp;
     }
 
     fn record(&mut self, key: FlowKey, provenance: Provenance) -> &mut FlowRecord {
-        let rec = self.flows.entry(key).or_default();
+        let rec = self.entry(key);
         // Keep ground truth sticky once declared; packets inherit it.
         rec.is_attack |= provenance.is_attack;
         rec
@@ -252,18 +269,18 @@ impl StatsCollector {
 
     /// Records that an active defense filter examined a packet of `key`.
     pub fn on_atr_seen(&mut self, key: FlowKey) {
-        self.flows.entry(key).or_default().seen_at_atr += 1;
+        self.entry(key).seen_at_atr += 1;
     }
 
     /// Records a probe burst toward `key`'s claimed source.
     pub fn on_probe_sent(&mut self, key: FlowKey) {
         self.probes_emitted += 1;
-        self.flows.entry(key).or_default().probes_sent += 1;
+        self.entry(key).probes_sent += 1;
     }
 
     /// Records a classification decision for `key`.
     pub fn on_flow_declared(&mut self, key: FlowKey, nice: bool) {
-        let rec = self.flows.entry(key).or_default();
+        let rec = self.entry(key);
         if nice {
             rec.declared_nice = 1;
         } else {
@@ -274,18 +291,22 @@ impl StatsCollector {
     /// The record for `key`, if any packet or declaration touched it.
     #[must_use]
     pub fn flow(&self, key: &FlowKey) -> Option<&FlowRecord> {
-        self.flows.get(key)
+        self.interner
+            .lookup(*key)
+            .and_then(|id| self.records.get(id))
     }
 
-    /// Iterates over all flow records.
-    pub fn flows(&self) -> impl Iterator<Item = (&FlowKey, &FlowRecord)> {
-        self.flows.iter()
+    /// Iterates over all flow records in id (first-seen) order.
+    pub fn flows(&self) -> impl Iterator<Item = (FlowKey, &FlowRecord)> {
+        self.records
+            .iter()
+            .map(|(id, rec)| (self.interner.resolve(id), rec))
     }
 
     /// Number of distinct flows observed.
     #[must_use]
     pub fn flow_count(&self) -> usize {
-        self.flows.len()
+        self.records.len()
     }
 
     /// The victim delivery time series (empty unless a watch was set).
@@ -318,7 +339,7 @@ impl StatsCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::{AgentId, Addr};
+    use crate::ids::{Addr, AgentId};
     use crate::packet::PacketKind;
 
     fn pkt(attack: bool) -> Packet {

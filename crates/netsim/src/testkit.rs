@@ -5,11 +5,16 @@
 //! issued. The command buffers are crate-private by design, so this module
 //! offers small harnesses that execute a callback with a real context and
 //! hand back the effects in a public form.
+//!
+//! Each harness owns a [`FlowInterner`], standing in for the simulator's
+//! domain-wide interner: packets offered through a harness get their flow
+//! id minted here, with the same stability guarantees as in a real run.
 
 use crate::agent::{Agent, AgentCommand, AgentCtx};
 use crate::event::ControlMsg;
 use crate::filter::{FilterAction, FilterCommand, FilterCtx, PacketEnv, PacketFilter, StatNote};
-use crate::ids::{AgentId, NodeId};
+use crate::flows::{FlowId, FlowInterner};
+use crate::ids::{AgentId, LinkId, NodeId};
 use crate::packet::{FlowKey, Packet};
 use crate::time::{SimDuration, SimTime};
 
@@ -30,6 +35,7 @@ pub struct AgentHarness {
     agent_id: AgentId,
     node: NodeId,
     next_packet_id: u64,
+    interner: FlowInterner,
 }
 
 impl AgentHarness {
@@ -41,6 +47,7 @@ impl AgentHarness {
             agent_id: AgentId::from_index(0),
             node: NodeId::from_index(0),
             next_packet_id: 0,
+            interner: FlowInterner::new(),
         }
     }
 
@@ -51,20 +58,21 @@ impl AgentHarness {
 
     /// Calls `on_start`.
     pub fn start(&mut self, agent: &mut dyn Agent) -> AgentEffects {
-        self.drive(|a, ctx| a.on_start(ctx), agent)
+        self.drive(|a, ctx| a.on_start(ctx), agent, None)
     }
 
-    /// Delivers a packet.
+    /// Delivers a packet (its flow id is interned by the harness).
     pub fn deliver(&mut self, agent: &mut dyn Agent, packet: Packet) -> AgentEffects {
-        self.drive(move |a, ctx| a.on_packet(packet, ctx), agent)
+        let flow = self.interner.intern(packet.key);
+        self.drive(move |a, ctx| a.on_packet(packet, ctx), agent, Some(flow))
     }
 
     /// Fires a timer with the given token.
     pub fn fire_timer(&mut self, agent: &mut dyn Agent, token: u64) -> AgentEffects {
-        self.drive(move |a, ctx| a.on_timer(token, ctx), agent)
+        self.drive(move |a, ctx| a.on_timer(token, ctx), agent, None)
     }
 
-    fn drive<F>(&mut self, f: F, agent: &mut dyn Agent) -> AgentEffects
+    fn drive<F>(&mut self, f: F, agent: &mut dyn Agent, flow: Option<FlowId>) -> AgentEffects
     where
         F: FnOnce(&mut dyn Agent, &mut AgentCtx<'_>),
     {
@@ -74,6 +82,7 @@ impl AgentHarness {
                 self.now,
                 self.agent_id,
                 self.node,
+                flow,
                 &mut self.next_packet_id,
                 &mut commands,
             );
@@ -105,8 +114,10 @@ pub struct FilterEffects {
     pub action: Option<FilterAction>,
     /// Packets the filter emitted (probes).
     pub emitted: Vec<Packet>,
-    /// Timers armed, as `(delay, token)` pairs.
+    /// Legacy token timers armed, as `(delay, token)` pairs.
     pub timers: Vec<(SimDuration, u64)>,
+    /// Flow timers armed on the wheel, as `(delay, flow, kind)` triples.
+    pub flow_timers: Vec<(SimDuration, FlowId, u16)>,
     /// Statistics notes recorded, with the flow they referred to.
     pub notes: Vec<(StatNote, Option<FlowKey>)>,
 }
@@ -118,6 +129,7 @@ pub struct FilterHarness {
     pub now: SimTime,
     node: NodeId,
     next_packet_id: u64,
+    interner: FlowInterner,
 }
 
 impl FilterHarness {
@@ -128,6 +140,7 @@ impl FilterHarness {
             now: SimTime::ZERO,
             node: NodeId::from_index(0),
             next_packet_id: 0,
+            interner: FlowInterner::new(),
         }
     }
 
@@ -136,18 +149,36 @@ impl FilterHarness {
         self.now += by;
     }
 
-    /// Offers a packet with the given environment.
+    /// Interns a key with the harness's interner (stable across calls),
+    /// for tests that need the id a packet will carry.
+    pub fn intern(&mut self, key: FlowKey) -> FlowId {
+        self.interner.intern(key)
+    }
+
+    /// Offers a packet with the given arrival environment; the flow id is
+    /// interned by the harness.
     pub fn offer(
         &mut self,
         filter: &mut dyn PacketFilter,
         packet: &Packet,
-        env: PacketEnv,
+        via_link: Option<LinkId>,
+        dst_is_local: bool,
     ) -> FilterEffects {
+        let env = PacketEnv {
+            via_link,
+            dst_is_local,
+            flow: self.interner.intern(packet.key),
+        };
         let mut commands = Vec::new();
         let action;
         {
-            let mut ctx =
-                FilterCtx::new(self.now, self.node, 0, &mut self.next_packet_id, &mut commands);
+            let mut ctx = FilterCtx::new(
+                self.now,
+                self.node,
+                0,
+                &mut self.next_packet_id,
+                &mut commands,
+            );
             action = filter.on_packet(packet, &env, &mut ctx);
         }
         let mut fx = Self::collect(commands);
@@ -155,25 +186,49 @@ impl FilterHarness {
         fx
     }
 
-    /// Offers a packet that arrived on a link and is not locally bound.
-    pub fn offer_transit(&mut self, filter: &mut dyn PacketFilter, packet: &Packet) -> FilterEffects {
-        self.offer(
-            filter,
-            packet,
-            PacketEnv {
-                via_link: None,
-                dst_is_local: false,
-            },
-        )
+    /// Offers a packet that arrived on no particular link and is not
+    /// locally bound (the common transit case).
+    pub fn offer_transit(
+        &mut self,
+        filter: &mut dyn PacketFilter,
+        packet: &Packet,
+    ) -> FilterEffects {
+        self.offer(filter, packet, None, false)
     }
 
-    /// Fires a filter timer.
+    /// Fires a legacy token timer.
     pub fn fire_timer(&mut self, filter: &mut dyn PacketFilter, token: u64) -> FilterEffects {
         let mut commands = Vec::new();
         {
-            let mut ctx =
-                FilterCtx::new(self.now, self.node, 0, &mut self.next_packet_id, &mut commands);
+            let mut ctx = FilterCtx::new(
+                self.now,
+                self.node,
+                0,
+                &mut self.next_packet_id,
+                &mut commands,
+            );
             filter.on_timer(token, &mut ctx);
+        }
+        Self::collect(commands)
+    }
+
+    /// Fires a wheel flow timer.
+    pub fn fire_flow_timer(
+        &mut self,
+        filter: &mut dyn PacketFilter,
+        flow: FlowId,
+        kind: u16,
+    ) -> FilterEffects {
+        let mut commands = Vec::new();
+        {
+            let mut ctx = FilterCtx::new(
+                self.now,
+                self.node,
+                0,
+                &mut self.next_packet_id,
+                &mut commands,
+            );
+            filter.on_flow_timer(flow, kind, &mut ctx);
         }
         Self::collect(commands)
     }
@@ -182,8 +237,13 @@ impl FilterHarness {
     pub fn control(&mut self, filter: &mut dyn PacketFilter, msg: &ControlMsg) -> FilterEffects {
         let mut commands = Vec::new();
         {
-            let mut ctx =
-                FilterCtx::new(self.now, self.node, 0, &mut self.next_packet_id, &mut commands);
+            let mut ctx = FilterCtx::new(
+                self.now,
+                self.node,
+                0,
+                &mut self.next_packet_id,
+                &mut commands,
+            );
             filter.on_control(msg, &mut ctx);
         }
         Self::collect(commands)
@@ -196,6 +256,11 @@ impl FilterHarness {
                 FilterCommand::EmitPacket(p) => fx.emitted.push(p),
                 FilterCommand::ScheduleTimer { delay, token, .. } => {
                     fx.timers.push((delay, token));
+                }
+                FilterCommand::ScheduleFlowTimer {
+                    delay, flow, kind, ..
+                } => {
+                    fx.flow_timers.push((delay, flow, kind));
                 }
                 FilterCommand::Note { note, flow } => fx.notes.push((note, flow)),
             }
@@ -248,5 +313,13 @@ mod tests {
         let fx = h.offer_transit(&mut f, &pkt());
         assert_eq!(fx.action, Some(FilterAction::Forward));
         assert_eq!(f.seen(), 1);
+    }
+
+    #[test]
+    fn harness_interner_ids_are_stable() {
+        let mut h = FilterHarness::new();
+        let id = h.intern(pkt().key);
+        let again = h.intern(pkt().key);
+        assert_eq!(id, again);
     }
 }

@@ -139,7 +139,10 @@ impl SimDuration {
     /// Panics if `factor` is negative or not finite.
     #[must_use]
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid factor {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -260,7 +263,10 @@ mod tests {
         assert_eq!(d.mul_f64(2.0), SimDuration::from_millis(200));
         assert_eq!(d * 3, SimDuration::from_millis(300));
         assert_eq!(d / 2, SimDuration::from_millis(50));
-        assert_eq!(d.max(SimDuration::from_millis(150)), SimDuration::from_millis(150));
+        assert_eq!(
+            d.max(SimDuration::from_millis(150)),
+            SimDuration::from_millis(150)
+        );
         assert_eq!(d.min(SimDuration::from_millis(150)), d);
     }
 
@@ -289,7 +295,11 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
-        assert!(SimTime::ZERO.checked_add(SimDuration::from_secs(1)).is_some());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
+        assert!(SimTime::ZERO
+            .checked_add(SimDuration::from_secs(1))
+            .is_some());
     }
 }

@@ -38,7 +38,10 @@ impl AddressSpace {
     /// Panics if `n_ingress` exceeds 180 (the 10.1.0.0 … 10.180.0.0 pool).
     #[must_use]
     pub fn new(n_ingress: usize) -> Self {
-        assert!(n_ingress <= 180, "address pool supports at most 180 ingresses");
+        assert!(
+            n_ingress <= 180,
+            "address pool supports at most 180 ingresses"
+        );
         let ingress_prefixes = (0..n_ingress)
             .map(|i| Addr::from_octets(10, (i + 1) as u8, 0, 0))
             .collect();
@@ -146,7 +149,9 @@ mod tests {
         let space = AddressSpace::new(3);
         assert!(space.is_legal(space.victim_addr()));
         for i in 0..3 {
-            assert!(!space.victim_addr().in_prefix(space.ingress_prefix(i), PREFIX_LEN));
+            assert!(!space
+                .victim_addr()
+                .in_prefix(space.ingress_prefix(i), PREFIX_LEN));
         }
     }
 

@@ -205,8 +205,8 @@ impl Domain {
             per_ingress_count[ingress_index] += 1;
             let addr = address_space.host_addr(ingress_index, per_ingress_count[ingress_index]);
             let node = sim.add_node(format!("host{h}"));
-            let delay_range = config.access_delay_max.as_nanos()
-                - config.access_delay_min.as_nanos();
+            let delay_range =
+                config.access_delay_max.as_nanos() - config.access_delay_min.as_nanos();
             let delay = SimDuration::from_nanos(
                 config.access_delay_min.as_nanos()
                     + if delay_range > 0 {
@@ -215,11 +215,8 @@ impl Domain {
                         0
                     },
             );
-            let access_spec = LinkSpec::new(
-                config.access_bandwidth_bps,
-                delay,
-                config.queue_capacity,
-            );
+            let access_spec =
+                LinkSpec::new(config.access_bandwidth_bps, delay, config.queue_capacity);
             let (uplink, _downlink) =
                 sim.add_duplex_link(node, ingress_routers[ingress_index], access_spec);
             hosts.push(HostInfo {
@@ -254,11 +251,8 @@ impl Domain {
             adj[from.index()].push((to.index(), link));
         }
         // Destinations: every host address and the victim address.
-        let mut destinations: Vec<(Addr, NodeId)> = self
-            .hosts
-            .iter()
-            .map(|h| (h.addr, h.node))
-            .collect();
+        let mut destinations: Vec<(Addr, NodeId)> =
+            self.hosts.iter().map(|h| (h.addr, h.node)).collect();
         destinations.push((self.victim_addr, self.victim_host));
 
         for (addr, dst) in destinations {
@@ -363,7 +357,7 @@ mod tests {
     fn host_addresses_are_unique_and_legal() {
         let mut sim = Simulator::new(1);
         let d = Domain::build(&mut sim, &small_config()).unwrap();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for h in &d.hosts {
             assert!(seen.insert(h.addr), "duplicate host address {}", h.addr);
             assert!(d.address_space.is_legal(h.addr));

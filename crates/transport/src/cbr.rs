@@ -295,7 +295,10 @@ mod tests {
         let mut h = AgentHarness::new();
         let mut s = sender(CbrProtocol::TcpLike, 0.0);
         let fx = h.start(&mut s);
-        assert!(matches!(fx.sent[0].kind, PacketKind::TcpData { seq: 0, .. }));
+        assert!(matches!(
+            fx.sent[0].kind,
+            PacketKind::TcpData { seq: 0, .. }
+        ));
     }
 
     #[test]
@@ -317,10 +320,7 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b, "same seed, same jitter sequence");
-        assert!(
-            a.iter().any(|&d| d != a[0]),
-            "jitter should vary intervals"
-        );
+        assert!(a.iter().any(|&d| d != a[0]), "jitter should vary intervals");
     }
 
     #[test]

@@ -46,5 +46,5 @@ pub use cbr::{CbrConfig, CbrProtocol, UnresponsiveSender};
 pub use pulse::{PulseConfig, PulsedSender};
 pub use rtt::RttEstimator;
 pub use sink::TcpSink;
-pub use victim::VictimSink;
 pub use tcp::{TcpConfig, TcpPhase, TcpSender};
+pub use victim::VictimSink;

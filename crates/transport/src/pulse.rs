@@ -317,9 +317,24 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(PulseConfig { burst_rate_pps: 0.0, ..config() }.validate().is_err());
-        assert!(PulseConfig { burst_len: SimDuration::ZERO, ..config() }.validate().is_err());
-        assert!(PulseConfig { packet_size: 0, ..config() }.validate().is_err());
+        assert!(PulseConfig {
+            burst_rate_pps: 0.0,
+            ..config()
+        }
+        .validate()
+        .is_err());
+        assert!(PulseConfig {
+            burst_len: SimDuration::ZERO,
+            ..config()
+        }
+        .validate()
+        .is_err());
+        assert!(PulseConfig {
+            packet_size: 0,
+            ..config()
+        }
+        .validate()
+        .is_err());
         assert!(config().validate().is_ok());
     }
 }

@@ -6,9 +6,7 @@
 //! in most TCP traffic flows by checking the time stamp in the packet
 //! header".
 
-use mafic_netsim::{
-    Agent, AgentCtx, FlowKey, Packet, PacketKind, Provenance, SimTime,
-};
+use mafic_netsim::{Agent, AgentCtx, FlowKey, Packet, PacketKind, Provenance, SimTime};
 use std::any::Any;
 use std::collections::BTreeSet;
 

@@ -65,7 +65,10 @@ impl TcpConfig {
             return Err("segment_size must be positive".into());
         }
         if self.initial_cwnd.is_nan() || self.initial_cwnd < 1.0 {
-            return Err(format!("initial_cwnd must be >= 1, got {}", self.initial_cwnd));
+            return Err(format!(
+                "initial_cwnd must be >= 1, got {}",
+                self.initial_cwnd
+            ));
         }
         if self.max_cwnd.is_nan() || self.max_cwnd < self.initial_cwnd {
             return Err("max_cwnd must be >= initial_cwnd".into());
@@ -313,8 +316,7 @@ impl TcpSender {
                 self.cwnd = (self.cwnd + newly_acked as f64).min(self.config.max_cwnd);
             } else {
                 // Congestion avoidance: ~1 segment per RTT.
-                self.cwnd =
-                    (self.cwnd + newly_acked as f64 / self.cwnd).min(self.config.max_cwnd);
+                self.cwnd = (self.cwnd + newly_acked as f64 / self.cwnd).min(self.config.max_cwnd);
             }
             self.arm_rto(ctx);
             self.send_window(ctx);
@@ -444,8 +446,14 @@ mod tests {
         let mut s = sender();
         let fx = h.start(&mut s);
         assert_eq!(fx.sent.len(), 2, "initial cwnd is 2 segments");
-        assert!(matches!(fx.sent[0].kind, PacketKind::TcpData { seq: 0, .. }));
-        assert!(matches!(fx.sent[1].kind, PacketKind::TcpData { seq: 1, .. }));
+        assert!(matches!(
+            fx.sent[0].kind,
+            PacketKind::TcpData { seq: 0, .. }
+        ));
+        assert!(matches!(
+            fx.sent[1].kind,
+            PacketKind::TcpData { seq: 1, .. }
+        ));
         assert_eq!(fx.timers.len(), 1, "RTO armed at start");
     }
 
@@ -477,7 +485,10 @@ mod tests {
         assert!(s.cwnd() < before, "window must shrink on loss");
         assert_eq!(s.retransmits(), 1);
         assert_eq!(fx.sent.len(), 1, "head-of-line retransmission");
-        assert!(matches!(fx.sent[0].kind, PacketKind::TcpData { seq: 3, .. }));
+        assert!(matches!(
+            fx.sent[0].kind,
+            PacketKind::TcpData { seq: 3, .. }
+        ));
     }
 
     #[test]
@@ -520,7 +531,10 @@ mod tests {
         assert_eq!(s.cwnd(), 1.0);
         assert_eq!(s.timeouts(), 1);
         assert_eq!(fx.sent.len(), 1);
-        assert!(matches!(fx.sent[0].kind, PacketKind::TcpData { seq: 0, .. }));
+        assert!(matches!(
+            fx.sent[0].kind,
+            PacketKind::TcpData { seq: 0, .. }
+        ));
     }
 
     #[test]

@@ -6,11 +6,9 @@
 //! senders' congestion control — and MAFIC's probing — work end to end),
 //! UDP floods are merely counted and absorbed.
 
-use mafic_netsim::{
-    Agent, AgentCtx, FlowKey, Packet, PacketKind, Provenance, SimTime,
-};
+use mafic_netsim::{Agent, AgentCtx, FlowKey, FlowSlab, Packet, PacketKind, Provenance, SimTime};
 use std::any::Any;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 #[derive(Debug, Default)]
 struct FlowState {
@@ -19,10 +17,15 @@ struct FlowState {
 }
 
 /// A sink absorbing every flow addressed to the victim.
+///
+/// Per-flow receiver state is a dense [`FlowSlab`] indexed by the
+/// interned flow id the simulator delivers with each packet
+/// ([`AgentCtx::packet_flow`]) — under a many-flow flood the per-segment
+/// cost is one array probe, not a 4-tuple hash.
 #[derive(Debug)]
 pub struct VictimSink {
     ack_size: u32,
-    tcp_flows: HashMap<FlowKey, FlowState>,
+    tcp_flows: FlowSlab<FlowState>,
     tcp_segments: u64,
     udp_datagrams: u64,
     acks_sent: u64,
@@ -41,7 +44,7 @@ impl VictimSink {
         assert!(max_flows > 0, "max_flows must be positive");
         VictimSink {
             ack_size,
-            tcp_flows: HashMap::new(),
+            tcp_flows: FlowSlab::new(),
             tcp_segments: 0,
             udp_datagrams: 0,
             acks_sent: 0,
@@ -109,14 +112,19 @@ impl Agent for VictimSink {
         match packet.kind {
             PacketKind::TcpData { seq, ts, .. } => {
                 self.tcp_segments += 1;
-                if !self.tcp_flows.contains_key(&packet.key)
-                    && self.tcp_flows.len() >= self.max_flows
-                {
-                    // State exhausted: absorb without acknowledging, as a
-                    // real server under SYN-flood state pressure would.
-                    return;
+                let flow = ctx
+                    .packet_flow()
+                    .expect("on_packet always carries a flow id");
+                if !self.tcp_flows.contains(flow) {
+                    if self.tcp_flows.len() >= self.max_flows {
+                        // State exhausted: absorb without acknowledging, as
+                        // a real server under SYN-flood state pressure
+                        // would.
+                        return;
+                    }
+                    self.tcp_flows.insert(flow, FlowState::default());
                 }
-                let state = self.tcp_flows.entry(packet.key).or_default();
+                let state = self.tcp_flows.get_mut(flow).expect("just ensured");
                 if seq == state.rcv_next {
                     state.rcv_next += 1;
                     while state.out_of_order.remove(&state.rcv_next) {

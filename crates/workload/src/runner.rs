@@ -11,7 +11,9 @@ use crate::scenario::Scenario;
 use crate::spec::DetectionMode;
 use mafic::LogLogTap;
 use mafic_loglog::{DetectorConfig, RouterSketch, TrafficMatrix, VictimDetector, VictimVerdict};
-use mafic_metrics::{victim_arrival_series, victim_bandwidth_series, BandwidthPoint, MeasureWindows, MetricsReport};
+use mafic_metrics::{
+    victim_arrival_series, victim_bandwidth_series, BandwidthPoint, MeasureWindows, MetricsReport,
+};
 use mafic_netsim::{ControlMsg, NodeId, SimDuration, SimTime};
 
 /// Everything a finished run produces.

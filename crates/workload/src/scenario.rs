@@ -1,10 +1,10 @@
 //! Scenario construction: domain + agents + filters, fully wired.
 
 use crate::spec::{DetectionMode, ScenarioSpec};
-use mafic::{AddressValidator, DropPolicy, LogLogTap, MaficConfig, MaficFilter, ProportionalFilter};
-use mafic_netsim::{
-    Addr, AgentId, FlowKey, NodeId, SimDuration, SimTime, Simulator,
+use mafic::{
+    AddressValidator, DropPolicy, LogLogTap, MaficConfig, MaficFilter, ProportionalFilter,
 };
+use mafic_netsim::{Addr, AgentId, FlowKey, NodeId, SimDuration, SimTime, Simulator};
 use mafic_topology::{Domain, DomainConfig, PREFIX_LEN};
 use mafic_transport::{
     CbrConfig, CbrProtocol, TcpConfig, TcpSender, UnresponsiveSender, VictimSink,
@@ -97,11 +97,8 @@ impl Scenario {
         sim.bind_local_addr(domain.victim_host, domain.victim_addr, victim_agent);
         sim.stats_mut()
             .watch_victim(domain.victim_host, spec.victim_bin);
-        sim.stats_mut().watch_arrivals(
-            domain.victim_router,
-            domain.victim_addr,
-            spec.victim_bin,
-        );
+        sim.stats_mut()
+            .watch_arrivals(domain.victim_router, domain.victim_addr, spec.victim_bin);
 
         // Filters: tap first (counts arrivals), then the dropper.
         let validator = AddressValidator::Prefixes(
@@ -116,29 +113,28 @@ impl Scenario {
         let mut taps = Vec::new();
         let routers = domain.routers();
         for &router in &routers {
-            let (ingress_links, egress_addrs): (Vec<_>, Vec<Addr>) = if router
-                == domain.victim_router
-            {
-                (Vec::new(), vec![domain.victim_addr])
-            } else if let Some(ingress_index) =
-                domain.ingress_routers.iter().position(|&r| r == router)
-            {
-                let links = domain
-                    .hosts
-                    .iter()
-                    .filter(|h| h.ingress_index == ingress_index)
-                    .map(|h| h.uplink)
-                    .collect();
-                let addrs = domain
-                    .hosts
-                    .iter()
-                    .filter(|h| h.ingress_index == ingress_index)
-                    .map(|h| h.addr)
-                    .collect();
-                (links, addrs)
-            } else {
-                (Vec::new(), Vec::new())
-            };
+            let (ingress_links, egress_addrs): (Vec<_>, Vec<Addr>) =
+                if router == domain.victim_router {
+                    (Vec::new(), vec![domain.victim_addr])
+                } else if let Some(ingress_index) =
+                    domain.ingress_routers.iter().position(|&r| r == router)
+                {
+                    let links = domain
+                        .hosts
+                        .iter()
+                        .filter(|h| h.ingress_index == ingress_index)
+                        .map(|h| h.uplink)
+                        .collect();
+                    let addrs = domain
+                        .hosts
+                        .iter()
+                        .filter(|h| h.ingress_index == ingress_index)
+                        .map(|h| h.addr)
+                        .collect();
+                    (links, addrs)
+                } else {
+                    (Vec::new(), Vec::new())
+                };
             let tap = LogLogTap::new(spec.loglog_precision, ingress_links, egress_addrs);
             let idx = sim.add_filter(router, Box::new(tap));
             taps.push((router, idx));
@@ -329,7 +325,10 @@ mod tests {
         let s = Scenario::build(spec).unwrap();
         let attack: Vec<_> = s.flows.iter().filter(|f| f.is_attack).collect();
         assert_eq!(attack.len(), 20);
-        let illegal = attack.iter().filter(|f| f.spoof == SpoofMode::Illegal).count();
+        let illegal = attack
+            .iter()
+            .filter(|f| f.spoof == SpoofMode::Illegal)
+            .count();
         let legal = attack
             .iter()
             .filter(|f| f.spoof == SpoofMode::LegalOtherSubnet)

@@ -86,7 +86,9 @@ pub struct ScenarioSpec {
     pub drop_probability: f64,
     /// Which drop policy runs at the ATRs.
     pub policy: DropPolicy,
-    /// Flow-label mode for the MAFIC tables.
+    /// Flow-label storage model for table-memory accounting; drop
+    /// behaviour is label-collision-free in every mode since tables are
+    /// keyed by exact interned flow ids.
     pub label_mode: LabelMode,
     /// Probation timer as a multiple of the flow RTT (paper: 2).
     pub timer_rtt_multiplier: f64,
@@ -174,8 +176,7 @@ impl ScenarioSpec {
         if attackers == 0 {
             return 0.0;
         }
-        self.attack_load_factor * self.flow_rate_pps * self.total_flows as f64
-            / attackers as f64
+        self.attack_load_factor * self.flow_rate_pps * self.total_flows as f64 / attackers as f64
     }
 
     /// Validates the specification.
@@ -188,7 +189,10 @@ impl ScenarioSpec {
             return Err("total_flows must be >= 1".into());
         }
         if !(0.0..=1.0).contains(&self.tcp_share) {
-            return Err(format!("tcp_share must be in [0, 1], got {}", self.tcp_share));
+            return Err(format!(
+                "tcp_share must be in [0, 1], got {}",
+                self.tcp_share
+            ));
         }
         if self.flow_rate_pps.is_nan() || self.flow_rate_pps <= 0.0 {
             return Err("flow_rate_pps must be positive".into());
@@ -285,9 +289,24 @@ mod tests {
     #[test]
     fn validation_catches_bad_specs() {
         let base = ScenarioSpec::default();
-        assert!(ScenarioSpec { total_flows: 0, ..base.clone() }.validate().is_err());
-        assert!(ScenarioSpec { tcp_share: 1.5, ..base.clone() }.validate().is_err());
-        assert!(ScenarioSpec { n_routers: 2, ..base.clone() }.validate().is_err());
+        assert!(ScenarioSpec {
+            total_flows: 0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ScenarioSpec {
+            tcp_share: 1.5,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ScenarioSpec {
+            n_routers: 2,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
         assert!(ScenarioSpec {
             spoof_illegal: 0.7,
             spoof_legal: 0.7,

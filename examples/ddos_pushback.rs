@@ -63,7 +63,10 @@ fn main() -> Result<(), String> {
 
     println!();
     println!("== victim offered load (100 ms buckets around the attack) ==");
-    println!("{:>8} {:>14} {:>14} {:>14}", "t (s)", "legit B/s", "attack B/s", "total B/s");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "t (s)", "legit B/s", "attack B/s", "total B/s"
+    );
     for p in downsample(&outcome.series, 2) {
         if (0.8..=3.0).contains(&p.time_s) {
             println!(

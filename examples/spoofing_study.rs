@@ -21,10 +21,26 @@ struct Mix {
 
 fn main() -> Result<(), String> {
     let mixes = [
-        Mix { name: "all illegal sources", illegal: 1.0, legal: 0.0 },
-        Mix { name: "all legally-spoofed", illegal: 0.0, legal: 1.0 },
-        Mix { name: "all own addresses", illegal: 0.0, legal: 0.0 },
-        Mix { name: "paper-style mix", illegal: 0.25, legal: 0.25 },
+        Mix {
+            name: "all illegal sources",
+            illegal: 1.0,
+            legal: 0.0,
+        },
+        Mix {
+            name: "all legally-spoofed",
+            illegal: 0.0,
+            legal: 1.0,
+        },
+        Mix {
+            name: "all own addresses",
+            illegal: 0.0,
+            legal: 0.0,
+        },
+        Mix {
+            name: "paper-style mix",
+            illegal: 0.25,
+            legal: 0.25,
+        },
     ];
     println!(
         "{:>22} {:>10} {:>10} {:>10} {:>12}",

@@ -1,0 +1,85 @@
+//! Determinism replay tests: the contract the interned-FlowId data path
+//! and the timer wheel must uphold.
+//!
+//! The simulator promises that identical `ScenarioSpec` + seed replay the
+//! exact same event sequence. These tests pin that down at the coarsest
+//! observable level — byte-identical digests of the full run output —
+//! so any accidental reintroduction of iteration-order or hasher-state
+//! dependence fails loudly.
+
+use mafic_suite::netsim::SimTime;
+use mafic_suite::workload::{run_spec, RunOutcome, ScenarioSpec};
+
+fn spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        total_flows: 14,
+        n_routers: 7,
+        end: SimTime::from_secs_f64(3.0),
+        seed,
+        ..ScenarioSpec::default()
+    }
+}
+
+/// Serializes everything a run produces into one digest string. `Debug`
+/// formatting is stable for a fixed build, so byte equality of digests
+/// means the runs were observably identical.
+fn digest(outcome: &RunOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:?}\n", outcome.report));
+    out.push_str(&format!("{:?}\n", outcome.triggered_at));
+    out.push_str(&format!("{:?}\n", outcome.atr_nodes));
+    out.push_str(&format!(
+        "sent={} delivered={}\n",
+        outcome.packets_sent, outcome.packets_delivered
+    ));
+    for p in &outcome.series {
+        out.push_str(&format!("{p:?}\n"));
+    }
+    for p in &outcome.goodput_series {
+        out.push_str(&format!("{p:?}\n"));
+    }
+    out
+}
+
+#[test]
+fn identical_spec_and_seed_replay_byte_identically() {
+    let a = run_spec(spec(1)).expect("run a");
+    let b = run_spec(spec(1)).expect("run b");
+    assert_eq!(digest(&a), digest(&b), "replays must be byte-identical");
+}
+
+#[test]
+fn two_consecutive_replays_of_a_second_seed_also_match() {
+    // The acceptance bar asks for the replay to hold on consecutive runs;
+    // a second seed guards against a fluke of one particular schedule.
+    let a = run_spec(spec(77)).expect("run a");
+    let b = run_spec(spec(77)).expect("run b");
+    assert_eq!(digest(&a), digest(&b));
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_spec(spec(1)).expect("run a");
+    let b = run_spec(spec(2)).expect("run b");
+    assert_ne!(digest(&a), digest(&b), "seed must perturb the run");
+}
+
+/// The event-loop accounting itself (processed/scheduled counts, final
+/// clock) replays identically — a tighter probe into the merged
+/// heap + timer-wheel loop than the report digest.
+#[test]
+fn run_summary_accounting_replays_identically() {
+    use mafic_suite::workload::Scenario;
+
+    let run = |seed: u64| {
+        let mut scenario = Scenario::build(spec(seed)).expect("build");
+        let summary = scenario.sim.run_until(SimTime::from_secs_f64(3.0));
+        (
+            summary.events_processed,
+            summary.events_scheduled,
+            summary.ended_at_nanos,
+            scenario.sim.flow_interner().len(),
+        )
+    };
+    assert_eq!(run(5), run(5));
+}

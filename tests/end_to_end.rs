@@ -96,10 +96,7 @@ fn undefended_run_floods_the_victim() {
     assert!(!undefended.defense_engaged());
     // Without the defense, far more attack bytes reach the victim.
     let attack_delivered = |o: &mafic_suite::workload::RunOutcome| {
-        o.goodput_series
-            .iter()
-            .map(|p| p.attack_bps)
-            .sum::<f64>()
+        o.goodput_series.iter().map(|p| p.attack_bps).sum::<f64>()
     };
     assert!(
         attack_delivered(&undefended) > 5.0 * attack_delivered(&defended),

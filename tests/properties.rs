@@ -1,93 +1,163 @@
 //! Property-based tests over the core data structures and invariants,
 //! spanning crates (hence at workspace level).
+//!
+//! The build environment is offline, so instead of `proptest` these use a
+//! small deterministic case generator: each property is checked against a
+//! few hundred pseudo-random inputs drawn from a fixed seed, which keeps
+//! failures reproducible without any shrinking machinery.
 
-use mafic_suite::core::{
-    AddressValidator, FlowLabel, LabelMode, MaficConfig, MaficFilter,
-};
+use mafic_suite::core::{AddressValidator, FlowLabel, LabelMode, MaficConfig, MaficFilter};
 use mafic_suite::loglog::{LogLog, Precision};
 use mafic_suite::netsim::testkit::FilterHarness;
 use mafic_suite::netsim::{
-    Addr, DropReason, FilterAction, FlowKey, Packet, PacketKind, Provenance, SimDuration,
-    SimTime,
+    Addr, DropReason, FilterAction, FlowInterner, FlowKey, Packet, PacketKind, Provenance,
+    SimDuration, SimTime,
 };
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn arbitrary_key() -> impl Strategy<Value = FlowKey> {
-    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>()).prop_map(|(s, d, sp, dp)| {
-        FlowKey::new(Addr::new(s), Addr::new(d), sp, dp)
-    })
+const CASES: usize = 300;
+
+fn case_rng(salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x1B5E_55ED ^ salt)
 }
 
-proptest! {
-    /// Hashed labels are a pure function of the key.
-    #[test]
-    fn flow_labels_are_deterministic(key in arbitrary_key()) {
+fn arbitrary_key(rng: &mut SmallRng) -> FlowKey {
+    FlowKey::new(
+        Addr::new(rng.gen::<u32>()),
+        Addr::new(rng.gen::<u32>()),
+        rng.gen::<u16>(),
+        rng.gen::<u16>(),
+    )
+}
+
+/// Hashed labels are a pure function of the key.
+#[test]
+fn flow_labels_are_deterministic() {
+    let mut rng = case_rng(1);
+    for _ in 0..CASES {
+        let key = arbitrary_key(&mut rng);
         let a = FlowLabel::from_key(key, LabelMode::Hashed);
         let b = FlowLabel::from_key(key, LabelMode::Hashed);
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(a.token(), b.token());
+        assert_eq!(a, b);
+        assert_eq!(a.token(), b.token());
     }
+}
 
-    /// Reversing a flow key twice is the identity.
-    #[test]
-    fn flow_key_reversal_involution(key in arbitrary_key()) {
-        prop_assert_eq!(key.reversed().reversed(), key);
+/// Reversing a flow key twice is the identity.
+#[test]
+fn flow_key_reversal_involution() {
+    let mut rng = case_rng(2);
+    for _ in 0..CASES {
+        let key = arbitrary_key(&mut rng);
+        assert_eq!(key.reversed().reversed(), key);
     }
+}
 
-    /// LogLog merge is commutative: merge(a,b) == merge(b,a) on registers.
-    #[test]
-    fn loglog_merge_commutes(
-        items_a in proptest::collection::vec(any::<u64>(), 0..500),
-        items_b in proptest::collection::vec(any::<u64>(), 0..500),
-    ) {
+/// Interner ids round-trip to the original key, and re-interning the same
+/// key always yields the same id.
+#[test]
+fn interner_ids_round_trip() {
+    let mut rng = case_rng(3);
+    let mut interner = FlowInterner::new();
+    let mut minted = Vec::new();
+    for _ in 0..CASES {
+        let key = arbitrary_key(&mut rng);
+        let id = interner.intern(key);
+        assert_eq!(interner.resolve(id), key, "id must resolve to its key");
+        assert_eq!(interner.intern(key), id, "re-interning must be stable");
+        assert_eq!(interner.lookup(key), Some(id));
+        minted.push((key, id));
+    }
+    // Earlier ids survive later interning (ids are stable for the run).
+    for (key, id) in minted {
+        assert_eq!(interner.resolve(id), key);
+        // The label derived from the resolved key matches the label of the
+        // original key — the FlowLabel edge contract.
+        assert_eq!(
+            FlowLabel::from_key(interner.resolve(id), LabelMode::Hashed),
+            FlowLabel::from_key(key, LabelMode::Hashed),
+        );
+    }
+}
+
+/// LogLog merge is commutative: merge(a,b) == merge(b,a) on registers.
+#[test]
+fn loglog_merge_commutes() {
+    let mut rng = case_rng(4);
+    for _ in 0..20 {
         let mut a = LogLog::new(Precision::P8);
         let mut b = LogLog::new(Precision::P8);
-        for &x in &items_a { a.insert_u64(x); }
-        for &x in &items_b { b.insert_u64(x); }
+        for _ in 0..rng.gen_range(0usize..500) {
+            a.insert_u64(rng.gen::<u64>());
+        }
+        for _ in 0..rng.gen_range(0usize..500) {
+            b.insert_u64(rng.gen::<u64>());
+        }
         let ab = a.merged(&b).unwrap();
         let ba = b.merged(&a).unwrap();
-        prop_assert_eq!(ab.registers(), ba.registers());
+        assert_eq!(ab.registers(), ba.registers());
     }
+}
 
-    /// Merging can only grow (or keep) the estimate: union dominates parts.
-    #[test]
-    fn loglog_union_dominates_parts(
-        items_a in proptest::collection::vec(any::<u64>(), 1..500),
-        items_b in proptest::collection::vec(any::<u64>(), 1..500),
-    ) {
+/// Merging can only grow (or keep) registers: the union dominates parts.
+#[test]
+fn loglog_union_dominates_parts() {
+    let mut rng = case_rng(5);
+    for _ in 0..20 {
         let mut a = LogLog::new(Precision::P8);
         let mut b = LogLog::new(Precision::P8);
-        for &x in &items_a { a.insert_u64(x); }
-        for &x in &items_b { b.insert_u64(x); }
+        for _ in 0..rng.gen_range(1usize..500) {
+            a.insert_u64(rng.gen::<u64>());
+        }
+        for _ in 0..rng.gen_range(1usize..500) {
+            b.insert_u64(rng.gen::<u64>());
+        }
         let union = a.merged(&b).unwrap();
-        // Register-wise max implies the union's registers dominate both.
         for (u, (x, y)) in union
             .registers()
             .iter()
             .zip(a.registers().iter().zip(b.registers().iter()))
         {
-            prop_assert!(u >= x && u >= y);
+            assert!(u >= x && u >= y);
         }
     }
+}
 
-    /// Duplicate insertions never change a LogLog's registers.
-    #[test]
-    fn loglog_idempotent_inserts(items in proptest::collection::vec(any::<u64>(), 1..200)) {
+/// Duplicate insertions never change a LogLog's registers.
+#[test]
+fn loglog_idempotent_inserts() {
+    let mut rng = case_rng(6);
+    for _ in 0..20 {
+        let items: Vec<u64> = (0..rng.gen_range(1usize..200))
+            .map(|_| rng.gen::<u64>())
+            .collect();
         let mut once = LogLog::new(Precision::P8);
         let mut thrice = LogLog::new(Precision::P8);
-        for &x in &items { once.insert_u64(x); }
-        for _ in 0..3 {
-            for &x in &items { thrice.insert_u64(x); }
+        for &x in &items {
+            once.insert_u64(x);
         }
-        prop_assert_eq!(once.registers(), thrice.registers());
+        for _ in 0..3 {
+            for &x in &items {
+                thrice.insert_u64(x);
+            }
+        }
+        assert_eq!(once.registers(), thrice.registers());
     }
+}
 
-    /// The MAFIC filter never drops packets for other destinations, no
-    /// matter the flow key, and always drops PDT'd flows' packets.
-    #[test]
-    fn mafic_filter_scope_invariant(key in arbitrary_key(), pd in 0.0f64..=1.0) {
-        let victim = Addr::from_octets(10, 200, 0, 1);
-        prop_assume!(key.dst != victim);
+/// The MAFIC filter never drops packets for other destinations, no matter
+/// the flow key or drop probability.
+#[test]
+fn mafic_filter_scope_invariant() {
+    let victim = Addr::from_octets(10, 200, 0, 1);
+    let mut rng = case_rng(7);
+    for _ in 0..CASES {
+        let key = arbitrary_key(&mut rng);
+        if key.dst == victim {
+            continue;
+        }
+        let pd = rng.gen::<f64>();
         let config = MaficConfig {
             drop_probability: pd,
             ..MaficConfig::default()
@@ -105,17 +175,26 @@ proptest! {
             hops: 0,
         };
         let fx = h.offer_transit(&mut filter, &pkt);
-        prop_assert_eq!(fx.action, Some(FilterAction::Forward));
+        assert_eq!(fx.action, Some(FilterAction::Forward));
     }
+}
 
-    /// With Pd = 1 every first packet of a legal new flow is dropped and
-    /// probed; with Pd = 0 nothing is ever dropped.
-    #[test]
-    fn mafic_extreme_pd_behaviour(key in arbitrary_key()) {
-        let victim = Addr::from_octets(10, 200, 0, 1);
-        let key = FlowKey { dst: victim, ..key };
+/// With Pd = 1 every first packet of a legal new flow is dropped and
+/// probed; with Pd = 0 nothing is ever dropped.
+#[test]
+fn mafic_extreme_pd_behaviour() {
+    let victim = Addr::from_octets(10, 200, 0, 1);
+    let mut rng = case_rng(8);
+    for _ in 0..CASES {
+        let key = FlowKey {
+            dst: victim,
+            ..arbitrary_key(&mut rng)
+        };
         for (pd, expect_drop) in [(1.0, true), (0.0, false)] {
-            let config = MaficConfig { drop_probability: pd, ..MaficConfig::default() };
+            let config = MaficConfig {
+                drop_probability: pd,
+                ..MaficConfig::default()
+            };
             let mut filter = MaficFilter::new(config, AddressValidator::AllowAll);
             filter.activate(victim);
             let mut h = FilterHarness::new();
@@ -130,18 +209,27 @@ proptest! {
             };
             let fx = h.offer_transit(&mut filter, &pkt);
             if expect_drop {
-                prop_assert_eq!(fx.action, Some(FilterAction::Drop(DropReason::FilterProbing)));
-                prop_assert_eq!(fx.emitted.len(), 1, "probe must be emitted");
+                assert_eq!(
+                    fx.action,
+                    Some(FilterAction::Drop(DropReason::FilterProbing))
+                );
+                assert_eq!(fx.emitted.len(), 1, "probe must be emitted");
             } else {
-                prop_assert_eq!(fx.action, Some(FilterAction::Forward));
-                prop_assert!(fx.emitted.is_empty());
+                assert_eq!(fx.action, Some(FilterAction::Forward));
+                assert!(fx.emitted.is_empty());
             }
         }
     }
+}
 
-    /// Address prefix membership is consistent with explicit masking.
-    #[test]
-    fn prefix_membership_matches_mask(addr in any::<u32>(), prefix in any::<u32>(), len in 0u8..=32) {
+/// Address prefix membership is consistent with explicit masking.
+#[test]
+fn prefix_membership_matches_mask() {
+    let mut rng = case_rng(9);
+    for _ in 0..CASES {
+        let addr = rng.gen::<u32>();
+        let prefix = rng.gen::<u32>();
+        let len = rng.gen_range(0u32..=32) as u8;
         let a = Addr::new(addr);
         let p = Addr::new(prefix);
         let expected = if len == 0 {
@@ -150,14 +238,19 @@ proptest! {
             let mask = u32::MAX << (32 - u32::from(len));
             (addr & mask) == (prefix & mask)
         };
-        prop_assert_eq!(a.in_prefix(p, len), expected);
+        assert_eq!(a.in_prefix(p, len), expected);
     }
+}
 
-    /// SimTime arithmetic: (t + d) - t == d for all representable pairs.
-    #[test]
-    fn time_addition_round_trips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+/// SimTime arithmetic: (t + d) - t == d for all representable pairs.
+#[test]
+fn time_addition_round_trips() {
+    let mut rng = case_rng(10);
+    for _ in 0..CASES {
+        let t = rng.gen_range(0u64..u64::MAX / 4);
+        let d = rng.gen_range(0u64..u64::MAX / 4);
         let time = SimTime::from_nanos(t);
         let dur = SimDuration::from_nanos(d);
-        prop_assert_eq!((time + dur) - time, dur);
+        assert_eq!((time + dur) - time, dur);
     }
 }

@@ -46,11 +46,9 @@ fn pulsed_scenario_with(
         let node = scenario.sim.agent_node(flow.agent);
         let mut pulser = PulsedSender::new(flow.key, pulse, 100 + i as u64);
         pulser.set_stop_after(SimTime::from_secs_f64(6.0));
-        let agent = scenario.sim.add_agent(
-            node,
-            Box::new(pulser),
-            SimTime::from_secs_f64(1.0),
-        );
+        let agent = scenario
+            .sim
+            .add_agent(node, Box::new(pulser), SimTime::from_secs_f64(1.0));
         let _ = agent;
         // Both the original zombie and the pulser share the flow key; the
         // original must stay silent, so stop it before it ever starts.
@@ -65,9 +63,11 @@ fn pulsed_scenario_with(
     // so the swap cannot confuse the monitor).
     let victim = scenario.domain.victim_addr;
     for &(node, _) in &scenario.droppers.clone() {
-        scenario
-            .sim
-            .send_control(node, ControlMsg::PushbackStart { victim }, SimTime::from_secs_f64(1.3));
+        scenario.sim.send_control(
+            node,
+            ControlMsg::PushbackStart { victim },
+            SimTime::from_secs_f64(1.3),
+        );
     }
     (scenario, attack_keys)
 }

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the subset of the criterion 0.5 API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], the `criterion_group!`/`criterion_main!` macros, and
+//! [`black_box`] — backed by a simple wall-clock timer.
+//!
+//! Measurement model: each `Bencher::iter` call runs a short warm-up, then
+//! measures batches of iterations until either the sample budget or a time
+//! cap is reached, and prints the mean time per iteration. No statistics
+//! files are written. Passing `--test` (as `cargo test` does for bench
+//! targets) runs every closure exactly once for a smoke check.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Per-iteration timing callback target handed to bench closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Mean nanoseconds per iteration; `None` until `iter` ran, and in
+    /// smoke-test mode.
+    reported: Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing the mean duration per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.config.smoke_test {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: one call, which also gives a cost estimate used to pick
+        // the batch size so fast routines get enough iterations to time.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let warm = warm_start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(5).as_nanos() / warm.as_nanos()).clamp(1, 100_000);
+        let per_batch = per_batch as u64;
+
+        let budget = self.config.measure_budget;
+        let started = Instant::now();
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        let mut samples = 0usize;
+        while samples < self.config.sample_size && started.elapsed() < budget {
+            let batch_start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            spent += batch_start.elapsed();
+            iters += per_batch;
+            samples += 1;
+        }
+        // Report in float nanoseconds so sub-ns/iter routines don't
+        // truncate to zero.
+        self.reported = Some(spent.as_secs_f64() * 1e9 / iters.max(1) as f64);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measure_budget: Duration,
+    smoke_test: bool,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Config {
+            sample_size: 10,
+            measure_budget: Duration::from_secs(5),
+            smoke_test,
+        }
+    }
+}
+
+fn report(name: &str, bencher: Bencher<'_>) {
+    match bencher.reported {
+        Some(mean_ns) => println!("bench {name:<50} {mean_ns:>12.2} ns/iter"),
+        None if bencher.config.smoke_test => println!("bench {name:<50} smoke-tested"),
+        None => println!("bench {name:<50} (no measurement taken)"),
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            config: &self.config,
+            reported: None,
+        };
+        f(&mut b);
+        report(name, b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    // Ties the group's lifetime to the parent Criterion, as upstream does.
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            config: &self.config,
+            reported: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b);
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut b = Bencher {
+            config: &self.config,
+            reported: None,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b);
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
