@@ -7,6 +7,7 @@
 //! * hashed vs full flow labels (memory and collision cost),
 //! * LogLog precision vs traffic-matrix accuracy.
 
+use crate::engine::EngineConfig;
 use crate::figure::FigureData;
 use crate::sweep::run_averaged;
 use mafic::{DropPolicy, LabelMode};
@@ -18,7 +19,7 @@ use mafic_workload::ScenarioSpec;
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn policy_comparison(trials: u64) -> Result<FigureData, String> {
+pub fn policy_comparison(cfg: &EngineConfig) -> Result<FigureData, String> {
     let mut fig = FigureData::new(
         "Ablation A",
         "MAFIC vs proportional dropping (the [2] baseline)",
@@ -34,7 +35,7 @@ pub fn policy_comparison(trials: u64) -> Result<FigureData, String> {
                 policy,
                 ..ScenarioSpec::default()
             },
-            trials,
+            cfg,
         )?;
         fig.push_series(
             label,
@@ -55,7 +56,7 @@ pub fn policy_comparison(trials: u64) -> Result<FigureData, String> {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn timer_multiplier(trials: u64) -> Result<FigureData, String> {
+pub fn timer_multiplier(cfg: &EngineConfig) -> Result<FigureData, String> {
     let mut fig = FigureData::new(
         "Ablation B",
         "Probation timer length vs classification quality",
@@ -71,7 +72,7 @@ pub fn timer_multiplier(trials: u64) -> Result<FigureData, String> {
                 timer_rtt_multiplier: mult,
                 ..ScenarioSpec::default()
             },
-            trials,
+            cfg,
         )?;
         accuracy.push((mult, report.accuracy_pct));
         legit_drops.push((mult, report.legit_drop_pct));

@@ -1,13 +1,13 @@
 //! Runs the DESIGN.md ablations: policy comparison, timer multiplier,
 //! label mode, sketch precision.
 
-use mafic_experiments::{ablations, trial_count};
+use mafic_experiments::{ablations, EngineConfig};
 
 fn main() {
-    let trials = trial_count();
+    let cfg = EngineConfig::from_env_or_exit();
     let results = [
-        ablations::policy_comparison(trials),
-        ablations::timer_multiplier(trials),
+        ablations::policy_comparison(&cfg),
+        ablations::timer_multiplier(&cfg),
         Ok(ablations::label_mode()),
         Ok(ablations::sketch_precision()),
     ];

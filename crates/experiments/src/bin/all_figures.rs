@@ -2,26 +2,26 @@
 //! shared sweeps where panels overlap.
 
 use mafic_experiments::sweep::figure_from_sweep;
-use mafic_experiments::{figures, tables, trial_count};
+use mafic_experiments::{figures, tables, EngineConfig};
 
 fn main() {
-    if let Err(e) = run() {
+    let cfg = EngineConfig::from_env_or_exit();
+    if let Err(e) = run(&cfg) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
 }
 
-fn run() -> Result<(), String> {
-    let trials = trial_count();
+fn run(cfg: &EngineConfig) -> Result<(), String> {
     print!("{}", tables::table_i());
     println!();
     print!("{}", tables::table_ii());
     println!();
-    print!("{}", tables::default_run_summary()?);
+    print!("{}", tables::default_run_summary(cfg)?);
     println!();
 
     // Shared (Pd x Vt) sweep feeds Figs. 3a, 4a, 5a, 6a and 7.
-    let pd_vt = figures::sweep_pd_vt(trials)?;
+    let pd_vt = figures::sweep_pd_vt(cfg)?;
     println!(
         "{}",
         figure_from_sweep(
@@ -33,7 +33,7 @@ fn run() -> Result<(), String> {
             |r| r.accuracy_pct,
         )
     );
-    println!("{}", figures::fig3b(trials)?);
+    println!("{}", figures::fig3b(cfg)?);
     println!(
         "{}",
         figure_from_sweep(
@@ -45,7 +45,7 @@ fn run() -> Result<(), String> {
             |r| r.traffic_reduction_pct,
         )
     );
-    println!("{}", figures::fig4b()?);
+    println!("{}", figures::fig4b(cfg)?);
     println!(
         "{}",
         figure_from_sweep(
@@ -58,7 +58,7 @@ fn run() -> Result<(), String> {
         )
     );
     // Shared (Vt x Gamma) sweep feeds Figs. 5b and 6b.
-    let vt_gamma = figures::sweep_vt_gamma(trials)?;
+    let vt_gamma = figures::sweep_vt_gamma(cfg)?;
     println!(
         "{}",
         figure_from_sweep(
@@ -71,7 +71,7 @@ fn run() -> Result<(), String> {
         )
     );
     // Shared (Gamma x N) sweep feeds Figs. 5c and 6c.
-    let gamma_n = figures::sweep_gamma_domain(trials)?;
+    let gamma_n = figures::sweep_gamma_domain(cfg)?;
     println!(
         "{}",
         figure_from_sweep(

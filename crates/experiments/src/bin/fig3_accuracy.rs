@@ -1,10 +1,10 @@
 //! Regenerates Fig. 3(a) and Fig. 3(b): attack-packet dropping accuracy.
 
-use mafic_experiments::{figures, trial_count};
+use mafic_experiments::{figures, EngineConfig};
 
 fn main() {
-    let trials = trial_count();
-    for result in [figures::fig3a(trials), figures::fig3b(trials)] {
+    let cfg = EngineConfig::from_env_or_exit();
+    for result in [figures::fig3a(&cfg), figures::fig3b(&cfg)] {
         match result {
             Ok(fig) => println!("{fig}"),
             Err(e) => {

@@ -1,11 +1,11 @@
 //! Regenerates Fig. 4(a) (traffic reduction) and Fig. 4(b) (bandwidth
 //! over time).
 
-use mafic_experiments::{figures, trial_count};
+use mafic_experiments::{figures, EngineConfig};
 
 fn main() {
-    let trials = trial_count();
-    for result in [figures::fig4a(trials), figures::fig4b()] {
+    let cfg = EngineConfig::from_env_or_exit();
+    for result in [figures::fig4a(&cfg), figures::fig4b(&cfg)] {
         match result {
             Ok(fig) => println!("{fig}"),
             Err(e) => {

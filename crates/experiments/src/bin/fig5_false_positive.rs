@@ -1,13 +1,13 @@
 //! Regenerates Fig. 5(a)–(c): false positive rates.
 
-use mafic_experiments::{figures, trial_count};
+use mafic_experiments::{figures, EngineConfig};
 
 fn main() {
-    let trials = trial_count();
+    let cfg = EngineConfig::from_env_or_exit();
     for result in [
-        figures::fig5a(trials),
-        figures::fig5b(trials),
-        figures::fig5c(trials),
+        figures::fig5a(&cfg),
+        figures::fig5b(&cfg),
+        figures::fig5c(&cfg),
     ] {
         match result {
             Ok(fig) => println!("{fig}"),

@@ -1,13 +1,13 @@
 //! Regenerates Fig. 6(a)–(c): false negative rates.
 
-use mafic_experiments::{figures, trial_count};
+use mafic_experiments::{figures, EngineConfig};
 
 fn main() {
-    let trials = trial_count();
+    let cfg = EngineConfig::from_env_or_exit();
     for result in [
-        figures::fig6a(trials),
-        figures::fig6b(trials),
-        figures::fig6c(trials),
+        figures::fig6a(&cfg),
+        figures::fig6b(&cfg),
+        figures::fig6c(&cfg),
     ] {
         match result {
             Ok(fig) => println!("{fig}"),

@@ -1,9 +1,10 @@
 //! Regenerates Fig. 7: legitimate-packet dropping rate.
 
-use mafic_experiments::{figures, trial_count};
+use mafic_experiments::{figures, EngineConfig};
 
 fn main() {
-    match figures::fig7(trial_count()) {
+    let cfg = EngineConfig::from_env_or_exit();
+    match figures::fig7(&cfg) {
         Ok(fig) => println!("{fig}"),
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,11 +1,14 @@
 //! Regenerates Tables I and II plus a measured default-configuration run.
 
+use mafic_experiments::{tables, EngineConfig};
+
 fn main() {
-    print!("{}", mafic_experiments::tables::table_i());
+    let cfg = EngineConfig::from_env_or_exit();
+    print!("{}", tables::table_i());
     println!();
-    print!("{}", mafic_experiments::tables::table_ii());
+    print!("{}", tables::table_ii());
     println!();
-    match mafic_experiments::tables::default_run_summary() {
+    match tables::default_run_summary(&cfg) {
         Ok(text) => print!("{text}"),
         Err(e) => {
             eprintln!("error: {e}");

@@ -6,10 +6,11 @@
 //! must match is the *shape* — who wins, the bands, the trends (see
 //! EXPERIMENTS.md for the side-by-side record).
 
+use crate::engine::{run_specs, EngineConfig};
 use crate::figure::FigureData;
 use crate::sweep::{figure_from_sweep, sweep, SweepSeries};
 use mafic_metrics::MetricsReport;
-use mafic_workload::{run_spec, NominalRate, ScenarioSpec};
+use mafic_workload::{NominalRate, ScenarioSpec};
 
 /// The traffic-volume axis used by Figs. 3(a), 4(a), 5(a), 6(a), 7.
 #[must_use]
@@ -53,8 +54,8 @@ fn spec_with_vt_pd(pd: f64, vt: f64, seed: u64) -> ScenarioSpec {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn sweep_pd_vt(trials: u64) -> Result<Vec<SweepSeries>, String> {
-    sweep(&pd_series(), &vt_axis(), trials, |&pd, vt| {
+pub fn sweep_pd_vt(cfg: &EngineConfig) -> Result<Vec<SweepSeries>, String> {
+    sweep(&pd_series(), &vt_axis(), cfg, |&pd, vt| {
         spec_with_vt_pd(pd, vt, 11)
     })
 }
@@ -64,10 +65,10 @@ pub fn sweep_pd_vt(trials: u64) -> Result<Vec<SweepSeries>, String> {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn sweep_rate_vt(trials: u64) -> Result<Vec<SweepSeries>, String> {
+pub fn sweep_rate_vt(cfg: &EngineConfig) -> Result<Vec<SweepSeries>, String> {
     let rates = [NominalRate::R100k, NominalRate::R500k, NominalRate::R1M]
         .map(|r| (r.label().to_string(), r));
-    sweep(&rates, &vt_axis(), trials, |&rate, vt| ScenarioSpec {
+    sweep(&rates, &vt_axis(), cfg, |&rate, vt| ScenarioSpec {
         total_flows: vt as usize,
         flow_rate_pps: rate.pps(),
         seed: 13,
@@ -80,9 +81,9 @@ pub fn sweep_rate_vt(trials: u64) -> Result<Vec<SweepSeries>, String> {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn sweep_vt_gamma(trials: u64) -> Result<Vec<SweepSeries>, String> {
+pub fn sweep_vt_gamma(cfg: &EngineConfig) -> Result<Vec<SweepSeries>, String> {
     let vts = [30usize, 70, 100].map(|v| (format!("Vt={v}"), v));
-    sweep(&vts, &gamma_axis(), trials, |&vt, gamma_pct| ScenarioSpec {
+    sweep(&vts, &gamma_axis(), cfg, |&vt, gamma_pct| ScenarioSpec {
         total_flows: vt,
         tcp_share: gamma_pct / 100.0,
         seed: 17,
@@ -95,16 +96,14 @@ pub fn sweep_vt_gamma(trials: u64) -> Result<Vec<SweepSeries>, String> {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn sweep_gamma_domain(trials: u64) -> Result<Vec<SweepSeries>, String> {
+pub fn sweep_gamma_domain(cfg: &EngineConfig) -> Result<Vec<SweepSeries>, String> {
     let gammas = [95.0f64, 75.0, 55.0, 35.0].map(|g| (format!("TCP={g:.0}%"), g));
-    sweep(&gammas, &domain_axis(), trials, |&gamma_pct, n| {
-        ScenarioSpec {
-            total_flows: 50,
-            tcp_share: gamma_pct / 100.0,
-            n_routers: n as usize,
-            seed: 19,
-            ..ScenarioSpec::default()
-        }
+    sweep(&gammas, &domain_axis(), cfg, |&gamma_pct, n| ScenarioSpec {
+        total_flows: 50,
+        tcp_share: gamma_pct / 100.0,
+        n_routers: n as usize,
+        seed: 19,
+        ..ScenarioSpec::default()
     })
 }
 
@@ -129,13 +128,13 @@ fn lr(r: &MetricsReport) -> f64 {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn fig3a(trials: u64) -> Result<FigureData, String> {
+pub fn fig3a(cfg: &EngineConfig) -> Result<FigureData, String> {
     Ok(figure_from_sweep(
         "Fig. 3(a)",
         "Attack packet dropping accuracy vs traffic volume",
         "Vt (flows)",
         "accuracy alpha (%)",
-        &sweep_pd_vt(trials)?,
+        &sweep_pd_vt(cfg)?,
         alpha,
     ))
 }
@@ -145,13 +144,13 @@ pub fn fig3a(trials: u64) -> Result<FigureData, String> {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn fig3b(trials: u64) -> Result<FigureData, String> {
+pub fn fig3b(cfg: &EngineConfig) -> Result<FigureData, String> {
     Ok(figure_from_sweep(
         "Fig. 3(b)",
         "Attack packet dropping accuracy vs traffic volume",
         "Vt (flows)",
         "accuracy alpha (%)",
-        &sweep_rate_vt(trials)?,
+        &sweep_rate_vt(cfg)?,
         alpha,
     ))
 }
@@ -161,13 +160,13 @@ pub fn fig3b(trials: u64) -> Result<FigureData, String> {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn fig4a(trials: u64) -> Result<FigureData, String> {
+pub fn fig4a(cfg: &EngineConfig) -> Result<FigureData, String> {
     Ok(figure_from_sweep(
         "Fig. 4(a)",
         "Traffic reduction rate vs traffic volume",
         "Vt (flows)",
         "traffic reduction beta (%)",
-        &sweep_pd_vt(trials)?,
+        &sweep_pd_vt(cfg)?,
         beta,
     ))
 }
@@ -181,20 +180,23 @@ pub fn fig4a(trials: u64) -> Result<FigureData, String> {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn fig4b() -> Result<FigureData, String> {
+pub fn fig4b(cfg: &EngineConfig) -> Result<FigureData, String> {
     let mut fig = FigureData::new(
         "Fig. 4(b)",
         "Flow bandwidth at the victim over time",
         "time (s)",
         "bandwidth (B/s)",
     );
-    for vt in [10usize, 30, 50] {
-        let spec = ScenarioSpec {
+    let vts = [10usize, 30, 50];
+    let specs = vts
+        .iter()
+        .map(|&vt| ScenarioSpec {
             total_flows: vt,
             seed: 23,
             ..ScenarioSpec::default()
-        };
-        let outcome = run_spec(spec)?;
+        })
+        .collect();
+    for (vt, outcome) in vts.iter().zip(run_specs(specs, cfg.jobs)?) {
         let points = outcome
             .series
             .iter()
@@ -211,13 +213,13 @@ pub fn fig4b() -> Result<FigureData, String> {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn fig5a(trials: u64) -> Result<FigureData, String> {
+pub fn fig5a(cfg: &EngineConfig) -> Result<FigureData, String> {
     Ok(figure_from_sweep(
         "Fig. 5(a)",
         "False positive rate vs traffic volume",
         "Vt (flows)",
         "false positive rate (%)",
-        &sweep_pd_vt(trials)?,
+        &sweep_pd_vt(cfg)?,
         theta_p,
     ))
 }
@@ -227,13 +229,13 @@ pub fn fig5a(trials: u64) -> Result<FigureData, String> {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn fig5b(trials: u64) -> Result<FigureData, String> {
+pub fn fig5b(cfg: &EngineConfig) -> Result<FigureData, String> {
     Ok(figure_from_sweep(
         "Fig. 5(b)",
         "False positive rate vs percentage of TCP traffic",
         "TCP share (%)",
         "false positive rate (%)",
-        &sweep_vt_gamma(trials)?,
+        &sweep_vt_gamma(cfg)?,
         theta_p,
     ))
 }
@@ -243,13 +245,13 @@ pub fn fig5b(trials: u64) -> Result<FigureData, String> {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn fig5c(trials: u64) -> Result<FigureData, String> {
+pub fn fig5c(cfg: &EngineConfig) -> Result<FigureData, String> {
     Ok(figure_from_sweep(
         "Fig. 5(c)",
         "False positive rate vs domain size",
         "N (routers)",
         "false positive rate (%)",
-        &sweep_gamma_domain(trials)?,
+        &sweep_gamma_domain(cfg)?,
         theta_p,
     ))
 }
@@ -259,13 +261,13 @@ pub fn fig5c(trials: u64) -> Result<FigureData, String> {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn fig6a(trials: u64) -> Result<FigureData, String> {
+pub fn fig6a(cfg: &EngineConfig) -> Result<FigureData, String> {
     Ok(figure_from_sweep(
         "Fig. 6(a)",
         "False negative rate vs traffic volume",
         "Vt (flows)",
         "false negative rate (%)",
-        &sweep_pd_vt(trials)?,
+        &sweep_pd_vt(cfg)?,
         theta_n,
     ))
 }
@@ -275,13 +277,13 @@ pub fn fig6a(trials: u64) -> Result<FigureData, String> {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn fig6b(trials: u64) -> Result<FigureData, String> {
+pub fn fig6b(cfg: &EngineConfig) -> Result<FigureData, String> {
     Ok(figure_from_sweep(
         "Fig. 6(b)",
         "False negative rate vs percentage of TCP traffic",
         "TCP share (%)",
         "false negative rate (%)",
-        &sweep_vt_gamma(trials)?,
+        &sweep_vt_gamma(cfg)?,
         theta_n,
     ))
 }
@@ -291,13 +293,13 @@ pub fn fig6b(trials: u64) -> Result<FigureData, String> {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn fig6c(trials: u64) -> Result<FigureData, String> {
+pub fn fig6c(cfg: &EngineConfig) -> Result<FigureData, String> {
     Ok(figure_from_sweep(
         "Fig. 6(c)",
         "False negative rate vs domain size",
         "N (routers)",
         "false negative rate (%)",
-        &sweep_gamma_domain(trials)?,
+        &sweep_gamma_domain(cfg)?,
         theta_n,
     ))
 }
@@ -307,13 +309,13 @@ pub fn fig6c(trials: u64) -> Result<FigureData, String> {
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn fig7(trials: u64) -> Result<FigureData, String> {
+pub fn fig7(cfg: &EngineConfig) -> Result<FigureData, String> {
     Ok(figure_from_sweep(
         "Fig. 7",
         "Legitimate packet dropping rate vs traffic volume",
         "Vt (flows)",
         "legit packet dropping rate Lr (%)",
-        &sweep_pd_vt(trials)?,
+        &sweep_pd_vt(cfg)?,
         lr,
     ))
 }
@@ -335,7 +337,7 @@ mod tests {
     // we only verify the smallest panel end to end.
     #[test]
     fn fig4b_produces_time_series_between_1_and_3_seconds() {
-        let fig = fig4b().unwrap();
+        let fig = fig4b(&EngineConfig::default()).unwrap();
         assert_eq!(fig.series.len(), 3);
         for s in &fig.series {
             assert!(!s.points.is_empty(), "series {} empty", s.label);

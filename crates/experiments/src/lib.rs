@@ -6,8 +6,11 @@
 //!
 //! Each figure panel has a function in [`figures`] returning a
 //! [`FigureData`] (named series of `(x, y)` points); the binaries under
-//! `src/bin/` print them as aligned text tables. Trial averaging is
-//! controlled by the `MAFIC_TRIALS` environment variable (default 3).
+//! `src/bin/` print them as aligned text tables. All scenario runs go
+//! through the deterministic parallel [`engine`]: trial averaging is
+//! controlled by `MAFIC_TRIALS` (default 3) and worker fan-out by
+//! `MAFIC_JOBS` (default `available_parallelism()`); output is
+//! byte-identical at any worker count.
 //!
 //! | Binary | Regenerates |
 //! |--------|-------------|
@@ -24,10 +27,12 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod engine;
 pub mod figure;
 pub mod figures;
 pub mod sweep;
 pub mod tables;
 
+pub use engine::{run_jobs, run_specs, EngineConfig};
 pub use figure::{FigureData, Series};
-pub use sweep::{average_reports, run_averaged, sweep, trial_count, SweepPoint, SweepSeries};
+pub use sweep::{average_reports, run_averaged, sweep, SweepPoint, SweepSeries};

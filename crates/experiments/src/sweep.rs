@@ -1,20 +1,31 @@
-//! Parameter sweeps with trial averaging.
+//! Parameter sweeps with trial averaging, executed on the parallel
+//! engine: a sweep flattens its `series × x × trial` grid into one flat
+//! job list, fans it across the worker pool, and reassembles points in
+//! grid order — so output is byte-identical at any worker count.
 
+use crate::engine::{run_jobs, EngineConfig};
 use mafic_metrics::MetricsReport;
 use mafic_workload::{run_spec, ScenarioSpec};
 
-/// How many seeds each sweep point averages over. Override with the
-/// `MAFIC_TRIALS` environment variable; defaults to 3.
-#[must_use]
-pub fn trial_count() -> u64 {
-    std::env::var("MAFIC_TRIALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(3)
+/// Derives the spec for trial `t` of `base` (per-trial seed decorrelated
+/// with a SplitMix64 increment).
+fn trial_spec(base: &ScenarioSpec, t: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        seed: base
+            .seed
+            .wrapping_add(t.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        ..base.clone()
+    }
 }
 
-/// Averages the rate fields of several reports (counts are summed).
+/// Aggregates several reports as if their runs were one pooled run:
+/// counts are summed and every percent metric is **recomputed from the
+/// summed counts** (ratio of sums). Averaging the per-trial percentages
+/// instead (mean of ratios) silently overweights small trials when trial
+/// sizes differ, and leaves the printed counts inconsistent with the
+/// percentages beside them. The victim rates are per-run intensities
+/// with no pooled denominator, so they stay plain means, and β is
+/// re-derived from those mean rates.
 ///
 /// # Panics
 ///
@@ -25,11 +36,6 @@ pub fn average_reports(reports: &[MetricsReport]) -> MetricsReport {
     let n = reports.len() as f64;
     let mut out = MetricsReport::default();
     for r in reports {
-        out.accuracy_pct += r.accuracy_pct;
-        out.false_negative_pct += r.false_negative_pct;
-        out.false_positive_pct += r.false_positive_pct;
-        out.legit_drop_pct += r.legit_drop_pct;
-        out.traffic_reduction_pct += r.traffic_reduction_pct;
         out.victim_rate_before += r.victim_rate_before;
         out.victim_rate_after += r.victim_rate_after;
         out.attack_seen += r.attack_seen;
@@ -44,33 +50,29 @@ pub fn average_reports(reports: &[MetricsReport]) -> MetricsReport {
         out.flows.legit_cleared += r.flows.legit_cleared;
         out.flows.attack_cleared += r.flows.attack_cleared;
     }
-    out.accuracy_pct /= n;
-    out.false_negative_pct /= n;
-    out.false_positive_pct /= n;
-    out.legit_drop_pct /= n;
-    out.traffic_reduction_pct /= n;
     out.victim_rate_before /= n;
     out.victim_rate_after /= n;
+    // One shared definition of the five formulas (mafic-metrics owns it).
+    out.recompute_derived();
     out
 }
 
-/// Runs `spec` once per seed and averages the reports.
+/// Runs every spec on the engine keeping only the reports — grid runs
+/// discard the (much larger) time series immediately, so peak memory
+/// stays proportional to the grid count, not to full [`RunOutcome`]s.
+fn run_reports(specs: Vec<ScenarioSpec>, jobs: usize) -> Result<Vec<MetricsReport>, String> {
+    run_jobs(specs, jobs, |spec| run_spec(spec).map(|o| o.report))
+}
+
+/// Runs `base` once per trial seed (fanned across the engine's workers)
+/// and aggregates the reports.
 ///
 /// # Errors
 ///
-/// Propagates the first build/run error.
-pub fn run_averaged(base: &ScenarioSpec, trials: u64) -> Result<MetricsReport, String> {
-    let mut reports = Vec::with_capacity(trials as usize);
-    for t in 0..trials {
-        let spec = ScenarioSpec {
-            seed: base
-                .seed
-                .wrapping_add(t.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-            ..base.clone()
-        };
-        reports.push(run_spec(spec)?.report);
-    }
-    Ok(average_reports(&reports))
+/// Propagates the first build/run error by trial index.
+pub fn run_averaged(base: &ScenarioSpec, cfg: &EngineConfig) -> Result<MetricsReport, String> {
+    let specs = (0..cfg.trials).map(|t| trial_spec(base, t)).collect();
+    Ok(average_reports(&run_reports(specs, cfg.jobs)?))
 }
 
 /// One point of a sweep: the x value and its averaged report.
@@ -103,24 +105,40 @@ impl SweepSeries {
 }
 
 /// Runs a two-dimensional sweep: for each `(series value, x value)` pair
-/// `make_spec` produces the scenario, which is run `trials` times.
+/// `make_spec` produces the scenario, which is run `cfg.trials` times.
+/// The whole `series × x × trial` grid is one flat job list on the
+/// engine, so every run — not just runs within one point — proceeds in
+/// parallel; reassembly follows grid order.
 ///
 /// # Errors
 ///
-/// Propagates the first build/run error.
+/// Propagates the first build/run error by grid index.
 pub fn sweep<S: Clone + std::fmt::Debug>(
     series_values: &[(String, S)],
     x_values: &[f64],
-    trials: u64,
+    cfg: &EngineConfig,
     make_spec: impl Fn(&S, f64) -> ScenarioSpec,
 ) -> Result<Vec<SweepSeries>, String> {
+    let trials = cfg.trials as usize;
+    let mut specs = Vec::with_capacity(series_values.len() * x_values.len() * trials);
+    for (_, sv) in series_values {
+        for &x in x_values {
+            let base = make_spec(sv, x);
+            for t in 0..cfg.trials {
+                specs.push(trial_spec(&base, t));
+            }
+        }
+    }
+    let mut reports = run_reports(specs, cfg.jobs)?.into_iter();
     let mut out = Vec::with_capacity(series_values.len());
-    for (label, sv) in series_values {
+    for (label, _) in series_values {
         let mut points = Vec::with_capacity(x_values.len());
         for &x in x_values {
-            let spec = make_spec(sv, x);
-            let report = run_averaged(&spec, trials)?;
-            points.push(SweepPoint { x, report });
+            let point_reports: Vec<MetricsReport> = reports.by_ref().take(trials).collect();
+            points.push(SweepPoint {
+                x,
+                report: average_reports(&point_reports),
+            });
         }
         out.push(SweepSeries {
             label: label.clone(),
@@ -152,20 +170,72 @@ mod tests {
     use super::*;
 
     #[test]
-    fn averaging_divides_rates_and_sums_counts() {
+    fn averaging_recomputes_percentages_from_summed_counts() {
         let a = MetricsReport {
             accuracy_pct: 90.0,
             attack_seen: 100,
+            attack_dropped: 90,
             ..MetricsReport::default()
         };
         let b = MetricsReport {
             accuracy_pct: 100.0,
             attack_seen: 50,
+            attack_dropped: 50,
             ..MetricsReport::default()
         };
         let avg = average_reports(&[a, b]);
-        assert!((avg.accuracy_pct - 95.0).abs() < 1e-9);
+        // Ratio of sums: 140/150, not the mean of ratios (95%).
+        assert!((avg.accuracy_pct - 140.0 / 150.0 * 100.0).abs() < 1e-9);
+        assert!((avg.false_negative_pct - 10.0 / 150.0 * 100.0).abs() < 1e-9);
         assert_eq!(avg.attack_seen, 150);
+        assert_eq!(avg.attack_dropped, 140);
+    }
+
+    #[test]
+    fn averaged_percentages_stay_consistent_with_counts() {
+        let a = MetricsReport {
+            attack_seen: 1000,
+            attack_dropped: 900,
+            legit_seen: 1000,
+            legit_dropped: 120,
+            legit_dropped_as_malicious: 20,
+            ..MetricsReport::default()
+        };
+        let b = MetricsReport {
+            attack_seen: 10,
+            attack_dropped: 1,
+            legit_seen: 10,
+            legit_dropped: 10,
+            legit_dropped_as_malicious: 10,
+            ..MetricsReport::default()
+        };
+        let avg = average_reports(&[a, b]);
+        let expect_acc = avg.attack_dropped as f64 / avg.attack_seen as f64 * 100.0;
+        let expect_lr = avg.legit_dropped as f64 / avg.legit_seen as f64 * 100.0;
+        let expect_fpr = avg.legit_dropped_as_malicious as f64
+            / (avg.attack_seen + avg.legit_seen) as f64
+            * 100.0;
+        assert!((avg.accuracy_pct - expect_acc).abs() < 1e-9);
+        assert!((avg.legit_drop_pct - expect_lr).abs() < 1e-9);
+        assert!((avg.false_positive_pct - expect_fpr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn victim_rates_average_and_beta_follows() {
+        let a = MetricsReport {
+            victim_rate_before: 100.0,
+            victim_rate_after: 40.0,
+            ..MetricsReport::default()
+        };
+        let b = MetricsReport {
+            victim_rate_before: 200.0,
+            victim_rate_after: 20.0,
+            ..MetricsReport::default()
+        };
+        let avg = average_reports(&[a, b]);
+        assert!((avg.victim_rate_before - 150.0).abs() < 1e-9);
+        assert!((avg.victim_rate_after - 30.0).abs() < 1e-9);
+        assert!((avg.traffic_reduction_pct - 80.0).abs() < 1e-9);
     }
 
     #[test]
@@ -175,18 +245,11 @@ mod tests {
     }
 
     #[test]
-    fn trial_count_defaults_to_three() {
-        // Only valid when the env var is unset in the test environment.
-        if std::env::var("MAFIC_TRIALS").is_err() {
-            assert_eq!(trial_count(), 3);
-        }
-    }
-
-    #[test]
     fn sweep_runs_tiny_grid() {
         let series = vec![("Pd=90%".to_string(), 0.9f64)];
         let xs = vec![8.0];
-        let sweeps = sweep(&series, &xs, 1, |&pd, x| ScenarioSpec {
+        let cfg = EngineConfig { jobs: 2, trials: 1 };
+        let sweeps = sweep(&series, &xs, &cfg, |&pd, x| ScenarioSpec {
             total_flows: x as usize,
             n_routers: 5,
             drop_probability: pd,

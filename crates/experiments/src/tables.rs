@@ -2,7 +2,8 @@
 //! printed next to the values this reproduction actually uses, plus a
 //! measured default-configuration run.
 
-use mafic_workload::{run_spec, ScenarioSpec};
+use crate::engine::{run_specs, EngineConfig};
+use mafic_workload::ScenarioSpec;
 
 /// Renders Table I (notation) as text.
 #[must_use]
@@ -75,13 +76,16 @@ pub fn table_ii() -> String {
     out
 }
 
-/// Runs the default configuration once and renders its metrics.
+/// Runs the default configuration once (through the engine, like every
+/// other experiment entrypoint) and renders its metrics.
 ///
 /// # Errors
 ///
 /// Propagates build/run errors.
-pub fn default_run_summary() -> Result<String, String> {
-    let outcome = run_spec(ScenarioSpec::default())?;
+pub fn default_run_summary(cfg: &EngineConfig) -> Result<String, String> {
+    let outcome = run_specs(vec![ScenarioSpec::default()], cfg.jobs)?
+        .pop()
+        .expect("one spec in, one outcome out");
     let mut out = String::from("=== Default-configuration run ===\n");
     out.push_str(&outcome.report.to_string());
     out.push('\n');

@@ -133,24 +133,30 @@ impl MetricsReport {
                 report.flows.legit_flows += 1;
             }
         }
-        let total_seen = report.attack_seen + report.legit_seen;
-        report.accuracy_pct = percent(report.attack_dropped, report.attack_seen);
-        report.false_negative_pct = percent(
-            report.attack_seen - report.attack_dropped,
-            report.attack_seen,
-        );
-        report.false_positive_pct = percent(report.legit_dropped_as_malicious, total_seen);
-        report.legit_drop_pct = percent(report.legit_dropped, report.legit_seen);
-
         let (before, after) = victim_rates(stats, windows);
         report.victim_rate_before = before;
         report.victim_rate_after = after;
-        report.traffic_reduction_pct = if before > 0.0 {
-            ((before - after) / before * 100.0).max(0.0)
+        report.recompute_derived();
+        report
+    }
+
+    /// Recomputes the derived metrics — α, θn, θp, Lr from the packet
+    /// counts and β from the victim rates — in place. This is the single
+    /// definition of the five formulas: [`MetricsReport::from_stats`]
+    /// and trial aggregation (which sums counts across runs and must
+    /// re-derive the percentages from the sums) both go through it.
+    pub fn recompute_derived(&mut self) {
+        let total_seen = self.attack_seen + self.legit_seen;
+        self.accuracy_pct = percent(self.attack_dropped, self.attack_seen);
+        self.false_negative_pct = percent(self.attack_seen - self.attack_dropped, self.attack_seen);
+        self.false_positive_pct = percent(self.legit_dropped_as_malicious, total_seen);
+        self.legit_drop_pct = percent(self.legit_dropped, self.legit_seen);
+        self.traffic_reduction_pct = if self.victim_rate_before > 0.0 {
+            ((self.victim_rate_before - self.victim_rate_after) / self.victim_rate_before * 100.0)
+                .max(0.0)
         } else {
             0.0
         };
-        report
     }
 }
 

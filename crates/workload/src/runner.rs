@@ -43,13 +43,15 @@ impl RunOutcome {
     }
 }
 
-/// Runs a scenario to completion.
+/// Runs a scenario to completion. The scenario is borrowed, not
+/// consumed, so callers can inspect post-run state (tap epochs, filter
+/// tables, stats) after the outcome is assembled.
 ///
 /// # Errors
 ///
 /// Returns an error message if the detector configuration is invalid
 /// (only possible with a hand-built [`DetectorConfig`]).
-pub fn run_scenario(mut scenario: Scenario) -> Result<RunOutcome, String> {
+pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, String> {
     let detector_config = DetectorConfig {
         // Epoch cardinalities are per monitor interval; the victim sees
         // a few hundred distinct packets per 100 ms when healthy.
@@ -78,6 +80,23 @@ pub fn run_scenario(mut scenario: Scenario) -> Result<RunOutcome, String> {
         let stop = next_stop.min(end);
         scenario.sim.run_until(stop);
         next_stop = stop + interval;
+        // Harvest this epoch's sketches in Domain::routers() order —
+        // every interval, triggered or not. Epochs are defined as one
+        // monitor interval; skipping the drain after the trigger would
+        // let them accumulate for the rest of the run, so any later
+        // reader (re-detection, telemetry) would see one stale merged
+        // epoch instead of an interval's worth of traffic.
+        let sketches: Vec<RouterSketch> = scenario
+            .taps
+            .iter()
+            .map(|&(node, idx)| {
+                scenario
+                    .sim
+                    .filter_mut::<LogLogTap>(node, idx)
+                    .expect("tap installed at build time")
+                    .take_epoch()
+            })
+            .collect();
         if !auto || triggered_at.is_some() {
             continue;
         }
@@ -102,18 +121,6 @@ pub fn run_scenario(mut scenario: Scenario) -> Result<RunOutcome, String> {
                 continue;
             }
         }
-        // Harvest this epoch's sketches in Domain::routers() order.
-        let sketches: Vec<RouterSketch> = scenario
-            .taps
-            .iter()
-            .map(|&(node, idx)| {
-                scenario
-                    .sim
-                    .filter_mut::<LogLogTap>(node, idx)
-                    .expect("tap installed at build time")
-                    .take_epoch()
-            })
-            .collect();
         let matrix = TrafficMatrix::estimate(&sketches).map_err(|e| e.to_string())?;
         if let VictimVerdict::UnderAttack(alarm) = detector.observe(&matrix) {
             let routers = scenario.domain.routers();
@@ -182,7 +189,7 @@ pub fn run_scenario(mut scenario: Scenario) -> Result<RunOutcome, String> {
 ///
 /// Propagates build and run errors.
 pub fn run_spec(spec: crate::spec::ScenarioSpec) -> Result<RunOutcome, String> {
-    run_scenario(Scenario::build(spec)?)
+    run_scenario(&mut Scenario::build(spec)?)
 }
 
 #[cfg(test)]
@@ -252,6 +259,31 @@ mod tests {
         assert_eq!(a.report, b.report);
         assert_eq!(a.triggered_at, b.triggered_at);
         assert_eq!(a.packets_sent, b.packets_sent);
+    }
+
+    #[test]
+    fn taps_stay_epoch_scoped_after_trigger() {
+        let mut scenario = Scenario::build(quick_spec()).unwrap();
+        let outcome = run_scenario(&mut scenario).unwrap();
+        assert!(outcome.defense_engaged(), "precondition: defense fired");
+        // The monitor drains the taps every interval, triggered or not.
+        // The final drain happens at `end`, so a post-run reader sees an
+        // interval-scoped (here: empty) epoch — not every packet since
+        // the trigger merged into one stale epoch.
+        let taps = scenario.taps.clone();
+        for (node, idx) in taps {
+            let tap = scenario
+                .sim
+                .filter_mut::<LogLogTap>(node, idx)
+                .expect("tap installed at build time");
+            let epoch = tap.take_epoch();
+            assert_eq!(epoch.source_cardinality(), 0.0, "stale sources at {node:?}");
+            assert_eq!(
+                epoch.destination_cardinality(),
+                0.0,
+                "stale destinations at {node:?}"
+            );
+        }
     }
 
     #[test]

@@ -218,11 +218,26 @@ impl ScenarioSpec {
         if !(0.0..=1.0).contains(&self.drop_probability) {
             return Err("drop_probability must be in [0, 1]".into());
         }
+        if !self.timer_rtt_multiplier.is_finite() || self.timer_rtt_multiplier <= 0.0 {
+            return Err(format!(
+                "timer_rtt_multiplier must be finite and > 0, got {}",
+                self.timer_rtt_multiplier
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.decrease_threshold) {
+            return Err(format!(
+                "decrease_threshold must be in [0, 1], got {}",
+                self.decrease_threshold
+            ));
+        }
         if self.attack_start >= self.end {
             return Err("attack_start must precede end".into());
         }
         if self.monitor_interval.is_zero() {
             return Err("monitor_interval must be positive".into());
+        }
+        if self.victim_bin.is_zero() {
+            return Err("victim_bin must be positive (it bins the victim series)".into());
         }
         Ok(())
     }
@@ -320,5 +335,44 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_timer_multiplier() {
+        let base = ScenarioSpec::default();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = ScenarioSpec {
+                timer_rtt_multiplier: bad,
+                ..base.clone()
+            }
+            .validate()
+            .expect_err(&format!("timer_rtt_multiplier {bad} must be rejected"));
+            assert!(err.contains("timer_rtt_multiplier"), "{err}");
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_decrease_threshold() {
+        let base = ScenarioSpec::default();
+        for bad in [-0.1, 1.1, f64::NAN] {
+            let err = ScenarioSpec {
+                decrease_threshold: bad,
+                ..base.clone()
+            }
+            .validate()
+            .expect_err(&format!("decrease_threshold {bad} must be rejected"));
+            assert!(err.contains("decrease_threshold"), "{err}");
+        }
+    }
+
+    #[test]
+    fn validation_catches_zero_victim_bin() {
+        let err = ScenarioSpec {
+            victim_bin: SimDuration::ZERO,
+            ..ScenarioSpec::default()
+        }
+        .validate()
+        .expect_err("zero victim_bin must be rejected");
+        assert!(err.contains("victim_bin"), "{err}");
     }
 }

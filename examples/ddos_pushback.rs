@@ -20,7 +20,7 @@ fn main() -> Result<(), String> {
         seed: 42,
         ..ScenarioSpec::default()
     };
-    let scenario = Scenario::build(spec)?;
+    let mut scenario = Scenario::build(spec)?;
 
     println!("== domain ==");
     println!(
@@ -47,7 +47,7 @@ fn main() -> Result<(), String> {
         );
     }
 
-    let outcome = run_scenario(scenario)?;
+    let outcome = run_scenario(&mut scenario)?;
 
     println!();
     println!("== timeline ==");
