@@ -176,7 +176,9 @@ impl MaficFilter {
     fn estimate_rtt(&self, packet: &Packet, now: SimTime) -> SimDuration {
         let ts = match packet.kind {
             PacketKind::TcpData { ts, .. } | PacketKind::TcpAck { ts, .. } => ts,
-            PacketKind::Udp | PacketKind::ProbeDupAck { .. } => SimTime::ZERO,
+            PacketKind::Udp | PacketKind::ProbeDupAck { .. } | PacketKind::Pushback(_) => {
+                SimTime::ZERO
+            }
         };
         let estimate = if ts == SimTime::ZERO {
             self.config.default_rtt

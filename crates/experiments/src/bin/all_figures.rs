@@ -127,5 +127,9 @@ fn run(cfg: &EngineConfig) -> Result<(), String> {
             |r| r.legit_drop_pct,
         )
     );
+    // One pushback-depth sweep feeds both Fig. 8 panels.
+    let depth = figures::sweep_pushback_depth(cfg)?;
+    println!("{}", figures::fig8a_from_sweep(&depth));
+    println!("{}", figures::fig8b_from_sweep(&depth));
     Ok(())
 }

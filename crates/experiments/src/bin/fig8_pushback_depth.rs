@@ -1,0 +1,19 @@
+//! Regenerates Fig. 8: inter-domain pushback depth vs residual attack
+//! rate at the victim and collateral damage. One depth sweep feeds both
+//! panels.
+
+use mafic_experiments::{figures, EngineConfig};
+
+fn main() {
+    let cfg = EngineConfig::from_env_or_exit();
+    match figures::sweep_pushback_depth(&cfg) {
+        Ok(sweeps) => {
+            println!("{}", figures::fig8a_from_sweep(&sweeps));
+            println!("{}", figures::fig8b_from_sweep(&sweeps));
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -198,9 +198,12 @@ where
 ///
 /// # Errors
 ///
-/// Propagates the first build/run error by job index.
+/// Propagates the first build/run error by job index (the typed
+/// `WorkloadError` is rendered to the engine's string error domain).
 pub fn run_specs(specs: Vec<ScenarioSpec>, jobs: usize) -> Result<Vec<RunOutcome>, String> {
-    run_jobs(specs, jobs, run_spec)
+    run_jobs(specs, jobs, |spec| {
+        run_spec(spec).map_err(|e| e.to_string())
+    })
 }
 
 #[cfg(test)]

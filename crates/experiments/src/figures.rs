@@ -10,6 +10,8 @@ use crate::engine::{run_specs, EngineConfig};
 use crate::figure::FigureData;
 use crate::sweep::{figure_from_sweep, sweep, SweepSeries};
 use mafic_metrics::MetricsReport;
+use mafic_netsim::SimTime;
+use mafic_topology::TransitTopology;
 use mafic_workload::{NominalRate, ScenarioSpec};
 
 /// The traffic-volume axis used by Figs. 3(a), 4(a), 5(a), 6(a), 7.
@@ -320,6 +322,107 @@ pub fn fig7(cfg: &EngineConfig) -> Result<FigureData, String> {
     ))
 }
 
+/// The pushback-depth axis of Fig. 8: 0 (victim-domain-only, today's
+/// single-domain behaviour) through the transit tier to the source
+/// stubs.
+#[must_use]
+pub fn depth_axis() -> Vec<f64> {
+    vec![0.0, 1.0, 2.0, 3.0]
+}
+
+/// The default multi-domain flood behind Fig. 8: three stub domains
+/// (the victim's plus two remote) over a two-level transit chain, so
+/// depth 3 pushes the defense all the way into the zombies' own stubs.
+#[must_use]
+pub fn fig8_spec(depth: u32) -> ScenarioSpec {
+    ScenarioSpec {
+        total_flows: 36,
+        tcp_share: 0.85,
+        domains: 3,
+        transit_topology: TransitTopology::Chain { depth: 2 },
+        pushback_depth: depth,
+        end: SimTime::from_secs_f64(6.0),
+        seed: 29,
+        ..ScenarioSpec::default()
+    }
+}
+
+/// Runs the pushback-depth sweep shared by both Fig. 8 panels.
+///
+/// # Errors
+///
+/// Propagates build/run errors.
+pub fn sweep_pushback_depth(cfg: &EngineConfig) -> Result<Vec<SweepSeries>, String> {
+    let series = vec![("chain(2)+stubs".to_string(), ())];
+    sweep(&series, &depth_axis(), cfg, |(), depth| {
+        fig8_spec(depth as u32)
+    })
+}
+
+/// Builds Fig. 8(a) — victim-side rates vs deployment depth — from a
+/// finished depth sweep: the residual attack rate (suppression β's
+/// complement, non-increasing in depth) beside the legitimate goodput
+/// (which rises as deeper deployment decongests the transit links).
+#[must_use]
+pub fn fig8a_from_sweep(sweeps: &[SweepSeries]) -> FigureData {
+    let mut fig = FigureData::new(
+        "Fig. 8(a)",
+        "Victim-side rates vs pushback depth",
+        "pushback depth (domains upstream)",
+        "rate at the victim (B/s)",
+    );
+    for s in sweeps {
+        fig.push_series(
+            format!("{} residual attack", s.label),
+            s.extract(|r| r.residual_attack_bps),
+        );
+        fig.push_series(
+            format!("{} legit goodput", s.label),
+            s.extract(|r| r.legit_goodput_bps),
+        );
+    }
+    fig
+}
+
+/// Builds Fig. 8(b) — collateral damage vs deployment depth — from a
+/// finished depth sweep: total legitimate data loss (defense drops +
+/// flood-congestion queue losses) beside the paper's ATR-only `Lr`.
+#[must_use]
+pub fn fig8b_from_sweep(sweeps: &[SweepSeries]) -> FigureData {
+    let mut fig = FigureData::new(
+        "Fig. 8(b)",
+        "Collateral damage vs pushback depth",
+        "pushback depth (domains upstream)",
+        "legitimate loss (%)",
+    );
+    for s in sweeps {
+        fig.push_series(
+            format!("{} collateral", s.label),
+            s.extract(|r| r.collateral_pct),
+        );
+        fig.push_series(format!("{} Lr", s.label), s.extract(lr));
+    }
+    fig
+}
+
+/// Fig. 8(a): residual attack rate at the victim vs deployment depth.
+///
+/// # Errors
+///
+/// Propagates build/run errors.
+pub fn fig8a(cfg: &EngineConfig) -> Result<FigureData, String> {
+    Ok(fig8a_from_sweep(&sweep_pushback_depth(cfg)?))
+}
+
+/// Fig. 8(b): collateral damage vs deployment depth.
+///
+/// # Errors
+///
+/// Propagates build/run errors.
+pub fn fig8b(cfg: &EngineConfig) -> Result<FigureData, String> {
+    Ok(fig8b_from_sweep(&sweep_pushback_depth(cfg)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +434,17 @@ mod tests {
         assert_eq!(gamma_axis(), vec![35.0, 55.0, 75.0, 95.0]);
         assert_eq!(domain_axis().last(), Some(&160.0));
         assert_eq!(pd_series().len(), 3);
+        assert_eq!(depth_axis(), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn fig8_spec_is_a_valid_multi_domain_flood() {
+        for depth in 0..=3 {
+            let spec = fig8_spec(depth);
+            assert!(spec.validate().is_ok(), "depth {depth}");
+            assert_eq!(spec.domains, 3);
+            assert_eq!(spec.pushback_depth, depth);
+        }
     }
 
     // Full-figure runs live in the integration tests and binaries; here

@@ -20,6 +20,7 @@
 //! | `fig5_false_positive` | Fig. 5(a)–(c) |
 //! | `fig6_false_negative` | Fig. 6(a)–(c) |
 //! | `fig7_collateral` | Fig. 7 |
+//! | `fig8_pushback_depth` | Fig. 8 (inter-domain pushback depth; ours) |
 //! | `ablations` | DESIGN.md ablations A–D |
 //! | `all_figures` | everything above |
 

@@ -38,6 +38,10 @@ pub fn average_reports(reports: &[MetricsReport]) -> MetricsReport {
     for r in reports {
         out.victim_rate_before += r.victim_rate_before;
         out.victim_rate_after += r.victim_rate_after;
+        out.residual_attack_bps += r.residual_attack_bps;
+        out.legit_goodput_bps += r.legit_goodput_bps;
+        out.legit_data_sent += r.legit_data_sent;
+        out.legit_data_lost += r.legit_data_lost;
         out.attack_seen += r.attack_seen;
         out.attack_dropped += r.attack_dropped;
         out.legit_seen += r.legit_seen;
@@ -52,6 +56,8 @@ pub fn average_reports(reports: &[MetricsReport]) -> MetricsReport {
     }
     out.victim_rate_before /= n;
     out.victim_rate_after /= n;
+    out.residual_attack_bps /= n;
+    out.legit_goodput_bps /= n;
     // One shared definition of the five formulas (mafic-metrics owns it).
     out.recompute_derived();
     out
@@ -61,7 +67,9 @@ pub fn average_reports(reports: &[MetricsReport]) -> MetricsReport {
 /// discard the (much larger) time series immediately, so peak memory
 /// stays proportional to the grid count, not to full [`RunOutcome`]s.
 fn run_reports(specs: Vec<ScenarioSpec>, jobs: usize) -> Result<Vec<MetricsReport>, String> {
-    run_jobs(specs, jobs, |spec| run_spec(spec).map(|o| o.report))
+    run_jobs(specs, jobs, |spec| {
+        run_spec(spec).map(|o| o.report).map_err(|e| e.to_string())
+    })
 }
 
 /// Runs `base` once per trial seed (fanned across the engine's workers)

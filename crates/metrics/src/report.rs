@@ -32,6 +32,12 @@ pub struct MeasureWindows {
     pub settle: SimDuration,
     /// Length of the post-settle window used for the "after" rate.
     pub after: SimDuration,
+    /// Length of the post-settle window used for the **residual attack
+    /// rate** (the attack traffic still reaching the victim once the
+    /// defense is up). Fixed-length on purpose: bins past the end of a
+    /// run count as empty, so runs of slightly different activity never
+    /// compare rates over different denominators.
+    pub residual: SimDuration,
 }
 
 impl Default for MeasureWindows {
@@ -41,6 +47,7 @@ impl Default for MeasureWindows {
             before: SimDuration::from_millis(500),
             settle: SimDuration::from_millis(100),
             after: SimDuration::from_millis(400),
+            residual: SimDuration::from_secs(2),
         }
     }
 }
@@ -89,6 +96,26 @@ pub struct MetricsReport {
     pub victim_rate_before: f64,
     /// Victim arrival rate after the trigger (bytes/s).
     pub victim_rate_after: f64,
+    /// Residual **attack** arrival rate at the victim over the
+    /// post-trigger residual window (bytes/s) — what the whole defense
+    /// line, however deep, failed to suppress. Ground truth read by the
+    /// metrics layer only.
+    pub residual_attack_bps: f64,
+    /// Legitimate goodput **delivered** to the victim over the same
+    /// residual window (bytes/s). The flip side of collateral damage:
+    /// TCP sources on flood-congested paths back off rather than drop,
+    /// so relieved congestion shows up here first.
+    pub legit_goodput_bps: f64,
+    /// Legitimate data packets sent by their origins (whole run).
+    pub legit_data_sent: u64,
+    /// Legitimate data packets lost anywhere for any reason — defense
+    /// drops *and* queue losses on flood-congested links.
+    pub legit_data_lost: u64,
+    /// Collateral damage: `legit_data_lost / legit_data_sent`, percent.
+    /// Unlike `Lr` (defense drops at the ATRs only) this includes the
+    /// congestion losses the flood itself inflicts, so it captures what
+    /// deeper pushback deployment relieves.
+    pub collateral_pct: f64,
     /// Flow-level classification tallies.
     pub flows: FlowTally,
 }
@@ -102,6 +129,13 @@ impl MetricsReport {
     pub fn from_stats(stats: &StatsCollector, windows: &MeasureWindows) -> Self {
         let mut report = MetricsReport::default();
         for (_key, rec) in stats.flows() {
+            // Collateral accounting covers every legitimate data flow,
+            // whether or not a defense filter ever saw it: queue losses
+            // on flood-congested links hit flows the ATRs never touch.
+            if !rec.is_attack && rec.is_tcp && rec.sent > 0 {
+                report.legit_data_sent += rec.sent;
+                report.legit_data_lost += rec.dropped_total().min(rec.sent);
+            }
             if rec.seen_at_atr == 0 {
                 continue; // Never crossed the defense line (e.g. ACK path).
             }
@@ -136,6 +170,8 @@ impl MetricsReport {
         let (before, after) = victim_rates(stats, windows);
         report.victim_rate_before = before;
         report.victim_rate_after = after;
+        report.residual_attack_bps = residual_attack_rate(stats, windows);
+        report.legit_goodput_bps = legit_goodput_rate(stats, windows);
         report.recompute_derived();
         report
     }
@@ -151,6 +187,7 @@ impl MetricsReport {
         self.false_negative_pct = percent(self.attack_seen - self.attack_dropped, self.attack_seen);
         self.false_positive_pct = percent(self.legit_dropped_as_malicious, total_seen);
         self.legit_drop_pct = percent(self.legit_dropped, self.legit_seen);
+        self.collateral_pct = percent(self.legit_data_lost, self.legit_data_sent);
         self.traffic_reduction_pct = if self.victim_rate_before > 0.0 {
             ((self.victim_rate_before - self.victim_rate_after) / self.victim_rate_before * 100.0)
                 .max(0.0)
@@ -186,6 +223,21 @@ impl fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
+            "  residual attack rate    : {:7.0} B/s",
+            self.residual_attack_bps
+        )?;
+        writeln!(
+            f,
+            "  legit goodput (settled) : {:7.0} B/s",
+            self.legit_goodput_bps
+        )?;
+        writeln!(
+            f,
+            "  collateral damage       : {:7.3} %  ({}/{} legit data packets lost)",
+            self.collateral_pct, self.legit_data_lost, self.legit_data_sent
+        )?;
+        writeln!(
+            f,
             "  packets: attack {}/{} dropped, legit {}/{} dropped",
             self.attack_dropped, self.attack_seen, self.legit_dropped, self.legit_seen
         )?;
@@ -216,14 +268,7 @@ fn percent(numerator: u64, denominator: u64) -> f64 {
 /// recorded, matching where the paper measures its traffic-reduction
 /// rate; otherwise falls back to the delivery series.
 fn victim_rates(stats: &StatsCollector, windows: &MeasureWindows) -> (f64, f64) {
-    let (bin_width, bins) = if stats.arrival_bin_width().is_some() {
-        (
-            stats.arrival_bin_width().expect("checked"),
-            stats.arrival_bins(),
-        )
-    } else if let Some(w) = stats.victim_bin_width() {
-        (w, stats.victim_bins())
-    } else {
+    let Some((bin_width, bins)) = victim_series(stats) else {
         return (0.0, 0.0);
     };
     let rate_in = |from: SimTime, to: SimTime| -> f64 {
@@ -253,6 +298,68 @@ fn victim_rates(stats: &StatsCollector, windows: &MeasureWindows) -> (f64, f64) 
     let after_start = trigger + windows.settle;
     let after = rate_in(after_start, after_start + windows.after);
     (before, after)
+}
+
+/// The victim time series used for rate measurements: the offered-load
+/// (arrival) series when one was recorded, else the delivery series.
+fn victim_series(stats: &StatsCollector) -> Option<(SimDuration, &[mafic_netsim::VictimBin])> {
+    if let Some(w) = stats.arrival_bin_width() {
+        Some((w, stats.arrival_bins()))
+    } else {
+        stats.victim_bin_width().map(|w| (w, stats.victim_bins()))
+    }
+}
+
+/// Mean byte rate of `extract`-selected traffic over the fixed-length
+/// residual window behind the trigger. Bins past the recorded series
+/// count as empty, keeping the denominator identical across runs.
+fn residual_window_rate(
+    bin_width: SimDuration,
+    bins: &[mafic_netsim::VictimBin],
+    windows: &MeasureWindows,
+    extract: impl Fn(&mafic_netsim::VictimBin) -> u64,
+) -> f64 {
+    if windows.residual.is_zero() {
+        return 0.0;
+    }
+    let from = windows.trigger_at + windows.settle;
+    let Some(to) = from.checked_add(windows.residual) else {
+        return 0.0;
+    };
+    let lo = (from.as_nanos() / bin_width.as_nanos()) as usize;
+    let hi = ((to.as_nanos().saturating_sub(1)) / bin_width.as_nanos()) as usize;
+    let mut bytes = 0u64;
+    let mut count = 0u64;
+    for idx in lo..=hi {
+        if let Some(bin) = bins.get(idx) {
+            bytes += extract(bin);
+        }
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        bytes as f64 / (count as f64 * bin_width.as_secs_f64())
+    }
+}
+
+/// Mean **attack** arrival rate (bytes/s) at the victim over the
+/// residual window.
+fn residual_attack_rate(stats: &StatsCollector, windows: &MeasureWindows) -> f64 {
+    let Some((bin_width, bins)) = victim_series(stats) else {
+        return 0.0;
+    };
+    residual_window_rate(bin_width, bins, windows, |b| b.attack_bytes)
+}
+
+/// Mean **legitimate delivered** rate (bytes/s) at the victim over the
+/// residual window — always from the delivery series, never the
+/// offered-load series.
+fn legit_goodput_rate(stats: &StatsCollector, windows: &MeasureWindows) -> f64 {
+    let Some(bin_width) = stats.victim_bin_width() else {
+        return 0.0;
+    };
+    residual_window_rate(bin_width, stats.victim_bins(), windows, |b| b.legit_bytes)
 }
 
 #[cfg(test)]
@@ -368,6 +475,7 @@ mod tests {
             before: SimDuration::from_millis(500),
             settle: SimDuration::from_millis(100),
             after: SimDuration::from_millis(400),
+            residual: SimDuration::from_millis(400),
         };
         let r = MetricsReport::from_stats(&s, &windows);
         // Before: 10 pkts × 500 B per 100 ms = 50 kB/s. After: 5 kB/s.
@@ -382,6 +490,58 @@ mod tests {
             r.victim_rate_after
         );
         assert!((r.traffic_reduction_pct - 90.0).abs() < 0.1);
+        // The delivered flow is an attack flow: the residual window
+        // (1.1 s – 1.5 s, 4 bins of 1 packet) sees 5 kB/s of it.
+        assert!(
+            (r.residual_attack_bps - 5_000.0).abs() < 1.0,
+            "{}",
+            r.residual_attack_bps
+        );
+    }
+
+    #[test]
+    fn residual_window_counts_missing_bins_as_empty() {
+        let mut s = StatsCollector::new();
+        let victim_node = NodeId::from_index(5);
+        s.watch_victim(victim_node, SimDuration::from_millis(100));
+        let p = pkt(1, true);
+        // One attack packet right after the trigger, nothing else — the
+        // series ends early, but the residual denominator stays fixed.
+        s.on_delivered(&p, victim_node, SimTime::from_secs_f64(1.15));
+        let windows = MeasureWindows {
+            trigger_at: SimTime::from_secs_f64(1.0),
+            settle: SimDuration::from_millis(100),
+            residual: SimDuration::from_secs(1),
+            ..MeasureWindows::default()
+        };
+        let r = MetricsReport::from_stats(&s, &windows);
+        // 500 bytes over a fixed 1 s window.
+        assert!((r.residual_attack_bps - 500.0).abs() < 1.0, "{r:?}");
+    }
+
+    #[test]
+    fn collateral_counts_all_legit_data_losses() {
+        let mut s = StatsCollector::new();
+        let legit = pkt(2, false);
+        s.declare_flow(legit.key, false, true);
+        for _ in 0..100 {
+            s.on_sent(&legit);
+        }
+        // 10 defense drops + 5 congestion (queue) drops: collateral sees
+        // both, even though the flow never crossed an active ATR.
+        for _ in 0..10 {
+            s.on_dropped(&legit, DropReason::FilterProbing);
+        }
+        for _ in 0..5 {
+            s.on_dropped(&legit, DropReason::QueueFull);
+        }
+        // A UDP "legit" flow (ACK-path record) must not count as data.
+        let ack_path = pkt(3, false);
+        s.on_sent(&ack_path);
+        let r = MetricsReport::from_stats(&s, &MeasureWindows::default());
+        assert_eq!(r.legit_data_sent, 100);
+        assert_eq!(r.legit_data_lost, 15);
+        assert!((r.collateral_pct - 15.0).abs() < 1e-9);
     }
 
     #[test]

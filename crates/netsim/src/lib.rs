@@ -63,7 +63,7 @@ pub use filter::{FilterAction, FilterCtx, PacketEnv, PacketFilter, PassthroughFi
 pub use flows::{FlowId, FlowInterner, FlowSlab};
 pub use ids::{Addr, AgentId, LinkId, NodeId};
 pub use link::LinkSpec;
-pub use packet::{DropReason, FlowKey, Packet, PacketKind, Provenance};
+pub use packet::{DropReason, FlowKey, Packet, PacketKind, Provenance, PushbackMsg};
 pub use sim::{RunSummary, Simulator};
 pub use stats::{FlowRecord, StatsCollector, VictimBin};
 pub use time::{SimDuration, SimTime};

@@ -70,6 +70,45 @@ impl fmt::Display for FlowKey {
     }
 }
 
+/// Inter-domain pushback control payload.
+///
+/// These messages implement the cascaded pushback protocol between
+/// domain coordinators. They are **not** a side channel: a coordinator
+/// puts one inside a [`PacketKind::Pushback`] packet addressed to the
+/// upstream domain's control address, and the packet crosses the
+/// inter-domain links like any other traffic — serialized, delayed,
+/// queued, and ordered by the deterministic event rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushbackMsg {
+    /// Ask the upstream domain to install the defense for `victim`.
+    PushbackRequest {
+        /// Address of the victim host under attack.
+        victim: Addr,
+        /// Victim-bound aggregate the requester observes entering its
+        /// boundary (bytes/s) — the load its own deployment cannot stop
+        /// at the source.
+        aggregate_bps: u64,
+        /// Escalation hops the receiver may still spend (depth cap).
+        budget: u8,
+    },
+    /// Renew the lease on a previously requested defense. Carries the
+    /// full lease state (RSVP-style soft-state refresh): a receiver
+    /// whose lease lapsed — or that never saw the original request
+    /// because the packet was lost on a congested link — re-installs
+    /// the defense from the refresh alone.
+    Refresh {
+        /// The victim the lease protects.
+        victim: Addr,
+        /// Escalation hops the receiver may still spend.
+        budget: u8,
+    },
+    /// Tear the defense down (flood subsided / requester stood down).
+    Withdraw {
+        /// The victim the defense protected.
+        victim: Addr,
+    },
+}
+
 /// Transport-level content of a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
@@ -101,6 +140,9 @@ pub enum PacketKind {
         /// Number of duplicate ACKs in the burst.
         count: u8,
     },
+    /// An inter-domain pushback control message in flight between two
+    /// domain coordinators (see [`PushbackMsg`]).
+    Pushback(PushbackMsg),
 }
 
 impl PacketKind {
@@ -120,6 +162,12 @@ impl PacketKind {
     #[must_use]
     pub fn is_probe(self) -> bool {
         matches!(self, PacketKind::ProbeDupAck { .. })
+    }
+
+    /// True for inter-domain pushback control packets.
+    #[must_use]
+    pub fn is_pushback(self) -> bool {
+        matches!(self, PacketKind::Pushback(_))
     }
 }
 
@@ -278,6 +326,13 @@ mod tests {
         assert!(ack.is_tcp() && !ack.is_tcp_data());
         assert!(!PacketKind::Udp.is_tcp());
         assert!(PacketKind::ProbeDupAck { count: 3 }.is_probe());
+        let push = PacketKind::Pushback(PushbackMsg::Refresh {
+            victim: Addr::new(7),
+            budget: 2,
+        });
+        assert!(push.is_pushback());
+        assert!(!push.is_tcp() && !push.is_probe());
+        assert!(!PacketKind::Udp.is_pushback());
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! The control channel: where inter-domain pushback packets land.
+
+use mafic_netsim::{Agent, AgentCtx, Packet, PacketKind, PushbackMsg, SimTime};
+use std::any::Any;
+
+/// The agent bound to a domain's control address.
+///
+/// Pushback messages travel as [`PacketKind::Pushback`] packets over the
+/// inter-domain links — they queue, serialize, and propagate like any
+/// other traffic, so the control plane obeys the same total event order
+/// as the data plane (ARCHITECTURE.md rule 2). The channel records each
+/// arrival; the pushback monitor drains the inbox once per interval and
+/// feeds it to the domain's coordinator.
+#[derive(Debug, Default)]
+pub struct ControlChannel {
+    inbox: Vec<(SimTime, PushbackMsg)>,
+    received_total: u64,
+}
+
+impl ControlChannel {
+    /// Creates an empty channel.
+    #[must_use]
+    pub fn new() -> Self {
+        ControlChannel::default()
+    }
+
+    /// Removes and returns the queued messages in arrival order.
+    pub fn drain(&mut self) -> Vec<(SimTime, PushbackMsg)> {
+        std::mem::take(&mut self.inbox)
+    }
+
+    /// Messages received over the channel's lifetime.
+    #[must_use]
+    pub fn received_total(&self) -> u64 {
+        self.received_total
+    }
+}
+
+impl Agent for ControlChannel {
+    fn on_start(&mut self, _ctx: &mut AgentCtx<'_>) {}
+
+    fn on_packet(&mut self, packet: Packet, ctx: &mut AgentCtx<'_>) {
+        if let PacketKind::Pushback(msg) = packet.kind {
+            self.inbox.push((ctx.now(), msg));
+            self.received_total += 1;
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mafic_netsim::testkit::AgentHarness;
+    use mafic_netsim::{Addr, FlowKey, Provenance};
+
+    fn push_pkt(msg: PushbackMsg) -> Packet {
+        Packet {
+            id: 1,
+            key: FlowKey::new(Addr::new(1), Addr::new(2), 9, 9),
+            kind: PacketKind::Pushback(msg),
+            size_bytes: 64,
+            created_at: SimTime::ZERO,
+            provenance: Provenance::infrastructure(),
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn queues_pushback_messages_in_arrival_order() {
+        let mut h = AgentHarness::new();
+        let mut ch = ControlChannel::new();
+        let victim = Addr::new(42);
+        let _ = h.deliver(
+            &mut ch,
+            push_pkt(PushbackMsg::PushbackRequest {
+                victim,
+                aggregate_bps: 1_000_000,
+                budget: 2,
+            }),
+        );
+        let _ = h.deliver(
+            &mut ch,
+            push_pkt(PushbackMsg::Refresh { victim, budget: 1 }),
+        );
+        let msgs = ch.drain();
+        assert_eq!(msgs.len(), 2);
+        assert!(matches!(
+            msgs[0].1,
+            PushbackMsg::PushbackRequest { budget: 2, .. }
+        ));
+        assert!(matches!(msgs[1].1, PushbackMsg::Refresh { .. }));
+        assert!(ch.drain().is_empty(), "drain empties the inbox");
+        assert_eq!(ch.received_total(), 2);
+    }
+
+    #[test]
+    fn non_pushback_packets_are_ignored() {
+        let mut h = AgentHarness::new();
+        let mut ch = ControlChannel::new();
+        let mut p = push_pkt(PushbackMsg::Withdraw {
+            victim: Addr::new(1),
+        });
+        p.kind = PacketKind::Udp;
+        let _ = h.deliver(&mut ch, p);
+        assert!(ch.drain().is_empty());
+        assert_eq!(ch.received_total(), 0);
+    }
+}

@@ -1,0 +1,611 @@
+//! The per-domain pushback coordinator state machine.
+//!
+//! One coordinator sits at every domain boundary. Driven once per
+//! monitor interval with the victim-bound aggregate entering the
+//! domain's Attack Transit Routers, it decides when to escalate the
+//! defense one hop upstream, when to renew the resulting lease, and
+//! when to tear everything down. The machine is pure — it emits
+//! [`PushbackAction`]s and never touches the simulator — so the same
+//! logic drives the workload runner and the unit tests below.
+//!
+//! ## Protocol
+//!
+//! * **Escalation (with hysteresis).** While defending, if the observed
+//!   inflow stays above `threshold_bps` for `trigger_intervals`
+//!   *consecutive* intervals (any dip resets the counter) and budget
+//!   remains, send `PushbackRequest{budget-1}` upstream. The local
+//!   deployment is already dropping this traffic; sustained boundary
+//!   pressure means the flood must be cut closer to its sources.
+//! * **Leases (soft state).** An upstream defense installed by a
+//!   request lives only while `Refresh` messages keep arriving: the
+//!   requester refreshes every `refresh_intervals`; a receiver that
+//!   hears nothing for `hold_intervals` stands down on its own and
+//!   forwards `Withdraw` to anyone *it* escalated to, so a dead
+//!   requester cannot strand drops in the core. Refreshes carry the
+//!   full lease state (victim + budget, RSVP-style), so a receiver
+//!   that missed the original request on a congested link — or whose
+//!   lease already lapsed — re-installs from the next refresh instead
+//!   of staying dark.
+//! * **Withdrawal.** When the requester stands down (the flood
+//!   subsided and its local defense stopped), `Withdraw` cascades
+//!   upstream hop by hop.
+
+use mafic_netsim::{Addr, PushbackMsg};
+
+/// Tunables of a domain coordinator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PushbackConfig {
+    /// Escalate while the victim-bound inflow exceeds this (bytes/s).
+    pub threshold_bps: f64,
+    /// Consecutive intervals above threshold before escalating.
+    pub trigger_intervals: u32,
+    /// Send a lease `Refresh` upstream every this many intervals.
+    pub refresh_intervals: u32,
+    /// Stand down after this many intervals without hearing from the
+    /// downstream requester (upstream domains only).
+    pub hold_intervals: u32,
+}
+
+impl Default for PushbackConfig {
+    fn default() -> Self {
+        PushbackConfig {
+            // A quarter of a 10 Mbit/s victim link, in bytes/s.
+            threshold_bps: 312_500.0,
+            trigger_intervals: 4,
+            refresh_intervals: 5,
+            hold_intervals: 12,
+        }
+    }
+}
+
+impl PushbackConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.threshold_bps.is_finite() || self.threshold_bps <= 0.0 {
+            return Err(format!(
+                "threshold_bps must be finite and > 0, got {}",
+                self.threshold_bps
+            ));
+        }
+        if self.trigger_intervals == 0 || self.refresh_intervals == 0 || self.hold_intervals == 0 {
+            return Err("interval counts must be >= 1".into());
+        }
+        if self.hold_intervals <= self.refresh_intervals {
+            return Err("hold_intervals must exceed refresh_intervals".into());
+        }
+        Ok(())
+    }
+}
+
+/// Where a coordinator sits on the pushback path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushbackRole {
+    /// The victim's own domain: its defense lifecycle belongs to the
+    /// local detector, so no lease applies.
+    Victim,
+    /// Any domain upstream of the victim: defends on request, holds a
+    /// lease.
+    Upstream,
+}
+
+/// An effect the coordinator asks its host (the workload runner) to
+/// apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PushbackAction {
+    /// Activate the domain's ATR filters for `victim`.
+    ActivateLocal {
+        /// The victim to defend.
+        victim: Addr,
+    },
+    /// Deactivate the domain's ATR filters (flushes their tables).
+    DeactivateLocal,
+    /// Send this message to every upstream neighbor, as a routed packet.
+    SendUpstream(PushbackMsg),
+}
+
+/// The coordinator state machine for one domain boundary.
+#[derive(Debug, Clone)]
+pub struct DomainCoordinator {
+    config: PushbackConfig,
+    role: PushbackRole,
+    defending: bool,
+    victim: Option<Addr>,
+    budget: u8,
+    escalated: bool,
+    above: u32,
+    since_refresh: u32,
+    since_heard: u32,
+}
+
+impl DomainCoordinator {
+    /// Creates an idle coordinator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation — a configuration bug.
+    #[must_use]
+    pub fn new(config: PushbackConfig, role: PushbackRole) -> Self {
+        config.validate().expect("invalid PushbackConfig");
+        DomainCoordinator {
+            config,
+            role,
+            defending: false,
+            victim: None,
+            budget: 0,
+            escalated: false,
+            above: 0,
+            since_refresh: 0,
+            since_heard: 0,
+        }
+    }
+
+    /// True while this domain's defense is (supposed to be) active.
+    #[must_use]
+    pub fn is_defending(&self) -> bool {
+        self.defending
+    }
+
+    /// True once this domain has escalated upstream.
+    #[must_use]
+    pub fn is_escalated(&self) -> bool {
+        self.escalated
+    }
+
+    /// The victim currently defended, if any.
+    #[must_use]
+    pub fn victim(&self) -> Option<Addr> {
+        self.victim
+    }
+
+    /// Remaining escalation budget from this domain.
+    #[must_use]
+    pub fn budget(&self) -> u8 {
+        self.budget
+    }
+
+    /// Victim-domain entry point: the local detector triggered the
+    /// defense with `budget` escalation hops available. Idempotent.
+    pub fn local_start(&mut self, victim: Addr, budget: u8) {
+        if self.defending {
+            return;
+        }
+        self.defending = true;
+        self.victim = Some(victim);
+        self.budget = budget;
+        self.escalated = false;
+        self.above = 0;
+        self.since_refresh = 0;
+    }
+
+    /// Victim-domain entry point: the local defense stood down (e.g. a
+    /// `PushbackStop`). Withdraws any escalated upstream defense.
+    pub fn local_stop(&mut self, actions: &mut Vec<PushbackAction>) {
+        if !self.defending {
+            return;
+        }
+        self.defending = false;
+        if self.escalated {
+            let victim = self.victim.expect("escalated implies a victim");
+            actions.push(PushbackAction::SendUpstream(PushbackMsg::Withdraw {
+                victim,
+            }));
+        }
+        self.escalated = false;
+        self.above = 0;
+        self.victim = None;
+    }
+
+    /// Deactivate the local defense and cascade the withdrawal.
+    fn stand_down(&mut self, actions: &mut Vec<PushbackAction>) {
+        self.defending = false;
+        actions.push(PushbackAction::DeactivateLocal);
+        if self.escalated {
+            let victim = self.victim.expect("escalated implies a victim");
+            actions.push(PushbackAction::SendUpstream(PushbackMsg::Withdraw {
+                victim,
+            }));
+        }
+        self.escalated = false;
+        self.above = 0;
+        self.since_heard = 0;
+        self.victim = None;
+    }
+
+    /// Installs (or renews) the requested defense. Both
+    /// `PushbackRequest` and `Refresh` land here: refreshes carry the
+    /// full lease state, so an upstream that missed the original
+    /// request (lost packet) or whose lease already lapsed re-installs
+    /// from the next refresh instead of staying dark for the rest of
+    /// the run.
+    fn install(&mut self, victim: Addr, budget: u8, actions: &mut Vec<PushbackAction>) {
+        self.since_heard = 0;
+        if self.defending {
+            // A repeated request can only widen the budget.
+            self.budget = self.budget.max(budget);
+        } else {
+            self.defending = true;
+            self.victim = Some(victim);
+            self.budget = budget;
+            self.escalated = false;
+            self.above = 0;
+            self.since_refresh = 0;
+            actions.push(PushbackAction::ActivateLocal { victim });
+        }
+    }
+
+    /// Feeds one message received over the domain's control channel.
+    pub fn on_message(&mut self, msg: PushbackMsg, actions: &mut Vec<PushbackAction>) {
+        match msg {
+            PushbackMsg::PushbackRequest { victim, budget, .. }
+            | PushbackMsg::Refresh { victim, budget } => {
+                self.install(victim, budget, actions);
+            }
+            PushbackMsg::Withdraw { .. } => {
+                if self.defending {
+                    self.stand_down(actions);
+                }
+            }
+        }
+    }
+
+    /// Advances the machine one monitor interval. `inflow_bps` is the
+    /// victim-bound byte rate observed entering the domain's ATRs over
+    /// the elapsed interval (pre-filter).
+    pub fn on_interval(&mut self, inflow_bps: f64, actions: &mut Vec<PushbackAction>) {
+        if !self.defending {
+            return;
+        }
+        if self.role == PushbackRole::Upstream {
+            self.since_heard += 1;
+            if self.since_heard > self.config.hold_intervals {
+                // Lease expired: the requester vanished.
+                self.stand_down(actions);
+                return;
+            }
+        }
+        let victim = self.victim.expect("defending implies a victim");
+        if self.escalated {
+            self.since_refresh += 1;
+            if self.since_refresh >= self.config.refresh_intervals {
+                self.since_refresh = 0;
+                actions.push(PushbackAction::SendUpstream(PushbackMsg::Refresh {
+                    victim,
+                    budget: self.budget.saturating_sub(1),
+                }));
+            }
+        } else if self.budget > 0 {
+            if inflow_bps > self.config.threshold_bps {
+                self.above += 1;
+            } else {
+                self.above = 0; // Hysteresis: a dip restarts the count.
+            }
+            if self.above >= self.config.trigger_intervals {
+                self.escalated = true;
+                self.since_refresh = 0;
+                actions.push(PushbackAction::SendUpstream(PushbackMsg::PushbackRequest {
+                    victim,
+                    aggregate_bps: inflow_bps as u64,
+                    budget: self.budget - 1,
+                }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VICTIM: Addr = Addr::new(0x0AC8_0001);
+
+    fn config() -> PushbackConfig {
+        PushbackConfig {
+            threshold_bps: 1000.0,
+            trigger_intervals: 3,
+            refresh_intervals: 2,
+            hold_intervals: 5,
+        }
+    }
+
+    fn victim_coord(budget: u8) -> DomainCoordinator {
+        let mut c = DomainCoordinator::new(config(), PushbackRole::Victim);
+        c.local_start(VICTIM, budget);
+        c
+    }
+
+    fn tick(c: &mut DomainCoordinator, inflow: f64) -> Vec<PushbackAction> {
+        let mut actions = Vec::new();
+        c.on_interval(inflow, &mut actions);
+        actions
+    }
+
+    fn deliver(c: &mut DomainCoordinator, msg: PushbackMsg) -> Vec<PushbackAction> {
+        let mut actions = Vec::new();
+        c.on_message(msg, &mut actions);
+        actions
+    }
+
+    #[test]
+    fn escalates_after_sustained_pressure() {
+        let mut c = victim_coord(2);
+        assert!(tick(&mut c, 5000.0).is_empty());
+        assert!(tick(&mut c, 5000.0).is_empty());
+        let actions = tick(&mut c, 5000.0);
+        assert_eq!(
+            actions,
+            vec![PushbackAction::SendUpstream(PushbackMsg::PushbackRequest {
+                victim: VICTIM,
+                aggregate_bps: 5000,
+                budget: 1,
+            })]
+        );
+        assert!(c.is_escalated());
+    }
+
+    #[test]
+    fn pressure_dip_resets_the_trigger_counter() {
+        let mut c = victim_coord(1);
+        let _ = tick(&mut c, 5000.0);
+        let _ = tick(&mut c, 5000.0);
+        let _ = tick(&mut c, 10.0); // dip
+        let _ = tick(&mut c, 5000.0);
+        let _ = tick(&mut c, 5000.0);
+        assert!(!c.is_escalated(), "counter must restart after the dip");
+        assert!(!tick(&mut c, 5000.0).is_empty());
+        assert!(c.is_escalated());
+    }
+
+    #[test]
+    fn zero_budget_never_escalates() {
+        let mut c = victim_coord(0);
+        for _ in 0..20 {
+            assert!(tick(&mut c, 1e9).is_empty());
+        }
+        assert!(!c.is_escalated());
+    }
+
+    #[test]
+    fn idle_coordinator_does_nothing() {
+        let mut c = DomainCoordinator::new(config(), PushbackRole::Upstream);
+        assert!(tick(&mut c, 1e9).is_empty());
+        assert!(!c.is_defending());
+    }
+
+    #[test]
+    fn request_activates_and_budget_caps_the_cascade() {
+        let mut c = DomainCoordinator::new(config(), PushbackRole::Upstream);
+        let actions = deliver(
+            &mut c,
+            PushbackMsg::PushbackRequest {
+                victim: VICTIM,
+                aggregate_bps: 9000,
+                budget: 1,
+            },
+        );
+        assert_eq!(
+            actions,
+            vec![PushbackAction::ActivateLocal { victim: VICTIM }]
+        );
+        assert!(c.is_defending());
+        assert_eq!(c.budget(), 1);
+        // Sustained pressure escalates once more, with budget exhausted.
+        let mut escalated = Vec::new();
+        for _ in 0..3 {
+            escalated = tick(&mut c, 5000.0);
+        }
+        assert!(matches!(
+            escalated[..],
+            [PushbackAction::SendUpstream(PushbackMsg::PushbackRequest {
+                budget: 0,
+                ..
+            })]
+        ));
+    }
+
+    #[test]
+    fn escalated_coordinator_refreshes_periodically() {
+        let mut c = victim_coord(1);
+        for _ in 0..3 {
+            let _ = tick(&mut c, 5000.0);
+        }
+        assert!(c.is_escalated());
+        let a1 = tick(&mut c, 5000.0);
+        let a2 = tick(&mut c, 5000.0);
+        assert!(a1.is_empty());
+        assert_eq!(
+            a2,
+            vec![PushbackAction::SendUpstream(PushbackMsg::Refresh {
+                victim: VICTIM,
+                budget: 0,
+            })]
+        );
+    }
+
+    #[test]
+    fn lease_expires_without_refresh() {
+        let mut c = DomainCoordinator::new(config(), PushbackRole::Upstream);
+        let _ = deliver(
+            &mut c,
+            PushbackMsg::PushbackRequest {
+                victim: VICTIM,
+                aggregate_bps: 9000,
+                budget: 0,
+            },
+        );
+        let mut all = Vec::new();
+        for _ in 0..6 {
+            all.extend(tick(&mut c, 10.0));
+        }
+        assert_eq!(all, vec![PushbackAction::DeactivateLocal]);
+        assert!(!c.is_defending());
+    }
+
+    #[test]
+    fn refresh_renews_the_lease() {
+        let mut c = DomainCoordinator::new(config(), PushbackRole::Upstream);
+        let _ = deliver(
+            &mut c,
+            PushbackMsg::PushbackRequest {
+                victim: VICTIM,
+                aggregate_bps: 9000,
+                budget: 0,
+            },
+        );
+        for round in 0..4 {
+            for _ in 0..4 {
+                assert!(tick(&mut c, 10.0).is_empty(), "round {round}");
+            }
+            let _ = deliver(
+                &mut c,
+                PushbackMsg::Refresh {
+                    victim: VICTIM,
+                    budget: 0,
+                },
+            );
+        }
+        assert!(c.is_defending(), "refreshed lease must stay alive");
+    }
+
+    #[test]
+    fn refresh_reinstalls_a_lapsed_or_never_installed_lease() {
+        // Soft-state recovery: the original request was lost (or the
+        // lease expired) — the next full-state refresh must re-install
+        // the defense, not just reset a timer nobody is running.
+        let mut c = DomainCoordinator::new(config(), PushbackRole::Upstream);
+        let actions = deliver(
+            &mut c,
+            PushbackMsg::Refresh {
+                victim: VICTIM,
+                budget: 1,
+            },
+        );
+        assert_eq!(
+            actions,
+            vec![PushbackAction::ActivateLocal { victim: VICTIM }]
+        );
+        assert!(c.is_defending());
+        assert_eq!(c.budget(), 1);
+        // Expire the lease, then refresh again: same recovery.
+        let mut all = Vec::new();
+        for _ in 0..7 {
+            all.extend(tick(&mut c, 10.0));
+        }
+        assert!(all.contains(&PushbackAction::DeactivateLocal));
+        assert!(!c.is_defending());
+        let actions = deliver(
+            &mut c,
+            PushbackMsg::Refresh {
+                victim: VICTIM,
+                budget: 1,
+            },
+        );
+        assert_eq!(
+            actions,
+            vec![PushbackAction::ActivateLocal { victim: VICTIM }]
+        );
+        assert!(c.is_defending());
+    }
+
+    #[test]
+    fn withdraw_cascades_through_an_escalated_domain() {
+        let mut c = DomainCoordinator::new(config(), PushbackRole::Upstream);
+        let _ = deliver(
+            &mut c,
+            PushbackMsg::PushbackRequest {
+                victim: VICTIM,
+                aggregate_bps: 9000,
+                budget: 2,
+            },
+        );
+        for _ in 0..3 {
+            let _ = tick(&mut c, 5000.0);
+        }
+        assert!(c.is_escalated());
+        let actions = deliver(&mut c, PushbackMsg::Withdraw { victim: VICTIM });
+        assert_eq!(
+            actions,
+            vec![
+                PushbackAction::DeactivateLocal,
+                PushbackAction::SendUpstream(PushbackMsg::Withdraw { victim: VICTIM }),
+            ]
+        );
+        assert!(!c.is_defending());
+    }
+
+    #[test]
+    fn lease_expiry_also_cascades_withdrawal() {
+        let mut c = DomainCoordinator::new(config(), PushbackRole::Upstream);
+        let _ = deliver(
+            &mut c,
+            PushbackMsg::PushbackRequest {
+                victim: VICTIM,
+                aggregate_bps: 9000,
+                budget: 1,
+            },
+        );
+        // Escalate under pressure, then starve the lease. The coordinator
+        // keeps refreshing its own upstream until its lease lapses — at
+        // expiry it must deactivate AND withdraw what it escalated.
+        let mut all = Vec::new();
+        for _ in 0..10 {
+            all.extend(tick(&mut c, 5000.0));
+        }
+        assert!(all.contains(&PushbackAction::DeactivateLocal));
+        assert!(
+            all.contains(&PushbackAction::SendUpstream(PushbackMsg::Withdraw {
+                victim: VICTIM
+            }))
+        );
+        assert!(!c.is_defending());
+    }
+
+    #[test]
+    fn local_stop_withdraws_escalation() {
+        let mut c = victim_coord(1);
+        for _ in 0..3 {
+            let _ = tick(&mut c, 5000.0);
+        }
+        assert!(c.is_escalated());
+        let mut actions = Vec::new();
+        c.local_stop(&mut actions);
+        assert_eq!(
+            actions,
+            vec![PushbackAction::SendUpstream(PushbackMsg::Withdraw {
+                victim: VICTIM
+            })]
+        );
+        assert!(!c.is_defending());
+        // Restart works from scratch.
+        c.local_start(VICTIM, 1);
+        assert!(c.is_defending());
+        assert!(!c.is_escalated());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PushbackConfig::default().validate().is_ok());
+        assert!(PushbackConfig {
+            threshold_bps: 0.0,
+            ..config()
+        }
+        .validate()
+        .is_err());
+        assert!(PushbackConfig {
+            trigger_intervals: 0,
+            ..config()
+        }
+        .validate()
+        .is_err());
+        assert!(PushbackConfig {
+            hold_intervals: 2,
+            refresh_intervals: 2,
+            ..config()
+        }
+        .validate()
+        .is_err());
+    }
+}

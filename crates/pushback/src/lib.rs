@@ -1,0 +1,41 @@
+//! # mafic-pushback
+//!
+//! Inter-domain **cascaded pushback**: the control plane that carries a
+//! victim domain's defense one hop upstream at a time, so MAFIC's
+//! suppression moves toward the zombies instead of ending at the victim
+//! domain's own ingress routers (the literal "push back" of the paper's
+//! title, in the spirit of El Defrawy et al.'s filter placement and
+//! Li et al.'s adaptive distributed filtering).
+//!
+//! Three pieces, each deliberately simulator-agnostic:
+//!
+//! * [`DomainCoordinator`] — the per-domain state machine. It watches
+//!   the victim-bound aggregate entering the domain boundary and, when
+//!   its local MAFIC deployment cannot stop the flood at the source
+//!   (sustained pressure for `trigger_intervals` monitor intervals),
+//!   escalates one hop upstream with a depth budget. Upstream defenses
+//!   are soft-state leases: renewed (or re-installed after a lost
+//!   request / lapsed lease) by full-state `Refresh` messages, torn
+//!   down by `Withdraw` or expiry, so a vanished requester cannot
+//!   leave stale drops behind.
+//! * [`VictimRateMeter`] — a passive packet filter measuring the
+//!   victim-bound byte rate at an Attack Transit Router, windowed per
+//!   monitor interval. Installed before the dropper it measures offered
+//!   pressure; installed after it measures the residual that leaks
+//!   through.
+//! * [`ControlChannel`] — the agent bound to a domain's control address.
+//!   Pushback messages arrive **as simulated packets** over the
+//!   inter-domain links (deterministically ordered with all other
+//!   traffic, never a side channel); the channel queues them for the
+//!   coordinator to drain once per monitor interval.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod coordinator;
+pub mod meter;
+
+pub use channel::ControlChannel;
+pub use coordinator::{DomainCoordinator, PushbackAction, PushbackConfig, PushbackRole};
+pub use meter::VictimRateMeter;

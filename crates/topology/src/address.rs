@@ -26,29 +26,58 @@ pub const PREFIX_LEN: u8 = 16;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AddressSpace {
+    base_octet: u8,
     ingress_prefixes: Vec<Addr>,
     victim_prefix: Addr,
 }
 
 impl AddressSpace {
-    /// Creates a plan with one /16 per ingress router.
+    /// Creates a plan with one /16 per ingress router under the default
+    /// `10.0.0.0/8`-style base.
     ///
     /// # Panics
     ///
     /// Panics if `n_ingress` exceeds 180 (the 10.1.0.0 … 10.180.0.0 pool).
     #[must_use]
     pub fn new(n_ingress: usize) -> Self {
+        AddressSpace::with_base(10, n_ingress)
+    }
+
+    /// Creates a plan rooted at `base_octet.0.0.0`: ingress `i` owns
+    /// `base.(i+1).0.0/16` and the victim network owns `base.200.0.0/16`.
+    ///
+    /// Multi-domain topologies give every domain its own base octet so
+    /// the per-domain plans never overlap (and `192.x` stays reserved
+    /// for guaranteed-illegal spoofed sources).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_ingress` exceeds 180, or if `base_octet` is 0 or 192
+    /// (reserved for the unspecified address and illegal spoofs).
+    #[must_use]
+    pub fn with_base(base_octet: u8, n_ingress: usize) -> Self {
         assert!(
             n_ingress <= 180,
             "address pool supports at most 180 ingresses"
         );
+        assert!(
+            base_octet != 0 && base_octet != 192,
+            "base octet {base_octet} is reserved"
+        );
         let ingress_prefixes = (0..n_ingress)
-            .map(|i| Addr::from_octets(10, (i + 1) as u8, 0, 0))
+            .map(|i| Addr::from_octets(base_octet, (i + 1) as u8, 0, 0))
             .collect();
         AddressSpace {
+            base_octet,
             ingress_prefixes,
-            victim_prefix: Addr::from_octets(10, 200, 0, 0),
+            victim_prefix: Addr::from_octets(base_octet, 200, 0, 0),
         }
+    }
+
+    /// The base octet this plan is rooted at.
+    #[must_use]
+    pub fn base_octet(&self) -> u8 {
+        self.base_octet
     }
 
     /// Number of ingress prefixes.
@@ -186,6 +215,25 @@ mod tests {
     #[should_panic(expected = "at most 180")]
     fn too_many_ingresses_rejected() {
         let _ = AddressSpace::new(200);
+    }
+
+    #[test]
+    fn distinct_bases_never_overlap() {
+        let a = AddressSpace::with_base(10, 4);
+        let b = AddressSpace::with_base(11, 4);
+        assert_eq!(a.base_octet(), 10);
+        for i in 0..4 {
+            assert!(!b.is_legal(a.host_addr(i, 1)));
+            assert!(!a.is_legal(b.host_addr(i, 1)));
+        }
+        assert!(!b.is_legal(a.victim_addr()));
+        assert_ne!(a.victim_addr(), b.victim_addr());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn illegal_spoof_base_rejected() {
+        let _ = AddressSpace::with_base(192, 2);
     }
 
     #[test]

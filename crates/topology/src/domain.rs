@@ -44,6 +44,9 @@ pub struct DomainConfig {
     pub queue_capacity: usize,
     /// Queue capacity (packets) for the victim link.
     pub victim_queue_capacity: usize,
+    /// Base octet of the domain's address plan (multi-domain topologies
+    /// give every domain a distinct base so plans never overlap).
+    pub base_octet: u8,
     /// Seed for the per-host delay draws.
     pub seed: u64,
 }
@@ -64,6 +67,7 @@ impl Default for DomainConfig {
             victim_delay: SimDuration::from_millis(1),
             queue_capacity: 128,
             victim_queue_capacity: 128,
+            base_octet: 10,
             seed: 0,
         }
     }
@@ -87,6 +91,9 @@ impl DomainConfig {
         }
         if self.queue_capacity == 0 || self.victim_queue_capacity == 0 {
             return Err("queue capacities must be >= 1".into());
+        }
+        if self.base_octet == 0 || self.base_octet == 192 {
+            return Err(format!("base_octet {} is reserved", self.base_octet));
         }
         Ok(())
     }
@@ -150,17 +157,42 @@ impl Domain {
         v
     }
 
-    /// Builds the domain into `sim`.
+    /// Builds the domain into `sim` and installs its intra-domain
+    /// shortest-path routes.
     ///
     /// # Errors
     ///
     /// Returns the validation message if `config` is out of range.
     pub fn build(sim: &mut Simulator, config: &DomainConfig) -> Result<Domain, String> {
+        let domain = Domain::build_unrouted(sim, config)?;
+        install_host_routes(sim, &domain.destinations());
+        Ok(domain)
+    }
+
+    /// The routable endpoints of this domain: every host plus the victim.
+    #[must_use]
+    pub fn destinations(&self) -> Vec<(Addr, NodeId)> {
+        let mut destinations: Vec<(Addr, NodeId)> =
+            self.hosts.iter().map(|h| (h.addr, h.node)).collect();
+        destinations.push((self.victim_addr, self.victim_host));
+        destinations
+    }
+
+    /// Builds the domain's nodes and links into `sim` **without**
+    /// installing any routes. Multi-domain builders ([`crate::Internet`])
+    /// use this, wire the inter-domain links, and then run one global
+    /// [`install_host_routes`] pass over every destination so routes
+    /// cross domain boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message if `config` is out of range.
+    pub fn build_unrouted(sim: &mut Simulator, config: &DomainConfig) -> Result<Domain, String> {
         config.validate()?;
         let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x746F_706F);
         let n_core = config.core_count();
         let n_ingress = config.ingress_count();
-        let address_space = AddressSpace::new(n_ingress);
+        let address_space = AddressSpace::with_base(config.base_octet, n_ingress);
 
         // --- Routers -----------------------------------------------------
         let victim_router = sim.add_node("last-hop");
@@ -236,54 +268,53 @@ impl Domain {
             hosts,
             address_space,
         };
-        domain.install_routes(sim);
         Ok(domain)
     }
+}
 
-    /// Installs shortest-path host routes for every addressable endpoint.
-    fn install_routes(&self, sim: &mut Simulator) {
-        // Adjacency: for each node, the (neighbor, link) pairs.
-        let n = sim.node_count();
-        let mut adj: Vec<Vec<(usize, mafic_netsim::LinkId)>> = vec![Vec::new(); n];
-        for l in 0..sim.link_count() {
-            let link = mafic_netsim::LinkId::from_index(l);
-            let (from, to) = sim.link_endpoints(link);
-            adj[from.index()].push((to.index(), link));
-        }
-        // Destinations: every host address and the victim address.
-        let mut destinations: Vec<(Addr, NodeId)> =
-            self.hosts.iter().map(|h| (h.addr, h.node)).collect();
-        destinations.push((self.victim_addr, self.victim_host));
+/// Installs shortest-path host routes toward every `(address, node)`
+/// destination, BFS-ing over the **entire** simulator graph — links added
+/// after a domain was built (inter-domain wiring) are part of the graph,
+/// so one pass after all topology construction routes across domain
+/// boundaries. Re-running overwrites existing host routes consistently.
+pub fn install_host_routes(sim: &mut Simulator, destinations: &[(Addr, NodeId)]) {
+    // Adjacency: for each node, the (neighbor, link) pairs.
+    let n = sim.node_count();
+    let mut adj: Vec<Vec<(usize, mafic_netsim::LinkId)>> = vec![Vec::new(); n];
+    for l in 0..sim.link_count() {
+        let link = mafic_netsim::LinkId::from_index(l);
+        let (from, to) = sim.link_endpoints(link);
+        adj[from.index()].push((to.index(), link));
+    }
 
-        for (addr, dst) in destinations {
-            // BFS over the reverse graph from the destination; because all
-            // links are installed in duplex pairs the graph is symmetric,
-            // so a forward BFS gives the same hop distances.
-            let mut dist = vec![usize::MAX; n];
-            let mut queue = std::collections::VecDeque::new();
-            dist[dst.index()] = 0;
-            queue.push_back(dst.index());
-            while let Some(u) = queue.pop_front() {
-                for &(v, _) in &adj[u] {
-                    if dist[v] == usize::MAX {
-                        dist[v] = dist[u] + 1;
-                        queue.push_back(v);
-                    }
+    for &(addr, dst) in destinations {
+        // BFS over the reverse graph from the destination; because all
+        // links are installed in duplex pairs the graph is symmetric,
+        // so a forward BFS gives the same hop distances.
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[dst.index()] = 0;
+        queue.push_back(dst.index());
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in &adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
                 }
             }
-            // At each node, route via the neighbor with the smallest
-            // distance to the destination.
-            for u in 0..n {
-                if u == dst.index() || dist[u] == usize::MAX {
-                    continue;
-                }
-                let best = adj[u]
-                    .iter()
-                    .filter(|&&(v, _)| dist[v] < dist[u])
-                    .min_by_key(|&&(v, _)| dist[v]);
-                if let Some(&(_, link)) = best {
-                    sim.add_route(NodeId::from_index(u), addr, link);
-                }
+        }
+        // At each node, route via the neighbor with the smallest
+        // distance to the destination.
+        for u in 0..n {
+            if u == dst.index() || dist[u] == usize::MAX {
+                continue;
+            }
+            let best = adj[u]
+                .iter()
+                .filter(|&&(v, _)| dist[v] < dist[u])
+                .min_by_key(|&&(v, _)| dist[v]);
+            if let Some(&(_, link)) = best {
+                sim.add_route(NodeId::from_index(u), addr, link);
             }
         }
     }

@@ -30,6 +30,10 @@
 
 pub mod address;
 pub mod domain;
+pub mod internet;
 
 pub use address::{AddressSpace, PREFIX_LEN};
-pub use domain::{Domain, DomainConfig, HostInfo};
+pub use domain::{install_host_routes, Domain, DomainConfig, HostInfo};
+pub use internet::{
+    DomainRole, Internet, InternetConfig, InternetDomain, TransitTopology, UpstreamEdge,
+};

@@ -352,8 +352,8 @@ impl Agent for TcpSender {
                     }
                 }
             }
-            // Data or UDP addressed to a sender: ignore.
-            PacketKind::TcpData { .. } | PacketKind::Udp => {}
+            // Data, UDP, or control addressed to a sender: ignore.
+            PacketKind::TcpData { .. } | PacketKind::Udp | PacketKind::Pushback(_) => {}
         }
     }
 

@@ -139,7 +139,9 @@ impl Agent for VictimSink {
             PacketKind::Udp => {
                 self.udp_datagrams += 1;
             }
-            PacketKind::TcpAck { .. } | PacketKind::ProbeDupAck { .. } => {}
+            PacketKind::TcpAck { .. }
+            | PacketKind::ProbeDupAck { .. }
+            | PacketKind::Pushback(_) => {}
         }
     }
 

@@ -1,0 +1,71 @@
+//! The workload error type.
+//!
+//! Everything below the workload layer reports errors as plain strings
+//! (field-naming messages from validators and builders). The workload
+//! boundary is where callers start to care *which stage* failed — a bad
+//! spec is a caller bug, a topology failure is a builder bug, a
+//! detection failure is a pipeline bug — so [`WorkloadError`] wraps the
+//! strings into a typed, `std::error::Error`-implementing enum.
+
+use std::fmt;
+
+/// Why a scenario could not be built or run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The [`crate::ScenarioSpec`] failed validation.
+    Spec(String),
+    /// The domain / internet topology could not be built.
+    Topology(String),
+    /// The detection pipeline (detector config, traffic-matrix
+    /// estimation) failed.
+    Detection(String),
+    /// Anything else, converted from a plain string.
+    Other(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Spec(msg) => write!(f, "invalid scenario spec: {msg}"),
+            WorkloadError::Topology(msg) => write!(f, "topology build failed: {msg}"),
+            WorkloadError::Detection(msg) => write!(f, "detection pipeline failed: {msg}"),
+            WorkloadError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Shim for call sites that still produce bare strings.
+impl From<String> for WorkloadError {
+    fn from(msg: String) -> Self {
+        WorkloadError::Other(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_stage() {
+        assert_eq!(
+            WorkloadError::Spec("total_flows must be >= 1".into()).to_string(),
+            "invalid scenario spec: total_flows must be >= 1"
+        );
+        assert!(WorkloadError::Topology("x".into())
+            .to_string()
+            .contains("topology"));
+        assert!(WorkloadError::Detection("x".into())
+            .to_string()
+            .contains("detection"));
+    }
+
+    #[test]
+    fn implements_error_and_from_string() {
+        fn takes_error(_e: &dyn std::error::Error) {}
+        let e: WorkloadError = String::from("boom").into();
+        assert_eq!(e, WorkloadError::Other("boom".into()));
+        takes_error(&e);
+    }
+}

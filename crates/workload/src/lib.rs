@@ -7,6 +7,11 @@
 //! runs the periodic pushback monitor that turns sketch epochs into
 //! `PushbackStart` control messages.
 //!
+//! With `domains >= 2` the spec builds a multi-domain internet instead:
+//! remote stubs flood the victim across a transit tier, and the
+//! inter-domain cascaded pushback (`mafic-pushback`) escalates the
+//! defense up to `pushback_depth` hops toward the zombies.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -19,10 +24,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod runner;
 pub mod scenario;
 pub mod spec;
 
+pub use error::WorkloadError;
 pub use runner::{run_scenario, run_spec, RunOutcome};
-pub use scenario::{FlowInfo, Scenario, SpoofMode};
+pub use scenario::{
+    FlowInfo, PushbackDomainControl, PushbackPlan, PushbackUpstream, Scenario, SpoofMode,
+};
 pub use spec::{DetectionMode, NominalRate, ScenarioSpec};

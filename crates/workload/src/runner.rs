@@ -6,20 +6,40 @@
 //! the victim detector. On an alarm it sends `PushbackStart` control
 //! messages to the identified Attack Transit Routers; the MAFIC filters
 //! there take over. At the end it assembles the full [`MetricsReport`].
+//!
+//! In multi-domain scenarios the same loop also drives the
+//! **inter-domain cascade**: every interval it drains each domain's
+//! control channel and rate meters, steps the domain coordinators, and
+//! applies their actions — activating upstream ATR filters via local
+//! control messages and sending `PushbackRequest` / `Refresh` /
+//! `Withdraw` upstream **as routed packets** over the inter-domain
+//! links (the control plane shares the data plane's deterministic event
+//! order; see ARCHITECTURE.md).
 
-use crate::scenario::Scenario;
+use crate::error::WorkloadError;
+use crate::scenario::{PushbackPlan, Scenario};
 use crate::spec::DetectionMode;
 use mafic::LogLogTap;
 use mafic_loglog::{DetectorConfig, RouterSketch, TrafficMatrix, VictimDetector, VictimVerdict};
 use mafic_metrics::{
     victim_arrival_series, victim_bandwidth_series, BandwidthPoint, MeasureWindows, MetricsReport,
 };
-use mafic_netsim::{ControlMsg, NodeId, SimDuration, SimTime};
+use mafic_netsim::{
+    Addr, ControlMsg, FlowKey, NodeId, PacketKind, SimDuration, SimTime, Simulator,
+};
+use mafic_pushback::{ControlChannel, PushbackAction};
+
+/// Propagation allowance for intra-domain control messages.
+const CONTROL_DELAY: SimDuration = SimDuration::from_millis(5);
+/// On-wire size of one inter-domain pushback packet.
+const PUSHBACK_PACKET_BYTES: u32 = 64;
+/// Port used by the coordinator control flows.
+const PUSHBACK_PORT: u16 = 9;
 
 /// Everything a finished run produces.
 #[derive(Debug)]
 pub struct RunOutcome {
-    /// The paper's five metrics for this run.
+    /// The paper's five metrics for this run (plus residual/collateral).
     pub report: MetricsReport,
     /// Offered-load series at the victim router (the paper's Fig. 4b).
     pub series: Vec<BandwidthPoint>,
@@ -27,8 +47,16 @@ pub struct RunOutcome {
     pub goodput_series: Vec<BandwidthPoint>,
     /// When the pushback was triggered (`None` if never).
     pub triggered_at: Option<SimTime>,
-    /// Routers that received the pushback request.
+    /// Routers that received a pushback request (every domain), sorted
+    /// and deduplicated.
     pub atr_nodes: Vec<NodeId>,
+    /// Inter-domain escalations: `(activation time, domain index)` in
+    /// [`mafic_topology::Internet::domains`] order. Empty in
+    /// single-domain runs.
+    pub escalations: Vec<(SimTime, usize)>,
+    /// Deepest pushback level whose defense activated (0 = the victim
+    /// domain only).
+    pub max_pushback_depth: u32,
     /// Total packets injected during the run.
     pub packets_sent: u64,
     /// Total packets delivered during the run.
@@ -43,15 +71,129 @@ impl RunOutcome {
     }
 }
 
+/// Sorts and deduplicates instructed routers. The trigger paths (the
+/// sketch detector, the victim-escalation fallback, fixed-time
+/// activation) and the inter-domain cascade (which may re-activate a
+/// boundary after a lease lapse) each append to the list independently,
+/// so the raw log can name a router more than once.
+fn sorted_unique(mut nodes: Vec<NodeId>) -> Vec<NodeId> {
+    nodes.sort();
+    nodes.dedup();
+    nodes
+}
+
+/// One monitor-interval step of the inter-domain cascade.
+#[allow(clippy::too_many_arguments)]
+fn step_pushback(
+    sim: &mut Simulator,
+    plan: &mut PushbackPlan,
+    victim: Addr,
+    budget: u32,
+    triggered: bool,
+    elapsed: SimDuration,
+    atr_nodes: &mut Vec<NodeId>,
+    escalations: &mut Vec<(SimTime, usize)>,
+    max_depth: &mut u32,
+) {
+    // The victim domain's coordinator rides on the local defense: the
+    // detector (or its fallback) starts it, with the spec's depth as
+    // the escalation budget.
+    if triggered && !plan.domains[0].coordinator.is_defending() {
+        let capped = u8::try_from(budget.min(u32::from(u8::MAX))).expect("capped to u8::MAX");
+        plan.domains[0].coordinator.local_start(victim, capped);
+    }
+    let interval_secs = elapsed.as_secs_f64();
+    for d in 0..plan.domains.len() {
+        let now = sim.now();
+        let mut actions = Vec::new();
+        // 1. Messages that arrived over the control channel.
+        let inbox = sim
+            .agent_mut::<ControlChannel>(plan.domains[d].channel)
+            .expect("control channel installed at build time")
+            .drain();
+        for (_at, msg) in inbox {
+            plan.domains[d].coordinator.on_message(msg, &mut actions);
+        }
+        // 2. Meter windows: offered pressure drives escalation; the
+        //    residual is accounting only. Indexed loops — the meter
+        //    handles are Copy pairs — so draining borrows the plan and
+        //    the simulator one statement at a time, no clones.
+        let mut inflow_bytes = 0u64;
+        for m in 0..plan.domains[d].pre_meters.len() {
+            let (node, idx) = plan.domains[d].pre_meters[m];
+            let meter = sim
+                .filter_mut::<mafic_pushback::VictimRateMeter>(node, idx)
+                .expect("meter installed at build time");
+            inflow_bytes += meter.take_window().0;
+        }
+        let mut residual_bytes = 0u64;
+        for m in 0..plan.domains[d].post_meters.len() {
+            let (node, idx) = plan.domains[d].post_meters[m];
+            let meter = sim
+                .filter_mut::<mafic_pushback::VictimRateMeter>(node, idx)
+                .expect("meter installed at build time");
+            residual_bytes += meter.take_window().0;
+        }
+        plan.domains[d].residual_bytes += residual_bytes;
+        let inflow_bps = if interval_secs > 0.0 {
+            inflow_bytes as f64 / interval_secs
+        } else {
+            0.0
+        };
+        // 3. Advance the state machine.
+        plan.domains[d]
+            .coordinator
+            .on_interval(inflow_bps, &mut actions);
+        // 4. Apply its actions.
+        for action in actions {
+            match action {
+                PushbackAction::ActivateLocal { victim } => {
+                    for &(node, _) in &plan.domains[d].atrs {
+                        sim.send_control(
+                            node,
+                            ControlMsg::PushbackStart { victim },
+                            now + CONTROL_DELAY,
+                        );
+                        atr_nodes.push(node);
+                    }
+                    escalations.push((now + CONTROL_DELAY, d));
+                    *max_depth = (*max_depth).max(plan.domains[d].level);
+                }
+                PushbackAction::DeactivateLocal => {
+                    for &(node, _) in &plan.domains[d].atrs {
+                        sim.send_control(node, ControlMsg::PushbackStop, now + CONTROL_DELAY);
+                    }
+                }
+                PushbackAction::SendUpstream(msg) => {
+                    let ctrl_src = plan.domains[d].ctrl_addr;
+                    for u in 0..plan.domains[d].upstream.len() {
+                        let up = plan.domains[d].upstream[u];
+                        let key =
+                            FlowKey::new(ctrl_src, up.ctrl_addr, PUSHBACK_PORT, PUSHBACK_PORT);
+                        sim.inject_packet(
+                            up.border,
+                            key,
+                            PacketKind::Pushback(msg),
+                            PUSHBACK_PACKET_BYTES,
+                            false,
+                            now,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Runs a scenario to completion. The scenario is borrowed, not
 /// consumed, so callers can inspect post-run state (tap epochs, filter
-/// tables, stats) after the outcome is assembled.
+/// tables, stats, pushback residuals) after the outcome is assembled.
 ///
 /// # Errors
 ///
-/// Returns an error message if the detector configuration is invalid
-/// (only possible with a hand-built [`DetectorConfig`]).
-pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, String> {
+/// Returns a [`WorkloadError`] if the detection pipeline fails (only
+/// possible with a hand-built [`DetectorConfig`]).
+pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError> {
     let detector_config = DetectorConfig {
         // Epoch cardinalities are per monitor interval; the victim sees
         // a few hundred distinct packets per 100 ms when healthy.
@@ -62,10 +204,11 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, String> {
         // Train the baseline through the TCP slow-start ramp (~0.8 s).
         warmup_rounds: (0.8 / scenario.spec.monitor_interval.as_secs_f64()).ceil() as u64,
     };
-    let mut detector = VictimDetector::new(detector_config)?;
+    let mut detector = VictimDetector::new(detector_config).map_err(WorkloadError::Detection)?;
     let mut triggered_at: Option<SimTime> = None;
     let mut atr_nodes: Vec<NodeId> = Vec::new();
-    let control_delay = SimDuration::from_millis(5);
+    let mut escalations: Vec<(SimTime, usize)> = Vec::new();
+    let mut max_pushback_depth = 0u32;
 
     let auto = matches!(scenario.spec.detection, DetectionMode::Auto);
     if let DetectionMode::AtTime(at) = scenario.spec.detection {
@@ -76,10 +219,13 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, String> {
     let end = scenario.spec.end;
     let interval = scenario.spec.monitor_interval;
     let mut next_stop = SimTime::ZERO + interval;
+    let mut last_stop = SimTime::ZERO;
     while scenario.sim.now() < end {
         let stop = next_stop.min(end);
         scenario.sim.run_until(stop);
         next_stop = stop + interval;
+        let elapsed = stop.saturating_since(last_stop);
+        last_stop = stop;
         // Harvest this epoch's sketches in Domain::routers() order —
         // every interval, triggered or not. Epochs are defined as one
         // monitor interval; skipping the drain after the trigger would
@@ -97,6 +243,21 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, String> {
                     .take_epoch()
             })
             .collect();
+        // The inter-domain cascade steps every interval too — meters
+        // stay interval-scoped whether or not anything is defending.
+        if let Some(plan) = scenario.pushback.as_mut() {
+            step_pushback(
+                &mut scenario.sim,
+                plan,
+                scenario.domain.victim_addr,
+                scenario.spec.pushback_depth,
+                triggered_at.is_some_and(|t| t <= stop),
+                elapsed,
+                &mut atr_nodes,
+                &mut escalations,
+                &mut max_pushback_depth,
+            );
+        }
         if !auto || triggered_at.is_some() {
             continue;
         }
@@ -106,7 +267,7 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, String> {
             let deadline = scenario.spec.attack_start + grace;
             if scenario.sim.now() >= deadline {
                 let now = scenario.sim.now();
-                let at = now + control_delay;
+                let at = now + CONTROL_DELAY;
                 for &(node, _) in &scenario.droppers {
                     scenario.sim.send_control(
                         node,
@@ -121,7 +282,8 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, String> {
                 continue;
             }
         }
-        let matrix = TrafficMatrix::estimate(&sketches).map_err(|e| e.to_string())?;
+        let matrix = TrafficMatrix::estimate(&sketches)
+            .map_err(|e| WorkloadError::Detection(e.to_string()))?;
         if let VictimVerdict::UnderAttack(alarm) = detector.observe(&matrix) {
             let routers = scenario.domain.routers();
             let victim_router = routers[alarm.victim.0];
@@ -131,7 +293,7 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, String> {
                 continue;
             }
             let now = scenario.sim.now();
-            let at = now + control_delay;
+            let at = now + CONTROL_DELAY;
             for &(id, _contribution) in &alarm.attack_transit_routers {
                 let node = routers[id.0];
                 // Never instruct the victim's own router; MAFIC runs at
@@ -167,6 +329,9 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, String> {
             .min(SimDuration::from_millis(500)),
         settle: SimDuration::from_millis(50),
         after: SimDuration::from_millis(200),
+        // Fixed-length residual window so per-depth comparisons share a
+        // denominator; long enough to cover the whole cascade.
+        residual: SimDuration::from_secs(2),
     };
     let stats = scenario.sim.stats();
     let report = MetricsReport::from_stats(stats, &windows);
@@ -177,7 +342,9 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, String> {
         series,
         goodput_series,
         triggered_at,
-        atr_nodes,
+        atr_nodes: sorted_unique(atr_nodes),
+        escalations,
+        max_pushback_depth,
         packets_sent: stats.total_sent,
         packets_delivered: stats.total_delivered,
     })
@@ -188,7 +355,7 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, String> {
 /// # Errors
 ///
 /// Propagates build and run errors.
-pub fn run_spec(spec: crate::spec::ScenarioSpec) -> Result<RunOutcome, String> {
+pub fn run_spec(spec: crate::spec::ScenarioSpec) -> Result<RunOutcome, WorkloadError> {
     run_scenario(&mut Scenario::build(spec)?)
 }
 
@@ -196,6 +363,7 @@ pub fn run_spec(spec: crate::spec::ScenarioSpec) -> Result<RunOutcome, String> {
 mod tests {
     use super::*;
     use crate::spec::ScenarioSpec;
+    use mafic_topology::TransitTopology;
 
     fn quick_spec() -> ScenarioSpec {
         ScenarioSpec {
@@ -203,6 +371,19 @@ mod tests {
             n_routers: 6,
             attack_start: SimTime::from_secs_f64(0.8),
             end: SimTime::from_secs_f64(3.0),
+            ..ScenarioSpec::default()
+        }
+    }
+
+    fn quick_multi_spec(depth: u32) -> ScenarioSpec {
+        ScenarioSpec {
+            total_flows: 12,
+            n_routers: 6,
+            domains: 3,
+            transit_topology: TransitTopology::Chain { depth: 1 },
+            pushback_depth: depth,
+            attack_start: SimTime::from_secs_f64(0.8),
+            end: SimTime::from_secs_f64(3.5),
             ..ScenarioSpec::default()
         }
     }
@@ -226,6 +407,38 @@ mod tests {
             outcome.report.accuracy_pct > 90.0,
             "accuracy {:.2}%",
             outcome.report.accuracy_pct
+        );
+    }
+
+    #[test]
+    fn atr_nodes_are_sorted_and_unique() {
+        let outcome = run_spec(quick_spec()).unwrap();
+        let nodes = &outcome.atr_nodes;
+        assert!(!nodes.is_empty());
+        assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "atr_nodes must be strictly ascending: {nodes:?}"
+        );
+    }
+
+    #[test]
+    fn sorted_unique_collapses_duplicates_across_paths() {
+        // Regression: the fallback and detector paths (and lease-lapse
+        // re-activations in the cascade) may both append a router.
+        let raw = vec![
+            NodeId::from_index(5),
+            NodeId::from_index(2),
+            NodeId::from_index(5),
+            NodeId::from_index(2),
+            NodeId::from_index(9),
+        ];
+        assert_eq!(
+            sorted_unique(raw),
+            vec![
+                NodeId::from_index(2),
+                NodeId::from_index(5),
+                NodeId::from_index(9)
+            ]
         );
     }
 
@@ -301,5 +514,43 @@ mod tests {
             "too many legit flows condemned: {:?}",
             outcome.report.flows
         );
+    }
+
+    #[test]
+    fn depth_zero_multi_domain_never_escalates() {
+        let outcome = run_spec(quick_multi_spec(0)).unwrap();
+        assert!(outcome.defense_engaged());
+        assert_eq!(outcome.max_pushback_depth, 0);
+        assert!(
+            outcome.escalations.is_empty(),
+            "depth 0 must stay victim-domain-only: {:?}",
+            outcome.escalations
+        );
+    }
+
+    #[test]
+    fn cascade_escalates_up_to_the_budget() {
+        let outcome = run_spec(quick_multi_spec(2)).unwrap();
+        assert!(outcome.defense_engaged());
+        assert!(
+            outcome.max_pushback_depth >= 1,
+            "sustained flood must escalate: {:?}",
+            outcome.escalations
+        );
+        assert!(outcome.max_pushback_depth <= 2, "budget caps the cascade");
+        // Escalations activate in path order, after the local trigger.
+        let trigger = outcome.triggered_at.unwrap();
+        for &(at, _) in &outcome.escalations {
+            assert!(at > trigger);
+        }
+    }
+
+    #[test]
+    fn multi_domain_runs_are_deterministic() {
+        let a = run_spec(quick_multi_spec(2)).unwrap();
+        let b = run_spec(quick_multi_spec(2)).unwrap();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.escalations, b.escalations);
+        assert_eq!(a.packets_sent, b.packets_sent);
     }
 }

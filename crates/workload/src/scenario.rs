@@ -1,11 +1,26 @@
 //! Scenario construction: domain + agents + filters, fully wired.
+//!
+//! Two shapes:
+//!
+//! * **Single-domain** (`spec.domains == 1`) — the paper's Figure 1
+//!   scenario, exactly as before.
+//! * **Multi-domain** (`spec.domains >= 2`) — an [`Internet`] of stub
+//!   domains and a transit tier. Flows split round-robin over the
+//!   stubs, so part of the flood is remote and crosses the inter-domain
+//!   links; every domain boundary gets inactive MAFIC filters, rate
+//!   meters, and a pushback coordinator (the [`PushbackPlan`]) so the
+//!   defense can cascade upstream at run time.
 
+use crate::error::WorkloadError;
 use crate::spec::{DetectionMode, ScenarioSpec};
 use mafic::{
     AddressValidator, DropPolicy, LogLogTap, MaficConfig, MaficFilter, ProportionalFilter,
 };
-use mafic_netsim::{Addr, AgentId, FlowKey, NodeId, SimDuration, SimTime, Simulator};
-use mafic_topology::{Domain, DomainConfig, PREFIX_LEN};
+use mafic_netsim::{Addr, AgentId, FlowKey, LinkSpec, NodeId, SimDuration, SimTime, Simulator};
+use mafic_pushback::{ControlChannel, DomainCoordinator, PushbackConfig, PushbackRole};
+use mafic_topology::{
+    AddressSpace, Domain, DomainConfig, HostInfo, Internet, InternetConfig, PREFIX_LEN,
+};
 use mafic_transport::{
     CbrConfig, CbrProtocol, TcpConfig, TcpSender, UnresponsiveSender, VictimSink,
 };
@@ -36,24 +51,76 @@ pub struct FlowInfo {
     pub is_tcp: bool,
     /// The spoofing mode (always `None` for legitimate flows).
     pub spoof: SpoofMode,
-    /// Index of the ingress router the flow enters through.
+    /// Index of the ingress router the flow enters through (within its
+    /// own stub domain).
     pub ingress_index: usize,
+    /// Index of the stub domain hosting the flow's source (0 = the
+    /// victim's own domain).
+    pub stub_index: usize,
+}
+
+/// One upstream neighbor a domain can escalate to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushbackUpstream {
+    /// Index of the upstream domain in [`Internet::domains`].
+    pub domain: usize,
+    /// Its coordinator's control address.
+    pub ctrl_addr: Addr,
+    /// The local border router where the message is injected (the
+    /// packet then crosses the shared inter-domain link).
+    pub border: NodeId,
+}
+
+/// Runtime control state of one domain boundary.
+#[derive(Debug)]
+pub struct PushbackDomainControl {
+    /// The coordinator state machine.
+    pub coordinator: DomainCoordinator,
+    /// The domain's control-channel agent (bound to `ctrl_addr`).
+    pub channel: AgentId,
+    /// The domain's control address.
+    pub ctrl_addr: Addr,
+    /// Pushback level (victim domain = 0).
+    pub level: u32,
+    /// Upstream neighbors, escalation targets.
+    pub upstream: Vec<PushbackUpstream>,
+    /// `(router, filter index)` of the domain's ATR defense filters.
+    pub atrs: Vec<(NodeId, usize)>,
+    /// Pre-dropper meters: offered victim-bound pressure.
+    pub pre_meters: Vec<(NodeId, usize)>,
+    /// Post-dropper meters: residual leaking past the local defense.
+    pub post_meters: Vec<(NodeId, usize)>,
+    /// Residual victim-bound bytes accumulated by the runner.
+    pub residual_bytes: u64,
+}
+
+/// The full pushback control plane of a multi-domain scenario.
+#[derive(Debug)]
+pub struct PushbackPlan {
+    /// Per-domain control state, in [`Internet::domains`] order.
+    pub domains: Vec<PushbackDomainControl>,
 }
 
 /// A fully wired scenario, ready to run.
 pub struct Scenario {
     /// The simulator holding the domain, agents, and filters.
     pub sim: Simulator,
-    /// Topology handles.
+    /// The victim's domain handles (the only domain when
+    /// `spec.domains == 1`).
     pub domain: Domain,
+    /// The multi-domain topology, when one was built.
+    pub internet: Option<Internet>,
+    /// The inter-domain pushback control plane, when one was built.
+    pub pushback: Option<PushbackPlan>,
     /// The spec this scenario was built from.
     pub spec: ScenarioSpec,
     /// All provisioned flows with ground truth.
     pub flows: Vec<FlowInfo>,
-    /// `(router, filter index)` of the defense filter on each ingress.
+    /// `(router, filter index)` of the defense filter on each of the
+    /// victim domain's ingress routers.
     pub droppers: Vec<(NodeId, usize)>,
-    /// `(router, filter index)` of the LogLog tap on each router, in
-    /// [`Domain::routers`] order.
+    /// `(router, filter index)` of the LogLog tap on each victim-domain
+    /// router, in [`Domain::routers`] order.
     pub taps: Vec<(NodeId, usize)>,
     /// The victim sink agent.
     pub victim_agent: AgentId,
@@ -65,18 +132,41 @@ impl std::fmt::Debug for Scenario {
             .field("flows", &self.flows.len())
             .field("droppers", &self.droppers.len())
             .field("taps", &self.taps.len())
+            .field(
+                "domains",
+                &self.internet.as_ref().map_or(1, |n| n.domains.len()),
+            )
             .finish()
     }
 }
+
+/// Bandwidth of every inter-domain link (bits/s). Deliberately tighter
+/// than the aggregate flood so depth-0 pushback leaves the transit→
+/// victim links congested — the collateral deeper deployment relieves.
+const INTER_DOMAIN_BANDWIDTH_BPS: f64 = 20e6;
+/// Propagation delay of every inter-domain link.
+const INTER_DOMAIN_DELAY: SimDuration = SimDuration::from_millis(10);
+/// Queue capacity (packets) of every inter-domain link.
+const INTER_DOMAIN_QUEUE: usize = 192;
 
 impl Scenario {
     /// Builds the scenario described by `spec`.
     ///
     /// # Errors
     ///
-    /// Returns a message if the spec or derived domain is invalid.
-    pub fn build(spec: ScenarioSpec) -> Result<Scenario, String> {
-        spec.validate()?;
+    /// Returns a [`WorkloadError`] if the spec or derived topology is
+    /// invalid.
+    pub fn build(spec: ScenarioSpec) -> Result<Scenario, WorkloadError> {
+        spec.validate().map_err(WorkloadError::Spec)?;
+        if spec.domains <= 1 {
+            Scenario::build_single(spec)
+        } else {
+            Scenario::build_multi(spec)
+        }
+    }
+
+    /// The paper's single-domain scenario.
+    fn build_single(spec: ScenarioSpec) -> Result<Scenario, WorkloadError> {
         let mut rng = SmallRng::seed_from_u64(spec.seed.wrapping_mul(0x9E37_79B9));
         let mut sim = Simulator::new(spec.seed);
 
@@ -86,7 +176,7 @@ impl Scenario {
             seed: spec.seed ^ 0xD0_4A1,
             ..DomainConfig::default()
         };
-        let domain = Domain::build(&mut sim, &domain_config)?;
+        let domain = Domain::build(&mut sim, &domain_config).map_err(WorkloadError::Topology)?;
 
         // Victim endpoint.
         let victim_agent = sim.add_agent(
@@ -110,148 +200,27 @@ impl Scenario {
                 )))
                 .collect(),
         );
-        let mut taps = Vec::new();
-        let routers = domain.routers();
-        for &router in &routers {
-            let (ingress_links, egress_addrs): (Vec<_>, Vec<Addr>) =
-                if router == domain.victim_router {
-                    (Vec::new(), vec![domain.victim_addr])
-                } else if let Some(ingress_index) =
-                    domain.ingress_routers.iter().position(|&r| r == router)
-                {
-                    let links = domain
-                        .hosts
-                        .iter()
-                        .filter(|h| h.ingress_index == ingress_index)
-                        .map(|h| h.uplink)
-                        .collect();
-                    let addrs = domain
-                        .hosts
-                        .iter()
-                        .filter(|h| h.ingress_index == ingress_index)
-                        .map(|h| h.addr)
-                        .collect();
-                    (links, addrs)
-                } else {
-                    (Vec::new(), Vec::new())
-                };
-            let tap = LogLogTap::new(spec.loglog_precision, ingress_links, egress_addrs);
-            let idx = sim.add_filter(router, Box::new(tap));
-            taps.push((router, idx));
-        }
-
-        let mut droppers = Vec::new();
-        for (i, &ingress) in domain.ingress_routers.iter().enumerate() {
-            let filter_seed = spec
-                .seed
-                .wrapping_mul(0x5851_F42D_4C95_7F2D)
-                .wrapping_add(i as u64);
-            let idx = match spec.policy {
-                DropPolicy::Mafic => {
-                    let config = MaficConfig {
-                        drop_probability: spec.drop_probability,
-                        timer_rtt_multiplier: spec.timer_rtt_multiplier,
-                        decrease_threshold: spec.decrease_threshold,
-                        label_mode: spec.label_mode,
-                        nft_revalidate_after: spec.nft_revalidate_after,
-                        seed: filter_seed,
-                        ..MaficConfig::default()
-                    };
-                    sim.add_filter(
-                        ingress,
-                        Box::new(MaficFilter::new(config, validator.clone())),
-                    )
-                }
-                DropPolicy::Proportional => sim.add_filter(
-                    ingress,
-                    Box::new(ProportionalFilter::new(spec.drop_probability, filter_seed)),
-                ),
-            };
-            droppers.push((ingress, idx));
-        }
+        let taps = install_taps(&mut sim, &spec, &domain, &[]);
+        let droppers = install_droppers(&mut sim, &spec, &domain.ingress_routers, &validator, 0);
 
         // Traffic: one host per flow. Legitimate TCP first, zombies last.
         let n_legit = spec.legit_flow_count();
         let n_attack = spec.attack_flow_count();
         debug_assert_eq!(n_legit + n_attack, spec.total_flows);
         let mut flows = Vec::with_capacity(spec.total_flows);
-
         for (i, host) in domain.hosts.iter().enumerate() {
-            let src_port = 1024 + i as u16;
-            let is_attack = i >= n_legit;
-            if !is_attack {
-                let key = FlowKey::new(host.addr, domain.victim_addr, src_port, 80);
-                let start = SimTime::ZERO
-                    + SimDuration::from_nanos(
-                        rng.gen_range(0..=spec.legit_start_spread.as_nanos().max(1)),
-                    );
-                // Moderate RTO bounds so nice flows regain their share
-                // promptly after passing the probe test (Fig. 4b).
-                let tcp_config = TcpConfig {
-                    min_rto: SimDuration::from_millis(200),
-                    max_rto: SimDuration::from_secs(2),
-                    ..TcpConfig::default()
-                };
-                let sender = TcpSender::new(key, tcp_config, false);
-                let agent = sim.add_agent(host.node, Box::new(sender), start);
-                sim.bind_local_addr(host.node, host.addr, agent);
-                sim.stats_mut().declare_flow(key, false, true);
-                flows.push(FlowInfo {
-                    key,
-                    agent,
-                    is_attack: false,
-                    is_tcp: true,
-                    spoof: SpoofMode::None,
-                    ingress_index: host.ingress_index,
-                });
-                continue;
-            }
-            // Attack flow: pick spoofing and protocol by configured mix.
-            let attack_rank = i - n_legit;
-            let spoof_roll = (attack_rank as f64 + 0.5) / n_attack as f64;
-            let spoof = if spoof_roll < spec.spoof_illegal {
-                SpoofMode::Illegal
-            } else if spoof_roll < spec.spoof_illegal + spec.spoof_legal {
-                SpoofMode::LegalOtherSubnet
-            } else {
-                SpoofMode::None
-            };
-            let claimed_src = match spoof {
-                SpoofMode::None => host.addr,
-                SpoofMode::Illegal => domain.address_space.random_illegal(&mut rng),
-                SpoofMode::LegalOtherSubnet => domain
-                    .address_space
-                    .random_legal_spoof(host.ingress_index, &mut rng)
-                    .unwrap_or(host.addr),
-            };
-            let tcp_like_roll = rng.gen::<f64>();
-            let protocol = if tcp_like_roll < spec.attack_tcp_like {
-                CbrProtocol::TcpLike
-            } else {
-                CbrProtocol::Udp
-            };
-            let key = FlowKey::new(claimed_src, domain.victim_addr, src_port, 80);
-            let config = CbrConfig {
-                rate_pps: spec.attack_rate_pps(),
-                packet_size: 500,
-                jitter: 0.2,
-                protocol,
-            };
-            let mut sender =
-                UnresponsiveSender::new(key, config, true, spec.seed ^ (i as u64) << 3);
-            sender.set_stop_after(spec.end);
-            let agent = sim.add_agent(host.node, Box::new(sender), spec.attack_start);
-            sim.bind_local_addr(host.node, host.addr, agent);
-            sim.stats_mut()
-                .declare_flow(key, true, protocol == CbrProtocol::TcpLike);
-            flows.push(FlowInfo {
-                key,
-                agent,
-                is_attack: true,
-                is_tcp: protocol == CbrProtocol::TcpLike,
-                spoof,
-                ingress_index: host.ingress_index,
-            });
+            flows.push(provision_flow(
+                &mut sim,
+                &spec,
+                &mut rng,
+                i,
+                n_legit,
+                n_attack,
+                host,
+                &domain.address_space,
+                domain.victim_addr,
+                0,
+            ));
         }
 
         // Fixed-time detection installs the control messages up front.
@@ -270,6 +239,218 @@ impl Scenario {
         Ok(Scenario {
             sim,
             domain,
+            internet: None,
+            pushback: None,
+            spec,
+            flows,
+            droppers,
+            taps,
+            victim_agent,
+        })
+    }
+
+    /// The multi-domain internet with the cascaded-pushback control
+    /// plane.
+    fn build_multi(spec: ScenarioSpec) -> Result<Scenario, WorkloadError> {
+        let mut rng = SmallRng::seed_from_u64(spec.seed.wrapping_mul(0x9E37_79B9));
+        let mut sim = Simulator::new(spec.seed);
+        let n_stubs = spec.domains;
+        let n_transit = spec.transit_topology.domain_count();
+
+        // Flows split round-robin over the stubs; every stub domain must
+        // still carry at least one host to be buildable.
+        let mut stub_flow_counts = vec![0usize; n_stubs];
+        for i in 0..spec.total_flows {
+            stub_flow_counts[i % n_stubs] += 1;
+        }
+        let stub_cfgs: Vec<DomainConfig> = (0..n_stubs)
+            .map(|s| DomainConfig {
+                // The victim's domain keeps the paper's size; source
+                // stubs are half-size edge networks.
+                n_routers: if s == 0 {
+                    spec.n_routers
+                } else {
+                    (spec.n_routers / 2).max(6)
+                },
+                n_hosts: stub_flow_counts[s].max(1),
+                seed: spec.seed ^ 0xD0_4A1,
+                ..DomainConfig::default()
+            })
+            .collect();
+        let transit_cfg = DomainConfig {
+            n_routers: 8,
+            n_hosts: 1,
+            seed: spec.seed ^ 0xD0_4A1,
+            ..DomainConfig::default()
+        };
+        let internet_cfg = InternetConfig {
+            stubs: stub_cfgs,
+            transit: spec.transit_topology,
+            transit_domain: transit_cfg,
+            inter_link: LinkSpec::new(
+                INTER_DOMAIN_BANDWIDTH_BPS,
+                INTER_DOMAIN_DELAY,
+                INTER_DOMAIN_QUEUE,
+            ),
+        };
+        let internet = Internet::build(&mut sim, &internet_cfg).map_err(WorkloadError::Topology)?;
+        let domain = internet.domains[0].domain.clone();
+
+        // Victim endpoint + watches, exactly as in the single domain.
+        let victim_agent = sim.add_agent(
+            domain.victim_host,
+            Box::new(VictimSink::default()),
+            SimTime::ZERO,
+        );
+        sim.bind_local_addr(domain.victim_host, domain.victim_addr, victim_agent);
+        sim.stats_mut()
+            .watch_victim(domain.victim_host, spec.victim_bin);
+        sim.stats_mut()
+            .watch_arrivals(domain.victim_router, domain.victim_addr, spec.victim_bin);
+
+        // One source-legality oracle over every domain's address plan: a
+        // remote host's genuine address is legal everywhere.
+        let validator = AddressValidator::Prefixes(
+            internet
+                .address_spaces()
+                .flat_map(|space| {
+                    (0..space.ingress_count())
+                        .map(|i| (space.ingress_prefix(i), PREFIX_LEN))
+                        .chain(std::iter::once((space.victim_prefix(), PREFIX_LEN)))
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+        );
+
+        // Victim-domain taps feed the detector; border routers also
+        // count inter-domain arrivals as domain entries.
+        let border_links: Vec<(NodeId, mafic_netsim::LinkId)> = internet.domains[0]
+            .upstream
+            .iter()
+            .map(|e| (e.border, e.in_link))
+            .collect();
+        let taps = install_taps(&mut sim, &spec, &domain, &border_links);
+
+        // ATR filters + meters + coordinators, one set per domain.
+        let mut droppers = Vec::new();
+        let mut plan_domains = Vec::with_capacity(internet.domains.len());
+        let threshold_bps =
+            spec.escalation_threshold * DomainConfig::default().victim_bandwidth_bps / 8.0;
+        for (d, idom) in internet.domains.iter().enumerate() {
+            // The domain's ATRs: where victim-bound traffic enters it.
+            let atr_routers: Vec<NodeId> =
+                if d == 0 || idom.role == mafic_topology::DomainRole::Stub {
+                    idom.domain.ingress_routers.clone()
+                } else {
+                    let mut borders: Vec<NodeId> = idom.upstream.iter().map(|e| e.border).collect();
+                    borders.sort();
+                    borders.dedup();
+                    borders
+                };
+            let mut atrs = Vec::with_capacity(atr_routers.len());
+            let mut pre_meters = Vec::with_capacity(atr_routers.len());
+            let mut post_meters = Vec::with_capacity(atr_routers.len());
+            for &router in &atr_routers {
+                let idx = sim.add_filter(
+                    router,
+                    Box::new(mafic_pushback::VictimRateMeter::new(domain.victim_addr)),
+                );
+                pre_meters.push((router, idx));
+            }
+            let domain_droppers =
+                install_droppers(&mut sim, &spec, &atr_routers, &validator, d as u64);
+            for &router in &atr_routers {
+                let idx = sim.add_filter(
+                    router,
+                    Box::new(mafic_pushback::VictimRateMeter::new(domain.victim_addr)),
+                );
+                post_meters.push((router, idx));
+            }
+            if d == 0 {
+                droppers = domain_droppers.clone();
+            }
+            atrs.extend(domain_droppers);
+
+            // Control channel at the gateway router.
+            let channel =
+                sim.add_agent(idom.gateway, Box::new(ControlChannel::new()), SimTime::ZERO);
+            sim.bind_local_addr(idom.gateway, idom.ctrl_addr, channel);
+
+            let role = if d == 0 {
+                PushbackRole::Victim
+            } else {
+                PushbackRole::Upstream
+            };
+            let coordinator = DomainCoordinator::new(
+                PushbackConfig {
+                    threshold_bps,
+                    ..PushbackConfig::default()
+                },
+                role,
+            );
+            plan_domains.push(PushbackDomainControl {
+                coordinator,
+                channel,
+                ctrl_addr: idom.ctrl_addr,
+                level: idom.level,
+                upstream: idom
+                    .upstream
+                    .iter()
+                    .map(|e| PushbackUpstream {
+                        domain: e.domain,
+                        ctrl_addr: internet.domains[e.domain].ctrl_addr,
+                        border: e.border,
+                    })
+                    .collect(),
+                atrs,
+                pre_meters,
+                post_meters,
+                residual_bytes: 0,
+            });
+        }
+
+        // Traffic: flow i lives in stub i % n_stubs.
+        let n_legit = spec.legit_flow_count();
+        let n_attack = spec.attack_flow_count();
+        let mut flows = Vec::with_capacity(spec.total_flows);
+        for i in 0..spec.total_flows {
+            let s = i % n_stubs;
+            let idom = if s == 0 { 0 } else { n_transit + s };
+            let host = internet.domains[idom].domain.hosts[i / n_stubs];
+            flows.push(provision_flow(
+                &mut sim,
+                &spec,
+                &mut rng,
+                i,
+                n_legit,
+                n_attack,
+                &host,
+                &internet.domains[idom].domain.address_space,
+                domain.victim_addr,
+                s,
+            ));
+        }
+
+        // Fixed-time detection: victim-domain defense at a fixed time.
+        if let DetectionMode::AtTime(at) = spec.detection {
+            for &(router, _) in &droppers {
+                sim.send_control(
+                    router,
+                    mafic_netsim::ControlMsg::PushbackStart {
+                        victim: domain.victim_addr,
+                    },
+                    at,
+                );
+            }
+        }
+
+        Ok(Scenario {
+            sim,
+            domain,
+            internet: Some(internet),
+            pushback: Some(PushbackPlan {
+                domains: plan_domains,
+            }),
             spec,
             flows,
             droppers,
@@ -279,14 +460,206 @@ impl Scenario {
     }
 }
 
+/// Installs the LogLog taps over the victim domain's routers (in
+/// [`Domain::routers`] order). `border_links` lists inter-domain links
+/// terminating at victim-domain border routers; their arrivals count as
+/// domain entries for the detector's traffic matrix.
+fn install_taps(
+    sim: &mut Simulator,
+    spec: &ScenarioSpec,
+    domain: &Domain,
+    border_links: &[(NodeId, mafic_netsim::LinkId)],
+) -> Vec<(NodeId, usize)> {
+    let mut taps = Vec::new();
+    for &router in &domain.routers() {
+        let (mut ingress_links, egress_addrs): (Vec<_>, Vec<Addr>) = if router
+            == domain.victim_router
+        {
+            (Vec::new(), vec![domain.victim_addr])
+        } else if let Some(ingress_index) = domain.ingress_routers.iter().position(|&r| r == router)
+        {
+            let links = domain
+                .hosts
+                .iter()
+                .filter(|h| h.ingress_index == ingress_index)
+                .map(|h| h.uplink)
+                .collect();
+            let addrs = domain
+                .hosts
+                .iter()
+                .filter(|h| h.ingress_index == ingress_index)
+                .map(|h| h.addr)
+                .collect();
+            (links, addrs)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        ingress_links.extend(
+            border_links
+                .iter()
+                .filter(|&&(node, _)| node == router)
+                .map(|&(_, link)| link),
+        );
+        let tap = LogLogTap::new(spec.loglog_precision, ingress_links, egress_addrs);
+        let idx = sim.add_filter(router, Box::new(tap));
+        taps.push((router, idx));
+    }
+    taps
+}
+
+/// Installs one (inactive) defense dropper per router, per the spec's
+/// policy. `domain_salt` decorrelates filter RNGs across domains.
+fn install_droppers(
+    sim: &mut Simulator,
+    spec: &ScenarioSpec,
+    routers: &[NodeId],
+    validator: &AddressValidator,
+    domain_salt: u64,
+) -> Vec<(NodeId, usize)> {
+    let mut droppers = Vec::new();
+    for (i, &router) in routers.iter().enumerate() {
+        let filter_seed = spec
+            .seed
+            .wrapping_mul(0x5851_F42D_4C95_7F2D)
+            .wrapping_add(domain_salt.wrapping_mul(0x10_0001))
+            .wrapping_add(i as u64);
+        let idx = match spec.policy {
+            DropPolicy::Mafic => {
+                let config = MaficConfig {
+                    drop_probability: spec.drop_probability,
+                    timer_rtt_multiplier: spec.timer_rtt_multiplier,
+                    decrease_threshold: spec.decrease_threshold,
+                    label_mode: spec.label_mode,
+                    nft_revalidate_after: spec.nft_revalidate_after,
+                    seed: filter_seed,
+                    ..MaficConfig::default()
+                };
+                sim.add_filter(
+                    router,
+                    Box::new(MaficFilter::new(config, validator.clone())),
+                )
+            }
+            DropPolicy::Proportional => sim.add_filter(
+                router,
+                Box::new(ProportionalFilter::new(spec.drop_probability, filter_seed)),
+            ),
+        };
+        droppers.push((router, idx));
+    }
+    droppers
+}
+
+/// Provisions flow `i` on `host`: a legitimate TCP sender for the first
+/// `n_legit` indices, an attack zombie (with the configured spoof and
+/// protocol mix) for the rest.
+#[allow(clippy::too_many_arguments)]
+fn provision_flow(
+    sim: &mut Simulator,
+    spec: &ScenarioSpec,
+    rng: &mut SmallRng,
+    i: usize,
+    n_legit: usize,
+    n_attack: usize,
+    host: &HostInfo,
+    address_space: &AddressSpace,
+    victim_addr: Addr,
+    stub_index: usize,
+) -> FlowInfo {
+    let src_port = 1024 + i as u16;
+    let is_attack = i >= n_legit;
+    if !is_attack {
+        let key = FlowKey::new(host.addr, victim_addr, src_port, 80);
+        let start = SimTime::ZERO
+            + SimDuration::from_nanos(rng.gen_range(0..=spec.legit_start_spread.as_nanos().max(1)));
+        // Moderate RTO bounds so nice flows regain their share
+        // promptly after passing the probe test (Fig. 4b).
+        let tcp_config = TcpConfig {
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(2),
+            ..TcpConfig::default()
+        };
+        let sender = TcpSender::new(key, tcp_config, false);
+        let agent = sim.add_agent(host.node, Box::new(sender), start);
+        sim.bind_local_addr(host.node, host.addr, agent);
+        sim.stats_mut().declare_flow(key, false, true);
+        return FlowInfo {
+            key,
+            agent,
+            is_attack: false,
+            is_tcp: true,
+            spoof: SpoofMode::None,
+            ingress_index: host.ingress_index,
+            stub_index,
+        };
+    }
+    // Attack flow: pick spoofing and protocol by configured mix.
+    let attack_rank = i - n_legit;
+    let spoof_roll = (attack_rank as f64 + 0.5) / n_attack as f64;
+    let spoof = if spoof_roll < spec.spoof_illegal {
+        SpoofMode::Illegal
+    } else if spoof_roll < spec.spoof_illegal + spec.spoof_legal {
+        SpoofMode::LegalOtherSubnet
+    } else {
+        SpoofMode::None
+    };
+    let claimed_src = match spoof {
+        SpoofMode::None => host.addr,
+        SpoofMode::Illegal => address_space.random_illegal(rng),
+        SpoofMode::LegalOtherSubnet => address_space
+            .random_legal_spoof(host.ingress_index, rng)
+            .unwrap_or(host.addr),
+    };
+    let tcp_like_roll = rng.gen::<f64>();
+    let protocol = if tcp_like_roll < spec.attack_tcp_like {
+        CbrProtocol::TcpLike
+    } else {
+        CbrProtocol::Udp
+    };
+    let key = FlowKey::new(claimed_src, victim_addr, src_port, 80);
+    let config = CbrConfig {
+        rate_pps: spec.attack_rate_pps(),
+        packet_size: 500,
+        jitter: 0.2,
+        protocol,
+    };
+    let mut sender = UnresponsiveSender::new(key, config, true, spec.seed ^ (i as u64) << 3);
+    sender.set_stop_after(spec.end);
+    let agent = sim.add_agent(host.node, Box::new(sender), spec.attack_start);
+    sim.bind_local_addr(host.node, host.addr, agent);
+    sim.stats_mut()
+        .declare_flow(key, true, protocol == CbrProtocol::TcpLike);
+    FlowInfo {
+        key,
+        agent,
+        is_attack: true,
+        is_tcp: protocol == CbrProtocol::TcpLike,
+        spoof,
+        ingress_index: host.ingress_index,
+        stub_index,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mafic_topology::TransitTopology;
 
     fn small_spec() -> ScenarioSpec {
         ScenarioSpec {
             total_flows: 10,
             n_routers: 6,
+            end: SimTime::from_secs_f64(2.0),
+            ..ScenarioSpec::default()
+        }
+    }
+
+    fn multi_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            total_flows: 12,
+            n_routers: 6,
+            domains: 3,
+            transit_topology: TransitTopology::Chain { depth: 1 },
+            pushback_depth: 2,
             end: SimTime::from_secs_f64(2.0),
             ..ScenarioSpec::default()
         }
@@ -300,6 +673,8 @@ mod tests {
         assert_eq!(s.taps.len(), s.domain.routers().len());
         let attackers = s.flows.iter().filter(|f| f.is_attack).count();
         assert_eq!(attackers, small_spec().attack_flow_count());
+        assert!(s.internet.is_none());
+        assert!(s.pushback.is_none());
     }
 
     #[test]
@@ -363,7 +738,7 @@ mod tests {
             total_flows: 0,
             ..ScenarioSpec::default()
         };
-        assert!(Scenario::build(bad).is_err());
+        assert!(matches!(Scenario::build(bad), Err(WorkloadError::Spec(_))));
     }
 
     #[test]
@@ -375,5 +750,55 @@ mod tests {
         let s = Scenario::build(spec).unwrap();
         let (node, idx) = s.droppers[0];
         assert!(s.sim.filter::<ProportionalFilter>(node, idx).is_some());
+    }
+
+    #[test]
+    fn multi_domain_build_wires_the_control_plane() {
+        let s = Scenario::build(multi_spec()).unwrap();
+        let net = s.internet.as_ref().expect("internet built");
+        let plan = s.pushback.as_ref().expect("pushback plan built");
+        // victim + 1 transit + 2 source stubs.
+        assert_eq!(net.domains.len(), 4);
+        assert_eq!(plan.domains.len(), 4);
+        assert_eq!(plan.domains[0].level, 0);
+        assert!(plan.domains[0].upstream.len() == 1, "victim → transit");
+        assert_eq!(plan.domains[1].upstream.len(), 2, "transit → 2 stubs");
+        assert!(plan.domains[2].upstream.is_empty(), "stubs are the top");
+        // Every domain has matching meter/dropper counts.
+        for d in &plan.domains {
+            assert_eq!(d.atrs.len(), d.pre_meters.len());
+            assert_eq!(d.atrs.len(), d.post_meters.len());
+            assert!(!d.atrs.is_empty());
+        }
+        // Upstream ATR filters exist and are inactive.
+        let (node, idx) = plan.domains[1].atrs[0];
+        let filter = s.sim.filter::<MaficFilter>(node, idx).expect("dropper");
+        assert!(!filter.is_active());
+    }
+
+    #[test]
+    fn multi_domain_flows_spread_over_stubs() {
+        let s = Scenario::build(multi_spec()).unwrap();
+        let per_stub = |idx: usize| s.flows.iter().filter(|f| f.stub_index == idx).count();
+        assert_eq!(per_stub(0), 4);
+        assert_eq!(per_stub(1), 4);
+        assert_eq!(per_stub(2), 4);
+        // Remote hosts use their own domain's (globally legal) addresses.
+        let net = s.internet.as_ref().unwrap();
+        for f in s.flows.iter().filter(|f| f.spoof == SpoofMode::None) {
+            let legal_somewhere = net.address_spaces().any(|a| a.is_legal(f.key.src));
+            assert!(legal_somewhere, "{} must be legal", f.key.src);
+        }
+    }
+
+    #[test]
+    fn multi_domain_build_is_deterministic() {
+        let a = Scenario::build(multi_spec()).unwrap();
+        let b = Scenario::build(multi_spec()).unwrap();
+        let keys_a: Vec<_> = a.flows.iter().map(|f| f.key).collect();
+        let keys_b: Vec<_> = b.flows.iter().map(|f| f.key).collect();
+        assert_eq!(keys_a, keys_b);
+        assert_eq!(a.sim.node_count(), b.sim.node_count());
+        assert_eq!(a.sim.link_count(), b.sim.link_count());
     }
 }

@@ -8,6 +8,7 @@
 use mafic::{DropPolicy, LabelMode};
 use mafic_loglog::Precision;
 use mafic_netsim::{SimDuration, SimTime};
+use mafic_topology::TransitTopology;
 
 /// How the pushback trigger is decided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +83,24 @@ pub struct ScenarioSpec {
     pub spoof_legal: f64,
     /// `N` — number of routers in the domain (Table II: 40).
     pub n_routers: usize,
+    /// Number of stub domains, the victim's included. `1` is the
+    /// paper's single-domain scenario; `>= 2` builds a multi-domain
+    /// internet where flows split round-robin over the stubs and
+    /// remote traffic crosses a transit tier to reach the victim.
+    pub domains: usize,
+    /// Shape of the transit (provider) tier between the source stubs
+    /// and the victim domain. Ignored when `domains == 1`.
+    pub transit_topology: TransitTopology,
+    /// Escalation budget of the cascaded pushback: how many hops
+    /// upstream of the victim domain the defense may travel (`0` =
+    /// victim-domain-only, today's single-domain behaviour; each
+    /// transit level costs one hop, the source stubs one more).
+    pub pushback_depth: u32,
+    /// Escalation threshold as a fraction of the victim link capacity:
+    /// a defending domain escalates upstream while the victim-bound
+    /// aggregate entering its ATRs stays above this for the trigger
+    /// window. Ignored when `domains == 1`.
+    pub escalation_threshold: f64,
     /// `Pd` — the probing drop probability (Table II: 0.9).
     pub drop_probability: f64,
     /// Which drop policy runs at the ATRs.
@@ -132,6 +151,10 @@ impl Default for ScenarioSpec {
             spoof_illegal: 0.25,
             spoof_legal: 0.25,
             n_routers: 40,
+            domains: 1,
+            transit_topology: TransitTopology::Chain { depth: 2 },
+            pushback_depth: 0,
+            escalation_threshold: 0.25,
             drop_probability: 0.9,
             policy: DropPolicy::Mafic,
             label_mode: LabelMode::Hashed,
@@ -214,6 +237,22 @@ impl ScenarioSpec {
         }
         if self.n_routers < 3 {
             return Err(format!("n_routers must be >= 3, got {}", self.n_routers));
+        }
+        if self.domains == 0 {
+            return Err("domains must be >= 1".into());
+        }
+        if self.domains > 64 {
+            return Err(format!("domains must be <= 64, got {}", self.domains));
+        }
+        self.transit_topology.validate()?;
+        if self.domains == 1 && self.pushback_depth > 0 {
+            return Err("pushback_depth > 0 requires domains >= 2".into());
+        }
+        if !self.escalation_threshold.is_finite() || self.escalation_threshold <= 0.0 {
+            return Err(format!(
+                "escalation_threshold must be finite and > 0, got {}",
+                self.escalation_threshold
+            ));
         }
         if !(0.0..=1.0).contains(&self.drop_probability) {
             return Err("drop_probability must be in [0, 1]".into());
@@ -363,6 +402,61 @@ mod tests {
             .expect_err(&format!("decrease_threshold {bad} must be rejected"));
             assert!(err.contains("decrease_threshold"), "{err}");
         }
+    }
+
+    #[test]
+    fn validation_catches_bad_multi_domain_fields() {
+        let base = ScenarioSpec::default();
+        for (label, bad) in [
+            (
+                "zero domains",
+                ScenarioSpec {
+                    domains: 0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "too many domains",
+                ScenarioSpec {
+                    domains: 65,
+                    ..base.clone()
+                },
+            ),
+            (
+                "depth without domains",
+                ScenarioSpec {
+                    pushback_depth: 1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "zero threshold",
+                ScenarioSpec {
+                    domains: 2,
+                    escalation_threshold: 0.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "zero tree fanout",
+                ScenarioSpec {
+                    domains: 2,
+                    transit_topology: TransitTopology::Tree {
+                        depth: 1,
+                        fanout: 0,
+                    },
+                    ..base.clone()
+                },
+            ),
+        ] {
+            assert!(bad.validate().is_err(), "{label} must be rejected");
+        }
+        let multi = ScenarioSpec {
+            domains: 3,
+            pushback_depth: 3,
+            ..base
+        };
+        assert!(multi.validate().is_ok());
     }
 
     #[test]

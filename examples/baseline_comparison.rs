@@ -12,7 +12,7 @@
 use mafic_suite::core::DropPolicy;
 use mafic_suite::workload::{run_spec, ScenarioSpec};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), mafic_suite::workload::WorkloadError> {
     println!(
         "{:>14} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "policy", "alpha %", "theta_n %", "theta_p %", "Lr %", "beta %"

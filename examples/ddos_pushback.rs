@@ -13,7 +13,7 @@
 use mafic_suite::metrics::downsample;
 use mafic_suite::workload::{run_scenario, Scenario, ScenarioSpec, SpoofMode};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), mafic_suite::workload::WorkloadError> {
     let spec = ScenarioSpec {
         total_flows: 60,
         tcp_share: 0.9, // 6 zombies among 60 flows

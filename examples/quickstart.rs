@@ -7,7 +7,7 @@
 
 use mafic_suite::workload::{run_spec, ScenarioSpec};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), mafic_suite::workload::WorkloadError> {
     // Table II defaults: Vt = 50 flows, Γ = 95% TCP, Pd = 90%,
     // N = 40 routers, attack starting at t = 1 s.
     let spec = ScenarioSpec::default();

@@ -19,7 +19,7 @@ struct Mix {
     legal: f64,
 }
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), mafic_suite::workload::WorkloadError> {
     let mixes = [
         Mix {
             name: "all illegal sources",

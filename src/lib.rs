@@ -12,7 +12,10 @@
 //!   pipeline,
 //! * [`core`] — the MAFIC algorithm (SFT/NFT/PDT, probing, adaptive
 //!   dropping) plus the proportional baseline,
-//! * [`metrics`] — the paper's α/β/θp/θn/Lr metrics,
+//! * [`pushback`] — inter-domain cascaded pushback: per-domain
+//!   coordinators, rate meters, and the packet-borne control channel,
+//! * [`metrics`] — the paper's α/β/θp/θn/Lr metrics, plus residual
+//!   attack rate and collateral damage for the multi-domain scenarios,
 //! * [`workload`] — scenario generation and the experiment runner,
 //! * [`experiments`] — per-figure regeneration harnesses.
 //!
@@ -34,6 +37,7 @@ pub use mafic_experiments as experiments;
 pub use mafic_loglog as loglog;
 pub use mafic_metrics as metrics;
 pub use mafic_netsim as netsim;
+pub use mafic_pushback as pushback;
 pub use mafic_topology as topology;
 pub use mafic_transport as transport;
 pub use mafic_workload as workload;
