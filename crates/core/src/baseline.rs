@@ -97,6 +97,14 @@ impl ProportionalFilter {
         self.per_flow_dropped.len()
     }
 
+    /// Approximate per-flow state held by this filter, in bytes: one
+    /// slab slot per flow that lost a packet (drop diagnostics only —
+    /// the policy itself keeps no classification state).
+    #[must_use]
+    pub fn approx_state_bytes(&self) -> usize {
+        self.per_flow_dropped.len() * std::mem::size_of::<Option<u64>>()
+    }
+
     /// Activates the defense for `victim`.
     pub fn activate(&mut self, victim: Addr) {
         self.active = Some(victim);

@@ -56,6 +56,10 @@ pub struct MaficCounters {
     pub dropped_illegal: u64,
     /// Probe bursts emitted.
     pub probes_sent: u64,
+    /// Wheel timers armed (probation deadlines + NFT re-validations) —
+    /// the filter's per-flow timer cost, reported as a deployment cost
+    /// proxy alongside table memory.
+    pub timers_armed: u64,
     /// Flows declared nice.
     pub flows_nice: u64,
     /// Flows declared malicious (including illegal-source flows).
@@ -152,6 +156,16 @@ impl MaficFilter {
         &self.config
     }
 
+    /// Approximate **peak** per-flow state this filter ever held, in
+    /// bytes (SFT/NFT/PDT under the configured label mode). Survives the
+    /// `PushbackStop` flush — the deployment-cost proxy reported by the
+    /// workload layer.
+    #[must_use]
+    pub fn approx_state_bytes(&self) -> usize {
+        self.tables
+            .approx_peak_bytes(self.config.label_mode.stored_bytes())
+    }
+
     /// Activates the defense for `victim` (equivalent to receiving a
     /// `PushbackStart`; public for direct harness control).
     pub fn activate(&mut self, victim: Addr) {
@@ -241,6 +255,7 @@ impl MaficFilter {
                 // Anti-pulsing extension: evict from the NFT later so the
                 // next packet re-enters probation.
                 ctx.schedule_flow_timer(period, flow, TIMER_REVALIDATE);
+                self.counters.timers_armed += 1;
             }
             true
         } else {
@@ -274,6 +289,7 @@ impl MaficFilter {
         };
         self.tables.sft_insert(flow, entry);
         ctx.schedule_flow_timer(timer, flow, TIMER_PROBATION);
+        self.counters.timers_armed += 1;
         self.emit_probe(packet.key, victim, ctx);
         ctx.note(StatNote::ProbeSent, Some(packet));
     }

@@ -20,6 +20,19 @@ pub enum LabelMode {
     Full,
 }
 
+impl LabelMode {
+    /// Approximate memory footprint of one stored label under this
+    /// mode, in bytes — the single source of truth for table-memory
+    /// accounting (ablations and policy cost reports).
+    #[must_use]
+    pub fn stored_bytes(self) -> usize {
+        match self {
+            LabelMode::Hashed => 8,
+            LabelMode::Full => 12,
+        }
+    }
+}
+
 /// A table key for one flow.
 ///
 /// # Example
@@ -67,13 +80,15 @@ impl FlowLabel {
         }
     }
 
-    /// Approximate memory footprint of one stored label, in bytes.
+    /// Approximate memory footprint of one stored label, in bytes
+    /// (delegates to [`LabelMode::stored_bytes`]).
     #[must_use]
     pub fn stored_bytes(self) -> usize {
         match self {
-            FlowLabel::Hashed(_) => 8,
-            FlowLabel::Full(_) => 12,
+            FlowLabel::Hashed(_) => LabelMode::Hashed,
+            FlowLabel::Full(_) => LabelMode::Full,
         }
+        .stored_bytes()
     }
 }
 

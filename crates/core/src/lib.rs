@@ -19,8 +19,11 @@
 //!   immediately.
 //!
 //! The crate also provides the [`ProportionalFilter`] baseline (uniform
-//! dropping, the approach MAFIC improves upon) and the [`LogLogTap`]
-//! sketch connector used by the pushback monitor.
+//! dropping, the approach MAFIC improves upon), the [`RateLimitFilter`]
+//! aggregate token bucket (the cheapest policy a transit AS can deploy),
+//! the [`DefensePolicy`] surface naming what one domain boundary runs in
+//! heterogeneous deployments, and the [`LogLogTap`] sketch connector
+//! used by the pushback monitor.
 //!
 //! # Example
 //!
@@ -35,13 +38,15 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod baseline;
 pub mod config;
 pub mod dropper;
 pub mod label;
+pub mod policy;
 pub mod rate;
+pub mod ratelimit;
 pub mod tables;
 pub mod tap;
 
@@ -49,6 +54,8 @@ pub use baseline::{DropPolicy, ProportionalFilter};
 pub use config::{AddressValidator, ConfigError, MaficConfig, MaficConfigBuilder};
 pub use dropper::{MaficCounters, MaficFilter, TIMER_PROBATION, TIMER_REVALIDATE};
 pub use label::{FlowLabel, LabelMode};
+pub use policy::DefensePolicy;
 pub use rate::ArrivalTracker;
+pub use ratelimit::RateLimitFilter;
 pub use tables::{FlowState, FlowTables, PdtReason, SftEntry};
 pub use tap::LogLogTap;

@@ -162,6 +162,12 @@ pub struct FlowTables {
     sft: Fifo,
     nft: Fifo,
     pdt: Fifo,
+    /// Lifetime peak occupancies — cost accounting that survives the
+    /// `PushbackStop` flush (a withdrawn defense still paid for its
+    /// tables while it ran).
+    peak_sft: usize,
+    peak_nft: usize,
+    peak_pdt: usize,
 }
 
 impl FlowTables {
@@ -177,6 +183,9 @@ impl FlowTables {
             sft: Fifo::new(sft_capacity),
             nft: Fifo::new(nft_capacity),
             pdt: Fifo::new(pdt_capacity),
+            peak_sft: 0,
+            peak_nft: 0,
+            peak_pdt: 0,
         }
     }
 
@@ -222,6 +231,9 @@ impl FlowTables {
             let from = table_of(prev);
             self.fifo_mut(from).release(flow);
         }
+        self.peak_sft = self.peak_sft.max(self.sft.len());
+        self.peak_nft = self.peak_nft.max(self.nft.len());
+        self.peak_pdt = self.peak_pdt.max(self.pdt.len());
         old
     }
 
@@ -358,10 +370,23 @@ impl FlowTables {
     /// the label storage cost (the paper's motivation for hashing).
     #[must_use]
     pub fn approx_bytes(&self, label_bytes: usize) -> usize {
+        Self::bytes_for(self.sft.len(), self.nft.len(), self.pdt.len(), label_bytes)
+    }
+
+    /// Approximate **peak** memory the tables ever held, in bytes. Unlike
+    /// [`FlowTables::approx_bytes`] this survives a [`FlowTables::flush`],
+    /// so a defense that stood down before the end of a run still reports
+    /// what its tables cost while it was active.
+    #[must_use]
+    pub fn approx_peak_bytes(&self, label_bytes: usize) -> usize {
+        Self::bytes_for(self.peak_sft, self.peak_nft, self.peak_pdt, label_bytes)
+    }
+
+    fn bytes_for(sft: usize, nft: usize, pdt: usize, label_bytes: usize) -> usize {
         let sft_entry = label_bytes + std::mem::size_of::<SftEntry>();
         let nft_entry = label_bytes;
         let pdt_entry = label_bytes + 1;
-        self.sft.len() * sft_entry + self.nft.len() * nft_entry + self.pdt.len() * pdt_entry
+        sft * sft_entry + nft * nft_entry + pdt * pdt_entry
     }
 }
 
@@ -512,6 +537,26 @@ mod tests {
             t.nft_insert(flow(n), SimTime::ZERO);
         }
         assert!(t.approx_bytes(8) < t.approx_bytes(12));
+    }
+
+    #[test]
+    fn peak_bytes_survive_a_flush() {
+        let mut t = FlowTables::new(64, 64, 64);
+        t.sft_insert(flow(1), entry());
+        t.nft_insert(flow(2), SimTime::ZERO);
+        t.pdt_insert(flow(3), PdtReason::Unresponsive);
+        let loaded = t.approx_bytes(8);
+        assert_eq!(t.approx_peak_bytes(8), loaded);
+        t.flush();
+        assert_eq!(t.approx_bytes(8), 0, "resident state is gone");
+        assert_eq!(
+            t.approx_peak_bytes(8),
+            loaded,
+            "the peak remembers what the defense cost while active"
+        );
+        // A smaller re-occupancy never lowers the peak.
+        t.nft_insert(flow(4), SimTime::ZERO);
+        assert_eq!(t.approx_peak_bytes(8), loaded);
     }
 
     #[test]

@@ -97,7 +97,7 @@ pub fn timer_multiplier(cfg: &EngineConfig) -> Result<FigureData, String> {
 /// label size, across table occupancy.
 #[must_use]
 pub fn label_mode() -> FigureData {
-    use mafic::{FlowLabel, FlowTables, PdtReason, SftEntry};
+    use mafic::{FlowTables, PdtReason, SftEntry};
     use mafic_netsim::{Addr, FlowId, FlowKey, SimDuration, SimTime};
 
     let mut fig = FigureData::new(
@@ -107,10 +107,7 @@ pub fn label_mode() -> FigureData {
         "table bytes",
     );
     let occupancies = [256usize, 1024, 4096, 16384, 65536];
-    let label_bytes = |mode: LabelMode| {
-        let key = FlowKey::new(Addr::new(1), Addr::new(2), 3, 4);
-        FlowLabel::from_key(key, mode).stored_bytes()
-    };
+    let label_bytes = |mode: LabelMode| mode.stored_bytes();
     struct ModeSeries {
         label: &'static str,
         mode: LabelMode,

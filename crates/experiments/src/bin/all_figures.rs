@@ -131,5 +131,10 @@ fn run(cfg: &EngineConfig) -> Result<(), String> {
     let depth = figures::sweep_pushback_depth(cfg)?;
     println!("{}", figures::fig8a_from_sweep(&depth));
     println!("{}", figures::fig8b_from_sweep(&depth));
+    // One partial-deployment sweep feeds both Fig. 9 panels.
+    let partial = figures::sweep_partial_deployment(cfg)?;
+    println!("{}", figures::fig9a_from_sweep(&partial));
+    println!("{}", figures::fig9b_from_sweep(&partial));
+    print!("{}", figures::fig9_cost_summary(cfg)?);
     Ok(())
 }

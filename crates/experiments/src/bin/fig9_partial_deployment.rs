@@ -1,0 +1,23 @@
+//! Regenerates Fig. 9: partial deployment of heterogeneous per-domain
+//! defenses. One participation-fraction × transit-policy sweep feeds
+//! both panels; a third section reports what each policy costs the
+//! routers that run it (table state, timer events) at full
+//! participation.
+
+use mafic_experiments::{figures, EngineConfig};
+
+fn main() {
+    let cfg = EngineConfig::from_env_or_exit();
+    if let Err(e) = run(&cfg) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(cfg: &EngineConfig) -> Result<(), String> {
+    let sweeps = figures::sweep_partial_deployment(cfg)?;
+    println!("{}", figures::fig9a_from_sweep(&sweeps));
+    println!("{}", figures::fig9b_from_sweep(&sweeps));
+    print!("{}", figures::fig9_cost_summary(cfg)?);
+    Ok(())
+}

@@ -9,6 +9,7 @@
 use crate::engine::{run_specs, EngineConfig};
 use crate::figure::FigureData;
 use crate::sweep::{figure_from_sweep, sweep, SweepSeries};
+use mafic::DefensePolicy;
 use mafic_metrics::MetricsReport;
 use mafic_netsim::SimTime;
 use mafic_topology::TransitTopology;
@@ -423,6 +424,135 @@ pub fn fig8b(cfg: &EngineConfig) -> Result<FigureData, String> {
     Ok(fig8b_from_sweep(&sweep_pushback_depth(cfg)?))
 }
 
+/// The participation-fraction axis of Fig. 9: from a victim-domain-only
+/// deployment (nobody upstream cooperates) to the full federation.
+#[must_use]
+pub fn participation_axis() -> Vec<f64> {
+    vec![0.0, 0.25, 0.5, 0.75, 1.0]
+}
+
+/// The victim-bound byte-rate cap of the Fig. 9 rate-limit transit
+/// policy: 250 kB/s, one tenth of an inter-domain link.
+pub const FIG9_RATE_LIMIT_BPS: f64 = 250_000.0;
+
+/// The transit-tier policies compared by Fig. 9: stubs always run full
+/// MAFIC; transit ASes run the full dropper, the proportional baseline,
+/// or the O(1) aggregate rate limit.
+#[must_use]
+pub fn transit_policy_series() -> Vec<(String, DefensePolicy)> {
+    vec![
+        ("transit=mafic".to_string(), DefensePolicy::FullMafic),
+        (
+            "transit=proportional".to_string(),
+            DefensePolicy::ProportionalDrop,
+        ),
+        (
+            "transit=rate-limit".to_string(),
+            DefensePolicy::AggregateRateLimit {
+                limit_bytes_per_sec: FIG9_RATE_LIMIT_BPS,
+            },
+        ),
+    ]
+}
+
+/// The partial-deployment flood behind Fig. 9: the Fig. 8 multi-domain
+/// scenario with the full escalation budget, a per-domain transit
+/// policy, and the given fraction of non-victim domains participating.
+#[must_use]
+pub fn fig9_spec(fraction: f64, transit: DefensePolicy) -> ScenarioSpec {
+    ScenarioSpec {
+        pushback_depth: 3,
+        participation_fraction: fraction,
+        transit_policy: Some(transit),
+        seed: 31,
+        ..fig8_spec(3)
+    }
+}
+
+/// Runs the participation-fraction × transit-policy sweep shared by
+/// both Fig. 9 panels.
+///
+/// # Errors
+///
+/// Propagates build/run errors.
+pub fn sweep_partial_deployment(cfg: &EngineConfig) -> Result<Vec<SweepSeries>, String> {
+    sweep(
+        &transit_policy_series(),
+        &participation_axis(),
+        cfg,
+        |&transit, fraction| fig9_spec(fraction, transit),
+    )
+}
+
+/// Builds Fig. 9(a) — victim-side rates vs participation fraction —
+/// from a finished partial-deployment sweep: the residual attack rate
+/// (non-increasing in coverage) beside the legitimate goodput.
+#[must_use]
+pub fn fig9a_from_sweep(sweeps: &[SweepSeries]) -> FigureData {
+    let mut fig = FigureData::new(
+        "Fig. 9(a)",
+        "Victim-side rates vs participation fraction",
+        "participation fraction",
+        "rate at the victim (B/s)",
+    );
+    for s in sweeps {
+        fig.push_series(
+            format!("{} residual attack", s.label),
+            s.extract(|r| r.residual_attack_bps),
+        );
+        fig.push_series(
+            format!("{} legit goodput", s.label),
+            s.extract(|r| r.legit_goodput_bps),
+        );
+    }
+    fig
+}
+
+/// Builds Fig. 9(b) — collateral damage vs participation fraction —
+/// from a finished partial-deployment sweep.
+#[must_use]
+pub fn fig9b_from_sweep(sweeps: &[SweepSeries]) -> FigureData {
+    let mut fig = FigureData::new(
+        "Fig. 9(b)",
+        "Collateral damage vs participation fraction",
+        "participation fraction",
+        "legitimate loss (%)",
+    );
+    for s in sweeps {
+        fig.push_series(
+            format!("{} collateral", s.label),
+            s.extract(|r| r.collateral_pct),
+        );
+        fig.push_series(format!("{} Lr", s.label), s.extract(lr));
+    }
+    fig
+}
+
+/// Renders the per-policy deployment-cost table at full participation:
+/// one fully deployed run per transit policy (fanned across the
+/// engine), each reporting table state bytes and timer events per
+/// policy label.
+///
+/// # Errors
+///
+/// Propagates build/run errors.
+pub fn fig9_cost_summary(cfg: &EngineConfig) -> Result<String, String> {
+    let series = transit_policy_series();
+    let specs = series
+        .iter()
+        .map(|&(_, transit)| fig9_spec(1.0, transit))
+        .collect();
+    let outcomes = run_specs(specs, cfg.jobs)?;
+    let mut out = String::new();
+    for ((label, _), outcome) in series.iter().zip(&outcomes) {
+        out.push_str(&mafic_metrics::cost_table(
+            &format!("Policy cost proxies @ full participation, {label}"),
+            &outcome.policy_costs,
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +574,24 @@ mod tests {
             assert!(spec.validate().is_ok(), "depth {depth}");
             assert_eq!(spec.domains, 3);
             assert_eq!(spec.pushback_depth, depth);
+        }
+    }
+
+    #[test]
+    fn fig9_specs_are_valid_across_the_whole_grid() {
+        assert_eq!(participation_axis().first(), Some(&0.0));
+        assert_eq!(participation_axis().last(), Some(&1.0));
+        assert_eq!(transit_policy_series().len(), 3);
+        for (label, transit) in transit_policy_series() {
+            for &fraction in &participation_axis() {
+                let spec = fig9_spec(fraction, transit);
+                assert!(
+                    spec.validate().is_ok(),
+                    "{label} at fraction {fraction} must validate"
+                );
+                assert_eq!(spec.pushback_depth, 3, "full escalation budget");
+                assert_eq!(spec.transit_policy, Some(transit));
+            }
         }
     }
 

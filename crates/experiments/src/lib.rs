@@ -21,6 +21,7 @@
 //! | `fig6_false_negative` | Fig. 6(a)–(c) |
 //! | `fig7_collateral` | Fig. 7 |
 //! | `fig8_pushback_depth` | Fig. 8 (inter-domain pushback depth; ours) |
+//! | `fig9_partial_deployment` | Fig. 9 (participation × transit policy; ours) |
 //! | `ablations` | DESIGN.md ablations A–D |
 //! | `all_figures` | everything above |
 

@@ -1,0 +1,103 @@
+//! Deployment-cost proxies for heterogeneous defense policies.
+//!
+//! The partial-deployment experiments trade suppression against what a
+//! policy *costs the router that runs it*. Two observable proxies come
+//! straight out of the filters after a run: resident table state
+//! (bytes) and per-flow timer events armed on the wheel. Full MAFIC
+//! pays for both; the proportional baseline keeps only drop
+//! diagnostics; the aggregate rate limit is O(1); non-participating
+//! domains pay nothing (and stop nothing).
+
+use std::fmt;
+
+/// Aggregated cost proxies for every domain running one policy.
+///
+/// Built by the workload runner after a run: filters are grouped by
+/// their policy label and their state/timer counters summed, so a
+/// heterogeneous scenario yields one row per distinct policy (sorted by
+/// label for deterministic output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyCostReport {
+    /// Stable policy label (`mafic`, `proportional`, `rate-limit`).
+    pub policy: String,
+    /// Number of domains that deployed this policy.
+    pub domains: usize,
+    /// Defense filters installed across those domains' ATRs.
+    pub filters: usize,
+    /// Per-flow table state across those filters, bytes (approximate;
+    /// **peak** occupancy for policies whose tables flush on stand-down,
+    /// so a withdrawn defense still reports what it cost while active).
+    pub table_bytes: u64,
+    /// Per-flow wheel timers armed across those filters (probation
+    /// deadlines, NFT re-validations). Zero for stateless policies.
+    pub timer_events: u64,
+    /// Probe bursts emitted (full MAFIC only).
+    pub probes_sent: u64,
+}
+
+impl fmt::Display for PolicyCostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} {:>3} domains {:>4} filters {:>10} table bytes {:>8} timers {:>8} probes",
+            self.policy,
+            self.domains,
+            self.filters,
+            self.table_bytes,
+            self.timer_events,
+            self.probes_sent
+        )
+    }
+}
+
+/// Renders a cost table (one [`PolicyCostReport`] per line) with a
+/// header, for the figure binaries.
+#[must_use]
+pub fn cost_table(title: &str, costs: &[PolicyCostReport]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if costs.is_empty() {
+        out.push_str("  (no defense filters installed)\n");
+        return out;
+    }
+    for c in costs {
+        out.push_str("  ");
+        out.push_str(&c.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PolicyCostReport {
+        PolicyCostReport {
+            policy: "mafic".to_string(),
+            domains: 3,
+            filters: 12,
+            table_bytes: 4096,
+            timer_events: 77,
+            probes_sent: 70,
+        }
+    }
+
+    #[test]
+    fn display_names_every_proxy() {
+        let text = report().to_string();
+        for needle in ["mafic", "3 domains", "12 filters", "4096", "77", "70"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+
+    #[test]
+    fn table_includes_title_and_rows() {
+        let table = cost_table("Policy costs", &[report()]);
+        assert!(table.starts_with("Policy costs\n"));
+        assert!(table.contains("mafic"));
+        let empty = cost_table("Policy costs", &[]);
+        assert!(empty.contains("no defense filters"));
+    }
+}

@@ -11,7 +11,11 @@
 //! | θn     | false negative rate | Fig. 6 |
 //! | Lr     | legitimate-packet dropping rate | Fig. 7 |
 //!
-//! plus the victim-side bandwidth time series of Fig. 4b.
+//! plus the victim-side bandwidth time series of Fig. 4b, the residual
+//! attack rate / legitimate goodput / collateral damage of the
+//! multi-domain scenarios, and the per-policy deployment-cost proxies
+//! ([`PolicyCostReport`]: table state bytes, timer events) of the
+//! heterogeneous partial-deployment studies.
 //!
 //! # Example
 //!
@@ -26,8 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod report;
 pub mod series;
 
+pub use cost::{cost_table, PolicyCostReport};
 pub use report::{FlowTally, MeasureWindows, MetricsReport};
 pub use series::{downsample, victim_arrival_series, victim_bandwidth_series, BandwidthPoint};

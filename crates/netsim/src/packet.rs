@@ -242,6 +242,8 @@ pub enum DropReason {
     FilterIllegalSource,
     /// Drop by the proportional (baseline) policy.
     FilterProportional,
+    /// Drop by an aggregate rate-limit policy (token bucket exhausted).
+    FilterRateLimit,
     /// Drop by some other filter policy.
     FilterOther,
 }
@@ -257,6 +259,7 @@ impl DropReason {
                 | DropReason::FilterPermanent
                 | DropReason::FilterIllegalSource
                 | DropReason::FilterProportional
+                | DropReason::FilterRateLimit
                 | DropReason::FilterOther
         )
     }
@@ -272,6 +275,7 @@ impl fmt::Display for DropReason {
             DropReason::FilterPermanent => "filter-permanent",
             DropReason::FilterIllegalSource => "filter-illegal-source",
             DropReason::FilterProportional => "filter-proportional",
+            DropReason::FilterRateLimit => "filter-rate-limit",
             DropReason::FilterOther => "filter-other",
         };
         f.write_str(s)

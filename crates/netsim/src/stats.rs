@@ -34,6 +34,8 @@ pub struct FlowRecord {
     pub dropped_illegal: u64,
     /// Drops by the proportional baseline policy.
     pub dropped_proportional: u64,
+    /// Drops by an aggregate rate-limit policy.
+    pub dropped_rate_limited: u64,
     /// Drop-tail queue losses.
     pub dropped_queue: u64,
     /// Any other losses (no-route, hop limit, other filters).
@@ -54,6 +56,7 @@ impl FlowRecord {
             + self.dropped_permanent
             + self.dropped_illegal
             + self.dropped_proportional
+            + self.dropped_rate_limited
     }
 
     /// Total packets lost for any reason.
@@ -260,6 +263,7 @@ impl StatsCollector {
             DropReason::FilterPermanent => rec.dropped_permanent += 1,
             DropReason::FilterIllegalSource => rec.dropped_illegal += 1,
             DropReason::FilterProportional => rec.dropped_proportional += 1,
+            DropReason::FilterRateLimit => rec.dropped_rate_limited += 1,
             DropReason::QueueFull => rec.dropped_queue += 1,
             DropReason::NoRoute | DropReason::HopLimit | DropReason::FilterOther => {
                 rec.dropped_other += 1;

@@ -28,9 +28,18 @@
 //!   inter-domain links (deterministically ordered with all other
 //!   traffic, never a side channel); the channel queues them for the
 //!   coordinator to drain once per monitor interval.
+//!
+//! The coordinator is policy-agnostic: `ActivateLocal` instructs
+//! whatever defense filters the domain's resolved
+//! `mafic::DefensePolicy` installed at its ATRs (full MAFIC, the
+//! proportional baseline, or an aggregate rate limit). Domains that do
+//! not participate have no coordinator activity at all — the workload
+//! layer routes escalation requests *through* them to the nearest
+//! participating domain, charging the escalation budget one hop per
+//! level crossed.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod channel;
 pub mod coordinator;

@@ -10,7 +10,13 @@
 //! With `domains >= 2` the spec builds a multi-domain internet instead:
 //! remote stubs flood the victim across a transit tier, and the
 //! inter-domain cascaded pushback (`mafic-pushback`) escalates the
-//! defense up to `pushback_depth` hops toward the zombies.
+//! defense up to `pushback_depth` hops toward the zombies. Each domain
+//! runs the [`mafic::DefensePolicy`] the spec resolves for it —
+//! explicit overrides, a transit-tier default, and a seeded
+//! `participation_fraction` placement — so heterogeneous and partially
+//! deployed federations are first-class scenarios: non-participating
+//! domains deploy nothing and escalation requests route *through* them
+//! to the nearest cooperating domain.
 //!
 //! # Example
 //!

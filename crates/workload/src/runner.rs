@@ -19,13 +19,14 @@
 use crate::error::WorkloadError;
 use crate::scenario::{PushbackPlan, Scenario};
 use crate::spec::DetectionMode;
-use mafic::LogLogTap;
+use mafic::{DefensePolicy, LogLogTap, MaficFilter, ProportionalFilter, RateLimitFilter};
 use mafic_loglog::{DetectorConfig, RouterSketch, TrafficMatrix, VictimDetector, VictimVerdict};
 use mafic_metrics::{
     victim_arrival_series, victim_bandwidth_series, BandwidthPoint, MeasureWindows, MetricsReport,
+    PolicyCostReport,
 };
 use mafic_netsim::{
-    Addr, ControlMsg, FlowKey, NodeId, PacketKind, SimDuration, SimTime, Simulator,
+    Addr, ControlMsg, FlowKey, NodeId, PacketKind, PushbackMsg, SimDuration, SimTime, Simulator,
 };
 use mafic_pushback::{ControlChannel, PushbackAction};
 
@@ -57,6 +58,11 @@ pub struct RunOutcome {
     /// Deepest pushback level whose defense activated (0 = the victim
     /// domain only).
     pub max_pushback_depth: u32,
+    /// Deployment-cost proxies per distinct defense policy (table state
+    /// bytes, timer events, probes), sorted by policy label. One row per
+    /// policy actually deployed; empty only for a scenario with no
+    /// defense filters at all.
+    pub policy_costs: Vec<PolicyCostReport>,
     /// Total packets injected during the run.
     pub packets_sent: u64,
     /// Total packets delivered during the run.
@@ -82,6 +88,93 @@ fn sorted_unique(mut nodes: Vec<NodeId>) -> Vec<NodeId> {
     nodes
 }
 
+/// Re-prices a pushback message for a target `level_cost` pushback
+/// levels away: the coordinator already charged one hop, each *extra*
+/// level crossed (skipped non-participating domains) is charged from
+/// the carried budget. Returns `None` when the budget cannot cover the
+/// distance — the request is not sent and the coverage gap stands.
+/// `Withdraw` carries no budget and always forwards.
+fn charge_skip_cost(msg: PushbackMsg, level_cost: u32) -> Option<PushbackMsg> {
+    let extra = level_cost.saturating_sub(1);
+    if extra == 0 {
+        return Some(msg);
+    }
+    let reprice = |budget: u8| -> Option<u8> {
+        (u32::from(budget) >= extra).then(|| budget - u8::try_from(extra).unwrap_or(u8::MAX))
+    };
+    match msg {
+        PushbackMsg::PushbackRequest {
+            victim,
+            aggregate_bps,
+            budget,
+        } => reprice(budget).map(|budget| PushbackMsg::PushbackRequest {
+            victim,
+            aggregate_bps,
+            budget,
+        }),
+        PushbackMsg::Refresh { victim, budget } => {
+            reprice(budget).map(|budget| PushbackMsg::Refresh { victim, budget })
+        }
+        PushbackMsg::Withdraw { victim } => Some(PushbackMsg::Withdraw { victim }),
+    }
+}
+
+/// Sums the deployment-cost proxies of every defense filter, grouped by
+/// policy label (sorted — deterministic output). Reads the filters
+/// post-run; every filter type reports its own `approx_state_bytes`
+/// (peak state for MAFIC, so a defense that stood down and flushed
+/// still reports what it cost while it ran).
+fn collect_policy_costs(scenario: &Scenario) -> Vec<PolicyCostReport> {
+    use std::collections::BTreeMap;
+    let mut rows: BTreeMap<&'static str, PolicyCostReport> = BTreeMap::new();
+    let tally = |sim: &Simulator,
+                 rows: &mut BTreeMap<&'static str, PolicyCostReport>,
+                 policy: DefensePolicy,
+                 atrs: &[(NodeId, usize)]| {
+        if atrs.is_empty() {
+            return;
+        }
+        let row = rows
+            .entry(policy.label())
+            .or_insert_with(|| PolicyCostReport {
+                policy: policy.label().to_string(),
+                domains: 0,
+                filters: 0,
+                table_bytes: 0,
+                timer_events: 0,
+                probes_sent: 0,
+            });
+        row.domains += 1;
+        row.filters += atrs.len();
+        for &(node, idx) in atrs {
+            if let Some(f) = sim.filter::<MaficFilter>(node, idx) {
+                row.table_bytes += f.approx_state_bytes() as u64;
+                row.timer_events += f.counters().timers_armed;
+                row.probes_sent += f.counters().probes_sent;
+            } else if let Some(f) = sim.filter::<ProportionalFilter>(node, idx) {
+                row.table_bytes += f.approx_state_bytes() as u64;
+            } else if let Some(f) = sim.filter::<RateLimitFilter>(node, idx) {
+                row.table_bytes += f.approx_state_bytes() as u64;
+            } else {
+                debug_assert!(false, "unaccounted filter type at {node:?}[{idx}]");
+            }
+        }
+    };
+    if let Some(plan) = scenario.pushback.as_ref() {
+        for d in &plan.domains {
+            tally(&scenario.sim, &mut rows, d.policy, &d.atrs);
+        }
+    } else {
+        tally(
+            &scenario.sim,
+            &mut rows,
+            scenario.spec.base_policy(),
+            &scenario.droppers,
+        );
+    }
+    rows.into_values().collect()
+}
+
 /// One monitor-interval step of the inter-domain cascade.
 #[allow(clippy::too_many_arguments)]
 fn step_pushback(
@@ -104,6 +197,11 @@ fn step_pushback(
     }
     let interval_secs = elapsed.as_secs_f64();
     for d in 0..plan.domains.len() {
+        // Non-participating domains have no filters, meters, or inbound
+        // requests — the cascade treats them as plain forwarders.
+        if !plan.domains[d].policy.participating() {
+            continue;
+        }
         let now = sim.now();
         let mut actions = Vec::new();
         // 1. Messages that arrived over the control channel.
@@ -168,6 +266,13 @@ fn step_pushback(
                     let ctrl_src = plan.domains[d].ctrl_addr;
                     for u in 0..plan.domains[d].upstream.len() {
                         let up = plan.domains[d].upstream[u];
+                        // Skipping over non-participating domains costs
+                        // extra budget — one hop per level crossed. A
+                        // target too far for the remaining budget gets
+                        // no request at all (the coverage gap holds).
+                        let Some(msg) = charge_skip_cost(msg, up.level_cost) else {
+                            continue;
+                        };
                         let key =
                             FlowKey::new(ctrl_src, up.ctrl_addr, PUSHBACK_PORT, PUSHBACK_PORT);
                         sim.inject_packet(
@@ -333,6 +438,7 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
         // denominator; long enough to cover the whole cascade.
         residual: SimDuration::from_secs(2),
     };
+    let policy_costs = collect_policy_costs(scenario);
     let stats = scenario.sim.stats();
     let report = MetricsReport::from_stats(stats, &windows);
     let series = victim_arrival_series(stats);
@@ -345,6 +451,7 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
         atr_nodes: sorted_unique(atr_nodes),
         escalations,
         max_pushback_depth,
+        policy_costs,
         packets_sent: stats.total_sent,
         packets_delivered: stats.total_delivered,
     })
@@ -543,6 +650,92 @@ mod tests {
         for &(at, _) in &outcome.escalations {
             assert!(at > trigger);
         }
+    }
+
+    #[test]
+    fn charge_skip_cost_prices_levels_and_enforces_budget() {
+        let victim = Addr::new(7);
+        let req = PushbackMsg::PushbackRequest {
+            victim,
+            aggregate_bps: 1000,
+            budget: 2,
+        };
+        // Direct neighbor: unchanged.
+        assert_eq!(charge_skip_cost(req, 1), Some(req));
+        // Two levels away: one extra hop charged.
+        assert_eq!(
+            charge_skip_cost(req, 2),
+            Some(PushbackMsg::PushbackRequest {
+                victim,
+                aggregate_bps: 1000,
+                budget: 1,
+            })
+        );
+        // Four levels away: budget 2 cannot cover 3 extra hops.
+        assert_eq!(charge_skip_cost(req, 4), None);
+        // Refresh follows the same pricing.
+        let refresh = PushbackMsg::Refresh { victim, budget: 1 };
+        assert_eq!(
+            charge_skip_cost(refresh, 2),
+            Some(PushbackMsg::Refresh { victim, budget: 0 })
+        );
+        assert_eq!(charge_skip_cost(refresh, 3), None);
+        // Withdraw always forwards.
+        let withdraw = PushbackMsg::Withdraw { victim };
+        assert_eq!(charge_skip_cost(withdraw, 5), Some(withdraw));
+    }
+
+    #[test]
+    fn policy_costs_cover_every_deployed_policy() {
+        use mafic::DefensePolicy;
+        let spec = crate::spec::ScenarioSpec {
+            transit_policy: Some(DefensePolicy::AggregateRateLimit {
+                limit_bytes_per_sec: 250_000.0,
+            }),
+            ..quick_multi_spec(2)
+        };
+        let outcome = run_spec(spec).unwrap();
+        assert!(outcome.defense_engaged());
+        let labels: Vec<&str> = outcome
+            .policy_costs
+            .iter()
+            .map(|c| c.policy.as_str())
+            .collect();
+        assert_eq!(labels, vec!["mafic", "rate-limit"], "sorted by label");
+        let mafic_row = &outcome.policy_costs[0];
+        assert!(mafic_row.domains >= 1);
+        assert!(mafic_row.filters > 0);
+        assert!(mafic_row.table_bytes > 0, "MAFIC keeps per-flow tables");
+        assert!(mafic_row.timer_events > 0, "probation timers were armed");
+        let rl_row = &outcome.policy_costs[1];
+        assert_eq!(rl_row.timer_events, 0, "the bucket keeps no timers");
+        let per_bucket = mafic::RateLimitFilter::new(1.0).approx_state_bytes() as u64;
+        assert_eq!(rl_row.table_bytes, per_bucket * rl_row.filters as u64);
+    }
+
+    #[test]
+    fn single_domain_outcome_reports_costs_too() {
+        let outcome = run_spec(quick_spec()).unwrap();
+        assert_eq!(outcome.policy_costs.len(), 1);
+        assert_eq!(outcome.policy_costs[0].policy, "mafic");
+        assert_eq!(outcome.policy_costs[0].domains, 1);
+    }
+
+    #[test]
+    fn zero_participation_keeps_the_defense_at_the_victim_domain() {
+        let spec = crate::spec::ScenarioSpec {
+            participation_fraction: 0.0,
+            ..quick_multi_spec(3)
+        };
+        let outcome = run_spec(spec).unwrap();
+        assert!(outcome.defense_engaged());
+        assert_eq!(
+            outcome.max_pushback_depth, 0,
+            "nobody upstream participates: {:?}",
+            outcome.escalations
+        );
+        // Only the victim domain's boundary ever activates.
+        assert!(outcome.escalations.iter().all(|&(_, d)| d == 0));
     }
 
     #[test]

@@ -7,14 +7,18 @@
 //! * **Multi-domain** (`spec.domains >= 2`) — an [`Internet`] of stub
 //!   domains and a transit tier. Flows split round-robin over the
 //!   stubs, so part of the flood is remote and crosses the inter-domain
-//!   links; every domain boundary gets inactive MAFIC filters, rate
-//!   meters, and a pushback coordinator (the [`PushbackPlan`]) so the
-//!   defense can cascade upstream at run time.
+//!   links; every *participating* domain boundary gets inactive defense
+//!   filters matching its resolved [`DefensePolicy`], rate meters, and
+//!   a pushback coordinator (the [`PushbackPlan`]) so the defense can
+//!   cascade upstream at run time. Non-participating domains deploy
+//!   nothing; escalation requests skip over them to the nearest
+//!   participating domain (routing through the gap).
 
 use crate::error::WorkloadError;
 use crate::spec::{DetectionMode, ScenarioSpec};
 use mafic::{
-    AddressValidator, DropPolicy, LogLogTap, MaficConfig, MaficFilter, ProportionalFilter,
+    AddressValidator, DefensePolicy, LogLogTap, MaficConfig, MaficFilter, ProportionalFilter,
+    RateLimitFilter,
 };
 use mafic_netsim::{Addr, AgentId, FlowKey, LinkSpec, NodeId, SimDuration, SimTime, Simulator};
 use mafic_pushback::{ControlChannel, DomainCoordinator, PushbackConfig, PushbackRole};
@@ -59,16 +63,24 @@ pub struct FlowInfo {
     pub stub_index: usize,
 }
 
-/// One upstream neighbor a domain can escalate to.
+/// One upstream escalation target of a domain — the nearest
+/// *participating* domain in that direction. When intermediate domains
+/// opted out of the federation, the target sits more than one level
+/// away and the request packet routes *through* the non-participants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PushbackUpstream {
-    /// Index of the upstream domain in [`Internet::domains`].
+    /// Index of the target domain in [`Internet::domains`].
     pub domain: usize,
     /// Its coordinator's control address.
     pub ctrl_addr: Addr,
     /// The local border router where the message is injected (the
-    /// packet then crosses the shared inter-domain link).
+    /// packet then crosses the shared inter-domain link and keeps
+    /// routing until it reaches the target's control address).
     pub border: NodeId,
+    /// Pushback levels between this domain and the target (1 = direct
+    /// neighbor; more when non-participating domains are skipped). Each
+    /// level crossed costs one hop of the escalation budget.
+    pub level_cost: u32,
 }
 
 /// Runtime control state of one domain boundary.
@@ -76,6 +88,10 @@ pub struct PushbackUpstream {
 pub struct PushbackDomainControl {
     /// The coordinator state machine.
     pub coordinator: DomainCoordinator,
+    /// The defense policy this domain deploys. Non-participating
+    /// domains carry no filters or meters and are never stepped by the
+    /// runner; their coordinator exists but stays idle.
+    pub policy: DefensePolicy,
     /// The domain's control-channel agent (bound to `ctrl_addr`).
     pub channel: AgentId,
     /// The domain's control address.
@@ -201,7 +217,14 @@ impl Scenario {
                 .collect(),
         );
         let taps = install_taps(&mut sim, &spec, &domain, &[]);
-        let droppers = install_droppers(&mut sim, &spec, &domain.ingress_routers, &validator, 0);
+        let droppers = install_droppers(
+            &mut sim,
+            &spec,
+            &domain.ingress_routers,
+            &validator,
+            0,
+            spec.base_policy(),
+        );
 
         // Traffic: one host per flow. Legitimate TCP first, zombies last.
         let n_legit = spec.legit_flow_count();
@@ -331,22 +354,28 @@ impl Scenario {
             .collect();
         let taps = install_taps(&mut sim, &spec, &domain, &border_links);
 
-        // ATR filters + meters + coordinators, one set per domain.
+        // ATR filters + meters + coordinators, one set per domain —
+        // heterogeneous per the resolved policy assignment.
+        let policies = spec.resolved_policies();
+        debug_assert_eq!(policies.len(), internet.domains.len());
         let mut droppers = Vec::new();
         let mut plan_domains = Vec::with_capacity(internet.domains.len());
         let threshold_bps =
             spec.escalation_threshold * DomainConfig::default().victim_bandwidth_bps / 8.0;
         for (d, idom) in internet.domains.iter().enumerate() {
+            let policy = policies[d];
             // The domain's ATRs: where victim-bound traffic enters it.
-            let atr_routers: Vec<NodeId> =
-                if d == 0 || idom.role == mafic_topology::DomainRole::Stub {
-                    idom.domain.ingress_routers.clone()
-                } else {
-                    let mut borders: Vec<NodeId> = idom.upstream.iter().map(|e| e.border).collect();
-                    borders.sort();
-                    borders.dedup();
-                    borders
-                };
+            // Non-participating domains deploy nothing at all.
+            let atr_routers: Vec<NodeId> = if !policy.participating() {
+                Vec::new()
+            } else if d == 0 || idom.role == mafic_topology::DomainRole::Stub {
+                idom.domain.ingress_routers.clone()
+            } else {
+                let mut borders: Vec<NodeId> = idom.upstream.iter().map(|e| e.border).collect();
+                borders.sort();
+                borders.dedup();
+                borders
+            };
             let mut atrs = Vec::with_capacity(atr_routers.len());
             let mut pre_meters = Vec::with_capacity(atr_routers.len());
             let mut post_meters = Vec::with_capacity(atr_routers.len());
@@ -358,7 +387,7 @@ impl Scenario {
                 pre_meters.push((router, idx));
             }
             let domain_droppers =
-                install_droppers(&mut sim, &spec, &atr_routers, &validator, d as u64);
+                install_droppers(&mut sim, &spec, &atr_routers, &validator, d as u64, policy);
             for &router in &atr_routers {
                 let idx = sim.add_filter(
                     router,
@@ -371,7 +400,9 @@ impl Scenario {
             }
             atrs.extend(domain_droppers);
 
-            // Control channel at the gateway router.
+            // Control channel at the gateway router. Installed for every
+            // domain so the control address stays bound, but requests are
+            // only ever addressed to participating domains.
             let channel =
                 sim.add_agent(idom.gateway, Box::new(ControlChannel::new()), SimTime::ZERO);
             sim.bind_local_addr(idom.gateway, idom.ctrl_addr, channel);
@@ -390,18 +421,11 @@ impl Scenario {
             );
             plan_domains.push(PushbackDomainControl {
                 coordinator,
+                policy,
                 channel,
                 ctrl_addr: idom.ctrl_addr,
                 level: idom.level,
-                upstream: idom
-                    .upstream
-                    .iter()
-                    .map(|e| PushbackUpstream {
-                        domain: e.domain,
-                        ctrl_addr: internet.domains[e.domain].ctrl_addr,
-                        border: e.border,
-                    })
-                    .collect(),
+                upstream: effective_upstreams(&internet, &policies, d),
                 atrs,
                 pre_meters,
                 post_meters,
@@ -507,14 +531,55 @@ fn install_taps(
     taps
 }
 
-/// Installs one (inactive) defense dropper per router, per the spec's
-/// policy. `domain_salt` decorrelates filter RNGs across domains.
+/// Computes domain `d`'s effective escalation targets: each direct
+/// upstream neighbor if it participates, otherwise the nearest
+/// participating domains *beyond* it (requests route through the
+/// non-participant's links — the coverage gap of partial deployment).
+/// The local injection border stays the one facing the skipped
+/// neighbor; `level_cost` records how many pushback levels the target
+/// sits away, each costing one hop of the escalation budget.
+fn effective_upstreams(
+    internet: &Internet,
+    policies: &[DefensePolicy],
+    d: usize,
+) -> Vec<PushbackUpstream> {
+    let my_level = internet.domains[d].level;
+    let mut targets = Vec::new();
+    // (candidate domain, local border to inject at), depth-first in
+    // construction order so the list is deterministic.
+    let mut frontier: Vec<(usize, NodeId)> = internet.domains[d]
+        .upstream
+        .iter()
+        .map(|e| (e.domain, e.border))
+        .collect();
+    frontier.reverse(); // pop() walks construction order
+    while let Some((candidate, border)) = frontier.pop() {
+        if policies[candidate].participating() {
+            targets.push(PushbackUpstream {
+                domain: candidate,
+                ctrl_addr: internet.domains[candidate].ctrl_addr,
+                border,
+                level_cost: internet.domains[candidate].level.saturating_sub(my_level),
+            });
+        } else {
+            for e in internet.domains[candidate].upstream.iter().rev() {
+                frontier.push((e.domain, border));
+            }
+        }
+    }
+    targets
+}
+
+/// Installs one (inactive) defense dropper per router, per the domain's
+/// resolved policy. `domain_salt` decorrelates filter RNGs across
+/// domains. Non-participating policies install nothing.
 fn install_droppers(
     sim: &mut Simulator,
     spec: &ScenarioSpec,
     routers: &[NodeId],
     validator: &AddressValidator,
     domain_salt: u64,
+    policy: DefensePolicy,
 ) -> Vec<(NodeId, usize)> {
     let mut droppers = Vec::new();
     for (i, &router) in routers.iter().enumerate() {
@@ -523,8 +588,8 @@ fn install_droppers(
             .wrapping_mul(0x5851_F42D_4C95_7F2D)
             .wrapping_add(domain_salt.wrapping_mul(0x10_0001))
             .wrapping_add(i as u64);
-        let idx = match spec.policy {
-            DropPolicy::Mafic => {
+        let idx = match policy {
+            DefensePolicy::FullMafic => {
                 let config = MaficConfig {
                     drop_probability: spec.drop_probability,
                     timer_rtt_multiplier: spec.timer_rtt_multiplier,
@@ -539,10 +604,14 @@ fn install_droppers(
                     Box::new(MaficFilter::new(config, validator.clone())),
                 )
             }
-            DropPolicy::Proportional => sim.add_filter(
+            DefensePolicy::ProportionalDrop => sim.add_filter(
                 router,
                 Box::new(ProportionalFilter::new(spec.drop_probability, filter_seed)),
             ),
+            DefensePolicy::AggregateRateLimit {
+                limit_bytes_per_sec,
+            } => sim.add_filter(router, Box::new(RateLimitFilter::new(limit_bytes_per_sec))),
+            DefensePolicy::NonParticipating => continue,
         };
         droppers.push((router, idx));
     }
@@ -642,6 +711,7 @@ fn provision_flow(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mafic::DropPolicy;
     use mafic_topology::TransitTopology;
 
     fn small_spec() -> ScenarioSpec {
@@ -788,6 +858,83 @@ mod tests {
         for f in s.flows.iter().filter(|f| f.spoof == SpoofMode::None) {
             let legal_somewhere = net.address_spaces().any(|a| a.is_legal(f.key.src));
             assert!(legal_somewhere, "{} must be legal", f.key.src);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_policies_install_matching_filter_types() {
+        let spec = ScenarioSpec {
+            transit_policy: Some(DefensePolicy::AggregateRateLimit {
+                limit_bytes_per_sec: 250_000.0,
+            }),
+            ..multi_spec()
+        };
+        let s = Scenario::build(spec).unwrap();
+        let plan = s.pushback.as_ref().unwrap();
+        // Victim domain (0) runs full MAFIC.
+        let (node, idx) = plan.domains[0].atrs[0];
+        assert!(s.sim.filter::<MaficFilter>(node, idx).is_some());
+        // Transit domain (1) runs the rate limiter.
+        let (node, idx) = plan.domains[1].atrs[0];
+        let rl = s
+            .sim
+            .filter::<RateLimitFilter>(node, idx)
+            .expect("transit ATR carries a rate limiter");
+        assert_eq!(rl.limit_bytes_per_sec(), 250_000.0);
+        assert!(!rl.is_active());
+        // Source stubs (2, 3) run full MAFIC.
+        let (node, idx) = plan.domains[2].atrs[0];
+        assert!(s.sim.filter::<MaficFilter>(node, idx).is_some());
+    }
+
+    #[test]
+    fn non_participating_domain_installs_nothing_and_is_skipped() {
+        // Chain: victim(0) <- transit(1) <- stubs(2, 3). Opt the transit
+        // domain out: the victim's escalation target must jump to the
+        // stubs, two levels away.
+        let spec = ScenarioSpec {
+            policy_overrides: vec![(1, DefensePolicy::NonParticipating)],
+            ..multi_spec()
+        };
+        let s = Scenario::build(spec).unwrap();
+        let plan = s.pushback.as_ref().unwrap();
+        assert!(plan.domains[1].atrs.is_empty(), "no filters deployed");
+        assert!(plan.domains[1].pre_meters.is_empty());
+        assert!(plan.domains[1].post_meters.is_empty());
+        assert_eq!(plan.domains[1].policy, DefensePolicy::NonParticipating);
+        // The victim skips over the transit domain to both stubs.
+        let up = &plan.domains[0].upstream;
+        let mut targets: Vec<usize> = up.iter().map(|u| u.domain).collect();
+        targets.sort_unstable();
+        assert_eq!(targets, vec![2, 3]);
+        for u in up {
+            assert_eq!(u.level_cost, 2, "stubs sit two levels up");
+            // Injection still happens at the victim's own border router.
+            assert!(s.domain.routers().contains(&u.border));
+        }
+        // Participating neighbors keep cost 1.
+        let baseline = Scenario::build(multi_spec()).unwrap();
+        let plan = baseline.pushback.as_ref().unwrap();
+        assert!(plan.domains[0]
+            .upstream
+            .iter()
+            .all(|u| u.domain == 1 && u.level_cost == 1));
+    }
+
+    #[test]
+    fn fully_non_participating_upstream_leaves_no_targets() {
+        let spec = ScenarioSpec {
+            participation_fraction: 0.0,
+            ..multi_spec()
+        };
+        let s = Scenario::build(spec).unwrap();
+        let plan = s.pushback.as_ref().unwrap();
+        assert!(
+            plan.domains[0].upstream.is_empty(),
+            "nobody to escalate to at fraction 0"
+        );
+        for d in &plan.domains[1..] {
+            assert!(d.atrs.is_empty());
         }
     }
 

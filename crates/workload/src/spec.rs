@@ -5,7 +5,8 @@
 //! probability `Pd`, domain size `N`, plus the spoofing mix, the drop
 //! policy under test, and all timing anchors. Defaults follow Table II.
 
-use mafic::{DropPolicy, LabelMode};
+use mafic::{DefensePolicy, DropPolicy, LabelMode};
+use mafic_loglog::hash::{mix2, mix64};
 use mafic_loglog::Precision;
 use mafic_netsim::{SimDuration, SimTime};
 use mafic_topology::TransitTopology;
@@ -105,6 +106,32 @@ pub struct ScenarioSpec {
     pub drop_probability: f64,
     /// Which drop policy runs at the ATRs.
     pub policy: DropPolicy,
+    /// Default [`DefensePolicy`] of the *transit* (provider) domains in
+    /// a multi-domain scenario. `None` inherits the spec's [`policy`]
+    /// (the homogeneous deployment of the paper); `Some` lets transit
+    /// ASes run a cheaper policy than the stubs — the heterogeneous
+    /// frontier. Ignored when `domains == 1`.
+    ///
+    /// [`policy`]: ScenarioSpec::policy
+    pub transit_policy: Option<DefensePolicy>,
+    /// Explicit per-domain policy overrides, as `(domain index, policy)`
+    /// pairs in [`mafic_topology::Internet::domains`] order (0 = victim
+    /// domain, then transit domains in level order, then source stubs).
+    /// Overrides win over both [`transit_policy`] and the participation
+    /// draw. The victim domain (index 0) must stay participating.
+    ///
+    /// [`transit_policy`]: ScenarioSpec::transit_policy
+    pub policy_overrides: Vec<(usize, DefensePolicy)>,
+    /// Fraction of the non-victim domains that participate in the
+    /// pushback federation (the partial-deployment axis of El Defrawy
+    /// et al.). Placement is deterministic and *nested*: domains are
+    /// ranked by a seed-derived hash, and the top
+    /// `round(fraction × count)` participate — so growing the fraction
+    /// only ever adds defending domains. Non-participating domains
+    /// install nothing; escalation requests route *through* them to the
+    /// nearest participating domain upstream. `1.0` (the default)
+    /// reproduces the full-deployment behaviour exactly.
+    pub participation_fraction: f64,
     /// Flow-label storage model for table-memory accounting; drop
     /// behaviour is label-collision-free in every mode since tables are
     /// keyed by exact interned flow ids.
@@ -157,6 +184,9 @@ impl Default for ScenarioSpec {
             escalation_threshold: 0.25,
             drop_probability: 0.9,
             policy: DropPolicy::Mafic,
+            transit_policy: None,
+            policy_overrides: Vec::new(),
+            participation_fraction: 1.0,
             label_mode: LabelMode::Hashed,
             timer_rtt_multiplier: 2.0,
             decrease_threshold: 0.7,
@@ -200,6 +230,127 @@ impl ScenarioSpec {
             return 0.0;
         }
         self.attack_load_factor * self.flow_rate_pps * self.total_flows as f64 / attackers as f64
+    }
+
+    /// Total number of domains the built scenario will contain: the
+    /// stub domains plus the transit tier (1 for a single-domain
+    /// scenario). Indices follow [`mafic_topology::Internet::domains`]
+    /// order: victim stub, transit domains in level order, source stubs.
+    #[must_use]
+    pub fn total_domain_count(&self) -> usize {
+        if self.domains <= 1 {
+            1
+        } else {
+            self.domains + self.transit_topology.domain_count()
+        }
+    }
+
+    /// The [`DefensePolicy`] a domain falls back to when nothing more
+    /// specific applies — the spec's single-domain drop policy.
+    #[must_use]
+    pub fn base_policy(&self) -> DefensePolicy {
+        DefensePolicy::from(self.policy)
+    }
+
+    /// Resolves one [`DefensePolicy`] per domain, in
+    /// [`mafic_topology::Internet::domains`] order.
+    ///
+    /// Resolution order per domain: explicit [`policy_overrides`] entry;
+    /// else the nested [`participation_fraction`] draw may mark a
+    /// non-victim domain [`DefensePolicy::NonParticipating`]; else
+    /// [`transit_policy`] for transit-tier domains; else
+    /// [`base_policy`](ScenarioSpec::base_policy). The victim domain
+    /// (index 0) never enters the participation draw.
+    ///
+    /// [`policy_overrides`]: ScenarioSpec::policy_overrides
+    /// [`participation_fraction`]: ScenarioSpec::participation_fraction
+    /// [`transit_policy`]: ScenarioSpec::transit_policy
+    ///
+    /// # Examples
+    ///
+    /// A minimal heterogeneous multi-domain scenario — three stubs over
+    /// one transit domain, the transit AS on a cheap aggregate rate
+    /// limit, one source stub explicitly opted out — validated and
+    /// resolved:
+    ///
+    /// ```
+    /// use mafic::DefensePolicy;
+    /// use mafic_workload::{ScenarioSpec, Scenario};
+    /// use mafic_topology::TransitTopology;
+    ///
+    /// let spec = ScenarioSpec {
+    ///     total_flows: 12,
+    ///     n_routers: 6,
+    ///     domains: 3,
+    ///     transit_topology: TransitTopology::Chain { depth: 1 },
+    ///     pushback_depth: 2,
+    ///     transit_policy: Some(DefensePolicy::AggregateRateLimit {
+    ///         limit_bytes_per_sec: 250_000.0,
+    ///     }),
+    ///     policy_overrides: vec![(3, DefensePolicy::NonParticipating)],
+    ///     ..ScenarioSpec::default()
+    /// };
+    /// spec.validate().expect("heterogeneous spec is valid");
+    ///
+    /// // Domains: 0 = victim stub, 1 = transit, 2..=3 = source stubs.
+    /// let policies = spec.resolved_policies();
+    /// assert_eq!(policies.len(), 4);
+    /// assert_eq!(policies[0], DefensePolicy::FullMafic);
+    /// assert_eq!(policies[1].label(), "rate-limit");
+    /// assert_eq!(policies[3], DefensePolicy::NonParticipating);
+    ///
+    /// // The spec builds into a fully wired scenario.
+    /// let scenario = Scenario::build(spec).expect("buildable");
+    /// assert_eq!(scenario.internet.as_ref().unwrap().domains.len(), 4);
+    /// ```
+    #[must_use]
+    pub fn resolved_policies(&self) -> Vec<DefensePolicy> {
+        let total = self.total_domain_count();
+        if total == 1 {
+            return vec![self.base_policy()];
+        }
+        let n_transit = self.transit_topology.domain_count();
+        let participating = self.participation_set(total);
+        (0..total)
+            .map(|d| {
+                if let Some(&(_, p)) = self.policy_overrides.iter().find(|&&(i, _)| i == d) {
+                    return p;
+                }
+                if d == 0 {
+                    return self.base_policy();
+                }
+                if !participating[d] {
+                    return DefensePolicy::NonParticipating;
+                }
+                if d <= n_transit {
+                    self.transit_policy.unwrap_or_else(|| self.base_policy())
+                } else {
+                    self.base_policy()
+                }
+            })
+            .collect()
+    }
+
+    /// The nested participation draw: ranks the non-victim domains by a
+    /// seed-derived hash and admits the top `round(fraction × count)`.
+    /// Returns one flag per domain (index 0 always true).
+    fn participation_set(&self, total: usize) -> Vec<bool> {
+        let mut flags = vec![true; total];
+        if self.participation_fraction >= 1.0 || total <= 1 {
+            return flags;
+        }
+        let candidates = total - 1;
+        let admitted = (self.participation_fraction * candidates as f64).round() as usize;
+        // Rank by hash; ties (impossible with a bijective mixer, but
+        // harmless) break by index.
+        let mut ranked: Vec<(u64, usize)> = (1..total)
+            .map(|d| (mix64(mix2(self.seed, d as u64) ^ 0x9A57_1C1A), d))
+            .collect();
+        ranked.sort_unstable();
+        for &(_, d) in ranked.iter().skip(admitted) {
+            flags[d] = false;
+        }
+        flags
     }
 
     /// Validates the specification.
@@ -253,6 +404,45 @@ impl ScenarioSpec {
                 "escalation_threshold must be finite and > 0, got {}",
                 self.escalation_threshold
             ));
+        }
+        if !(0.0..=1.0).contains(&self.participation_fraction) {
+            return Err(format!(
+                "participation_fraction must be in [0, 1], got {}",
+                self.participation_fraction
+            ));
+        }
+        if self.domains == 1 {
+            if self.transit_policy.is_some() {
+                return Err("transit_policy requires domains >= 2".into());
+            }
+            if !self.policy_overrides.is_empty() {
+                return Err("policy_overrides require domains >= 2".into());
+            }
+            if self.participation_fraction < 1.0 {
+                return Err("participation_fraction < 1 requires domains >= 2".into());
+            }
+        }
+        if let Some(p) = self.transit_policy {
+            p.validate().map_err(|e| format!("transit_policy: {e}"))?;
+        }
+        let total = self.total_domain_count();
+        for (i, &(d, p)) in self.policy_overrides.iter().enumerate() {
+            if d >= total {
+                return Err(format!(
+                    "policy_overrides[{i}] names domain {d}, but the scenario has {total} domains"
+                ));
+            }
+            if self.policy_overrides[..i]
+                .iter()
+                .any(|&(prev, _)| prev == d)
+            {
+                return Err(format!("policy_overrides name domain {d} more than once"));
+            }
+            p.validate()
+                .map_err(|e| format!("policy_overrides[{i}]: {e}"))?;
+            if d == 0 && !p.participating() {
+                return Err("the victim domain (index 0) must stay participating".into());
+            }
         }
         if !(0.0..=1.0).contains(&self.drop_probability) {
             return Err("drop_probability must be in [0, 1]".into());
@@ -457,6 +647,182 @@ mod tests {
             ..base
         };
         assert!(multi.validate().is_ok());
+    }
+
+    #[test]
+    fn resolved_policies_default_to_the_homogeneous_deployment() {
+        let spec = ScenarioSpec {
+            domains: 3,
+            transit_topology: TransitTopology::Chain { depth: 2 },
+            ..ScenarioSpec::default()
+        };
+        // victim + 2 transit + 2 remote stubs.
+        assert_eq!(spec.total_domain_count(), 5);
+        let policies = spec.resolved_policies();
+        assert_eq!(policies.len(), 5);
+        assert!(policies.iter().all(|&p| p == DefensePolicy::FullMafic));
+    }
+
+    #[test]
+    fn transit_policy_applies_to_the_transit_tier_only() {
+        let spec = ScenarioSpec {
+            domains: 3,
+            transit_topology: TransitTopology::Chain { depth: 2 },
+            transit_policy: Some(DefensePolicy::ProportionalDrop),
+            ..ScenarioSpec::default()
+        };
+        let policies = spec.resolved_policies();
+        assert_eq!(policies[0], DefensePolicy::FullMafic, "victim stub");
+        assert_eq!(policies[1], DefensePolicy::ProportionalDrop);
+        assert_eq!(policies[2], DefensePolicy::ProportionalDrop);
+        assert_eq!(policies[3], DefensePolicy::FullMafic, "source stub");
+        assert_eq!(policies[4], DefensePolicy::FullMafic, "source stub");
+    }
+
+    #[test]
+    fn overrides_win_over_everything() {
+        let spec = ScenarioSpec {
+            domains: 2,
+            transit_topology: TransitTopology::Chain { depth: 1 },
+            transit_policy: Some(DefensePolicy::ProportionalDrop),
+            policy_overrides: vec![
+                (
+                    1,
+                    DefensePolicy::AggregateRateLimit {
+                        limit_bytes_per_sec: 1e5,
+                    },
+                ),
+                (2, DefensePolicy::NonParticipating),
+            ],
+            participation_fraction: 1.0,
+            ..ScenarioSpec::default()
+        };
+        assert!(spec.validate().is_ok());
+        let policies = spec.resolved_policies();
+        assert_eq!(policies[1].label(), "rate-limit");
+        assert_eq!(policies[2], DefensePolicy::NonParticipating);
+    }
+
+    #[test]
+    fn participation_draw_is_nested_and_never_touches_the_victim() {
+        let spec = |f: f64| ScenarioSpec {
+            domains: 4,
+            transit_topology: TransitTopology::Chain { depth: 2 },
+            participation_fraction: f,
+            ..ScenarioSpec::default()
+        };
+        let fractions = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+        let mut last: Vec<usize> = Vec::new();
+        for f in fractions {
+            let participating: Vec<usize> = spec(f)
+                .resolved_policies()
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.participating())
+                .map(|(d, _)| d)
+                .collect();
+            assert!(participating.contains(&0), "victim always participates");
+            assert!(
+                last.iter().all(|d| participating.contains(d)),
+                "fraction {f}: participation must grow nested, {last:?} -> {participating:?}"
+            );
+            last = participating;
+        }
+        assert_eq!(last.len(), spec(1.0).total_domain_count());
+        // Fraction 0: only the victim domain defends.
+        assert_eq!(
+            spec(0.0)
+                .resolved_policies()
+                .iter()
+                .filter(|p| p.participating())
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_policy_fields() {
+        let base = ScenarioSpec {
+            domains: 2,
+            transit_topology: TransitTopology::Chain { depth: 1 },
+            ..ScenarioSpec::default()
+        };
+        for (label, bad) in [
+            (
+                "fraction above 1",
+                ScenarioSpec {
+                    participation_fraction: 1.5,
+                    ..base.clone()
+                },
+            ),
+            (
+                "nan fraction",
+                ScenarioSpec {
+                    participation_fraction: f64::NAN,
+                    ..base.clone()
+                },
+            ),
+            (
+                "single-domain transit policy",
+                ScenarioSpec {
+                    domains: 1,
+                    transit_policy: Some(DefensePolicy::FullMafic),
+                    ..ScenarioSpec::default()
+                },
+            ),
+            (
+                "single-domain overrides",
+                ScenarioSpec {
+                    domains: 1,
+                    policy_overrides: vec![(0, DefensePolicy::FullMafic)],
+                    ..ScenarioSpec::default()
+                },
+            ),
+            (
+                "single-domain partial participation",
+                ScenarioSpec {
+                    domains: 1,
+                    participation_fraction: 0.5,
+                    ..ScenarioSpec::default()
+                },
+            ),
+            (
+                "out-of-range override index",
+                ScenarioSpec {
+                    policy_overrides: vec![(9, DefensePolicy::FullMafic)],
+                    ..base.clone()
+                },
+            ),
+            (
+                "duplicate override",
+                ScenarioSpec {
+                    policy_overrides: vec![
+                        (1, DefensePolicy::FullMafic),
+                        (1, DefensePolicy::ProportionalDrop),
+                    ],
+                    ..base.clone()
+                },
+            ),
+            (
+                "non-participating victim",
+                ScenarioSpec {
+                    policy_overrides: vec![(0, DefensePolicy::NonParticipating)],
+                    ..base.clone()
+                },
+            ),
+            (
+                "invalid rate limit",
+                ScenarioSpec {
+                    transit_policy: Some(DefensePolicy::AggregateRateLimit {
+                        limit_bytes_per_sec: 0.0,
+                    }),
+                    ..base.clone()
+                },
+            ),
+        ] {
+            assert!(bad.validate().is_err(), "{label} must be rejected");
+        }
+        assert!(base.validate().is_ok());
     }
 
     #[test]

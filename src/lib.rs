@@ -11,9 +11,11 @@
 //! * [`loglog`] — LogLog sketches and the set-union counting pushback
 //!   pipeline,
 //! * [`core`] — the MAFIC algorithm (SFT/NFT/PDT, probing, adaptive
-//!   dropping) plus the proportional baseline,
+//!   dropping) plus the proportional baseline, the aggregate rate
+//!   limiter, and the per-domain [`core::DefensePolicy`] surface,
 //! * [`pushback`] — inter-domain cascaded pushback: per-domain
-//!   coordinators, rate meters, and the packet-borne control channel,
+//!   coordinators, rate meters, and the packet-borne control channel
+//!   (heterogeneous policies and partial deployment included),
 //! * [`metrics`] — the paper's α/β/θp/θn/Lr metrics, plus residual
 //!   attack rate and collateral damage for the multi-domain scenarios,
 //! * [`workload`] — scenario generation and the experiment runner,
