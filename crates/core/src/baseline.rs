@@ -7,7 +7,7 @@
 //! every experiment can be re-run with either policy.
 
 use mafic_netsim::{
-    Addr, ControlMsg, DropReason, FilterAction, FilterCtx, FlowId, FlowSlab, Packet, PacketEnv,
+    Addr, DropReason, FilterAction, FilterControl, FilterCtx, FlowId, FlowSlab, Packet, PacketEnv,
     PacketFilter, StatNote,
 };
 use rand::rngs::SmallRng;
@@ -145,10 +145,10 @@ impl PacketFilter for ProportionalFilter {
         }
     }
 
-    fn on_control(&mut self, msg: &ControlMsg, _ctx: &mut FilterCtx<'_>) {
+    fn on_control(&mut self, msg: &FilterControl, _ctx: &mut FilterCtx<'_>) {
         match msg {
-            ControlMsg::PushbackStart { victim } => self.activate(*victim),
-            ControlMsg::PushbackStop => self.deactivate(),
+            FilterControl::PushbackStart { victim } => self.activate(*victim),
+            FilterControl::PushbackStop => self.deactivate(),
         }
     }
 
@@ -224,9 +224,9 @@ mod tests {
     fn control_messages_toggle() {
         let mut h = FilterHarness::new();
         let mut f = ProportionalFilter::new(1.0, 1);
-        let _ = h.control(&mut f, &ControlMsg::PushbackStart { victim: VICTIM });
+        let _ = h.control(&mut f, &FilterControl::PushbackStart { victim: VICTIM });
         assert!(f.is_active());
-        let _ = h.control(&mut f, &ControlMsg::PushbackStop);
+        let _ = h.control(&mut f, &FilterControl::PushbackStop);
         assert!(!f.is_active());
     }
 

@@ -31,7 +31,7 @@ use crate::config::{AddressValidator, MaficConfig};
 use crate::rate::ArrivalTracker;
 use crate::tables::{FlowState, FlowTables, PdtReason, SftEntry};
 use mafic_netsim::{
-    Addr, ControlMsg, DropReason, FilterAction, FilterCtx, FlowId, FlowKey, Packet, PacketEnv,
+    Addr, DropReason, FilterAction, FilterControl, FilterCtx, FlowId, FlowKey, Packet, PacketEnv,
     PacketFilter, PacketKind, Provenance, SimDuration, SimTime, StatNote,
 };
 use rand::rngs::SmallRng;
@@ -410,10 +410,10 @@ impl PacketFilter for MaficFilter {
         }
     }
 
-    fn on_control(&mut self, msg: &ControlMsg, _ctx: &mut FilterCtx<'_>) {
+    fn on_control(&mut self, msg: &FilterControl, _ctx: &mut FilterCtx<'_>) {
         match msg {
-            ControlMsg::PushbackStart { victim } => self.activate(*victim),
-            ControlMsg::PushbackStop => self.deactivate(),
+            FilterControl::PushbackStart { victim } => self.activate(*victim),
+            FilterControl::PushbackStop => self.deactivate(),
         }
     }
 
@@ -652,7 +652,7 @@ mod tests {
         let mut f = active_filter(1.0);
         let _ = h.offer_transit(&mut f, &pkt(1, h.now));
         assert_eq!(f.tables().sft_len(), 1);
-        let _ = h.control(&mut f, &ControlMsg::PushbackStop);
+        let _ = h.control(&mut f, &FilterControl::PushbackStop);
         assert!(!f.is_active());
         assert_eq!(f.tables().sft_len(), 0);
         // Inactive again: everything forwards.
@@ -664,7 +664,7 @@ mod tests {
     fn pushback_start_control_activates() {
         let mut h = FilterHarness::new();
         let mut f = filter(1.0);
-        let _ = h.control(&mut f, &ControlMsg::PushbackStart { victim: VICTIM });
+        let _ = h.control(&mut f, &FilterControl::PushbackStart { victim: VICTIM });
         assert!(f.is_active());
         assert_eq!(f.victim(), Some(VICTIM));
         let fx = h.offer_transit(&mut f, &pkt(1, h.now));
@@ -693,8 +693,8 @@ mod tests {
         let fx = h.offer_transit(&mut f, &pkt(1, h.now));
         let (delay, flow, kind) = fx.flow_timers[0];
         // Stop and restart the defense: tables flushed, id still valid.
-        let _ = h.control(&mut f, &ControlMsg::PushbackStop);
-        let _ = h.control(&mut f, &ControlMsg::PushbackStart { victim: VICTIM });
+        let _ = h.control(&mut f, &FilterControl::PushbackStop);
+        let _ = h.control(&mut f, &FilterControl::PushbackStart { victim: VICTIM });
         h.advance(delay);
         let fx2 = h.fire_flow_timer(&mut f, flow, kind);
         assert_eq!(f.counters().flows_nice, 0, "stale probation fire ignored");
@@ -718,8 +718,8 @@ mod tests {
         let (reval_delay, reval_flow, reval_kind) = fx2.flow_timers[0];
         // Flush and restart the defense; the flow earns a fresh verdict
         // later than the first one.
-        let _ = h.control(&mut f, &ControlMsg::PushbackStop);
-        let _ = h.control(&mut f, &ControlMsg::PushbackStart { victim: VICTIM });
+        let _ = h.control(&mut f, &FilterControl::PushbackStop);
+        let _ = h.control(&mut f, &FilterControl::PushbackStart { victim: VICTIM });
         h.advance(SimDuration::from_millis(100));
         let fx3 = h.offer_transit(&mut f, &pkt(1, h.now));
         let (delay2, flow2, kind2) = fx3.flow_timers[0];

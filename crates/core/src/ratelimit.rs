@@ -8,7 +8,7 @@
 //! full MAFIC and the proportional baseline.
 
 use mafic_netsim::{
-    Addr, ControlMsg, DropReason, FilterAction, FilterCtx, Packet, PacketEnv, PacketFilter,
+    Addr, DropReason, FilterAction, FilterControl, FilterCtx, Packet, PacketEnv, PacketFilter,
     SimTime, StatNote,
 };
 use std::any::Any;
@@ -140,10 +140,10 @@ impl PacketFilter for RateLimitFilter {
         }
     }
 
-    fn on_control(&mut self, msg: &ControlMsg, ctx: &mut FilterCtx<'_>) {
+    fn on_control(&mut self, msg: &FilterControl, ctx: &mut FilterCtx<'_>) {
         match msg {
-            ControlMsg::PushbackStart { victim } => self.activate(*victim, ctx.now()),
-            ControlMsg::PushbackStop => self.deactivate(),
+            FilterControl::PushbackStart { victim } => self.activate(*victim, ctx.now()),
+            FilterControl::PushbackStop => self.deactivate(),
         }
     }
 
@@ -259,15 +259,15 @@ mod tests {
     fn control_messages_toggle_and_refill() {
         let mut h = FilterHarness::new();
         let mut f = RateLimitFilter::new(10_000.0);
-        let _ = h.control(&mut f, &ControlMsg::PushbackStart { victim: VICTIM });
+        let _ = h.control(&mut f, &FilterControl::PushbackStart { victim: VICTIM });
         assert!(f.is_active());
         for _ in 0..2 {
             let _ = h.offer_transit(&mut f, &pkt(VICTIM, 500));
         }
-        let _ = h.control(&mut f, &ControlMsg::PushbackStop);
+        let _ = h.control(&mut f, &FilterControl::PushbackStop);
         assert!(!f.is_active());
         // Re-activation starts with a full bucket.
-        let _ = h.control(&mut f, &ControlMsg::PushbackStart { victim: VICTIM });
+        let _ = h.control(&mut f, &FilterControl::PushbackStart { victim: VICTIM });
         let fx = h.offer_transit(&mut f, &pkt(VICTIM, 500));
         assert_eq!(fx.action, Some(FilterAction::Forward));
     }

@@ -136,5 +136,12 @@ fn run(cfg: &EngineConfig) -> Result<(), String> {
     println!("{}", figures::fig9a_from_sweep(&partial));
     println!("{}", figures::fig9b_from_sweep(&partial));
     print!("{}", figures::fig9_cost_summary(cfg)?);
+    println!();
+    // One honesty x trust-budget grid feeds both Fig. 10 panels and
+    // the control-plane denial tables.
+    let trust = figures::run_malicious_pushback_grid(cfg)?;
+    println!("{}", figures::fig10a_from_grid(&trust));
+    println!("{}", figures::fig10b_from_grid(&trust));
+    print!("{}", figures::fig10_denial_summary(&trust));
     Ok(())
 }

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 10: malicious pushback against the trust-aware
+//! control plane. One honesty × trust-budget sweep feeds both panels —
+//! the honest cascade (residual attack rate falls once the budget
+//! admits it) and the compromised-provider attack (forged requests are
+//! denied by attestation, so the victim's legitimate goodput holds; the
+//! unguarded configuration shows the damage a believed forgery does).
+//! A third section prints the control-plane denial tables per cell.
+//! The whole figure derives from one grid run (single-seed per cell —
+//! denial counters and stand-down latencies are not trial-averageable).
+
+use mafic_experiments::{figures, EngineConfig};
+
+fn main() {
+    let cfg = EngineConfig::from_env_or_exit();
+    if let Err(e) = run(&cfg) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(cfg: &EngineConfig) -> Result<(), String> {
+    let grid = figures::run_malicious_pushback_grid(cfg)?;
+    println!("{}", figures::fig10a_from_grid(&grid));
+    println!("{}", figures::fig10b_from_grid(&grid));
+    print!("{}", figures::fig10_denial_summary(&grid));
+    Ok(())
+}

@@ -13,7 +13,7 @@ use mafic::DefensePolicy;
 use mafic_metrics::MetricsReport;
 use mafic_netsim::SimTime;
 use mafic_topology::TransitTopology;
-use mafic_workload::{NominalRate, ScenarioSpec};
+use mafic_workload::{DetectionMode, NominalRate, ScenarioSpec};
 
 /// The traffic-volume axis used by Figs. 3(a), 4(a), 5(a), 6(a), 7.
 #[must_use]
@@ -528,6 +528,197 @@ pub fn fig9b_from_sweep(sweeps: &[SweepSeries]) -> FigureData {
     fig
 }
 
+/// The trust-budget axis of Fig. 10: fresh installs each requester may
+/// cause at an upstream domain, from "trust nobody" to generous.
+#[must_use]
+pub fn trust_budget_axis() -> Vec<f64> {
+    vec![0.0, 1.0, 2.0, 4.0]
+}
+
+/// The honest Fig. 10 scenario: the Fig. 8 multi-domain flood with the
+/// full escalation budget, swept over the upstream trust budget. At
+/// budget 0 every escalation is denied (the defense stays in the victim
+/// domain); any positive budget admits the honest cascade.
+#[must_use]
+pub fn fig10_honest_spec(trust_budget: u32) -> ScenarioSpec {
+    ScenarioSpec {
+        trust_budget,
+        ..fig8_spec(3)
+    }
+}
+
+/// The malicious Fig. 10 scenario — same topology, no real flood: the
+/// victim's own provider (domain 1) is compromised and spams forged
+/// `Request` envelopes at its upstream, claiming a flood toward the
+/// victim that does not exist, trying to get the victim's legitimate
+/// traffic dropped. The zombies only trickle (5% load, below every
+/// threshold) and detection is off, so whatever legitimate goodput the
+/// victim loses is the malicious pushback's doing. With `attested` the
+/// trust ledgers corroborate claims against their own meters (the
+/// defended configuration); without, any authorized requester is
+/// believed — the unguarded legacy behaviour whose goodput damage the
+/// figure exposes.
+#[must_use]
+pub fn fig10_malicious_spec(trust_budget: u32, attested: bool) -> ScenarioSpec {
+    ScenarioSpec {
+        trust_budget,
+        attestation_fraction: if attested { 0.25 } else { 0.0 },
+        attack_load_factor: 0.05,
+        detection: DetectionMode::Off,
+        malicious_pushback: Some(1),
+        seed: 37,
+        ..fig8_spec(3)
+    }
+}
+
+/// The three Fig. 10 configurations, as `(label, spec builder input)`.
+fn fig10_series() -> Vec<(String, Fig10Series)> {
+    vec![
+        ("honest cascade".to_string(), Fig10Series::Honest),
+        (
+            "malicious, attested".to_string(),
+            Fig10Series::Malicious { attested: true },
+        ),
+        (
+            "malicious, unguarded".to_string(),
+            Fig10Series::Malicious { attested: false },
+        ),
+    ]
+}
+
+/// One Fig. 10 series selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fig10Series {
+    Honest,
+    Malicious { attested: bool },
+}
+
+fn fig10_spec(series: Fig10Series, trust_budget: u32) -> ScenarioSpec {
+    match series {
+        Fig10Series::Honest => fig10_honest_spec(trust_budget),
+        Fig10Series::Malicious { attested } => fig10_malicious_spec(trust_budget, attested),
+    }
+}
+
+/// One evaluated cell of the Fig. 10 grid.
+#[derive(Debug)]
+pub struct Fig10Cell {
+    /// Series label (`honest cascade`, `malicious, attested`, …).
+    pub label: String,
+    /// The swept trust budget.
+    pub budget: f64,
+    /// The cell's full run outcome (report + control-plane counters).
+    pub outcome: mafic_workload::RunOutcome,
+}
+
+/// Runs the `(requester honesty × trust budget)` grid once — both
+/// Fig. 10 panels and the denial tables derive from the same outcomes.
+/// One deterministic run per cell: the control-plane counters (denials
+/// by reason, stand-down latency) are not trial-averageable, so
+/// Fig. 10 is a single-seed figure; the engine still fans the grid
+/// across `MAFIC_JOBS` workers, byte-identical at any count.
+///
+/// # Errors
+///
+/// Propagates build/run errors.
+pub fn run_malicious_pushback_grid(cfg: &EngineConfig) -> Result<Vec<Fig10Cell>, String> {
+    let series = fig10_series();
+    let budgets = trust_budget_axis();
+    let mut meta = Vec::new();
+    let mut specs = Vec::new();
+    for (label, s) in &series {
+        for &budget in &budgets {
+            meta.push((label.clone(), budget));
+            specs.push(fig10_spec(*s, budget as u32));
+        }
+    }
+    let outcomes = run_specs(specs, cfg.jobs)?;
+    Ok(meta
+        .into_iter()
+        .zip(outcomes)
+        .map(|((label, budget), outcome)| Fig10Cell {
+            label,
+            budget,
+            outcome,
+        })
+        .collect())
+}
+
+/// Extracts `(budget, metric)` points for one series label.
+fn fig10_points(
+    cells: &[Fig10Cell],
+    label: &str,
+    metric: fn(&MetricsReport) -> f64,
+) -> Vec<(f64, f64)> {
+    cells
+        .iter()
+        .filter(|c| c.label == label)
+        .map(|c| (c.budget, metric(&c.outcome.report)))
+        .collect()
+}
+
+/// Builds Fig. 10(a) — the honest cascade under trust budgets — from a
+/// finished grid: residual attack rate (every escalation denied at
+/// budget 0; non-increasing as budget admits the cascade) beside the
+/// victim's legitimate goodput.
+#[must_use]
+pub fn fig10a_from_grid(cells: &[Fig10Cell]) -> FigureData {
+    let mut fig = FigureData::new(
+        "Fig. 10(a)",
+        "Honest cascade vs upstream trust budget",
+        "trust budget (installs per requester)",
+        "rate at the victim (B/s)",
+    );
+    let label = "honest cascade";
+    fig.push_series(
+        format!("{label} residual attack"),
+        fig10_points(cells, label, |r| r.residual_attack_bps),
+    );
+    fig.push_series(
+        format!("{label} legit goodput"),
+        fig10_points(cells, label, |r| r.legit_goodput_bps),
+    );
+    fig
+}
+
+/// Builds Fig. 10(b) — malicious pushback vs attestation — from a
+/// finished grid: the victim's legitimate goodput with the trust
+/// ledgers corroborating claims (flat: forged requests are denied)
+/// against the unguarded configuration (goodput falls once the budget
+/// lets the forged install through).
+#[must_use]
+pub fn fig10b_from_grid(cells: &[Fig10Cell]) -> FigureData {
+    let mut fig = FigureData::new(
+        "Fig. 10(b)",
+        "Victim goodput under malicious pushback",
+        "trust budget (installs per requester)",
+        "legit goodput at the victim (B/s)",
+    );
+    for label in ["malicious, attested", "malicious, unguarded"] {
+        fig.push_series(
+            format!("{label} goodput"),
+            fig10_points(cells, label, |r| r.legit_goodput_bps),
+        );
+        fig.push_series(format!("{label} Lr"), fig10_points(cells, label, lr));
+    }
+    fig
+}
+
+/// Renders the control-plane denial tables of Fig. 10 from the same
+/// grid the panels use: requests, denials by reason, installs granted,
+/// and the stand-down latency per cell.
+#[must_use]
+pub fn fig10_denial_summary(cells: &[Fig10Cell]) -> String {
+    let mut out = String::new();
+    for cell in cells {
+        out.push_str(&mafic_metrics::control_table(
+            &format!("Control plane @ {}, budget {}", cell.label, cell.budget),
+            &cell.outcome.control,
+        ));
+    }
+    out
+}
+
 /// Renders the per-policy deployment-cost table at full participation:
 /// one fully deployed run per transit policy (fanned across the
 /// engine), each reporting table state bytes and timer events per
@@ -591,6 +782,28 @@ mod tests {
                 );
                 assert_eq!(spec.pushback_depth, 3, "full escalation budget");
                 assert_eq!(spec.transit_policy, Some(transit));
+            }
+        }
+    }
+
+    #[test]
+    fn fig10_specs_are_valid_across_the_whole_grid() {
+        assert_eq!(trust_budget_axis().first(), Some(&0.0));
+        for &budget in &trust_budget_axis() {
+            let honest = fig10_honest_spec(budget as u32);
+            assert!(honest.validate().is_ok(), "honest @ {budget}");
+            assert_eq!(honest.trust_budget, budget as u32);
+            assert!(honest.malicious_pushback.is_none());
+            for attested in [true, false] {
+                let malicious = fig10_malicious_spec(budget as u32, attested);
+                assert!(malicious.validate().is_ok(), "malicious @ {budget}");
+                assert_eq!(malicious.malicious_pushback, Some(1));
+                assert_eq!(malicious.detection, DetectionMode::Off);
+                assert_eq!(
+                    malicious.attestation_fraction > 0.0,
+                    attested,
+                    "attestation flag must map to the fraction"
+                );
             }
         }
     }

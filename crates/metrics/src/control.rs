@@ -1,0 +1,148 @@
+//! Control-plane health counters of one run.
+//!
+//! The trust-aware pushback protocol produces observables of its own,
+//! beyond the paper's packet metrics: how many escalation requests were
+//! denied (and why), whether the victim ever stood the defense down,
+//! and how long the teardown took to sweep the whole chain. The
+//! workload runner aggregates them across every domain coordinator into
+//! one [`ControlPlaneReport`] per run.
+
+use std::fmt;
+
+/// Aggregated control-plane counters of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ControlPlaneReport {
+    /// `Request` envelopes injected into the control plane — one per
+    /// admitted upstream target per escalation decision, honest
+    /// coordinators and any malicious requester alike. Comparable
+    /// against the per-receiver denial counters below.
+    pub requests_sent: u64,
+    /// Fresh filter installs granted by trust ledgers.
+    pub installs_granted: u64,
+    /// Denials for a stale protocol version.
+    pub denied_bad_version: u64,
+    /// Denials of authentic but unauthorized requesters.
+    pub denied_untrusted: u64,
+    /// Denials of replayed (non-advancing nonce) envelopes.
+    pub denied_replayed: u64,
+    /// Denials of claims the local meter could not corroborate —
+    /// malicious pushback stopped by attestation.
+    pub denied_uncorroborated: u64,
+    /// Denials after a requester exhausted its install budget.
+    pub denied_budget: u64,
+    /// Forged envelopes dropped at the channels (claimed requester did
+    /// not match the packet source).
+    pub forged_dropped: u64,
+    /// Victim-initiated `Stop` envelopes sent.
+    pub stops_sent: u64,
+    /// `Withdraw` envelopes sent (stand-down cascades, lease expiry).
+    pub withdraws_sent: u64,
+    /// Seconds from the victim's stand-down decision until every
+    /// coordinator in the chain was idle again with zero live leases.
+    /// `None` when the victim never stood down during the run.
+    pub stand_down_latency_s: Option<f64>,
+}
+
+impl ControlPlaneReport {
+    /// Total denials across every reason.
+    #[must_use]
+    pub fn denied_total(&self) -> u64 {
+        self.denied_bad_version
+            + self.denied_untrusted
+            + self.denied_replayed
+            + self.denied_uncorroborated
+            + self.denied_budget
+    }
+}
+
+impl fmt::Display for ControlPlaneReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests {:>5}   installs {:>5}   denied {:>5} \
+             (version {}, untrusted {}, replay {}, uncorroborated {}, budget {})",
+            self.requests_sent,
+            self.installs_granted,
+            self.denied_total(),
+            self.denied_bad_version,
+            self.denied_untrusted,
+            self.denied_replayed,
+            self.denied_uncorroborated,
+            self.denied_budget,
+        )?;
+        write!(
+            f,
+            "forged {:>7}   stops {:>8}   withdraws {:>2}   stand-down ",
+            self.forged_dropped, self.stops_sent, self.withdraws_sent,
+        )?;
+        match self.stand_down_latency_s {
+            Some(s) => write!(f, "{s:.3} s"),
+            None => f.write_str("n/a"),
+        }
+    }
+}
+
+/// Renders a titled control-plane table for the figure binaries.
+#[must_use]
+pub fn control_table(title: &str, report: &ControlPlaneReport) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for line in report.to_string().lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ControlPlaneReport {
+        ControlPlaneReport {
+            requests_sent: 12,
+            installs_granted: 3,
+            denied_bad_version: 1,
+            denied_untrusted: 2,
+            denied_replayed: 0,
+            denied_uncorroborated: 5,
+            denied_budget: 1,
+            forged_dropped: 4,
+            stops_sent: 1,
+            withdraws_sent: 2,
+            stand_down_latency_s: Some(0.35),
+        }
+    }
+
+    #[test]
+    fn denied_total_sums_every_reason() {
+        assert_eq!(report().denied_total(), 9);
+        assert_eq!(ControlPlaneReport::default().denied_total(), 0);
+    }
+
+    #[test]
+    fn display_names_every_counter() {
+        let text = report().to_string();
+        for needle in [
+            "requests",
+            "installs",
+            "denied",
+            "uncorroborated 5",
+            "budget 1",
+            "stand-down 0.350 s",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+        let idle = ControlPlaneReport::default().to_string();
+        assert!(idle.contains("stand-down n/a"));
+    }
+
+    #[test]
+    fn table_includes_title_and_indented_rows() {
+        let table = control_table("Control plane", &report());
+        assert!(table.starts_with("Control plane\n"));
+        assert!(table.contains("  requests"));
+    }
+}

@@ -13,9 +13,12 @@
 //!
 //! plus the victim-side bandwidth time series of Fig. 4b, the residual
 //! attack rate / legitimate goodput / collateral damage of the
-//! multi-domain scenarios, and the per-policy deployment-cost proxies
+//! multi-domain scenarios, the per-policy deployment-cost proxies
 //! ([`PolicyCostReport`]: table state bytes, timer events) of the
-//! heterogeneous partial-deployment studies.
+//! heterogeneous partial-deployment studies, and the control-plane
+//! health counters ([`ControlPlaneReport`]: denials by reason, forged
+//! envelopes, stand-down latency) of the trust-aware pushback
+//! protocol.
 //!
 //! # Example
 //!
@@ -30,10 +33,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod cost;
 pub mod report;
 pub mod series;
 
+pub use control::{control_table, ControlPlaneReport};
 pub use cost::{cost_table, PolicyCostReport};
 pub use report::{FlowTally, MeasureWindows, MetricsReport};
 pub use series::{downsample, victim_arrival_series, victim_bandwidth_series, BandwidthPoint};

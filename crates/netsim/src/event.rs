@@ -13,7 +13,7 @@ use std::collections::BinaryHeap;
 
 /// Control-plane message delivered to a node's filters.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ControlMsg {
+pub enum FilterControl {
     /// Activate defense dropping for traffic destined to `victim`.
     PushbackStart {
         /// Address of the victim host under attack.
@@ -66,7 +66,7 @@ pub enum EventKind {
         /// Receiving node.
         node: NodeId,
         /// The message.
-        msg: ControlMsg,
+        msg: FilterControl,
     },
 }
 

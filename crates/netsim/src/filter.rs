@@ -7,7 +7,7 @@
 //! command buffer ([`FilterCtx`]) that the simulator executes after the
 //! filter returns, so filters never need a reference into the simulator.
 
-use crate::event::ControlMsg;
+use crate::event::FilterControl;
 use crate::flows::FlowId;
 use crate::ids::{LinkId, NodeId};
 use crate::packet::{DropReason, Packet};
@@ -199,7 +199,7 @@ pub trait PacketFilter {
     fn on_flow_timer(&mut self, _flow: FlowId, _kind: u16, _ctx: &mut FilterCtx<'_>) {}
 
     /// Called when a control-plane message reaches this node.
-    fn on_control(&mut self, _msg: &ControlMsg, _ctx: &mut FilterCtx<'_>) {}
+    fn on_control(&mut self, _msg: &FilterControl, _ctx: &mut FilterCtx<'_>) {}
 
     /// Downcast support so harnesses can inspect filter state mid-run.
     fn as_any(&self) -> &dyn Any;

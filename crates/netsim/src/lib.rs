@@ -58,12 +58,15 @@ pub mod trace;
 mod wheel;
 
 pub use agent::{Agent, AgentCtx, CountingSink};
-pub use event::ControlMsg;
+pub use event::FilterControl;
 pub use filter::{FilterAction, FilterCtx, PacketEnv, PacketFilter, PassthroughFilter, StatNote};
 pub use flows::{FlowId, FlowInterner, FlowSlab};
 pub use ids::{Addr, AgentId, LinkId, NodeId};
 pub use link::LinkSpec;
-pub use packet::{DropReason, FlowKey, Packet, PacketKind, Provenance, PushbackMsg};
+pub use packet::{
+    ControlMsg, ControlVerb, DenyReason, DropReason, FlowKey, Packet, PacketKind, Provenance,
+    RequesterId, CONTROL_PROTOCOL_VERSION,
+};
 pub use sim::{RunSummary, Simulator};
 pub use stats::{FlowRecord, StatsCollector, VictimBin};
 pub use time::{SimDuration, SimTime};

@@ -70,23 +70,87 @@ impl fmt::Display for FlowKey {
     }
 }
 
-/// Inter-domain pushback control payload.
+/// Version of the inter-domain pushback control protocol carried by
+/// every [`ControlMsg`] envelope. Receivers deny envelopes from any
+/// other version ([`DenyReason::BadVersion`]) instead of guessing at
+/// their field semantics.
+pub const CONTROL_PROTOCOL_VERSION: u8 = 2;
+
+/// The authenticated identity of a pushback requester: the control
+/// address of the domain boundary the message originated from.
 ///
-/// These messages implement the cascaded pushback protocol between
-/// domain coordinators. They are **not** a side channel: a coordinator
-/// puts one inside a [`PacketKind::Pushback`] packet addressed to the
-/// upstream domain's control address, and the packet crosses the
-/// inter-domain links like any other traffic — serialized, delayed,
-/// queued, and ordered by the deterministic event rules.
+/// The receiving control channel checks that the carrying packet's
+/// source address matches the envelope's claimed requester, so a domain
+/// cannot speak for another domain's boundary; the trust ledger then
+/// decides whether that (authentic) requester is *authorized* to ask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequesterId(Addr);
+
+impl RequesterId {
+    /// Identity of the domain whose boundary owns `ctrl_addr`.
+    #[must_use]
+    pub fn new(ctrl_addr: Addr) -> Self {
+        RequesterId(ctrl_addr)
+    }
+
+    /// The control address this identity is bound to.
+    #[must_use]
+    pub fn addr(self) -> Addr {
+        self.0
+    }
+}
+
+impl fmt::Display for RequesterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "requester({})", self.0)
+    }
+}
+
+/// Why an upstream refused a pushback request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PushbackMsg {
+pub enum DenyReason {
+    /// The envelope carries an unknown protocol version.
+    BadVersion,
+    /// The requester is authentic but not authorized to ask this
+    /// domain for drops (it is not a downstream neighbor on any
+    /// victim-bound path through here).
+    UntrustedRequester,
+    /// The envelope's nonce did not advance past the last one accepted
+    /// from this requester — a replayed or reordered message.
+    Replayed,
+    /// The claimed victim-bound aggregate is not corroborated by this
+    /// domain's own boundary meter: the "victim" is observed receiving
+    /// normal traffic, so installing drops would only cut legitimate
+    /// flows (malicious pushback).
+    Uncorroborated,
+    /// The requester's install budget at this domain is exhausted.
+    BudgetExhausted,
+}
+
+impl fmt::Display for DenyReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DenyReason::BadVersion => "bad-version",
+            DenyReason::UntrustedRequester => "untrusted-requester",
+            DenyReason::Replayed => "replayed",
+            DenyReason::Uncorroborated => "uncorroborated",
+            DenyReason::BudgetExhausted => "budget-exhausted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One verb of the inter-domain pushback protocol (see [`ControlMsg`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlVerb {
     /// Ask the upstream domain to install the defense for `victim`.
-    PushbackRequest {
+    Request {
         /// Address of the victim host under attack.
         victim: Addr,
         /// Victim-bound aggregate the requester observes entering its
         /// boundary (bytes/s) — the load its own deployment cannot stop
-        /// at the source.
+        /// at the source. The receiver corroborates this claim against
+        /// its own meter before installing anything.
         aggregate_bps: u64,
         /// Escalation hops the receiver may still spend (depth cap).
         budget: u8,
@@ -95,18 +159,122 @@ pub enum PushbackMsg {
     /// full lease state (RSVP-style soft-state refresh): a receiver
     /// whose lease lapsed — or that never saw the original request
     /// because the packet was lost on a congested link — re-installs
-    /// the defense from the refresh alone.
+    /// the defense from the refresh alone (re-vetted like a request).
     Refresh {
         /// The victim the lease protects.
         victim: Addr,
         /// Escalation hops the receiver may still spend.
         budget: u8,
     },
-    /// Tear the defense down (flood subsided / requester stood down).
+    /// Tear the defense down (the requester stood down or its own
+    /// lease lapsed). Cascades hop by hop toward the sources.
     Withdraw {
         /// The victim the defense protected.
         victim: Addr,
     },
+    /// Victim-initiated stand-down: the victim domain observed healthy
+    /// boundary traffic for its configured number of consecutive
+    /// intervals and ends the conversation. Receivers tear down like a
+    /// withdrawal and forward `Withdraw` to anyone *they* escalated to.
+    Stop {
+        /// The victim whose defense is ending.
+        victim: Addr,
+    },
+    /// Upstream refusal, sent back downstream to the requester.
+    Deny {
+        /// The victim the refused request named.
+        victim: Addr,
+        /// Why the request was refused.
+        reason: DenyReason,
+    },
+    /// Upstream status report, sent downstream to the requester that
+    /// installed the defense. A chain-top defender is the only party
+    /// that observes the *raw* victim-bound aggregate (nothing deeper
+    /// is cutting it); each leased defender periodically reports its
+    /// effective view — its own boundary inflow or the sum of its own
+    /// upstreams' fresh reports, whichever is larger — so the victim
+    /// can reconstruct the true flood scale. The victim's boundary
+    /// meter alone cannot tell "flood ended" from "flood cut upstream"
+    /// and must not stand the defense down on local evidence while
+    /// escalated.
+    Report {
+        /// The victim the defense protects.
+        victim: Addr,
+        /// The reporter's effective victim-bound aggregate (bytes/s).
+        aggregate_bps: u64,
+    },
+}
+
+impl ControlVerb {
+    /// The victim address this verb is about.
+    #[must_use]
+    pub fn victim(self) -> Addr {
+        match self {
+            ControlVerb::Request { victim, .. }
+            | ControlVerb::Refresh { victim, .. }
+            | ControlVerb::Withdraw { victim }
+            | ControlVerb::Stop { victim }
+            | ControlVerb::Deny { victim, .. }
+            | ControlVerb::Report { victim, .. } => victim,
+        }
+    }
+}
+
+/// The versioned, identity-carrying envelope of the inter-domain
+/// pushback control plane.
+///
+/// Every coordinator-to-coordinator message rides in one envelope:
+/// protocol version, authenticated [`RequesterId`] (the originating
+/// domain's boundary), a per-sender monotone nonce for replay
+/// suppression, and the [`ControlVerb`]. Envelopes are **not** a side
+/// channel: they travel inside [`PacketKind::Pushback`] packets over
+/// the inter-domain links — serialized, delayed, queued, and ordered by
+/// the deterministic event rules like any other traffic.
+///
+/// # Examples
+///
+/// Constructing a version-current request envelope:
+///
+/// ```
+/// use mafic_netsim::{
+///     Addr, ControlMsg, ControlVerb, RequesterId, CONTROL_PROTOCOL_VERSION,
+/// };
+///
+/// let victim = Addr::from_octets(10, 200, 0, 1);
+/// let me = RequesterId::new(Addr::from_octets(10, 250, 0, 1));
+/// let msg = ControlMsg::new(
+///     me,
+///     1, // first nonce from this boundary
+///     ControlVerb::Request { victim, aggregate_bps: 2_000_000, budget: 2 },
+/// );
+/// assert_eq!(msg.version, CONTROL_PROTOCOL_VERSION);
+/// assert_eq!(msg.requester, me);
+/// assert_eq!(msg.verb.victim(), victim);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlMsg {
+    /// Protocol version ([`CONTROL_PROTOCOL_VERSION`] when built by
+    /// [`ControlMsg::new`]).
+    pub version: u8,
+    /// Authenticated identity of the originating domain boundary.
+    pub requester: RequesterId,
+    /// Per-sender monotone sequence number (replay suppression).
+    pub nonce: u64,
+    /// What the sender asks for.
+    pub verb: ControlVerb,
+}
+
+impl ControlMsg {
+    /// Builds a version-current envelope.
+    #[must_use]
+    pub fn new(requester: RequesterId, nonce: u64, verb: ControlVerb) -> Self {
+        ControlMsg {
+            version: CONTROL_PROTOCOL_VERSION,
+            requester,
+            nonce,
+            verb,
+        }
+    }
 }
 
 /// Transport-level content of a packet.
@@ -140,9 +308,9 @@ pub enum PacketKind {
         /// Number of duplicate ACKs in the burst.
         count: u8,
     },
-    /// An inter-domain pushback control message in flight between two
-    /// domain coordinators (see [`PushbackMsg`]).
-    Pushback(PushbackMsg),
+    /// An inter-domain pushback control envelope in flight between two
+    /// domain coordinators (see [`ControlMsg`]).
+    Pushback(ControlMsg),
 }
 
 impl PacketKind {
@@ -330,10 +498,14 @@ mod tests {
         assert!(ack.is_tcp() && !ack.is_tcp_data());
         assert!(!PacketKind::Udp.is_tcp());
         assert!(PacketKind::ProbeDupAck { count: 3 }.is_probe());
-        let push = PacketKind::Pushback(PushbackMsg::Refresh {
-            victim: Addr::new(7),
-            budget: 2,
-        });
+        let push = PacketKind::Pushback(ControlMsg::new(
+            RequesterId::new(Addr::new(9)),
+            1,
+            ControlVerb::Refresh {
+                victim: Addr::new(7),
+                budget: 2,
+            },
+        ));
         assert!(push.is_pushback());
         assert!(!push.is_tcp() && !push.is_probe());
         assert!(!PacketKind::Udp.is_pushback());

@@ -6,7 +6,7 @@
 //! the simulator exclusively through buffered commands.
 
 use crate::agent::{Agent, AgentCommand, AgentCtx};
-use crate::event::{ControlMsg, EventKind, Scheduler};
+use crate::event::{EventKind, FilterControl, Scheduler};
 use crate::filter::{FilterAction, FilterCommand, FilterCtx, PacketEnv, PacketFilter};
 use crate::flows::{FlowId, FlowInterner};
 use crate::ids::{Addr, AgentId, LinkId, NodeId};
@@ -384,7 +384,7 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if `at` is in the past.
-    pub fn send_control(&mut self, node: NodeId, msg: ControlMsg, at: SimTime) {
+    pub fn send_control(&mut self, node: NodeId, msg: FilterControl, at: SimTime) {
         assert!(at >= self.now, "control message scheduled in the past");
         self.scheduler
             .schedule(at, EventKind::Control { node, msg });
@@ -741,7 +741,7 @@ impl Simulator {
         self.run_filter_commands(fire.node, commands);
     }
 
-    fn control(&mut self, node_id: NodeId, msg: ControlMsg) {
+    fn control(&mut self, node_id: NodeId, msg: FilterControl) {
         let at = self.now;
         self.trace_record(TraceEvent::Control {
             at,
@@ -851,7 +851,7 @@ impl Simulator {
 mod tests {
     use super::*;
     use crate::agent::CountingSink;
-    use crate::event::ControlMsg;
+    use crate::event::FilterControl;
     use crate::packet::{FlowKey, PacketKind};
     use crate::time::SimDuration;
 
@@ -1034,7 +1034,7 @@ mod tests {
     fn trace_records_control_messages() {
         let (mut sim, a, _b, _sink, _dst) = two_node_sim();
         sim.enable_trace(4);
-        sim.send_control(a, ControlMsg::PushbackStop, SimTime::ZERO);
+        sim.send_control(a, FilterControl::PushbackStop, SimTime::ZERO);
         sim.run_until(SimTime::from_secs_f64(0.1));
         let trace = sim.trace().unwrap();
         assert!(trace

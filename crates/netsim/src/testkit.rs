@@ -11,7 +11,7 @@
 //! id minted here, with the same stability guarantees as in a real run.
 
 use crate::agent::{Agent, AgentCommand, AgentCtx};
-use crate::event::ControlMsg;
+use crate::event::FilterControl;
 use crate::filter::{FilterAction, FilterCommand, FilterCtx, PacketEnv, PacketFilter, StatNote};
 use crate::flows::{FlowId, FlowInterner};
 use crate::ids::{AgentId, LinkId, NodeId};
@@ -234,7 +234,7 @@ impl FilterHarness {
     }
 
     /// Delivers a control message.
-    pub fn control(&mut self, filter: &mut dyn PacketFilter, msg: &ControlMsg) -> FilterEffects {
+    pub fn control(&mut self, filter: &mut dyn PacketFilter, msg: &FilterControl) -> FilterEffects {
         let mut commands = Vec::new();
         {
             let mut ctx = FilterCtx::new(

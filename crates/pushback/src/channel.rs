@@ -1,20 +1,26 @@
 //! The control channel: where inter-domain pushback packets land.
 
-use mafic_netsim::{Agent, AgentCtx, Packet, PacketKind, PushbackMsg, SimTime};
+use mafic_netsim::{Agent, AgentCtx, ControlMsg, Packet, PacketKind, SimTime};
 use std::any::Any;
 
 /// The agent bound to a domain's control address.
 ///
-/// Pushback messages travel as [`PacketKind::Pushback`] packets over the
-/// inter-domain links — they queue, serialize, and propagate like any
-/// other traffic, so the control plane obeys the same total event order
-/// as the data plane (ARCHITECTURE.md rule 2). The channel records each
-/// arrival; the pushback monitor drains the inbox once per interval and
-/// feeds it to the domain's coordinator.
+/// Pushback envelopes travel as [`PacketKind::Pushback`] packets over
+/// the inter-domain links — they queue, serialize, and propagate like
+/// any other traffic, so the control plane obeys the same total event
+/// order as the data plane (ARCHITECTURE.md rule 2). The channel is
+/// also the **authentication line** of the versioned protocol: an
+/// envelope whose claimed [`mafic_netsim::RequesterId`] does not match
+/// the carrying packet's source address is a forgery speaking for
+/// somebody else's boundary — it is dropped (and counted) here, before
+/// the coordinator or its trust ledger ever see it. The pushback
+/// monitor drains the inbox once per interval and feeds the domain's
+/// coordinator.
 #[derive(Debug, Default)]
 pub struct ControlChannel {
-    inbox: Vec<(SimTime, PushbackMsg)>,
+    inbox: Vec<(SimTime, ControlMsg)>,
     received_total: u64,
+    forged_dropped: u64,
 }
 
 impl ControlChannel {
@@ -24,15 +30,22 @@ impl ControlChannel {
         ControlChannel::default()
     }
 
-    /// Removes and returns the queued messages in arrival order.
-    pub fn drain(&mut self) -> Vec<(SimTime, PushbackMsg)> {
+    /// Removes and returns the queued envelopes in arrival order.
+    pub fn drain(&mut self) -> Vec<(SimTime, ControlMsg)> {
         std::mem::take(&mut self.inbox)
     }
 
-    /// Messages received over the channel's lifetime.
+    /// Envelopes accepted over the channel's lifetime.
     #[must_use]
     pub fn received_total(&self) -> u64 {
         self.received_total
+    }
+
+    /// Envelopes dropped because the claimed requester identity did not
+    /// match the packet's source address.
+    #[must_use]
+    pub fn forged_dropped(&self) -> u64 {
+        self.forged_dropped
     }
 }
 
@@ -41,6 +54,10 @@ impl Agent for ControlChannel {
 
     fn on_packet(&mut self, packet: Packet, ctx: &mut AgentCtx<'_>) {
         if let PacketKind::Pushback(msg) = packet.kind {
+            if msg.requester.addr() != packet.key.src {
+                self.forged_dropped += 1;
+                return;
+            }
             self.inbox.push((ctx.now(), msg));
             self.received_total += 1;
         }
@@ -59,12 +76,18 @@ impl Agent for ControlChannel {
 mod tests {
     use super::*;
     use mafic_netsim::testkit::AgentHarness;
-    use mafic_netsim::{Addr, FlowKey, Provenance};
+    use mafic_netsim::{Addr, ControlVerb, FlowKey, Provenance, RequesterId};
 
-    fn push_pkt(msg: PushbackMsg) -> Packet {
+    const CTRL_SRC: Addr = Addr::new(0x0BFA_0001);
+
+    fn envelope(nonce: u64, verb: ControlVerb) -> ControlMsg {
+        ControlMsg::new(RequesterId::new(CTRL_SRC), nonce, verb)
+    }
+
+    fn push_pkt(src: Addr, msg: ControlMsg) -> Packet {
         Packet {
             id: 1,
-            key: FlowKey::new(Addr::new(1), Addr::new(2), 9, 9),
+            key: FlowKey::new(src, Addr::new(2), 9, 9),
             kind: PacketKind::Pushback(msg),
             size_bytes: 64,
             created_at: SimTime::ZERO,
@@ -74,40 +97,76 @@ mod tests {
     }
 
     #[test]
-    fn queues_pushback_messages_in_arrival_order() {
+    fn queues_pushback_envelopes_in_arrival_order() {
         let mut h = AgentHarness::new();
         let mut ch = ControlChannel::new();
         let victim = Addr::new(42);
         let _ = h.deliver(
             &mut ch,
-            push_pkt(PushbackMsg::PushbackRequest {
-                victim,
-                aggregate_bps: 1_000_000,
-                budget: 2,
-            }),
+            push_pkt(
+                CTRL_SRC,
+                envelope(
+                    1,
+                    ControlVerb::Request {
+                        victim,
+                        aggregate_bps: 1_000_000,
+                        budget: 2,
+                    },
+                ),
+            ),
         );
         let _ = h.deliver(
             &mut ch,
-            push_pkt(PushbackMsg::Refresh { victim, budget: 1 }),
+            push_pkt(
+                CTRL_SRC,
+                envelope(2, ControlVerb::Refresh { victim, budget: 1 }),
+            ),
         );
         let msgs = ch.drain();
         assert_eq!(msgs.len(), 2);
         assert!(matches!(
-            msgs[0].1,
-            PushbackMsg::PushbackRequest { budget: 2, .. }
+            msgs[0].1.verb,
+            ControlVerb::Request { budget: 2, .. }
         ));
-        assert!(matches!(msgs[1].1, PushbackMsg::Refresh { .. }));
+        assert!(matches!(msgs[1].1.verb, ControlVerb::Refresh { .. }));
         assert!(ch.drain().is_empty(), "drain empties the inbox");
         assert_eq!(ch.received_total(), 2);
+        assert_eq!(ch.forged_dropped(), 0);
+    }
+
+    #[test]
+    fn forged_requester_identities_are_dropped() {
+        let mut h = AgentHarness::new();
+        let mut ch = ControlChannel::new();
+        // The envelope claims CTRL_SRC but arrives from another address.
+        let forged = push_pkt(
+            Addr::new(0x0CFA_0001),
+            envelope(
+                1,
+                ControlVerb::Withdraw {
+                    victim: Addr::new(42),
+                },
+            ),
+        );
+        let _ = h.deliver(&mut ch, forged);
+        assert!(ch.drain().is_empty());
+        assert_eq!(ch.received_total(), 0);
+        assert_eq!(ch.forged_dropped(), 1);
     }
 
     #[test]
     fn non_pushback_packets_are_ignored() {
         let mut h = AgentHarness::new();
         let mut ch = ControlChannel::new();
-        let mut p = push_pkt(PushbackMsg::Withdraw {
-            victim: Addr::new(1),
-        });
+        let mut p = push_pkt(
+            CTRL_SRC,
+            envelope(
+                1,
+                ControlVerb::Withdraw {
+                    victim: Addr::new(1),
+                },
+            ),
+        );
         p.kind = PacketKind::Udp;
         let _ = h.deliver(&mut ch, p);
         assert!(ch.drain().is_empty());

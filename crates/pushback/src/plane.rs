@@ -1,0 +1,89 @@
+//! The control-plane transport abstraction.
+//!
+//! A [`crate::DomainCoordinator`] decides *what* to say; a
+//! [`ControlPlane`] decides *how it travels*. The workload runner's
+//! implementation injects every envelope as a routed
+//! `PacketKind::Pushback` packet over the simulated inter-domain links
+//! (the deterministic in-band channel — see ARCHITECTURE.md); the
+//! [`BufferedPlane`] here just records envelopes, which is all the unit
+//! tests (and any out-of-simulator host) need.
+
+use mafic_netsim::{ControlMsg, RequesterId};
+
+/// Where a coordinator's outbound envelopes go.
+///
+/// Two directions, mirroring the pushback topology: `send_upstream`
+/// fans an envelope out to every upstream escalation target (toward the
+/// traffic sources); `send_downstream` answers one specific requester
+/// (toward the victim — the only downstream party a coordinator ever
+/// addresses is someone who just asked it for something).
+pub trait ControlPlane {
+    /// Sends `msg` to every upstream escalation target of this domain.
+    fn send_upstream(&mut self, msg: ControlMsg);
+
+    /// Sends `msg` back downstream to the requester it answers.
+    fn send_downstream(&mut self, to: RequesterId, msg: ControlMsg);
+}
+
+/// A [`ControlPlane`] that buffers envelopes in memory.
+///
+/// The reference non-packet implementation: unit tests assert on the
+/// buffers, and a host embedding the coordinator outside the simulator
+/// can drain them into whatever transport it owns.
+#[derive(Debug, Default)]
+pub struct BufferedPlane {
+    /// Envelopes sent upstream, in send order.
+    pub upstream: Vec<ControlMsg>,
+    /// Envelopes sent downstream, with their addressee, in send order.
+    pub downstream: Vec<(RequesterId, ControlMsg)>,
+}
+
+impl BufferedPlane {
+    /// Creates an empty plane.
+    #[must_use]
+    pub fn new() -> Self {
+        BufferedPlane::default()
+    }
+
+    /// Drops everything buffered so far.
+    pub fn clear(&mut self) {
+        self.upstream.clear();
+        self.downstream.clear();
+    }
+}
+
+impl ControlPlane for BufferedPlane {
+    fn send_upstream(&mut self, msg: ControlMsg) {
+        self.upstream.push(msg);
+    }
+
+    fn send_downstream(&mut self, to: RequesterId, msg: ControlMsg) {
+        self.downstream.push((to, msg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mafic_netsim::{Addr, ControlVerb};
+
+    #[test]
+    fn buffered_plane_records_both_directions() {
+        let me = RequesterId::new(Addr::new(1));
+        let peer = RequesterId::new(Addr::new(2));
+        let msg = ControlMsg::new(
+            me,
+            1,
+            ControlVerb::Withdraw {
+                victim: Addr::new(9),
+            },
+        );
+        let mut plane = BufferedPlane::new();
+        plane.send_upstream(msg);
+        plane.send_downstream(peer, msg);
+        assert_eq!(plane.upstream, vec![msg]);
+        assert_eq!(plane.downstream, vec![(peer, msg)]);
+        plane.clear();
+        assert!(plane.upstream.is_empty() && plane.downstream.is_empty());
+    }
+}

@@ -17,18 +17,19 @@
 //! order; see ARCHITECTURE.md).
 
 use crate::error::WorkloadError;
-use crate::scenario::{PushbackPlan, Scenario};
-use crate::spec::DetectionMode;
+use crate::scenario::{PushbackPlan, PushbackUpstream, Scenario};
+use crate::spec::{DetectionMode, ScenarioSpec};
 use mafic::{DefensePolicy, LogLogTap, MaficFilter, ProportionalFilter, RateLimitFilter};
 use mafic_loglog::{DetectorConfig, RouterSketch, TrafficMatrix, VictimDetector, VictimVerdict};
 use mafic_metrics::{
-    victim_arrival_series, victim_bandwidth_series, BandwidthPoint, MeasureWindows, MetricsReport,
-    PolicyCostReport,
+    victim_arrival_series, victim_bandwidth_series, BandwidthPoint, ControlPlaneReport,
+    MeasureWindows, MetricsReport, PolicyCostReport,
 };
 use mafic_netsim::{
-    Addr, ControlMsg, FlowKey, NodeId, PacketKind, PushbackMsg, SimDuration, SimTime, Simulator,
+    Addr, ControlMsg, ControlVerb, FilterControl, FlowKey, NodeId, PacketKind, RequesterId,
+    SimDuration, SimTime, Simulator,
 };
-use mafic_pushback::{ControlChannel, PushbackAction};
+use mafic_pushback::{ControlChannel, ControlPlane, LifecycleState, PushbackAction};
 
 /// Propagation allowance for intra-domain control messages.
 const CONTROL_DELAY: SimDuration = SimDuration::from_millis(5);
@@ -36,6 +37,10 @@ const CONTROL_DELAY: SimDuration = SimDuration::from_millis(5);
 const PUSHBACK_PACKET_BYTES: u32 = 64;
 /// Port used by the coordinator control flows.
 const PUSHBACK_PORT: u16 = 9;
+/// Victim-bound aggregate (bytes/s) a malicious requester claims in its
+/// forged requests — flood-scale by design, so an honest upstream whose
+/// own meter sees only normal traffic cannot corroborate it.
+const MALICIOUS_CLAIM_BPS: u64 = 8_000_000;
 
 /// Everything a finished run produces.
 #[derive(Debug)]
@@ -63,6 +68,13 @@ pub struct RunOutcome {
     /// policy actually deployed; empty only for a scenario with no
     /// defense filters at all.
     pub policy_costs: Vec<PolicyCostReport>,
+    /// Control-plane health counters: requests, denials by reason,
+    /// forged envelopes, stops, and the stand-down latency. All zeros
+    /// in single-domain runs (no inter-domain control plane exists).
+    pub control: ControlPlaneReport,
+    /// When the victim domain stood its defense down after observing
+    /// the flood subside (`None` if it never did).
+    pub stood_down_at: Option<SimTime>,
     /// Total packets injected during the run.
     pub packets_sent: u64,
     /// Total packets delivered during the run.
@@ -88,13 +100,13 @@ fn sorted_unique(mut nodes: Vec<NodeId>) -> Vec<NodeId> {
     nodes
 }
 
-/// Re-prices a pushback message for a target `level_cost` pushback
+/// Re-prices a pushback envelope for a target `level_cost` pushback
 /// levels away: the coordinator already charged one hop, each *extra*
 /// level crossed (skipped non-participating domains) is charged from
 /// the carried budget. Returns `None` when the budget cannot cover the
 /// distance — the request is not sent and the coverage gap stands.
-/// `Withdraw` carries no budget and always forwards.
-fn charge_skip_cost(msg: PushbackMsg, level_cost: u32) -> Option<PushbackMsg> {
+/// `Withdraw`, `Stop`, and `Deny` carry no budget and always forward.
+fn charge_skip_cost(msg: ControlMsg, level_cost: u32) -> Option<ControlMsg> {
     let extra = level_cost.saturating_sub(1);
     if extra == 0 {
         return Some(msg);
@@ -102,21 +114,101 @@ fn charge_skip_cost(msg: PushbackMsg, level_cost: u32) -> Option<PushbackMsg> {
     let reprice = |budget: u8| -> Option<u8> {
         (u32::from(budget) >= extra).then(|| budget - u8::try_from(extra).unwrap_or(u8::MAX))
     };
-    match msg {
-        PushbackMsg::PushbackRequest {
+    let verb = match msg.verb {
+        ControlVerb::Request {
             victim,
             aggregate_bps,
             budget,
-        } => reprice(budget).map(|budget| PushbackMsg::PushbackRequest {
+        } => ControlVerb::Request {
             victim,
             aggregate_bps,
-            budget,
-        }),
-        PushbackMsg::Refresh { victim, budget } => {
-            reprice(budget).map(|budget| PushbackMsg::Refresh { victim, budget })
-        }
-        PushbackMsg::Withdraw { victim } => Some(PushbackMsg::Withdraw { victim }),
+            budget: reprice(budget)?,
+        },
+        ControlVerb::Refresh { victim, budget } => ControlVerb::Refresh {
+            victim,
+            budget: reprice(budget)?,
+        },
+        verb @ (ControlVerb::Withdraw { .. }
+        | ControlVerb::Stop { .. }
+        | ControlVerb::Deny { .. }
+        | ControlVerb::Report { .. }) => verb,
+    };
+    Some(ControlMsg { verb, ..msg })
+}
+
+/// The deterministic in-band [`ControlPlane`]: every envelope a
+/// coordinator emits is injected as a routed `PacketKind::Pushback`
+/// packet at the appropriate local router, then crosses the simulated
+/// inter-domain links under the same total event order as the data
+/// plane (ARCHITECTURE.md rule 2). Upstream sends fan out over the
+/// domain's effective escalation targets (skip costs charged);
+/// downstream replies are injected at the domain's gateway and route to
+/// the requester's control address.
+struct InBandPlane<'a> {
+    sim: &'a mut Simulator,
+    now: SimTime,
+    ctrl_addr: Addr,
+    gateway: NodeId,
+    upstream: &'a [PushbackUpstream],
+    /// Counts every `Request` envelope actually injected (one per
+    /// upstream target that the skip-cost pricing admitted) — the
+    /// denominator the per-receiver denial tallies are compared
+    /// against.
+    requests_out: &'a mut u64,
+}
+
+impl InBandPlane<'_> {
+    fn inject(&mut self, at: NodeId, dst: Addr, msg: ControlMsg) {
+        let key = FlowKey::new(self.ctrl_addr, dst, PUSHBACK_PORT, PUSHBACK_PORT);
+        self.sim.inject_packet(
+            at,
+            key,
+            PacketKind::Pushback(msg),
+            PUSHBACK_PACKET_BYTES,
+            false,
+            self.now,
+        );
     }
+}
+
+impl ControlPlane for InBandPlane<'_> {
+    fn send_upstream(&mut self, msg: ControlMsg) {
+        for u in 0..self.upstream.len() {
+            let up = self.upstream[u];
+            // Skipping over non-participating domains costs extra
+            // budget — one hop per level crossed. A target too far for
+            // the remaining budget gets no envelope at all (the
+            // coverage gap holds).
+            let Some(msg) = charge_skip_cost(msg, up.level_cost) else {
+                continue;
+            };
+            if matches!(msg.verb, ControlVerb::Request { .. }) {
+                *self.requests_out += 1;
+            }
+            self.inject(up.border, up.ctrl_addr, msg);
+        }
+    }
+
+    fn send_downstream(&mut self, to: RequesterId, msg: ControlMsg) {
+        self.inject(self.gateway, to.addr(), msg);
+    }
+}
+
+/// Control-plane bookkeeping the runner accumulates across intervals.
+#[derive(Debug, Default)]
+struct ControlAccounting {
+    /// `Request` envelopes injected into the control plane, honest and
+    /// malicious alike (per envelope, not per send decision — a fanout
+    /// sends one per admitted upstream target).
+    requests_injected: u64,
+    /// Forged-request campaigns a malicious domain has run so far
+    /// (doubles as its envelope nonce, which must advance per send).
+    malicious_requests: u64,
+    /// When the victim's coordinator entered `StandingDown`.
+    stood_down_at: Option<SimTime>,
+    /// First interval boundary at which, after the stand-down, every
+    /// coordinator in the chain was idle again (zero live leases).
+    teardown_done_at: Option<SimTime>,
 }
 
 /// Sums the deployment-cost proxies of every defense filter, grouped by
@@ -180,76 +272,124 @@ fn collect_policy_costs(scenario: &Scenario) -> Vec<PolicyCostReport> {
 fn step_pushback(
     sim: &mut Simulator,
     plan: &mut PushbackPlan,
+    spec: &ScenarioSpec,
     victim: Addr,
-    budget: u32,
     triggered: bool,
     elapsed: SimDuration,
     atr_nodes: &mut Vec<NodeId>,
     escalations: &mut Vec<(SimTime, usize)>,
     max_depth: &mut u32,
+    acct: &mut ControlAccounting,
 ) {
+    // The escalation budget carried in envelopes, capped to its wire
+    // width. Shared by the honest victim start and the malicious
+    // campaign's forged requests.
+    let depth_budget =
+        u8::try_from(spec.pushback_depth.min(u32::from(u8::MAX))).expect("capped to u8::MAX");
     // The victim domain's coordinator rides on the local defense: the
     // detector (or its fallback) starts it, with the spec's depth as
-    // the escalation budget.
-    if triggered && !plan.domains[0].coordinator.is_defending() {
-        let capped = u8::try_from(budget.min(u32::from(u8::MAX))).expect("capped to u8::MAX");
-        plan.domains[0].coordinator.local_start(victim, capped);
+    // the escalation budget. Once the victim has stood the defense
+    // down (flood subsided), the latched trigger must not restart it.
+    if triggered && acct.stood_down_at.is_none() && !plan.domains[0].coordinator.is_defending() {
+        plan.domains[0]
+            .coordinator
+            .local_start(victim, depth_budget);
     }
     let interval_secs = elapsed.as_secs_f64();
     for d in 0..plan.domains.len() {
+        let now = sim.now();
+        // A compromised domain runs the malicious-pushback campaign
+        // instead of its honest coordinator: every interval once the
+        // attack is under way, it asks each of its escalation targets
+        // to drop a flood toward the victim that does not exist. Its
+        // envelopes are authentic (its own boundary identity, advancing
+        // nonces) — only the trust ledgers upstream can stop it.
+        if spec.malicious_pushback == Some(d) {
+            // Drain any Deny replies so the inbox stays bounded, and
+            // keep the meters interval-scoped.
+            let _ = sim
+                .agent_mut::<ControlChannel>(plan.domains[d].channel)
+                .expect("control channel installed at build time")
+                .drain();
+            drain_meters(sim, plan, d);
+            if now >= spec.attack_start {
+                acct.malicious_requests += 1;
+                let dom = &mut plan.domains[d];
+                let msg = ControlMsg::new(
+                    RequesterId::new(dom.ctrl_addr),
+                    acct.malicious_requests,
+                    ControlVerb::Request {
+                        victim,
+                        aggregate_bps: MALICIOUS_CLAIM_BPS,
+                        budget: depth_budget,
+                    },
+                );
+                let mut plane = InBandPlane {
+                    sim,
+                    now,
+                    ctrl_addr: dom.ctrl_addr,
+                    gateway: dom.gateway,
+                    upstream: &dom.upstream,
+                    requests_out: &mut acct.requests_injected,
+                };
+                plane.send_upstream(msg);
+            }
+            continue;
+        }
         // Non-participating domains have no filters, meters, or inbound
         // requests — the cascade treats them as plain forwarders.
         if !plan.domains[d].policy.participating() {
             continue;
         }
-        let now = sim.now();
         let mut actions = Vec::new();
-        // 1. Messages that arrived over the control channel.
+        // 1. Envelopes that arrived over the control channel.
         let inbox = sim
             .agent_mut::<ControlChannel>(plan.domains[d].channel)
             .expect("control channel installed at build time")
             .drain();
-        for (_at, msg) in inbox {
-            plan.domains[d].coordinator.on_message(msg, &mut actions);
-        }
-        // 2. Meter windows: offered pressure drives escalation; the
-        //    residual is accounting only. Indexed loops — the meter
-        //    handles are Copy pairs — so draining borrows the plan and
-        //    the simulator one statement at a time, no clones.
-        let mut inflow_bytes = 0u64;
-        for m in 0..plan.domains[d].pre_meters.len() {
-            let (node, idx) = plan.domains[d].pre_meters[m];
-            let meter = sim
-                .filter_mut::<mafic_pushback::VictimRateMeter>(node, idx)
-                .expect("meter installed at build time");
-            inflow_bytes += meter.take_window().0;
-        }
-        let mut residual_bytes = 0u64;
-        for m in 0..plan.domains[d].post_meters.len() {
-            let (node, idx) = plan.domains[d].post_meters[m];
-            let meter = sim
-                .filter_mut::<mafic_pushback::VictimRateMeter>(node, idx)
-                .expect("meter installed at build time");
-            residual_bytes += meter.take_window().0;
-        }
-        plan.domains[d].residual_bytes += residual_bytes;
-        let inflow_bps = if interval_secs > 0.0 {
-            inflow_bytes as f64 / interval_secs
-        } else {
-            0.0
+        // 2. Meter windows first: offered pressure drives escalation
+        //    *and* attestation of inbound claims; the residual is
+        //    accounting only. The local-ingress component (non-border
+        //    meters) feeds the subsidence reconstruction.
+        let drained = drain_meters(sim, plan, d);
+        let to_bps = |bytes: u64| {
+            if interval_secs > 0.0 {
+                bytes as f64 / interval_secs
+            } else {
+                0.0
+            }
         };
-        // 3. Advance the state machine.
-        plan.domains[d]
-            .coordinator
-            .on_interval(inflow_bps, &mut actions);
-        // 4. Apply its actions.
+        let inflow_bps = to_bps(drained.inflow_bytes);
+        let local_bps = to_bps(drained.local_bytes);
+        // 3. Feed the state machine: inbound envelopes (vetted against
+        //    the observed inflow), then the interval tick. Outbound
+        //    envelopes go straight through the in-band plane; local
+        //    filter effects come back as actions.
+        {
+            let dom = &mut plan.domains[d];
+            let mut plane = InBandPlane {
+                sim,
+                now,
+                ctrl_addr: dom.ctrl_addr,
+                gateway: dom.gateway,
+                upstream: &dom.upstream,
+                requests_out: &mut acct.requests_injected,
+            };
+            for (_at, msg) in inbox {
+                dom.coordinator
+                    .on_message(msg, inflow_bps, &mut plane, &mut actions);
+            }
+            dom.coordinator
+                .on_interval(inflow_bps, local_bps, &mut plane, &mut actions);
+        }
+        // 4. Apply the local actions.
         for action in actions {
             match action {
                 PushbackAction::ActivateLocal { victim } => {
                     for &(node, _) in &plan.domains[d].atrs {
                         sim.send_control(
                             node,
-                            ControlMsg::PushbackStart { victim },
+                            FilterControl::PushbackStart { victim },
                             now + CONTROL_DELAY,
                         );
                         atr_nodes.push(node);
@@ -259,35 +399,106 @@ fn step_pushback(
                 }
                 PushbackAction::DeactivateLocal => {
                     for &(node, _) in &plan.domains[d].atrs {
-                        sim.send_control(node, ControlMsg::PushbackStop, now + CONTROL_DELAY);
-                    }
-                }
-                PushbackAction::SendUpstream(msg) => {
-                    let ctrl_src = plan.domains[d].ctrl_addr;
-                    for u in 0..plan.domains[d].upstream.len() {
-                        let up = plan.domains[d].upstream[u];
-                        // Skipping over non-participating domains costs
-                        // extra budget — one hop per level crossed. A
-                        // target too far for the remaining budget gets
-                        // no request at all (the coverage gap holds).
-                        let Some(msg) = charge_skip_cost(msg, up.level_cost) else {
-                            continue;
-                        };
-                        let key =
-                            FlowKey::new(ctrl_src, up.ctrl_addr, PUSHBACK_PORT, PUSHBACK_PORT);
-                        sim.inject_packet(
-                            up.border,
-                            key,
-                            PacketKind::Pushback(msg),
-                            PUSHBACK_PACKET_BYTES,
-                            false,
-                            now,
-                        );
+                        sim.send_control(node, FilterControl::PushbackStop, now + CONTROL_DELAY);
                     }
                 }
             }
         }
+        // 5. Lifecycle bookkeeping: timestamp the victim's stand-down
+        //    decision the interval it happens.
+        if d == 0
+            && acct.stood_down_at.is_none()
+            && plan.domains[0].coordinator.state() == LifecycleState::StandingDown
+        {
+            acct.stood_down_at = Some(now);
+        }
     }
+    // After the stand-down, the teardown is complete the first interval
+    // every coordinator is idle again (zero live leases anywhere).
+    if acct.stood_down_at.is_some()
+        && acct.teardown_done_at.is_none()
+        && plan
+            .domains
+            .iter()
+            .all(|dom| dom.coordinator.state() == LifecycleState::Idle)
+    {
+        acct.teardown_done_at = Some(sim.now());
+    }
+}
+
+/// One interval's drained meter windows for a domain.
+struct DrainedMeters {
+    /// Victim-bound bytes offered at every ATR (pre-filter).
+    inflow_bytes: u64,
+    /// The subset of `inflow_bytes` that entered through non-border
+    /// ATRs — the domain's own local-ingress component.
+    local_bytes: u64,
+}
+
+/// Drains domain `d`'s pre/post meter windows, accumulates the residual
+/// and returns the offered totals. Indexed loops — the meter handles
+/// are Copy pairs — so draining borrows the plan and the simulator one
+/// statement at a time, no clones.
+fn drain_meters(sim: &mut Simulator, plan: &mut PushbackPlan, d: usize) -> DrainedMeters {
+    let mut inflow_bytes = 0u64;
+    let mut local_bytes = 0u64;
+    for m in 0..plan.domains[d].pre_meters.len() {
+        let (node, idx) = plan.domains[d].pre_meters[m];
+        let meter = sim
+            .filter_mut::<mafic_pushback::VictimRateMeter>(node, idx)
+            .expect("meter installed at build time");
+        let bytes = meter.take_window().0;
+        inflow_bytes += bytes;
+        if plan.domains[d].border_nodes.binary_search(&node).is_err() {
+            local_bytes += bytes;
+        }
+    }
+    let mut residual_bytes = 0u64;
+    for m in 0..plan.domains[d].post_meters.len() {
+        let (node, idx) = plan.domains[d].post_meters[m];
+        let meter = sim
+            .filter_mut::<mafic_pushback::VictimRateMeter>(node, idx)
+            .expect("meter installed at build time");
+        residual_bytes += meter.take_window().0;
+    }
+    plan.domains[d].residual_bytes += residual_bytes;
+    DrainedMeters {
+        inflow_bytes,
+        local_bytes,
+    }
+}
+
+/// Sums the control-plane counters of every coordinator, channel, and
+/// the runner's own accounting into the per-run report.
+fn collect_control_report(scenario: &Scenario, acct: &ControlAccounting) -> ControlPlaneReport {
+    let Some(plan) = scenario.pushback.as_ref() else {
+        return ControlPlaneReport::default();
+    };
+    let mut report = ControlPlaneReport {
+        requests_sent: acct.requests_injected,
+        ..ControlPlaneReport::default()
+    };
+    for dom in &plan.domains {
+        let stats = dom.coordinator.stats();
+        report.stops_sent += stats.stops_sent;
+        report.withdraws_sent += stats.withdraws_sent;
+        let ledger = dom.coordinator.ledger();
+        report.installs_granted += ledger.granted_installs();
+        let denies = ledger.denies();
+        report.denied_bad_version += denies.bad_version;
+        report.denied_untrusted += denies.untrusted;
+        report.denied_replayed += denies.replayed;
+        report.denied_uncorroborated += denies.uncorroborated;
+        report.denied_budget += denies.budget_exhausted;
+        if let Some(channel) = scenario.sim.agent::<ControlChannel>(dom.channel) {
+            report.forged_dropped += channel.forged_dropped();
+        }
+    }
+    report.stand_down_latency_s = match (acct.stood_down_at, acct.teardown_done_at) {
+        (Some(down), Some(done)) => Some(done.saturating_since(down).as_secs_f64()),
+        _ => None,
+    };
+    report
 }
 
 /// Runs a scenario to completion. The scenario is borrowed, not
@@ -314,6 +525,7 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
     let mut atr_nodes: Vec<NodeId> = Vec::new();
     let mut escalations: Vec<(SimTime, usize)> = Vec::new();
     let mut max_pushback_depth = 0u32;
+    let mut acct = ControlAccounting::default();
 
     let auto = matches!(scenario.spec.detection, DetectionMode::Auto);
     if let DetectionMode::AtTime(at) = scenario.spec.detection {
@@ -354,13 +566,14 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
             step_pushback(
                 &mut scenario.sim,
                 plan,
+                &scenario.spec,
                 scenario.domain.victim_addr,
-                scenario.spec.pushback_depth,
                 triggered_at.is_some_and(|t| t <= stop),
                 elapsed,
                 &mut atr_nodes,
                 &mut escalations,
                 &mut max_pushback_depth,
+                &mut acct,
             );
         }
         if !auto || triggered_at.is_some() {
@@ -376,7 +589,7 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
                 for &(node, _) in &scenario.droppers {
                     scenario.sim.send_control(
                         node,
-                        ControlMsg::PushbackStart {
+                        FilterControl::PushbackStart {
                             victim: scenario.domain.victim_addr,
                         },
                         at,
@@ -408,7 +621,7 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
                 }
                 scenario.sim.send_control(
                     node,
-                    ControlMsg::PushbackStart {
+                    FilterControl::PushbackStart {
                         victim: scenario.domain.victim_addr,
                     },
                     at,
@@ -439,6 +652,7 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
         residual: SimDuration::from_secs(2),
     };
     let policy_costs = collect_policy_costs(scenario);
+    let control = collect_control_report(scenario, &acct);
     let stats = scenario.sim.stats();
     let report = MetricsReport::from_stats(stats, &windows);
     let series = victim_arrival_series(stats);
@@ -452,6 +666,8 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
         escalations,
         max_pushback_depth,
         policy_costs,
+        control,
+        stood_down_at: acct.stood_down_at,
         packets_sent: stats.total_sent,
         packets_delivered: stats.total_delivered,
     })
@@ -655,34 +871,44 @@ mod tests {
     #[test]
     fn charge_skip_cost_prices_levels_and_enforces_budget() {
         let victim = Addr::new(7);
-        let req = PushbackMsg::PushbackRequest {
+        let requester = RequesterId::new(Addr::new(99));
+        let envelope = |verb| ControlMsg::new(requester, 3, verb);
+        let req = envelope(ControlVerb::Request {
             victim,
             aggregate_bps: 1000,
             budget: 2,
-        };
-        // Direct neighbor: unchanged.
+        });
+        // Direct neighbor: unchanged (identity and nonce included).
         assert_eq!(charge_skip_cost(req, 1), Some(req));
-        // Two levels away: one extra hop charged.
+        // Two levels away: one extra hop charged; the rest of the
+        // envelope survives untouched.
         assert_eq!(
             charge_skip_cost(req, 2),
-            Some(PushbackMsg::PushbackRequest {
+            Some(envelope(ControlVerb::Request {
                 victim,
                 aggregate_bps: 1000,
                 budget: 1,
-            })
+            }))
         );
         // Four levels away: budget 2 cannot cover 3 extra hops.
         assert_eq!(charge_skip_cost(req, 4), None);
         // Refresh follows the same pricing.
-        let refresh = PushbackMsg::Refresh { victim, budget: 1 };
+        let refresh = envelope(ControlVerb::Refresh { victim, budget: 1 });
         assert_eq!(
             charge_skip_cost(refresh, 2),
-            Some(PushbackMsg::Refresh { victim, budget: 0 })
+            Some(envelope(ControlVerb::Refresh { victim, budget: 0 }))
         );
         assert_eq!(charge_skip_cost(refresh, 3), None);
-        // Withdraw always forwards.
-        let withdraw = PushbackMsg::Withdraw { victim };
+        // Withdraw, Stop, and Deny always forward.
+        let withdraw = envelope(ControlVerb::Withdraw { victim });
         assert_eq!(charge_skip_cost(withdraw, 5), Some(withdraw));
+        let stop = envelope(ControlVerb::Stop { victim });
+        assert_eq!(charge_skip_cost(stop, 5), Some(stop));
+        let deny = envelope(ControlVerb::Deny {
+            victim,
+            reason: mafic_netsim::DenyReason::BudgetExhausted,
+        });
+        assert_eq!(charge_skip_cost(deny, 5), Some(deny));
     }
 
     #[test]
@@ -736,6 +962,35 @@ mod tests {
         );
         // Only the victim domain's boundary ever activates.
         assert!(outcome.escalations.iter().all(|&(_, d)| d == 0));
+    }
+
+    #[test]
+    fn cross_traffic_counts_as_legitimate_bystander_traffic() {
+        let without = run_spec(quick_multi_spec(1)).unwrap();
+        let spec = ScenarioSpec {
+            cross_traffic_bps: 50_000.0,
+            ..quick_multi_spec(1)
+        };
+        let mut scenario = crate::scenario::Scenario::build(spec).unwrap();
+        let with = run_scenario(&mut scenario).unwrap();
+        // The background flows are declared legitimate, so the
+        // collateral denominator grows and their losses (if any) are
+        // visible to the metrics.
+        assert!(
+            with.report.legit_data_sent > without.report.legit_data_sent,
+            "cross traffic must add legitimate data: {} vs {}",
+            with.report.legit_data_sent,
+            without.report.legit_data_sent
+        );
+        // The flows actually moved packets across the transit tier.
+        let key = scenario.cross_traffic[0];
+        let record = scenario
+            .sim
+            .stats()
+            .flow(&key)
+            .expect("cross flow is declared");
+        assert!(!record.is_attack);
+        assert!(record.sent > 0, "cross sender must emit packets");
     }
 
     #[test]

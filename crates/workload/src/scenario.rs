@@ -20,8 +20,10 @@ use mafic::{
     AddressValidator, DefensePolicy, LogLogTap, MaficConfig, MaficFilter, ProportionalFilter,
     RateLimitFilter,
 };
-use mafic_netsim::{Addr, AgentId, FlowKey, LinkSpec, NodeId, SimDuration, SimTime, Simulator};
-use mafic_pushback::{ControlChannel, DomainCoordinator, PushbackConfig, PushbackRole};
+use mafic_netsim::{
+    Addr, AgentId, FlowKey, LinkSpec, NodeId, RequesterId, SimDuration, SimTime, Simulator,
+};
+use mafic_pushback::{ControlChannel, DomainCoordinator, PushbackRole};
 use mafic_topology::{
     AddressSpace, Domain, DomainConfig, HostInfo, Internet, InternetConfig, PREFIX_LEN,
 };
@@ -96,12 +98,20 @@ pub struct PushbackDomainControl {
     pub channel: AgentId,
     /// The domain's control address.
     pub ctrl_addr: Addr,
+    /// The domain's gateway router (faces the downstream neighbor) —
+    /// where downstream-bound control packets (`Deny`) are injected.
+    pub gateway: NodeId,
     /// Pushback level (victim domain = 0).
     pub level: u32,
     /// Upstream neighbors, escalation targets.
     pub upstream: Vec<PushbackUpstream>,
     /// `(router, filter index)` of the domain's ATR defense filters.
     pub atrs: Vec<(NodeId, usize)>,
+    /// Border routers among the ATRs (inter-domain links from upstream
+    /// terminate here), sorted. Pre-meters at these nodes measure
+    /// pass-through traffic an upstream report can cover; the rest is
+    /// the domain's own local-ingress component.
+    pub border_nodes: Vec<NodeId>,
     /// Pre-dropper meters: offered victim-bound pressure.
     pub pre_meters: Vec<(NodeId, usize)>,
     /// Post-dropper meters: residual leaking past the local defense.
@@ -140,6 +150,10 @@ pub struct Scenario {
     pub taps: Vec<(NodeId, usize)>,
     /// The victim sink agent.
     pub victim_agent: AgentId,
+    /// Flow keys of the background cross-traffic flows through the
+    /// transit tier (empty unless `spec.cross_traffic_bps > 0`). These
+    /// are legitimate flows not aimed at the victim.
+    pub cross_traffic: Vec<FlowKey>,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -251,7 +265,7 @@ impl Scenario {
             for &(router, _) in &droppers {
                 sim.send_control(
                     router,
-                    mafic_netsim::ControlMsg::PushbackStart {
+                    mafic_netsim::FilterControl::PushbackStart {
                         victim: domain.victim_addr,
                     },
                     at,
@@ -269,6 +283,7 @@ impl Scenario {
             droppers,
             taps,
             victim_agent,
+            cross_traffic: Vec::new(),
         })
     }
 
@@ -302,7 +317,9 @@ impl Scenario {
             .collect();
         let transit_cfg = DomainConfig {
             n_routers: 8,
-            n_hosts: 1,
+            // Cross traffic needs a sender (host 0) and a sink (host 1)
+            // per transit domain; without it one idle host suffices.
+            n_hosts: if spec.cross_traffic_bps > 0.0 { 2 } else { 1 },
             seed: spec.seed ^ 0xD0_4A1,
             ..DomainConfig::default()
         };
@@ -360,8 +377,7 @@ impl Scenario {
         debug_assert_eq!(policies.len(), internet.domains.len());
         let mut droppers = Vec::new();
         let mut plan_domains = Vec::with_capacity(internet.domains.len());
-        let threshold_bps =
-            spec.escalation_threshold * DomainConfig::default().victim_bandwidth_bps / 8.0;
+        let pushback_config = spec.pushback_config();
         for (d, idom) in internet.domains.iter().enumerate() {
             let policy = policies[d];
             // The domain's ATRs: where victim-bound traffic enters it.
@@ -412,25 +428,45 @@ impl Scenario {
             } else {
                 PushbackRole::Upstream
             };
-            let coordinator = DomainCoordinator::new(
-                PushbackConfig {
-                    threshold_bps,
-                    ..PushbackConfig::default()
-                },
-                role,
-            );
+            let coordinator =
+                DomainCoordinator::new(pushback_config, role, RequesterId::new(idom.ctrl_addr));
+            let mut border_nodes: Vec<NodeId> = idom.upstream.iter().map(|e| e.border).collect();
+            border_nodes.sort();
+            border_nodes.dedup();
             plan_domains.push(PushbackDomainControl {
                 coordinator,
                 policy,
                 channel,
                 ctrl_addr: idom.ctrl_addr,
+                gateway: idom.gateway,
                 level: idom.level,
                 upstream: effective_upstreams(&internet, &policies, d),
+                border_nodes,
                 atrs,
                 pre_meters,
                 post_meters,
                 residual_bytes: 0,
             });
+        }
+
+        // Trust wiring: invert the escalation topology. Whoever domain
+        // `d` may escalate to must recognize `d`'s boundary identity as
+        // an authorized downstream requester — and `d` in turn believes
+        // only those targets' replies (`Deny`, `Report`). Everybody
+        // else stays untrusted. A compromised-but-authorized domain is
+        // then stopped by attestation, not identity.
+        let edges: Vec<(usize, usize)> = plan_domains
+            .iter()
+            .enumerate()
+            .flat_map(|(d, dom)| dom.upstream.iter().map(move |up| (d, up.domain)))
+            .collect();
+        for (requester, target) in edges {
+            let requester_id = RequesterId::new(plan_domains[requester].ctrl_addr);
+            let target_id = RequesterId::new(plan_domains[target].ctrl_addr);
+            plan_domains[target].coordinator.authorize(requester_id);
+            plan_domains[requester]
+                .coordinator
+                .trust_upstream(target_id);
         }
 
         // Traffic: flow i lives in stub i % n_stubs.
@@ -455,12 +491,24 @@ impl Scenario {
             ));
         }
 
+        // Background cross traffic through the transit tier: one
+        // long-lived TCP flow per transit domain, host 0 of transit
+        // level l toward host 1 of the next transit domain around the
+        // tier (itself when the tier has a single domain) — innocent
+        // bystander traffic sharing the congested inter-domain links
+        // without ever touching the victim.
+        let cross_traffic = if spec.cross_traffic_bps > 0.0 {
+            provision_cross_traffic(&mut sim, &spec, &internet, n_transit)
+        } else {
+            Vec::new()
+        };
+
         // Fixed-time detection: victim-domain defense at a fixed time.
         if let DetectionMode::AtTime(at) = spec.detection {
             for &(router, _) in &droppers {
                 sim.send_control(
                     router,
-                    mafic_netsim::ControlMsg::PushbackStart {
+                    mafic_netsim::FilterControl::PushbackStart {
                         victim: domain.victim_addr,
                     },
                     at,
@@ -480,8 +528,65 @@ impl Scenario {
             droppers,
             taps,
             victim_agent,
+            cross_traffic,
         })
     }
+}
+
+/// Port base of the transit cross-traffic flows (clear of the per-flow
+/// `1024 + i` range used by the scenario's victim-bound senders).
+const CROSS_TRAFFIC_PORT_BASE: u16 = 21000;
+
+/// Provisions one background TCP flow per transit domain (sender at
+/// host 0, sink at host 1 of the next transit domain around the tier).
+/// The flows are declared legitimate, so their losses show up in the
+/// collateral accounting — transit congestion now harms bystanders the
+/// metrics can see. `cross_traffic_bps` bounds each flow's rate through
+/// its congestion-window cap (approximate: window = rate × an assumed
+/// 100 ms RTT).
+fn provision_cross_traffic(
+    sim: &mut Simulator,
+    spec: &ScenarioSpec,
+    internet: &Internet,
+    n_transit: usize,
+) -> Vec<FlowKey> {
+    let mut keys = Vec::with_capacity(n_transit);
+    let segment_bytes = 500.0;
+    let assumed_rtt_s = 0.1;
+    let max_cwnd = (spec.cross_traffic_bps * assumed_rtt_s / segment_bytes).clamp(2.0, 64.0);
+    for t in 1..=n_transit {
+        let dest = if n_transit == 1 {
+            t
+        } else {
+            (t % n_transit) + 1
+        };
+        let src_host = &internet.domains[t].domain.hosts[0];
+        let dst_host = &internet.domains[dest].domain.hosts[1];
+        let key = FlowKey::new(
+            src_host.addr,
+            dst_host.addr,
+            CROSS_TRAFFIC_PORT_BASE + t as u16,
+            80,
+        );
+        let sink = sim.add_agent(
+            dst_host.node,
+            Box::new(VictimSink::default()),
+            SimTime::ZERO,
+        );
+        sim.bind_local_addr(dst_host.node, dst_host.addr, sink);
+        let tcp_config = TcpConfig {
+            max_cwnd,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(2),
+            ..TcpConfig::default()
+        };
+        let sender = TcpSender::new(key, tcp_config, false);
+        let agent = sim.add_agent(src_host.node, Box::new(sender), SimTime::ZERO);
+        sim.bind_local_addr(src_host.node, src_host.addr, agent);
+        sim.stats_mut().declare_flow(key, false, true);
+        keys.push(key);
+    }
+    keys
 }
 
 /// Installs the LogLog taps over the victim domain's routers (in
@@ -692,7 +797,7 @@ fn provision_flow(
         protocol,
     };
     let mut sender = UnresponsiveSender::new(key, config, true, spec.seed ^ (i as u64) << 3);
-    sender.set_stop_after(spec.end);
+    sender.set_stop_after(spec.attack_end.unwrap_or(spec.end));
     let agent = sim.add_agent(host.node, Box::new(sender), spec.attack_start);
     sim.bind_local_addr(host.node, host.addr, agent);
     sim.stats_mut()
@@ -936,6 +1041,32 @@ mod tests {
         for d in &plan.domains[1..] {
             assert!(d.atrs.is_empty());
         }
+    }
+
+    #[test]
+    fn cross_traffic_provisions_one_flow_per_transit_domain() {
+        let spec = ScenarioSpec {
+            cross_traffic_bps: 50_000.0,
+            ..multi_spec()
+        };
+        let s = Scenario::build(spec).unwrap();
+        let net = s.internet.as_ref().unwrap();
+        // One transit level in multi_spec() → one cross flow.
+        assert_eq!(s.cross_traffic.len(), 1);
+        let key = s.cross_traffic[0];
+        // Sender and sink both live in the transit tier; the victim is
+        // never the destination.
+        assert_ne!(key.dst, s.domain.victim_addr);
+        let transit = &net.domains[1].domain;
+        assert!(transit.hosts.iter().any(|h| h.addr == key.src));
+        assert!(transit.hosts.iter().any(|h| h.addr == key.dst));
+        // Without the knob, transit hosts stay idle and single-homed.
+        let off = Scenario::build(multi_spec()).unwrap();
+        assert!(off.cross_traffic.is_empty());
+        assert_eq!(
+            off.internet.as_ref().unwrap().domains[1].domain.hosts.len(),
+            1
+        );
     }
 
     #[test]

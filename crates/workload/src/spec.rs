@@ -9,7 +9,8 @@ use mafic::{DefensePolicy, DropPolicy, LabelMode};
 use mafic_loglog::hash::{mix2, mix64};
 use mafic_loglog::Precision;
 use mafic_netsim::{SimDuration, SimTime};
-use mafic_topology::TransitTopology;
+use mafic_pushback::{PushbackConfig, TrustConfig};
+use mafic_topology::{DomainConfig, TransitTopology};
 
 /// How the pushback trigger is decided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +103,46 @@ pub struct ScenarioSpec {
     /// aggregate entering its ATRs stays above this for the trigger
     /// window. Ignored when `domains == 1`.
     pub escalation_threshold: f64,
+    /// Per-requester install budget of every upstream trust ledger:
+    /// how many fresh filter installs one downstream requester may
+    /// cause at a given domain over the run. `0` refuses every
+    /// escalation (upstream domains never defend on request). Ignored
+    /// when `domains == 1`.
+    pub trust_budget: u32,
+    /// Attestation strictness of the trust ledgers: the fraction of a
+    /// claimed victim-bound aggregate an upstream's own boundary meter
+    /// must corroborate before it installs filters. `0` disables
+    /// attestation (the unguarded legacy behaviour — any authorized
+    /// requester is believed). Ignored when `domains == 1`.
+    pub attestation_fraction: f64,
+    /// Consecutive healthy monitor intervals (victim-bound boundary
+    /// inflow at or below 1.5× the victim link) after which the victim
+    /// domain stands the whole defense down: local deactivation, `Stop`
+    /// upstream, `Withdraw` cascading through the chain. `0` disables
+    /// subsidence detection. Ignored when `domains == 1`.
+    pub subsidence_intervals: u32,
+    /// When the attack traffic stops (`None` = zombies send until
+    /// [`end`](ScenarioSpec::end)). Setting this mid-run is how the
+    /// flood-subsidence lifecycle is exercised end to end.
+    pub attack_end: Option<SimTime>,
+    /// Approximate per-flow rate (bytes/s) of the background cross
+    /// traffic through the transit tier: each transit domain hosts one
+    /// long-lived TCP flow to a neighboring transit domain, **not**
+    /// aimed at the victim, so transit congestion and collateral
+    /// numbers reflect innocent-bystander traffic too. `0` (the
+    /// default) disables cross traffic. Requires a transit tier.
+    pub cross_traffic_bps: f64,
+    /// Index (in [`mafic_topology::Internet::domains`] order) of a
+    /// compromised domain mounting **malicious pushback**: every
+    /// monitor interval from [`attack_start`](ScenarioSpec::attack_start)
+    /// it sends forged `Request` envelopes upstream, claiming a flood
+    /// toward the victim that does not exist, trying to get the
+    /// victim's legitimate traffic dropped. Its own honest coordinator
+    /// is disabled. `None` (the default) models no such attacker; the
+    /// attacker must be a *transit* domain — the victim (index 0)
+    /// defends itself, and source stubs have no upstream to forge
+    /// requests to.
+    pub malicious_pushback: Option<usize>,
     /// `Pd` — the probing drop probability (Table II: 0.9).
     pub drop_probability: f64,
     /// Which drop policy runs at the ATRs.
@@ -182,6 +223,12 @@ impl Default for ScenarioSpec {
             transit_topology: TransitTopology::Chain { depth: 2 },
             pushback_depth: 0,
             escalation_threshold: 0.25,
+            trust_budget: 8,
+            attestation_fraction: 0.25,
+            subsidence_intervals: 8,
+            attack_end: None,
+            cross_traffic_bps: 0.0,
+            malicious_pushback: None,
             drop_probability: 0.9,
             policy: DropPolicy::Mafic,
             transit_policy: None,
@@ -250,6 +297,28 @@ impl ScenarioSpec {
     #[must_use]
     pub fn base_policy(&self) -> DefensePolicy {
         DefensePolicy::from(self.policy)
+    }
+
+    /// The [`PushbackConfig`] every domain coordinator of a
+    /// multi-domain scenario runs with: the escalation threshold and
+    /// the healthy (subsidence) ceiling are both derived from the
+    /// victim link capacity; trust knobs come straight from the spec.
+    #[must_use]
+    pub fn pushback_config(&self) -> PushbackConfig {
+        let link_bytes_per_sec = DomainConfig::default().victim_bandwidth_bps / 8.0;
+        PushbackConfig {
+            threshold_bps: self.escalation_threshold * link_bytes_per_sec,
+            // "Healthy" means not overloaded: normal legitimate load
+            // fills the victim link, so the stand-down ceiling sits
+            // above capacity, not below the escalation threshold.
+            healthy_bps: 1.5 * link_bytes_per_sec,
+            subsidence_intervals: self.subsidence_intervals,
+            trust: TrustConfig {
+                request_budget: self.trust_budget,
+                attestation_fraction: self.attestation_fraction,
+            },
+            ..PushbackConfig::default()
+        }
     }
 
     /// Resolves one [`DefensePolicy`] per domain, in
@@ -404,6 +473,48 @@ impl ScenarioSpec {
                 "escalation_threshold must be finite and > 0, got {}",
                 self.escalation_threshold
             ));
+        }
+        // The derived coordinator config re-checks the threshold and
+        // vets the trust knobs with the typed PushbackConfigError.
+        self.pushback_config()
+            .validate()
+            .map_err(|e| format!("pushback config: {e}"))?;
+        if let Some(attack_end) = self.attack_end {
+            if attack_end <= self.attack_start {
+                return Err("attack_end must come after attack_start".into());
+            }
+            if attack_end > self.end {
+                return Err("attack_end must not exceed end".into());
+            }
+        }
+        if !self.cross_traffic_bps.is_finite() || self.cross_traffic_bps < 0.0 {
+            return Err(format!(
+                "cross_traffic_bps must be finite and >= 0, got {}",
+                self.cross_traffic_bps
+            ));
+        }
+        if self.cross_traffic_bps > 0.0
+            && (self.domains < 2 || self.transit_topology.domain_count() == 0)
+        {
+            return Err("cross_traffic_bps > 0 requires a transit tier (domains >= 2 and a non-empty transit topology)".into());
+        }
+        if let Some(d) = self.malicious_pushback {
+            if self.domains < 2 {
+                return Err("malicious_pushback requires domains >= 2".into());
+            }
+            if d == 0 {
+                return Err("the victim domain (index 0) cannot mount malicious pushback".into());
+            }
+            // Source stubs sit at the top of the pushback path: they
+            // have no upstream to forge requests to, so naming one
+            // would silently run an attack-free "attack" scenario.
+            let n_transit = self.transit_topology.domain_count();
+            if d > n_transit {
+                return Err(format!(
+                    "malicious_pushback must name a transit domain (1..={n_transit}); \
+                     domain {d} is a source stub with no upstream to forge requests to"
+                ));
+            }
         }
         if !(0.0..=1.0).contains(&self.participation_fraction) {
             return Err(format!(
@@ -823,6 +934,118 @@ mod tests {
             assert!(bad.validate().is_err(), "{label} must be rejected");
         }
         assert!(base.validate().is_ok());
+    }
+
+    #[test]
+    fn pushback_config_derives_from_the_spec() {
+        let spec = ScenarioSpec {
+            escalation_threshold: 0.5,
+            trust_budget: 3,
+            attestation_fraction: 0.1,
+            subsidence_intervals: 4,
+            ..ScenarioSpec::default()
+        };
+        let cfg = spec.pushback_config();
+        assert!(cfg.validate().is_ok());
+        assert!((cfg.threshold_bps - 625_000.0).abs() < 1e-6);
+        assert!(cfg.healthy_bps > cfg.threshold_bps, "healthy above trigger");
+        assert_eq!(cfg.trust.request_budget, 3);
+        assert!((cfg.trust.attestation_fraction - 0.1).abs() < 1e-12);
+        assert_eq!(cfg.subsidence_intervals, 4);
+    }
+
+    #[test]
+    fn validation_catches_bad_trust_and_lifecycle_fields() {
+        let multi = ScenarioSpec {
+            domains: 3,
+            transit_topology: TransitTopology::Chain { depth: 1 },
+            ..ScenarioSpec::default()
+        };
+        for (label, bad) in [
+            (
+                "attestation fraction above 1",
+                ScenarioSpec {
+                    attestation_fraction: 1.5,
+                    ..multi.clone()
+                },
+            ),
+            (
+                "nan attestation fraction",
+                ScenarioSpec {
+                    attestation_fraction: f64::NAN,
+                    ..multi.clone()
+                },
+            ),
+            (
+                "attack_end before attack_start",
+                ScenarioSpec {
+                    attack_end: Some(SimTime::from_secs_f64(0.5)),
+                    ..multi.clone()
+                },
+            ),
+            (
+                "attack_end past end",
+                ScenarioSpec {
+                    attack_end: Some(SimTime::from_secs_f64(99.0)),
+                    ..multi.clone()
+                },
+            ),
+            (
+                "negative cross traffic",
+                ScenarioSpec {
+                    cross_traffic_bps: -1.0,
+                    ..multi.clone()
+                },
+            ),
+            (
+                "cross traffic without a transit tier",
+                ScenarioSpec {
+                    cross_traffic_bps: 10_000.0,
+                    transit_topology: TransitTopology::Chain { depth: 0 },
+                    ..multi.clone()
+                },
+            ),
+            (
+                "single-domain cross traffic",
+                ScenarioSpec {
+                    cross_traffic_bps: 10_000.0,
+                    ..ScenarioSpec::default()
+                },
+            ),
+            (
+                "single-domain malicious pushback",
+                ScenarioSpec {
+                    malicious_pushback: Some(1),
+                    ..ScenarioSpec::default()
+                },
+            ),
+            (
+                "victim as the malicious requester",
+                ScenarioSpec {
+                    malicious_pushback: Some(0),
+                    ..multi.clone()
+                },
+            ),
+            (
+                "out-of-range malicious domain",
+                ScenarioSpec {
+                    malicious_pushback: Some(40),
+                    ..multi.clone()
+                },
+            ),
+        ] {
+            assert!(bad.validate().is_err(), "{label} must be rejected");
+        }
+        let good = ScenarioSpec {
+            trust_budget: 0,
+            attestation_fraction: 0.0,
+            subsidence_intervals: 0,
+            attack_end: Some(SimTime::from_secs_f64(4.0)),
+            cross_traffic_bps: 50_000.0,
+            malicious_pushback: Some(1),
+            ..multi
+        };
+        assert!(good.validate().is_ok(), "{:?}", good.validate());
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! End-to-end lifecycle of the trust-aware control plane: a
+//! multi-domain flood triggers the cascade, the flood stops mid-run,
+//! the chain tops report subsidence downstream, the victim issues
+//! `Stop`, and every coordinator in the chain returns to idle with zero
+//! live leases and flushed filters — the full
+//! idle → defending → escalated → standing-down → idle loop, exercised
+//! through routed packets in a real run rather than unit-level ticks.
+
+use mafic_suite::core::MaficFilter;
+use mafic_suite::netsim::SimTime;
+use mafic_suite::pushback::LifecycleState;
+use mafic_suite::topology::TransitTopology;
+use mafic_suite::workload::{run_scenario, Scenario, ScenarioSpec};
+
+/// A flood that ends at t = 2.5 s in a 6 s run, over one transit level.
+/// Three zombies (one per stub) at a doubled load factor keep the
+/// report-reconstructed flood scale well clear of the healthy ceiling
+/// while the attack rages: a single zombie would be clipped by its
+/// 10 Mb/s access uplink to about the victim link capacity, which is
+/// rate-indistinguishable from aggressive legitimate load.
+fn lifecycle_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        total_flows: 12,
+        tcp_share: 0.75,
+        n_routers: 6,
+        domains: 3,
+        transit_topology: TransitTopology::Chain { depth: 1 },
+        pushback_depth: 2,
+        attack_load_factor: 2.0,
+        attack_start: SimTime::from_secs_f64(0.8),
+        attack_end: Some(SimTime::from_secs_f64(2.5)),
+        end: SimTime::from_secs_f64(6.0),
+        ..ScenarioSpec::default()
+    }
+}
+
+#[test]
+fn stop_cascade_returns_the_whole_chain_to_idle() {
+    let mut scenario = Scenario::build(lifecycle_spec()).expect("buildable");
+    let outcome = run_scenario(&mut scenario).expect("runs");
+
+    // The flood was real: the defense triggered and escalated upstream.
+    assert!(outcome.defense_engaged(), "detector must fire");
+    assert!(
+        outcome.max_pushback_depth >= 1,
+        "the flood must drive the cascade upstream: {:?}",
+        outcome.escalations
+    );
+
+    // The victim observed the subsidence and stood the defense down
+    // after the flood stopped — never before.
+    let stood_down = outcome
+        .stood_down_at
+        .expect("victim must stand down after the flood subsides");
+    let attack_end = lifecycle_spec().attack_end.unwrap();
+    assert!(
+        stood_down > attack_end,
+        "stand-down at {stood_down} must follow the flood end at {attack_end}"
+    );
+    assert!(outcome.control.stops_sent >= 1, "{}", outcome.control);
+    assert!(outcome.control.withdraws_sent >= 1, "{}", outcome.control);
+
+    // The teardown swept the chain quickly and completely.
+    let latency = outcome
+        .control
+        .stand_down_latency_s
+        .expect("teardown must complete within the run");
+    assert!(
+        latency < 2.0,
+        "teardown took {latency:.3} s — leases must not linger"
+    );
+
+    // Post-run: every coordinator idle, zero live leases anywhere.
+    let plan = scenario.pushback.as_ref().expect("multi-domain plan");
+    for (d, dom) in plan.domains.iter().enumerate() {
+        assert_eq!(
+            dom.coordinator.state(),
+            LifecycleState::Idle,
+            "domain {d} must end idle"
+        );
+        assert!(
+            dom.coordinator.victim().is_none(),
+            "domain {d} holds a lease"
+        );
+    }
+    // And every MAFIC filter in the chain is deactivated (tables
+    // flushed by the PushbackStop control message).
+    for (d, dom) in plan.domains.iter().enumerate() {
+        for &(node, idx) in &dom.atrs {
+            if let Some(f) = scenario.sim.filter::<MaficFilter>(node, idx) {
+                assert!(!f.is_active(), "filter at domain {d} {node:?} still active");
+            }
+        }
+    }
+}
+
+#[test]
+fn without_subsidence_detection_the_defense_never_stands_down() {
+    let spec = ScenarioSpec {
+        subsidence_intervals: 0,
+        ..lifecycle_spec()
+    };
+    let mut scenario = Scenario::build(spec).expect("buildable");
+    let outcome = run_scenario(&mut scenario).expect("runs");
+    assert!(outcome.defense_engaged());
+    assert!(outcome.stood_down_at.is_none());
+    assert_eq!(outcome.control.stops_sent, 0);
+    assert!(outcome.control.stand_down_latency_s.is_none());
+    // The victim is still defending at the end of the run.
+    let plan = scenario.pushback.as_ref().unwrap();
+    assert!(plan.domains[0].coordinator.is_defending());
+}
+
+#[test]
+fn defense_does_not_stand_down_while_the_flood_rages() {
+    // Same scenario but the flood runs to the very end: upstream
+    // reports keep carrying the raw flood scale, so the victim must
+    // hold the defense up even though its own boundary went quiet once
+    // the cascade started cutting upstream.
+    let spec = ScenarioSpec {
+        attack_end: None,
+        ..lifecycle_spec()
+    };
+    let outcome = mafic_suite::workload::run_spec(spec).expect("runs");
+    assert!(outcome.defense_engaged());
+    assert!(
+        outcome.stood_down_at.is_none(),
+        "stand-down at {:?} during a live flood",
+        outcome.stood_down_at
+    );
+    assert_eq!(outcome.control.stops_sent, 0);
+}
+
+#[test]
+fn lifecycle_runs_are_deterministic() {
+    let a = mafic_suite::workload::run_spec(lifecycle_spec()).unwrap();
+    let b = mafic_suite::workload::run_spec(lifecycle_spec()).unwrap();
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.stood_down_at, b.stood_down_at);
+    assert_eq!(a.control, b.control);
+    assert_eq!(a.packets_sent, b.packets_sent);
+}

@@ -6,7 +6,7 @@
 
 use mafic_suite::core::{AddressValidator, MaficConfig, MaficFilter};
 use mafic_suite::netsim::{
-    Addr, ControlMsg, CountingSink, FlowKey, LinkSpec, SimDuration, SimTime, Simulator,
+    Addr, CountingSink, FilterControl, FlowKey, LinkSpec, SimDuration, SimTime, Simulator,
 };
 use mafic_suite::transport::{CbrConfig, CbrProtocol, UnresponsiveSender};
 
@@ -75,19 +75,19 @@ fn build() -> Fixture {
     // re-activated for wave 2.
     sim.send_control(
         router,
-        ControlMsg::PushbackStart {
+        FilterControl::PushbackStart {
             victim: VICTIM_ADDR,
         },
         SimTime::from_secs_f64(0.05),
     );
     sim.send_control(
         router,
-        ControlMsg::PushbackStop,
+        FilterControl::PushbackStop,
         SimTime::from_secs_f64(1.5),
     );
     sim.send_control(
         router,
-        ControlMsg::PushbackStart {
+        FilterControl::PushbackStart {
             victim: VICTIM_ADDR,
         },
         SimTime::from_secs_f64(1.9),

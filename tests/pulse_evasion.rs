@@ -8,7 +8,7 @@
 //! pulsed zombie with an idle phase longer than the probation window can
 //! survive probing.
 
-use mafic_suite::netsim::{ControlMsg, FlowKey, SimDuration, SimTime};
+use mafic_suite::netsim::{FilterControl, FlowKey, SimDuration, SimTime};
 use mafic_suite::transport::{PulseConfig, PulsedSender};
 use mafic_suite::workload::{Scenario, ScenarioSpec};
 
@@ -65,7 +65,7 @@ fn pulsed_scenario_with(
     for &(node, _) in &scenario.droppers.clone() {
         scenario.sim.send_control(
             node,
-            ControlMsg::PushbackStart { victim },
+            FilterControl::PushbackStart { victim },
             SimTime::from_secs_f64(1.3),
         );
     }
