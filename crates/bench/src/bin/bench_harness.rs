@@ -1,0 +1,316 @@
+//! End-to-end performance harness: runs pinned scenarios and emits a
+//! `BENCH_*.json` perf record (packets/sec end-to-end, ns per table op,
+//! figure-suite wall clock, allocation counts, peak arena occupancy).
+//!
+//! Modes:
+//!
+//! * `bench_harness --out BENCH_6.json --label 6` — full measurement.
+//! * `bench_harness --ci --out BENCH_ci.json` — reduced sizes for CI.
+//! * `--gate BENCH_baseline.json` — after measuring, compare end-to-end
+//!   packets/sec against the committed baseline and exit non-zero if it
+//!   regressed more than [`GATE_TOLERANCE`] (the CI regression gate).
+//!
+//! Wall-clock timing lives only in this binary; the simulator itself
+//! never consults the host clock, so none of this can perturb replay
+//! determinism.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mafic_experiments::engine::run_specs;
+use mafic_netsim::{Addr, FlowInterner, FlowKey, FlowSlab, SimTime};
+use mafic_workload::{run_scenario, Scenario, ScenarioSpec};
+
+/// Fractional packets/sec regression tolerated by `--gate` (10%).
+const GATE_TOLERANCE: f64 = 0.10;
+
+/// Counting wrapper around the system allocator: total allocation calls
+/// and bytes requested since process start. Reading the counters before
+/// and after a measured region gives that region's allocation count —
+/// the before/after evidence for the scratch-buffer-reuse work.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation verbatim to `System`; the counter
+// updates are lock-free atomics and never allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// The pinned end-to-end scenario: Table II structure at a size that
+/// keeps a measured repetition well under a second. Identical in `--ci`
+/// and full mode — the CI gate compares its measurement against the
+/// committed full-mode baseline, so the workload must match exactly.
+fn e2e_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        total_flows: 40,
+        n_routers: 20,
+        end: SimTime::from_secs_f64(8.0),
+        seed: 6,
+        ..ScenarioSpec::default()
+    }
+}
+
+struct E2eResult {
+    packets: u64,
+    best_wall_s: f64,
+    packets_per_sec: f64,
+    allocs: u64,
+    alloc_bytes: u64,
+    peak_arena_packets: u64,
+}
+
+/// Runs the pinned scenario `reps` times (after one warmup), reporting
+/// the best packets/sec plus the allocation count of a single rep.
+fn measure_e2e(reps: u32) -> E2eResult {
+    let run_once = || {
+        let mut scenario = Scenario::build(e2e_spec()).expect("e2e spec builds");
+        let start = Instant::now();
+        let outcome = run_scenario(&mut scenario).expect("e2e run succeeds");
+        let wall = start.elapsed().as_secs_f64();
+        let peak = scenario.sim.packet_arena_peak() as u64;
+        (outcome.packets_sent, wall, peak)
+    };
+    run_once(); // warmup
+    let mut best_wall = f64::INFINITY;
+    let mut packets = 0u64;
+    let mut peak = 0u64;
+    let mut allocs = 0u64;
+    let mut alloc_bytes = 0u64;
+    for rep in 0..reps {
+        let before = alloc_snapshot();
+        let (sent, wall, p) = run_once();
+        let after = alloc_snapshot();
+        if rep == 0 {
+            allocs = after.0 - before.0;
+            alloc_bytes = after.1 - before.1;
+        }
+        packets = sent;
+        peak = p;
+        best_wall = best_wall.min(wall);
+    }
+    E2eResult {
+        packets,
+        best_wall_s: best_wall,
+        packets_per_sec: packets as f64 / best_wall,
+        allocs,
+        alloc_bytes,
+        peak_arena_packets: peak,
+    }
+}
+
+/// Steady-state per-packet table op: one interner probe plus one dense
+/// slab bump over a 10k-flow resident table (the microbench's
+/// `interned_slab` case, timed with a plain monotonic clock).
+fn measure_table_op() -> f64 {
+    const TABLE_FLOWS: u32 = 10_000;
+    const OPS: u64 = 2_000_000;
+    let flow_key = |n: u32| {
+        FlowKey::new(
+            Addr::new(0x0A01_0000 | (n & 0xFFFF)),
+            Addr::from_octets(10, 200, 0, 1),
+            (1024 + (n % 50_000)) as u16,
+            80,
+        )
+    };
+    let mut interner = FlowInterner::new();
+    let mut table: FlowSlab<u64> = FlowSlab::new();
+    for n in 0..TABLE_FLOWS {
+        let id = interner.intern(flow_key(n));
+        table.insert(id, 0);
+    }
+    let mut n = 0u32;
+    let start = Instant::now();
+    for _ in 0..OPS {
+        n = (n + 1) % TABLE_FLOWS;
+        let id = interner.intern(std::hint::black_box(flow_key(n)));
+        if let Some(count) = table.get_mut(id) {
+            *count += 1;
+        }
+    }
+    let total = start.elapsed().as_nanos() as f64;
+    // Keep the table observable so the loop cannot be optimized away.
+    std::hint::black_box(&table);
+    total / OPS as f64
+}
+
+/// A miniature figure suite: a `Vt` sweep plus one multi-domain cascade
+/// point, run serially through the experiment engine (the same code path
+/// the figure binaries use).
+fn figure_suite_specs(ci: bool) -> Vec<ScenarioSpec> {
+    let vts: &[usize] = if ci { &[10, 20] } else { &[10, 20, 30] };
+    let seeds: &[u64] = if ci { &[1] } else { &[1, 2] };
+    let mut specs = Vec::new();
+    for &vt in vts {
+        for &seed in seeds {
+            specs.push(ScenarioSpec {
+                total_flows: vt,
+                n_routers: 10,
+                end: SimTime::from_secs_f64(3.0),
+                seed,
+                ..ScenarioSpec::default()
+            });
+        }
+    }
+    specs.push(ScenarioSpec {
+        domains: 4,
+        pushback_depth: 2,
+        total_flows: 24,
+        n_routers: 8,
+        end: SimTime::from_secs_f64(3.0),
+        seed: 9,
+        ..ScenarioSpec::default()
+    });
+    specs
+}
+
+fn measure_figure_suite(ci: bool) -> (usize, f64) {
+    let specs = figure_suite_specs(ci);
+    let n = specs.len();
+    let start = Instant::now();
+    let outcomes = run_specs(specs, 1).expect("figure suite runs");
+    let wall = start.elapsed().as_secs_f64();
+    std::hint::black_box(&outcomes);
+    (n, wall)
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Extracts the number following `"key":` from a flat JSON document.
+/// The bench records are emitted by this binary with exactly that
+/// shape, so a full parser is unnecessary (and unavailable offline).
+fn json_lookup(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut ci = false;
+    let mut out: Option<String> = None;
+    let mut gate: Option<String> = None;
+    let mut label = "local".to_string();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--ci" => ci = true,
+            "--out" => out = Some(argv.next().expect("--out requires a path")),
+            "--gate" => gate = Some(argv.next().expect("--gate requires a baseline path")),
+            "--label" => label = argv.next().expect("--label requires a value"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let reps = 3;
+    eprintln!("[bench] e2e scenario ({reps} reps)...");
+    let e2e = measure_e2e(reps);
+    eprintln!(
+        "[bench]   {} packets in {:.3}s best -> {:.0} packets/sec, {} allocs/run, arena peak {}",
+        e2e.packets, e2e.best_wall_s, e2e.packets_per_sec, e2e.allocs, e2e.peak_arena_packets
+    );
+    eprintln!("[bench] table op...");
+    let ns_per_table_op = measure_table_op();
+    eprintln!("[bench]   {ns_per_table_op:.2} ns/op");
+    eprintln!("[bench] figure suite...");
+    let (suite_runs, suite_wall) = measure_figure_suite(ci);
+    eprintln!("[bench]   {suite_runs} runs in {suite_wall:.3}s");
+
+    let mode = if ci { "ci" } else { "full" };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": 1,\n",
+            "  \"label\": \"{label}\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"packets_per_sec\": {pps},\n",
+            "  \"e2e_packets\": {packets},\n",
+            "  \"e2e_best_wall_s\": {wall},\n",
+            "  \"e2e_allocs\": {allocs},\n",
+            "  \"e2e_alloc_bytes\": {alloc_bytes},\n",
+            "  \"peak_arena_packets\": {peak},\n",
+            "  \"ns_per_table_op\": {table},\n",
+            "  \"figure_suite_runs\": {suite_runs},\n",
+            "  \"figure_suite_wall_s\": {suite_wall}\n",
+            "}}\n"
+        ),
+        label = label,
+        mode = mode,
+        pps = json_f(e2e.packets_per_sec),
+        packets = e2e.packets,
+        wall = json_f(e2e.best_wall_s),
+        allocs = e2e.allocs,
+        alloc_bytes = e2e.alloc_bytes,
+        peak = e2e.peak_arena_packets,
+        table = json_f(ns_per_table_op),
+        suite_runs = suite_runs,
+        suite_wall = json_f(suite_wall),
+    );
+    if let Some(path) = &out {
+        std::fs::write(path, &json).expect("write bench record");
+        eprintln!("[bench] wrote {path}");
+    }
+    print!("{json}");
+
+    if let Some(baseline_path) = gate {
+        let doc = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let baseline_pps = json_lookup(&doc, "packets_per_sec")
+            .unwrap_or_else(|| panic!("baseline {baseline_path} lacks packets_per_sec"));
+        let floor = baseline_pps * (1.0 - GATE_TOLERANCE);
+        eprintln!(
+            "[gate] measured {:.0} packets/sec vs baseline {:.0} (floor {:.0})",
+            e2e.packets_per_sec, baseline_pps, floor
+        );
+        if e2e.packets_per_sec < floor {
+            eprintln!(
+                "[gate] FAIL: packets/sec regressed more than {:.0}%",
+                GATE_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[gate] OK");
+    }
+}

@@ -64,6 +64,21 @@ impl LogLogTap {
         snapshot
     }
 
+    /// Moves the current epoch's sketch pair into `out` and rolls the
+    /// tap over in place — the allocation-free variant of
+    /// [`take_epoch`](LogLogTap::take_epoch) for a caller that harvests
+    /// every interval: `out`'s register buffers are cleared and recycled
+    /// as the tap's next-epoch storage, so steady-state harvesting
+    /// allocates nothing (buffers are rebuilt only if `out` arrives at
+    /// the wrong precision).
+    pub fn take_epoch_into(&mut self, out: &mut RouterSketch) {
+        if out.source_sketch().precision() != self.precision {
+            *out = RouterSketch::new(self.precision);
+        }
+        out.clear();
+        std::mem::swap(&mut self.sketch, out);
+    }
+
     /// Packets observed over the tap's lifetime.
     #[must_use]
     pub fn packets_seen(&self) -> u64 {
@@ -161,6 +176,34 @@ mod tests {
         let epoch = tap.take_epoch();
         assert!(epoch.destination_cardinality() > 300.0);
         assert_eq!(tap.sketch().destination_cardinality(), 0.0);
+    }
+
+    #[test]
+    fn take_epoch_into_swaps_and_rolls_over() {
+        let mut h = FilterHarness::new();
+        let victim = Addr::from_octets(10, 200, 0, 1);
+        let mut tap = LogLogTap::new(Precision::P10, [], [victim]);
+        for id in 0..500 {
+            let _ = h.offer(&mut tap, &pkt(id, victim), None, false);
+        }
+        // First harvest: the epoch moves into the slot.
+        let mut slot = RouterSketch::new(Precision::P10);
+        tap.take_epoch_into(&mut slot);
+        assert!(slot.destination_cardinality() > 300.0);
+        assert_eq!(tap.sketch().destination_cardinality(), 0.0);
+        // Second harvest recycles the slot's buffers: the stale epoch
+        // is cleared, the new one lands.
+        for id in 500..520 {
+            let _ = h.offer(&mut tap, &pkt(id, victim), None, false);
+        }
+        tap.take_epoch_into(&mut slot);
+        let d = slot.destination_cardinality();
+        assert!(d > 0.0 && d < 100.0, "slot holds only the new epoch: {d}");
+        // A wrong-precision slot is rebuilt rather than corrupting the
+        // rollover.
+        let mut wrong = RouterSketch::new(Precision::P4);
+        tap.take_epoch_into(&mut wrong);
+        assert_eq!(wrong.source_sketch().precision(), Precision::P10);
     }
 
     #[test]

@@ -1,18 +1,16 @@
 //! The event scheduler.
 //!
-//! A binary heap of `(time, sequence)` keyed events. The monotonically
+//! A 4-ary min-heap of `(time, sequence)` keyed events. The monotonically
 //! increasing sequence number breaks ties deterministically: two events
 //! scheduled for the same instant fire in the order they were scheduled,
 //! which keeps whole-simulation replays bit-identical for a given seed.
 
+use crate::arena::PacketRef;
 use crate::ids::{AgentId, LinkId, NodeId};
-use crate::packet::Packet;
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Control-plane message delivered to a node's filters.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FilterControl {
     /// Activate defense dropping for traffic destined to `victim`.
     PushbackStart {
@@ -24,20 +22,25 @@ pub enum FilterControl {
 }
 
 /// What happens when an event fires.
-#[derive(Debug, Clone)]
+///
+/// Packet payloads live in the simulator's packet arena; events carry
+/// only 4-byte [`PacketRef`] handles, so heap entries stay small, `Copy`,
+/// and sift operations never memcpy packet bodies.
+#[derive(Debug, Clone, Copy)]
 pub enum EventKind {
-    /// A packet finishes propagating and arrives at `node`.
+    /// A locally injected packet arrives at `node` (link deliveries ride
+    /// [`EventKind::LinkDeliver`], so no arriving-link field is needed).
     DeliverToNode {
         /// Receiving node.
         node: NodeId,
-        /// The packet, by value.
-        packet: Packet,
-        /// The link it arrived on (`None` for locally injected packets).
-        via: Option<LinkId>,
+        /// Arena handle of the packet.
+        packet: PacketRef,
     },
-    /// A link finishes serializing its current packet.
-    LinkTxDone {
-        /// The transmitting link.
+    /// Drain the link's delivery FIFO: every queued packet whose
+    /// propagation completes at or before this instant arrives at the
+    /// link's far end in one pass.
+    LinkDeliver {
+        /// The delivering link.
         link: LinkId,
     },
     /// Wake an agent's timer.
@@ -56,8 +59,10 @@ pub enum EventKind {
     FilterTimer {
         /// Node hosting the filter.
         node: NodeId,
-        /// Index of the filter within the node's filter chain.
-        filter_index: usize,
+        /// Index of the filter within the node's filter chain. Narrowed
+        /// to `u32` so the variant — and with it the whole enum — stays
+        /// within 16 payload bytes.
+        filter_index: u32,
         /// Caller-chosen token.
         token: u64,
     },
@@ -70,42 +75,43 @@ pub enum EventKind {
     },
 }
 
-#[derive(Debug)]
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+/// The heap's branching factor. Four children per node halves the tree
+/// depth of a binary heap: sift-down — the hot operation, every pop pays
+/// one — does half the entry moves for the same number of comparisons,
+/// and the child scan reads one contiguous cache line.
+const HEAP_ARITY: usize = 4;
 
 /// Deterministic event queue ordered by `(time, insertion sequence)`.
+///
+/// A hand-rolled 4-ary min-heap in SoA layout: packed keys and event
+/// payloads live in two parallel arrays. The key packs `(time, seq)`
+/// into one `u128` (`time` in the high 64 bits), so the lexicographic
+/// tie-break rule is a single integer comparison and the heap order is
+/// a *total* order — any correct priority queue pops the exact same
+/// sequence, which is what keeps replays bit-identical across
+/// representation changes like this one.
+///
+/// The SoA split matters for the hot path: sift-down scans a node's
+/// four children, and with keys packed contiguously that scan reads
+/// exactly one 64-byte cache line instead of striding over interleaved
+/// event payloads. Sifts move entries into a hole instead of swapping
+/// (`EventKind` is `Copy`), and a freshly scheduled event — usually the
+/// latest deadline in the queue — settles after one parent comparison.
 #[derive(Debug, Default)]
 pub(crate) struct Scheduler {
-    heap: BinaryHeap<Scheduled>,
+    keys: Vec<u128>,
+    kinds: Vec<EventKind>,
     next_seq: u64,
-    scheduled_total: u64,
+}
+
+#[inline]
+fn pack(at: SimTime, seq: u64) -> u128 {
+    (u128::from(at.as_nanos()) << 64) | u128::from(seq)
+}
+
+#[inline]
+fn unpack_time(key: u128) -> SimTime {
+    SimTime::from_nanos((key >> 64) as u64)
 }
 
 impl Scheduler {
@@ -115,30 +121,87 @@ impl Scheduler {
 
     /// Schedules `kind` to fire at `at`.
     pub(crate) fn schedule(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
+        let key = pack(at, self.next_seq);
         self.next_seq += 1;
-        self.scheduled_total += 1;
-        self.heap.push(Scheduled { at, seq, kind });
+        let mut hole = self.keys.len();
+        self.keys.push(key);
+        self.kinds.push(kind);
+        while hole > 0 {
+            let parent = (hole - 1) / HEAP_ARITY;
+            if self.keys[parent] <= key {
+                break;
+            }
+            self.keys[hole] = self.keys[parent];
+            self.kinds[hole] = self.kinds[parent];
+            hole = parent;
+        }
+        self.keys[hole] = key;
+        self.kinds[hole] = kind;
     }
 
     /// Removes and returns the earliest event, if any.
     pub(crate) fn pop(&mut self) -> Option<(SimTime, EventKind)> {
-        self.heap.pop().map(|s| (s.at, s.kind))
+        let &key = self.keys.first()?;
+        let kind = self.kinds[0];
+        let last_key = self.keys.pop().expect("heap is non-empty");
+        let last_kind = self.kinds.pop().expect("heap is non-empty");
+        let len = self.keys.len();
+        if len > 0 {
+            // Bottom-up deletion (Wegener): walk the min-child path from
+            // the root all the way to a leaf, moving each level's minimum
+            // up into the hole — no per-level comparison against the
+            // displaced entry, so the descent loop is branch-predictable.
+            let mut hole = 0;
+            loop {
+                let first_child = hole * HEAP_ARITY + 1;
+                if first_child >= len {
+                    break;
+                }
+                let end = (first_child + HEAP_ARITY).min(len);
+                let mut best = first_child;
+                let mut best_key = self.keys[first_child];
+                for child in first_child + 1..end {
+                    let child_key = self.keys[child];
+                    if child_key < best_key {
+                        best = child;
+                        best_key = child_key;
+                    }
+                }
+                self.keys[hole] = best_key;
+                self.kinds[hole] = self.kinds[best];
+                hole = best;
+            }
+            // Then sift the displaced last entry up from that leaf hole.
+            // It came from the bottom of the heap, so it almost always
+            // belongs near the bottom and this loop exits immediately.
+            while hole > 0 {
+                let parent = (hole - 1) / HEAP_ARITY;
+                if self.keys[parent] <= last_key {
+                    break;
+                }
+                self.keys[hole] = self.keys[parent];
+                self.kinds[hole] = self.kinds[parent];
+                hole = parent;
+            }
+            self.keys[hole] = last_key;
+            self.kinds[hole] = last_kind;
+        }
+        Some((unpack_time(key), kind))
     }
 
     /// The timestamp of the next event without removing it.
     pub(crate) fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        self.keys.first().map(|&key| unpack_time(key))
     }
 
     /// Number of pending events.
     pub(crate) fn len(&self) -> usize {
-        self.heap.len()
+        self.keys.len()
     }
 
     /// Total number of events ever scheduled (for run statistics).
     pub(crate) fn scheduled_total(&self) -> u64 {
-        self.scheduled_total
+        self.next_seq
     }
 }
 

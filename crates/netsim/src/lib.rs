@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod arena;
 pub mod event;
 pub mod filter;
 pub mod flows;
@@ -58,6 +59,7 @@ pub mod trace;
 mod wheel;
 
 pub use agent::{Agent, AgentCtx, CountingSink};
+pub use arena::PacketRef;
 pub use event::FilterControl;
 pub use filter::{FilterAction, FilterCtx, PacketEnv, PacketFilter, PassthroughFilter, StatNote};
 pub use flows::{FlowId, FlowInterner, FlowSlab};

@@ -6,8 +6,8 @@
 //! are dropped (drop-tail) when the queue is full — the same model NS-2's
 //! `SimplexLink` + `DropTail` queue combination provides.
 
+use crate::arena::PacketRef;
 use crate::ids::NodeId;
-use crate::packet::Packet;
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -58,23 +58,52 @@ impl Default for LinkSpec {
 /// Outcome of offering a packet to a link.
 #[derive(Debug, PartialEq, Eq)]
 pub(crate) enum EnqueueOutcome {
-    /// Transmitter was idle; serialization starts now and finishes at the
-    /// contained instant (schedule `LinkTxDone` then).
-    StartTx(SimTime),
-    /// Packet queued behind the current transmission.
-    Queued,
+    /// Accepted: the packet reaches the far end at the contained instant
+    /// (schedule a [`crate::event::EventKind::LinkDeliver`] then).
+    Accepted(SimTime),
     /// Queue full — packet dropped (drop-tail).
-    Dropped(Packet),
+    Dropped(PacketRef),
 }
 
 /// Runtime state of a simplex link.
+///
+/// The transmitter is modeled *analytically*: because serialization is
+/// strictly FIFO and its duration is a pure function of packet size, the
+/// instant a packet finishes serializing — `max(now, busy_until) +
+/// tx_time` — is fully determined at enqueue time. So the link keeps a
+/// single `busy_until` watermark instead of an in-flight slot plus a
+/// transmit queue, and no per-packet "tx done" event ever enters the
+/// scheduler: the only event a traversal costs is the delivery at the
+/// far end.
+///
+/// Packets are held by arena handle only. The delivery FIFO is two
+/// parallel arrays (due instants and handles, SoA) drained in one pass
+/// per [`crate::event::EventKind::LinkDeliver`]; `starts` records the
+/// serialization-start instants of packets that may still be waiting,
+/// which is exactly the state drop-tail admission needs (a packet
+/// occupies the queue while `now < start`).
 #[derive(Debug)]
 pub(crate) struct Link {
     pub(crate) from: NodeId,
     pub(crate) to: NodeId,
     pub(crate) spec: LinkSpec,
-    queue: VecDeque<Packet>,
-    in_flight: Option<Packet>,
+    /// When the transmitter finishes everything accepted so far.
+    busy_until: SimTime,
+    /// Serialization-start instants of accepted-but-possibly-waiting
+    /// packets, non-decreasing. Entries with `start <= now` have left
+    /// the queue for the wire and are pruned lazily on enqueue.
+    starts: VecDeque<SimTime>,
+    /// Memo of the most recent serialization-time computation. Traffic is
+    /// dominated by a handful of fixed packet sizes, so this skips the
+    /// f64 divide on nearly every transmission; a hit is byte-identical
+    /// to recomputing because [`LinkSpec::tx_time`] is a pure function of
+    /// `(size, spec)` and `spec` is immutable after construction.
+    last_tx: Option<(u32, SimDuration)>,
+    /// Propagation-delay FIFO: completion instants (non-decreasing —
+    /// serialization finishes in order and delay is constant) ...
+    pending_due: VecDeque<SimTime>,
+    /// ... and the matching packet handles.
+    pending_refs: VecDeque<PacketRef>,
     /// Counters for observability.
     pub(crate) enqueued: u64,
     pub(crate) dropped_queue_full: u64,
@@ -86,82 +115,105 @@ impl Link {
             from,
             to,
             spec,
-            queue: VecDeque::new(),
-            in_flight: None,
+            busy_until: SimTime::ZERO,
+            starts: VecDeque::new(),
+            last_tx: None,
+            pending_due: VecDeque::new(),
+            pending_refs: VecDeque::new(),
             enqueued: 0,
             dropped_queue_full: 0,
         }
     }
 
-    /// Offers a packet to the link at time `now`.
-    pub(crate) fn enqueue(&mut self, packet: Packet, now: SimTime) -> EnqueueOutcome {
-        if self.in_flight.is_none() {
-            let done = now + self.spec.tx_time(packet.size_bytes);
-            self.in_flight = Some(packet);
-            self.enqueued += 1;
-            EnqueueOutcome::StartTx(done)
-        } else if self.queue.len() < self.spec.queue_capacity {
-            self.queue.push_back(packet);
-            self.enqueued += 1;
-            EnqueueOutcome::Queued
-        } else {
-            self.dropped_queue_full += 1;
-            EnqueueOutcome::Dropped(packet)
+    /// Offers a packet of `size_bytes` to the link at time `now`.
+    ///
+    /// Admission is drop-tail over the *waiting* packets: those whose
+    /// serialization has not started by `now`. On acceptance the packet's
+    /// whole link traversal is resolved immediately — serialization slot
+    /// reserved, delivery instant computed and pushed onto the FIFO.
+    ///
+    /// Tie rule: a serialization that finishes exactly at `now` still
+    /// occupies the transmitter and its queue slot for this admission
+    /// check. The event-per-transmission model behaved the same way in
+    /// the common topology — the arrival's delivery event was scheduled
+    /// a propagation delay before `now`, the "tx done" event only a
+    /// (shorter) serialization time before, so at equal instants the
+    /// arrival was processed first and saw the slot still taken.
+    pub(crate) fn enqueue(
+        &mut self,
+        packet: PacketRef,
+        size_bytes: u32,
+        now: SimTime,
+    ) -> EnqueueOutcome {
+        while self.starts.front().is_some_and(|&s| s < now) {
+            self.starts.pop_front();
         }
+        let busy = self.busy_until > now || (self.busy_until == now && self.enqueued > 0);
+        let start = if busy {
+            if self.starts.len() >= self.spec.queue_capacity {
+                self.dropped_queue_full += 1;
+                return EnqueueOutcome::Dropped(packet);
+            }
+            self.starts.push_back(self.busy_until);
+            self.busy_until
+        } else {
+            now
+        };
+        let finish = start + self.tx_time_cached(size_bytes);
+        self.busy_until = finish;
+        self.enqueued += 1;
+        let due = finish + self.spec.delay;
+        self.push_delivery(due, packet);
+        EnqueueOutcome::Accepted(due)
     }
 
-    /// Completes the current transmission. Returns the packet that just
-    /// left the wire and, if another packet was waiting, the completion
-    /// time of its transmission (schedule the next `LinkTxDone` then).
-    ///
-    /// # Panics
-    ///
-    /// Panics if no transmission was in progress — that indicates a
-    /// scheduler bug, not a recoverable condition.
-    pub(crate) fn tx_done(&mut self, now: SimTime) -> (Packet, Option<SimTime>) {
-        let sent = self
-            .in_flight
-            .take()
-            .expect("LinkTxDone fired with no transmission in progress");
-        let next_done = self.queue.pop_front().map(|next| {
-            let done = now + self.spec.tx_time(next.size_bytes);
-            self.in_flight = Some(next);
-            done
-        });
-        (sent, next_done)
+    /// [`LinkSpec::tx_time`] through the single-entry size memo.
+    fn tx_time_cached(&mut self, size_bytes: u32) -> SimDuration {
+        if let Some((memo_size, tx)) = self.last_tx {
+            if memo_size == size_bytes {
+                return tx;
+            }
+        }
+        let tx = self.spec.tx_time(size_bytes);
+        self.last_tx = Some((size_bytes, tx));
+        tx
     }
 
-    /// Current queue occupancy (excluding the packet on the wire).
-    pub(crate) fn queue_len(&self) -> usize {
-        self.queue.len()
+    /// Appends a packet to the delivery FIFO, due to arrive at the far
+    /// end at `due`.
+    pub(crate) fn push_delivery(&mut self, due: SimTime, packet: PacketRef) {
+        debug_assert!(
+            self.pending_due.back().is_none_or(|&last| due >= last),
+            "delivery dues must be non-decreasing"
+        );
+        self.pending_due.push_back(due);
+        self.pending_refs.push_back(packet);
     }
 
-    /// True if a packet is currently being serialized.
-    pub(crate) fn is_busy(&self) -> bool {
-        self.in_flight.is_some()
+    /// Pops the next delivery if it is due at or before `now`.
+    pub(crate) fn pop_due(&mut self, now: SimTime) -> Option<PacketRef> {
+        if *self.pending_due.front()? > now {
+            return None;
+        }
+        self.pending_due.pop_front();
+        self.pending_refs.pop_front()
+    }
+
+    /// Queue occupancy at `now` (excluding the packet on the wire):
+    /// accepted packets whose serialization has not yet started.
+    pub(crate) fn queue_len(&self, now: SimTime) -> usize {
+        self.starts.iter().filter(|&&s| s > now).count()
+    }
+
+    /// True if the transmitter is serializing a packet at `now`.
+    pub(crate) fn is_busy(&self, now: SimTime) -> bool {
+        self.busy_until > now
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::{Addr, AgentId};
-    use crate::packet::{FlowKey, PacketKind, Provenance};
-
-    fn pkt(id: u64, size: u32) -> Packet {
-        Packet {
-            id,
-            key: FlowKey::new(Addr::new(1), Addr::new(2), 1, 2),
-            kind: PacketKind::Udp,
-            size_bytes: size,
-            created_at: SimTime::ZERO,
-            provenance: Provenance {
-                origin: AgentId(0),
-                is_attack: false,
-            },
-            hops: 0,
-        }
-    }
 
     fn link(cap: usize) -> Link {
         Link::new(
@@ -181,57 +233,74 @@ mod tests {
     #[test]
     fn idle_link_starts_transmission() {
         let mut l = link(4);
-        match l.enqueue(pkt(1, 1000), SimTime::ZERO) {
-            EnqueueOutcome::StartTx(done) => {
-                assert_eq!(done, SimTime::ZERO + SimDuration::from_millis(1));
+        // 1000 bytes at 8 Mbit/s = 1 ms serialization + 5 ms propagation.
+        match l.enqueue(PacketRef(1), 1000, SimTime::ZERO) {
+            EnqueueOutcome::Accepted(due) => {
+                assert_eq!(due, SimTime::ZERO + SimDuration::from_millis(6));
             }
-            other => panic!("expected StartTx, got {other:?}"),
+            other => panic!("expected Accepted, got {other:?}"),
         }
-        assert!(l.is_busy());
+        assert!(l.is_busy(SimTime::ZERO));
+        assert!(!l.is_busy(SimTime::ZERO + SimDuration::from_millis(1)));
     }
 
     #[test]
     fn busy_link_queues_then_drops() {
         let mut l = link(2);
-        let _ = l.enqueue(pkt(1, 1000), SimTime::ZERO);
-        assert_eq!(
-            l.enqueue(pkt(2, 1000), SimTime::ZERO),
-            EnqueueOutcome::Queued
-        );
-        assert_eq!(
-            l.enqueue(pkt(3, 1000), SimTime::ZERO),
-            EnqueueOutcome::Queued
-        );
-        match l.enqueue(pkt(4, 1000), SimTime::ZERO) {
-            EnqueueOutcome::Dropped(p) => assert_eq!(p.id, 4),
+        let _ = l.enqueue(PacketRef(1), 1000, SimTime::ZERO);
+        match l.enqueue(PacketRef(2), 1000, SimTime::ZERO) {
+            EnqueueOutcome::Accepted(due) => {
+                assert_eq!(due, SimTime::ZERO + SimDuration::from_millis(7));
+            }
+            other => panic!("expected Accepted, got {other:?}"),
+        }
+        match l.enqueue(PacketRef(3), 1000, SimTime::ZERO) {
+            EnqueueOutcome::Accepted(due) => {
+                assert_eq!(due, SimTime::ZERO + SimDuration::from_millis(8));
+            }
+            other => panic!("expected Accepted, got {other:?}"),
+        }
+        match l.enqueue(PacketRef(4), 1000, SimTime::ZERO) {
+            EnqueueOutcome::Dropped(p) => assert_eq!(p, PacketRef(4)),
             other => panic!("expected Dropped, got {other:?}"),
         }
-        assert_eq!(l.queue_len(), 2);
+        assert_eq!(l.queue_len(SimTime::ZERO), 2);
         assert_eq!(l.dropped_queue_full, 1);
         assert_eq!(l.enqueued, 3);
     }
 
     #[test]
-    fn tx_done_chains_queued_packets() {
+    fn queue_drains_as_serialization_progresses() {
         let mut l = link(2);
-        let _ = l.enqueue(pkt(1, 1000), SimTime::ZERO);
-        let _ = l.enqueue(pkt(2, 2000), SimTime::ZERO);
-        let now = SimTime::ZERO + SimDuration::from_millis(1);
-        let (sent, next) = l.tx_done(now);
-        assert_eq!(sent.id, 1);
-        // Next packet is 2000 bytes => 2 ms on an 8 Mbit/s link.
-        assert_eq!(next, Some(now + SimDuration::from_millis(2)));
-        let (sent2, next2) = l.tx_done(now + SimDuration::from_millis(2));
-        assert_eq!(sent2.id, 2);
-        assert_eq!(next2, None);
-        assert!(!l.is_busy());
+        let _ = l.enqueue(PacketRef(1), 1000, SimTime::ZERO);
+        let _ = l.enqueue(PacketRef(2), 2000, SimTime::ZERO);
+        // Packet 2 starts serializing at 1 ms (2000 bytes => 2 ms on the
+        // wire), so the queue is empty from then on and a third packet
+        // accepted at 1 ms finishes at 1 + 2 + 2 = 5 ms.
+        let t1 = SimTime::ZERO + SimDuration::from_millis(1);
+        assert_eq!(l.queue_len(SimTime::ZERO), 1);
+        assert_eq!(l.queue_len(t1), 0);
+        match l.enqueue(PacketRef(3), 2000, t1) {
+            EnqueueOutcome::Accepted(due) => {
+                assert_eq!(due, SimTime::ZERO + SimDuration::from_millis(10));
+            }
+            other => panic!("expected Accepted, got {other:?}"),
+        }
+        assert!(!l.is_busy(SimTime::ZERO + SimDuration::from_millis(5)));
     }
 
     #[test]
-    #[should_panic(expected = "no transmission in progress")]
-    fn tx_done_without_tx_is_a_bug() {
-        let mut l = link(1);
-        let _ = l.tx_done(SimTime::ZERO);
+    fn delivery_fifo_pops_only_due_entries() {
+        let mut l = link(2);
+        let t1 = SimTime::ZERO + SimDuration::from_millis(1);
+        let t2 = SimTime::ZERO + SimDuration::from_millis(2);
+        l.push_delivery(t1, PacketRef(10));
+        l.push_delivery(t2, PacketRef(11));
+        assert_eq!(l.pop_due(SimTime::ZERO), None);
+        assert_eq!(l.pop_due(t1), Some(PacketRef(10)));
+        assert_eq!(l.pop_due(t1), None, "entry at t2 is not yet due");
+        assert_eq!(l.pop_due(t2), Some(PacketRef(11)));
+        assert_eq!(l.pop_due(t2), None);
     }
 
     #[test]

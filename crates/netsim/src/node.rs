@@ -8,20 +8,28 @@
 
 use crate::filter::PacketFilter;
 use crate::ids::{Addr, AgentId, LinkId, NodeId};
-use std::collections::BTreeMap;
 
 /// A router or host in the simulated domain.
 ///
-/// Routing and local-binding tables are `BTreeMap`s: per-node tables are
-/// small (host routes plus attached addresses), and ordered iteration
-/// keeps every table walk deterministic — the simulation crates ban
-/// `std::collections::HashMap` (see `clippy.toml`).
+/// Routing and local-binding tables are address-sorted `Vec`s: per-node
+/// tables are small (host routes plus attached addresses), so a binary
+/// search over a dense array beats a `BTreeMap`'s pointer chases on the
+/// per-hop path, and sorted order keeps every table walk deterministic —
+/// the simulation crates ban `std::collections::HashMap` (see
+/// `clippy.toml`).
 pub(crate) struct Node {
     pub(crate) id: NodeId,
     pub(crate) name: String,
-    routes: BTreeMap<Addr, LinkId>,
+    /// Host routes, sorted by destination address.
+    routes: Vec<(Addr, LinkId)>,
     default_route: Option<LinkId>,
-    local: BTreeMap<Addr, AgentId>,
+    /// Memo of the most recent `route_for` lookup. Forwarding is heavily
+    /// skewed toward one destination (the victim), so this turns most
+    /// route lookups into a single compare. Invalidated on any table
+    /// change; a hit always equals what the table would answer.
+    last_route: Option<(Addr, Option<LinkId>)>,
+    /// Locally attached addresses, sorted; hosts carry one or two entries.
+    local: Vec<(Addr, AgentId)>,
     pub(crate) filters: Vec<Box<dyn PacketFilter>>,
 }
 
@@ -30,41 +38,67 @@ impl Node {
         Node {
             id,
             name,
-            routes: BTreeMap::new(),
+            routes: Vec::new(),
             default_route: None,
-            local: BTreeMap::new(),
+            last_route: None,
+            local: Vec::new(),
             filters: Vec::new(),
         }
     }
 
     /// Installs or replaces a host route.
     pub(crate) fn add_route(&mut self, dst: Addr, via: LinkId) {
-        self.routes.insert(dst, via);
+        match self.routes.binary_search_by_key(&dst, |&(a, _)| a) {
+            Ok(i) => self.routes[i].1 = via,
+            Err(i) => self.routes.insert(i, (dst, via)),
+        }
+        self.last_route = None;
     }
 
     /// Sets the default route used when no host route matches.
     pub(crate) fn set_default_route(&mut self, via: Option<LinkId>) {
         self.default_route = via;
+        self.last_route = None;
     }
 
     /// Next-hop link for `dst`, if any.
-    pub(crate) fn route_for(&self, dst: Addr) -> Option<LinkId> {
-        self.routes.get(&dst).copied().or(self.default_route)
+    pub(crate) fn route_for(&mut self, dst: Addr) -> Option<LinkId> {
+        if let Some((memo_dst, via)) = self.last_route {
+            if memo_dst == dst {
+                return via;
+            }
+        }
+        let via = self
+            .routes
+            .binary_search_by_key(&dst, |&(a, _)| a)
+            .ok()
+            .map(|i| self.routes[i].1)
+            .or(self.default_route);
+        self.last_route = Some((dst, via));
+        via
     }
 
     /// Binds a local address to an agent (delivery up the stack).
     pub(crate) fn bind_local(&mut self, addr: Addr, agent: AgentId) {
-        self.local.insert(addr, agent);
+        match self.local.binary_search_by_key(&addr, |&(a, _)| a) {
+            Ok(i) => self.local[i].1 = agent,
+            Err(i) => self.local.insert(i, (addr, agent)),
+        }
     }
 
     /// The agent bound to `addr` on this node, if any.
     pub(crate) fn local_agent(&self, addr: Addr) -> Option<AgentId> {
-        self.local.get(&addr).copied()
+        // Hosts carry one or two bindings; a linear scan beats a binary
+        // search's branch setup at these sizes.
+        self.local
+            .iter()
+            .find(|&&(a, _)| a == addr)
+            .map(|&(_, agent)| agent)
     }
 
     /// True if `addr` is attached to this node.
     pub(crate) fn is_local(&self, addr: Addr) -> bool {
-        self.local.contains_key(&addr)
+        self.local.iter().any(|&(a, _)| a == addr)
     }
 }
 
@@ -97,7 +131,7 @@ mod tests {
 
     #[test]
     fn no_route_without_default() {
-        let n = Node::new(NodeId(0), "r0".into());
+        let mut n = Node::new(NodeId(0), "r0".into());
         assert_eq!(n.route_for(Addr::new(5)), None);
     }
 

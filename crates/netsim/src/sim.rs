@@ -6,13 +6,14 @@
 //! the simulator exclusively through buffered commands.
 
 use crate::agent::{Agent, AgentCommand, AgentCtx};
+use crate::arena::{PacketArena, PacketRef};
 use crate::event::{EventKind, FilterControl, Scheduler};
 use crate::filter::{FilterAction, FilterCommand, FilterCtx, PacketEnv, PacketFilter};
 use crate::flows::{FlowId, FlowInterner};
 use crate::ids::{Addr, AgentId, LinkId, NodeId};
 use crate::link::{EnqueueOutcome, Link, LinkSpec};
 use crate::node::Node;
-use crate::packet::{DropReason, Packet};
+use crate::packet::{DropReason, FlowKey, Packet};
 use crate::stats::StatsCollector;
 use crate::time::SimTime;
 use crate::trace::{TraceBuffer, TraceEvent};
@@ -65,6 +66,12 @@ pub struct Simulator {
     links: Vec<Link>,
     agents: Vec<Option<Box<dyn Agent>>>,
     agent_home: Vec<NodeId>,
+    /// Per-agent memo of the last sent flow's `(key, stats id)`. Senders
+    /// emit one flow each, so this skips the interner hash on nearly
+    /// every send; a hit always equals what the interner would answer
+    /// (interning an already-known key is a pure lookup, so skipping it
+    /// cannot change mint order).
+    agent_send_memo: Vec<Option<(FlowKey, FlowId)>>,
     scheduler: Scheduler,
     /// Hierarchical timer wheel carrying filter flow-timers.
     wheel: TimerWheel<FlowTimerFire>,
@@ -72,6 +79,9 @@ pub struct Simulator {
     /// exactly once per node arrival and the dense id rides along in
     /// [`PacketEnv`] / [`AgentCtx`].
     flows: FlowInterner,
+    /// In-flight packet storage: events, link queues, and delivery FIFOs
+    /// hold 4-byte [`PacketRef`] handles into this slab.
+    arena: PacketArena,
     now: SimTime,
     next_packet_id: u64,
     events_processed: u64,
@@ -79,6 +89,10 @@ pub struct Simulator {
     trace: Option<TraceBuffer>,
     link_down: Vec<bool>,
     seed: u64,
+    /// Recycled command scratch buffers (a stack, not a single buffer:
+    /// agent loopback deliveries re-enter dispatch and need a fresh one).
+    filter_bufs: Vec<Vec<FilterCommand>>,
+    agent_bufs: Vec<Vec<AgentCommand>>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -106,9 +120,11 @@ impl Simulator {
             links: Vec::new(),
             agents: Vec::new(),
             agent_home: Vec::new(),
+            agent_send_memo: Vec::new(),
             scheduler: Scheduler::new(),
             wheel: TimerWheel::new(),
             flows: FlowInterner::new(),
+            arena: PacketArena::new(),
             now: SimTime::ZERO,
             next_packet_id: 0,
             events_processed: 0,
@@ -116,6 +132,8 @@ impl Simulator {
             trace: None,
             link_down: Vec::new(),
             seed,
+            filter_bufs: Vec::new(),
+            agent_bufs: Vec::new(),
         }
     }
 
@@ -174,6 +192,19 @@ impl Simulator {
     /// stable for the simulator's lifetime.
     pub fn intern_flow(&mut self, key: crate::packet::FlowKey) -> FlowId {
         self.flows.intern(key)
+    }
+
+    /// Peak number of packets simultaneously resident in the in-flight
+    /// packet storage over the simulator's lifetime (bench observability).
+    #[must_use]
+    pub fn packet_arena_peak(&self) -> usize {
+        self.arena.peak()
+    }
+
+    /// Packets currently resident in the in-flight packet storage.
+    #[must_use]
+    pub fn packet_arena_live(&self) -> usize {
+        self.arena.live()
     }
 
     // ------------------------------------------------------------------
@@ -271,7 +302,7 @@ impl Simulator {
     /// Panics if `link` is not a valid id.
     #[must_use]
     pub fn link_queue_depth(&self, link: LinkId) -> usize {
-        self.links[link.index()].queue_len()
+        self.links[link.index()].queue_len(self.now)
     }
 
     /// True if the link is currently serializing a packet.
@@ -281,7 +312,7 @@ impl Simulator {
     /// Panics if `link` is not a valid id.
     #[must_use]
     pub fn link_busy(&self, link: LinkId) -> bool {
-        self.links[link.index()].is_busy()
+        self.links[link.index()].is_busy(self.now)
     }
 
     /// Installs a host route on `node`: packets to `dst` leave via `via`.
@@ -317,6 +348,7 @@ impl Simulator {
         let id = AgentId(u32::try_from(self.agents.len()).expect("agent count fits u32"));
         self.agents.push(Some(agent));
         self.agent_home.push(node);
+        self.agent_send_memo.push(None);
         self.scheduler
             .schedule(start_at, EventKind::AgentStart { agent: id });
         id
@@ -419,16 +451,34 @@ impl Simulator {
             },
             hops: 0,
         };
-        self.stats.on_sent(&packet);
-        self.scheduler.schedule(
-            at,
-            EventKind::DeliverToNode {
-                node,
-                packet,
-                via: None,
-            },
-        );
+        let sid = self.stats.flow_id(packet.key);
+        self.stats.on_sent_id(sid, &packet);
+        let packet = self.arena.alloc(packet, Some(sid));
+        self.scheduler
+            .schedule(at, EventKind::DeliverToNode { node, packet });
         id
+    }
+
+    // ------------------------------------------------------------------
+    // Command scratch buffers
+    // ------------------------------------------------------------------
+
+    fn take_filter_buf(&mut self) -> Vec<FilterCommand> {
+        self.filter_bufs.pop().unwrap_or_default()
+    }
+
+    fn put_filter_buf(&mut self, buf: Vec<FilterCommand>) {
+        debug_assert!(buf.is_empty(), "filter buffer returned with commands");
+        self.filter_bufs.push(buf);
+    }
+
+    fn take_agent_buf(&mut self) -> Vec<AgentCommand> {
+        self.agent_bufs.pop().unwrap_or_default()
+    }
+
+    fn put_agent_buf(&mut self, buf: Vec<AgentCommand>) {
+        debug_assert!(buf.is_empty(), "agent buffer returned with commands");
+        self.agent_bufs.push(buf);
     }
 
     // ------------------------------------------------------------------
@@ -468,11 +518,37 @@ impl Simulator {
     /// Runs until the event queue is empty or `deadline` is reached.
     /// Returns loop accounting.
     pub fn run_until(&mut self, deadline: SimTime) -> RunSummary {
-        while let Some(next) = self.next_event_time() {
-            if next > deadline {
+        // Open-coded merge of `next_event_time` + `advance_to`: the hot
+        // loop peeks each queue once per iteration instead of twice. The
+        // wheel-before-heap tie rule is the `w <= h` comparison.
+        loop {
+            let (now, from_wheel) = match (self.scheduler.peek_time(), self.wheel.next_expiry()) {
+                (None, None) => break,
+                (Some(h), None) => (h, false),
+                (None, Some(w)) => (w, true),
+                (Some(h), Some(w)) => {
+                    if w <= h {
+                        (w, true)
+                    } else {
+                        (h, false)
+                    }
+                }
+            };
+            if now > deadline {
                 break;
             }
-            self.advance_to(next);
+            self.now = now;
+            if from_wheel {
+                for fire in self.wheel.pop_expired(now) {
+                    self.events_processed += 1;
+                    self.filter_flow_timer(fire);
+                }
+            } else {
+                let (at, kind) = self.scheduler.pop().expect("peeked event exists");
+                debug_assert!(at == now, "heap event not at the merged instant");
+                self.events_processed += 1;
+                self.dispatch(kind);
+            }
         }
         if self.now < deadline {
             self.now = deadline;
@@ -505,71 +581,114 @@ impl Simulator {
 
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
-            EventKind::DeliverToNode { node, packet, via } => {
-                self.node_receive(node, packet, via);
+            EventKind::DeliverToNode { node, packet } => {
+                self.node_receive(node, packet, None);
             }
-            EventKind::LinkTxDone { link } => self.link_tx_done(link),
+            EventKind::LinkDeliver { link } => self.link_deliver(link),
             EventKind::AgentStart { agent } => self.agent_start(agent),
             EventKind::AgentWake { agent, token } => self.agent_wake(agent, token),
             EventKind::FilterTimer {
                 node,
                 filter_index,
                 token,
-            } => self.filter_timer(node, filter_index, token),
+            } => self.filter_timer(node, filter_index as usize, token),
             EventKind::Control { node, msg } => self.control(node, msg),
         }
     }
 
-    fn node_receive(&mut self, node_id: NodeId, mut packet: Packet, via: Option<LinkId>) {
-        packet.hops += 1;
-        if packet.hop_limit_exceeded() {
-            self.record_drop(&packet, DropReason::HopLimit);
+    fn node_receive(&mut self, node_id: NodeId, pref: PacketRef, via: Option<LinkId>) {
+        let (key, hop_exceeded) = {
+            let packet = self.arena.get_mut(pref);
+            packet.hops += 1;
+            (packet.key, packet.hop_limit_exceeded())
+        };
+        if hop_exceeded {
+            let sid = self.stats_id_of(pref);
+            let packet = self.arena.take(pref);
+            self.record_drop(&packet, sid, DropReason::HopLimit);
             return;
         }
-        self.stats.on_node_arrival(&packet, node_id, self.now);
-        // Run the filter chain. The flow id is interned exactly once here;
+        self.stats
+            .on_node_arrival(self.arena.get(pref), node_id, self.now);
+        // Run the filter chain. The flow id is interned exactly once, at
+        // the packet's first node arrival, then cached in its arena slot;
         // every filter downstream indexes its tables by the dense id.
-        let dst_is_local = self.nodes[node_id.index()].is_local(packet.key.dst);
-        let flow = self.flows.intern(packet.key);
-        let env = PacketEnv {
-            via_link: via,
-            dst_is_local,
-            flow,
+        let dst_is_local = self.nodes[node_id.index()].is_local(key.dst);
+        let flow = match self.arena.flow_id(pref) {
+            Some(flow) => flow,
+            None => {
+                let flow = self.flows.intern(key);
+                self.arena.set_flow_id(pref, flow);
+                flow
+            }
         };
-        let mut commands: Vec<FilterCommand> = Vec::new();
         let mut verdict = FilterAction::Forward;
-        {
-            let now = self.now;
-            let node = &mut self.nodes[node_id.index()];
-            for (index, filter) in node.filters.iter_mut().enumerate() {
-                let mut ctx =
-                    FilterCtx::new(now, node_id, index, &mut self.next_packet_id, &mut commands);
-                match filter.on_packet(&packet, &env, &mut ctx) {
-                    FilterAction::Forward => {}
-                    drop_action @ FilterAction::Drop(_) => {
-                        verdict = drop_action;
-                        break;
+        if !self.nodes[node_id.index()].filters.is_empty() {
+            let env = PacketEnv {
+                via_link: via,
+                dst_is_local,
+                flow,
+            };
+            let mut commands = self.take_filter_buf();
+            {
+                let now = self.now;
+                let Simulator {
+                    arena,
+                    nodes,
+                    next_packet_id,
+                    ..
+                } = self;
+                let packet = arena.get(pref);
+                let node = &mut nodes[node_id.index()];
+                for (index, filter) in node.filters.iter_mut().enumerate() {
+                    let mut ctx =
+                        FilterCtx::new(now, node_id, index, next_packet_id, &mut commands);
+                    match filter.on_packet(packet, &env, &mut ctx) {
+                        FilterAction::Forward => {}
+                        drop_action @ FilterAction::Drop(_) => {
+                            verdict = drop_action;
+                            break;
+                        }
                     }
                 }
             }
+            self.run_filter_commands(node_id, &mut commands);
+            self.put_filter_buf(commands);
         }
-        self.run_filter_commands(node_id, commands);
         match verdict {
             FilterAction::Drop(reason) => {
-                self.record_drop(&packet, reason);
+                let sid = self.stats_id_of(pref);
+                let packet = self.arena.take(pref);
+                self.record_drop(&packet, sid, reason);
             }
             FilterAction::Forward => {
                 if dst_is_local {
-                    self.deliver_local(node_id, packet, flow);
+                    self.deliver_local(node_id, pref, flow);
                 } else {
-                    self.forward(node_id, packet);
+                    self.forward(node_id, pref);
                 }
             }
         }
     }
 
-    fn record_drop(&mut self, packet: &Packet, reason: DropReason) {
-        self.stats.on_dropped(packet, reason);
+    /// Stats-collector id for the packet in `pref`: the id cached at
+    /// allocation, or — for filter-emitted probes, whose key the stats
+    /// layer has not seen yet — interned here, at the packet's first
+    /// accounting touch (exactly where the key-based path minted it).
+    fn stats_id_of(&mut self, pref: PacketRef) -> FlowId {
+        match self.arena.stats_id(pref) {
+            Some(id) => id,
+            None => {
+                let key = self.arena.get(pref).key;
+                let id = self.stats.flow_id(key);
+                self.arena.set_stats_id(pref, id);
+                id
+            }
+        }
+    }
+
+    fn record_drop(&mut self, packet: &Packet, sid: FlowId, reason: DropReason) {
+        self.stats.on_dropped_id(sid, packet, reason);
         let at = self.now;
         self.trace_record(TraceEvent::Drop {
             at,
@@ -578,22 +697,28 @@ impl Simulator {
         });
     }
 
-    /// Delivers `packet` to the agent bound to its destination. `flow`
+    /// Delivers the packet to the agent bound to its destination. `flow`
     /// is the id minted when the packet arrived (or, for loopback sends,
     /// by the caller) — deliveries never re-hash the 4-tuple.
-    fn deliver_local(&mut self, node_id: NodeId, packet: Packet, flow: FlowId) {
-        let Some(agent_id) = self.nodes[node_id.index()].local_agent(packet.key.dst) else {
-            self.record_drop(&packet, DropReason::NoRoute);
+    fn deliver_local(&mut self, node_id: NodeId, pref: PacketRef, flow: FlowId) {
+        let dst = self.arena.get(pref).key.dst;
+        let sid = self.stats_id_of(pref);
+        let Some(agent_id) = self.nodes[node_id.index()].local_agent(dst) else {
+            let packet = self.arena.take(pref);
+            self.record_drop(&packet, sid, DropReason::NoRoute);
             return;
         };
-        self.stats.on_delivered(&packet, node_id, self.now);
+        // The packet leaves the data path here: out of the arena, by
+        // value to the agent.
+        let packet = self.arena.take(pref);
+        self.stats.on_delivered_id(sid, &packet, node_id, self.now);
         let at = self.now;
         self.trace_record(TraceEvent::Deliver {
             at,
             flow: packet.key,
             node: node_id,
         });
-        let mut commands = Vec::new();
+        let mut commands = self.take_agent_buf();
         {
             let mut agent = self.agents[agent_id.index()]
                 .take()
@@ -609,60 +734,62 @@ impl Simulator {
             agent.on_packet(packet, &mut ctx);
             self.agents[agent_id.index()] = Some(agent);
         }
-        self.run_agent_commands(agent_id, commands);
+        self.run_agent_commands(agent_id, &mut commands);
+        self.put_agent_buf(commands);
     }
 
-    fn forward(&mut self, node_id: NodeId, packet: Packet) {
-        let Some(link_id) = self.nodes[node_id.index()].route_for(packet.key.dst) else {
-            self.record_drop(&packet, DropReason::NoRoute);
+    fn forward(&mut self, node_id: NodeId, pref: PacketRef) {
+        let dst = self.arena.get(pref).key.dst;
+        let Some(link_id) = self.nodes[node_id.index()].route_for(dst) else {
+            let sid = self.stats_id_of(pref);
+            let packet = self.arena.take(pref);
+            self.record_drop(&packet, sid, DropReason::NoRoute);
             return;
         };
-        self.send_on_link(link_id, packet);
+        self.send_on_link(link_id, pref);
     }
 
-    fn send_on_link(&mut self, link_id: LinkId, packet: Packet) {
+    fn send_on_link(&mut self, link_id: LinkId, pref: PacketRef) {
         if self.link_down[link_id.index()] {
-            self.record_drop(&packet, DropReason::NoRoute);
+            let sid = self.stats_id_of(pref);
+            let packet = self.arena.take(pref);
+            self.record_drop(&packet, sid, DropReason::NoRoute);
             return;
         }
         let now = self.now;
-        match self.links[link_id.index()].enqueue(packet, now) {
-            EnqueueOutcome::StartTx(done) => {
+        let size = self.arena.get(pref).size_bytes;
+        match self.links[link_id.index()].enqueue(pref, size, now) {
+            EnqueueOutcome::Accepted(due) => {
+                // The whole traversal — serialization slot, queueing
+                // delay, propagation — was resolved analytically inside
+                // `enqueue`, so the only event a link hop costs is this
+                // delivery at the far end.
                 self.scheduler
-                    .schedule(done, EventKind::LinkTxDone { link: link_id });
+                    .schedule(due, EventKind::LinkDeliver { link: link_id });
             }
-            EnqueueOutcome::Queued => {}
             EnqueueOutcome::Dropped(p) => {
-                self.record_drop(&p, DropReason::QueueFull);
+                let sid = self.stats_id_of(p);
+                let packet = self.arena.take(p);
+                self.record_drop(&packet, sid, DropReason::QueueFull);
             }
         }
     }
 
-    fn link_tx_done(&mut self, link_id: LinkId) {
+    /// Drains every delivery due at or before `now` from the link's
+    /// FIFO in one pass — the batched arrival path.
+    fn link_deliver(&mut self, link_id: LinkId) {
         let now = self.now;
-        let (packet, next_done) = self.links[link_id.index()].tx_done(now);
-        let (to, delay) = {
-            let l = &self.links[link_id.index()];
-            (l.to, l.spec.delay)
-        };
-        self.scheduler.schedule(
-            now + delay,
-            EventKind::DeliverToNode {
-                node: to,
-                packet,
-                via: Some(link_id),
-            },
-        );
-        if let Some(done) = next_done {
-            self.scheduler
-                .schedule(done, EventKind::LinkTxDone { link: link_id });
+        let to = self.links[link_id.index()].to;
+        while let Some(pref) = self.links[link_id.index()].pop_due(now) {
+            self.node_receive(to, pref, Some(link_id));
         }
     }
 
     fn agent_start(&mut self, agent_id: AgentId) {
-        let mut commands = Vec::new();
+        let mut commands = self.take_agent_buf();
         {
             let Some(mut agent) = self.agents[agent_id.index()].take() else {
+                self.put_agent_buf(commands);
                 return;
             };
             let node = self.agent_home[agent_id.index()];
@@ -677,13 +804,15 @@ impl Simulator {
             agent.on_start(&mut ctx);
             self.agents[agent_id.index()] = Some(agent);
         }
-        self.run_agent_commands(agent_id, commands);
+        self.run_agent_commands(agent_id, &mut commands);
+        self.put_agent_buf(commands);
     }
 
     fn agent_wake(&mut self, agent_id: AgentId, token: u64) {
-        let mut commands = Vec::new();
+        let mut commands = self.take_agent_buf();
         {
             let Some(mut agent) = self.agents[agent_id.index()].take() else {
+                self.put_agent_buf(commands);
                 return;
             };
             let node = self.agent_home[agent_id.index()];
@@ -698,15 +827,17 @@ impl Simulator {
             agent.on_timer(token, &mut ctx);
             self.agents[agent_id.index()] = Some(agent);
         }
-        self.run_agent_commands(agent_id, commands);
+        self.run_agent_commands(agent_id, &mut commands);
+        self.put_agent_buf(commands);
     }
 
     fn filter_timer(&mut self, node_id: NodeId, filter_index: usize, token: u64) {
-        let mut commands = Vec::new();
+        let mut commands = self.take_filter_buf();
         {
             let now = self.now;
             let node = &mut self.nodes[node_id.index()];
             let Some(filter) = node.filters.get_mut(filter_index) else {
+                self.put_filter_buf(commands);
                 return;
             };
             let mut ctx = FilterCtx::new(
@@ -718,15 +849,17 @@ impl Simulator {
             );
             filter.on_timer(token, &mut ctx);
         }
-        self.run_filter_commands(node_id, commands);
+        self.run_filter_commands(node_id, &mut commands);
+        self.put_filter_buf(commands);
     }
 
     fn filter_flow_timer(&mut self, fire: FlowTimerFire) {
-        let mut commands = Vec::new();
+        let mut commands = self.take_filter_buf();
         {
             let now = self.now;
             let node = &mut self.nodes[fire.node.index()];
             let Some(filter) = node.filters.get_mut(fire.filter_index) else {
+                self.put_filter_buf(commands);
                 return;
             };
             let mut ctx = FilterCtx::new(
@@ -738,7 +871,8 @@ impl Simulator {
             );
             filter.on_flow_timer(fire.flow, fire.kind, &mut ctx);
         }
-        self.run_filter_commands(fire.node, commands);
+        self.run_filter_commands(fire.node, &mut commands);
+        self.put_filter_buf(commands);
     }
 
     fn control(&mut self, node_id: NodeId, msg: FilterControl) {
@@ -748,7 +882,7 @@ impl Simulator {
             node: node_id,
             summary: format!("{msg:?}"),
         });
-        let mut commands = Vec::new();
+        let mut commands = self.take_filter_buf();
         {
             let now = self.now;
             let node = &mut self.nodes[node_id.index()];
@@ -758,16 +892,20 @@ impl Simulator {
                 filter.on_control(&msg, &mut ctx);
             }
         }
-        self.run_filter_commands(node_id, commands);
+        self.run_filter_commands(node_id, &mut commands);
+        self.put_filter_buf(commands);
     }
 
-    fn run_filter_commands(&mut self, node_id: NodeId, commands: Vec<FilterCommand>) {
-        for cmd in commands {
+    fn run_filter_commands(&mut self, node_id: NodeId, commands: &mut Vec<FilterCommand>) {
+        for cmd in commands.drain(..) {
             match cmd {
                 FilterCommand::EmitPacket(packet) => {
                     // Probes are routed from this node without re-filtering,
-                    // mirroring a router-originated control packet.
-                    self.forward(node_id, packet);
+                    // mirroring a router-originated control packet. Their
+                    // stats id stays unresolved until the first accounting
+                    // touch so the collector's mint order is unchanged.
+                    let pref = self.arena.alloc(packet, None);
+                    self.forward(node_id, pref);
                 }
                 FilterCommand::ScheduleTimer {
                     filter_index,
@@ -778,7 +916,7 @@ impl Simulator {
                         self.now + delay,
                         EventKind::FilterTimer {
                             node: node_id,
-                            filter_index,
+                            filter_index: filter_index as u32,
                             token,
                         },
                     );
@@ -817,20 +955,30 @@ impl Simulator {
         }
     }
 
-    fn run_agent_commands(&mut self, agent_id: AgentId, commands: Vec<AgentCommand>) {
+    fn run_agent_commands(&mut self, agent_id: AgentId, commands: &mut Vec<AgentCommand>) {
         let node = self.agent_home[agent_id.index()];
-        for cmd in commands {
+        for cmd in commands.drain(..) {
             match cmd {
                 AgentCommand::SendPacket(packet) => {
-                    self.stats.on_sent(&packet);
+                    let sid = match self.agent_send_memo[agent_id.index()] {
+                        Some((key, id)) if key == packet.key => id,
+                        _ => {
+                            let id = self.stats.flow_id(packet.key);
+                            self.agent_send_memo[agent_id.index()] = Some((packet.key, id));
+                            id
+                        }
+                    };
+                    self.stats.on_sent_id(sid, &packet);
+                    let key = packet.key;
+                    let pref = self.arena.alloc(packet, Some(sid));
                     // Host stacks inject directly onto the forwarding path;
                     // if the destination is another local agent, deliver
                     // directly (loopback).
-                    if self.nodes[node.index()].is_local(packet.key.dst) {
-                        let flow = self.flows.intern(packet.key);
-                        self.deliver_local(node, packet, flow);
+                    if self.nodes[node.index()].is_local(key.dst) {
+                        let flow = self.flows.intern(key);
+                        self.deliver_local(node, pref, flow);
                     } else {
-                        self.forward(node, packet);
+                        self.forward(node, pref);
                     }
                 }
                 AgentCommand::ScheduleTimer { delay, token } => {

@@ -8,7 +8,7 @@
 //! Ground-truth fields (`is_attack`) come from packet [`Provenance`] and
 //! are written here and only here — the defense filters cannot see them.
 
-use crate::flows::{FlowInterner, FlowSlab};
+use crate::flows::{FlowId, FlowInterner, FlowSlab};
 use crate::ids::NodeId;
 use crate::packet::{DropReason, FlowKey, Packet, Provenance};
 use crate::time::{SimDuration, SimTime};
@@ -181,11 +181,37 @@ impl StatsCollector {
 
     /// The record slot for `key`, created on first touch.
     fn entry(&mut self, key: FlowKey) -> &mut FlowRecord {
+        let id = self.flow_id(key);
+        self.records.get_mut(id).expect("just ensured")
+    }
+
+    /// Interns `key` into the collector's id space, creating the record
+    /// slot on first touch. The id lets hot-path callers skip re-hashing
+    /// the 4-tuple on every subsequent accounting call (the simulator
+    /// caches it alongside the in-flight packet).
+    pub fn flow_id(&mut self, key: FlowKey) -> FlowId {
         let id = self.interner.intern(key);
         if !self.records.contains(id) {
             self.records.insert(id, FlowRecord::default());
         }
-        self.records.get_mut(id).expect("just ensured")
+        id
+    }
+
+    /// The record slot for an id minted by [`StatsCollector::flow_id`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this collector.
+    fn entry_id(&mut self, id: FlowId) -> &mut FlowRecord {
+        self.records
+            .get_mut(id)
+            .expect("id minted by this collector")
+    }
+
+    fn record_id(&mut self, id: FlowId, provenance: Provenance) -> &mut FlowRecord {
+        let rec = self.entry_id(id);
+        rec.is_attack |= provenance.is_attack;
+        rec
     }
 
     /// Declares a flow's ground truth. Called by the workload layer when
@@ -197,18 +223,17 @@ impl StatsCollector {
         rec.is_tcp = is_tcp;
     }
 
-    fn record(&mut self, key: FlowKey, provenance: Provenance) -> &mut FlowRecord {
-        let rec = self.entry(key);
-        // Keep ground truth sticky once declared; packets inherit it.
-        rec.is_attack |= provenance.is_attack;
-        rec
-    }
-
     /// Records a packet injection (called by the simulator; public for
     /// metric-layer tests that synthesize collectors).
     pub fn on_sent(&mut self, packet: &Packet) {
+        let id = self.flow_id(packet.key);
+        self.on_sent_id(id, packet);
+    }
+
+    /// Id-keyed variant of [`StatsCollector::on_sent`].
+    pub fn on_sent_id(&mut self, id: FlowId, packet: &Packet) {
         self.total_sent += 1;
-        self.record(packet.key, packet.provenance).sent += 1;
+        self.record_id(id, packet.provenance).sent += 1;
     }
 
     /// Records a packet arriving at `node` (pre-filter, pre-queue).
@@ -235,8 +260,14 @@ impl StatsCollector {
 
     /// Records a delivery to an agent on `node`.
     pub fn on_delivered(&mut self, packet: &Packet, node: NodeId, now: SimTime) {
+        let id = self.flow_id(packet.key);
+        self.on_delivered_id(id, packet, node, now);
+    }
+
+    /// Id-keyed variant of [`StatsCollector::on_delivered`].
+    pub fn on_delivered_id(&mut self, id: FlowId, packet: &Packet, node: NodeId, now: SimTime) {
         self.total_delivered += 1;
-        self.record(packet.key, packet.provenance).delivered += 1;
+        self.record_id(id, packet.provenance).delivered += 1;
         if let Some(watch) = self.watch {
             if watch.node == node {
                 let idx = (now.as_nanos() / watch.bin.as_nanos()) as usize;
@@ -257,7 +288,13 @@ impl StatsCollector {
 
     /// Records a drop with its reason.
     pub fn on_dropped(&mut self, packet: &Packet, reason: DropReason) {
-        let rec = self.record(packet.key, packet.provenance);
+        let id = self.flow_id(packet.key);
+        self.on_dropped_id(id, packet, reason);
+    }
+
+    /// Id-keyed variant of [`StatsCollector::on_dropped`].
+    pub fn on_dropped_id(&mut self, id: FlowId, packet: &Packet, reason: DropReason) {
+        let rec = self.record_id(id, packet.provenance);
         match reason {
             DropReason::FilterProbing => rec.dropped_probing += 1,
             DropReason::FilterPermanent => rec.dropped_permanent += 1,

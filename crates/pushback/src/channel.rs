@@ -35,6 +35,15 @@ impl ControlChannel {
         std::mem::take(&mut self.inbox)
     }
 
+    /// Moves the queued envelopes into `out` (clearing it first) — the
+    /// allocation-free variant of [`drain`](ControlChannel::drain): the
+    /// buffers swap, so a monitor draining once per interval recycles
+    /// the same two allocations for the whole run.
+    pub fn drain_into(&mut self, out: &mut Vec<(SimTime, ControlMsg)>) {
+        out.clear();
+        std::mem::swap(&mut self.inbox, out);
+    }
+
     /// Envelopes accepted over the channel's lifetime.
     #[must_use]
     pub fn received_total(&self) -> u64 {
@@ -132,6 +141,29 @@ mod tests {
         assert!(ch.drain().is_empty(), "drain empties the inbox");
         assert_eq!(ch.received_total(), 2);
         assert_eq!(ch.forged_dropped(), 0);
+    }
+
+    #[test]
+    fn drain_into_recycles_the_buffers() {
+        let mut h = AgentHarness::new();
+        let mut ch = ControlChannel::new();
+        let victim = Addr::new(42);
+        let _ = h.deliver(
+            &mut ch,
+            push_pkt(CTRL_SRC, envelope(1, ControlVerb::Withdraw { victim })),
+        );
+        let mut out = vec![(SimTime::ZERO, envelope(9, ControlVerb::Stop { victim }))];
+        ch.drain_into(&mut out);
+        assert_eq!(out.len(), 1, "stale contents cleared, envelope landed");
+        assert!(matches!(out[0].1.verb, ControlVerb::Withdraw { .. }));
+        // The inbox is empty again and keeps accepting.
+        let _ = h.deliver(
+            &mut ch,
+            push_pkt(CTRL_SRC, envelope(2, ControlVerb::Stop { victim })),
+        );
+        ch.drain_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1.verb, ControlVerb::Stop { .. }));
     }
 
     #[test]

@@ -86,6 +86,7 @@ pub struct UnresponsiveSender {
     sent: u64,
     ignored_inbound: u64,
     stop_after: Option<SimTime>,
+    second_wave: Option<(SimTime, SimTime)>,
     timer_token: u64,
 }
 
@@ -111,6 +112,7 @@ impl UnresponsiveSender {
             sent: 0,
             ignored_inbound: 0,
             stop_after: None,
+            second_wave: None,
             timer_token: 0,
         }
     }
@@ -118,6 +120,15 @@ impl UnresponsiveSender {
     /// Stops transmitting after the given instant.
     pub fn set_stop_after(&mut self, at: SimTime) {
         self.stop_after = Some(at);
+    }
+
+    /// Arms a second transmission wave: after the sender goes quiet at
+    /// its [`set_stop_after`](UnresponsiveSender::set_stop_after)
+    /// instant, it wakes again at `resume` and transmits until `stop`.
+    /// The resume ride the same timer chain (token-staleness semantics
+    /// unchanged), so the whole two-wave schedule stays deterministic.
+    pub fn set_second_wave(&mut self, resume: SimTime, stop: SimTime) {
+        self.second_wave = Some((resume, stop));
     }
 
     /// Packets transmitted.
@@ -198,6 +209,15 @@ impl Agent for UnresponsiveSender {
         }
         if let Some(stop) = self.stop_after {
             if ctx.now() >= stop {
+                // End of the current wave. If a second wave is armed,
+                // sleep until its resume instant instead of letting the
+                // timer chain end; the resume wake re-enters this
+                // handler past the (now-swapped) stop check and emits.
+                if let Some((resume, next_stop)) = self.second_wave.take() {
+                    self.stop_after = Some(next_stop);
+                    self.timer_token += 1;
+                    ctx.schedule_in(resume.saturating_since(ctx.now()), self.timer_token);
+                }
                 return;
             }
         }
@@ -333,6 +353,32 @@ mod tests {
         let fx2 = h.fire_timer(&mut s, fx.timers[0].1);
         assert!(fx2.sent.is_empty());
         assert!(fx2.timers.is_empty(), "chain ends");
+    }
+
+    #[test]
+    fn second_wave_resumes_after_the_gap() {
+        let mut h = AgentHarness::new();
+        let mut s = sender(CbrProtocol::Udp, 0.0);
+        let fx = h.start(&mut s);
+        s.set_stop_after(SimTime::from_secs_f64(0.005));
+        s.set_second_wave(SimTime::from_secs_f64(0.100), SimTime::from_secs_f64(0.105));
+        // First wave ends: the 10 ms tick lands past stop_after, emits
+        // nothing, and instead schedules the resume wake at 100 ms.
+        h.advance(SimDuration::from_millis(10));
+        let fx2 = h.fire_timer(&mut s, fx.timers[0].1);
+        assert!(fx2.sent.is_empty(), "quiet during the gap");
+        assert_eq!(fx2.timers.len(), 1, "resume wake armed");
+        assert_eq!(fx2.timers[0].0, SimDuration::from_millis(90));
+        // Resume wake: the sender emits again and re-arms its chain.
+        h.advance(SimDuration::from_millis(90));
+        let fx3 = h.fire_timer(&mut s, fx2.timers[0].1);
+        assert_eq!(fx3.sent.len(), 1, "second wave transmits");
+        assert_eq!(fx3.timers.len(), 1);
+        // Second stop: past 105 ms the chain ends for good.
+        h.advance(SimDuration::from_millis(10));
+        let fx4 = h.fire_timer(&mut s, fx3.timers[0].1);
+        assert!(fx4.sent.is_empty());
+        assert!(fx4.timers.is_empty(), "no third wave");
     }
 
     #[test]

@@ -204,11 +204,19 @@ struct ControlAccounting {
     /// Forged-request campaigns a malicious domain has run so far
     /// (doubles as its envelope nonce, which must advance per send).
     malicious_requests: u64,
-    /// When the victim's coordinator entered `StandingDown`.
+    /// When the victim's coordinator *first* entered `StandingDown`.
     stood_down_at: Option<SimTime>,
     /// First interval boundary at which, after the stand-down, every
     /// coordinator in the chain was idle again (zero live leases).
     teardown_done_at: Option<SimTime>,
+    /// Wave-scoped stand-down latch: set when the victim's coordinator
+    /// enters `StandingDown`, cleared by the runner when the teardown
+    /// reaches `Idle` and the trigger re-arms. While set, the latched
+    /// trigger must not restart the coordinator. (Unlike
+    /// [`stood_down_at`](ControlAccounting::stood_down_at), which keeps
+    /// the first wave's timestamp for reporting, this flag resets every
+    /// wave — the fix that lets a second flood re-engage the defense.)
+    defense_down: bool,
 }
 
 /// Sums the deployment-cost proxies of every defense filter, grouped by
@@ -267,6 +275,19 @@ fn collect_policy_costs(scenario: &Scenario) -> Vec<PolicyCostReport> {
     rows.into_values().collect()
 }
 
+/// Reusable interval-loop buffers. The monitor steps thousands of
+/// intervals per run; holding its scratch here (and recycling the tap
+/// and channel buffers via the `*_into` drains) keeps the steady-state
+/// loop allocation-free — the bench harness pins the resulting
+/// allocation count end to end.
+#[derive(Default)]
+struct StepScratch {
+    /// Landing buffer for one domain's drained control-channel inbox.
+    inbox: Vec<(SimTime, ControlMsg)>,
+    /// One domain's pushback actions for the current interval.
+    actions: Vec<PushbackAction>,
+}
+
 /// One monitor-interval step of the inter-domain cascade.
 #[allow(clippy::too_many_arguments)]
 fn step_pushback(
@@ -280,6 +301,7 @@ fn step_pushback(
     escalations: &mut Vec<(SimTime, usize)>,
     max_depth: &mut u32,
     acct: &mut ControlAccounting,
+    scratch: &mut StepScratch,
 ) {
     // The escalation budget carried in envelopes, capped to its wire
     // width. Shared by the honest victim start and the malicious
@@ -289,8 +311,10 @@ fn step_pushback(
     // The victim domain's coordinator rides on the local defense: the
     // detector (or its fallback) starts it, with the spec's depth as
     // the escalation budget. Once the victim has stood the defense
-    // down (flood subsided), the latched trigger must not restart it.
-    if triggered && acct.stood_down_at.is_none() && !plan.domains[0].coordinator.is_defending() {
+    // down (flood subsided), the latched trigger must not restart it —
+    // but the latch is per wave, so after the teardown completes and
+    // the runner re-arms detection, a fresh trigger starts it again.
+    if triggered && !acct.defense_down && !plan.domains[0].coordinator.is_defending() {
         plan.domains[0]
             .coordinator
             .local_start(victim, depth_budget);
@@ -307,10 +331,9 @@ fn step_pushback(
         if spec.malicious_pushback == Some(d) {
             // Drain any Deny replies so the inbox stays bounded, and
             // keep the meters interval-scoped.
-            let _ = sim
-                .agent_mut::<ControlChannel>(plan.domains[d].channel)
+            sim.agent_mut::<ControlChannel>(plan.domains[d].channel)
                 .expect("control channel installed at build time")
-                .drain();
+                .drain_into(&mut scratch.inbox);
             drain_meters(sim, plan, d);
             if now >= spec.attack_start {
                 acct.malicious_requests += 1;
@@ -341,12 +364,11 @@ fn step_pushback(
         if !plan.domains[d].policy.participating() {
             continue;
         }
-        let mut actions = Vec::new();
+        scratch.actions.clear();
         // 1. Envelopes that arrived over the control channel.
-        let inbox = sim
-            .agent_mut::<ControlChannel>(plan.domains[d].channel)
+        sim.agent_mut::<ControlChannel>(plan.domains[d].channel)
             .expect("control channel installed at build time")
-            .drain();
+            .drain_into(&mut scratch.inbox);
         // 2. Meter windows first: offered pressure drives escalation
         //    *and* attestation of inbound claims; the residual is
         //    accounting only. The local-ingress component (non-border
@@ -375,15 +397,15 @@ fn step_pushback(
                 upstream: &dom.upstream,
                 requests_out: &mut acct.requests_injected,
             };
-            for (_at, msg) in inbox {
+            for &(_at, msg) in &scratch.inbox {
                 dom.coordinator
-                    .on_message(msg, inflow_bps, &mut plane, &mut actions);
+                    .on_message(msg, inflow_bps, &mut plane, &mut scratch.actions);
             }
             dom.coordinator
-                .on_interval(inflow_bps, local_bps, &mut plane, &mut actions);
+                .on_interval(inflow_bps, local_bps, &mut plane, &mut scratch.actions);
         }
         // 4. Apply the local actions.
-        for action in actions {
+        for action in scratch.actions.drain(..) {
             match action {
                 PushbackAction::ActivateLocal { victim } => {
                     for &(node, _) in &plan.domains[d].atrs {
@@ -404,13 +426,16 @@ fn step_pushback(
                 }
             }
         }
-        // 5. Lifecycle bookkeeping: timestamp the victim's stand-down
-        //    decision the interval it happens.
+        // 5. Lifecycle bookkeeping: latch the wave's stand-down and
+        //    timestamp the first one the interval it happens.
         if d == 0
-            && acct.stood_down_at.is_none()
+            && !acct.defense_down
             && plan.domains[0].coordinator.state() == LifecycleState::StandingDown
         {
-            acct.stood_down_at = Some(now);
+            acct.defense_down = true;
+            if acct.stood_down_at.is_none() {
+                acct.stood_down_at = Some(now);
+            }
         }
     }
     // After the stand-down, the teardown is complete the first interval
@@ -521,15 +546,31 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
         warmup_rounds: (0.8 / scenario.spec.monitor_interval.as_secs_f64()).ceil() as u64,
     };
     let mut detector = VictimDetector::new(detector_config).map_err(WorkloadError::Detection)?;
+    // `triggered_at` is the *current wave's* trigger latch — cleared
+    // when the defense stands down and tears back to `Idle`, so a later
+    // flood wave re-enters detection. `first_triggered_at` keeps the
+    // first wave's instant for reporting and the β measure windows.
     let mut triggered_at: Option<SimTime> = None;
+    let mut first_triggered_at: Option<SimTime> = None;
+    // The escalation fallback is one-shot: consumed when it fires, and
+    // disarmed on re-arm (its deadline is anchored to the *first*
+    // attack start, so it would fire instantly — and spuriously — the
+    // moment a later wave re-arms detection).
+    let mut fallback = scenario.spec.detection_fallback;
     let mut atr_nodes: Vec<NodeId> = Vec::new();
     let mut escalations: Vec<(SimTime, usize)> = Vec::new();
     let mut max_pushback_depth = 0u32;
     let mut acct = ControlAccounting::default();
+    let mut scratch = StepScratch::default();
+    // Epoch sketches land in slots reused across intervals: the first
+    // harvest populates the vector, every later one swaps buffers with
+    // the taps — no steady-state allocation in the monitor loop.
+    let mut sketches: Vec<RouterSketch> = Vec::new();
 
     let auto = matches!(scenario.spec.detection, DetectionMode::Auto);
     if let DetectionMode::AtTime(at) = scenario.spec.detection {
         triggered_at = Some(at);
+        first_triggered_at = Some(at);
         atr_nodes = scenario.droppers.iter().map(|&(n, _)| n).collect();
     }
 
@@ -549,17 +590,17 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
         // let them accumulate for the rest of the run, so any later
         // reader (re-detection, telemetry) would see one stale merged
         // epoch instead of an interval's worth of traffic.
-        let sketches: Vec<RouterSketch> = scenario
-            .taps
-            .iter()
-            .map(|&(node, idx)| {
-                scenario
-                    .sim
-                    .filter_mut::<LogLogTap>(node, idx)
-                    .expect("tap installed at build time")
-                    .take_epoch()
-            })
-            .collect();
+        for (i, &(node, idx)) in scenario.taps.iter().enumerate() {
+            let tap = scenario
+                .sim
+                .filter_mut::<LogLogTap>(node, idx)
+                .expect("tap installed at build time");
+            if let Some(slot) = sketches.get_mut(i) {
+                tap.take_epoch_into(slot);
+            } else {
+                sketches.push(tap.take_epoch());
+            }
+        }
         // The inter-domain cascade steps every interval too — meters
         // stay interval-scoped whether or not anything is defending.
         if let Some(plan) = scenario.pushback.as_mut() {
@@ -574,14 +615,32 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
                 &mut escalations,
                 &mut max_pushback_depth,
                 &mut acct,
+                &mut scratch,
             );
+        }
+        // Re-arm after stand-down: once the victim domain has stood the
+        // defense down *and* the whole cascade has torn back to `Idle`,
+        // the wave is over — clear the trigger latch so a later flood
+        // wave goes through detection (and `step_pushback`'s restart
+        // guard) from scratch.
+        if auto
+            && triggered_at.is_some()
+            && acct.defense_down
+            && scenario
+                .pushback
+                .as_ref()
+                .is_some_and(|plan| plan.domains[0].coordinator.state() == LifecycleState::Idle)
+        {
+            triggered_at = None;
+            fallback = None;
+            acct.defense_down = false;
         }
         if !auto || triggered_at.is_some() {
             continue;
         }
         // Victim escalation fallback: if the counting pipeline has not
         // fired within the grace period, every ingress is instructed.
-        if let Some(grace) = scenario.spec.detection_fallback {
+        if let Some(grace) = fallback {
             let deadline = scenario.spec.attack_start + grace;
             if scenario.sim.now() >= deadline {
                 let now = scenario.sim.now();
@@ -597,6 +656,8 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
                     atr_nodes.push(node);
                 }
                 triggered_at = Some(at);
+                first_triggered_at.get_or_insert(at);
+                fallback = None;
                 continue;
             }
         }
@@ -630,6 +691,7 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
             }
             if !atr_nodes.is_empty() {
                 triggered_at = Some(at);
+                first_triggered_at.get_or_insert(at);
             }
         }
     }
@@ -638,7 +700,7 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
     // attack start and the trigger; "after" sits right behind the trigger
     // (the paper reports the cut achieved within ~2×RTT, before the nice
     // flows regain their bandwidth shares).
-    let trigger_anchor = triggered_at.unwrap_or(scenario.spec.attack_start);
+    let trigger_anchor = first_triggered_at.unwrap_or(scenario.spec.attack_start);
     let raging = trigger_anchor.saturating_since(scenario.spec.attack_start);
     let windows = MeasureWindows {
         trigger_at: trigger_anchor,
@@ -661,7 +723,7 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
         report,
         series,
         goodput_series,
-        triggered_at,
+        triggered_at: first_triggered_at,
         atr_nodes: sorted_unique(atr_nodes),
         escalations,
         max_pushback_depth,

@@ -798,6 +798,9 @@ fn provision_flow(
     };
     let mut sender = UnresponsiveSender::new(key, config, true, spec.seed ^ (i as u64) << 3);
     sender.set_stop_after(spec.attack_end.unwrap_or(spec.end));
+    if let Some((resume, stop)) = spec.second_wave {
+        sender.set_second_wave(resume, stop);
+    }
     let agent = sim.add_agent(host.node, Box::new(sender), spec.attack_start);
     sim.bind_local_addr(host.node, host.addr, agent);
     sim.stats_mut()

@@ -125,6 +125,12 @@ pub struct ScenarioSpec {
     /// [`end`](ScenarioSpec::end)). Setting this mid-run is how the
     /// flood-subsidence lifecycle is exercised end to end.
     pub attack_end: Option<SimTime>,
+    /// A second flood wave `(resume, stop)`: the zombies go quiet at
+    /// [`attack_end`](ScenarioSpec::attack_end) (required), then resume
+    /// at `resume` and transmit until `stop`. This is the two-wave
+    /// lifecycle scenario — the defense must stand down after the first
+    /// wave subsides and *re-engage* when the second wave arrives.
+    pub second_wave: Option<(SimTime, SimTime)>,
     /// Approximate per-flow rate (bytes/s) of the background cross
     /// traffic through the transit tier: each transit domain hosts one
     /// long-lived TCP flow to a neighboring transit domain, **not**
@@ -227,6 +233,7 @@ impl Default for ScenarioSpec {
             attestation_fraction: 0.25,
             subsidence_intervals: 8,
             attack_end: None,
+            second_wave: None,
             cross_traffic_bps: 0.0,
             malicious_pushback: None,
             drop_probability: 0.9,
@@ -485,6 +492,20 @@ impl ScenarioSpec {
             }
             if attack_end > self.end {
                 return Err("attack_end must not exceed end".into());
+            }
+        }
+        if let Some((resume, stop)) = self.second_wave {
+            let Some(attack_end) = self.attack_end else {
+                return Err("second_wave requires attack_end (the first wave must stop)".into());
+            };
+            if resume < attack_end {
+                return Err("second_wave resume must not precede attack_end".into());
+            }
+            if stop <= resume {
+                return Err("second_wave stop must come after its resume".into());
+            }
+            if stop > self.end {
+                return Err("second_wave stop must not exceed end".into());
             }
         }
         if !self.cross_traffic_bps.is_finite() || self.cross_traffic_bps < 0.0 {
@@ -987,6 +1008,37 @@ mod tests {
                 "attack_end past end",
                 ScenarioSpec {
                     attack_end: Some(SimTime::from_secs_f64(99.0)),
+                    ..multi.clone()
+                },
+            ),
+            (
+                "second_wave without attack_end",
+                ScenarioSpec {
+                    second_wave: Some((SimTime::from_secs_f64(5.0), SimTime::from_secs_f64(6.0))),
+                    ..multi.clone()
+                },
+            ),
+            (
+                "second_wave resume before attack_end",
+                ScenarioSpec {
+                    attack_end: Some(SimTime::from_secs_f64(4.0)),
+                    second_wave: Some((SimTime::from_secs_f64(3.0), SimTime::from_secs_f64(6.0))),
+                    ..multi.clone()
+                },
+            ),
+            (
+                "second_wave stop not after resume",
+                ScenarioSpec {
+                    attack_end: Some(SimTime::from_secs_f64(4.0)),
+                    second_wave: Some((SimTime::from_secs_f64(5.0), SimTime::from_secs_f64(5.0))),
+                    ..multi.clone()
+                },
+            ),
+            (
+                "second_wave past end",
+                ScenarioSpec {
+                    attack_end: Some(SimTime::from_secs_f64(4.0)),
+                    second_wave: Some((SimTime::from_secs_f64(5.0), SimTime::from_secs_f64(99.0))),
                     ..multi.clone()
                 },
             ),

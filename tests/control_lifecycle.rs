@@ -132,6 +132,70 @@ fn defense_does_not_stand_down_while_the_flood_rages() {
 }
 
 #[test]
+fn second_flood_wave_retriggers_after_stand_down() {
+    // Wave 1 ends at 2.5 s; the zombies resume at 5.0 s and flood until
+    // 6.5 s. The runner must re-arm detection once the wave-1 teardown
+    // returns the victim's coordinator to idle, and the second wave
+    // must re-engage the defense — the regression this pins is the old
+    // permanently-latched `stood_down` flag, under which a second wave
+    // sailed through undefended.
+    let resume = SimTime::from_secs_f64(5.0);
+    let spec = ScenarioSpec {
+        second_wave: Some((resume, SimTime::from_secs_f64(6.5))),
+        end: SimTime::from_secs_f64(8.0),
+        ..lifecycle_spec()
+    };
+    let mut scenario = Scenario::build(spec).expect("buildable");
+    let outcome = run_scenario(&mut scenario).expect("runs");
+
+    // Wave 1 ran its full lifecycle: trigger, then stand-down after the
+    // flood subsided and before the second wave arrived.
+    let first_trigger = outcome.triggered_at.expect("wave 1 must trigger");
+    assert!(
+        first_trigger < lifecycle_spec().attack_end.unwrap(),
+        "reported trigger {first_trigger} must be wave 1's"
+    );
+    let stood_down = outcome
+        .stood_down_at
+        .expect("wave 1 must stand the defense down");
+    assert!(stood_down > lifecycle_spec().attack_end.unwrap());
+    assert!(
+        stood_down < resume,
+        "stand-down at {stood_down} must precede the second wave at {resume}"
+    );
+
+    // Wave 2 re-engaged: the victim domain activated its defense again
+    // after the resume instant. (Every local activation logs an
+    // escalation entry, so a fresh post-resume entry is exactly the
+    // re-engagement signal.)
+    assert!(
+        outcome.escalations.iter().any(|&(at, _)| at > resume),
+        "second wave must re-engage the defense: {:?}",
+        outcome.escalations
+    );
+
+    // Reporting still pins wave 1: the first trigger anchors the β
+    // windows and `stood_down_at` keeps the first stand-down instant.
+    assert!(outcome.triggered_at.unwrap() < resume);
+    assert!(outcome.stood_down_at.unwrap() < resume);
+}
+
+#[test]
+fn single_wave_lifecycle_unchanged_by_the_rearm_path() {
+    // Without a second wave the re-arm must be invisible: detection
+    // re-arms after the teardown, observes only healthy traffic, and
+    // never fires again.
+    let outcome = mafic_suite::workload::run_spec(lifecycle_spec()).expect("runs");
+    assert!(outcome.defense_engaged());
+    let stood_down = outcome.stood_down_at.expect("stands down");
+    assert!(
+        outcome.escalations.iter().all(|&(at, _)| at < stood_down),
+        "no re-activation after the stand-down: {:?}",
+        outcome.escalations
+    );
+}
+
+#[test]
 fn lifecycle_runs_are_deterministic() {
     let a = mafic_suite::workload::run_spec(lifecycle_spec()).unwrap();
     let b = mafic_suite::workload::run_spec(lifecycle_spec()).unwrap();
