@@ -14,6 +14,11 @@
 //! never consults the host clock, so none of this can perturb replay
 //! determinism.
 
+// Sanctioned wall-clock user (see `mafic-lint`'s nondet config):
+// measuring elapsed time is this harness's purpose, and nothing it
+// measures feeds back into simulation state.
+#![allow(clippy::disallowed_methods)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -37,19 +42,27 @@ static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 // SAFETY: delegates every operation verbatim to `System`; the counter
 // updates are lock-free atomics and never allocate.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout unchanged to `System.alloc`,
+    // which upholds the GlobalAlloc contract for it.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc(layout)
     }
+    // SAFETY: `ptr`/`layout` came from this allocator's `alloc`, which
+    // returned a `System` block of the same layout.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
     }
+    // SAFETY: same delegation; `ptr` was allocated by `System` with
+    // `layout`, and `new_size` is passed through unmodified.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
+    // SAFETY: forwards the caller's layout unchanged to
+    // `System.alloc_zeroed`, which upholds the contract for it.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);

@@ -11,6 +11,7 @@
 //! authoritative figure regenerators.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_docs)]
 
 use mafic_netsim::SimTime;

@@ -65,7 +65,7 @@ impl FigureData {
             .iter()
             .flat_map(|s| s.points.iter().map(|&(x, _)| x))
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("x values are finite"));
+        xs.sort_by(f64::total_cmp);
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         xs
     }

@@ -26,6 +26,7 @@
 //! | `all_figures` | everything above |
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_docs)]
 
 pub mod ablations;

@@ -1,0 +1,69 @@
+//! `mafic-lint` CLI: lint the workspace and exit nonzero on findings.
+//!
+//! ```text
+//! cargo run -p mafic-lint -- [--ci] [--root <path>]
+//! ```
+//!
+//! `--root` defaults to the nearest workspace root above this crate
+//! (so the binary works from any cwd inside the repo). `--ci` is the
+//! mode CI runs: identical checks, and the report is printed even when
+//! the tree is clean so the suppression inventory lands in the job log.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mafic_lint::{lint_workspace, LintConfig};
+
+fn main() -> ExitCode {
+    let mut ci = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--ci" => ci = true,
+            "--root" => match argv.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("mafic-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: mafic-lint [--ci] [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("mafic-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // CARGO_MANIFEST_DIR is crates/lint; the workspace root is two up.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/lint has a workspace root two levels up")
+            .to_path_buf()
+    });
+
+    let cfg = LintConfig::workspace();
+    match lint_workspace(&root, &cfg) {
+        Ok(report) => {
+            if ci || !report.is_clean() {
+                print!("{}", report.render());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("mafic-lint: I/O error walking {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -200,7 +200,7 @@ impl VictimDetector {
             .into_iter()
             .filter(|&(i, a)| i != victim && a >= self.config.atr_share * egress_cardinality)
             .collect();
-        atrs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite contributions"));
+        atrs.sort_by(|a, b| b.1.total_cmp(&a.1));
         AtrReport {
             victim,
             egress_cardinality,

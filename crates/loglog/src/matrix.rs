@@ -154,7 +154,7 @@ impl TrafficMatrix {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0.0)
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("cardinalities are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, &c)| (RouterSketchId(i), c))
     }
 }
