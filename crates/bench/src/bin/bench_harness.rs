@@ -84,11 +84,12 @@ fn alloc_snapshot() -> (u64, u64) {
 /// keeps a measured repetition well under a second. Identical in `--ci`
 /// and full mode — the CI gate compares its measurement against the
 /// committed full-mode baseline, so the workload must match exactly.
-fn e2e_spec() -> ScenarioSpec {
+fn e2e_spec(ledger: bool) -> ScenarioSpec {
     ScenarioSpec {
         total_flows: 40,
         n_routers: 20,
         end: SimTime::from_secs_f64(8.0),
+        ledger,
         seed: 6,
         ..ScenarioSpec::default()
     }
@@ -105,9 +106,12 @@ struct E2eResult {
 
 /// Runs the pinned scenario `reps` times (after one warmup), reporting
 /// the best packets/sec plus the allocation count of a single rep.
-fn measure_e2e(reps: u32) -> E2eResult {
+/// `ledger` toggles run-ledger recording: the default (gated) number
+/// keeps it off, and the ledger-on measurement quantifies the
+/// per-interval state-hashing overhead.
+fn measure_e2e(reps: u32, ledger: bool) -> E2eResult {
     let run_once = || {
-        let mut scenario = Scenario::build(e2e_spec()).expect("e2e spec builds");
+        let mut scenario = Scenario::build(e2e_spec(ledger)).expect("e2e spec builds");
         let start = Instant::now();
         let outcome = run_scenario(&mut scenario).expect("e2e run succeeds");
         let wall = start.elapsed().as_secs_f64();
@@ -258,11 +262,19 @@ fn main() {
     }
 
     let reps = 3;
-    eprintln!("[bench] e2e scenario ({reps} reps)...");
-    let e2e = measure_e2e(reps);
+    eprintln!("[bench] e2e scenario ({reps} reps, ledger off)...");
+    let e2e = measure_e2e(reps, false);
     eprintln!(
         "[bench]   {} packets in {:.3}s best -> {:.0} packets/sec, {} allocs/run, arena peak {}",
         e2e.packets, e2e.best_wall_s, e2e.packets_per_sec, e2e.allocs, e2e.peak_arena_packets
+    );
+    eprintln!("[bench] e2e scenario ({reps} reps, ledger on)...");
+    let e2e_ledger = measure_e2e(reps, true);
+    let ledger_overhead_pct =
+        (e2e.packets_per_sec / e2e_ledger.packets_per_sec - 1.0).max(0.0) * 100.0;
+    eprintln!(
+        "[bench]   {:.0} packets/sec with ledger recording ({:.1}% overhead)",
+        e2e_ledger.packets_per_sec, ledger_overhead_pct
     );
     eprintln!("[bench] table op...");
     let ns_per_table_op = measure_table_op();
@@ -279,6 +291,8 @@ fn main() {
             "  \"label\": \"{label}\",\n",
             "  \"mode\": \"{mode}\",\n",
             "  \"packets_per_sec\": {pps},\n",
+            "  \"packets_per_sec_ledger\": {pps_ledger},\n",
+            "  \"ledger_overhead_pct\": {ledger_overhead},\n",
             "  \"e2e_packets\": {packets},\n",
             "  \"e2e_best_wall_s\": {wall},\n",
             "  \"e2e_allocs\": {allocs},\n",
@@ -292,6 +306,8 @@ fn main() {
         label = label,
         mode = mode,
         pps = json_f(e2e.packets_per_sec),
+        pps_ledger = json_f(e2e_ledger.packets_per_sec),
+        ledger_overhead = json_f(ledger_overhead_pct),
         packets = e2e.packets,
         wall = json_f(e2e.best_wall_s),
         allocs = e2e.allocs,

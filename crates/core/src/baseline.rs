@@ -116,6 +116,28 @@ impl ProportionalFilter {
     }
 }
 
+impl mafic_obs::StateHash for ProportionalFilter {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        // The RNG is excluded (no state accessor); its draws are pinned
+        // indirectly by the drop counters below.
+        h.write_f64(self.drop_probability);
+        match self.active {
+            None => h.write_u8(0),
+            Some(victim) => {
+                h.write_u8(1);
+                h.write_u32(victim.as_u32());
+            }
+        }
+        h.write_u64(self.examined);
+        h.write_u64(self.dropped);
+        h.write_usize(self.per_flow_dropped.len());
+        for (id, count) in self.per_flow_dropped.iter() {
+            h.write_usize(id.index());
+            h.write_u64(*count);
+        }
+    }
+}
+
 impl PacketFilter for ProportionalFilter {
     fn on_packet(
         &mut self,

@@ -295,6 +295,39 @@ impl MaficFilter {
     }
 }
 
+impl mafic_obs::StateHash for MaficCounters {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_u64(self.examined);
+        h.write_u64(self.dropped_probing);
+        h.write_u64(self.dropped_permanent);
+        h.write_u64(self.dropped_illegal);
+        h.write_u64(self.probes_sent);
+        h.write_u64(self.timers_armed);
+        h.write_u64(self.flows_nice);
+        h.write_u64(self.flows_malicious);
+    }
+}
+
+impl mafic_obs::StateHash for MaficFilter {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        // The RNG is deliberately excluded: `SmallRng` exposes no state
+        // accessor, and its draws only influence observable state through
+        // drop decisions — which the tables, tracker, and counters below
+        // already pin. Any draw-sequence divergence surfaces there on the
+        // very next classified packet.
+        match self.active {
+            None => h.write_u8(0),
+            Some(victim) => {
+                h.write_u8(1);
+                h.write_u32(victim.as_u32());
+            }
+        }
+        self.tables.hash_state(h);
+        self.tracker.hash_state(h);
+        self.counters.hash_state(h);
+    }
+}
+
 impl PacketFilter for MaficFilter {
     fn on_packet(
         &mut self,

@@ -164,6 +164,25 @@ impl ArrivalTracker {
     }
 }
 
+impl mafic_obs::StateHash for ArrivalTracker {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_u64(self.horizon.as_nanos());
+        h.write_usize(self.max_flows);
+        h.write_usize(self.evict_cursor);
+        // `active_ids` order is part of the eviction clock, so hash it
+        // positionally; the per-flow windows follow in that same order.
+        h.write_usize(self.active_ids.len());
+        for &idx in &self.active_ids {
+            h.write_u32(idx);
+            let q = &self.flows[idx as usize];
+            h.write_usize(q.len());
+            for t in q {
+                h.write_u64(t.as_nanos());
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -114,6 +114,24 @@ impl RateLimitFilter {
     }
 }
 
+impl mafic_obs::StateHash for RateLimitFilter {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_f64(self.limit_bytes_per_sec);
+        h.write_f64(self.burst_bytes);
+        h.write_f64(self.tokens);
+        h.write_u64(self.last_refill.as_nanos());
+        match self.active {
+            None => h.write_u8(0),
+            Some(victim) => {
+                h.write_u8(1);
+                h.write_u32(victim.as_u32());
+            }
+        }
+        h.write_u64(self.examined);
+        h.write_u64(self.dropped);
+    }
+}
+
 impl PacketFilter for RateLimitFilter {
     fn on_packet(
         &mut self,

@@ -390,6 +390,67 @@ impl FlowTables {
     }
 }
 
+impl mafic_obs::StateHash for SftEntry {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        self.key.hash_state(h);
+        h.write_u64(self.probe_started.as_nanos());
+        h.write_f64(self.baseline_rate);
+        h.write_u64(self.rtt_estimate.as_nanos());
+        h.write_u64(self.deadline.as_nanos());
+        h.write_u64(self.arrivals_since_probe);
+    }
+}
+
+impl mafic_obs::StateHash for FlowState {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        match self {
+            FlowState::Suspicious(entry) => {
+                h.write_u8(0);
+                entry.hash_state(h);
+            }
+            FlowState::Nice { since } => {
+                h.write_u8(1);
+                h.write_u64(since.as_nanos());
+            }
+            FlowState::Condemned(reason) => {
+                h.write_u8(2);
+                h.write_u8(match reason {
+                    PdtReason::IllegalSource => 0,
+                    PdtReason::Unresponsive => 1,
+                });
+            }
+        }
+    }
+}
+
+impl Fifo {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_usize(self.len());
+        h.write_usize(self.capacity);
+        h.write_u64(self.next_stamp);
+        h.write_u64(self.evictions);
+    }
+}
+
+impl mafic_obs::StateHash for FlowTables {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_usize(self.states.len());
+        for (id, state) in self.states.iter() {
+            h.write_usize(id.index());
+            state.hash_state(h);
+        }
+        // Seat order inside each FIFO is derivable from the stamps, so
+        // hashing lengths + stamp counters + evictions pins the
+        // occupancy machinery without walking stale deque entries.
+        self.sft.hash_state(h);
+        self.nft.hash_state(h);
+        self.pdt.hash_state(h);
+        h.write_usize(self.peak_sft);
+        h.write_usize(self.peak_nft);
+        h.write_usize(self.peak_pdt);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

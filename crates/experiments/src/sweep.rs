@@ -53,6 +53,12 @@ pub fn average_reports(reports: &[MetricsReport]) -> MetricsReport {
         out.flows.attack_condemned += r.flows.attack_condemned;
         out.flows.legit_cleared += r.flows.legit_cleared;
         out.flows.attack_cleared += r.flows.attack_cleared;
+        // Peak occupancy has no pooled denominator: the worst trial is
+        // the honest summary. The scratch-recycle tallies are plain
+        // event counts, so they pool by summing like the packet counts.
+        out.peak_arena_packets = out.peak_arena_packets.max(r.peak_arena_packets);
+        out.scratch_inbox_drains += r.scratch_inbox_drains;
+        out.scratch_sketch_recycles += r.scratch_sketch_recycles;
     }
     out.victim_rate_before /= n;
     out.victim_rate_after /= n;

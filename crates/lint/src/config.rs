@@ -92,6 +92,18 @@ impl LintConfig {
                     "crates/lint/src/main.rs".into(),
                     "linter CLI: std::env::args and process exit codes".into(),
                 ),
+                (
+                    "crates/obs/src/bin/mafic_trace.rs".into(),
+                    "trace inspector CLI: std::env::args, ledger file IO, and process \
+                     exit codes"
+                        .into(),
+                ),
+                (
+                    "crates/experiments/src/bin/run_ledger.rs".into(),
+                    "ledger emitter CLI: std::env::args and process exit codes (runs \
+                     themselves stay deterministic — that is what the CI gate checks)"
+                        .into(),
+                ),
             ],
             sanctioned_unsafe: vec![(
                 "crates/bench/src/bin/bench_harness.rs".into(),
@@ -99,8 +111,11 @@ impl LintConfig {
             )],
             lib_attr_exempt: Vec::new(),
             layers: vec![
+                // mafic-obs sits below netsim: the ledger primitives
+                // (FNV chain, probe, differ) must never see simulator
+                // types, so every layer can implement `StateHash`.
                 CrateLayer {
-                    name: "mafic-netsim",
+                    name: "mafic-obs",
                     rank: 0,
                     deps: &[],
                 },
@@ -115,38 +130,44 @@ impl LintConfig {
                     deps: &[],
                 },
                 CrateLayer {
-                    name: "mafic-metrics",
+                    name: "mafic-netsim",
                     rank: 1,
+                    deps: &["mafic-obs"],
+                },
+                CrateLayer {
+                    name: "mafic-metrics",
+                    rank: 2,
                     deps: &["mafic-netsim"],
                 },
                 CrateLayer {
                     name: "mafic-pushback",
-                    rank: 1,
-                    deps: &["mafic-netsim"],
+                    rank: 2,
+                    deps: &["mafic-netsim", "mafic-obs"],
                 },
                 CrateLayer {
                     name: "mafic-topology",
-                    rank: 1,
+                    rank: 2,
                     deps: &["mafic-netsim", "rand"],
                 },
                 CrateLayer {
                     name: "mafic-transport",
-                    rank: 1,
+                    rank: 2,
                     deps: &["mafic-netsim", "rand"],
                 },
                 CrateLayer {
                     name: "mafic",
-                    rank: 1,
-                    deps: &["mafic-loglog", "mafic-netsim", "rand"],
+                    rank: 2,
+                    deps: &["mafic-loglog", "mafic-netsim", "mafic-obs", "rand"],
                 },
                 CrateLayer {
                     name: "mafic-workload",
-                    rank: 2,
+                    rank: 3,
                     deps: &[
                         "mafic",
                         "mafic-loglog",
                         "mafic-metrics",
                         "mafic-netsim",
+                        "mafic-obs",
                         "mafic-pushback",
                         "mafic-topology",
                         "mafic-transport",
@@ -155,30 +176,32 @@ impl LintConfig {
                 },
                 CrateLayer {
                     name: "mafic-experiments",
-                    rank: 3,
+                    rank: 4,
                     deps: &[
                         "mafic",
                         "mafic-loglog",
                         "mafic-metrics",
                         "mafic-netsim",
+                        "mafic-obs",
                         "mafic-topology",
                         "mafic-workload",
                     ],
                 },
                 CrateLayer {
                     name: "mafic-bench",
-                    rank: 4,
+                    rank: 5,
                     deps: &["mafic-experiments", "mafic-netsim", "mafic-workload"],
                 },
                 CrateLayer {
                     name: "mafic-suite",
-                    rank: 5,
+                    rank: 6,
                     deps: &[
                         "mafic",
                         "mafic-experiments",
                         "mafic-loglog",
                         "mafic-metrics",
                         "mafic-netsim",
+                        "mafic-obs",
                         "mafic-pushback",
                         "mafic-topology",
                         "mafic-transport",

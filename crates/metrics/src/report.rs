@@ -118,6 +118,17 @@ pub struct MetricsReport {
     pub collateral_pct: f64,
     /// Flow-level classification tallies.
     pub flows: FlowTally,
+    /// Peak live packets in the simulator's arena over the run — the
+    /// same number the bench harness and the run ledger report. Zero
+    /// until the runner fills it in ([`MetricsReport::from_stats`] has
+    /// no simulator handle).
+    pub peak_arena_packets: u64,
+    /// Control-channel inbox drains served by the runner's recycled
+    /// scratch buffer (allocation-free steady state). Runner-filled.
+    pub scratch_inbox_drains: u64,
+    /// Sketch-epoch harvests that reused a previously allocated slot
+    /// instead of allocating a fresh sketch. Runner-filled.
+    pub scratch_sketch_recycles: u64,
 }
 
 impl MetricsReport {

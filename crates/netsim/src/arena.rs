@@ -161,6 +161,35 @@ impl PacketArena {
     pub(crate) fn peak(&self) -> usize {
         self.peak
     }
+
+    /// Folds the arena occupancy into `h` for the run ledger: counters,
+    /// the free-list depth, and every occupied slot in index order
+    /// (slot indices are deterministic addresses, so index order is
+    /// replay-stable).
+    pub(crate) fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_usize(self.live);
+        h.write_usize(self.peak);
+        h.write_usize(self.free.len());
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let Some(packet) = slot else { continue };
+            h.write_usize(idx);
+            crate::packet::hash_packet(packet, h);
+            match self.stats_ids[idx] {
+                Some(id) => {
+                    h.write_u8(1);
+                    h.write_usize(id.index());
+                }
+                None => h.write_u8(0),
+            }
+            match self.flow_ids[idx] {
+                Some(id) => {
+                    h.write_u8(1);
+                    h.write_usize(id.index());
+                }
+                None => h.write_u8(0),
+            }
+        }
+    }
 }
 
 #[cfg(test)]

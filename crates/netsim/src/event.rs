@@ -203,6 +203,68 @@ impl Scheduler {
     pub(crate) fn scheduled_total(&self) -> u64 {
         self.next_seq
     }
+
+    /// Folds the full heap state into `h` for the run ledger.
+    ///
+    /// Heap storage order is itself deterministic (identical schedule/
+    /// pop sequences produce identical arrays), so hashing the raw SoA
+    /// arrays in index order is both cheap and replay-stable.
+    pub(crate) fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_u64(self.next_seq);
+        h.write_usize(self.keys.len());
+        for &key in &self.keys {
+            h.write_u128(key);
+        }
+        for kind in &self.kinds {
+            hash_event_kind(kind, h);
+        }
+    }
+}
+
+/// Encodes one event payload for hashing: a discriminant tag byte
+/// followed by the variant's fields.
+pub(crate) fn hash_event_kind(kind: &EventKind, h: &mut mafic_obs::Fnv64) {
+    match kind {
+        EventKind::DeliverToNode { node, packet } => {
+            h.write_u8(0);
+            h.write_u32(node.0);
+            h.write_u32(packet.0);
+        }
+        EventKind::LinkDeliver { link } => {
+            h.write_u8(1);
+            h.write_u32(link.0);
+        }
+        EventKind::AgentWake { agent, token } => {
+            h.write_u8(2);
+            h.write_u32(agent.0);
+            h.write_u64(*token);
+        }
+        EventKind::AgentStart { agent } => {
+            h.write_u8(3);
+            h.write_u32(agent.0);
+        }
+        EventKind::FilterTimer {
+            node,
+            filter_index,
+            token,
+        } => {
+            h.write_u8(4);
+            h.write_u32(node.0);
+            h.write_u32(*filter_index);
+            h.write_u64(*token);
+        }
+        EventKind::Control { node, msg } => {
+            h.write_u8(5);
+            h.write_u32(node.0);
+            match msg {
+                FilterControl::PushbackStart { victim } => {
+                    h.write_u8(0);
+                    h.write_u32(victim.as_u32());
+                }
+                FilterControl::PushbackStop => h.write_u8(1),
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -209,6 +209,34 @@ impl Link {
     pub(crate) fn is_busy(&self, now: SimTime) -> bool {
         self.busy_until > now
     }
+
+    /// Folds the link's runtime state into `h` for the run ledger.
+    ///
+    /// The `last_tx` serialization-time memo is deliberately skipped: it
+    /// is a pure cache over the immutable spec, recomputable from hashed
+    /// state, and whether it is warm depends only on call history that
+    /// the hashed queues already pin down.
+    pub(crate) fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_u32(self.from.0);
+        h.write_u32(self.to.0);
+        h.write_f64(self.spec.bandwidth_bps);
+        h.write_u64(self.spec.delay.as_nanos());
+        h.write_usize(self.spec.queue_capacity);
+        h.write_u64(self.busy_until.as_nanos());
+        h.write_usize(self.starts.len());
+        for s in &self.starts {
+            h.write_u64(s.as_nanos());
+        }
+        h.write_usize(self.pending_due.len());
+        for d in &self.pending_due {
+            h.write_u64(d.as_nanos());
+        }
+        for r in &self.pending_refs {
+            h.write_u32(r.0);
+        }
+        h.write_u64(self.enqueued);
+        h.write_u64(self.dropped_queue_full);
+    }
 }
 
 #[cfg(test)]

@@ -450,6 +450,119 @@ impl fmt::Display for DropReason {
     }
 }
 
+impl mafic_obs::StateHash for FlowKey {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        let (a, b) = self.as_words();
+        h.write_u64(a);
+        h.write_u64(b);
+    }
+}
+
+impl mafic_obs::StateHash for DenyReason {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_u8(match self {
+            DenyReason::BadVersion => 0,
+            DenyReason::UntrustedRequester => 1,
+            DenyReason::Replayed => 2,
+            DenyReason::Uncorroborated => 3,
+            DenyReason::BudgetExhausted => 4,
+        });
+    }
+}
+
+impl mafic_obs::StateHash for ControlVerb {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        match self {
+            ControlVerb::Request {
+                victim,
+                aggregate_bps,
+                budget,
+            } => {
+                h.write_u8(0);
+                h.write_u32(victim.as_u32());
+                h.write_u64(*aggregate_bps);
+                h.write_u8(*budget);
+            }
+            ControlVerb::Refresh { victim, budget } => {
+                h.write_u8(1);
+                h.write_u32(victim.as_u32());
+                h.write_u8(*budget);
+            }
+            ControlVerb::Withdraw { victim } => {
+                h.write_u8(2);
+                h.write_u32(victim.as_u32());
+            }
+            ControlVerb::Stop { victim } => {
+                h.write_u8(3);
+                h.write_u32(victim.as_u32());
+            }
+            ControlVerb::Deny { victim, reason } => {
+                h.write_u8(4);
+                h.write_u32(victim.as_u32());
+                reason.hash_state(h);
+            }
+            ControlVerb::Report {
+                victim,
+                aggregate_bps,
+            } => {
+                h.write_u8(5);
+                h.write_u32(victim.as_u32());
+                h.write_u64(*aggregate_bps);
+            }
+        }
+    }
+}
+
+impl mafic_obs::StateHash for ControlMsg {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_u8(self.version);
+        h.write_u32(self.requester.addr().as_u32());
+        h.write_u64(self.nonce);
+        self.verb.hash_state(h);
+    }
+}
+
+impl mafic_obs::StateHash for PacketKind {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        match self {
+            PacketKind::TcpData { seq, ts, ts_echo } => {
+                h.write_u8(0);
+                h.write_u64(*seq);
+                h.write_u64(ts.as_nanos());
+                h.write_u64(ts_echo.as_nanos());
+            }
+            PacketKind::TcpAck { ack, ts, ts_echo } => {
+                h.write_u8(1);
+                h.write_u64(*ack);
+                h.write_u64(ts.as_nanos());
+                h.write_u64(ts_echo.as_nanos());
+            }
+            PacketKind::Udp => h.write_u8(2),
+            PacketKind::ProbeDupAck { count } => {
+                h.write_u8(3);
+                h.write_u8(*count);
+            }
+            PacketKind::Pushback(msg) => {
+                h.write_u8(4);
+                msg.hash_state(h);
+            }
+        }
+    }
+}
+
+/// Folds one packet's full contents into `h` (run-ledger encoding).
+pub fn hash_packet(packet: &Packet, h: &mut mafic_obs::Fnv64) {
+    use mafic_obs::StateHash as _;
+    h.write_u64(packet.id);
+    packet.key.hash_state(h);
+    packet.kind.hash_state(h);
+    h.write_u32(packet.size_bytes);
+    h.write_u64(packet.created_at.as_nanos());
+    h.write_u32(packet.provenance.origin.0);
+    h.write_bool(packet.provenance.is_attack);
+    h.write_u8(packet.hops);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

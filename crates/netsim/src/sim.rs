@@ -207,6 +207,56 @@ impl Simulator {
         self.arena.live()
     }
 
+    /// Folds every simulator-owned component into `probe`, one labelled
+    /// hash each — the netsim half of the run ledger.
+    ///
+    /// Components: the core loop counters, the event heap, the timer
+    /// wheel (with its `FlowTimerFire` payloads), the packet arena,
+    /// every link's queues, and the stats collector. Filters and agents
+    /// are *not* hashed here — they are owned boxes behind trait
+    /// objects, and the layers that know their concrete types (workload,
+    /// pushback) probe them under their own labels.
+    pub fn hash_components(&self, probe: &mut mafic_obs::IntervalProbe) {
+        use mafic_obs::StateHash as _;
+        probe.component("netsim/core", |h| {
+            h.write_u64(self.now.as_nanos());
+            h.write_u64(self.seed);
+            h.write_u64(self.next_packet_id);
+            h.write_u64(self.events_processed);
+            h.write_usize(self.flows.len());
+        });
+        probe.component("netsim/scheduler", |h| self.scheduler.hash_state(h));
+        probe.component("netsim/wheel", |h| {
+            self.wheel.hash_state(h, |fire, h| {
+                h.write_u32(fire.node.0);
+                h.write_usize(fire.filter_index);
+                h.write_usize(fire.flow.index());
+                h.write_u16(fire.kind);
+            });
+        });
+        probe.component("netsim/arena", |h| self.arena.hash_state(h));
+        probe.component("netsim/links", |h| {
+            h.write_usize(self.links.len());
+            for link in &self.links {
+                link.hash_state(h);
+            }
+            for &down in &self.link_down {
+                h.write_bool(down);
+            }
+        });
+        probe.component("netsim/stats", |h| self.stats.hash_state(h));
+    }
+
+    /// Renders the last `n` trace events (oldest-first) as display
+    /// strings, or an empty vec when tracing is disabled.
+    pub fn trace_tail(&self, n: usize) -> Vec<String> {
+        let Some(trace) = self.trace.as_ref() else {
+            return Vec::new();
+        };
+        let skip = trace.len().saturating_sub(n);
+        trace.iter().skip(skip).map(|ev| ev.to_string()).collect()
+    }
+
     // ------------------------------------------------------------------
     // Construction
     // ------------------------------------------------------------------

@@ -375,6 +375,75 @@ impl StatsCollector {
     pub fn arrival_bin_width(&self) -> Option<SimDuration> {
         self.arrival_watch.map(|w| w.bin)
     }
+
+    /// Cumulative drop counts by reason group, summed over every flow:
+    /// `(probing, permanent, illegal, proportional, rate-limited, queue,
+    /// other)` — the ledger's drop-counter snapshot.
+    #[must_use]
+    pub fn drop_totals(&self) -> [u64; 7] {
+        let mut totals = [0u64; 7];
+        for (_, rec) in self.records.iter() {
+            totals[0] += rec.dropped_probing;
+            totals[1] += rec.dropped_permanent;
+            totals[2] += rec.dropped_illegal;
+            totals[3] += rec.dropped_proportional;
+            totals[4] += rec.dropped_rate_limited;
+            totals[5] += rec.dropped_queue;
+            totals[6] += rec.dropped_other;
+        }
+        totals
+    }
+}
+
+impl mafic_obs::StateHash for FlowRecord {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_bool(self.is_attack);
+        h.write_bool(self.is_tcp);
+        h.write_u64(self.sent);
+        h.write_u64(self.delivered);
+        h.write_u64(self.seen_at_atr);
+        h.write_u64(self.dropped_probing);
+        h.write_u64(self.dropped_permanent);
+        h.write_u64(self.dropped_illegal);
+        h.write_u64(self.dropped_proportional);
+        h.write_u64(self.dropped_rate_limited);
+        h.write_u64(self.dropped_queue);
+        h.write_u64(self.dropped_other);
+        h.write_u64(self.probes_sent);
+        h.write_u64(self.declared_nice);
+        h.write_u64(self.declared_malicious);
+    }
+}
+
+impl mafic_obs::StateHash for VictimBin {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_u64(self.legit_bytes);
+        h.write_u64(self.attack_bytes);
+        h.write_u64(self.legit_packets);
+        h.write_u64(self.attack_packets);
+    }
+}
+
+impl mafic_obs::StateHash for StatsCollector {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_u64(self.probes_emitted);
+        h.write_u64(self.total_sent);
+        h.write_u64(self.total_delivered);
+        h.write_usize(self.interner.len());
+        h.write_usize(self.records.len());
+        for (id, rec) in self.records.iter() {
+            h.write_usize(id.index());
+            rec.hash_state(h);
+        }
+        h.write_usize(self.bins.len());
+        for bin in &self.bins {
+            bin.hash_state(h);
+        }
+        h.write_usize(self.arrival_bins.len());
+        for bin in &self.arrival_bins {
+            bin.hash_state(h);
+        }
+    }
 }
 
 #[cfg(test)]

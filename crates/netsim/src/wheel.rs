@@ -221,6 +221,46 @@ impl<T> TimerWheel<T> {
         self.cache_valid = false;
         fired.into_iter().map(|e| e.payload).collect()
     }
+
+    /// Folds the wheel state into `h` for the run ledger, encoding each
+    /// payload through `payload_fn`.
+    ///
+    /// Slot storage order is deterministic (it depends only on the
+    /// insert/cascade/pop sequence), so raw storage order is hashed as
+    /// is. The `cached_next`/`cache_valid` pair is skipped: it is a pure
+    /// cache whose warmth depends on `next_expiry` *read* patterns, and
+    /// reads must never perturb the ledger.
+    pub(crate) fn hash_state(
+        &self,
+        h: &mut mafic_obs::Fnv64,
+        mut payload_fn: impl FnMut(&T, &mut mafic_obs::Fnv64),
+    ) {
+        h.write_u64(self.cur_tick);
+        h.write_usize(self.len);
+        h.write_u64(self.next_seq);
+        h.write_u64(self.scheduled_total);
+        for (level_tag, level) in [(0u8, &self.level0), (1, &self.level1), (2, &self.level2)] {
+            for (slot_idx, slot) in level.iter().enumerate() {
+                if slot.is_empty() {
+                    continue;
+                }
+                h.write_u8(level_tag);
+                h.write_usize(slot_idx);
+                h.write_usize(slot.len());
+                for entry in slot {
+                    h.write_u64(entry.at.as_nanos());
+                    h.write_u64(entry.seq);
+                    payload_fn(&entry.payload, h);
+                }
+            }
+        }
+        h.write_usize(self.overflow.len());
+        for entry in &self.overflow {
+            h.write_u64(entry.at.as_nanos());
+            h.write_u64(entry.seq);
+            payload_fn(&entry.payload, h);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,155 @@
+//! `mafic_trace` — run-ledger inspector.
+//!
+//! ```text
+//! mafic_trace show <ledger.jsonl>            pretty-print a ledger
+//! mafic_trace diff <left.jsonl> <right.jsonl>  first diverging interval/component
+//! mafic_trace tail <ledger.jsonl> [n]        last n embedded trace events
+//! ```
+//!
+//! `diff` exits 1 when the ledgers diverge (and prints each ledger's
+//! embedded trace tail around the divergence point), 0 when identical,
+//! 2 on usage or I/O errors — so CI can gate on it directly.
+
+use mafic_obs::{diff_ledgers, Divergence, RunLedger};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<RunLedger, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    RunLedger::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn show(ledger: &RunLedger) {
+    let h = &ledger.header;
+    println!(
+        "ledger v{} · crate {} · seed {} · spec {:016x} · workers {}",
+        h.ledger_version, h.crate_version, h.seed, h.spec_fingerprint, h.workers
+    );
+    println!(
+        "{} components, {} counters, {} intervals, {} trace lines",
+        ledger.components.len(),
+        ledger.counters.len(),
+        ledger.intervals.len(),
+        ledger.trace_tail.len()
+    );
+    println!("components: {}", ledger.components.join(", "));
+    if !ledger.counters.is_empty() {
+        println!("counters:   {}", ledger.counters.join(", "));
+    }
+    for rec in &ledger.intervals {
+        let mut line = format!(
+            "interval {:>4} t={:>8.3}s",
+            rec.index,
+            rec.at_nanos as f64 / 1e9
+        );
+        for (name, hash) in ledger.components.iter().zip(&rec.hashes) {
+            line.push_str(&format!("  {name}={hash:016x}"));
+        }
+        println!("{line}");
+        if !rec.counters.is_empty() {
+            let counters: Vec<String> = ledger
+                .counters
+                .iter()
+                .zip(&rec.counters)
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect();
+            println!("              {}", counters.join(" "));
+        }
+    }
+}
+
+fn tail(ledger: &RunLedger, n: usize) {
+    if ledger.trace_tail.is_empty() {
+        println!("(no embedded trace — record the run with tracing enabled)");
+        return;
+    }
+    let start = ledger.trace_tail.len().saturating_sub(n);
+    for line in &ledger.trace_tail[start..] {
+        println!("{line}");
+    }
+}
+
+fn diff(left: &RunLedger, right: &RunLedger) -> ExitCode {
+    let report = diff_ledgers(left, right);
+    print!("{report}");
+    if report.is_identical() {
+        println!("({} intervals compared)", left.intervals.len());
+        return ExitCode::SUCCESS;
+    }
+    if let Divergence::FirstDivergence { at_nanos, .. } = report.finding {
+        // Show each side's trace tail around the divergence point so the
+        // first wrong event is one read away.
+        for (name, ledger) in [("left", left), ("right", right)] {
+            let around: Vec<&String> = ledger
+                .trace_tail
+                .iter()
+                .filter(|line| {
+                    trace_line_nanos(line).is_none_or(|t| t <= at_nanos.saturating_add(1))
+                })
+                .collect();
+            if !around.is_empty() {
+                println!("--- {name} trace tail up to divergence ---");
+                for line in around.iter().rev().take(16).rev() {
+                    println!("{line}");
+                }
+            }
+        }
+    }
+    ExitCode::FAILURE
+}
+
+/// Best-effort parse of the `t=<secs>` prefix the netsim trace renderer
+/// emits; `None` keeps the line (unknown format beats a dropped clue).
+fn trace_line_nanos(line: &str) -> Option<u64> {
+    let rest = line.strip_prefix("t=")?;
+    let end = rest.find(|c: char| !c.is_ascii_digit() && c != '.')?;
+    let secs: f64 = rest[..end].parse().ok()?;
+    Some((secs * 1e9) as u64)
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mafic_trace show <ledger.jsonl>");
+    eprintln!("       mafic_trace diff <left.jsonl> <right.jsonl>");
+    eprintln!("       mafic_trace tail <ledger.jsonl> [n]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("show") => match args.get(1) {
+            Some(path) => load(path).map(|l| {
+                show(&l);
+                ExitCode::SUCCESS
+            }),
+            None => return usage(),
+        },
+        Some("tail") => match args.get(1) {
+            Some(path) => {
+                let n = args
+                    .get(2)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or(32);
+                load(path).map(|l| {
+                    tail(&l, n);
+                    ExitCode::SUCCESS
+                })
+            }
+            None => return usage(),
+        },
+        Some("diff") => match (args.get(1), args.get(2)) {
+            (Some(a), Some(b)) => match (load(a), load(b)) {
+                (Ok(l), Ok(r)) => Ok(diff(&l, &r)),
+                (Err(e), _) | (_, Err(e)) => Err(e),
+            },
+            _ => return usage(),
+        },
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("mafic_trace: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

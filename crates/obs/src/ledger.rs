@@ -1,0 +1,458 @@
+//! The run ledger: header, per-interval chained component hashes, and
+//! the probe/builder pair the runner drives once per monitor interval.
+
+use crate::fnv::Fnv64;
+use crate::json::{parse_json_line, JsonValue};
+use crate::LEDGER_VERSION;
+use std::fmt::Write as _;
+
+/// Build metadata identifying the run a ledger describes.
+///
+/// `workers` is informational only: the engine produces byte-identical
+/// results at any worker count, so the differ never compares it (a
+/// `MAFIC_JOBS=1` vs `MAFIC_JOBS=4` ledger pair must diff clean).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerHeader {
+    /// Wire-format version ([`LEDGER_VERSION`] at write time).
+    pub ledger_version: u32,
+    /// Version of the crate that recorded the ledger.
+    pub crate_version: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// FNV-1a hash of the scenario spec's debug rendering.
+    pub spec_fingerprint: u64,
+    /// Worker count the run was launched with (0 = unknown/irrelevant).
+    pub workers: u32,
+}
+
+/// One monitor interval's snapshot: the chained hash of every component
+/// plus the cumulative counter values, both parallel to the name lists
+/// in [`RunLedger`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalRecord {
+    /// Zero-based interval index.
+    pub index: u64,
+    /// Simulation time at the end of the interval, in nanoseconds.
+    pub at_nanos: u64,
+    /// Chained per-component hashes (parallel to `RunLedger::components`).
+    pub hashes: Vec<u64>,
+    /// Cumulative counters (parallel to `RunLedger::counters`).
+    pub counters: Vec<u64>,
+}
+
+/// A complete run ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunLedger {
+    /// Build metadata.
+    pub header: LedgerHeader,
+    /// Component labels, fixed by the first recorded interval.
+    pub components: Vec<String>,
+    /// Counter names, fixed by the first recorded interval.
+    pub counters: Vec<String>,
+    /// One record per monitor interval, in order.
+    pub intervals: Vec<IntervalRecord>,
+    /// Rendered tail of the event trace, if tracing was enabled.
+    pub trace_tail: Vec<String>,
+}
+
+/// Collects one interval's component hashes and counters.
+///
+/// The runner hands this to every `StateHash`-bearing component; each
+/// call to [`IntervalProbe::component`] runs the provided closure over a
+/// fresh hasher, so components cannot bleed into each other.
+#[derive(Debug, Default)]
+pub struct IntervalProbe {
+    components: Vec<(String, u64)>,
+    counters: Vec<(String, u64)>,
+}
+
+impl IntervalProbe {
+    /// An empty probe.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hashes one component under `label` by running `f` over a fresh
+    /// hasher.
+    pub fn component(&mut self, label: &str, f: impl FnOnce(&mut Fnv64)) {
+        let mut h = Fnv64::new();
+        f(&mut h);
+        self.components.push((label.to_string(), h.finish()));
+    }
+
+    /// Records one cumulative counter value.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.counters.push((name.to_string(), value));
+    }
+
+    /// Component `(label, raw hash)` pairs recorded so far.
+    #[must_use]
+    pub fn components(&self) -> &[(String, u64)] {
+        &self.components
+    }
+}
+
+/// Accumulates probes into a [`RunLedger`], chaining each component's
+/// hash across intervals: `chain_i = fnv(chain_{i-1} ‖ raw_i)`.
+///
+/// Chaining means a single diverging interval poisons every later hash
+/// of that component, so the *first* mismatching interval in a diff is
+/// guaranteed to be the first real divergence.
+#[derive(Debug)]
+pub struct LedgerBuilder {
+    header: LedgerHeader,
+    components: Vec<String>,
+    counters: Vec<String>,
+    chains: Vec<u64>,
+    intervals: Vec<IntervalRecord>,
+}
+
+impl LedgerBuilder {
+    /// Starts a ledger with `header` (its version field is overwritten
+    /// with [`LEDGER_VERSION`]).
+    #[must_use]
+    pub fn new(mut header: LedgerHeader) -> Self {
+        header.ledger_version = LEDGER_VERSION;
+        LedgerBuilder {
+            header,
+            components: Vec::new(),
+            counters: Vec::new(),
+            chains: Vec::new(),
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Folds one interval's probe into the ledger.
+    ///
+    /// # Panics
+    ///
+    /// The first interval fixes the component and counter name sets;
+    /// any later interval probing a different set is a programming
+    /// error and panics.
+    pub fn record_interval(&mut self, at_nanos: u64, probe: &IntervalProbe) {
+        if self.intervals.is_empty() {
+            self.components = probe.components.iter().map(|(n, _)| n.clone()).collect();
+            self.counters = probe.counters.iter().map(|(n, _)| n.clone()).collect();
+            self.chains = vec![0; self.components.len()];
+        } else {
+            assert_eq!(
+                self.components.len(),
+                probe.components.len(),
+                "interval probed a different component set"
+            );
+            for (seen, (name, _)) in self.components.iter().zip(&probe.components) {
+                assert_eq!(seen, name, "interval probed a different component set");
+            }
+            assert_eq!(
+                self.counters.len(),
+                probe.counters.len(),
+                "interval probed a different counter set"
+            );
+        }
+        let mut hashes = Vec::with_capacity(self.chains.len());
+        for (chain, (_, raw)) in self.chains.iter_mut().zip(&probe.components) {
+            let mut h = Fnv64::new();
+            h.write_u64(*chain);
+            h.write_u64(*raw);
+            *chain = h.finish();
+            hashes.push(*chain);
+        }
+        self.intervals.push(IntervalRecord {
+            index: self.intervals.len() as u64,
+            at_nanos,
+            hashes,
+            counters: probe.counters.iter().map(|&(_, v)| v).collect(),
+        });
+    }
+
+    /// Number of intervals recorded so far.
+    #[must_use]
+    pub fn interval_count(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Finishes the ledger, attaching a rendered trace tail.
+    #[must_use]
+    pub fn finish(self, trace_tail: Vec<String>) -> RunLedger {
+        RunLedger {
+            header: self.header,
+            components: self.components,
+            counters: self.counters,
+            intervals: self.intervals,
+            trace_tail,
+        }
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_str_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, item);
+    }
+    out.push(']');
+}
+
+impl RunLedger {
+    /// Serializes the ledger as JSONL: one header line, one line per
+    /// interval, one line per trace-tail entry.
+    ///
+    /// Hashes are written as 16-hex-digit strings (a `u64` does not
+    /// survive a round-trip through a JSON number).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"type\":\"header\",\"ledger_version\":{},\"crate_version\":",
+            self.header.ledger_version
+        );
+        push_json_str(&mut out, &self.header.crate_version);
+        let _ = write!(
+            out,
+            ",\"seed\":{},\"spec_fingerprint\":\"{:016x}\",\"workers\":{},\"components\":",
+            self.header.seed, self.header.spec_fingerprint, self.header.workers
+        );
+        push_str_array(&mut out, &self.components);
+        out.push_str(",\"counters\":");
+        push_str_array(&mut out, &self.counters);
+        out.push_str("}\n");
+        for rec in &self.intervals {
+            let _ = write!(
+                out,
+                "{{\"type\":\"interval\",\"index\":{},\"at_nanos\":{},\"hashes\":[",
+                rec.index, rec.at_nanos
+            );
+            for (i, h) in rec.hashes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{h:016x}\"");
+            }
+            out.push_str("],\"counters\":[");
+            for (i, c) in rec.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push_str("]}\n");
+        }
+        for line in &self.trace_tail {
+            out.push_str("{\"type\":\"trace\",\"line\":");
+            push_json_str(&mut out, line);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Parses a ledger back from its JSONL form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn from_jsonl(text: &str) -> Result<RunLedger, String> {
+        let mut header: Option<LedgerHeader> = None;
+        let mut components = Vec::new();
+        let mut counters = Vec::new();
+        let mut intervals = Vec::new();
+        let mut trace_tail = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            // `#` comments let tooling annotate concatenated ledgers
+            // (e.g. `run_ledger`'s `# run <n>` separators).
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let v = parse_json_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let kind = v
+                .get("type")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("line {}: missing \"type\"", lineno + 1))?;
+            match kind {
+                "header" => {
+                    components = v
+                        .get("components")
+                        .and_then(JsonValue::as_str_array)
+                        .ok_or_else(|| format!("line {}: bad components", lineno + 1))?;
+                    counters = v
+                        .get("counters")
+                        .and_then(JsonValue::as_str_array)
+                        .ok_or_else(|| format!("line {}: bad counters", lineno + 1))?;
+                    header = Some(LedgerHeader {
+                        ledger_version: v
+                            .get("ledger_version")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or_else(|| format!("line {}: bad ledger_version", lineno + 1))?
+                            as u32,
+                        crate_version: v
+                            .get("crate_version")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("")
+                            .to_string(),
+                        seed: v
+                            .get("seed")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or_else(|| format!("line {}: bad seed", lineno + 1))?,
+                        spec_fingerprint: v
+                            .get("spec_fingerprint")
+                            .and_then(JsonValue::as_str)
+                            .and_then(|s| u64::from_str_radix(s, 16).ok())
+                            .ok_or_else(|| format!("line {}: bad spec_fingerprint", lineno + 1))?,
+                        workers: v.get("workers").and_then(JsonValue::as_u64).unwrap_or(0) as u32,
+                    });
+                }
+                "interval" => {
+                    let hashes = v
+                        .get("hashes")
+                        .and_then(JsonValue::as_array)
+                        .ok_or_else(|| format!("line {}: bad hashes", lineno + 1))?
+                        .iter()
+                        .map(|h| {
+                            h.as_str()
+                                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                                .ok_or_else(|| format!("line {}: bad hash entry", lineno + 1))
+                        })
+                        .collect::<Result<Vec<u64>, String>>()?;
+                    let cvals = v
+                        .get("counters")
+                        .and_then(JsonValue::as_array)
+                        .ok_or_else(|| format!("line {}: bad counters", lineno + 1))?
+                        .iter()
+                        .map(|c| {
+                            c.as_u64()
+                                .ok_or_else(|| format!("line {}: bad counter entry", lineno + 1))
+                        })
+                        .collect::<Result<Vec<u64>, String>>()?;
+                    intervals.push(IntervalRecord {
+                        index: v
+                            .get("index")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or_else(|| format!("line {}: bad index", lineno + 1))?,
+                        at_nanos: v
+                            .get("at_nanos")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or_else(|| format!("line {}: bad at_nanos", lineno + 1))?,
+                        hashes,
+                        counters: cvals,
+                    });
+                }
+                "trace" => {
+                    trace_tail.push(
+                        v.get("line")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("")
+                            .to_string(),
+                    );
+                }
+                other => return Err(format!("line {}: unknown type {other:?}", lineno + 1)),
+            }
+        }
+        let header = header.ok_or_else(|| "missing header line".to_string())?;
+        Ok(RunLedger {
+            header,
+            components,
+            counters,
+            intervals,
+            trace_tail,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(seed: u64) -> LedgerHeader {
+        LedgerHeader {
+            ledger_version: 0,
+            crate_version: "0.1.0".into(),
+            seed,
+            spec_fingerprint: 0xdead_beef,
+            workers: 0,
+        }
+    }
+
+    fn probe(vals: &[(&str, u64)], counters: &[(&str, u64)]) -> IntervalProbe {
+        let mut p = IntervalProbe::new();
+        for &(name, v) in vals {
+            p.component(name, |h| h.write_u64(v));
+        }
+        for &(name, v) in counters {
+            p.counter(name, v);
+        }
+        p
+    }
+
+    #[test]
+    fn chaining_propagates_divergence_forward() {
+        let mut a = LedgerBuilder::new(header(1));
+        let mut b = LedgerBuilder::new(header(1));
+        // Interval 0 identical, interval 1 diverges, interval 2
+        // identical again in raw terms — but the chain must keep the
+        // hashes apart from interval 1 onward.
+        for (ledger, mid) in [(&mut a, 7u64), (&mut b, 8u64)] {
+            ledger.record_interval(100, &probe(&[("x", 1)], &[]));
+            ledger.record_interval(200, &probe(&[("x", mid)], &[]));
+            ledger.record_interval(300, &probe(&[("x", 1)], &[]));
+        }
+        let a = a.finish(Vec::new());
+        let b = b.finish(Vec::new());
+        assert_eq!(a.intervals[0].hashes, b.intervals[0].hashes);
+        assert_ne!(a.intervals[1].hashes, b.intervals[1].hashes);
+        assert_ne!(a.intervals[2].hashes, b.intervals[2].hashes);
+    }
+
+    #[test]
+    #[should_panic(expected = "different component set")]
+    fn component_set_is_fixed_by_first_interval() {
+        let mut l = LedgerBuilder::new(header(1));
+        l.record_interval(100, &probe(&[("x", 1)], &[]));
+        l.record_interval(200, &probe(&[("y", 1)], &[]));
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_lossless() {
+        let mut b = LedgerBuilder::new(header(42));
+        b.record_interval(
+            100_000_000,
+            &probe(&[("alpha", 3), ("beta", u64::MAX)], &[("drops", 12)]),
+        );
+        b.record_interval(
+            200_000_000,
+            &probe(&[("alpha", 4), ("beta", 0)], &[("drops", 30)]),
+        );
+        let ledger = b.finish(vec!["t=0.1 drop flow=1 reason=\"probing\"".into()]);
+        let text = ledger.to_jsonl();
+        let back = RunLedger::from_jsonl(&text).expect("roundtrip parses");
+        assert_eq!(ledger, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(RunLedger::from_jsonl("not json").is_err());
+        assert!(RunLedger::from_jsonl("{\"type\":\"interval\"}").is_err());
+        assert!(RunLedger::from_jsonl("").is_err());
+    }
+}

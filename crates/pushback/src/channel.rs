@@ -58,6 +58,18 @@ impl ControlChannel {
     }
 }
 
+impl mafic_obs::StateHash for ControlChannel {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_u64(self.received_total);
+        h.write_u64(self.forged_dropped);
+        h.write_usize(self.inbox.len());
+        for (at, msg) in &self.inbox {
+            h.write_u64(at.as_nanos());
+            msg.hash_state(h);
+        }
+    }
+}
+
 impl Agent for ControlChannel {
     fn on_start(&mut self, _ctx: &mut AgentCtx<'_>) {}
 

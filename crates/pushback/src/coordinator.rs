@@ -751,6 +751,63 @@ impl DomainCoordinator {
     }
 }
 
+impl mafic_obs::StateHash for CoordinatorStats {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_u64(self.requests_sent);
+        h.write_u64(self.refreshes_sent);
+        h.write_u64(self.withdraws_sent);
+        h.write_u64(self.stops_sent);
+        h.write_u64(self.reports_sent);
+        h.write_u64(self.denies_received);
+    }
+}
+
+impl mafic_obs::StateHash for DomainCoordinator {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_u8(match self.role {
+            PushbackRole::Victim => 0,
+            PushbackRole::Upstream => 1,
+        });
+        h.write_u32(self.identity.addr().as_u32());
+        h.write_u8(match self.state {
+            LifecycleState::Idle => 0,
+            LifecycleState::Defending => 1,
+            LifecycleState::Escalated => 2,
+            LifecycleState::StandingDown => 3,
+        });
+        match self.victim {
+            None => h.write_u8(0),
+            Some(victim) => {
+                h.write_u8(1);
+                h.write_u32(victim.as_u32());
+            }
+        }
+        h.write_u8(self.budget);
+        h.write_u32(self.above);
+        h.write_u32(self.healthy);
+        h.write_u32(self.since_refresh);
+        h.write_u32(self.since_heard);
+        h.write_u64(self.next_nonce);
+        h.write_bool(self.denied_upstream);
+        h.write_u32(self.since_report);
+        match self.lessor {
+            None => h.write_u8(0),
+            Some(lessor) => {
+                h.write_u8(1);
+                h.write_u32(lessor.addr().as_u32());
+            }
+        }
+        h.write_usize(self.reports.len());
+        for (id, (aggregate, age)) in &self.reports {
+            h.write_u32(id.addr().as_u32());
+            h.write_u64(*aggregate);
+            h.write_u32(*age);
+        }
+        self.ledger.hash_state(h);
+        self.stats.hash_state(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,6 +57,15 @@ impl VictimRateMeter {
     }
 }
 
+impl mafic_obs::StateHash for VictimRateMeter {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_u32(self.victim.as_u32());
+        h.write_u64(self.window_bytes);
+        h.write_u64(self.window_packets);
+        h.write_u64(self.total_bytes);
+    }
+}
+
 impl PacketFilter for VictimRateMeter {
     fn on_packet(
         &mut self,

@@ -294,6 +294,34 @@ impl TrustLedger {
     }
 }
 
+impl mafic_obs::StateHash for DenyTally {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_u64(self.bad_version);
+        h.write_u64(self.untrusted);
+        h.write_u64(self.replayed);
+        h.write_u64(self.uncorroborated);
+        h.write_u64(self.budget_exhausted);
+    }
+}
+
+impl mafic_obs::StateHash for TrustLedger {
+    fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
+        h.write_u32(self.config.request_budget);
+        h.write_f64(self.config.attestation_fraction);
+        h.write_u64(self.granted_installs);
+        self.denies.hash_state(h);
+        h.write_usize(self.requesters.len());
+        // BTreeMap iterates in sorted RequesterId order — deterministic.
+        for (id, state) in &self.requesters {
+            h.write_u32(id.addr().as_u32());
+            h.write_bool(state.authorized);
+            h.write_bool(state.upstream);
+            h.write_u64(state.last_nonce);
+            h.write_u32(state.installs);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

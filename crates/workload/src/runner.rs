@@ -29,6 +29,7 @@ use mafic_netsim::{
     Addr, ControlMsg, ControlVerb, FilterControl, FlowKey, NodeId, PacketKind, RequesterId,
     SimDuration, SimTime, Simulator,
 };
+use mafic_obs::{fnv64, Fnv64, IntervalProbe, LedgerBuilder, LedgerHeader, RunLedger, StateHash};
 use mafic_pushback::{ControlChannel, ControlPlane, LifecycleState, PushbackAction};
 
 /// Propagation allowance for intra-domain control messages.
@@ -79,6 +80,16 @@ pub struct RunOutcome {
     pub packets_sent: u64,
     /// Total packets delivered during the run.
     pub packets_delivered: u64,
+    /// The per-interval chained state-hash ledger, recorded when
+    /// [`ScenarioSpec::ledger`] is set; `None` otherwise. Two runs of
+    /// the same spec must produce byte-identical ledgers — diff them
+    /// with [`mafic_obs::diff_ledgers`] to name the first diverging
+    /// interval and component.
+    pub ledger: Option<RunLedger>,
+    /// The last simulator trace events (oldest first), rendered as
+    /// display strings. Empty unless [`ScenarioSpec::trace_capacity`]
+    /// is positive.
+    pub trace_tail: Vec<String>,
 }
 
 impl RunOutcome {
@@ -286,6 +297,10 @@ struct StepScratch {
     inbox: Vec<(SimTime, ControlMsg)>,
     /// One domain's pushback actions for the current interval.
     actions: Vec<PushbackAction>,
+    /// Inbox drains served by the recycled `inbox` buffer — exported as
+    /// [`MetricsReport::scratch_inbox_drains`] and into the run ledger,
+    /// so the bench harness and the ledger read the same number.
+    drains: u64,
 }
 
 /// One monitor-interval step of the inter-domain cascade.
@@ -334,6 +349,7 @@ fn step_pushback(
             sim.agent_mut::<ControlChannel>(plan.domains[d].channel)
                 .expect("control channel installed at build time")
                 .drain_into(&mut scratch.inbox);
+            scratch.drains += 1;
             drain_meters(sim, plan, d);
             if now >= spec.attack_start {
                 acct.malicious_requests += 1;
@@ -369,6 +385,7 @@ fn step_pushback(
         sim.agent_mut::<ControlChannel>(plan.domains[d].channel)
             .expect("control channel installed at build time")
             .drain_into(&mut scratch.inbox);
+        scratch.drains += 1;
         // 2. Meter windows first: offered pressure drives escalation
         //    *and* attestation of inbound claims; the residual is
         //    accounting only. The local-ingress component (non-border
@@ -493,6 +510,116 @@ fn drain_meters(sim: &mut Simulator, plan: &mut PushbackPlan, d: usize) -> Drain
     }
 }
 
+/// How many trailing trace events the runner surfaces in
+/// [`RunOutcome::trace_tail`] and embeds in the ledger.
+const TRACE_TAIL_EVENTS: usize = 32;
+
+/// Hashes one defense filter, tagged by concrete type so a policy swap
+/// at the same chain slot is itself a divergence.
+fn hash_filter(sim: &Simulator, node: NodeId, idx: usize, h: &mut Fnv64) {
+    if let Some(f) = sim.filter::<MaficFilter>(node, idx) {
+        h.write_u8(0);
+        f.hash_state(h);
+    } else if let Some(f) = sim.filter::<ProportionalFilter>(node, idx) {
+        h.write_u8(1);
+        f.hash_state(h);
+    } else if let Some(f) = sim.filter::<RateLimitFilter>(node, idx) {
+        h.write_u8(2);
+        f.hash_state(h);
+    } else {
+        debug_assert!(false, "unhashed filter type at {node:?}[{idx}]");
+        h.write_u8(u8::MAX);
+    }
+}
+
+/// Records one monitor interval into the run ledger: the simulator's own
+/// components, then every defense-layer component this scenario owns,
+/// then the cumulative counters shared with [`MetricsReport`].
+fn record_ledger_interval(
+    scenario: &Scenario,
+    builder: &mut LedgerBuilder,
+    inbox_drains: u64,
+    sketch_recycles: u64,
+) {
+    let sim = &scenario.sim;
+    let mut probe = IntervalProbe::new();
+    sim.hash_components(&mut probe);
+    if let Some(plan) = scenario.pushback.as_ref() {
+        for (d, dom) in plan.domains.iter().enumerate() {
+            probe.component(&format!("dom{d}/coord"), |h| dom.coordinator.hash_state(h));
+            probe.component(&format!("dom{d}/trust"), |h| {
+                dom.coordinator.ledger().hash_state(h);
+            });
+            probe.component(&format!("dom{d}/filters"), |h| {
+                h.write_usize(dom.atrs.len());
+                for &(node, idx) in &dom.atrs {
+                    hash_filter(sim, node, idx, h);
+                }
+            });
+            probe.component(&format!("dom{d}/meters"), |h| {
+                let meters = dom.pre_meters.iter().chain(dom.post_meters.iter());
+                for &(node, idx) in meters {
+                    sim.filter::<mafic_pushback::VictimRateMeter>(node, idx)
+                        .expect("meter installed at build time")
+                        .hash_state(h);
+                }
+            });
+            probe.component(&format!("dom{d}/channel"), |h| {
+                sim.agent::<ControlChannel>(dom.channel)
+                    .expect("control channel installed at build time")
+                    .hash_state(h);
+            });
+        }
+    } else {
+        probe.component("victim/filters", |h| {
+            h.write_usize(scenario.droppers.len());
+            for &(node, idx) in &scenario.droppers {
+                hash_filter(sim, node, idx, h);
+            }
+        });
+    }
+    let stats = sim.stats();
+    let drops = stats.drop_totals();
+    for (name, value) in [
+        ("drops/probing", drops[0]),
+        ("drops/permanent", drops[1]),
+        ("drops/illegal", drops[2]),
+        ("drops/proportional", drops[3]),
+        ("drops/rate-limited", drops[4]),
+        ("drops/queue", drops[5]),
+        ("drops/other", drops[6]),
+    ] {
+        probe.counter(name, value);
+    }
+    let mut ctrl_sent = 0u64;
+    let mut denies_received = 0u64;
+    let mut denies_issued = 0u64;
+    let mut installs_granted = 0u64;
+    if let Some(plan) = scenario.pushback.as_ref() {
+        for dom in &plan.domains {
+            let s = dom.coordinator.stats();
+            ctrl_sent += s.requests_sent
+                + s.refreshes_sent
+                + s.withdraws_sent
+                + s.stops_sent
+                + s.reports_sent;
+            denies_received += s.denies_received;
+            let ledger = dom.coordinator.ledger();
+            denies_issued += ledger.denies().total();
+            installs_granted += ledger.granted_installs();
+        }
+    }
+    probe.counter("ctrl/sent", ctrl_sent);
+    probe.counter("ctrl/denies-received", denies_received);
+    probe.counter("ctrl/denies-issued", denies_issued);
+    probe.counter("ctrl/installs-granted", installs_granted);
+    probe.counter("arena/live", sim.packet_arena_live() as u64);
+    probe.counter("arena/peak", sim.packet_arena_peak() as u64);
+    probe.counter("scratch/inbox-drains", inbox_drains);
+    probe.counter("scratch/sketch-recycles", sketch_recycles);
+    builder.record_interval(sim.now().as_nanos(), &probe);
+}
+
 /// Sums the control-plane counters of every coordinator, channel, and
 /// the runner's own accounting into the per-run report.
 fn collect_control_report(scenario: &Scenario, acct: &ControlAccounting) -> ControlPlaneReport {
@@ -566,6 +693,23 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
     // harvest populates the vector, every later one swaps buffers with
     // the taps — no steady-state allocation in the monitor loop.
     let mut sketches: Vec<RouterSketch> = Vec::new();
+    let mut sketch_recycles: u64 = 0;
+    // Off by default: when `spec.ledger` is false the hot path pays one
+    // `Option` check per monitor interval and no `StateHash` call ever
+    // runs — the zero-cost contract the bench gate pins.
+    let mut ledger = scenario.spec.ledger.then(|| {
+        LedgerBuilder::new(LedgerHeader {
+            ledger_version: 0, // the builder stamps the real version
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            seed: scenario.spec.seed,
+            spec_fingerprint: fnv64(format!("{:?}", scenario.spec).as_bytes()),
+            // Always 0: a run is single-threaded regardless of how many
+            // engine workers run *other* specs, so ledgers must be
+            // byte-identical at any `MAFIC_JOBS`. The field is
+            // informational and never compared by the differ.
+            workers: 0,
+        })
+    });
 
     let auto = matches!(scenario.spec.detection, DetectionMode::Auto);
     if let DetectionMode::AtTime(at) = scenario.spec.detection {
@@ -597,6 +741,7 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
                 .expect("tap installed at build time");
             if let Some(slot) = sketches.get_mut(i) {
                 tap.take_epoch_into(slot);
+                sketch_recycles += 1;
             } else {
                 sketches.push(tap.take_epoch());
             }
@@ -634,6 +779,12 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
             triggered_at = None;
             fallback = None;
             acct.defense_down = false;
+        }
+        // Ledger recording sits before the detection tail (which may
+        // `continue` out of the iteration) so every interval is hashed
+        // exactly once, at the same loop point, in every run.
+        if let Some(builder) = ledger.as_mut() {
+            record_ledger_interval(scenario, builder, scratch.drains, sketch_recycles);
         }
         if !auto || triggered_at.is_some() {
             continue;
@@ -716,9 +867,14 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
     let policy_costs = collect_policy_costs(scenario);
     let control = collect_control_report(scenario, &acct);
     let stats = scenario.sim.stats();
-    let report = MetricsReport::from_stats(stats, &windows);
+    let mut report = MetricsReport::from_stats(stats, &windows);
+    report.peak_arena_packets = scenario.sim.packet_arena_peak() as u64;
+    report.scratch_inbox_drains = scratch.drains;
+    report.scratch_sketch_recycles = sketch_recycles;
     let series = victim_arrival_series(stats);
     let goodput_series = victim_bandwidth_series(stats);
+    let trace_tail = scenario.sim.trace_tail(TRACE_TAIL_EVENTS);
+    let ledger = ledger.map(|builder| builder.finish(trace_tail.clone()));
     Ok(RunOutcome {
         report,
         series,
@@ -732,6 +888,8 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
         stood_down_at: acct.stood_down_at,
         packets_sent: stats.total_sent,
         packets_delivered: stats.total_delivered,
+        ledger,
+        trace_tail,
     })
 }
 

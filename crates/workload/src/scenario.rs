@@ -199,6 +199,9 @@ impl Scenario {
     fn build_single(spec: ScenarioSpec) -> Result<Scenario, WorkloadError> {
         let mut rng = SmallRng::seed_from_u64(spec.seed.wrapping_mul(0x9E37_79B9));
         let mut sim = Simulator::new(spec.seed);
+        if spec.trace_capacity > 0 {
+            sim.enable_trace(spec.trace_capacity);
+        }
 
         let domain_config = DomainConfig {
             n_routers: spec.n_routers,
@@ -292,6 +295,9 @@ impl Scenario {
     fn build_multi(spec: ScenarioSpec) -> Result<Scenario, WorkloadError> {
         let mut rng = SmallRng::seed_from_u64(spec.seed.wrapping_mul(0x9E37_79B9));
         let mut sim = Simulator::new(spec.seed);
+        if spec.trace_capacity > 0 {
+            sim.enable_trace(spec.trace_capacity);
+        }
         let n_stubs = spec.domains;
         let n_transit = spec.transit_topology.domain_count();
 

@@ -210,6 +210,15 @@ pub struct ScenarioSpec {
     pub end: SimTime,
     /// Victim time-series bin width.
     pub victim_bin: SimDuration,
+    /// Ring capacity of the simulator's [`mafic_netsim::TraceBuffer`].
+    /// `0` (the default) leaves tracing off; when positive, the runner
+    /// surfaces the last events in [`crate::RunOutcome::trace_tail`]
+    /// and embeds them in the run ledger.
+    pub trace_capacity: usize,
+    /// Record a per-interval [`mafic_obs::RunLedger`] of chained
+    /// component state hashes. Off by default: the hot path pays
+    /// nothing when disabled (one branch per monitor interval).
+    pub ledger: bool,
     /// Master seed; all component seeds derive from it.
     pub seed: u64,
 }
@@ -253,6 +262,8 @@ impl Default for ScenarioSpec {
             attack_start: SimTime::from_secs_f64(1.0),
             end: SimTime::from_secs_f64(8.0),
             victim_bin: SimDuration::from_millis(50),
+            trace_capacity: 0,
+            ledger: false,
             seed: 1,
         }
     }

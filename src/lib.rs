@@ -18,6 +18,8 @@
 //!   (heterogeneous policies and partial deployment included),
 //! * [`metrics`] — the paper's α/β/θp/θn/Lr metrics, plus residual
 //!   attack rate and collateral damage for the multi-domain scenarios,
+//! * [`obs`] — the run ledger: per-interval chained state hashes,
+//!   JSONL export, and the divergence differ behind `mafic_trace`,
 //! * [`workload`] — scenario generation and the experiment runner,
 //! * [`experiments`] — per-figure regeneration harnesses.
 //!
@@ -40,6 +42,7 @@ pub use mafic_experiments as experiments;
 pub use mafic_loglog as loglog;
 pub use mafic_metrics as metrics;
 pub use mafic_netsim as netsim;
+pub use mafic_obs as obs;
 pub use mafic_pushback as pushback;
 pub use mafic_topology as topology;
 pub use mafic_transport as transport;

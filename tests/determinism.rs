@@ -5,9 +5,12 @@
 //! exact same event sequence. These tests pin that down at the coarsest
 //! observable level — byte-identical digests of the full run output —
 //! so any accidental reintroduction of iteration-order or hasher-state
-//! dependence fails loudly.
+//! dependence fails loudly. Runs record a [`mafic_suite::obs::RunLedger`]
+//! so a failure names the first diverging interval and component instead
+//! of dumping two multi-kilobyte digests.
 
 use mafic_suite::netsim::SimTime;
+use mafic_suite::obs::diff_ledgers;
 use mafic_suite::workload::{run_spec, RunOutcome, ScenarioSpec};
 
 fn spec(seed: u64) -> ScenarioSpec {
@@ -15,6 +18,8 @@ fn spec(seed: u64) -> ScenarioSpec {
         total_flows: 14,
         n_routers: 7,
         end: SimTime::from_secs_f64(3.0),
+        ledger: true,
+        trace_capacity: 64,
         seed,
         ..ScenarioSpec::default()
     }
@@ -41,11 +46,33 @@ fn digest(outcome: &RunOutcome) -> String {
     out
 }
 
+/// Asserts two runs replayed identically; on mismatch, panics with the
+/// ledger differ's report (first diverging interval + component) rather
+/// than raw digest soup.
+fn assert_replay(a: &RunOutcome, b: &RunOutcome) {
+    let (la, lb) = (
+        a.ledger.as_ref().expect("ledger on"),
+        b.ledger.as_ref().expect("ledger on"),
+    );
+    let report = diff_ledgers(la, lb);
+    assert!(
+        report.is_identical(),
+        "replay diverged:\n{report}\ntrace tail (run a):\n{}",
+        a.trace_tail.join("\n")
+    );
+    assert_eq!(
+        la.to_jsonl(),
+        lb.to_jsonl(),
+        "ledgers must serialize byte-identically"
+    );
+    assert_eq!(digest(a), digest(b), "replays must be byte-identical");
+}
+
 #[test]
 fn identical_spec_and_seed_replay_byte_identically() {
     let a = run_spec(spec(1)).expect("run a");
     let b = run_spec(spec(1)).expect("run b");
-    assert_eq!(digest(&a), digest(&b), "replays must be byte-identical");
+    assert_replay(&a, &b);
 }
 
 #[test]
@@ -54,7 +81,7 @@ fn two_consecutive_replays_of_a_second_seed_also_match() {
     // a second seed guards against a fluke of one particular schedule.
     let a = run_spec(spec(77)).expect("run a");
     let b = run_spec(spec(77)).expect("run b");
-    assert_eq!(digest(&a), digest(&b));
+    assert_replay(&a, &b);
 }
 
 #[test]
@@ -62,6 +89,14 @@ fn different_seeds_differ() {
     let a = run_spec(spec(1)).expect("run a");
     let b = run_spec(spec(2)).expect("run b");
     assert_ne!(digest(&a), digest(&b), "seed must perturb the run");
+    // The differ must *name* the divergence, not just detect it.
+    let report = diff_ledgers(a.ledger.as_ref().unwrap(), b.ledger.as_ref().unwrap());
+    assert!(!report.is_identical(), "perturbed seed must diverge");
+    let text = report.to_string();
+    assert!(
+        text.contains("interval") && text.contains("component"),
+        "report must name interval and component: {text}"
+    );
 }
 
 /// The event-loop accounting itself (processed/scheduled counts, final

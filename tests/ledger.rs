@@ -1,0 +1,129 @@
+//! End-to-end fixtures for the run-ledger differ: real scenario runs,
+//! deliberately perturbed, must produce a divergence report that names
+//! the first diverging interval and component. These are the
+//! integration-level twins of the unit fixtures in `mafic-obs` — they
+//! prove the whole probe → ledger → differ chain over actual simulator
+//! state, not hand-built records.
+
+use mafic_suite::netsim::SimTime;
+use mafic_suite::obs::{diff_ledgers, Divergence, RunLedger};
+use mafic_suite::topology::TransitTopology;
+use mafic_suite::workload::{run_spec, ScenarioSpec};
+
+fn base_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        total_flows: 12,
+        n_routers: 6,
+        end: SimTime::from_secs_f64(2.5),
+        ledger: true,
+        trace_capacity: 32,
+        seed,
+        ..ScenarioSpec::default()
+    }
+}
+
+fn ledger_of(spec: ScenarioSpec) -> RunLedger {
+    run_spec(spec)
+        .expect("run")
+        .ledger
+        .expect("spec sets ledger: true")
+}
+
+#[test]
+fn identical_runs_diff_clean() {
+    let a = ledger_of(base_spec(11));
+    let b = ledger_of(base_spec(11));
+    let report = diff_ledgers(&a, &b);
+    assert!(report.is_identical(), "unexpected divergence:\n{report}");
+    assert!(report.header_notes.is_empty(), "{:?}", report.header_notes);
+}
+
+#[test]
+fn perturbed_seed_names_first_interval_and_component() {
+    let a = ledger_of(base_spec(11));
+    let b = ledger_of(base_spec(12));
+    let report = diff_ledgers(&a, &b);
+    assert!(
+        report.header_notes.iter().any(|n| n.contains("seeds")),
+        "seed note missing: {:?}",
+        report.header_notes
+    );
+    let Divergence::FirstDivergence {
+        ref component,
+        left,
+        right,
+        ..
+    } = report.finding
+    else {
+        panic!(
+            "expected first-divergence finding, got {:?}",
+            report.finding
+        );
+    };
+    assert_ne!(left, right);
+    assert!(
+        a.components.contains(component) || component.starts_with("counter:"),
+        "component {component:?} not in the recorded set"
+    );
+    // The rendered report must carry both coordinates a human needs.
+    let text = report.to_string();
+    assert!(text.contains("interval"), "{text}");
+    assert!(text.contains(component.as_str()), "{text}");
+}
+
+/// Perturbing the control-plane trust budget must surface in a
+/// pushback-layer component (the coordinator embeds its trust ledger in
+/// its hash), not merely in end-of-run metrics.
+#[test]
+fn perturbed_trust_budget_diverges_in_a_domain_component() {
+    let multi = |budget: u32| ScenarioSpec {
+        domains: 3,
+        transit_topology: TransitTopology::Chain { depth: 1 },
+        pushback_depth: 2,
+        end: SimTime::from_secs_f64(3.0),
+        trust_budget: budget,
+        ..base_spec(21)
+    };
+    let a = ledger_of(multi(ScenarioSpec::default().trust_budget));
+    let b = ledger_of(multi(1));
+    let report = diff_ledgers(&a, &b);
+    let Divergence::FirstDivergence { ref component, .. } = report.finding else {
+        panic!("expected divergence, got {:?}", report.finding);
+    };
+    assert!(
+        component.contains("coord") || component.contains("trust"),
+        "trust-budget perturbation surfaced in {component:?}, expected a \
+         coordinator/trust component"
+    );
+}
+
+#[test]
+fn truncated_ledger_is_reported_after_clean_prefix() {
+    let full = ledger_of(base_spec(11));
+    assert!(
+        full.intervals.len() >= 4,
+        "fixture needs multiple intervals, got {}",
+        full.intervals.len()
+    );
+    let mut cut = full.clone();
+    cut.intervals.truncate(full.intervals.len() - 3);
+    let report = diff_ledgers(&full, &cut);
+    assert_eq!(
+        report.finding,
+        Divergence::Truncated {
+            left_intervals: full.intervals.len() as u64,
+            right_intervals: cut.intervals.len() as u64,
+        },
+        "shared prefix is identical, so the finding must be truncation"
+    );
+}
+
+#[test]
+fn ledger_round_trips_through_jsonl() {
+    let ledger = ledger_of(base_spec(11));
+    let text = ledger.to_jsonl();
+    let parsed = RunLedger::from_jsonl(&text).expect("parse back");
+    assert_eq!(parsed, ledger);
+    // A second serialize of the parsed ledger reproduces the exact bytes.
+    assert_eq!(parsed.to_jsonl(), text);
+}

@@ -8,6 +8,7 @@
 use mafic_suite::experiments::engine::{run_specs, EngineConfig};
 use mafic_suite::experiments::sweep::{figure_from_sweep, run_averaged, sweep, SweepSeries};
 use mafic_suite::netsim::SimTime;
+use mafic_suite::obs::diff_ledgers;
 use mafic_suite::workload::ScenarioSpec;
 
 /// A reduced but non-trivial grid: 2 series × 2 x values × 2 trials =
@@ -80,6 +81,45 @@ fn run_averaged_is_identical_at_any_worker_count() {
     let serial = run_averaged(&base, &EngineConfig::serial(3)).unwrap();
     let parallel = run_averaged(&base, &EngineConfig { jobs: 3, trials: 3 }).unwrap();
     assert_eq!(serial, parallel);
+}
+
+/// The run ledger must be byte-identical at any worker count: each run
+/// is single-threaded internally, so `MAFIC_JOBS` may change scheduling
+/// of *whole runs* but must never leak into per-interval state hashes.
+/// This is the in-process twin of the CI `run_ledger` 1-vs-4 cmp gate;
+/// on mismatch the differ names the first diverging interval+component.
+#[test]
+fn ledgers_are_byte_identical_at_jobs_1_and_4() {
+    let specs: Vec<ScenarioSpec> = [3u64, 9]
+        .iter()
+        .map(|&seed| ScenarioSpec {
+            total_flows: 10,
+            n_routers: 5,
+            end: SimTime::from_secs_f64(2.5),
+            ledger: true,
+            trace_capacity: 32,
+            seed,
+            ..ScenarioSpec::default()
+        })
+        .collect();
+    let serial = run_specs(specs.clone(), 1).unwrap();
+    let parallel = run_specs(specs, 4).unwrap();
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        let (ls, lp) = (
+            s.ledger.as_ref().expect("ledger on"),
+            p.ledger.as_ref().expect("ledger on"),
+        );
+        let report = diff_ledgers(ls, lp);
+        assert!(
+            report.is_identical(),
+            "run {i}: jobs=4 diverged from jobs=1:\n{report}"
+        );
+        assert_eq!(
+            ls.to_jsonl(),
+            lp.to_jsonl(),
+            "run {i}: ledger bytes differ across worker counts"
+        );
+    }
 }
 
 #[test]
