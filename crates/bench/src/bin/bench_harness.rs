@@ -24,8 +24,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use mafic_experiments::engine::run_specs;
+use mafic_experiments::{sweep, sweep_warm, EngineConfig};
 use mafic_netsim::{Addr, FlowInterner, FlowKey, FlowSlab, SimTime};
-use mafic_workload::{run_scenario, Scenario, ScenarioSpec};
+use mafic_topology::TransitTopology;
+use mafic_workload::{
+    encode_checkpoint, restore_run, run_scenario, run_spec, Scenario, ScenarioSpec,
+};
 
 /// Fractional packets/sec regression tolerated by `--gate` (10%).
 const GATE_TOLERANCE: f64 = 0.10;
@@ -211,6 +215,90 @@ fn figure_suite_specs(ci: bool) -> Vec<ScenarioSpec> {
     specs
 }
 
+struct CheckpointResult {
+    snapshot_bytes: u64,
+    write_ms: f64,
+    restore_ms: f64,
+}
+
+/// Times the checkpoint paths over the multi-domain cascade scenario:
+/// write = probe + serialize + encode (the mid-run capture path),
+/// restore = decode + rebuild-from-spec + overlay + digest verification
+/// (the whole [`restore_run`] gate, build included).
+fn measure_checkpoint(reps: u32) -> CheckpointResult {
+    let spec = ScenarioSpec {
+        total_flows: 24,
+        n_routers: 8,
+        domains: 4,
+        transit_topology: TransitTopology::Chain { depth: 1 },
+        pushback_depth: 2,
+        end: SimTime::from_secs_f64(3.0),
+        checkpoint_at: Some(SimTime::from_secs_f64(1.5)),
+        seed: 9,
+        ..ScenarioSpec::default()
+    };
+    let bytes = run_spec(spec.clone())
+        .expect("checkpoint spec runs")
+        .checkpoint
+        .expect("checkpoint captured");
+    let (scenario, state) = restore_run(&spec, &bytes).expect("checkpoint restores");
+    let mut write_best = f64::INFINITY;
+    let mut restore_best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let rewritten = encode_checkpoint(&scenario, &state);
+        write_best = write_best.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(&rewritten);
+        let start = Instant::now();
+        let pair = restore_run(&spec, &bytes).expect("checkpoint restores");
+        restore_best = restore_best.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(&pair);
+    }
+    CheckpointResult {
+        snapshot_bytes: bytes.len() as u64,
+        write_ms: write_best * 1e3,
+        restore_ms: restore_best * 1e3,
+    }
+}
+
+/// Times the pushback-depth sweep cold (every cell from time zero)
+/// against warm-started (`sweep_warm`: the shared pre-attack prefix
+/// runs once per trial, every other cell branches from the
+/// checkpoint). Both run serially so the ratio reflects the skipped
+/// prefix work, not pool scheduling. Outputs are asserted equal — a
+/// speedup from wrong results would be worse than no speedup.
+fn measure_warm_sweep(ci: bool) -> (f64, f64) {
+    let xs: Vec<f64> = if ci {
+        vec![0.0, 2.0]
+    } else {
+        vec![0.0, 1.0, 2.0, 3.0]
+    };
+    let series = vec![("chain".to_string(), ())];
+    let cfg = EngineConfig {
+        jobs: 1,
+        trials: if ci { 1 } else { 2 },
+    };
+    let make = |_: &(), depth: f64| ScenarioSpec {
+        total_flows: 24,
+        n_routers: 8,
+        domains: 4,
+        transit_topology: TransitTopology::Chain { depth: 1 },
+        pushback_depth: depth as u32,
+        end: SimTime::from_secs_f64(3.0),
+        seed: 9,
+        ..ScenarioSpec::default()
+    };
+    let branch_at = make(&(), 0.0).attack_start;
+    let start = Instant::now();
+    let cold = sweep(&series, &xs, &cfg, make).expect("cold sweep runs");
+    let cold_wall = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let warm = sweep_warm(&series, &xs, &cfg, branch_at, make).expect("warm sweep runs");
+    let warm_wall = start.elapsed().as_secs_f64();
+    assert_eq!(cold, warm, "warm sweep diverged from cold sweep");
+    (cold_wall, warm_wall)
+}
+
 fn measure_figure_suite(ci: bool) -> (usize, f64) {
     let specs = figure_suite_specs(ci);
     let n = specs.len();
@@ -282,6 +370,18 @@ fn main() {
     eprintln!("[bench] figure suite...");
     let (suite_runs, suite_wall) = measure_figure_suite(ci);
     eprintln!("[bench]   {suite_runs} runs in {suite_wall:.3}s");
+    eprintln!("[bench] checkpoint write/restore ({reps} reps)...");
+    let ckpt = measure_checkpoint(reps);
+    eprintln!(
+        "[bench]   {} snapshot bytes, write {:.3} ms, restore {:.3} ms",
+        ckpt.snapshot_bytes, ckpt.write_ms, ckpt.restore_ms
+    );
+    eprintln!("[bench] warm vs cold sweep...");
+    let (cold_wall, warm_wall) = measure_warm_sweep(ci);
+    eprintln!(
+        "[bench]   cold {cold_wall:.3}s, warm {warm_wall:.3}s ({:.2}x)",
+        cold_wall / warm_wall
+    );
 
     let mode = if ci { "ci" } else { "full" };
     let json = format!(
@@ -300,7 +400,13 @@ fn main() {
             "  \"peak_arena_packets\": {peak},\n",
             "  \"ns_per_table_op\": {table},\n",
             "  \"figure_suite_runs\": {suite_runs},\n",
-            "  \"figure_suite_wall_s\": {suite_wall}\n",
+            "  \"figure_suite_wall_s\": {suite_wall},\n",
+            "  \"snapshot_bytes\": {snapshot_bytes},\n",
+            "  \"snapshot_write_ms\": {snapshot_write},\n",
+            "  \"snapshot_restore_ms\": {snapshot_restore},\n",
+            "  \"sweep_cold_wall_s\": {cold_wall},\n",
+            "  \"sweep_warm_wall_s\": {warm_wall},\n",
+            "  \"warm_sweep_speedup\": {warm_speedup}\n",
             "}}\n"
         ),
         label = label,
@@ -316,6 +422,12 @@ fn main() {
         table = json_f(ns_per_table_op),
         suite_runs = suite_runs,
         suite_wall = json_f(suite_wall),
+        snapshot_bytes = ckpt.snapshot_bytes,
+        snapshot_write = json_f(ckpt.write_ms),
+        snapshot_restore = json_f(ckpt.restore_ms),
+        cold_wall = json_f(cold_wall),
+        warm_wall = json_f(warm_wall),
+        warm_speedup = json_f(cold_wall / warm_wall),
     );
     if let Some(path) = &out {
         std::fs::write(path, &json).expect("write bench record");

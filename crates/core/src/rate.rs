@@ -164,6 +164,48 @@ impl ArrivalTracker {
     }
 }
 
+impl mafic_obs::SnapshotState for ArrivalTracker {
+    /// Saves the eviction clock and the active windows (in clock order);
+    /// `horizon` and `max_flows` are build-time configuration. The dense
+    /// `flows` vector is rebuilt sized to the largest saved id — empty
+    /// trailing headers are capacity, not state.
+    fn snap_save(&self, w: &mut mafic_obs::SnapWriter) {
+        w.write_usize(self.evict_cursor);
+        w.write_usize(self.active_ids.len());
+        for &idx in &self.active_ids {
+            w.write_u32(idx);
+            let q = &self.flows[idx as usize];
+            w.write_usize(q.len());
+            for t in q {
+                w.write_u64(t.as_nanos());
+            }
+        }
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut mafic_obs::SnapReader<'_>,
+    ) -> Result<(), mafic_obs::SnapError> {
+        self.evict_cursor = r.read_usize()?;
+        let n = r.read_usize()?;
+        self.flows.clear();
+        self.active_ids.clear();
+        for _ in 0..n {
+            let idx = r.read_u32()?;
+            self.active_ids.push(idx);
+            if idx as usize >= self.flows.len() {
+                self.flows.resize_with(idx as usize + 1, VecDeque::new);
+            }
+            let arrivals = r.read_usize()?;
+            let q = &mut self.flows[idx as usize];
+            for _ in 0..arrivals {
+                q.push_back(SimTime::from_nanos(r.read_u64()?));
+            }
+        }
+        Ok(())
+    }
+}
+
 impl mafic_obs::StateHash for ArrivalTracker {
     fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
         h.write_u64(self.horizon.as_nanos());
@@ -277,5 +319,34 @@ mod tests {
     #[should_panic(expected = "horizon must be positive")]
     fn zero_horizon_rejected() {
         let _ = ArrivalTracker::new(SimDuration::ZERO, 4);
+    }
+
+    #[test]
+    fn snapshot_round_trips_windows_and_eviction_clock() {
+        use mafic_obs::{SnapshotState as _, StateHash as _};
+        let mut tr = ArrivalTracker::new(SimDuration::from_secs(10), 2);
+        tr.record(flow(1), t(10));
+        tr.record(flow(2), t(20));
+        tr.record(flow(3), t(30)); // forces an eviction, moves the clock
+        let mut w = mafic_obs::SnapWriter::new();
+        tr.snap_save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut back = ArrivalTracker::new(SimDuration::from_secs(10), 2);
+        let mut r = mafic_obs::SnapReader::new(&bytes);
+        back.snap_restore(&mut r).expect("restore");
+        assert!(r.is_empty());
+
+        let digest = |tr: &ArrivalTracker| {
+            let mut d = mafic_obs::Fnv64::new();
+            tr.hash_state(&mut d);
+            d.finish()
+        };
+        assert_eq!(digest(&tr), digest(&back));
+        assert_eq!(back.tracked_flows(), 2);
+        assert_eq!(
+            back.count_in(flow(3), t(100), SimDuration::from_millis(100)),
+            1
+        );
     }
 }

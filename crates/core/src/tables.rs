@@ -390,6 +390,148 @@ impl FlowTables {
     }
 }
 
+fn snap_sft_entry(entry: &SftEntry, w: &mut mafic_obs::SnapWriter) {
+    mafic_netsim::snap_flow_key(&entry.key, w);
+    w.write_u64(entry.probe_started.as_nanos());
+    w.write_f64(entry.baseline_rate);
+    w.write_u64(entry.rtt_estimate.as_nanos());
+    w.write_u64(entry.deadline.as_nanos());
+    w.write_u64(entry.arrivals_since_probe);
+}
+
+fn read_sft_entry(r: &mut mafic_obs::SnapReader<'_>) -> Result<SftEntry, mafic_obs::SnapError> {
+    Ok(SftEntry {
+        key: mafic_netsim::read_flow_key(r)?,
+        probe_started: SimTime::from_nanos(r.read_u64()?),
+        baseline_rate: r.read_f64()?,
+        rtt_estimate: mafic_netsim::SimDuration::from_nanos(r.read_u64()?),
+        deadline: SimTime::from_nanos(r.read_u64()?),
+        arrivals_since_probe: r.read_u64()?,
+    })
+}
+
+fn snap_flow_state(state: &FlowState, w: &mut mafic_obs::SnapWriter) {
+    match state {
+        FlowState::Suspicious(entry) => {
+            w.write_u8(0);
+            snap_sft_entry(entry, w);
+        }
+        FlowState::Nice { since } => {
+            w.write_u8(1);
+            w.write_u64(since.as_nanos());
+        }
+        FlowState::Condemned(reason) => {
+            w.write_u8(2);
+            w.write_u8(match reason {
+                PdtReason::IllegalSource => 0,
+                PdtReason::Unresponsive => 1,
+            });
+        }
+    }
+}
+
+fn read_flow_state(r: &mut mafic_obs::SnapReader<'_>) -> Result<FlowState, mafic_obs::SnapError> {
+    Ok(match r.read_u8()? {
+        0 => FlowState::Suspicious(read_sft_entry(r)?),
+        1 => FlowState::Nice {
+            since: SimTime::from_nanos(r.read_u64()?),
+        },
+        2 => FlowState::Condemned(match r.read_u8()? {
+            0 => PdtReason::IllegalSource,
+            1 => PdtReason::Unresponsive,
+            tag => {
+                return Err(mafic_obs::SnapError::Malformed(format!(
+                    "pdt-reason tag {tag}"
+                )))
+            }
+        }),
+        tag => {
+            return Err(mafic_obs::SnapError::Malformed(format!(
+                "flow-state tag {tag}"
+            )))
+        }
+    })
+}
+
+impl Fifo {
+    /// Saves the deque (stale entries included — future evictions and
+    /// the compaction trigger depend on it verbatim), the live seats,
+    /// and the counters. The capacity is build-time configuration.
+    fn snap_save(&self, w: &mut mafic_obs::SnapWriter) {
+        w.write_usize(self.order.len());
+        for &(flow, stamp) in &self.order {
+            w.write_usize(flow.index());
+            w.write_u64(stamp);
+        }
+        w.write_usize(self.seats.len());
+        for (flow, &stamp) in self.seats.iter() {
+            w.write_usize(flow.index());
+            w.write_u64(stamp);
+        }
+        w.write_u64(self.next_stamp);
+        w.write_u64(self.evictions);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut mafic_obs::SnapReader<'_>,
+    ) -> Result<(), mafic_obs::SnapError> {
+        let n = r.read_usize()?;
+        self.order.clear();
+        for _ in 0..n {
+            let flow = FlowId::from_index(r.read_usize()?);
+            let stamp = r.read_u64()?;
+            self.order.push_back((flow, stamp));
+        }
+        let n = r.read_usize()?;
+        self.seats = FlowSlab::new();
+        for _ in 0..n {
+            let flow = FlowId::from_index(r.read_usize()?);
+            let stamp = r.read_u64()?;
+            self.seats.insert(flow, stamp);
+        }
+        self.next_stamp = r.read_u64()?;
+        self.evictions = r.read_u64()?;
+        Ok(())
+    }
+}
+
+impl mafic_obs::SnapshotState for FlowTables {
+    fn snap_save(&self, w: &mut mafic_obs::SnapWriter) {
+        w.write_usize(self.states.len());
+        for (id, state) in self.states.iter() {
+            w.write_usize(id.index());
+            snap_flow_state(state, w);
+        }
+        self.sft.snap_save(w);
+        self.nft.snap_save(w);
+        self.pdt.snap_save(w);
+        w.write_usize(self.peak_sft);
+        w.write_usize(self.peak_nft);
+        w.write_usize(self.peak_pdt);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut mafic_obs::SnapReader<'_>,
+    ) -> Result<(), mafic_obs::SnapError> {
+        let n = r.read_usize()?;
+        self.states = FlowSlab::new();
+        for _ in 0..n {
+            let id = FlowId::from_index(r.read_usize()?);
+            let state = read_flow_state(r)?;
+            self.states.insert(id, state);
+        }
+        self.sft.snap_restore(r)?;
+        self.nft.snap_restore(r)?;
+        self.pdt.snap_restore(r)?;
+        self.peak_sft = r.read_usize()?;
+        self.peak_nft = r.read_usize()?;
+        self.peak_pdt = r.read_usize()?;
+        Ok(())
+    }
+}
+
 impl mafic_obs::StateHash for SftEntry {
     fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
         self.key.hash_state(h);

@@ -1,0 +1,129 @@
+//! CI gate for checkpoint/restore integrity.
+//!
+//! Default mode runs the multi-domain pushback scenario straight
+//! through (capturing a mid-flood checkpoint on the way), restores the
+//! checkpoint, resumes to the end, and requires the resumed outcome —
+//! report, run ledger, escalation log, re-captured checkpoint bytes —
+//! to be byte-identical to the straight run. Exit 0 on equality, 1 on
+//! any divergence (naming the first differing artifact), 2 on
+//! operational errors.
+//!
+//! `--corrupt` is the seeded-corruption smoke proving the gate can
+//! fail: it flips one payload byte in the captured snapshot and
+//! requires restore to *reject* it. The rejection (with the offending
+//! component named by the typed error) exits 1 for CI to assert on; a
+//! corrupted snapshot that restores cleanly is a broken integrity gate
+//! and exits 2.
+
+use mafic_netsim::SimTime;
+use mafic_obs::Snapshot;
+use mafic_topology::TransitTopology;
+use mafic_workload::{restore_run, resume_scenario, run_spec, ScenarioSpec};
+
+/// The gated scenario: the run-ledger grid's multi-domain flood with a
+/// checkpoint requested mid-flood, after detection has begun reshaping
+/// per-domain state but before stand-down.
+fn gate_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        total_flows: 12,
+        n_routers: 6,
+        domains: 3,
+        transit_topology: TransitTopology::Chain { depth: 1 },
+        pushback_depth: 2,
+        end: SimTime::from_secs_f64(3.0),
+        ledger: true,
+        trace_capacity: 64,
+        checkpoint_at: Some(SimTime::from_secs_f64(1.2)),
+        seed: 1,
+        ..ScenarioSpec::default()
+    }
+}
+
+/// Re-encodes `bytes` with one payload byte flipped in the stats
+/// section — checksums are recomputed on encode, so the corruption
+/// survives decoding and must be caught by the *state-hash* gate, not
+/// the cheaper wire checksums.
+fn corrupted(bytes: &[u8]) -> Vec<u8> {
+    let snap = Snapshot::decode(bytes).expect("fresh capture decodes");
+    let mut out = Snapshot::new(snap.header.clone());
+    out.component_hashes.clone_from(&snap.component_hashes);
+    for label in snap.section_labels() {
+        let mut payload = snap.section(label).expect("label just listed").to_vec();
+        if label == "netsim/stats" {
+            let last = payload.last_mut().expect("stats section is non-empty");
+            *last ^= 0x01;
+        }
+        out.add_section(label, payload);
+    }
+    out.encode()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("checkpoint: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let corrupt = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        [] => false,
+        ["--corrupt"] => true,
+        _ => die("usage: checkpoint [--corrupt]"),
+    };
+
+    let spec = gate_spec();
+    let straight = match run_spec(spec.clone()) {
+        Ok(outcome) => outcome,
+        Err(e) => die(&format!("straight run failed: {e}")),
+    };
+    let bytes = straight
+        .checkpoint
+        .clone()
+        .unwrap_or_else(|| die("straight run captured no checkpoint"));
+
+    if corrupt {
+        match restore_run(&spec, &corrupted(&bytes)) {
+            Ok(_) => die("corrupted snapshot was accepted — the integrity gate is broken"),
+            Err(e) => {
+                eprintln!("checkpoint: rejected as required: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let (mut scenario, state) = match restore_run(&spec, &bytes) {
+        Ok(pair) => pair,
+        Err(e) => die(&format!("restore failed: {e}")),
+    };
+    let resumed = match resume_scenario(&mut scenario, state) {
+        Ok(outcome) => outcome,
+        Err(e) => die(&format!("resumed run failed: {e}")),
+    };
+
+    let mismatch = |what: &str| {
+        eprintln!("checkpoint: resumed run diverged from straight run: {what}");
+        std::process::exit(1);
+    };
+    if resumed.report != straight.report {
+        mismatch("metrics report");
+    }
+    let jsonl =
+        |o: &mafic_workload::RunOutcome| o.ledger.as_ref().map(mafic_obs::RunLedger::to_jsonl);
+    if jsonl(&resumed) != jsonl(&straight) {
+        mismatch("run ledger");
+    }
+    if resumed.escalations != straight.escalations {
+        mismatch("escalation log");
+    }
+    if resumed.checkpoint != straight.checkpoint {
+        mismatch("re-surfaced checkpoint bytes");
+    }
+    let snap = Snapshot::decode(&bytes).expect("verified bytes decode");
+    println!(
+        "checkpoint round trip byte-identical: {} component hashes verified, \
+         resumed from t={:.3}s (interval {}) to end",
+        snap.component_hashes.len(),
+        snap.header.at_nanos as f64 / 1e9,
+        snap.header.interval_index
+    );
+}

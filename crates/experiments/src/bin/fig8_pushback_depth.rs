@@ -1,12 +1,19 @@
 //! Regenerates Fig. 8: inter-domain pushback depth vs residual attack
 //! rate at the victim and collateral damage. One depth sweep feeds both
-//! panels.
+//! panels. `MAFIC_WARM_SWEEP=1` branches the sweep from a shared-prefix
+//! checkpoint instead of running every cell cold — the output is
+//! byte-identical either way (pinned by `tests/checkpoint.rs`).
 
-use mafic_experiments::{figures, EngineConfig};
+use mafic_experiments::{figures, warm_sweep_from_env_or_exit, EngineConfig};
 
 fn main() {
     let cfg = EngineConfig::from_env_or_exit();
-    match figures::sweep_pushback_depth(&cfg) {
+    let sweeps = if warm_sweep_from_env_or_exit() {
+        figures::sweep_pushback_depth_warm(&cfg)
+    } else {
+        figures::sweep_pushback_depth(&cfg)
+    };
+    match sweeps {
         Ok(sweeps) => {
             println!("{}", figures::fig8a_from_sweep(&sweeps));
             println!("{}", figures::fig8b_from_sweep(&sweeps));

@@ -8,7 +8,7 @@
 
 use crate::engine::{run_specs, EngineConfig};
 use crate::figure::FigureData;
-use crate::sweep::{figure_from_sweep, sweep, SweepSeries};
+use crate::sweep::{figure_from_sweep, sweep, sweep_warm, SweepSeries};
 use mafic::DefensePolicy;
 use mafic_metrics::MetricsReport;
 use mafic_netsim::SimTime;
@@ -356,6 +356,25 @@ pub fn fig8_spec(depth: u32) -> ScenarioSpec {
 pub fn sweep_pushback_depth(cfg: &EngineConfig) -> Result<Vec<SweepSeries>, String> {
     let series = vec![("chain(2)+stubs".to_string(), ())];
     sweep(&series, &depth_axis(), cfg, |(), depth| {
+        fig8_spec(depth as u32)
+    })
+}
+
+/// [`sweep_pushback_depth`] warm-started (`MAFIC_WARM_SWEEP=1`): the
+/// depth knob is the escalation budget, first consulted when the
+/// victim's coordinator triggers — strictly after the attack begins —
+/// so every depth shares the pre-attack prefix byte-for-byte. Branching
+/// at `attack_start` simulates that prefix once per trial instead of
+/// once per grid cell, and the restore digest check keeps the shortcut
+/// honest.
+///
+/// # Errors
+///
+/// Propagates build/run/restore errors.
+pub fn sweep_pushback_depth_warm(cfg: &EngineConfig) -> Result<Vec<SweepSeries>, String> {
+    let series = vec![("chain(2)+stubs".to_string(), ())];
+    let branch_at = fig8_spec(0).attack_start;
+    sweep_warm(&series, &depth_axis(), cfg, branch_at, |(), depth| {
         fig8_spec(depth as u32)
     })
 }

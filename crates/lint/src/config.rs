@@ -104,6 +104,12 @@ impl LintConfig {
                      themselves stay deterministic — that is what the CI gate checks)"
                         .into(),
                 ),
+                (
+                    "crates/experiments/src/bin/checkpoint.rs".into(),
+                    "checkpoint gate CLI: std::env::args and process exit codes (the \
+                     round trip it gates is itself byte-deterministic)"
+                        .into(),
+                ),
             ],
             sanctioned_unsafe: vec![(
                 "crates/bench/src/bin/bench_harness.rs".into(),
@@ -190,7 +196,12 @@ impl LintConfig {
                 CrateLayer {
                     name: "mafic-bench",
                     rank: 5,
-                    deps: &["mafic-experiments", "mafic-netsim", "mafic-workload"],
+                    deps: &[
+                        "mafic-experiments",
+                        "mafic-netsim",
+                        "mafic-topology",
+                        "mafic-workload",
+                    ],
                 },
                 CrateLayer {
                     name: "mafic-suite",

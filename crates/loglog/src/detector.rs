@@ -153,6 +153,21 @@ impl VictimDetector {
         self.rounds
     }
 
+    /// The per-router smoothed baselines accumulated so far.
+    #[must_use]
+    pub fn baselines(&self) -> &[f64] {
+        &self.baselines
+    }
+
+    /// Replaces the learned baselines and round counter with checkpointed
+    /// values (the write half of [`VictimDetector::baselines`] /
+    /// [`VictimDetector::rounds`]). The config is construction-time and
+    /// is not part of the restorable state.
+    pub fn restore_parts(&mut self, baselines: Vec<f64>, rounds: u64) {
+        self.baselines = baselines;
+        self.rounds = rounds;
+    }
+
     /// Feeds one traffic-matrix snapshot; returns the verdict for it.
     ///
     /// Baselines update only from non-alarming observations so a sustained

@@ -151,6 +151,29 @@ impl LogLog {
         &self.registers
     }
 
+    /// Replaces the register file and insert count with checkpointed
+    /// values (the write half of [`LogLog::registers`] /
+    /// [`LogLog::inserts`]). The precision is construction-time
+    /// configuration and is not part of the restorable state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the mismatch when `registers` does not
+    /// match this sketch's precision.
+    pub fn restore_parts(&mut self, registers: &[u8], inserts: u64) -> Result<(), String> {
+        if registers.len() != self.registers.len() {
+            return Err(format!(
+                "register count {} does not match precision {} ({} registers)",
+                registers.len(),
+                self.precision,
+                self.registers.len()
+            ));
+        }
+        self.registers.copy_from_slice(registers);
+        self.inserts = inserts;
+        Ok(())
+    }
+
     /// Inserts an already well-mixed 64-bit hash value.
     ///
     /// Use this when the caller has hashed a composite key itself; for raw

@@ -80,6 +80,16 @@ impl RouterSketch {
         &self.destination
     }
 
+    /// Mutable access to the source sketch (checkpoint restore).
+    pub fn source_sketch_mut(&mut self) -> &mut LogLog {
+        &mut self.source
+    }
+
+    /// Mutable access to the destination sketch (checkpoint restore).
+    pub fn destination_sketch_mut(&mut self) -> &mut LogLog {
+        &mut self.destination
+    }
+
     /// Estimates `a_ij = |S_i ∩ D_j|`: the number of distinct packets that
     /// entered at `self` and left at `egress`.
     ///

@@ -10,6 +10,7 @@ use crate::flows::FlowId;
 use crate::ids::{AgentId, NodeId};
 use crate::packet::Packet;
 use crate::time::{SimDuration, SimTime};
+use mafic_obs::{SnapError, SnapReader, SnapWriter};
 use std::any::Any;
 
 /// Commands an agent queues for the simulator.
@@ -111,6 +112,23 @@ pub trait Agent {
     /// Called when a timer scheduled via [`AgentCtx::schedule_in`] fires.
     fn on_timer(&mut self, _token: u64, _ctx: &mut AgentCtx<'_>) {}
 
+    /// Serializes this agent's mutable state into a checkpoint payload.
+    ///
+    /// The default is a no-op for stateless agents. Implementations must
+    /// write fields in a fixed order matched by [`Agent::snap_restore`],
+    /// and must include any RNG internals — a restored run continues the
+    /// stream mid-way instead of replaying it from the seed.
+    fn snap_save(&self, _w: &mut SnapWriter) {}
+
+    /// Overlays checkpointed state written by [`Agent::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] when the payload is truncated or malformed.
+    fn snap_restore(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
+
     /// Downcast support for harness inspection.
     fn as_any(&self) -> &dyn Any;
 
@@ -162,6 +180,29 @@ impl Agent for CountingSink {
         self.delivered += 1;
         self.delivered_bytes += u64::from(packet.size_bytes);
         self.last_delivery = Some(ctx.now());
+    }
+
+    fn snap_save(&self, w: &mut SnapWriter) {
+        w.write_u64(self.delivered);
+        w.write_u64(self.delivered_bytes);
+        match self.last_delivery {
+            Some(at) => {
+                w.write_bool(true);
+                w.write_u64(at.as_nanos());
+            }
+            None => w.write_bool(false),
+        }
+    }
+
+    fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.delivered = r.read_u64()?;
+        self.delivered_bytes = r.read_u64()?;
+        self.last_delivery = if r.read_bool()? {
+            Some(SimTime::from_nanos(r.read_u64()?))
+        } else {
+            None
+        };
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn Any {

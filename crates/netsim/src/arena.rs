@@ -24,6 +24,7 @@
 
 use crate::flows::FlowId;
 use crate::packet::Packet;
+use mafic_obs::{SnapError, SnapReader, SnapWriter};
 
 /// Dense handle to a packet resident in the simulator's packet arena.
 ///
@@ -190,6 +191,79 @@ impl PacketArena {
             }
         }
     }
+
+    /// Serializes the full slab — occupancy, cached ids, free list,
+    /// counters — so slot addresses survive a restore (events and link
+    /// queues refer to packets by slot index).
+    pub(crate) fn snap_save(&self, w: &mut SnapWriter) {
+        w.write_usize(self.slots.len());
+        for (idx, slot) in self.slots.iter().enumerate() {
+            match slot {
+                Some(packet) => {
+                    w.write_bool(true);
+                    crate::packet::snap_packet(packet, w);
+                    snap_opt_flow_id(self.stats_ids[idx], w);
+                    snap_opt_flow_id(self.flow_ids[idx], w);
+                }
+                None => w.write_bool(false),
+            }
+        }
+        w.write_usize(self.free.len());
+        for &slot in &self.free {
+            w.write_u32(slot);
+        }
+        w.write_usize(self.live);
+        w.write_usize(self.peak);
+    }
+
+    /// Overlays checkpointed slab state.
+    pub(crate) fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.read_usize()?;
+        let mut slots = Vec::with_capacity(n.min(1 << 20));
+        let mut stats_ids = Vec::with_capacity(n.min(1 << 20));
+        let mut flow_ids = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            if r.read_bool()? {
+                slots.push(Some(crate::packet::read_packet(r)?));
+                stats_ids.push(read_opt_flow_id(r)?);
+                flow_ids.push(read_opt_flow_id(r)?);
+            } else {
+                slots.push(None);
+                stats_ids.push(None);
+                flow_ids.push(None);
+            }
+        }
+        let n_free = r.read_usize()?;
+        let mut free = Vec::with_capacity(n_free.min(1 << 20));
+        for _ in 0..n_free {
+            free.push(r.read_u32()?);
+        }
+        self.slots = slots;
+        self.stats_ids = stats_ids;
+        self.flow_ids = flow_ids;
+        self.free = free;
+        self.live = r.read_usize()?;
+        self.peak = r.read_usize()?;
+        Ok(())
+    }
+}
+
+fn snap_opt_flow_id(id: Option<FlowId>, w: &mut SnapWriter) {
+    match id {
+        Some(id) => {
+            w.write_bool(true);
+            w.write_usize(id.index());
+        }
+        None => w.write_bool(false),
+    }
+}
+
+fn read_opt_flow_id(r: &mut SnapReader<'_>) -> Result<Option<FlowId>, SnapError> {
+    Ok(if r.read_bool()? {
+        Some(FlowId::from_index(r.read_usize()?))
+    } else {
+        None
+    })
 }
 
 #[cfg(test)]
@@ -245,6 +319,35 @@ mod tests {
         let r = a.alloc(pkt(7), None);
         a.get_mut(r).hops = 5;
         assert_eq!(a.take(r).hops, 5);
+    }
+
+    #[test]
+    fn snapshot_round_trips_slots_and_free_list() {
+        let mut a = PacketArena::new();
+        let r1 = a.alloc(pkt(1), Some(FlowId::from_index(4)));
+        let r2 = a.alloc(pkt(2), None);
+        a.set_flow_id(r2, FlowId::from_index(9));
+        let _ = a.take(r1);
+        let mut w = SnapWriter::new();
+        a.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = PacketArena::new();
+        let mut r = SnapReader::new(&bytes);
+        restored.snap_restore(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(restored.live(), 1);
+        assert_eq!(restored.peak(), 2);
+        assert_eq!(restored.get(r2).id, 2);
+        assert_eq!(restored.flow_id(r2), Some(FlowId::from_index(9)));
+        // The freed slot is recycled in the same LIFO order.
+        let r3 = restored.alloc(pkt(3), None);
+        assert_eq!(r3, r1);
+        let mut ha = mafic_obs::Fnv64::new();
+        let mut hb = mafic_obs::Fnv64::new();
+        a.alloc(pkt(3), None);
+        a.hash_state(&mut ha);
+        restored.hash_state(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
     }
 
     #[test]

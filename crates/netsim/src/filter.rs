@@ -12,6 +12,7 @@ use crate::flows::FlowId;
 use crate::ids::{LinkId, NodeId};
 use crate::packet::{DropReason, Packet};
 use crate::time::{SimDuration, SimTime};
+use mafic_obs::{SnapError, SnapReader, SnapWriter};
 use std::any::Any;
 
 /// Verdict on a single packet.
@@ -201,6 +202,24 @@ pub trait PacketFilter {
     /// Called when a control-plane message reaches this node.
     fn on_control(&mut self, _msg: &FilterControl, _ctx: &mut FilterCtx<'_>) {}
 
+    /// Serializes this filter's mutable state into a checkpoint payload.
+    ///
+    /// The default is a no-op for stateless filters. Implementations
+    /// must write fields in a fixed order matched by
+    /// [`PacketFilter::snap_restore`], and must include any RNG
+    /// internals — a restored run continues the stream mid-way instead
+    /// of replaying it from the seed.
+    fn snap_save(&self, _w: &mut SnapWriter) {}
+
+    /// Overlays checkpointed state written by [`PacketFilter::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] when the payload is truncated or malformed.
+    fn snap_restore(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
+
     /// Downcast support so harnesses can inspect filter state mid-run.
     fn as_any(&self) -> &dyn Any;
 
@@ -237,6 +256,15 @@ impl PacketFilter for PassthroughFilter {
     ) -> FilterAction {
         self.seen += 1;
         FilterAction::Forward
+    }
+
+    fn snap_save(&self, w: &mut SnapWriter) {
+        w.write_u64(self.seen);
+    }
+
+    fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.seen = r.read_u64()?;
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn Any {

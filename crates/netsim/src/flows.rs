@@ -184,6 +184,31 @@ impl FlowInterner {
             .map(|(i, &k)| (FlowId(i as u32), k))
     }
 
+    /// Serializes the interner for a checkpoint: the key slab in minting
+    /// order. The probe index is derived state and is rebuilt on restore
+    /// by re-interning, which reproduces the identical table (interning
+    /// is a pure function of the key sequence).
+    pub(crate) fn snap_save(&self, w: &mut mafic_obs::SnapWriter) {
+        w.write_usize(self.keys.len());
+        for &key in &self.keys {
+            crate::packet::snap_flow_key(&key, w);
+        }
+    }
+
+    /// Overlays checkpointed interner state.
+    pub(crate) fn snap_restore(
+        &mut self,
+        r: &mut mafic_obs::SnapReader<'_>,
+    ) -> Result<(), mafic_obs::SnapError> {
+        let n = r.read_usize()?;
+        *self = FlowInterner::new();
+        for _ in 0..n {
+            let key = crate::packet::read_flow_key(r)?;
+            let _ = self.intern(key);
+        }
+        Ok(())
+    }
+
     fn grow(&mut self) {
         let new_slots = self.index.len() * 2;
         self.index.clear();

@@ -60,15 +60,20 @@ pub mod trace;
 mod wheel;
 
 pub use agent::{Agent, AgentCtx, CountingSink};
+// Checkpoint vocabulary, re-exported so layers that depend only on
+// netsim (e.g. mafic-transport) can implement the snapshot hooks
+// without adding a manifest edge to mafic-obs.
 pub use arena::PacketRef;
 pub use event::FilterControl;
 pub use filter::{FilterAction, FilterCtx, PacketEnv, PacketFilter, PassthroughFilter, StatNote};
 pub use flows::{FlowId, FlowInterner, FlowSlab};
 pub use ids::{Addr, AgentId, LinkId, NodeId};
 pub use link::LinkSpec;
+pub use mafic_obs::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotHeader, SnapshotState};
 pub use packet::{
-    ControlMsg, ControlVerb, DenyReason, DropReason, FlowKey, Packet, PacketKind, Provenance,
-    RequesterId, CONTROL_PROTOCOL_VERSION,
+    read_control_msg, read_flow_key, snap_control_msg, snap_flow_key, ControlMsg, ControlVerb,
+    DenyReason, DropReason, FlowKey, Packet, PacketKind, Provenance, RequesterId,
+    CONTROL_PROTOCOL_VERSION,
 };
 pub use sim::{RunSummary, Simulator};
 pub use stats::{FlowRecord, StatsCollector, VictimBin};

@@ -9,6 +9,7 @@
 use crate::arena::PacketRef;
 use crate::ids::NodeId;
 use crate::time::{SimDuration, SimTime};
+use mafic_obs::{SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// Static parameters of a link.
@@ -237,6 +238,51 @@ impl Link {
         h.write_u64(self.enqueued);
         h.write_u64(self.dropped_queue_full);
     }
+
+    /// Serializes the link's *mutable* runtime state for a checkpoint.
+    /// Endpoints and spec are build-time configuration (rebuilt from the
+    /// scenario spec) and are not saved; the `last_tx` memo is a pure
+    /// cache and is reset on restore.
+    pub(crate) fn snap_save(&self, w: &mut SnapWriter) {
+        w.write_u64(self.busy_until.as_nanos());
+        w.write_usize(self.starts.len());
+        for s in &self.starts {
+            w.write_u64(s.as_nanos());
+        }
+        w.write_usize(self.pending_due.len());
+        for d in &self.pending_due {
+            w.write_u64(d.as_nanos());
+        }
+        for r in &self.pending_refs {
+            w.write_u32(r.0);
+        }
+        w.write_u64(self.enqueued);
+        w.write_u64(self.dropped_queue_full);
+    }
+
+    /// Overlays checkpointed runtime state onto a freshly built link.
+    pub(crate) fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.busy_until = SimTime::from_nanos(r.read_u64()?);
+        let n_starts = r.read_usize()?;
+        self.starts.clear();
+        for _ in 0..n_starts {
+            self.starts.push_back(SimTime::from_nanos(r.read_u64()?));
+        }
+        let n_pending = r.read_usize()?;
+        self.pending_due.clear();
+        self.pending_refs.clear();
+        for _ in 0..n_pending {
+            self.pending_due
+                .push_back(SimTime::from_nanos(r.read_u64()?));
+        }
+        for _ in 0..n_pending {
+            self.pending_refs.push_back(PacketRef(r.read_u32()?));
+        }
+        self.enqueued = r.read_u64()?;
+        self.dropped_queue_full = r.read_u64()?;
+        self.last_tx = None;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -329,6 +375,35 @@ mod tests {
         assert_eq!(l.pop_due(t1), None, "entry at t2 is not yet due");
         assert_eq!(l.pop_due(t2), Some(PacketRef(11)));
         assert_eq!(l.pop_due(t2), None);
+    }
+
+    #[test]
+    fn snapshot_round_trips_queues_and_counters() {
+        let mut l = link(2);
+        let _ = l.enqueue(PacketRef(1), 1000, SimTime::ZERO);
+        let _ = l.enqueue(PacketRef(2), 2000, SimTime::ZERO);
+        let _ = l.enqueue(PacketRef(3), 1000, SimTime::ZERO);
+        let _ = l.enqueue(PacketRef(4), 1000, SimTime::ZERO); // dropped
+        let mut w = SnapWriter::new();
+        l.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = link(2);
+        let mut r = SnapReader::new(&bytes);
+        restored.snap_restore(&mut r).unwrap();
+        assert!(r.is_empty());
+        let mut ha = mafic_obs::Fnv64::new();
+        let mut hb = mafic_obs::Fnv64::new();
+        l.hash_state(&mut ha);
+        restored.hash_state(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+        assert_eq!(
+            restored.queue_len(SimTime::ZERO),
+            l.queue_len(SimTime::ZERO)
+        );
+        assert_eq!(
+            restored.pop_due(l.busy_until + l.spec.delay),
+            Some(PacketRef(1))
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::ids::{Addr, AgentId};
 use crate::time::SimTime;
+use mafic_obs::{SnapError, SnapReader, SnapWriter};
 use std::fmt;
 
 /// The 4-tuple flow label.
@@ -550,6 +551,246 @@ impl mafic_obs::StateHash for PacketKind {
     }
 }
 
+/// Serializes a flow key into a checkpoint payload.
+pub fn snap_flow_key(key: &FlowKey, w: &mut SnapWriter) {
+    w.write_u32(key.src.as_u32());
+    w.write_u32(key.dst.as_u32());
+    w.write_u16(key.src_port);
+    w.write_u16(key.dst_port);
+}
+
+/// Reads a flow key written by [`snap_flow_key`].
+///
+/// # Errors
+///
+/// [`SnapError::Truncated`] when the payload ends early.
+pub fn read_flow_key(r: &mut SnapReader<'_>) -> Result<FlowKey, SnapError> {
+    Ok(FlowKey {
+        src: Addr::new(r.read_u32()?),
+        dst: Addr::new(r.read_u32()?),
+        src_port: r.read_u16()?,
+        dst_port: r.read_u16()?,
+    })
+}
+
+fn snap_deny_reason(reason: DenyReason, w: &mut SnapWriter) {
+    w.write_u8(match reason {
+        DenyReason::BadVersion => 0,
+        DenyReason::UntrustedRequester => 1,
+        DenyReason::Replayed => 2,
+        DenyReason::Uncorroborated => 3,
+        DenyReason::BudgetExhausted => 4,
+    });
+}
+
+fn read_deny_reason(r: &mut SnapReader<'_>) -> Result<DenyReason, SnapError> {
+    Ok(match r.read_u8()? {
+        0 => DenyReason::BadVersion,
+        1 => DenyReason::UntrustedRequester,
+        2 => DenyReason::Replayed,
+        3 => DenyReason::Uncorroborated,
+        4 => DenyReason::BudgetExhausted,
+        tag => return Err(SnapError::Malformed(format!("deny-reason tag {tag}"))),
+    })
+}
+
+fn snap_control_verb(verb: &ControlVerb, w: &mut SnapWriter) {
+    // Tags mirror the StateHash encoding above.
+    match verb {
+        ControlVerb::Request {
+            victim,
+            aggregate_bps,
+            budget,
+        } => {
+            w.write_u8(0);
+            w.write_u32(victim.as_u32());
+            w.write_u64(*aggregate_bps);
+            w.write_u8(*budget);
+        }
+        ControlVerb::Refresh { victim, budget } => {
+            w.write_u8(1);
+            w.write_u32(victim.as_u32());
+            w.write_u8(*budget);
+        }
+        ControlVerb::Withdraw { victim } => {
+            w.write_u8(2);
+            w.write_u32(victim.as_u32());
+        }
+        ControlVerb::Stop { victim } => {
+            w.write_u8(3);
+            w.write_u32(victim.as_u32());
+        }
+        ControlVerb::Deny { victim, reason } => {
+            w.write_u8(4);
+            w.write_u32(victim.as_u32());
+            snap_deny_reason(*reason, w);
+        }
+        ControlVerb::Report {
+            victim,
+            aggregate_bps,
+        } => {
+            w.write_u8(5);
+            w.write_u32(victim.as_u32());
+            w.write_u64(*aggregate_bps);
+        }
+    }
+}
+
+fn read_control_verb(r: &mut SnapReader<'_>) -> Result<ControlVerb, SnapError> {
+    Ok(match r.read_u8()? {
+        0 => ControlVerb::Request {
+            victim: Addr::new(r.read_u32()?),
+            aggregate_bps: r.read_u64()?,
+            budget: r.read_u8()?,
+        },
+        1 => ControlVerb::Refresh {
+            victim: Addr::new(r.read_u32()?),
+            budget: r.read_u8()?,
+        },
+        2 => ControlVerb::Withdraw {
+            victim: Addr::new(r.read_u32()?),
+        },
+        3 => ControlVerb::Stop {
+            victim: Addr::new(r.read_u32()?),
+        },
+        4 => ControlVerb::Deny {
+            victim: Addr::new(r.read_u32()?),
+            reason: read_deny_reason(r)?,
+        },
+        5 => ControlVerb::Report {
+            victim: Addr::new(r.read_u32()?),
+            aggregate_bps: r.read_u64()?,
+        },
+        tag => return Err(SnapError::Malformed(format!("control-verb tag {tag}"))),
+    })
+}
+
+/// Serializes a control envelope into a checkpoint payload.
+pub fn snap_control_msg(msg: &ControlMsg, w: &mut SnapWriter) {
+    w.write_u8(msg.version);
+    w.write_u32(msg.requester.addr().as_u32());
+    w.write_u64(msg.nonce);
+    snap_control_verb(&msg.verb, w);
+}
+
+/// Reads a control envelope written by [`snap_control_msg`].
+///
+/// # Errors
+///
+/// [`SnapError::Truncated`] on early end of payload,
+/// [`SnapError::Malformed`] on an unknown verb tag.
+pub fn read_control_msg(r: &mut SnapReader<'_>) -> Result<ControlMsg, SnapError> {
+    Ok(ControlMsg {
+        version: r.read_u8()?,
+        requester: RequesterId::new(Addr::new(r.read_u32()?)),
+        nonce: r.read_u64()?,
+        verb: read_control_verb(r)?,
+    })
+}
+
+fn snap_packet_kind(kind: &PacketKind, w: &mut SnapWriter) {
+    // Tags mirror the StateHash encoding above.
+    match kind {
+        PacketKind::TcpData { seq, ts, ts_echo } => {
+            w.write_u8(0);
+            w.write_u64(*seq);
+            w.write_u64(ts.as_nanos());
+            w.write_u64(ts_echo.as_nanos());
+        }
+        PacketKind::TcpAck { ack, ts, ts_echo } => {
+            w.write_u8(1);
+            w.write_u64(*ack);
+            w.write_u64(ts.as_nanos());
+            w.write_u64(ts_echo.as_nanos());
+        }
+        PacketKind::Udp => w.write_u8(2),
+        PacketKind::ProbeDupAck { count } => {
+            w.write_u8(3);
+            w.write_u8(*count);
+        }
+        PacketKind::Pushback(msg) => {
+            w.write_u8(4);
+            snap_control_msg(msg, w);
+        }
+    }
+}
+
+fn read_packet_kind(r: &mut SnapReader<'_>) -> Result<PacketKind, SnapError> {
+    Ok(match r.read_u8()? {
+        0 => PacketKind::TcpData {
+            seq: r.read_u64()?,
+            ts: SimTime::from_nanos(r.read_u64()?),
+            ts_echo: SimTime::from_nanos(r.read_u64()?),
+        },
+        1 => PacketKind::TcpAck {
+            ack: r.read_u64()?,
+            ts: SimTime::from_nanos(r.read_u64()?),
+            ts_echo: SimTime::from_nanos(r.read_u64()?),
+        },
+        2 => PacketKind::Udp,
+        3 => PacketKind::ProbeDupAck {
+            count: r.read_u8()?,
+        },
+        4 => PacketKind::Pushback(read_control_msg(r)?),
+        tag => return Err(SnapError::Malformed(format!("packet-kind tag {tag}"))),
+    })
+}
+
+pub(crate) fn snap_packet(packet: &Packet, w: &mut SnapWriter) {
+    w.write_u64(packet.id);
+    snap_flow_key(&packet.key, w);
+    snap_packet_kind(&packet.kind, w);
+    w.write_u32(packet.size_bytes);
+    w.write_u64(packet.created_at.as_nanos());
+    w.write_u32(packet.provenance.origin.0);
+    w.write_bool(packet.provenance.is_attack);
+    w.write_u8(packet.hops);
+}
+
+pub(crate) fn read_packet(r: &mut SnapReader<'_>) -> Result<Packet, SnapError> {
+    Ok(Packet {
+        id: r.read_u64()?,
+        key: read_flow_key(r)?,
+        kind: read_packet_kind(r)?,
+        size_bytes: r.read_u32()?,
+        created_at: SimTime::from_nanos(r.read_u64()?),
+        provenance: Provenance {
+            origin: AgentId(r.read_u32()?),
+            is_attack: r.read_bool()?,
+        },
+        hops: r.read_u8()?,
+    })
+}
+
+pub(crate) fn snap_drop_reason(reason: DropReason, w: &mut SnapWriter) {
+    w.write_u8(match reason {
+        DropReason::QueueFull => 0,
+        DropReason::NoRoute => 1,
+        DropReason::HopLimit => 2,
+        DropReason::FilterProbing => 3,
+        DropReason::FilterPermanent => 4,
+        DropReason::FilterIllegalSource => 5,
+        DropReason::FilterProportional => 6,
+        DropReason::FilterRateLimit => 7,
+        DropReason::FilterOther => 8,
+    });
+}
+
+pub(crate) fn read_drop_reason(r: &mut SnapReader<'_>) -> Result<DropReason, SnapError> {
+    Ok(match r.read_u8()? {
+        0 => DropReason::QueueFull,
+        1 => DropReason::NoRoute,
+        2 => DropReason::HopLimit,
+        3 => DropReason::FilterProbing,
+        4 => DropReason::FilterPermanent,
+        5 => DropReason::FilterIllegalSource,
+        6 => DropReason::FilterProportional,
+        7 => DropReason::FilterRateLimit,
+        8 => DropReason::FilterOther,
+        tag => return Err(SnapError::Malformed(format!("drop-reason tag {tag}"))),
+    })
+}
+
 /// Folds one packet's full contents into `h` (run-ledger encoding).
 pub fn hash_packet(packet: &Packet, h: &mut mafic_obs::Fnv64) {
     use mafic_obs::StateHash as _;
@@ -636,6 +877,71 @@ mod tests {
     fn display_formats() {
         assert_eq!(key().to_string(), "10.0.0.1:1234->10.9.0.1:80");
         assert_eq!(DropReason::QueueFull.to_string(), "queue-full");
+    }
+
+    #[test]
+    fn snap_codecs_round_trip() {
+        let kinds = [
+            PacketKind::TcpData {
+                seq: 7,
+                ts: SimTime::from_nanos(11),
+                ts_echo: SimTime::from_nanos(13),
+            },
+            PacketKind::TcpAck {
+                ack: 9,
+                ts: SimTime::from_nanos(17),
+                ts_echo: SimTime::ZERO,
+            },
+            PacketKind::Udp,
+            PacketKind::ProbeDupAck { count: 3 },
+            PacketKind::Pushback(ControlMsg::new(
+                RequesterId::new(Addr::new(9)),
+                42,
+                ControlVerb::Deny {
+                    victim: Addr::new(7),
+                    reason: DenyReason::Uncorroborated,
+                },
+            )),
+        ];
+        for (i, kind) in kinds.iter().enumerate() {
+            let packet = Packet {
+                id: 100 + i as u64,
+                key: key(),
+                kind: *kind,
+                size_bytes: 500,
+                created_at: SimTime::from_nanos(999),
+                provenance: Provenance {
+                    origin: AgentId(3),
+                    is_attack: i % 2 == 0,
+                },
+                hops: 5,
+            };
+            let mut w = SnapWriter::new();
+            snap_packet(&packet, &mut w);
+            let bytes = w.into_bytes();
+            let mut r = SnapReader::new(&bytes);
+            assert_eq!(read_packet(&mut r).unwrap(), packet);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn snap_codec_rejects_unknown_tags() {
+        let mut w = SnapWriter::new();
+        w.write_u8(200);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            read_drop_reason(&mut SnapReader::new(&bytes)),
+            Err(SnapError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_packet_kind(&mut SnapReader::new(&bytes)),
+            Err(SnapError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_control_verb(&mut SnapReader::new(&bytes)),
+            Err(SnapError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::stats::StatsCollector;
 use crate::time::SimTime;
 use crate::trace::{TraceBuffer, TraceEvent};
 use crate::wheel::TimerWheel;
+use mafic_obs::SnapError;
 
 /// Payload of one armed flow timer: where to deliver the fire.
 #[derive(Debug, Clone, Copy)]
@@ -245,6 +246,236 @@ impl Simulator {
             }
         });
         probe.component("netsim/stats", |h| self.stats.hash_state(h));
+    }
+
+    /// Serializes every simulator-owned component into `snapshot`, one
+    /// labelled section each — the netsim half of a checkpoint.
+    ///
+    /// Sections mirror the [`Simulator::hash_components`] labels plus the
+    /// pieces excluded from hashing but required to resume (the flow
+    /// interner, the trace buffer, and the agent/filter payloads written
+    /// through their trait hooks). Pure caches (send memos, link
+    /// serialization memos, wheel expiry cache) are not saved; restore
+    /// invalidates them.
+    pub fn snap_save_into(&self, snapshot: &mut mafic_obs::Snapshot) {
+        use mafic_obs::{SnapWriter, SnapshotState as _};
+        let mut w = SnapWriter::new();
+        w.write_u64(self.now.as_nanos());
+        w.write_u64(self.seed);
+        w.write_u64(self.next_packet_id);
+        w.write_u64(self.events_processed);
+        snapshot.add_section("netsim/core", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        self.scheduler.snap_save(&mut w);
+        snapshot.add_section("netsim/scheduler", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        self.wheel.snap_save(&mut w, |fire, w| {
+            w.write_u32(fire.node.0);
+            w.write_usize(fire.filter_index);
+            w.write_usize(fire.flow.index());
+            w.write_u16(fire.kind);
+        });
+        snapshot.add_section("netsim/wheel", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        self.arena.snap_save(&mut w);
+        snapshot.add_section("netsim/arena", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        w.write_usize(self.links.len());
+        for link in &self.links {
+            link.snap_save(&mut w);
+        }
+        for &down in &self.link_down {
+            w.write_bool(down);
+        }
+        snapshot.add_section("netsim/links", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        self.stats.snap_save(&mut w);
+        snapshot.add_section("netsim/stats", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        self.flows.snap_save(&mut w);
+        snapshot.add_section("netsim/flows", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        match &self.trace {
+            Some(trace) => {
+                w.write_bool(true);
+                trace.snap_save(&mut w);
+            }
+            None => w.write_bool(false),
+        }
+        snapshot.add_section("netsim/trace", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        w.write_usize(self.agents.len());
+        for agent in &self.agents {
+            let agent = agent
+                .as_ref()
+                .expect("snapshot taken while an agent is dispatching");
+            agent.snap_save(&mut w);
+        }
+        snapshot.add_section("netsim/agents", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        w.write_usize(self.nodes.len());
+        for node in &self.nodes {
+            w.write_usize(node.filters.len());
+            for filter in &node.filters {
+                filter.snap_save(&mut w);
+            }
+        }
+        snapshot.add_section("netsim/filters", w.into_bytes());
+    }
+
+    /// Overlays all `netsim/*` sections of `snapshot` onto this
+    /// simulator, which must have been built by the same deterministic
+    /// construction sequence as the snapshotted one (same topology,
+    /// agents, filters, watches, and trace configuration).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::MissingSection`] when a `netsim/*` section is absent,
+    /// and [`SnapError::Malformed`] when a section's structure does not
+    /// match this simulator (wrong counts, trailing bytes) — both signs
+    /// the snapshot came from a differently built scenario.
+    pub fn snap_restore_from(&mut self, snapshot: &mafic_obs::Snapshot) -> Result<(), SnapError> {
+        use mafic_obs::{SnapReader, SnapshotState as _};
+        fn section<'s>(
+            snapshot: &'s mafic_obs::Snapshot,
+            label: &str,
+        ) -> Result<SnapReader<'s>, SnapError> {
+            snapshot
+                .section(label)
+                .map(SnapReader::new)
+                .ok_or_else(|| SnapError::MissingSection {
+                    section: label.to_string(),
+                })
+        }
+        fn finish(r: &SnapReader<'_>, label: &str) -> Result<(), SnapError> {
+            if r.is_empty() {
+                Ok(())
+            } else {
+                Err(SnapError::Malformed(format!(
+                    "{label}: {} trailing bytes",
+                    r.remaining()
+                )))
+            }
+        }
+
+        let mut r = section(snapshot, "netsim/core")?;
+        self.now = SimTime::from_nanos(r.read_u64()?);
+        self.seed = r.read_u64()?;
+        self.next_packet_id = r.read_u64()?;
+        self.events_processed = r.read_u64()?;
+        finish(&r, "netsim/core")?;
+
+        let mut r = section(snapshot, "netsim/scheduler")?;
+        self.scheduler.snap_restore(&mut r)?;
+        finish(&r, "netsim/scheduler")?;
+
+        let mut r = section(snapshot, "netsim/wheel")?;
+        self.wheel.snap_restore(&mut r, |r| {
+            Ok(FlowTimerFire {
+                node: NodeId(r.read_u32()?),
+                filter_index: r.read_usize()?,
+                flow: FlowId::from_index(r.read_usize()?),
+                kind: r.read_u16()?,
+            })
+        })?;
+        finish(&r, "netsim/wheel")?;
+
+        let mut r = section(snapshot, "netsim/arena")?;
+        self.arena.snap_restore(&mut r)?;
+        finish(&r, "netsim/arena")?;
+
+        let mut r = section(snapshot, "netsim/links")?;
+        let n_links = r.read_usize()?;
+        if n_links != self.links.len() {
+            return Err(SnapError::Malformed(format!(
+                "netsim/links: snapshot has {n_links} links, simulator has {}",
+                self.links.len()
+            )));
+        }
+        for link in &mut self.links {
+            link.snap_restore(&mut r)?;
+        }
+        for down in &mut self.link_down {
+            *down = r.read_bool()?;
+        }
+        finish(&r, "netsim/links")?;
+
+        let mut r = section(snapshot, "netsim/stats")?;
+        self.stats.snap_restore(&mut r)?;
+        finish(&r, "netsim/stats")?;
+
+        let mut r = section(snapshot, "netsim/flows")?;
+        self.flows.snap_restore(&mut r)?;
+        finish(&r, "netsim/flows")?;
+
+        let mut r = section(snapshot, "netsim/trace")?;
+        let has_trace = r.read_bool()?;
+        match (&mut self.trace, has_trace) {
+            (Some(trace), true) => trace.snap_restore(&mut r)?,
+            (None, false) => {}
+            (local, saved) => {
+                return Err(SnapError::Malformed(format!(
+                    "netsim/trace: snapshot traced={saved}, simulator traced={}",
+                    local.is_some()
+                )));
+            }
+        }
+        finish(&r, "netsim/trace")?;
+
+        let mut r = section(snapshot, "netsim/agents")?;
+        let n_agents = r.read_usize()?;
+        if n_agents != self.agents.len() {
+            return Err(SnapError::Malformed(format!(
+                "netsim/agents: snapshot has {n_agents} agents, simulator has {}",
+                self.agents.len()
+            )));
+        }
+        for agent in &mut self.agents {
+            let agent = agent
+                .as_mut()
+                .expect("restore entered while an agent is dispatching");
+            agent.snap_restore(&mut r)?;
+        }
+        finish(&r, "netsim/agents")?;
+
+        let mut r = section(snapshot, "netsim/filters")?;
+        let n_nodes = r.read_usize()?;
+        if n_nodes != self.nodes.len() {
+            return Err(SnapError::Malformed(format!(
+                "netsim/filters: snapshot has {n_nodes} nodes, simulator has {}",
+                self.nodes.len()
+            )));
+        }
+        for node in &mut self.nodes {
+            let n_filters = r.read_usize()?;
+            if n_filters != node.filters.len() {
+                return Err(SnapError::Malformed(format!(
+                    "netsim/filters: snapshot has {n_filters} filters on {}, simulator has {}",
+                    node.name,
+                    node.filters.len()
+                )));
+            }
+            for filter in &mut node.filters {
+                filter.snap_restore(&mut r)?;
+            }
+        }
+        finish(&r, "netsim/filters")?;
+
+        // Invalidate pure caches; each repopulates on first use with
+        // values identical to what the snapshotted run held.
+        for memo in &mut self.agent_send_memo {
+            *memo = None;
+        }
+        Ok(())
     }
 
     /// Renders the last `n` trace events (oldest-first) as display
@@ -1226,6 +1457,97 @@ mod tests {
         assert!(trace
             .iter()
             .any(|e| matches!(e, crate::trace::TraceEvent::Drop { .. })));
+    }
+
+    /// Builds a fresh two-node sim, loads it with mid-flight traffic up
+    /// to `pause`, and returns it — the donor for snapshot round-trips.
+    fn loaded_sim(pause: SimTime) -> Simulator {
+        let (mut sim, a, _b, _sink, dst) = two_node_sim();
+        sim.enable_trace(8);
+        let key = FlowKey::new(Addr::from_octets(10, 0, 0, 1), dst, 1, 80);
+        for i in 0..40u64 {
+            sim.inject_packet(
+                a,
+                key,
+                PacketKind::Udp,
+                600,
+                false,
+                SimTime::from_nanos(i * 500_000),
+            );
+        }
+        sim.run_until(pause);
+        sim
+    }
+
+    fn probe_hash(sim: &Simulator) -> Vec<(String, u64)> {
+        let mut probe = mafic_obs::IntervalProbe::new();
+        sim.hash_components(&mut probe);
+        probe
+            .components()
+            .iter()
+            .map(|(label, hash)| (label.clone(), *hash))
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_run_state() {
+        let pause = SimTime::from_secs_f64(0.01);
+        let donor = loaded_sim(pause);
+        assert!(donor.pending_events() > 0, "pause must land mid-flight");
+        let mut snapshot = mafic_obs::Snapshot::new(mafic_obs::SnapshotHeader {
+            snap_version: mafic_obs::SNAP_VERSION,
+            crate_version: "test".into(),
+            seed: donor.seed(),
+            spec_fingerprint: 0,
+            at_nanos: pause.as_nanos(),
+            interval_index: 0,
+        });
+        donor.snap_save_into(&mut snapshot);
+        let bytes = snapshot.encode();
+
+        let mut restored = loaded_sim(SimTime::ZERO);
+        let decoded = mafic_obs::Snapshot::decode(&bytes).unwrap();
+        restored.snap_restore_from(&decoded).unwrap();
+        assert_eq!(probe_hash(&donor), probe_hash(&restored));
+        assert_eq!(restored.now(), pause);
+
+        // Both copies must continue to identical ends.
+        let mut donor = donor;
+        let end = SimTime::from_secs_f64(1.0);
+        assert_eq!(donor.run_until(end), restored.run_until(end));
+        assert_eq!(probe_hash(&donor), probe_hash(&restored));
+        let tail_a = donor.trace_tail(8);
+        let tail_b = restored.trace_tail(8);
+        assert_eq!(tail_a, tail_b);
+        assert!(!tail_a.is_empty());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_topology() {
+        let donor = loaded_sim(SimTime::from_secs_f64(0.01));
+        let mut snapshot = mafic_obs::Snapshot::new(mafic_obs::SnapshotHeader {
+            snap_version: mafic_obs::SNAP_VERSION,
+            crate_version: "test".into(),
+            seed: donor.seed(),
+            spec_fingerprint: 0,
+            at_nanos: 0,
+            interval_index: 0,
+        });
+        donor.snap_save_into(&mut snapshot);
+        let bytes = snapshot.encode();
+        let decoded = mafic_obs::Snapshot::decode(&bytes).unwrap();
+
+        // A sim with an extra link cannot accept the snapshot.
+        let (mut other, a, b, _sink, _dst) = two_node_sim();
+        other.enable_trace(8);
+        other.add_link(a, b, LinkSpec::default());
+        let err = other.snap_restore_from(&decoded).unwrap_err();
+        assert!(matches!(err, SnapError::Malformed(_)), "{err}");
+
+        // A sim missing the trace buffer cannot either.
+        let (mut untraced, _a, _b, _sink, _dst) = two_node_sim();
+        let err = untraced.snap_restore_from(&decoded).unwrap_err();
+        assert!(matches!(err, SnapError::Malformed(_)), "{err}");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::flows::{FlowId, FlowInterner, FlowSlab};
 use crate::ids::NodeId;
 use crate::packet::{DropReason, FlowKey, Packet, Provenance};
 use crate::time::{SimDuration, SimTime};
+use mafic_obs::{SnapError, SnapReader, SnapWriter, SnapshotState};
 
 /// Per-flow packet accounting.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -424,6 +425,110 @@ impl mafic_obs::StateHash for VictimBin {
     }
 }
 
+fn snap_flow_record(rec: &FlowRecord, w: &mut SnapWriter) {
+    w.write_bool(rec.is_attack);
+    w.write_bool(rec.is_tcp);
+    w.write_u64(rec.sent);
+    w.write_u64(rec.delivered);
+    w.write_u64(rec.seen_at_atr);
+    w.write_u64(rec.dropped_probing);
+    w.write_u64(rec.dropped_permanent);
+    w.write_u64(rec.dropped_illegal);
+    w.write_u64(rec.dropped_proportional);
+    w.write_u64(rec.dropped_rate_limited);
+    w.write_u64(rec.dropped_queue);
+    w.write_u64(rec.dropped_other);
+    w.write_u64(rec.probes_sent);
+    w.write_u64(rec.declared_nice);
+    w.write_u64(rec.declared_malicious);
+}
+
+fn read_flow_record(r: &mut SnapReader<'_>) -> Result<FlowRecord, SnapError> {
+    Ok(FlowRecord {
+        is_attack: r.read_bool()?,
+        is_tcp: r.read_bool()?,
+        sent: r.read_u64()?,
+        delivered: r.read_u64()?,
+        seen_at_atr: r.read_u64()?,
+        dropped_probing: r.read_u64()?,
+        dropped_permanent: r.read_u64()?,
+        dropped_illegal: r.read_u64()?,
+        dropped_proportional: r.read_u64()?,
+        dropped_rate_limited: r.read_u64()?,
+        dropped_queue: r.read_u64()?,
+        dropped_other: r.read_u64()?,
+        probes_sent: r.read_u64()?,
+        declared_nice: r.read_u64()?,
+        declared_malicious: r.read_u64()?,
+    })
+}
+
+fn snap_bin(bin: &VictimBin, w: &mut SnapWriter) {
+    w.write_u64(bin.legit_bytes);
+    w.write_u64(bin.attack_bytes);
+    w.write_u64(bin.legit_packets);
+    w.write_u64(bin.attack_packets);
+}
+
+fn read_bin(r: &mut SnapReader<'_>) -> Result<VictimBin, SnapError> {
+    Ok(VictimBin {
+        legit_bytes: r.read_u64()?,
+        attack_bytes: r.read_u64()?,
+        legit_packets: r.read_u64()?,
+        attack_packets: r.read_u64()?,
+    })
+}
+
+impl SnapshotState for StatsCollector {
+    /// Saves counters, the interner's key slab, every flow record in id
+    /// order, and both time series. The watch configurations are
+    /// build-time settings (recreated by the scenario builder) and are
+    /// not saved.
+    fn snap_save(&self, w: &mut SnapWriter) {
+        w.write_u64(self.probes_emitted);
+        w.write_u64(self.total_sent);
+        w.write_u64(self.total_delivered);
+        self.interner.snap_save(w);
+        w.write_usize(self.records.len());
+        for (id, rec) in self.records.iter() {
+            w.write_usize(id.index());
+            snap_flow_record(rec, w);
+        }
+        w.write_usize(self.bins.len());
+        for bin in &self.bins {
+            snap_bin(bin, w);
+        }
+        w.write_usize(self.arrival_bins.len());
+        for bin in &self.arrival_bins {
+            snap_bin(bin, w);
+        }
+    }
+
+    fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.probes_emitted = r.read_u64()?;
+        self.total_sent = r.read_u64()?;
+        self.total_delivered = r.read_u64()?;
+        self.interner.snap_restore(r)?;
+        let n_records = r.read_usize()?;
+        self.records = FlowSlab::new();
+        for _ in 0..n_records {
+            let id = FlowId::from_index(r.read_usize()?);
+            self.records.insert(id, read_flow_record(r)?);
+        }
+        let n_bins = r.read_usize()?;
+        self.bins.clear();
+        for _ in 0..n_bins {
+            self.bins.push(read_bin(r)?);
+        }
+        let n_arrival = r.read_usize()?;
+        self.arrival_bins.clear();
+        for _ in 0..n_arrival {
+            self.arrival_bins.push(read_bin(r)?);
+        }
+        Ok(())
+    }
+}
+
 impl mafic_obs::StateHash for StatsCollector {
     fn hash_state(&self, h: &mut mafic_obs::Fnv64) {
         h.write_u64(self.probes_emitted);
@@ -530,6 +635,41 @@ mod tests {
         assert_eq!(rec.probes_sent, 1);
         assert_eq!(rec.declared_nice, 1);
         assert_eq!(s.probes_emitted, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_records_and_series() {
+        let mut s = StatsCollector::new();
+        s.watch_victim(NodeId(3), SimDuration::from_millis(100));
+        let legit = pkt(false);
+        let attack = pkt(true);
+        s.on_sent(&legit);
+        s.on_sent(&attack);
+        s.on_delivered(&legit, NodeId(3), SimTime::from_secs_f64(0.05));
+        s.on_dropped(&attack, DropReason::FilterProbing);
+        s.on_probe_sent(legit.key);
+        let mut w = SnapWriter::new();
+        s.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        // Restore onto a fresh collector carrying the same build-time
+        // watch configuration.
+        let mut restored = StatsCollector::new();
+        restored.watch_victim(NodeId(3), SimDuration::from_millis(100));
+        let mut r = SnapReader::new(&bytes);
+        restored.snap_restore(&mut r).unwrap();
+        assert!(r.is_empty());
+        let mut ha = mafic_obs::Fnv64::new();
+        let mut hb = mafic_obs::Fnv64::new();
+        use mafic_obs::StateHash as _;
+        s.hash_state(&mut ha);
+        restored.hash_state(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+        assert_eq!(restored.flow(&legit.key).unwrap().delivered, 1);
+        assert_eq!(restored.drop_totals(), s.drop_totals());
+        // The restored interner mints the next id exactly where the
+        // original would.
+        let new_key = FlowKey::new(Addr::new(70), Addr::new(71), 1, 2);
+        assert_eq!(restored.flow_id(new_key), s.flow_id(new_key));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::ids::NodeId;
 use crate::packet::{DropReason, FlowKey};
 use crate::time::SimTime;
+use mafic_obs::{SnapError, SnapReader, SnapWriter, SnapshotState};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -134,6 +135,67 @@ impl TraceBuffer {
     }
 }
 
+impl SnapshotState for TraceBuffer {
+    /// Saves the retained events and the lifetime total; the capacity is
+    /// build-time configuration and is not saved.
+    fn snap_save(&self, w: &mut SnapWriter) {
+        w.write_u64(self.recorded_total);
+        w.write_usize(self.events.len());
+        for event in &self.events {
+            match event {
+                TraceEvent::Drop { at, flow, reason } => {
+                    w.write_u8(0);
+                    w.write_u64(at.as_nanos());
+                    crate::packet::snap_flow_key(flow, w);
+                    crate::packet::snap_drop_reason(*reason, w);
+                }
+                TraceEvent::Deliver { at, flow, node } => {
+                    w.write_u8(1);
+                    w.write_u64(at.as_nanos());
+                    crate::packet::snap_flow_key(flow, w);
+                    w.write_u32(node.0);
+                }
+                TraceEvent::Control { at, node, summary } => {
+                    w.write_u8(2);
+                    w.write_u64(at.as_nanos());
+                    w.write_u32(node.0);
+                    w.write_str(summary);
+                }
+            }
+        }
+    }
+
+    fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.recorded_total = r.read_u64()?;
+        let n = r.read_usize()?;
+        self.events.clear();
+        for _ in 0..n {
+            let event = match r.read_u8()? {
+                0 => TraceEvent::Drop {
+                    at: SimTime::from_nanos(r.read_u64()?),
+                    flow: crate::packet::read_flow_key(r)?,
+                    reason: crate::packet::read_drop_reason(r)?,
+                },
+                1 => TraceEvent::Deliver {
+                    at: SimTime::from_nanos(r.read_u64()?),
+                    flow: crate::packet::read_flow_key(r)?,
+                    node: NodeId(r.read_u32()?),
+                },
+                2 => TraceEvent::Control {
+                    at: SimTime::from_nanos(r.read_u64()?),
+                    node: NodeId(r.read_u32()?),
+                    summary: r.read_str()?,
+                },
+                tag => {
+                    return Err(SnapError::Malformed(format!("trace-event tag {tag}")));
+                }
+            };
+            self.events.push_back(event);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +246,30 @@ mod tests {
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.recorded_total(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_events_and_total() {
+        let mut t = TraceBuffer::new(3);
+        for ms in 0..5 {
+            t.record(drop_event(ms));
+        }
+        t.record(TraceEvent::Control {
+            at: SimTime::from_nanos(7),
+            node: NodeId::from_index(1),
+            summary: "pushback-start".into(),
+        });
+        let mut w = SnapWriter::new();
+        t.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = TraceBuffer::new(3);
+        let mut r = SnapReader::new(&bytes);
+        restored.snap_restore(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(restored.recorded_total(), 6);
+        let a: Vec<_> = t.iter().collect();
+        let b: Vec<_> = restored.iter().collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! than tombstone bookkeeping on the arm-heavy path.
 
 use crate::time::SimTime;
+use mafic_obs::{SnapError, SnapReader, SnapWriter};
 
 /// log2 of the tick length in nanoseconds (2^20 ns ≈ 1.05 ms).
 const TICK_SHIFT: u32 = 20;
@@ -261,6 +262,75 @@ impl<T> TimerWheel<T> {
             payload_fn(&entry.payload, h);
         }
     }
+
+    /// Serializes the wheel's physical layout for a checkpoint: every
+    /// slot of every level in storage order, then the overflow list.
+    /// Storage order is deterministic (it depends only on the insert/
+    /// cascade/pop sequence), so restoring it verbatim reproduces the
+    /// exact firing order. The `cached_next`/`cache_valid` pair is a
+    /// pure cache and is not saved.
+    pub(crate) fn snap_save(
+        &self,
+        w: &mut SnapWriter,
+        mut payload_fn: impl FnMut(&T, &mut SnapWriter),
+    ) {
+        w.write_u64(self.cur_tick);
+        w.write_usize(self.len);
+        w.write_u64(self.next_seq);
+        w.write_u64(self.scheduled_total);
+        for level in [&self.level0, &self.level1, &self.level2] {
+            for slot in level.iter() {
+                w.write_usize(slot.len());
+                for entry in slot {
+                    w.write_u64(entry.at.as_nanos());
+                    w.write_u64(entry.seq);
+                    payload_fn(&entry.payload, w);
+                }
+            }
+        }
+        w.write_usize(self.overflow.len());
+        for entry in &self.overflow {
+            w.write_u64(entry.at.as_nanos());
+            w.write_u64(entry.seq);
+            payload_fn(&entry.payload, w);
+        }
+    }
+
+    /// Overlays checkpointed wheel state; the expiry cache is
+    /// invalidated and recomputed on the next `next_expiry` call.
+    pub(crate) fn snap_restore(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        mut payload_fn: impl FnMut(&mut SnapReader<'_>) -> Result<T, SnapError>,
+    ) -> Result<(), SnapError> {
+        self.cur_tick = r.read_u64()?;
+        self.len = r.read_usize()?;
+        self.next_seq = r.read_u64()?;
+        self.scheduled_total = r.read_u64()?;
+        for level in [&mut self.level0, &mut self.level1, &mut self.level2] {
+            for slot in level.iter_mut() {
+                slot.clear();
+                let n = r.read_usize()?;
+                for _ in 0..n {
+                    let at = SimTime::from_nanos(r.read_u64()?);
+                    let seq = r.read_u64()?;
+                    let payload = payload_fn(r)?;
+                    slot.push(Entry { at, seq, payload });
+                }
+            }
+        }
+        self.overflow.clear();
+        let n = r.read_usize()?;
+        for _ in 0..n {
+            let at = SimTime::from_nanos(r.read_u64()?);
+            let seq = r.read_u64()?;
+            let payload = payload_fn(r)?;
+            self.overflow.push(Entry { at, seq, payload });
+        }
+        self.cached_next = None;
+        self.cache_valid = false;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -370,6 +440,32 @@ mod tests {
         assert_eq!(w.pop_expired(tick(400)), vec!["near"]);
         assert_eq!(w.next_expiry(), Some(tick(16_400)));
         assert_eq!(w.pop_expired(tick(16_400)), vec!["far"]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_all_levels() {
+        let mut w = TimerWheel::new();
+        w.insert(t(3), 1u64);
+        w.insert(t(500), 2); // level 1
+        w.insert(t(60_000), 3); // level 2
+        w.insert(t(30 * 60_000), 4); // overflow
+        assert_eq!(w.pop_expired(t(3)), vec![1]);
+        let mut sw = SnapWriter::new();
+        w.snap_save(&mut sw, |p, sw| sw.write_u64(*p));
+        let bytes = sw.into_bytes();
+        let mut restored: TimerWheel<u64> = TimerWheel::new();
+        let mut r = SnapReader::new(&bytes);
+        restored.snap_restore(&mut r, |r| r.read_u64()).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored.scheduled_total(), 4);
+        let mut ha = mafic_obs::Fnv64::new();
+        let mut hb = mafic_obs::Fnv64::new();
+        w.hash_state(&mut ha, |p, h| h.write_u64(*p));
+        restored.hash_state(&mut hb, |p, h| h.write_u64(*p));
+        assert_eq!(ha.finish(), hb.finish());
+        assert_eq!(restored.next_expiry(), Some(t(500)));
+        assert_eq!(restored.pop_expired(t(30 * 60_000)), vec![2, 3, 4]);
     }
 
     #[test]

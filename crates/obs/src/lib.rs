@@ -21,11 +21,16 @@ mod diff;
 mod fnv;
 mod json;
 mod ledger;
+mod snap;
 
 pub use diff::{diff_ledgers, Divergence, DivergenceReport};
 pub use fnv::{fnv64, Fnv64};
 pub use json::{parse_json_line, JsonValue};
 pub use ledger::{IntervalProbe, IntervalRecord, LedgerBuilder, LedgerHeader, RunLedger};
+pub use snap::{
+    SnapError, SnapReader, SnapWriter, Snapshot, SnapshotHeader, SnapshotState, SNAP_MAGIC,
+    SNAP_VERSION,
+};
 
 /// Ledger wire-format version; bump on any incompatible JSONL change.
 pub const LEDGER_VERSION: u32 = 1;

@@ -285,7 +285,11 @@ pub struct DomainCoordinator {
     since_refresh: u32,
     since_heard: u32,
     next_nonce: u64,
-    denied_upstream: bool,
+    /// Upstream targets that denied the current escalation. Denied
+    /// targets are skipped by refreshes (a sibling that granted keeps
+    /// its lease alive); only when *every* target has denied does the
+    /// coordinator fall back to defending locally.
+    denied_by: Vec<RequesterId>,
     since_report: u32,
     /// The downstream requester whose request installed this defense
     /// (upstream role only) — where `Report` status goes.
@@ -318,7 +322,7 @@ impl DomainCoordinator {
             since_refresh: 0,
             since_heard: 0,
             next_nonce: 0,
-            denied_upstream: false,
+            denied_by: Vec::new(),
             since_report: 0,
             lessor: None,
             reports: BTreeMap::new(),
@@ -409,7 +413,7 @@ impl DomainCoordinator {
         self.above = 0;
         self.healthy = 0;
         self.since_refresh = 0;
-        self.denied_upstream = false;
+        self.denied_by.clear();
         self.lessor = None;
         self.reports.clear();
     }
@@ -474,7 +478,7 @@ impl DomainCoordinator {
             self.above = 0;
             self.since_refresh = 0;
             self.since_report = 0;
-            self.denied_upstream = false;
+            self.denied_by.clear();
             self.lessor = Some(requester);
             self.reports.clear();
             actions.push(PushbackAction::ActivateLocal { victim });
@@ -592,13 +596,19 @@ impl DomainCoordinator {
                 }
                 self.stats.denies_received += 1;
                 if self.state == LifecycleState::Escalated && self.victim == Some(victim) {
-                    // The upstream said no: fall back to defending
-                    // locally and never re-escalate with the same
-                    // evidence. Any sibling upstream that *did* grant
-                    // loses its refreshes and expires its lease cleanly.
-                    self.state = LifecycleState::Defending;
-                    self.denied_upstream = true;
-                    self.above = 0;
+                    // This target said no: stop asking *it* (refreshes
+                    // skip the denied list), but a sibling that granted
+                    // keeps its lease refreshed. Only when every target
+                    // has denied does escalation fall back to a purely
+                    // local defense — and it never retries with the
+                    // same evidence.
+                    if !self.denied_by.contains(&msg.requester) {
+                        self.denied_by.push(msg.requester);
+                    }
+                    if self.denied_by.len() >= plane.upstream_count() {
+                        self.state = LifecycleState::Defending;
+                        self.above = 0;
+                    }
                 }
             }
             ControlVerb::Report {
@@ -727,10 +737,10 @@ impl DomainCoordinator {
                 self.since_refresh = 0;
                 let budget = self.budget.saturating_sub(1);
                 let msg = self.envelope(ControlVerb::Refresh { victim, budget });
-                plane.send_upstream(msg);
+                plane.send_upstream_except(msg, &self.denied_by);
                 self.stats.refreshes_sent += 1;
             }
-        } else if self.budget > 0 && !self.denied_upstream {
+        } else if self.budget > 0 && self.denied_by.len() < plane.upstream_count() {
             if inflow_bps > self.config.threshold_bps {
                 self.above += 1;
             } else {
@@ -788,7 +798,10 @@ impl mafic_obs::StateHash for DomainCoordinator {
         h.write_u32(self.since_refresh);
         h.write_u32(self.since_heard);
         h.write_u64(self.next_nonce);
-        h.write_bool(self.denied_upstream);
+        h.write_usize(self.denied_by.len());
+        for id in &self.denied_by {
+            h.write_u32(id.addr().as_u32());
+        }
         h.write_u32(self.since_report);
         match self.lessor {
             None => h.write_u8(0),
@@ -805,6 +818,115 @@ impl mafic_obs::StateHash for DomainCoordinator {
         }
         self.ledger.hash_state(h);
         self.stats.hash_state(h);
+    }
+}
+
+impl mafic_obs::SnapshotState for DomainCoordinator {
+    /// Serializes the mutable lifecycle state. `config`, `role`, and
+    /// `identity` are build-time wiring and come from the rebuilt
+    /// coordinator; the nested trust ledger rides along so nonce
+    /// replay-protection survives a restore.
+    fn snap_save(&self, w: &mut mafic_obs::SnapWriter) {
+        w.write_u8(match self.state {
+            LifecycleState::Idle => 0,
+            LifecycleState::Defending => 1,
+            LifecycleState::Escalated => 2,
+            LifecycleState::StandingDown => 3,
+        });
+        match self.victim {
+            None => w.write_u8(0),
+            Some(victim) => {
+                w.write_u8(1);
+                w.write_u32(victim.as_u32());
+            }
+        }
+        w.write_u8(self.budget);
+        w.write_u32(self.above);
+        w.write_u32(self.healthy);
+        w.write_u32(self.since_refresh);
+        w.write_u32(self.since_heard);
+        w.write_u64(self.next_nonce);
+        w.write_usize(self.denied_by.len());
+        for id in &self.denied_by {
+            w.write_u32(id.addr().as_u32());
+        }
+        w.write_u32(self.since_report);
+        match self.lessor {
+            None => w.write_u8(0),
+            Some(lessor) => {
+                w.write_u8(1);
+                w.write_u32(lessor.addr().as_u32());
+            }
+        }
+        w.write_usize(self.reports.len());
+        for (id, (aggregate, age)) in &self.reports {
+            w.write_u32(id.addr().as_u32());
+            w.write_u64(*aggregate);
+            w.write_u32(*age);
+        }
+        self.ledger.snap_save(w);
+        w.write_u64(self.stats.requests_sent);
+        w.write_u64(self.stats.refreshes_sent);
+        w.write_u64(self.stats.withdraws_sent);
+        w.write_u64(self.stats.stops_sent);
+        w.write_u64(self.stats.reports_sent);
+        w.write_u64(self.stats.denies_received);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut mafic_obs::SnapReader<'_>,
+    ) -> Result<(), mafic_obs::SnapError> {
+        self.state = match r.read_u8()? {
+            0 => LifecycleState::Idle,
+            1 => LifecycleState::Defending,
+            2 => LifecycleState::Escalated,
+            3 => LifecycleState::StandingDown,
+            tag => {
+                return Err(mafic_obs::SnapError::Malformed(format!(
+                    "lifecycle tag {tag}"
+                )))
+            }
+        };
+        self.victim = match r.read_u8()? {
+            0 => None,
+            1 => Some(Addr::new(r.read_u32()?)),
+            tag => return Err(mafic_obs::SnapError::Malformed(format!("victim tag {tag}"))),
+        };
+        self.budget = r.read_u8()?;
+        self.above = r.read_u32()?;
+        self.healthy = r.read_u32()?;
+        self.since_refresh = r.read_u32()?;
+        self.since_heard = r.read_u32()?;
+        self.next_nonce = r.read_u64()?;
+        let denied = r.read_usize()?;
+        self.denied_by = Vec::with_capacity(denied);
+        for _ in 0..denied {
+            self.denied_by
+                .push(RequesterId::new(Addr::new(r.read_u32()?)));
+        }
+        self.since_report = r.read_u32()?;
+        self.lessor = match r.read_u8()? {
+            0 => None,
+            1 => Some(RequesterId::new(Addr::new(r.read_u32()?))),
+            tag => return Err(mafic_obs::SnapError::Malformed(format!("lessor tag {tag}"))),
+        };
+        let n_reports = r.read_usize()?;
+        self.reports = BTreeMap::new();
+        for _ in 0..n_reports {
+            let id = RequesterId::new(Addr::new(r.read_u32()?));
+            let aggregate = r.read_u64()?;
+            let age = r.read_u32()?;
+            self.reports.insert(id, (aggregate, age));
+        }
+        self.ledger.snap_restore(r)?;
+        self.stats.requests_sent = r.read_u64()?;
+        self.stats.refreshes_sent = r.read_u64()?;
+        self.stats.withdraws_sent = r.read_u64()?;
+        self.stats.stops_sent = r.read_u64()?;
+        self.stats.reports_sent = r.read_u64()?;
+        self.stats.denies_received = r.read_u64()?;
+        Ok(())
     }
 }
 
@@ -1592,5 +1714,167 @@ mod tests {
         assert!(PushbackConfigError::AttestationFractionOutOfRange(2.0)
             .to_string()
             .contains("attestation_fraction"));
+    }
+
+    /// Regression: with two upstream targets, one sibling's `Deny` must
+    /// not lapse the lease the *other* sibling granted. Refreshes keep
+    /// flowing (skipping only the denied target) and the denied target
+    /// is never asked again.
+    #[test]
+    fn sibling_deny_keeps_the_corroborated_branch_refreshed() {
+        let mut plane = BufferedPlane::with_targets(vec![identity(1), identity(2)]);
+        let mut c = DomainCoordinator::new(config(), PushbackRole::Victim, identity(0));
+        c.trust_upstream(identity(1));
+        c.trust_upstream(identity(2));
+        c.local_start(VICTIM, 2);
+        for _ in 0..3 {
+            let _ = tick(&mut c, 5000.0, &mut plane);
+        }
+        assert!(c.is_escalated());
+        // Sibling identity(2) denies; identity(1) granted and stays quiet.
+        let deny = ControlMsg::new(
+            identity(2),
+            1,
+            ControlVerb::Deny {
+                victim: VICTIM,
+                reason: DenyReason::Uncorroborated,
+            },
+        );
+        let _ = deliver(&mut c, deny, 5000.0, &mut plane);
+        assert!(
+            c.is_escalated(),
+            "one sibling's denial must not abandon the granted branch"
+        );
+        plane.clear();
+        // Refreshes keep the granted lease alive, skipping the denier.
+        for _ in 0..4 {
+            let _ = tick(&mut c, 5000.0, &mut plane);
+        }
+        assert_eq!(plane.upstream.len(), 2, "refresh every refresh_intervals");
+        for (msg, skips) in plane.upstream.iter().zip(&plane.upstream_skips) {
+            assert!(matches!(msg.verb, ControlVerb::Refresh { .. }));
+            assert_eq!(skips, &vec![identity(2)], "denied target is skipped");
+        }
+        // The second sibling's denial ends the escalation for good.
+        let deny2 = ControlMsg::new(
+            identity(1),
+            1,
+            ControlVerb::Deny {
+                victim: VICTIM,
+                reason: DenyReason::BudgetExhausted,
+            },
+        );
+        let _ = deliver(&mut c, deny2, 5000.0, &mut plane);
+        assert_eq!(c.state(), LifecycleState::Defending);
+        plane.clear();
+        for _ in 0..10 {
+            let _ = tick(&mut c, 5000.0, &mut plane);
+        }
+        assert!(
+            plane.upstream.is_empty(),
+            "fully denied: never re-escalates"
+        );
+    }
+
+    /// A duplicate `Deny` from the same target must not count twice
+    /// against the all-targets-denied fallback.
+    #[test]
+    fn duplicate_deny_from_one_sibling_counts_once() {
+        let mut plane = BufferedPlane::with_targets(vec![identity(1), identity(2)]);
+        let mut c = DomainCoordinator::new(config(), PushbackRole::Victim, identity(0));
+        c.trust_upstream(identity(1));
+        c.trust_upstream(identity(2));
+        c.local_start(VICTIM, 2);
+        for _ in 0..3 {
+            let _ = tick(&mut c, 5000.0, &mut plane);
+        }
+        for nonce in 1..=2 {
+            let deny = ControlMsg::new(
+                identity(2),
+                nonce,
+                ControlVerb::Deny {
+                    victim: VICTIM,
+                    reason: DenyReason::Uncorroborated,
+                },
+            );
+            let _ = deliver(&mut c, deny, 5000.0, &mut plane);
+        }
+        assert!(
+            c.is_escalated(),
+            "two denials from one target are one denied target"
+        );
+        assert_eq!(c.stats().denies_received, 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips_an_escalated_coordinator() {
+        use mafic_obs::{SnapshotState, StateHash};
+        let mut plane = BufferedPlane::with_targets(vec![identity(1), identity(2)]);
+        let mut c = DomainCoordinator::new(config(), PushbackRole::Victim, identity(0));
+        c.trust_upstream(identity(1));
+        c.trust_upstream(identity(2));
+        c.local_start(VICTIM, 2);
+        for _ in 0..3 {
+            let _ = tick(&mut c, 5000.0, &mut plane);
+        }
+        let deny = ControlMsg::new(
+            identity(2),
+            1,
+            ControlVerb::Deny {
+                victim: VICTIM,
+                reason: DenyReason::Uncorroborated,
+            },
+        );
+        let _ = deliver(&mut c, deny, 5000.0, &mut plane);
+        let report = ControlMsg::new(identity(1), 1, {
+            ControlVerb::Report {
+                victim: VICTIM,
+                aggregate_bps: 4000,
+            }
+        });
+        let _ = deliver(&mut c, report, 5000.0, &mut plane);
+        assert!(c.is_escalated());
+
+        let mut w = mafic_obs::SnapWriter::new();
+        c.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        // Restore into a freshly built coordinator with the same
+        // build-time wiring — the rebuild-and-overlay contract.
+        let mut restored = DomainCoordinator::new(config(), PushbackRole::Victim, identity(0));
+        restored.trust_upstream(identity(1));
+        restored.trust_upstream(identity(2));
+        let mut r = mafic_obs::SnapReader::new(&bytes);
+        restored.snap_restore(&mut r).expect("restore succeeds");
+        assert!(r.is_empty(), "payload fully consumed");
+
+        let digest = |c: &DomainCoordinator| {
+            let mut h = mafic_obs::Fnv64::new();
+            c.hash_state(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&c), digest(&restored));
+        // The restored machine continues identically: both refresh on
+        // the same interval, still skipping the denied sibling.
+        let mut p1 = BufferedPlane::with_targets(vec![identity(1), identity(2)]);
+        let mut p2 = BufferedPlane::with_targets(vec![identity(1), identity(2)]);
+        for _ in 0..2 {
+            let _ = tick(&mut c, 5000.0, &mut p1);
+            let _ = tick(&mut restored, 5000.0, &mut p2);
+        }
+        assert_eq!(p1.upstream, p2.upstream);
+        assert_eq!(p1.upstream_skips, p2.upstream_skips);
+        assert_eq!(digest(&c), digest(&restored));
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_lifecycle_tag() {
+        use mafic_obs::SnapshotState;
+        let mut w = mafic_obs::SnapWriter::new();
+        w.write_u8(9);
+        let bytes = w.into_bytes();
+        let mut c = DomainCoordinator::new(config(), PushbackRole::Victim, identity(0));
+        let mut r = mafic_obs::SnapReader::new(&bytes);
+        let err = c.snap_restore(&mut r).expect_err("tag 9 is invalid");
+        assert!(err.to_string().contains("lifecycle tag 9"), "{err}");
     }
 }

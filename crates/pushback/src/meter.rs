@@ -81,6 +81,23 @@ impl PacketFilter for VictimRateMeter {
         FilterAction::Forward
     }
 
+    fn snap_save(&self, w: &mut mafic_obs::SnapWriter) {
+        // The victim address is build-time configuration.
+        w.write_u64(self.window_bytes);
+        w.write_u64(self.window_packets);
+        w.write_u64(self.total_bytes);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut mafic_obs::SnapReader<'_>,
+    ) -> Result<(), mafic_obs::SnapError> {
+        self.window_bytes = r.read_u64()?;
+        self.window_packets = r.read_u64()?;
+        self.total_bytes = r.read_u64()?;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -134,5 +151,28 @@ mod tests {
         let _ = h.offer_transit(&mut m, &pkt(VICTIM, 50));
         assert_eq!(m.take_window(), (50, 1));
         assert_eq!(m.total_bytes(), 150, "lifetime total keeps accumulating");
+    }
+
+    #[test]
+    fn snapshot_round_trips_an_undrained_window() {
+        use mafic_obs::StateHash;
+        let mut h = FilterHarness::new();
+        let mut m = VictimRateMeter::new(VICTIM);
+        let _ = h.offer_transit(&mut m, &pkt(VICTIM, 500));
+        let _ = h.offer_transit(&mut m, &pkt(VICTIM, 300));
+        let mut w = mafic_obs::SnapWriter::new();
+        m.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = VictimRateMeter::new(VICTIM);
+        let mut r = mafic_obs::SnapReader::new(&bytes);
+        restored.snap_restore(&mut r).expect("restore succeeds");
+        assert!(r.is_empty());
+        let digest = |m: &VictimRateMeter| {
+            let mut h = mafic_obs::Fnv64::new();
+            m.hash_state(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&m), digest(&restored));
+        assert_eq!(restored.take_window(), (800, 2), "window survives intact");
     }
 }

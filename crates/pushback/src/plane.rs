@@ -23,6 +23,22 @@ pub trait ControlPlane {
 
     /// Sends `msg` back downstream to the requester it answers.
     fn send_downstream(&mut self, to: RequesterId, msg: ControlMsg);
+
+    /// How many distinct upstream targets `send_upstream` fans out to.
+    ///
+    /// A coordinator only abandons escalation once *every* target has
+    /// denied it; planes with one anonymous target keep the default.
+    fn upstream_count(&self) -> usize {
+        1
+    }
+
+    /// Sends `msg` upstream, skipping the targets in `except` (parents
+    /// that already denied this victim). The default ignores the skip
+    /// list: a single-target plane that reaches this path has an empty
+    /// list, because one denial already ends escalation.
+    fn send_upstream_except(&mut self, msg: ControlMsg, _except: &[RequesterId]) {
+        self.send_upstream(msg);
+    }
 }
 
 /// A [`ControlPlane`] that buffers envelopes in memory.
@@ -36,29 +52,57 @@ pub struct BufferedPlane {
     pub upstream: Vec<ControlMsg>,
     /// Envelopes sent downstream, with their addressee, in send order.
     pub downstream: Vec<(RequesterId, ControlMsg)>,
+    /// Named upstream targets. Empty means one anonymous target (the
+    /// default single-parent chain); naming them makes
+    /// [`ControlPlane::upstream_count`] and the per-send skip lists
+    /// observable in tests.
+    pub upstream_targets: Vec<RequesterId>,
+    /// Skip list attached to each `upstream` send, index-aligned with
+    /// [`BufferedPlane::upstream`] (empty for unfiltered sends).
+    pub upstream_skips: Vec<Vec<RequesterId>>,
 }
 
 impl BufferedPlane {
-    /// Creates an empty plane.
+    /// Creates an empty plane with one anonymous upstream target.
     #[must_use]
     pub fn new() -> Self {
         BufferedPlane::default()
     }
 
-    /// Drops everything buffered so far.
+    /// Creates an empty plane with the given named upstream targets.
+    #[must_use]
+    pub fn with_targets(targets: Vec<RequesterId>) -> Self {
+        BufferedPlane {
+            upstream_targets: targets,
+            ..BufferedPlane::default()
+        }
+    }
+
+    /// Drops everything buffered so far (targets are kept).
     pub fn clear(&mut self) {
         self.upstream.clear();
         self.downstream.clear();
+        self.upstream_skips.clear();
     }
 }
 
 impl ControlPlane for BufferedPlane {
     fn send_upstream(&mut self, msg: ControlMsg) {
         self.upstream.push(msg);
+        self.upstream_skips.push(Vec::new());
     }
 
     fn send_downstream(&mut self, to: RequesterId, msg: ControlMsg) {
         self.downstream.push((to, msg));
+    }
+
+    fn upstream_count(&self) -> usize {
+        self.upstream_targets.len().max(1)
+    }
+
+    fn send_upstream_except(&mut self, msg: ControlMsg, except: &[RequesterId]) {
+        self.upstream.push(msg);
+        self.upstream_skips.push(except.to_vec());
     }
 }
 

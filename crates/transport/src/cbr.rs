@@ -225,6 +225,65 @@ impl Agent for UnresponsiveSender {
         self.schedule_next(ctx);
     }
 
+    fn snap_save(&self, w: &mut mafic_netsim::SnapWriter) {
+        for word in self.rng.state() {
+            w.write_u64(word);
+        }
+        w.write_u64(self.seq);
+        w.write_u64(self.sent);
+        w.write_u64(self.ignored_inbound);
+        match self.stop_after {
+            None => w.write_u8(0),
+            Some(t) => {
+                w.write_u8(1);
+                w.write_u64(t.as_nanos());
+            }
+        }
+        match self.second_wave {
+            None => w.write_u8(0),
+            Some((resume, stop)) => {
+                w.write_u8(1);
+                w.write_u64(resume.as_nanos());
+                w.write_u64(stop.as_nanos());
+            }
+        }
+        w.write_u64(self.timer_token);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut mafic_netsim::SnapReader<'_>,
+    ) -> Result<(), mafic_netsim::SnapError> {
+        let state = [r.read_u64()?, r.read_u64()?, r.read_u64()?, r.read_u64()?];
+        self.rng = SmallRng::from_state(state);
+        self.seq = r.read_u64()?;
+        self.sent = r.read_u64()?;
+        self.ignored_inbound = r.read_u64()?;
+        self.stop_after = match r.read_u8()? {
+            0 => None,
+            1 => Some(SimTime::from_nanos(r.read_u64()?)),
+            tag => {
+                return Err(mafic_netsim::SnapError::Malformed(format!(
+                    "stop-after tag {tag}"
+                )))
+            }
+        };
+        self.second_wave = match r.read_u8()? {
+            0 => None,
+            1 => Some((
+                SimTime::from_nanos(r.read_u64()?),
+                SimTime::from_nanos(r.read_u64()?),
+            )),
+            tag => {
+                return Err(mafic_netsim::SnapError::Malformed(format!(
+                    "second-wave tag {tag}"
+                )))
+            }
+        };
+        self.timer_token = r.read_u64()?;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -222,6 +222,74 @@ impl Agent for PulsedSender {
         }
     }
 
+    fn snap_save(&self, w: &mut mafic_netsim::SnapWriter) {
+        for word in self.rng.state() {
+            w.write_u64(word);
+        }
+        w.write_u8(match self.phase {
+            Phase::Bursting => 0,
+            Phase::Idle => 1,
+        });
+        w.write_u64(self.seq);
+        w.write_u64(self.sent);
+        w.write_u64(self.bursts_completed);
+        match self.stop_after {
+            None => w.write_u8(0),
+            Some(t) => {
+                w.write_u8(1);
+                w.write_u64(t.as_nanos());
+            }
+        }
+        w.write_u64(self.timer_token);
+        match self.burst_deadline {
+            None => w.write_u8(0),
+            Some(t) => {
+                w.write_u8(1);
+                w.write_u64(t.as_nanos());
+            }
+        }
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut mafic_netsim::SnapReader<'_>,
+    ) -> Result<(), mafic_netsim::SnapError> {
+        let state = [r.read_u64()?, r.read_u64()?, r.read_u64()?, r.read_u64()?];
+        self.rng = SmallRng::from_state(state);
+        self.phase = match r.read_u8()? {
+            0 => Phase::Bursting,
+            1 => Phase::Idle,
+            tag => {
+                return Err(mafic_netsim::SnapError::Malformed(format!(
+                    "pulse-phase tag {tag}"
+                )))
+            }
+        };
+        self.seq = r.read_u64()?;
+        self.sent = r.read_u64()?;
+        self.bursts_completed = r.read_u64()?;
+        self.stop_after = match r.read_u8()? {
+            0 => None,
+            1 => Some(SimTime::from_nanos(r.read_u64()?)),
+            tag => {
+                return Err(mafic_netsim::SnapError::Malformed(format!(
+                    "stop-after tag {tag}"
+                )))
+            }
+        };
+        self.timer_token = r.read_u64()?;
+        self.burst_deadline = match r.read_u8()? {
+            0 => None,
+            1 => Some(SimTime::from_nanos(r.read_u64()?)),
+            tag => {
+                return Err(mafic_netsim::SnapError::Malformed(format!(
+                    "burst-deadline tag {tag}"
+                )))
+            }
+        };
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

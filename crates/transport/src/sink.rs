@@ -108,6 +108,33 @@ impl Agent for TcpSink {
         self.send_ack(ts, ctx);
     }
 
+    fn snap_save(&self, w: &mut mafic_netsim::SnapWriter) {
+        w.write_u64(self.rcv_next);
+        w.write_usize(self.out_of_order.len());
+        for &seq in &self.out_of_order {
+            w.write_u64(seq);
+        }
+        w.write_u64(self.acks_sent);
+        w.write_u64(self.segments_received);
+        w.write_u64(self.duplicate_segments);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut mafic_netsim::SnapReader<'_>,
+    ) -> Result<(), mafic_netsim::SnapError> {
+        self.rcv_next = r.read_u64()?;
+        let n = r.read_usize()?;
+        self.out_of_order = BTreeSet::new();
+        for _ in 0..n {
+            self.out_of_order.insert(r.read_u64()?);
+        }
+        self.acks_sent = r.read_u64()?;
+        self.segments_received = r.read_u64()?;
+        self.duplicate_segments = r.read_u64()?;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

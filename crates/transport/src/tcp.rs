@@ -381,6 +381,62 @@ impl Agent for TcpSender {
         self.arm_rto(ctx);
     }
 
+    fn snap_save(&self, w: &mut mafic_netsim::SnapWriter) {
+        w.write_bool(self.started);
+        match self.stop_after {
+            None => w.write_u8(0),
+            Some(t) => {
+                w.write_u8(1);
+                w.write_u64(t.as_nanos());
+            }
+        }
+        w.write_u64(self.next_seq);
+        w.write_u64(self.snd_una);
+        w.write_f64(self.cwnd);
+        w.write_f64(self.ssthresh);
+        w.write_u32(self.dup_acks);
+        w.write_u64(self.recover);
+        w.write_bool(self.in_fast_recovery);
+        self.rtt.snap_save(w);
+        w.write_u64(self.last_peer_ts.as_nanos());
+        w.write_u64(self.rto_generation);
+        w.write_u64(self.data_sent);
+        w.write_u64(self.retransmits);
+        w.write_u64(self.timeouts);
+        w.write_u64(self.probes_received);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut mafic_netsim::SnapReader<'_>,
+    ) -> Result<(), mafic_netsim::SnapError> {
+        self.started = r.read_bool()?;
+        self.stop_after = match r.read_u8()? {
+            0 => None,
+            1 => Some(SimTime::from_nanos(r.read_u64()?)),
+            tag => {
+                return Err(mafic_netsim::SnapError::Malformed(format!(
+                    "stop-after tag {tag}"
+                )))
+            }
+        };
+        self.next_seq = r.read_u64()?;
+        self.snd_una = r.read_u64()?;
+        self.cwnd = r.read_f64()?;
+        self.ssthresh = r.read_f64()?;
+        self.dup_acks = r.read_u32()?;
+        self.recover = r.read_u64()?;
+        self.in_fast_recovery = r.read_bool()?;
+        self.rtt.snap_restore(r)?;
+        self.last_peer_ts = SimTime::from_nanos(r.read_u64()?);
+        self.rto_generation = r.read_u64()?;
+        self.data_sent = r.read_u64()?;
+        self.retransmits = r.read_u64()?;
+        self.timeouts = r.read_u64()?;
+        self.probes_received = r.read_u64()?;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -613,6 +669,37 @@ mod tests {
         }
         assert!(s.cwnd() <= TcpConfig::default().max_cwnd);
         assert!(acked > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_window_and_rtt_state() {
+        let mut h = AgentHarness::new();
+        let mut s = sender();
+        let _ = h.start(&mut s);
+        h.advance(SimDuration::from_millis(50));
+        let _ = h.deliver(&mut s, ack_packet(2, h.now));
+        let _ = h.deliver(&mut s, probe_packet(3, h.now));
+        let mut w = mafic_netsim::SnapWriter::new();
+        s.snap_save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut g = sender();
+        let mut r = mafic_netsim::SnapReader::new(&bytes);
+        g.snap_restore(&mut r).expect("restore");
+        assert!(r.is_empty(), "trailing bytes");
+        assert_eq!(g.cwnd(), s.cwnd());
+        assert_eq!(g.ssthresh(), s.ssthresh());
+        assert_eq!(g.phase(), TcpPhase::FastRecovery);
+        assert_eq!(g.probes_received(), 1);
+        assert_eq!(g.rtt.srtt(), s.rtt.srtt());
+        // Both exit recovery on the same covering ACK and resume in step.
+        let recover_point = s.next_seq;
+        let mut h2 = AgentHarness::new();
+        h2.advance(h.now.saturating_since(SimTime::ZERO));
+        let fx = h.deliver(&mut s, ack_packet(recover_point, h.now));
+        let gx = h2.deliver(&mut g, ack_packet(recover_point, h2.now));
+        assert_eq!(fx.sent.len(), gx.sent.len());
+        assert_eq!(s.cwnd(), g.cwnd());
     }
 
     #[test]

@@ -145,6 +145,48 @@ impl Agent for VictimSink {
         }
     }
 
+    fn snap_save(&self, w: &mut mafic_netsim::SnapWriter) {
+        w.write_usize(self.tcp_flows.len());
+        for (flow, state) in self.tcp_flows.iter() {
+            w.write_usize(flow.index());
+            w.write_u64(state.rcv_next);
+            w.write_usize(state.out_of_order.len());
+            for &seq in &state.out_of_order {
+                w.write_u64(seq);
+            }
+        }
+        w.write_u64(self.tcp_segments);
+        w.write_u64(self.udp_datagrams);
+        w.write_u64(self.acks_sent);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut mafic_netsim::SnapReader<'_>,
+    ) -> Result<(), mafic_netsim::SnapError> {
+        let n = r.read_usize()?;
+        self.tcp_flows = FlowSlab::new();
+        for _ in 0..n {
+            let flow = mafic_netsim::FlowId::from_index(r.read_usize()?);
+            let rcv_next = r.read_u64()?;
+            let mut out_of_order = BTreeSet::new();
+            for _ in 0..r.read_usize()? {
+                out_of_order.insert(r.read_u64()?);
+            }
+            self.tcp_flows.insert(
+                flow,
+                FlowState {
+                    rcv_next,
+                    out_of_order,
+                },
+            );
+        }
+        self.tcp_segments = r.read_u64()?;
+        self.udp_datagrams = r.read_u64()?;
+        self.acks_sent = r.read_u64()?;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -7,6 +7,7 @@
 //! detection failure is a pipeline bug — so [`WorkloadError`] wraps the
 //! strings into a typed, `std::error::Error`-implementing enum.
 
+use mafic_obs::SnapError;
 use std::fmt;
 
 /// Why a scenario could not be built or run.
@@ -19,6 +20,9 @@ pub enum WorkloadError {
     /// The detection pipeline (detector config, traffic-matrix
     /// estimation) failed.
     Detection(String),
+    /// A checkpoint snapshot failed to decode, matched the wrong run
+    /// identity, or produced a state-hash mismatch on restore.
+    Snapshot(SnapError),
     /// Anything else, converted from a plain string.
     Other(String),
 }
@@ -29,8 +33,16 @@ impl fmt::Display for WorkloadError {
             WorkloadError::Spec(msg) => write!(f, "invalid scenario spec: {msg}"),
             WorkloadError::Topology(msg) => write!(f, "topology build failed: {msg}"),
             WorkloadError::Detection(msg) => write!(f, "detection pipeline failed: {msg}"),
+            WorkloadError::Snapshot(e) => write!(f, "snapshot restore failed: {e}"),
             WorkloadError::Other(msg) => f.write_str(msg),
         }
+    }
+}
+
+/// Snapshot decode/restore failures carry their typed cause.
+impl From<SnapError> for WorkloadError {
+    fn from(e: SnapError) -> Self {
+        WorkloadError::Snapshot(e)
     }
 }
 

@@ -37,7 +37,10 @@ pub mod scenario;
 pub mod spec;
 
 pub use error::WorkloadError;
-pub use runner::{run_scenario, run_spec, RunOutcome};
+pub use runner::{
+    encode_checkpoint, restore_branch, restore_run, resume_scenario, run_scenario, run_spec,
+    RunOutcome, RunState,
+};
 pub use scenario::{
     FlowInfo, PushbackDomainControl, PushbackPlan, PushbackUpstream, Scenario, SpoofMode,
 };

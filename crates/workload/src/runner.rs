@@ -29,7 +29,10 @@ use mafic_netsim::{
     Addr, ControlMsg, ControlVerb, FilterControl, FlowKey, NodeId, PacketKind, RequesterId,
     SimDuration, SimTime, Simulator,
 };
-use mafic_obs::{fnv64, Fnv64, IntervalProbe, LedgerBuilder, LedgerHeader, RunLedger, StateHash};
+use mafic_obs::{
+    fnv64, Fnv64, IntervalProbe, LedgerBuilder, LedgerHeader, RunLedger, SnapError, SnapReader,
+    SnapWriter, Snapshot, SnapshotHeader, SnapshotState as _, StateHash, SNAP_VERSION,
+};
 use mafic_pushback::{ControlChannel, ControlPlane, LifecycleState, PushbackAction};
 
 /// Propagation allowance for intra-domain control messages.
@@ -90,6 +93,13 @@ pub struct RunOutcome {
     /// display strings. Empty unless [`ScenarioSpec::trace_capacity`]
     /// is positive.
     pub trace_tail: Vec<String>,
+    /// The encoded state snapshot captured at the first monitor-interval
+    /// boundary at or after [`ScenarioSpec::checkpoint_at`]; `None`
+    /// when no checkpoint was requested. Feed the bytes to
+    /// [`restore_run`] to rebuild the mid-run scenario, or to
+    /// [`restore_branch`] to warm-start a spec variant from the shared
+    /// prefix.
+    pub checkpoint: Option<Vec<u8>>,
 }
 
 impl RunOutcome {
@@ -184,8 +194,26 @@ impl InBandPlane<'_> {
 
 impl ControlPlane for InBandPlane<'_> {
     fn send_upstream(&mut self, msg: ControlMsg) {
+        self.send_upstream_except(msg, &[]);
+    }
+
+    fn send_downstream(&mut self, to: RequesterId, msg: ControlMsg) {
+        self.inject(self.gateway, to.addr(), msg);
+    }
+
+    fn upstream_count(&self) -> usize {
+        self.upstream.len().max(1)
+    }
+
+    fn send_upstream_except(&mut self, msg: ControlMsg, except: &[RequesterId]) {
         for u in 0..self.upstream.len() {
             let up = self.upstream[u];
+            // A target that already denied this victim keeps its
+            // refusal: refreshes stop flowing to it while the
+            // corroborated siblings keep their leases alive.
+            if except.iter().any(|id| id.addr() == up.ctrl_addr) {
+                continue;
+            }
             // Skipping over non-participating domains costs extra
             // budget — one hop per level crossed. A target too far for
             // the remaining budget gets no envelope at all (the
@@ -198,10 +226,6 @@ impl ControlPlane for InBandPlane<'_> {
             }
             self.inject(up.border, up.ctrl_addr, msg);
         }
-    }
-
-    fn send_downstream(&mut self, to: RequesterId, msg: ControlMsg) {
-        self.inject(self.gateway, to.addr(), msg);
     }
 }
 
@@ -291,7 +315,7 @@ fn collect_policy_costs(scenario: &Scenario) -> Vec<PolicyCostReport> {
 /// and channel buffers via the `*_into` drains) keeps the steady-state
 /// loop allocation-free — the bench harness pins the resulting
 /// allocation count end to end.
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct StepScratch {
     /// Landing buffer for one domain's drained control-channel inbox.
     inbox: Vec<(SimTime, ControlMsg)>,
@@ -532,15 +556,13 @@ fn hash_filter(sim: &Simulator, node: NodeId, idx: usize, h: &mut Fnv64) {
     }
 }
 
-/// Records one monitor interval into the run ledger: the simulator's own
-/// components, then every defense-layer component this scenario owns,
-/// then the cumulative counters shared with [`MetricsReport`].
-fn record_ledger_interval(
-    scenario: &Scenario,
-    builder: &mut LedgerBuilder,
-    inbox_drains: u64,
-    sketch_recycles: u64,
-) {
+/// Probes every state-bearing component of the running scenario: the
+/// simulator's own components, then every defense-layer component this
+/// scenario owns, then the cumulative counters shared with
+/// [`MetricsReport`]. The ledger records one probe per monitor
+/// interval; a checkpoint embeds one as its integrity table and the
+/// restorer recomputes it to verify the overlay.
+fn compute_probe(scenario: &Scenario, inbox_drains: u64, sketch_recycles: u64) -> IntervalProbe {
     let sim = &scenario.sim;
     let mut probe = IntervalProbe::new();
     sim.hash_components(&mut probe);
@@ -617,7 +639,18 @@ fn record_ledger_interval(
     probe.counter("arena/peak", sim.packet_arena_peak() as u64);
     probe.counter("scratch/inbox-drains", inbox_drains);
     probe.counter("scratch/sketch-recycles", sketch_recycles);
-    builder.record_interval(sim.now().as_nanos(), &probe);
+    probe
+}
+
+/// Records one monitor interval into the run ledger.
+fn record_ledger_interval(
+    scenario: &Scenario,
+    builder: &mut LedgerBuilder,
+    inbox_drains: u64,
+    sketch_recycles: u64,
+) {
+    let probe = compute_probe(scenario, inbox_drains, sketch_recycles);
+    builder.record_interval(scenario.sim.now().as_nanos(), &probe);
 }
 
 /// Sums the control-plane counters of every coordinator, channel, and
@@ -653,15 +686,47 @@ fn collect_control_report(scenario: &Scenario, acct: &ControlAccounting) -> Cont
     report
 }
 
-/// Runs a scenario to completion. The scenario is borrowed, not
-/// consumed, so callers can inspect post-run state (tap epochs, filter
-/// tables, stats, pushback residuals) after the outcome is assembled.
+/// The runner's live accumulator state between monitor intervals.
 ///
-/// # Errors
-///
-/// Returns a [`WorkloadError`] if the detection pipeline fails (only
-/// possible with a hand-built [`DetectorConfig`]).
-pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError> {
+/// [`run_scenario`] builds one internally; checkpoint restore hands one
+/// back so [`resume_scenario`] can continue the loop mid-run. Opaque on
+/// purpose: every field is an implementation detail of the monitor
+/// loop, and the only supported operations are resuming and dropping.
+#[derive(Debug)]
+pub struct RunState {
+    detector: VictimDetector,
+    /// The *current wave's* trigger latch — cleared when the defense
+    /// stands down and tears back to `Idle`, so a later flood wave
+    /// re-enters detection.
+    triggered_at: Option<SimTime>,
+    /// The first wave's instant, kept for reporting and the β windows.
+    first_triggered_at: Option<SimTime>,
+    /// One-shot escalation fallback: consumed when it fires, disarmed
+    /// on re-arm (its deadline is anchored to the *first* attack start,
+    /// so it would fire instantly — and spuriously — the moment a later
+    /// wave re-arms detection).
+    fallback: Option<SimDuration>,
+    atr_nodes: Vec<NodeId>,
+    escalations: Vec<(SimTime, usize)>,
+    max_pushback_depth: u32,
+    acct: ControlAccounting,
+    scratch: StepScratch,
+    /// Epoch sketches land in slots reused across intervals: the first
+    /// harvest populates the vector, every later one swaps buffers with
+    /// the taps — no steady-state allocation in the monitor loop.
+    sketches: Vec<RouterSketch>,
+    sketch_recycles: u64,
+    ledger: Option<LedgerBuilder>,
+    next_stop: SimTime,
+    last_stop: SimTime,
+    /// The encoded checkpoint, once captured. Restored runs arrive with
+    /// it pre-filled (the bytes they were restored from), which also
+    /// keeps the resumed loop from re-capturing.
+    checkpoint: Option<Vec<u8>>,
+}
+
+/// Builds the loop state a fresh (pristine, time-zero) run starts from.
+fn fresh_state(scenario: &Scenario) -> Result<RunState, WorkloadError> {
     let detector_config = DetectorConfig {
         // Epoch cardinalities are per monitor interval; the victim sees
         // a few hundred distinct packets per 100 ms when healthy.
@@ -672,62 +737,102 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
         // Train the baseline through the TCP slow-start ramp (~0.8 s).
         warmup_rounds: (0.8 / scenario.spec.monitor_interval.as_secs_f64()).ceil() as u64,
     };
-    let mut detector = VictimDetector::new(detector_config).map_err(WorkloadError::Detection)?;
-    // `triggered_at` is the *current wave's* trigger latch — cleared
-    // when the defense stands down and tears back to `Idle`, so a later
-    // flood wave re-enters detection. `first_triggered_at` keeps the
-    // first wave's instant for reporting and the β measure windows.
-    let mut triggered_at: Option<SimTime> = None;
-    let mut first_triggered_at: Option<SimTime> = None;
-    // The escalation fallback is one-shot: consumed when it fires, and
-    // disarmed on re-arm (its deadline is anchored to the *first*
-    // attack start, so it would fire instantly — and spuriously — the
-    // moment a later wave re-arms detection).
-    let mut fallback = scenario.spec.detection_fallback;
-    let mut atr_nodes: Vec<NodeId> = Vec::new();
-    let mut escalations: Vec<(SimTime, usize)> = Vec::new();
-    let mut max_pushback_depth = 0u32;
-    let mut acct = ControlAccounting::default();
-    let mut scratch = StepScratch::default();
-    // Epoch sketches land in slots reused across intervals: the first
-    // harvest populates the vector, every later one swaps buffers with
-    // the taps — no steady-state allocation in the monitor loop.
-    let mut sketches: Vec<RouterSketch> = Vec::new();
-    let mut sketch_recycles: u64 = 0;
-    // Off by default: when `spec.ledger` is false the hot path pays one
-    // `Option` check per monitor interval and no `StateHash` call ever
-    // runs — the zero-cost contract the bench gate pins.
-    let mut ledger = scenario.spec.ledger.then(|| {
-        LedgerBuilder::new(LedgerHeader {
-            ledger_version: 0, // the builder stamps the real version
-            crate_version: env!("CARGO_PKG_VERSION").to_string(),
-            seed: scenario.spec.seed,
-            spec_fingerprint: fnv64(format!("{:?}", scenario.spec).as_bytes()),
-            // Always 0: a run is single-threaded regardless of how many
-            // engine workers run *other* specs, so ledgers must be
-            // byte-identical at any `MAFIC_JOBS`. The field is
-            // informational and never compared by the differ.
-            workers: 0,
-        })
-    });
-
-    let auto = matches!(scenario.spec.detection, DetectionMode::Auto);
+    let detector = VictimDetector::new(detector_config).map_err(WorkloadError::Detection)?;
+    let mut state = RunState {
+        detector,
+        triggered_at: None,
+        first_triggered_at: None,
+        fallback: scenario.spec.detection_fallback,
+        atr_nodes: Vec::new(),
+        escalations: Vec::new(),
+        max_pushback_depth: 0,
+        acct: ControlAccounting::default(),
+        scratch: StepScratch::default(),
+        sketches: Vec::new(),
+        sketch_recycles: 0,
+        // Off by default: when `spec.ledger` is false the hot path pays
+        // one `Option` check per monitor interval and no `StateHash`
+        // call ever runs — the zero-cost contract the bench gate pins.
+        ledger: scenario.spec.ledger.then(|| {
+            LedgerBuilder::new(LedgerHeader {
+                ledger_version: 0, // the builder stamps the real version
+                crate_version: env!("CARGO_PKG_VERSION").to_string(),
+                seed: scenario.spec.seed,
+                spec_fingerprint: fnv64(format!("{:?}", scenario.spec).as_bytes()),
+                // Always 0: a run is single-threaded regardless of how
+                // many engine workers run *other* specs, so ledgers
+                // must be byte-identical at any `MAFIC_JOBS`. The field
+                // is informational and never compared by the differ.
+                workers: 0,
+            })
+        }),
+        next_stop: SimTime::ZERO + scenario.spec.monitor_interval,
+        last_stop: SimTime::ZERO,
+        checkpoint: None,
+    };
     if let DetectionMode::AtTime(at) = scenario.spec.detection {
-        triggered_at = Some(at);
-        first_triggered_at = Some(at);
-        atr_nodes = scenario.droppers.iter().map(|&(n, _)| n).collect();
+        state.triggered_at = Some(at);
+        state.first_triggered_at = Some(at);
+        state.atr_nodes = scenario.droppers.iter().map(|&(n, _)| n).collect();
     }
+    Ok(state)
+}
 
+/// Runs a scenario to completion. The scenario is borrowed, not
+/// consumed, so callers can inspect post-run state (tap epochs, filter
+/// tables, stats, pushback residuals) after the outcome is assembled.
+///
+/// # Errors
+///
+/// Returns a [`WorkloadError`] if the detection pipeline fails (only
+/// possible with a hand-built [`DetectorConfig`]).
+pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError> {
+    let mut state = fresh_state(scenario)?;
+    drive(scenario, &mut state)
+}
+
+/// Continues a restored run (see [`restore_run`] / [`restore_branch`])
+/// from its checkpoint instant to the scenario's end, producing the
+/// same [`RunOutcome`] a straight run would.
+///
+/// # Errors
+///
+/// Returns a [`WorkloadError`] if the detection pipeline fails.
+pub fn resume_scenario(
+    scenario: &mut Scenario,
+    mut state: RunState,
+) -> Result<RunOutcome, WorkloadError> {
+    drive(scenario, &mut state)
+}
+
+/// Captures the checkpoint once the monitor clock has reached the
+/// requested instant (and never again — restored runs arrive with the
+/// slot pre-filled). Sits at the top of the monitor loop, so the
+/// capture point is always an interval boundary with the previous
+/// interval fully processed: the exact state a resumed loop re-enters.
+fn maybe_capture(scenario: &Scenario, state: &mut RunState) {
+    let Some(at) = scenario.spec.checkpoint_at else {
+        return;
+    };
+    if state.checkpoint.is_some() || state.last_stop < at {
+        return;
+    }
+    state.checkpoint = Some(capture_checkpoint(scenario, state));
+}
+
+/// The monitor loop plus outcome assembly, shared by fresh and resumed
+/// runs.
+fn drive(scenario: &mut Scenario, state: &mut RunState) -> Result<RunOutcome, WorkloadError> {
+    let auto = matches!(scenario.spec.detection, DetectionMode::Auto);
     let end = scenario.spec.end;
     let interval = scenario.spec.monitor_interval;
-    let mut next_stop = SimTime::ZERO + interval;
-    let mut last_stop = SimTime::ZERO;
     while scenario.sim.now() < end {
-        let stop = next_stop.min(end);
+        maybe_capture(scenario, state);
+        let stop = state.next_stop.min(end);
         scenario.sim.run_until(stop);
-        next_stop = stop + interval;
-        let elapsed = stop.saturating_since(last_stop);
-        last_stop = stop;
+        state.next_stop = stop + interval;
+        let elapsed = stop.saturating_since(state.last_stop);
+        state.last_stop = stop;
         // Harvest this epoch's sketches in Domain::routers() order —
         // every interval, triggered or not. Epochs are defined as one
         // monitor interval; skipping the drain after the trigger would
@@ -739,11 +844,11 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
                 .sim
                 .filter_mut::<LogLogTap>(node, idx)
                 .expect("tap installed at build time");
-            if let Some(slot) = sketches.get_mut(i) {
+            if let Some(slot) = state.sketches.get_mut(i) {
                 tap.take_epoch_into(slot);
-                sketch_recycles += 1;
+                state.sketch_recycles += 1;
             } else {
-                sketches.push(tap.take_epoch());
+                state.sketches.push(tap.take_epoch());
             }
         }
         // The inter-domain cascade steps every interval too — meters
@@ -754,13 +859,13 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
                 plan,
                 &scenario.spec,
                 scenario.domain.victim_addr,
-                triggered_at.is_some_and(|t| t <= stop),
+                state.triggered_at.is_some_and(|t| t <= stop),
                 elapsed,
-                &mut atr_nodes,
-                &mut escalations,
-                &mut max_pushback_depth,
-                &mut acct,
-                &mut scratch,
+                &mut state.atr_nodes,
+                &mut state.escalations,
+                &mut state.max_pushback_depth,
+                &mut state.acct,
+                &mut state.scratch,
             );
         }
         // Re-arm after stand-down: once the victim domain has stood the
@@ -769,29 +874,34 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
         // wave goes through detection (and `step_pushback`'s restart
         // guard) from scratch.
         if auto
-            && triggered_at.is_some()
-            && acct.defense_down
+            && state.triggered_at.is_some()
+            && state.acct.defense_down
             && scenario
                 .pushback
                 .as_ref()
                 .is_some_and(|plan| plan.domains[0].coordinator.state() == LifecycleState::Idle)
         {
-            triggered_at = None;
-            fallback = None;
-            acct.defense_down = false;
+            state.triggered_at = None;
+            state.fallback = None;
+            state.acct.defense_down = false;
         }
         // Ledger recording sits before the detection tail (which may
         // `continue` out of the iteration) so every interval is hashed
         // exactly once, at the same loop point, in every run.
-        if let Some(builder) = ledger.as_mut() {
-            record_ledger_interval(scenario, builder, scratch.drains, sketch_recycles);
+        if let Some(builder) = state.ledger.as_mut() {
+            record_ledger_interval(
+                scenario,
+                builder,
+                state.scratch.drains,
+                state.sketch_recycles,
+            );
         }
-        if !auto || triggered_at.is_some() {
+        if !auto || state.triggered_at.is_some() {
             continue;
         }
         // Victim escalation fallback: if the counting pipeline has not
         // fired within the grace period, every ingress is instructed.
-        if let Some(grace) = fallback {
+        if let Some(grace) = state.fallback {
             let deadline = scenario.spec.attack_start + grace;
             if scenario.sim.now() >= deadline {
                 let now = scenario.sim.now();
@@ -804,17 +914,17 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
                         },
                         at,
                     );
-                    atr_nodes.push(node);
+                    state.atr_nodes.push(node);
                 }
-                triggered_at = Some(at);
-                first_triggered_at.get_or_insert(at);
-                fallback = None;
+                state.triggered_at = Some(at);
+                state.first_triggered_at.get_or_insert(at);
+                state.fallback = None;
                 continue;
             }
         }
-        let matrix = TrafficMatrix::estimate(&sketches)
+        let matrix = TrafficMatrix::estimate(&state.sketches)
             .map_err(|e| WorkloadError::Detection(e.to_string()))?;
-        if let VictimVerdict::UnderAttack(alarm) = detector.observe(&matrix) {
+        if let VictimVerdict::UnderAttack(alarm) = state.detector.observe(&matrix) {
             let routers = scenario.domain.routers();
             let victim_router = routers[alarm.victim.0];
             // Only a last-hop alarm for *our* victim counts; ingress
@@ -838,20 +948,26 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
                     },
                     at,
                 );
-                atr_nodes.push(node);
+                state.atr_nodes.push(node);
             }
-            if !atr_nodes.is_empty() {
-                triggered_at = Some(at);
-                first_triggered_at.get_or_insert(at);
+            if !state.atr_nodes.is_empty() {
+                state.triggered_at = Some(at);
+                state.first_triggered_at.get_or_insert(at);
             }
         }
     }
+    // A checkpoint requested inside the final interval lands here: the
+    // loop has exited, but the capture (at `end`, trivially resumable)
+    // must still happen rather than silently not.
+    maybe_capture(scenario, state);
 
     // β windows: "before" covers only the attack-raging period between
     // attack start and the trigger; "after" sits right behind the trigger
     // (the paper reports the cut achieved within ~2×RTT, before the nice
     // flows regain their bandwidth shares).
-    let trigger_anchor = first_triggered_at.unwrap_or(scenario.spec.attack_start);
+    let trigger_anchor = state
+        .first_triggered_at
+        .unwrap_or(scenario.spec.attack_start);
     let raging = trigger_anchor.saturating_since(scenario.spec.attack_start);
     let windows = MeasureWindows {
         trigger_at: trigger_anchor,
@@ -865,32 +981,368 @@ pub fn run_scenario(scenario: &mut Scenario) -> Result<RunOutcome, WorkloadError
         residual: SimDuration::from_secs(2),
     };
     let policy_costs = collect_policy_costs(scenario);
-    let control = collect_control_report(scenario, &acct);
+    let control = collect_control_report(scenario, &state.acct);
     let stats = scenario.sim.stats();
     let mut report = MetricsReport::from_stats(stats, &windows);
     report.peak_arena_packets = scenario.sim.packet_arena_peak() as u64;
-    report.scratch_inbox_drains = scratch.drains;
-    report.scratch_sketch_recycles = sketch_recycles;
+    report.scratch_inbox_drains = state.scratch.drains;
+    report.scratch_sketch_recycles = state.sketch_recycles;
     let series = victim_arrival_series(stats);
     let goodput_series = victim_bandwidth_series(stats);
     let trace_tail = scenario.sim.trace_tail(TRACE_TAIL_EVENTS);
-    let ledger = ledger.map(|builder| builder.finish(trace_tail.clone()));
+    let ledger = state
+        .ledger
+        .take()
+        .map(|builder| builder.finish(trace_tail.clone()));
     Ok(RunOutcome {
         report,
         series,
         goodput_series,
-        triggered_at: first_triggered_at,
-        atr_nodes: sorted_unique(atr_nodes),
-        escalations,
-        max_pushback_depth,
+        triggered_at: state.first_triggered_at,
+        atr_nodes: sorted_unique(std::mem::take(&mut state.atr_nodes)),
+        escalations: std::mem::take(&mut state.escalations),
+        max_pushback_depth: state.max_pushback_depth,
         policy_costs,
         control,
-        stood_down_at: acct.stood_down_at,
+        stood_down_at: state.acct.stood_down_at,
         packets_sent: stats.total_sent,
         packets_delivered: stats.total_delivered,
         ledger,
         trace_tail,
+        checkpoint: state.checkpoint.take(),
     })
+}
+
+/// Writes an optional instant as a one-byte tag plus nanoseconds.
+fn write_opt_time(w: &mut SnapWriter, v: Option<SimTime>) {
+    match v {
+        None => w.write_u8(0),
+        Some(t) => {
+            w.write_u8(1);
+            w.write_u64(t.as_nanos());
+        }
+    }
+}
+
+/// Reads the counterpart of [`write_opt_time`].
+fn read_opt_time(r: &mut SnapReader<'_>) -> Result<Option<SimTime>, SnapError> {
+    match r.read_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(SimTime::from_nanos(r.read_u64()?))),
+        other => Err(SnapError::Malformed(format!("bad option tag {other}"))),
+    }
+}
+
+/// Re-runs the full snapshot write — probe, every section, wire
+/// encode — over a scenario/state pair (e.g. one [`restore_run`] just
+/// produced). This is the capture path [`ScenarioSpec::checkpoint_at`]
+/// triggers mid-run, exposed so harnesses can time and size it in
+/// isolation.
+#[must_use]
+pub fn encode_checkpoint(scenario: &Scenario, state: &RunState) -> Vec<u8> {
+    capture_checkpoint(scenario, state)
+}
+
+/// Serializes the full run — simulator sections plus the runner's own
+/// loop state — into the versioned snapshot format, embedding a freshly
+/// computed component-hash table as the restore-time integrity gate.
+fn capture_checkpoint(scenario: &Scenario, state: &RunState) -> Vec<u8> {
+    let spec = &scenario.spec;
+    let interval = spec.monitor_interval.as_nanos();
+    let mut snapshot = Snapshot::new(SnapshotHeader {
+        snap_version: SNAP_VERSION,
+        crate_version: env!("CARGO_PKG_VERSION").to_string(),
+        seed: spec.seed,
+        spec_fingerprint: fnv64(format!("{spec:?}").as_bytes()),
+        at_nanos: scenario.sim.now().as_nanos(),
+        interval_index: state
+            .last_stop
+            .as_nanos()
+            .checked_div(interval)
+            .unwrap_or(0),
+    });
+    snapshot.component_hashes =
+        compute_probe(scenario, state.scratch.drains, state.sketch_recycles)
+            .components()
+            .to_vec();
+    scenario.sim.snap_save_into(&mut snapshot);
+    let mut w = SnapWriter::new();
+    let baselines = state.detector.baselines();
+    w.write_usize(baselines.len());
+    for b in baselines {
+        w.write_f64(*b);
+    }
+    w.write_u64(state.detector.rounds());
+    write_opt_time(&mut w, state.triggered_at);
+    write_opt_time(&mut w, state.first_triggered_at);
+    match state.fallback {
+        None => w.write_u8(0),
+        Some(d) => {
+            w.write_u8(1);
+            w.write_u64(d.as_nanos());
+        }
+    }
+    w.write_usize(state.atr_nodes.len());
+    for n in &state.atr_nodes {
+        w.write_u32(n.index() as u32);
+    }
+    w.write_usize(state.escalations.len());
+    for &(at, d) in &state.escalations {
+        w.write_u64(at.as_nanos());
+        w.write_usize(d);
+    }
+    w.write_u32(state.max_pushback_depth);
+    w.write_u64(state.acct.requests_injected);
+    w.write_u64(state.acct.malicious_requests);
+    write_opt_time(&mut w, state.acct.stood_down_at);
+    write_opt_time(&mut w, state.acct.teardown_done_at);
+    w.write_bool(state.acct.defense_down);
+    w.write_u64(state.scratch.drains);
+    w.write_u64(state.sketch_recycles);
+    // Harvest slots: contents are dead at a loop-top boundary (the next
+    // harvest clears each slot before swapping), but the slot *count*
+    // decides push-vs-recycle, which the recycle counter observes.
+    w.write_usize(state.sketches.len());
+    w.write_u64(state.next_stop.as_nanos());
+    w.write_u64(state.last_stop.as_nanos());
+    snapshot.add_section("workload/run", w.into_bytes());
+    if let Some(builder) = state.ledger.as_ref() {
+        let mut w = SnapWriter::new();
+        builder.snap_save(&mut w);
+        snapshot.add_section("workload/ledger", w.into_bytes());
+    }
+    if let Some(plan) = scenario.pushback.as_ref() {
+        for (d, dom) in plan.domains.iter().enumerate() {
+            let mut w = SnapWriter::new();
+            dom.coordinator.snap_save(&mut w);
+            w.write_u64(dom.residual_bytes);
+            snapshot.add_section(&format!("workload/dom{d}"), w.into_bytes());
+        }
+    }
+    snapshot.encode()
+}
+
+/// Rebuilds a mid-run scenario from checkpoint bytes captured by a run
+/// of the *same spec*. The returned pair plugs straight into
+/// [`resume_scenario`]; the continuation is byte-identical (report,
+/// series, run ledger) to the straight run that captured the snapshot.
+///
+/// Restore is rebuild-plus-overlay: the scenario is built fresh from
+/// the spec (all build-time wiring), every snapshot section is overlaid
+/// onto it, and then every component's [`StateHash`] digest is
+/// recomputed and compared against the table embedded at capture time —
+/// a snapshot that does not reproduce the captured state byte-for-byte
+/// is rejected with the first offending component named, never loaded
+/// silently.
+///
+/// # Errors
+///
+/// [`WorkloadError::Snapshot`] when the bytes fail decoding, the header
+/// identity (crate version, seed, spec fingerprint) does not match, a
+/// needed section is missing, or a recomputed digest mismatches;
+/// ordinary build errors propagate as themselves.
+pub fn restore_run(
+    spec: &ScenarioSpec,
+    bytes: &[u8],
+) -> Result<(Scenario, RunState), WorkloadError> {
+    restore_with(spec, bytes, true)
+}
+
+/// [`restore_run`] for warm-started sweeps: overlays a checkpoint onto
+/// a *variant* of the capturing spec (same seed, same prefix behavior;
+/// knobs that only matter after the checkpoint instant may differ), so
+/// a sweep runs the shared prefix once and branches per cell. The spec
+/// fingerprint check is relaxed — every other gate, including the full
+/// component-digest verification, still applies, so a variant whose
+/// prefix actually diverges is rejected, not silently branched.
+///
+/// # Errors
+///
+/// As [`restore_run`], minus the fingerprint equality requirement.
+pub fn restore_branch(
+    spec: &ScenarioSpec,
+    bytes: &[u8],
+) -> Result<(Scenario, RunState), WorkloadError> {
+    restore_with(spec, bytes, false)
+}
+
+fn restore_with(
+    spec: &ScenarioSpec,
+    bytes: &[u8],
+    check_fingerprint: bool,
+) -> Result<(Scenario, RunState), WorkloadError> {
+    let snapshot = Snapshot::decode(bytes)?;
+    let header = &snapshot.header;
+    let crate_version = env!("CARGO_PKG_VERSION");
+    if header.crate_version != crate_version {
+        return Err(SnapError::HeaderMismatch {
+            field: "crate_version",
+            expected: crate_version.to_string(),
+            found: header.crate_version.clone(),
+        }
+        .into());
+    }
+    if header.seed != spec.seed {
+        return Err(SnapError::HeaderMismatch {
+            field: "seed",
+            expected: spec.seed.to_string(),
+            found: header.seed.to_string(),
+        }
+        .into());
+    }
+    if check_fingerprint {
+        let fingerprint = fnv64(format!("{spec:?}").as_bytes());
+        if header.spec_fingerprint != fingerprint {
+            return Err(SnapError::HeaderMismatch {
+                field: "spec_fingerprint",
+                expected: format!("{fingerprint:016x}"),
+                found: format!("{:016x}", header.spec_fingerprint),
+            }
+            .into());
+        }
+    }
+    let mut scenario = Scenario::build(spec.clone())?;
+    let mut state = fresh_state(&scenario)?;
+    scenario.sim.snap_restore_from(&snapshot)?;
+    let payload = snapshot
+        .section("workload/run")
+        .ok_or(SnapError::MissingSection {
+            section: "workload/run".to_string(),
+        })?;
+    let mut r = SnapReader::new(payload);
+    let n_baselines = r.read_usize()?;
+    let mut baselines = Vec::with_capacity(n_baselines.min(1024));
+    for _ in 0..n_baselines {
+        baselines.push(r.read_f64()?);
+    }
+    let rounds = r.read_u64()?;
+    state.detector.restore_parts(baselines, rounds);
+    state.triggered_at = read_opt_time(&mut r)?;
+    state.first_triggered_at = read_opt_time(&mut r)?;
+    state.fallback = match r.read_u8()? {
+        0 => None,
+        1 => Some(SimDuration::from_nanos(r.read_u64()?)),
+        other => return Err(SnapError::Malformed(format!("bad option tag {other}")).into()),
+    };
+    let n_atrs = r.read_usize()?;
+    let mut atr_nodes = Vec::with_capacity(n_atrs.min(1024));
+    for _ in 0..n_atrs {
+        atr_nodes.push(NodeId::from_index(r.read_u32()? as usize));
+    }
+    state.atr_nodes = atr_nodes;
+    let n_escalations = r.read_usize()?;
+    let mut escalations = Vec::with_capacity(n_escalations.min(1024));
+    for _ in 0..n_escalations {
+        let at = SimTime::from_nanos(r.read_u64()?);
+        escalations.push((at, r.read_usize()?));
+    }
+    state.escalations = escalations;
+    state.max_pushback_depth = r.read_u32()?;
+    state.acct.requests_injected = r.read_u64()?;
+    state.acct.malicious_requests = r.read_u64()?;
+    state.acct.stood_down_at = read_opt_time(&mut r)?;
+    state.acct.teardown_done_at = read_opt_time(&mut r)?;
+    state.acct.defense_down = r.read_bool()?;
+    state.scratch.drains = r.read_u64()?;
+    state.sketch_recycles = r.read_u64()?;
+    let n_sketches = r.read_usize()?;
+    if n_sketches > scenario.taps.len() {
+        return Err(SnapError::Malformed(format!(
+            "{n_sketches} harvest slots for {} taps",
+            scenario.taps.len()
+        ))
+        .into());
+    }
+    for i in 0..n_sketches {
+        let (node, idx) = scenario.taps[i];
+        let precision = scenario
+            .sim
+            .filter::<LogLogTap>(node, idx)
+            .expect("tap installed at build time")
+            .sketch()
+            .source_sketch()
+            .precision();
+        state.sketches.push(RouterSketch::new(precision));
+    }
+    state.next_stop = SimTime::from_nanos(r.read_u64()?);
+    state.last_stop = SimTime::from_nanos(r.read_u64()?);
+    if !r.is_empty() {
+        return Err(SnapError::Malformed(format!(
+            "{} trailing bytes in workload/run",
+            r.remaining()
+        ))
+        .into());
+    }
+    if let Some(builder) = state.ledger.as_mut() {
+        let payload = snapshot
+            .section("workload/ledger")
+            .ok_or(SnapError::MissingSection {
+                section: "workload/ledger".to_string(),
+            })?;
+        let mut r = SnapReader::new(payload);
+        builder.snap_restore(&mut r)?;
+        if !r.is_empty() {
+            return Err(SnapError::Malformed(format!(
+                "{} trailing bytes in workload/ledger",
+                r.remaining()
+            ))
+            .into());
+        }
+    }
+    if let Some(plan) = scenario.pushback.as_mut() {
+        for (d, dom) in plan.domains.iter_mut().enumerate() {
+            let label = format!("workload/dom{d}");
+            let payload = snapshot
+                .section(&label)
+                .ok_or_else(|| SnapError::MissingSection {
+                    section: label.clone(),
+                })?;
+            let mut r = SnapReader::new(payload);
+            dom.coordinator.snap_restore(&mut r)?;
+            dom.residual_bytes = r.read_u64()?;
+            if !r.is_empty() {
+                return Err(SnapError::Malformed(format!(
+                    "{} trailing bytes in {label}",
+                    r.remaining()
+                ))
+                .into());
+            }
+        }
+    }
+    // The integrity gate: recompute every component digest over the
+    // overlaid state and compare against the capture-time table. A
+    // branch variant whose prefix state differs from the capturing
+    // spec's fails here with the diverging component named.
+    let probe = compute_probe(&scenario, state.scratch.drains, state.sketch_recycles);
+    let recomputed = probe.components();
+    if recomputed.len() != snapshot.component_hashes.len() {
+        return Err(SnapError::Malformed(format!(
+            "snapshot hashes {} components, restored scenario probes {}",
+            snapshot.component_hashes.len(),
+            recomputed.len()
+        ))
+        .into());
+    }
+    for ((label, expected), (found_label, found)) in
+        snapshot.component_hashes.iter().zip(recomputed)
+    {
+        if label != found_label {
+            return Err(SnapError::Malformed(format!(
+                "component order mismatch: snapshot has {label:?}, restore probed {found_label:?}"
+            ))
+            .into());
+        }
+        if expected != found {
+            return Err(SnapError::StateMismatch {
+                component: label.clone(),
+                expected: *expected,
+                found: *found,
+            }
+            .into());
+        }
+    }
+    state.checkpoint = Some(bytes.to_vec());
+    Ok((scenario, state))
 }
 
 /// Builds and runs a scenario in one call, averaging is the caller's job.
@@ -1211,6 +1663,65 @@ mod tests {
             .expect("cross flow is declared");
         assert!(!record.is_attack);
         assert!(record.sent > 0, "cross sender must emit packets");
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_byte_identically() {
+        let spec = ScenarioSpec {
+            checkpoint_at: Some(SimTime::from_secs_f64(1.2)),
+            ledger: true,
+            ..quick_spec()
+        };
+        let straight = run_spec(spec.clone()).unwrap();
+        let bytes = straight.checkpoint.clone().expect("checkpoint captured");
+        let (mut scenario, state) = restore_run(&spec, &bytes).unwrap();
+        let resumed = resume_scenario(&mut scenario, state).unwrap();
+        assert_eq!(resumed.report, straight.report);
+        assert_eq!(resumed.series, straight.series);
+        assert_eq!(resumed.goodput_series, straight.goodput_series);
+        assert_eq!(resumed.ledger, straight.ledger);
+        assert_eq!(resumed.triggered_at, straight.triggered_at);
+        assert_eq!(resumed.atr_nodes, straight.atr_nodes);
+        assert_eq!(resumed.packets_sent, straight.packets_sent);
+        assert_eq!(
+            resumed.checkpoint.as_deref(),
+            Some(bytes.as_slice()),
+            "a resumed run carries the snapshot it was restored from"
+        );
+    }
+
+    #[test]
+    fn multi_domain_checkpoint_covers_the_cascade() {
+        let spec = ScenarioSpec {
+            checkpoint_at: Some(SimTime::from_secs_f64(1.5)),
+            ledger: true,
+            ..quick_multi_spec(2)
+        };
+        let straight = run_spec(spec.clone()).unwrap();
+        let bytes = straight.checkpoint.clone().expect("checkpoint captured");
+        let (mut scenario, state) = restore_run(&spec, &bytes).unwrap();
+        let resumed = resume_scenario(&mut scenario, state).unwrap();
+        assert_eq!(resumed.report, straight.report);
+        assert_eq!(resumed.escalations, straight.escalations);
+        assert_eq!(resumed.control, straight.control);
+        assert_eq!(resumed.stood_down_at, straight.stood_down_at);
+        assert_eq!(resumed.ledger, straight.ledger);
+    }
+
+    #[test]
+    fn restore_rejects_the_wrong_seed() {
+        let spec = ScenarioSpec {
+            checkpoint_at: Some(SimTime::from_secs_f64(1.0)),
+            ..quick_spec()
+        };
+        let bytes = run_spec(spec.clone()).unwrap().checkpoint.unwrap();
+        let other = ScenarioSpec { seed: 2, ..spec };
+        match restore_run(&other, &bytes) {
+            Err(WorkloadError::Snapshot(mafic_obs::SnapError::HeaderMismatch {
+                field, ..
+            })) => assert_eq!(field, "seed"),
+            other => panic!("expected a seed header mismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -219,6 +219,12 @@ pub struct ScenarioSpec {
     /// component state hashes. Off by default: the hot path pays
     /// nothing when disabled (one branch per monitor interval).
     pub ledger: bool,
+    /// Capture a verified state snapshot at the first monitor interval
+    /// boundary at or after this instant. The runner surfaces the
+    /// encoded bytes in [`crate::RunOutcome::checkpoint`]; restoring
+    /// them (see [`crate::restore_run`]) resumes the run mid-flight,
+    /// byte-identically. `None` (the default) skips capture entirely.
+    pub checkpoint_at: Option<SimTime>,
     /// Master seed; all component seeds derive from it.
     pub seed: u64,
 }
@@ -264,6 +270,7 @@ impl Default for ScenarioSpec {
             victim_bin: SimDuration::from_millis(50),
             trace_capacity: 0,
             ledger: false,
+            checkpoint_at: None,
             seed: 1,
         }
     }
@@ -610,6 +617,11 @@ impl ScenarioSpec {
         }
         if self.victim_bin.is_zero() {
             return Err("victim_bin must be positive (it bins the victim series)".into());
+        }
+        if let Some(at) = self.checkpoint_at {
+            if at >= self.end {
+                return Err("checkpoint_at must precede end".into());
+            }
         }
         Ok(())
     }
