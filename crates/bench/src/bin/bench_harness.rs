@@ -28,7 +28,8 @@ use mafic_experiments::{sweep, sweep_warm, EngineConfig};
 use mafic_netsim::{Addr, FlowInterner, FlowKey, FlowSlab, SimTime};
 use mafic_topology::TransitTopology;
 use mafic_workload::{
-    encode_checkpoint, restore_run, run_scenario, run_spec, Scenario, ScenarioSpec,
+    encode_checkpoint, restore_run, run_scenario, run_spec, AdversarySpec, Scenario, ScenarioSpec,
+    StrategyKind,
 };
 
 /// Fractional packets/sec regression tolerated by `--gate` (10%).
@@ -88,12 +89,24 @@ fn alloc_snapshot() -> (u64, u64) {
 /// keeps a measured repetition well under a second. Identical in `--ci`
 /// and full mode — the CI gate compares its measurement against the
 /// committed full-mode baseline, so the workload must match exactly.
-fn e2e_spec(ledger: bool) -> ScenarioSpec {
+fn e2e_spec(ledger: bool, adversary: bool) -> ScenarioSpec {
     ScenarioSpec {
         total_flows: 40,
         n_routers: 20,
         end: SimTime::from_secs_f64(8.0),
         ledger,
+        // The inert closed loop: rotation no faster than the lease
+        // emits zero directives, so the run's output must match the
+        // adversary-free run byte for byte while still paying the full
+        // per-interval hook (feedback harvest + strategy step). The
+        // measured delta therefore upper-bounds the hook's cost when
+        // the adversary is disabled outright (one `Option` branch).
+        adversary: adversary.then(|| {
+            AdversarySpec::with_strategy(StrategyKind::SourceRotation {
+                period_intervals: AdversarySpec::default().lease_intervals,
+                active_fraction: 0.5,
+            })
+        }),
         seed: 6,
         ..ScenarioSpec::default()
     }
@@ -115,7 +128,7 @@ struct E2eResult {
 /// per-interval state-hashing overhead.
 fn measure_e2e(reps: u32, ledger: bool) -> E2eResult {
     let run_once = || {
-        let mut scenario = Scenario::build(e2e_spec(ledger)).expect("e2e spec builds");
+        let mut scenario = Scenario::build(e2e_spec(ledger, false)).expect("e2e spec builds");
         let start = Instant::now();
         let outcome = run_scenario(&mut scenario).expect("e2e run succeeds");
         let wall = start.elapsed().as_secs_f64();
@@ -148,6 +161,35 @@ fn measure_e2e(reps: u32, ledger: bool) -> E2eResult {
         alloc_bytes,
         peak_arena_packets: peak,
     }
+}
+
+/// Quantifies the adversary hook's cost when the closed loop has
+/// nothing to do: packets/sec with the hook absent vs armed but inert
+/// (see [`e2e_spec`]). The two arms alternate rep by rep so host-speed
+/// drift lands on both equally, and each arm keeps its best wall time.
+/// Outputs are asserted identical — the inert loop may not perturb the
+/// run it is measuring.
+fn measure_adversary_overhead(reps: u32) -> (f64, f64) {
+    let run_once = |adversary: bool| {
+        let mut scenario = Scenario::build(e2e_spec(false, adversary)).expect("e2e spec builds");
+        let start = Instant::now();
+        let outcome = run_scenario(&mut scenario).expect("e2e run succeeds");
+        (outcome.packets_sent, start.elapsed().as_secs_f64())
+    };
+    run_once(false);
+    run_once(true); // warm both arms
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    let mut packets = 0u64;
+    for _ in 0..reps {
+        let (sent_off, wall_off) = run_once(false);
+        let (sent_on, wall_on) = run_once(true);
+        assert_eq!(sent_off, sent_on, "inert adversary perturbed the run");
+        packets = sent_off;
+        best_off = best_off.min(wall_off);
+        best_on = best_on.min(wall_on);
+    }
+    (packets as f64 / best_off, packets as f64 / best_on)
 }
 
 /// Steady-state per-packet table op: one interner probe plus one dense
@@ -364,6 +406,14 @@ fn main() {
         "[bench]   {:.0} packets/sec with ledger recording ({:.1}% overhead)",
         e2e_ledger.packets_per_sec, ledger_overhead_pct
     );
+    let adversary_reps = 10;
+    eprintln!("[bench] adversary hook overhead ({adversary_reps} paired reps, inert loop)...");
+    let (pps_hook_off, pps_hook_on) = measure_adversary_overhead(adversary_reps);
+    let adversary_overhead_pct = (pps_hook_off / pps_hook_on - 1.0).max(0.0) * 100.0;
+    eprintln!(
+        "[bench]   {pps_hook_off:.0} packets/sec hook off, {pps_hook_on:.0} armed \
+         ({adversary_overhead_pct:.1}% overhead)"
+    );
     eprintln!("[bench] table op...");
     let ns_per_table_op = measure_table_op();
     eprintln!("[bench]   {ns_per_table_op:.2} ns/op");
@@ -393,6 +443,8 @@ fn main() {
             "  \"packets_per_sec\": {pps},\n",
             "  \"packets_per_sec_ledger\": {pps_ledger},\n",
             "  \"ledger_overhead_pct\": {ledger_overhead},\n",
+            "  \"packets_per_sec_adversary\": {pps_adversary},\n",
+            "  \"adversary_overhead_pct\": {adversary_overhead},\n",
             "  \"e2e_packets\": {packets},\n",
             "  \"e2e_best_wall_s\": {wall},\n",
             "  \"e2e_allocs\": {allocs},\n",
@@ -414,6 +466,8 @@ fn main() {
         pps = json_f(e2e.packets_per_sec),
         pps_ledger = json_f(e2e_ledger.packets_per_sec),
         ledger_overhead = json_f(ledger_overhead_pct),
+        pps_adversary = json_f(pps_hook_on),
+        adversary_overhead = json_f(adversary_overhead_pct),
         packets = e2e.packets,
         wall = json_f(e2e.best_wall_s),
         allocs = e2e.allocs,

@@ -8,7 +8,7 @@
 //! router's egress addresses → `D_i`). The pushback monitor snapshots
 //! these sketches periodically to build the traffic matrix.
 
-use mafic_loglog::{Precision, RouterSketch};
+use mafic_loglog::{LogLog, Precision, RouterSketch};
 use mafic_netsim::{Addr, FilterAction, FilterCtx, LinkId, Packet, PacketEnv, PacketFilter};
 use std::any::Any;
 use std::collections::BTreeSet;
@@ -22,6 +22,12 @@ use std::collections::BTreeSet;
 #[derive(Debug)]
 pub struct LogLogTap {
     sketch: RouterSketch,
+    /// Distinct *source addresses* seen on ingress this epoch — the
+    /// subsidence guard's secondary evidence. The packet-id sketches
+    /// above estimate traffic volume set-unions; this one estimates how
+    /// many senders produced it, so a single link-saturating legit
+    /// source reads as cardinality ≈ 1 rather than a flood.
+    addr_sketch: LogLog,
     precision: Precision,
     ingress_links: BTreeSet<LinkId>,
     egress_addrs: BTreeSet<Addr>,
@@ -43,6 +49,7 @@ impl LogLogTap {
     ) -> Self {
         LogLogTap {
             sketch: RouterSketch::new(precision),
+            addr_sketch: LogLog::new(precision),
             precision,
             ingress_links: ingress_links.into_iter().collect(),
             egress_addrs: egress_addrs.into_iter().collect(),
@@ -61,6 +68,7 @@ impl LogLogTap {
     pub fn take_epoch(&mut self) -> RouterSketch {
         let snapshot = self.sketch.clone();
         self.sketch = RouterSketch::new(self.precision);
+        self.addr_sketch.clear();
         snapshot
     }
 
@@ -77,6 +85,16 @@ impl LogLogTap {
         }
         out.clear();
         std::mem::swap(&mut self.sketch, out);
+        self.addr_sketch.clear();
+    }
+
+    /// Estimated distinct source addresses seen on ingress links this
+    /// epoch. Read it *before* harvesting — both
+    /// [`take_epoch`](LogLogTap::take_epoch) and
+    /// [`take_epoch_into`](LogLogTap::take_epoch_into) reset it.
+    #[must_use]
+    pub fn source_address_cardinality(&self) -> f64 {
+        self.addr_sketch.estimate()
     }
 
     /// Packets observed over the tap's lifetime.
@@ -97,10 +115,17 @@ impl PacketFilter for LogLogTap {
         if let Some(via) = env.via_link {
             if self.ingress_links.contains(&via) {
                 self.sketch.record_source(packet.id);
+                self.addr_sketch
+                    .insert_u64(u64::from(packet.key.src.as_u32()));
             }
         }
         if self.egress_addrs.contains(&packet.key.dst) {
             self.sketch.record_destination(packet.id);
+            // The victim router's tap watches only egress addresses
+            // (no ingress links), so the distinct-sender evidence must
+            // come from the victim-bound arrivals themselves.
+            self.addr_sketch
+                .insert_u64(u64::from(packet.key.src.as_u32()));
         }
         FilterAction::Forward
     }
@@ -115,6 +140,8 @@ impl PacketFilter for LogLogTap {
             w.write_bytes(sketch.registers());
             w.write_u64(sketch.inserts());
         }
+        w.write_bytes(self.addr_sketch.registers());
+        w.write_u64(self.addr_sketch.inserts());
         w.write_u64(self.packets_seen);
     }
 
@@ -133,6 +160,11 @@ impl PacketFilter for LogLogTap {
         self.sketch
             .destination_sketch_mut()
             .restore_parts(&dst_regs, dst_inserts)
+            .map_err(mafic_obs::SnapError::Malformed)?;
+        let addr_regs = r.read_bytes()?.to_vec();
+        let addr_inserts = r.read_u64()?;
+        self.addr_sketch
+            .restore_parts(&addr_regs, addr_inserts)
             .map_err(mafic_obs::SnapError::Malformed)?;
         self.packets_seen = r.read_u64()?;
         Ok(())
@@ -237,6 +269,34 @@ mod tests {
         let mut wrong = RouterSketch::new(Precision::P4);
         tap.take_epoch_into(&mut wrong);
         assert_eq!(wrong.source_sketch().precision(), Precision::P10);
+    }
+
+    #[test]
+    fn address_cardinality_counts_senders_not_packets() {
+        let mut h = FilterHarness::new();
+        let ingress = LinkId::from_index(3);
+        let mut tap = LogLogTap::new(Precision::P10, [ingress], []);
+        // One chatty source sending 1000 packets: the packet-id sketch
+        // reads ~1000 but the address sketch reads ~1.
+        for id in 0..1000 {
+            let _ = h.offer(&mut tap, &pkt(id, Addr::new(9)), Some(ingress), false);
+        }
+        let one = tap.source_address_cardinality();
+        assert!(one < 5.0, "single sender must read small, got {one}");
+        // Harvest resets the epoch's address sketch too.
+        let _ = tap.take_epoch();
+        assert_eq!(tap.source_address_cardinality(), 0.0);
+        // 500 distinct senders read as hundreds.
+        for id in 0..500 {
+            let mut p = pkt(5000 + id, Addr::new(9));
+            p.key = FlowKey::new(Addr::new(100 + id as u32), p.key.dst, 5, 80);
+            let _ = h.offer(&mut tap, &p, Some(ingress), false);
+        }
+        let many = tap.source_address_cardinality();
+        assert!(
+            (many - 500.0).abs() / 500.0 < 0.2,
+            "distinct senders estimate {many}"
+        );
     }
 
     #[test]

@@ -143,5 +143,13 @@ fn run(cfg: &EngineConfig) -> Result<(), String> {
     println!("{}", figures::fig10a_from_grid(&trust));
     println!("{}", figures::fig10b_from_grid(&trust));
     print!("{}", figures::fig10_denial_summary(&trust));
+    println!();
+    // One strategy x trust-budget grid feeds both Fig. 11 panels, the
+    // best-response summary, and the collateral cost tables.
+    let adaptive = figures::run_adaptive_adversary_grid(cfg)?;
+    println!("{}", figures::fig11a_from_grid(&adaptive));
+    println!("{}", figures::fig11b_from_grid(&adaptive));
+    println!("{}", figures::fig11_best_response_summary(&adaptive));
+    print!("{}", figures::fig11_cost_summary(&adaptive));
     Ok(())
 }

@@ -1,0 +1,28 @@
+//! Regenerates Fig. 11: closed-loop adaptive attack strategies against
+//! the full defense. One strategy × trust-budget grid feeds everything —
+//! the residual-attack surface (how much each adaptation buys over the
+//! open-loop flood), the bystander panel (victim goodput beside the
+//! distinct-source cardinality the subsidence guard watches), the
+//! attacker's best response per budget, and the per-policy cost tables
+//! with legitimate losses split by the tier that caused them.
+//! Single-seed per cell: a closed feedback loop makes each trial a
+//! different game, not a noisy sample of one.
+
+use mafic_experiments::{figures, EngineConfig};
+
+fn main() {
+    let cfg = EngineConfig::from_env_or_exit();
+    if let Err(e) = run(&cfg) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(cfg: &EngineConfig) -> Result<(), String> {
+    let grid = figures::run_adaptive_adversary_grid(cfg)?;
+    println!("{}", figures::fig11a_from_grid(&grid));
+    println!("{}", figures::fig11b_from_grid(&grid));
+    println!("{}", figures::fig11_best_response_summary(&grid));
+    print!("{}", figures::fig11_cost_summary(&grid));
+    Ok(())
+}

@@ -10,6 +10,7 @@ use crate::engine::{run_specs, EngineConfig};
 use crate::figure::FigureData;
 use crate::sweep::{figure_from_sweep, sweep, sweep_warm, SweepSeries};
 use mafic::DefensePolicy;
+use mafic_adversary::{AdversarySpec, StrategyKind};
 use mafic_metrics::MetricsReport;
 use mafic_netsim::SimTime;
 use mafic_topology::TransitTopology;
@@ -763,6 +764,225 @@ pub fn fig9_cost_summary(cfg: &EngineConfig) -> Result<String, String> {
     Ok(out)
 }
 
+/// The closed-loop strategies Fig. 11 sweeps, plus the open-loop
+/// baseline (`None`): every adaptive series must do at least as much
+/// damage as the static flood it adapts from, at the same send budget.
+#[must_use]
+pub fn adversary_strategy_series() -> Vec<(String, Option<StrategyKind>)> {
+    vec![
+        ("open loop".to_string(), None),
+        (
+            "rotation".to_string(),
+            // Churns cohorts every 4 intervals — well inside the
+            // defense's 12-interval lease, so paused cohorts drain the
+            // meters into a stand-down and resume against a flushed
+            // filter table.
+            Some(StrategyKind::SourceRotation {
+                period_intervals: 4,
+                active_fraction: 0.5,
+            }),
+        ),
+        (
+            "attestation".to_string(),
+            // Steps the aggregate down toward the attestation floor
+            // whenever losses bite, trading rate for corroboration
+            // failures upstream.
+            Some(StrategyKind::AttestationShaping {
+                step_milli: 150,
+                floor_milli: 250,
+            }),
+        ),
+        (
+            "pulse".to_string(),
+            // Period-locked to the trigger hysteresis: one dark
+            // interval per K-interval cycle, survivors boosted to keep
+            // the budget flat.
+            Some(StrategyKind::PulseTuning { boost_milli: 0 }),
+        ),
+        (
+            "carpet".to_string(),
+            // Concentrates the whole budget on one sibling stub at a
+            // time, rotating before any single ingress profile settles.
+            Some(StrategyKind::CarpetBombing {
+                period_intervals: 2,
+            }),
+        ),
+    ]
+}
+
+/// The Fig. 11 scenario: the Fig. 8 multi-domain flood under a given
+/// trust budget, with the subsidence guard's source floor armed and an
+/// optional closed-loop adversary driving the attack sources. `None`
+/// keeps the open-loop senders untouched — byte-identical to a
+/// pre-adversary run of the same spec.
+#[must_use]
+pub fn fig11_spec(strategy: Option<StrategyKind>, trust_budget: u32) -> ScenarioSpec {
+    ScenarioSpec {
+        trust_budget,
+        // A healthy victim interval sees well over 20 distinct sources
+        // here (36 flows plus ACK traffic); an evasion cohort parks the
+        // flood on a handful. Positive floor = secondary evidence armed.
+        subsidence_source_floor: 6.0,
+        adversary: strategy.map(AdversarySpec::with_strategy),
+        seed: 41,
+        ..fig8_spec(3)
+    }
+}
+
+/// One evaluated cell of the Fig. 11 grid.
+#[derive(Debug)]
+pub struct Fig11Cell {
+    /// Strategy series label (`open loop`, `rotation`, …).
+    pub label: String,
+    /// The swept trust budget.
+    pub budget: f64,
+    /// The cell's full run outcome.
+    pub outcome: mafic_workload::RunOutcome,
+}
+
+/// Runs the `(attack strategy × trust budget)` grid once — both Fig. 11
+/// panels, the best-response summary, and the collateral cost tables
+/// derive from the same outcomes. Single-seed per cell, like Fig. 10:
+/// the closed feedback loop makes per-trial outcomes non-averageable
+/// (each trial is a different *game*, not a noisy sample of one), and
+/// the engine still fans the grid across `MAFIC_JOBS` workers,
+/// byte-identical at any count.
+///
+/// # Errors
+///
+/// Propagates build/run errors.
+pub fn run_adaptive_adversary_grid(cfg: &EngineConfig) -> Result<Vec<Fig11Cell>, String> {
+    let series = adversary_strategy_series();
+    let budgets = trust_budget_axis();
+    let mut meta = Vec::new();
+    let mut specs = Vec::new();
+    for (label, strategy) in &series {
+        for &budget in &budgets {
+            meta.push((label.clone(), budget));
+            specs.push(fig11_spec(*strategy, budget as u32));
+        }
+    }
+    let outcomes = run_specs(specs, cfg.jobs)?;
+    Ok(meta
+        .into_iter()
+        .zip(outcomes)
+        .map(|((label, budget), outcome)| Fig11Cell {
+            label,
+            budget,
+            outcome,
+        })
+        .collect())
+}
+
+/// Extracts `(budget, metric)` points for one Fig. 11 series label.
+fn fig11_points(
+    cells: &[Fig11Cell],
+    label: &str,
+    metric: fn(&MetricsReport) -> f64,
+) -> Vec<(f64, f64)> {
+    cells
+        .iter()
+        .filter(|c| c.label == label)
+        .map(|c| (c.budget, metric(&c.outcome.report)))
+        .collect()
+}
+
+/// Builds Fig. 11(a) — the residual-attack surface — from a finished
+/// grid: residual attack rate at the victim per strategy, across the
+/// trust budget. Every adaptive series sits at or above the open-loop
+/// baseline; the gap is what closing the loop buys the attacker.
+#[must_use]
+pub fn fig11a_from_grid(cells: &[Fig11Cell]) -> FigureData {
+    let mut fig = FigureData::new(
+        "Fig. 11(a)",
+        "Residual attack rate per adaptive strategy",
+        "trust budget (installs per requester)",
+        "residual attack at the victim (B/s)",
+    );
+    for (label, _) in adversary_strategy_series() {
+        fig.push_series(
+            format!("{label} residual attack"),
+            fig11_points(cells, &label, |r| r.residual_attack_bps),
+        );
+    }
+    fig
+}
+
+/// Builds Fig. 11(b) — what the adaptation costs the bystanders — from
+/// a finished grid: the victim's legitimate goodput per strategy beside
+/// the mean distinct-source cardinality its flood presents (the
+/// subsidence guard's secondary evidence; rotation parks it low).
+#[must_use]
+pub fn fig11b_from_grid(cells: &[Fig11Cell]) -> FigureData {
+    let mut fig = FigureData::new(
+        "Fig. 11(b)",
+        "Victim goodput and observed sources per adaptive strategy",
+        "trust budget (installs per requester)",
+        "legit goodput (B/s) / distinct sources",
+    );
+    for (label, _) in adversary_strategy_series() {
+        fig.push_series(
+            format!("{label} goodput"),
+            fig11_points(cells, &label, |r| r.legit_goodput_bps),
+        );
+        fig.push_series(
+            format!("{label} sources"),
+            fig11_points(cells, &label, |r| r.victim_source_cardinality),
+        );
+    }
+    fig
+}
+
+/// Renders the best-response table of Fig. 11 from the grid: per trust
+/// budget, the strategy that leaves the most attack traffic standing at
+/// the victim, with its margin over the open-loop baseline.
+#[must_use]
+pub fn fig11_best_response_summary(cells: &[Fig11Cell]) -> String {
+    let mut out = String::from("Attacker best response per trust budget\n");
+    for &budget in &trust_budget_axis() {
+        let open_loop = cells
+            .iter()
+            .find(|c| c.label == "open loop" && c.budget == budget)
+            .map_or(0.0, |c| c.outcome.report.residual_attack_bps);
+        let best = cells.iter().filter(|c| c.budget == budget).max_by(|a, b| {
+            a.outcome
+                .report
+                .residual_attack_bps
+                .total_cmp(&b.outcome.report.residual_attack_bps)
+        });
+        if let Some(best) = best {
+            let residual = best.outcome.report.residual_attack_bps;
+            out.push_str(&format!(
+                "  budget {budget:>3}: {:<12} {residual:>10.0} B/s residual \
+                 (open loop {open_loop:>10.0} B/s, margin {:>+8.0} B/s)\n",
+                best.label,
+                residual - open_loop,
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the per-policy cost tables (with the collateral attribution
+/// columns) for every Fig. 11 cell at the largest trust budget — the
+/// configuration where the defense fights hardest and the split between
+/// filter-caused and congestion-caused legitimate losses matters most.
+#[must_use]
+pub fn fig11_cost_summary(cells: &[Fig11Cell]) -> String {
+    let max_budget = trust_budget_axis().last().copied().unwrap_or_default();
+    let mut out = String::new();
+    for cell in cells.iter().filter(|c| c.budget == max_budget) {
+        out.push_str(&mafic_metrics::cost_table(
+            &format!(
+                "Policy costs @ {}, budget {} (filtered vs queue legit drops)",
+                cell.label, cell.budget
+            ),
+            &cell.outcome.policy_costs,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -825,6 +1045,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fig11_specs_are_valid_across_the_whole_grid() {
+        let series = adversary_strategy_series();
+        assert_eq!(series.len(), 5, "open loop + four adaptive strategies");
+        assert_eq!(series[0].1, None, "the baseline comes first");
+        for (label, strategy) in &series {
+            for &budget in &trust_budget_axis() {
+                let spec = fig11_spec(*strategy, budget as u32);
+                assert!(spec.validate().is_ok(), "{label} @ {budget} must validate");
+                assert_eq!(spec.adversary.is_some(), strategy.is_some());
+                assert!(
+                    spec.subsidence_source_floor > 0.0,
+                    "the source floor arms the subsidence guard"
+                );
+            }
+        }
+        // Every adaptive cell rides the same workload spec as the open
+        // loop — only the adversary block differs, so residual deltas
+        // are attributable to the closed loop alone.
+        let mut open = fig11_spec(None, 2);
+        let rotation = fig11_spec(series[1].1, 2);
+        open.adversary = rotation.adversary;
+        assert_eq!(open, rotation);
     }
 
     // Full-figure runs live in the integration tests and binaries; here

@@ -22,6 +22,8 @@
 //! | `fig7_collateral` | Fig. 7 |
 //! | `fig8_pushback_depth` | Fig. 8 (inter-domain pushback depth; ours) |
 //! | `fig9_partial_deployment` | Fig. 9 (participation × transit policy; ours) |
+//! | `fig10_malicious_pushback` | Fig. 10 (malicious pushback vs trust; ours) |
+//! | `fig11_adaptive_adversary` | Fig. 11 (closed-loop attack strategies; ours) |
 //! | `ablations` | DESIGN.md ablations A–D |
 //! | `all_figures` | everything above |
 

@@ -60,11 +60,13 @@ pub fn average_reports(reports: &[MetricsReport]) -> MetricsReport {
         out.peak_arena_packets = out.peak_arena_packets.max(r.peak_arena_packets);
         out.scratch_inbox_drains += r.scratch_inbox_drains;
         out.scratch_sketch_recycles += r.scratch_sketch_recycles;
+        out.victim_source_cardinality += r.victim_source_cardinality;
     }
     out.victim_rate_before /= n;
     out.victim_rate_after /= n;
     out.residual_attack_bps /= n;
     out.legit_goodput_bps /= n;
+    out.victim_source_cardinality /= n;
     // One shared definition of the five formulas (mafic-metrics owns it).
     out.recompute_derived();
     out

@@ -140,6 +140,16 @@ impl LintConfig {
                     rank: 1,
                     deps: &["mafic-obs"],
                 },
+                // The adversary engine sees only what an attacker can:
+                // its own RNG and snapshot plumbing. No simulator,
+                // transport, or pushback types may leak in — the
+                // observability boundary is a layering contract, not
+                // just a doc comment.
+                CrateLayer {
+                    name: "mafic-adversary",
+                    rank: 1,
+                    deps: &["mafic-obs", "rand"],
+                },
                 CrateLayer {
                     name: "mafic-metrics",
                     rank: 2,
@@ -170,6 +180,7 @@ impl LintConfig {
                     rank: 3,
                     deps: &[
                         "mafic",
+                        "mafic-adversary",
                         "mafic-loglog",
                         "mafic-metrics",
                         "mafic-netsim",
@@ -185,6 +196,7 @@ impl LintConfig {
                     rank: 4,
                     deps: &[
                         "mafic",
+                        "mafic-adversary",
                         "mafic-loglog",
                         "mafic-metrics",
                         "mafic-netsim",
@@ -208,6 +220,7 @@ impl LintConfig {
                     rank: 6,
                     deps: &[
                         "mafic",
+                        "mafic-adversary",
                         "mafic-experiments",
                         "mafic-loglog",
                         "mafic-metrics",

@@ -33,19 +33,34 @@ pub struct PolicyCostReport {
     pub timer_events: u64,
     /// Probe bursts emitted (full MAFIC only).
     pub probes_sent: u64,
+    /// Legitimate packets this policy's own filters dropped — the
+    /// collateral *harm* the policy causes, split from the state it
+    /// costs. For `mafic` this is probing + permanent-table + illegal
+    /// drops of legit flows; for `proportional` the proportional drops;
+    /// for `rate-limit` the bucket drops.
+    pub legit_drops_filtered: u64,
+    /// Legitimate packets lost to queue overflow across the whole run
+    /// — shared context, identical on every row: queue losses happen at
+    /// the links, not in any policy's filter, but a cost table without
+    /// them understates what the attack (and the defense's failure to
+    /// cut it) did to legitimate traffic.
+    pub legit_drops_queue: u64,
 }
 
 impl fmt::Display for PolicyCostReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<12} {:>3} domains {:>4} filters {:>10} table bytes {:>8} timers {:>8} probes",
+            "{:<12} {:>3} domains {:>4} filters {:>10} table bytes {:>8} timers {:>8} probes \
+             {:>8} legit drops ({:>6} queue)",
             self.policy,
             self.domains,
             self.filters,
             self.table_bytes,
             self.timer_events,
-            self.probes_sent
+            self.probes_sent,
+            self.legit_drops_filtered,
+            self.legit_drops_queue
         )
     }
 }
@@ -81,13 +96,24 @@ mod tests {
             table_bytes: 4096,
             timer_events: 77,
             probes_sent: 70,
+            legit_drops_filtered: 41,
+            legit_drops_queue: 13,
         }
     }
 
     #[test]
     fn display_names_every_proxy() {
         let text = report().to_string();
-        for needle in ["mafic", "3 domains", "12 filters", "4096", "77", "70"] {
+        for needle in [
+            "mafic",
+            "3 domains",
+            "12 filters",
+            "4096",
+            "77",
+            "70",
+            "41 legit drops",
+            "13 queue",
+        ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }
     }

@@ -129,6 +129,11 @@ pub struct MetricsReport {
     /// Sketch-epoch harvests that reused a previously allocated slot
     /// instead of allocating a fresh sketch. Runner-filled.
     pub scratch_sketch_recycles: u64,
+    /// Mean per-interval distinct source-address cardinality observed
+    /// at the victim domain's taps (LogLog estimate) — the subsidence
+    /// guard's secondary evidence surfaced for figures. Runner-filled;
+    /// zero until then.
+    pub victim_source_cardinality: f64,
 }
 
 impl MetricsReport {

@@ -98,6 +98,8 @@ pub enum PushbackConfigError {
     },
     /// `healthy_bps` was non-finite or not positive.
     NonPositiveHealthyRate(f64),
+    /// `subsidence_source_floor` was non-finite or negative.
+    NegativeSourceFloor(f64),
     /// `trust.attestation_fraction` was outside `[0, 1]`.
     AttestationFractionOutOfRange(f64),
 }
@@ -115,6 +117,12 @@ impl fmt::Display for PushbackConfigError {
             ),
             PushbackConfigError::NonPositiveHealthyRate(v) => {
                 write!(f, "healthy_bps must be finite and > 0, got {v}")
+            }
+            PushbackConfigError::NegativeSourceFloor(v) => {
+                write!(
+                    f,
+                    "subsidence_source_floor must be finite and >= 0, got {v}"
+                )
             }
             PushbackConfigError::AttestationFractionOutOfRange(v) => {
                 write!(f, "trust.attestation_fraction must be in [0, 1], got {v}")
@@ -147,6 +155,13 @@ pub struct PushbackConfig {
     /// coordinator stands the whole defense down (`Stop` upstream).
     /// `0` disables subsidence detection.
     pub subsidence_intervals: u32,
+    /// Secondary subsidence evidence: when the victim-side distinct
+    /// source-address cardinality (fed via
+    /// [`DomainCoordinator::set_observed_sources`]) is positive and at
+    /// or below this floor, the interval counts as healthy even above
+    /// `healthy_bps` — a handful of senders saturating the link is
+    /// aggressive-but-legit load, not a flood. `0` disables the guard.
+    pub subsidence_source_floor: f64,
     /// Per-requester trust knobs (install budget, attestation).
     pub trust: TrustConfig,
 }
@@ -170,6 +185,7 @@ impl Default for PushbackConfig {
             // the link is overloaded beyond what TCP alone produces.
             healthy_bps: 1_875_000.0,
             subsidence_intervals: 8,
+            subsidence_source_floor: 0.0,
             trust: TrustConfig::default(),
         }
     }
@@ -199,6 +215,11 @@ impl PushbackConfig {
         if !self.healthy_bps.is_finite() || self.healthy_bps <= 0.0 {
             return Err(PushbackConfigError::NonPositiveHealthyRate(
                 self.healthy_bps,
+            ));
+        }
+        if !self.subsidence_source_floor.is_finite() || self.subsidence_source_floor < 0.0 {
+            return Err(PushbackConfigError::NegativeSourceFloor(
+                self.subsidence_source_floor,
             ));
         }
         if !self.trust.attestation_fraction.is_finite()
@@ -297,6 +318,11 @@ pub struct DomainCoordinator {
     /// Latest vetted upstream report per sender: `(aggregate, age)` in
     /// intervals. Reports older than `hold_intervals` are stale.
     reports: BTreeMap<RequesterId, (u64, u32)>,
+    /// Victim-side distinct source-address cardinality for the current
+    /// interval (the LogLog tap's address-sketch estimate), fed by the
+    /// host before `on_interval`. Secondary subsidence evidence; unused
+    /// while `config.subsidence_source_floor` is `0`.
+    observed_sources: f64,
     ledger: TrustLedger,
     stats: CoordinatorStats,
 }
@@ -326,9 +352,19 @@ impl DomainCoordinator {
             since_report: 0,
             lessor: None,
             reports: BTreeMap::new(),
+            observed_sources: 0.0,
             ledger: TrustLedger::new(config.trust),
             stats: CoordinatorStats::default(),
         }
+    }
+
+    /// Feeds the victim-side distinct source-address estimate for the
+    /// interval about to be judged. Call before
+    /// [`on_interval`](DomainCoordinator::on_interval); the value only
+    /// matters on victim-role coordinators with a positive
+    /// `subsidence_source_floor`.
+    pub fn set_observed_sources(&mut self, cardinality: f64) {
+        self.observed_sources = cardinality;
     }
 
     /// Current lifecycle state.
@@ -713,8 +749,17 @@ impl DomainCoordinator {
                     .then(|| self.effective_bps(inflow_bps, local_bps)),
                 _ => Some(inflow_bps),
             };
+            // The bandwidth ceiling alone misreads a few aggressive
+            // legit senders filling the link as an ongoing attack. The
+            // source floor supplies the missing dimension: flood-scale
+            // bytes from flood-scale *cardinality* keeps the defense
+            // up; the same bytes from a handful of senders reads
+            // healthy.
+            let few_sources = self.config.subsidence_source_floor > 0.0
+                && self.observed_sources > 0.0
+                && self.observed_sources <= self.config.subsidence_source_floor;
             match evidence {
-                Some(bps) if bps <= self.config.healthy_bps => self.healthy += 1,
+                Some(bps) if bps <= self.config.healthy_bps || few_sources => self.healthy += 1,
                 _ => self.healthy = 0,
             }
             if self.healthy >= self.config.subsidence_intervals {
@@ -816,6 +861,7 @@ impl mafic_obs::StateHash for DomainCoordinator {
             h.write_u64(*aggregate);
             h.write_u32(*age);
         }
+        h.write_f64(self.observed_sources);
         self.ledger.hash_state(h);
         self.stats.hash_state(h);
     }
@@ -864,6 +910,7 @@ impl mafic_obs::SnapshotState for DomainCoordinator {
             w.write_u64(*aggregate);
             w.write_u32(*age);
         }
+        w.write_f64(self.observed_sources);
         self.ledger.snap_save(w);
         w.write_u64(self.stats.requests_sent);
         w.write_u64(self.stats.refreshes_sent);
@@ -919,6 +966,7 @@ impl mafic_obs::SnapshotState for DomainCoordinator {
             let age = r.read_u32()?;
             self.reports.insert(id, (aggregate, age));
         }
+        self.observed_sources = r.read_f64()?;
         self.ledger.snap_restore(r)?;
         self.stats.requests_sent = r.read_u64()?;
         self.stats.refreshes_sent = r.read_u64()?;
@@ -949,6 +997,7 @@ mod tests {
             hold_intervals: 5,
             healthy_bps: 2000.0,
             subsidence_intervals: 0,
+            subsidence_source_floor: 0.0,
             trust: TrustConfig {
                 request_budget: 8,
                 attestation_fraction: 0.25,
@@ -1512,6 +1561,58 @@ mod tests {
     }
 
     #[test]
+    fn source_floor_reads_few_senders_as_healthy_despite_heavy_load() {
+        // Bandwidth says "overloaded" every interval, but the distinct
+        // source cardinality says two senders — aggressive legit load.
+        let mut cfg = config();
+        cfg.subsidence_intervals = 3;
+        cfg.subsidence_source_floor = 10.0;
+        let mut c = DomainCoordinator::new(cfg, PushbackRole::Victim, identity(0));
+        c.local_start(VICTIM, 0); // no budget: never escalates
+        let mut plane = BufferedPlane::new();
+        for _ in 0..2 {
+            c.set_observed_sources(2.0);
+            let _ = tick(&mut c, 50_000.0, &mut plane);
+        }
+        assert!(c.is_defending(), "not healthy long enough yet");
+        c.set_observed_sources(2.0);
+        let actions = tick(&mut c, 50_000.0, &mut plane);
+        assert!(actions.contains(&PushbackAction::DeactivateLocal));
+        assert_eq!(c.state(), LifecycleState::StandingDown);
+    }
+
+    #[test]
+    fn source_floor_ignores_flood_scale_cardinality() {
+        // Same load from hundreds of senders: the guard must not fire.
+        let mut cfg = config();
+        cfg.subsidence_intervals = 3;
+        cfg.subsidence_source_floor = 10.0;
+        let mut c = DomainCoordinator::new(cfg, PushbackRole::Victim, identity(0));
+        c.local_start(VICTIM, 0);
+        let mut plane = BufferedPlane::new();
+        for _ in 0..10 {
+            c.set_observed_sources(400.0);
+            let _ = tick(&mut c, 50_000.0, &mut plane);
+        }
+        assert!(c.is_defending(), "many senders above ceiling is an attack");
+    }
+
+    #[test]
+    fn zero_source_floor_leaves_subsidence_unchanged() {
+        // The default (disabled) guard must not let cardinality in.
+        let mut cfg = config();
+        cfg.subsidence_intervals = 3;
+        let mut c = DomainCoordinator::new(cfg, PushbackRole::Victim, identity(0));
+        c.local_start(VICTIM, 0);
+        let mut plane = BufferedPlane::new();
+        for _ in 0..10 {
+            c.set_observed_sources(1.0);
+            let _ = tick(&mut c, 50_000.0, &mut plane);
+        }
+        assert!(c.is_defending(), "floor 0 disables the guard");
+    }
+
+    #[test]
     fn escalated_victim_needs_upstream_reports_to_stand_down() {
         // A quiet boundary while escalated just means the upstream
         // defense is working — without status reports the victim must
@@ -1693,6 +1794,14 @@ mod tests {
             .validate(),
             Err(PushbackConfigError::NonPositiveHealthyRate(_))
         ));
+        assert_eq!(
+            PushbackConfig {
+                subsidence_source_floor: -1.0,
+                ..config()
+            }
+            .validate(),
+            Err(PushbackConfigError::NegativeSourceFloor(-1.0))
+        );
         let mut cfg = config();
         cfg.trust.attestation_fraction = 1.5;
         assert_eq!(

@@ -88,6 +88,14 @@ pub struct UnresponsiveSender {
     stop_after: Option<SimTime>,
     second_wave: Option<(SimTime, SimTime)>,
     timer_token: u64,
+    /// Adversary-controller retargeting: while paused the timer chain
+    /// keeps ticking (so the RNG stream and resume latency stay
+    /// deterministic) but nothing is emitted.
+    paused: bool,
+    /// Rate multiplier in thousandths of the configured rate
+    /// (1000 = nominal). The open-loop default leaves the inter-packet
+    /// interval computation bit-identical to the pre-adversary path.
+    rate_scale_milli: u32,
 }
 
 impl UnresponsiveSender {
@@ -114,6 +122,8 @@ impl UnresponsiveSender {
             stop_after: None,
             second_wave: None,
             timer_token: 0,
+            paused: false,
+            rate_scale_milli: 1000,
         }
     }
 
@@ -129,6 +139,37 @@ impl UnresponsiveSender {
     /// unchanged), so the whole two-wave schedule stays deterministic.
     pub fn set_second_wave(&mut self, resume: SimTime, stop: SimTime) {
         self.second_wave = Some((resume, stop));
+    }
+
+    /// Pauses or resumes transmission. A paused sender keeps its timer
+    /// chain alive so a later resume takes effect within one interval.
+    pub fn set_paused(&mut self, paused: bool) {
+        self.paused = paused;
+    }
+
+    /// Whether the sender is currently paused by its controller.
+    #[must_use]
+    pub fn paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Scales the sending rate, in thousandths of the configured
+    /// nominal rate (1000 = nominal, 2000 = double).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero scale — a controller bug; pausing is expressed
+    /// via [`set_paused`](UnresponsiveSender::set_paused), not a zero
+    /// rate.
+    pub fn set_rate_scale_milli(&mut self, scale_milli: u32) {
+        assert!(scale_milli > 0, "rate scale must be positive");
+        self.rate_scale_milli = scale_milli;
+    }
+
+    /// Current rate scale in thousandths of nominal.
+    #[must_use]
+    pub fn rate_scale_milli(&self) -> u32 {
+        self.rate_scale_milli
     }
 
     /// Packets transmitted.
@@ -150,7 +191,10 @@ impl UnresponsiveSender {
     }
 
     fn interval(&mut self) -> SimDuration {
-        let nominal = 1.0 / self.config.rate_pps;
+        let mut nominal = 1.0 / self.config.rate_pps;
+        if self.rate_scale_milli != 1000 {
+            nominal = nominal * 1000.0 / f64::from(self.rate_scale_milli);
+        }
         let jitter = if self.config.jitter > 0.0 {
             1.0 + self.config.jitter * (self.rng.gen::<f64>() * 2.0 - 1.0)
         } else {
@@ -194,7 +238,9 @@ impl UnresponsiveSender {
 
 impl Agent for UnresponsiveSender {
     fn on_start(&mut self, ctx: &mut AgentCtx<'_>) {
-        self.emit(ctx);
+        if !self.paused {
+            self.emit(ctx);
+        }
         self.schedule_next(ctx);
     }
 
@@ -221,7 +267,9 @@ impl Agent for UnresponsiveSender {
                 return;
             }
         }
-        self.emit(ctx);
+        if !self.paused {
+            self.emit(ctx);
+        }
         self.schedule_next(ctx);
     }
 
@@ -248,6 +296,8 @@ impl Agent for UnresponsiveSender {
             }
         }
         w.write_u64(self.timer_token);
+        w.write_bool(self.paused);
+        w.write_u32(self.rate_scale_milli);
     }
 
     fn snap_restore(
@@ -281,6 +331,8 @@ impl Agent for UnresponsiveSender {
             }
         };
         self.timer_token = r.read_u64()?;
+        self.paused = r.read_bool()?;
+        self.rate_scale_milli = r.read_u32()?;
         Ok(())
     }
 
@@ -447,6 +499,60 @@ mod tests {
         let _ = h.start(&mut s);
         let fx = h.fire_timer(&mut s, 999);
         assert!(fx.sent.is_empty());
+    }
+
+    #[test]
+    fn paused_sender_keeps_chain_alive_and_resumes() {
+        let mut h = AgentHarness::new();
+        let mut s = sender(CbrProtocol::Udp, 0.0);
+        let fx = h.start(&mut s);
+        s.set_paused(true);
+        // Two quiet ticks: nothing emitted, chain keeps ticking.
+        let mut token = fx.timers[0].1;
+        for _ in 0..2 {
+            h.advance(SimDuration::from_millis(10));
+            let fx = h.fire_timer(&mut s, token);
+            assert!(fx.sent.is_empty(), "paused sender must stay quiet");
+            assert_eq!(fx.timers.len(), 1, "timer chain stays alive");
+            token = fx.timers[0].1;
+        }
+        // Resume: the very next tick transmits again.
+        s.set_paused(false);
+        h.advance(SimDuration::from_millis(10));
+        let fx = h.fire_timer(&mut s, token);
+        assert_eq!(fx.sent.len(), 1);
+        assert_eq!(s.sent(), 2);
+    }
+
+    #[test]
+    fn rate_scale_shortens_intervals_and_default_is_nominal() {
+        let mut h = AgentHarness::new();
+        let mut s = sender(CbrProtocol::Udp, 0.0);
+        let fx = h.start(&mut s);
+        assert_eq!(fx.timers[0].0, SimDuration::from_millis(10));
+        // Double rate => half the interval.
+        s.set_rate_scale_milli(2000);
+        h.advance(SimDuration::from_millis(10));
+        let fx2 = h.fire_timer(&mut s, fx.timers[0].1);
+        assert_eq!(fx2.timers[0].0, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn pause_and_scale_snapshot_round_trip() {
+        let mut h = AgentHarness::new();
+        let mut s = sender(CbrProtocol::Udp, 0.2);
+        let _ = h.start(&mut s);
+        s.set_paused(true);
+        s.set_rate_scale_milli(1500);
+        let mut w = mafic_netsim::SnapWriter::new();
+        s.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = sender(CbrProtocol::Udp, 0.2);
+        let mut r = mafic_netsim::SnapReader::new(&bytes);
+        restored.snap_restore(&mut r).expect("restore");
+        assert!(r.is_empty());
+        assert!(restored.paused());
+        assert_eq!(restored.rate_scale_milli(), 1500);
     }
 
     #[test]

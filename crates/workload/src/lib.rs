@@ -37,6 +37,7 @@ pub mod scenario;
 pub mod spec;
 
 pub use error::WorkloadError;
+pub use mafic_adversary::{AdversarySpec, StrategyKind};
 pub use runner::{
     encode_checkpoint, restore_branch, restore_run, resume_scenario, run_scenario, run_spec,
     RunOutcome, RunState,

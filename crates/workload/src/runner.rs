@@ -20,6 +20,7 @@ use crate::error::WorkloadError;
 use crate::scenario::{PushbackPlan, PushbackUpstream, Scenario};
 use crate::spec::{DetectionMode, ScenarioSpec};
 use mafic::{DefensePolicy, LogLogTap, MaficFilter, ProportionalFilter, RateLimitFilter};
+use mafic_adversary::{AdversaryController, AdversaryDirective, SourceFeedback};
 use mafic_loglog::{DetectorConfig, RouterSketch, TrafficMatrix, VictimDetector, VictimVerdict};
 use mafic_metrics::{
     victim_arrival_series, victim_bandwidth_series, BandwidthPoint, ControlPlaneReport,
@@ -34,6 +35,7 @@ use mafic_obs::{
     SnapWriter, Snapshot, SnapshotHeader, SnapshotState as _, StateHash, SNAP_VERSION,
 };
 use mafic_pushback::{ControlChannel, ControlPlane, LifecycleState, PushbackAction};
+use mafic_transport::UnresponsiveSender;
 
 /// Propagation allowance for intra-domain control messages.
 const CONTROL_DELAY: SimDuration = SimDuration::from_millis(5);
@@ -45,6 +47,10 @@ const PUSHBACK_PORT: u16 = 9;
 /// forged requests — flood-scale by design, so an honest upstream whose
 /// own meter sees only normal traffic cannot corroborate it.
 const MALICIOUS_CLAIM_BPS: u64 = 8_000_000;
+/// Salt mixed into the run seed for the adversary controller's RNG, so
+/// adversary randomness never correlates with workload provisioning
+/// (which derives its streams from the raw seed).
+const ADVERSARY_SEED_SALT: u64 = 0xAD5E_A57A_7E61_C0DE;
 
 /// Everything a finished run produces.
 #[derive(Debug)]
@@ -261,6 +267,24 @@ struct ControlAccounting {
 /// still reports what it cost while it ran).
 fn collect_policy_costs(scenario: &Scenario) -> Vec<PolicyCostReport> {
     use std::collections::BTreeMap;
+    // Collateral attribution: legitimate losses split by the policy tier
+    // that caused them. The drop reasons map onto policy labels — MAFIC
+    // owns probing/permanent-table/illegal drops, the proportional
+    // baseline its own bucket, the rate limit its own — while queue
+    // overflow belongs to no filter and is reported as shared context.
+    let mut legit_mafic = 0u64;
+    let mut legit_proportional = 0u64;
+    let mut legit_rate_limit = 0u64;
+    let mut legit_queue = 0u64;
+    for (_key, rec) in scenario.sim.stats().flows() {
+        if rec.is_attack {
+            continue;
+        }
+        legit_mafic += rec.dropped_probing + rec.dropped_permanent + rec.dropped_illegal;
+        legit_proportional += rec.dropped_proportional;
+        legit_rate_limit += rec.dropped_rate_limited;
+        legit_queue += rec.dropped_queue;
+    }
     let mut rows: BTreeMap<&'static str, PolicyCostReport> = BTreeMap::new();
     let tally = |sim: &Simulator,
                  rows: &mut BTreeMap<&'static str, PolicyCostReport>,
@@ -278,6 +302,8 @@ fn collect_policy_costs(scenario: &Scenario) -> Vec<PolicyCostReport> {
                 table_bytes: 0,
                 timer_events: 0,
                 probes_sent: 0,
+                legit_drops_filtered: 0,
+                legit_drops_queue: legit_queue,
             });
         row.domains += 1;
         row.filters += atrs.len();
@@ -307,6 +333,14 @@ fn collect_policy_costs(scenario: &Scenario) -> Vec<PolicyCostReport> {
             &scenario.droppers,
         );
     }
+    for row in rows.values_mut() {
+        row.legit_drops_filtered = match row.policy.as_str() {
+            "mafic" => legit_mafic,
+            "proportional" => legit_proportional,
+            "rate-limit" => legit_rate_limit,
+            _ => 0,
+        };
+    }
     rows.into_values().collect()
 }
 
@@ -335,6 +369,7 @@ fn step_pushback(
     spec: &ScenarioSpec,
     victim: Addr,
     triggered: bool,
+    observed_sources: f64,
     elapsed: SimDuration,
     atr_nodes: &mut Vec<NodeId>,
     escalations: &mut Vec<(SimTime, usize)>,
@@ -358,6 +393,12 @@ fn step_pushback(
             .coordinator
             .local_start(victim, depth_budget);
     }
+    // The victim tap's distinct-source cardinality — the subsidence
+    // guard's secondary evidence against adversaries that fake a
+    // subsided flood by parking bandwidth on a few surviving sources.
+    plan.domains[0]
+        .coordinator
+        .set_observed_sources(observed_sources);
     let interval_secs = elapsed.as_secs_f64();
     for d in 0..plan.domains.len() {
         let now = sim.now();
@@ -562,7 +603,12 @@ fn hash_filter(sim: &Simulator, node: NodeId, idx: usize, h: &mut Fnv64) {
 /// [`MetricsReport`]. The ledger records one probe per monitor
 /// interval; a checkpoint embeds one as its integrity table and the
 /// restorer recomputes it to verify the overlay.
-fn compute_probe(scenario: &Scenario, inbox_drains: u64, sketch_recycles: u64) -> IntervalProbe {
+fn compute_probe(
+    scenario: &Scenario,
+    adversary: Option<&AdversaryController>,
+    inbox_drains: u64,
+    sketch_recycles: u64,
+) -> IntervalProbe {
     let sim = &scenario.sim;
     let mut probe = IntervalProbe::new();
     sim.hash_components(&mut probe);
@@ -599,6 +645,12 @@ fn compute_probe(scenario: &Scenario, inbox_drains: u64, sketch_recycles: u64) -
                 hash_filter(sim, node, idx, h);
             }
         });
+    }
+    // Only adversarial runs carry the component: a spec without an
+    // adversary produces the same probe stream (and ledger) it always
+    // did.
+    if let Some(adv) = adversary {
+        probe.component("adversary", |h| adv.hash_state(h));
     }
     let stats = sim.stats();
     let drops = stats.drop_totals();
@@ -645,11 +697,12 @@ fn compute_probe(scenario: &Scenario, inbox_drains: u64, sketch_recycles: u64) -
 /// Records one monitor interval into the run ledger.
 fn record_ledger_interval(
     scenario: &Scenario,
+    adversary: Option<&AdversaryController>,
     builder: &mut LedgerBuilder,
     inbox_drains: u64,
     sketch_recycles: u64,
 ) {
-    let probe = compute_probe(scenario, inbox_drains, sketch_recycles);
+    let probe = compute_probe(scenario, adversary, inbox_drains, sketch_recycles);
     builder.record_interval(scenario.sim.now().as_nanos(), &probe);
 }
 
@@ -716,6 +769,17 @@ pub struct RunState {
     /// the taps — no steady-state allocation in the monitor loop.
     sketches: Vec<RouterSketch>,
     sketch_recycles: u64,
+    /// The closed-loop attack controller, present only when the spec
+    /// carries an [`mafic_adversary::AdversarySpec`]. It observes its
+    /// own sources' delivery feedback each interval and retargets the
+    /// attack senders; a `None` here keeps the whole hook behind one
+    /// branch per interval.
+    adversary: Option<AdversaryController>,
+    /// Sum of the victim tap's per-interval distinct-source cardinality
+    /// readings, exported as the report's mean.
+    cardinality_sum: f64,
+    /// Number of cardinality readings behind the sum.
+    cardinality_intervals: u64,
     ledger: Option<LedgerBuilder>,
     next_stop: SimTime,
     last_stop: SimTime,
@@ -750,6 +814,21 @@ fn fresh_state(scenario: &Scenario) -> Result<RunState, WorkloadError> {
         scratch: StepScratch::default(),
         sketches: Vec::new(),
         sketch_recycles: 0,
+        // The controller observes only attacker-side state: the stub
+        // index of each attack source (the zombie knows where it sits)
+        // and a seed salted off the run seed so adversary randomness
+        // never correlates with workload provisioning.
+        adversary: scenario.spec.adversary.map(|aspec| {
+            let stubs: Vec<u32> = scenario
+                .flows
+                .iter()
+                .filter(|f| f.is_attack)
+                .map(|f| u32::try_from(f.stub_index).expect("stub count fits u32"))
+                .collect();
+            AdversaryController::new(aspec, stubs, scenario.spec.seed ^ ADVERSARY_SEED_SALT)
+        }),
+        cardinality_sum: 0.0,
+        cardinality_intervals: 0,
         // Off by default: when `spec.ledger` is false the hot path pays
         // one `Option` check per monitor interval and no `StateHash`
         // call ever runs — the zero-cost contract the bench gate pins.
@@ -839,11 +918,17 @@ fn drive(scenario: &mut Scenario, state: &mut RunState) -> Result<RunOutcome, Wo
         // let them accumulate for the rest of the run, so any later
         // reader (re-detection, telemetry) would see one stale merged
         // epoch instead of an interval's worth of traffic.
+        let mut victim_cardinality = 0.0_f64;
         for (i, &(node, idx)) in scenario.taps.iter().enumerate() {
             let tap = scenario
                 .sim
                 .filter_mut::<LogLogTap>(node, idx)
                 .expect("tap installed at build time");
+            // The victim router's distinct-source estimate must be read
+            // before the harvest resets the epoch's address sketch.
+            if node == scenario.domain.victim_router {
+                victim_cardinality = tap.source_address_cardinality();
+            }
             if let Some(slot) = state.sketches.get_mut(i) {
                 tap.take_epoch_into(slot);
                 state.sketch_recycles += 1;
@@ -851,6 +936,8 @@ fn drive(scenario: &mut Scenario, state: &mut RunState) -> Result<RunOutcome, Wo
                 state.sketches.push(tap.take_epoch());
             }
         }
+        state.cardinality_sum += victim_cardinality;
+        state.cardinality_intervals += 1;
         // The inter-domain cascade steps every interval too — meters
         // stay interval-scoped whether or not anything is defending.
         if let Some(plan) = scenario.pushback.as_mut() {
@@ -860,6 +947,7 @@ fn drive(scenario: &mut Scenario, state: &mut RunState) -> Result<RunOutcome, Wo
                 &scenario.spec,
                 scenario.domain.victim_addr,
                 state.triggered_at.is_some_and(|t| t <= stop),
+                victim_cardinality,
                 elapsed,
                 &mut state.atr_nodes,
                 &mut state.escalations,
@@ -885,12 +973,55 @@ fn drive(scenario: &mut Scenario, state: &mut RunState) -> Result<RunOutcome, Wo
             state.fallback = None;
             state.acct.defense_down = false;
         }
+        // The closed-loop adversary steps once per interval, after the
+        // cascade has applied this interval's defense actions. It reads
+        // only its own sources' cumulative sent/delivered counters —
+        // what each zombie measures from its own ack stream — and
+        // retargets the attack senders for the next interval.
+        if let Some(adv) = state.adversary.as_mut() {
+            let mut feedback = adv.take_feedback_buf();
+            {
+                let stats = scenario.sim.stats();
+                for (slot, flow) in feedback
+                    .iter_mut()
+                    .zip(scenario.flows.iter().filter(|f| f.is_attack))
+                {
+                    let (sent, delivered) = stats
+                        .flow(&flow.key)
+                        .map_or((0, 0), |rec| (rec.sent, rec.delivered));
+                    *slot = SourceFeedback { sent, delivered };
+                }
+            }
+            for &dir in adv.observe_interval(feedback) {
+                let source = match dir {
+                    AdversaryDirective::SetActive { source, .. }
+                    | AdversaryDirective::SetRateScale { source, .. } => source,
+                };
+                let flow = scenario
+                    .flows
+                    .iter()
+                    .filter(|f| f.is_attack)
+                    .nth(source)
+                    .expect("directives name sources within the attack set");
+                let sender = scenario
+                    .sim
+                    .agent_mut::<UnresponsiveSender>(flow.agent)
+                    .expect("attack sender installed at build time");
+                match dir {
+                    AdversaryDirective::SetActive { active, .. } => sender.set_paused(!active),
+                    AdversaryDirective::SetRateScale { scale_milli, .. } => {
+                        sender.set_rate_scale_milli(scale_milli);
+                    }
+                }
+            }
+        }
         // Ledger recording sits before the detection tail (which may
         // `continue` out of the iteration) so every interval is hashed
         // exactly once, at the same loop point, in every run.
         if let Some(builder) = state.ledger.as_mut() {
             record_ledger_interval(
                 scenario,
+                state.adversary.as_ref(),
                 builder,
                 state.scratch.drains,
                 state.sketch_recycles,
@@ -987,6 +1118,11 @@ fn drive(scenario: &mut Scenario, state: &mut RunState) -> Result<RunOutcome, Wo
     report.peak_arena_packets = scenario.sim.packet_arena_peak() as u64;
     report.scratch_inbox_drains = state.scratch.drains;
     report.scratch_sketch_recycles = state.sketch_recycles;
+    report.victim_source_cardinality = if state.cardinality_intervals > 0 {
+        state.cardinality_sum / state.cardinality_intervals as f64
+    } else {
+        0.0
+    };
     let series = victim_arrival_series(stats);
     let goodput_series = victim_bandwidth_series(stats);
     let trace_tail = scenario.sim.trace_tail(TRACE_TAIL_EVENTS);
@@ -1061,10 +1197,14 @@ fn capture_checkpoint(scenario: &Scenario, state: &RunState) -> Vec<u8> {
             .checked_div(interval)
             .unwrap_or(0),
     });
-    snapshot.component_hashes =
-        compute_probe(scenario, state.scratch.drains, state.sketch_recycles)
-            .components()
-            .to_vec();
+    snapshot.component_hashes = compute_probe(
+        scenario,
+        state.adversary.as_ref(),
+        state.scratch.drains,
+        state.sketch_recycles,
+    )
+    .components()
+    .to_vec();
     scenario.sim.snap_save_into(&mut snapshot);
     let mut w = SnapWriter::new();
     let baselines = state.detector.baselines();
@@ -1105,6 +1245,8 @@ fn capture_checkpoint(scenario: &Scenario, state: &RunState) -> Vec<u8> {
     w.write_usize(state.sketches.len());
     w.write_u64(state.next_stop.as_nanos());
     w.write_u64(state.last_stop.as_nanos());
+    w.write_f64(state.cardinality_sum);
+    w.write_u64(state.cardinality_intervals);
     snapshot.add_section("workload/run", w.into_bytes());
     if let Some(builder) = state.ledger.as_ref() {
         let mut w = SnapWriter::new();
@@ -1118,6 +1260,11 @@ fn capture_checkpoint(scenario: &Scenario, state: &RunState) -> Vec<u8> {
             w.write_u64(dom.residual_bytes);
             snapshot.add_section(&format!("workload/dom{d}"), w.into_bytes());
         }
+    }
+    if let Some(adv) = state.adversary.as_ref() {
+        let mut w = SnapWriter::new();
+        adv.snap_save(&mut w);
+        snapshot.add_section("workload/adversary", w.into_bytes());
     }
     snapshot.encode()
 }
@@ -1266,6 +1413,8 @@ fn restore_with(
     }
     state.next_stop = SimTime::from_nanos(r.read_u64()?);
     state.last_stop = SimTime::from_nanos(r.read_u64()?);
+    state.cardinality_sum = r.read_f64()?;
+    state.cardinality_intervals = r.read_u64()?;
     if !r.is_empty() {
         return Err(SnapError::Malformed(format!(
             "{} trailing bytes in workload/run",
@@ -1309,11 +1458,32 @@ fn restore_with(
             }
         }
     }
+    if let Some(adv) = state.adversary.as_mut() {
+        let payload = snapshot
+            .section("workload/adversary")
+            .ok_or(SnapError::MissingSection {
+                section: "workload/adversary".to_string(),
+            })?;
+        let mut r = SnapReader::new(payload);
+        adv.snap_restore(&mut r)?;
+        if !r.is_empty() {
+            return Err(SnapError::Malformed(format!(
+                "{} trailing bytes in workload/adversary",
+                r.remaining()
+            ))
+            .into());
+        }
+    }
     // The integrity gate: recompute every component digest over the
     // overlaid state and compare against the capture-time table. A
     // branch variant whose prefix state differs from the capturing
     // spec's fails here with the diverging component named.
-    let probe = compute_probe(&scenario, state.scratch.drains, state.sketch_recycles);
+    let probe = compute_probe(
+        &scenario,
+        state.adversary.as_ref(),
+        state.scratch.drains,
+        state.sketch_recycles,
+    );
     let recomputed = probe.components();
     if recomputed.len() != snapshot.component_hashes.len() {
         return Err(SnapError::Malformed(format!(

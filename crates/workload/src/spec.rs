@@ -6,6 +6,7 @@
 //! policy under test, and all timing anchors. Defaults follow Table II.
 
 use mafic::{DefensePolicy, DropPolicy, LabelMode};
+use mafic_adversary::AdversarySpec;
 use mafic_loglog::hash::{mix2, mix64};
 use mafic_loglog::Precision;
 use mafic_netsim::{SimDuration, SimTime};
@@ -121,6 +122,21 @@ pub struct ScenarioSpec {
     /// upstream, `Withdraw` cascading through the chain. `0` disables
     /// subsidence detection. Ignored when `domains == 1`.
     pub subsidence_intervals: u32,
+    /// Secondary subsidence evidence: when positive, a victim-side
+    /// interval whose distinct source-address cardinality (from the
+    /// LogLog taps) sits at or below this floor counts as healthy even
+    /// above the 1.5× bandwidth ceiling — a few senders saturating the
+    /// link is aggressive-but-legit load, not a flood. `0` (the
+    /// default) disables the guard.
+    pub subsidence_source_floor: f64,
+    /// Optional closed-loop adaptive adversary driving the attack
+    /// sources: each monitor interval an
+    /// [`mafic_adversary::AdversaryController`] digests per-source
+    /// delivered-vs-sent feedback and retargets the zombies through the
+    /// configured [`mafic_adversary::AttackStrategy`]. `None` (the
+    /// default) keeps the open-loop senders untouched — and the run
+    /// byte-identical to pre-adversary builds.
+    pub adversary: Option<AdversarySpec>,
     /// When the attack traffic stops (`None` = zombies send until
     /// [`end`](ScenarioSpec::end)). Setting this mid-run is how the
     /// flood-subsidence lifecycle is exercised end to end.
@@ -247,6 +263,8 @@ impl Default for ScenarioSpec {
             trust_budget: 8,
             attestation_fraction: 0.25,
             subsidence_intervals: 8,
+            subsidence_source_floor: 0.0,
+            adversary: None,
             attack_end: None,
             second_wave: None,
             cross_traffic_bps: 0.0,
@@ -338,6 +356,7 @@ impl ScenarioSpec {
             // above capacity, not below the escalation threshold.
             healthy_bps: 1.5 * link_bytes_per_sec,
             subsidence_intervals: self.subsidence_intervals,
+            subsidence_source_floor: self.subsidence_source_floor,
             trust: TrustConfig {
                 request_budget: self.trust_budget,
                 attestation_fraction: self.attestation_fraction,
@@ -504,6 +523,11 @@ impl ScenarioSpec {
         self.pushback_config()
             .validate()
             .map_err(|e| format!("pushback config: {e}"))?;
+        if let Some(adversary) = &self.adversary {
+            adversary
+                .validate()
+                .map_err(|e| format!("adversary: {e}"))?;
+        }
         if let Some(attack_end) = self.attack_end {
             if attack_end <= self.attack_start {
                 return Err("attack_end must come after attack_start".into());

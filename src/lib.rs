@@ -21,6 +21,9 @@
 //! * [`obs`] — the run ledger: per-interval chained state hashes,
 //!   JSONL export, and the divergence differ behind `mafic_trace`,
 //! * [`workload`] — scenario generation and the experiment runner,
+//! * [`adversary`] — closed-loop adaptive attack strategies (source
+//!   rotation, attestation shaping, pulse tuning, carpet bombing)
+//!   red-teaming the defense from the attacker's side,
 //! * [`experiments`] — per-figure regeneration harnesses.
 //!
 //! # Quickstart
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub use mafic as core;
+pub use mafic_adversary as adversary;
 pub use mafic_experiments as experiments;
 pub use mafic_loglog as loglog;
 pub use mafic_metrics as metrics;
